@@ -1,0 +1,211 @@
+// Ablations for the design decisions called out in DESIGN.md:
+//   1. event-triggered scheduling vs calling the scheduler every tick
+//      (§3.2.4's trigger/skip decision) — wall-time cost of always-call;
+//   2. prepopulation of jobs running at sim start (§3.2.3 footnote 2) —
+//      the distortion a cold-started twin suffers (the "fill-up" artifact
+//      the paper says other simulators ignore);
+//   3. the original RAPS Weibull "reschedule" (footnote 4) vs real batch
+//      scheduling — why S-RAPS replaced it.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "dataloaders/marconi.h"
+#include "stats/carbon.h"
+#include "dataloaders/replay_synth.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+const char* kDataDir = "bench_results/ablation_dataset";
+
+void EnsureDataset() {
+  static bool done = false;
+  if (done) return;
+  MarconiDatasetSpec spec;
+  spec.span = 24 * kHour;
+  spec.arrival_rate_per_hour = 50;
+  GenerateMarconiDataset(kDataDir, spec);
+  done = true;
+}
+
+SimulationOptions Base() {
+  SimulationOptions o;
+  o.system = "marconi100";
+  o.dataset_path = kDataDir;
+  o.policy = "fcfs";
+  o.backfill = "easy";
+  o.record_history = false;
+  return o;
+}
+
+void BM_EventTriggeredScheduling(benchmark::State& state) {
+  EnsureDataset();
+  const bool event_triggered = state.range(0) != 0;
+  std::size_t invocations = 0, skips = 0;
+  for (auto _ : state) {
+    SimulationOptions o = Base();
+    o.event_triggered_scheduling = event_triggered;
+    Simulation sim(o);
+    sim.Run();
+    invocations = sim.engine().counters().scheduler_invocations;
+    skips = sim.engine().counters().scheduler_skips;
+  }
+  state.SetLabel(event_triggered ? "event-triggered" : "always-call");
+  state.counters["invocations"] = static_cast<double>(invocations);
+  state.counters["skips"] = static_cast<double>(skips);
+}
+
+void BM_Prepopulation(benchmark::State& state) {
+  EnsureDataset();
+  const bool prepopulate = state.range(0) != 0;
+  double early_power = 0, steady_power = 0;
+  for (auto _ : state) {
+    SimulationOptions o = Base();
+    o.record_history = true;
+    o.prepopulate = prepopulate;
+    o.fast_forward = 12 * kHour;  // plenty of jobs already running
+    o.duration = 6 * kHour;
+    Simulation sim(o);
+    sim.Run();
+    // Distortion metric: power in the first 30 min vs the last hour.  A
+    // cold-started twin under-reports the early window while it fills up.
+    const auto& ch = sim.engine().recorder().Get("power_kw");
+    double early = 0, late = 0;
+    int ne = 0, nl = 0;
+    for (std::size_t i = 0; i < ch.times.size(); ++i) {
+      const SimTime t = ch.times[i] - ch.times.front();
+      if (t < 30 * kMinute) {
+        early += ch.values[i];
+        ++ne;
+      } else if (t > 5 * kHour) {
+        late += ch.values[i];
+        ++nl;
+      }
+    }
+    early_power = ne ? early / ne : 0;
+    steady_power = nl ? late / nl : 0;
+  }
+  state.SetLabel(prepopulate ? "prepopulated" : "cold-start");
+  state.counters["early_power_kw"] = early_power;
+  state.counters["steady_power_kw"] = steady_power;
+  state.counters["early_deficit_pct"] =
+      steady_power > 0 ? (1.0 - early_power / steady_power) * 100.0 : 0.0;
+}
+
+void BM_WeibullRescheduleBaseline(benchmark::State& state) {
+  // The original RAPS "reschedule" redistributed start times with a Weibull
+  // draw, ignoring capacity.  Measure how infeasible that is: fraction of
+  // time the implied schedule oversubscribes the machine.
+  EnsureDataset();
+  double oversub_fraction = 0;
+  for (auto _ : state) {
+    MarconiLoader loader;
+    auto jobs = loader.Load(kDataDir);
+    Rng rng(7);
+    struct Event {
+      SimTime t;
+      int delta;
+    };
+    std::vector<Event> events;
+    for (const Job& j : jobs) {
+      const SimDuration runtime = j.recorded_end - j.recorded_start;
+      const auto start = j.submit_time +
+                         static_cast<SimTime>(rng.Weibull(1.5, 1800.0));
+      events.push_back({start, j.nodes_required});
+      events.push_back({start + runtime, -j.nodes_required});
+    }
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.t != b.t) return a.t < b.t;
+      return a.delta < b.delta;
+    });
+    const int capacity = MakeSystemConfig("marconi100").TotalNodes();
+    int used = 0;
+    SimTime over_time = 0, prev = events.empty() ? 0 : events.front().t;
+    bool over = false;
+    for (const Event& e : events) {
+      if (over) over_time += e.t - prev;
+      prev = e.t;
+      used += e.delta;
+      over = used > capacity;
+    }
+    const SimTime span = events.back().t - events.front().t;
+    oversub_fraction = span > 0 ? static_cast<double>(over_time) / span : 0;
+  }
+  state.counters["oversubscribed_pct"] = oversub_fraction * 100.0;
+}
+
+void BM_BackfillModes(benchmark::State& state) {
+  // Backfill-depth ablation: none vs first-fit vs EASY vs conservative on
+  // the same contended day — the packing/fairness trade-off behind the
+  // paper's policy choices.
+  EnsureDataset();
+  const char* modes[] = {"none", "firstfit", "easy", "conservative"};
+  const char* mode = modes[state.range(0)];
+  std::size_t completed = 0;
+  double wait = 0, util = 0;
+  for (auto _ : state) {
+    SimulationOptions o = Base();
+    o.backfill = mode;
+    o.record_history = true;
+    Simulation sim(o);
+    sim.Run();
+    completed = sim.engine().counters().completed;
+    wait = sim.engine().stats().AvgWaitSeconds();
+    util = sim.engine().recorder().MeanOf("utilization");
+  }
+  state.SetLabel(mode);
+  state.counters["jobs"] = static_cast<double>(completed);
+  state.counters["wait_s"] = wait;
+  state.counters["util_pct"] = util;
+}
+
+void BM_PowerCapWhatIf(benchmark::State& state) {
+  // Facility power-cap what-if: peak power vs makespan trade-off, plus
+  // diurnal carbon accounting (timing factor) for the same runs.
+  EnsureDataset();
+  const double cap_fraction = static_cast<double>(state.range(0)) / 100.0;
+  double peak_mw = 0, avg_runtime = 0, carbon_kg = 0, timing = 1;
+  for (auto _ : state) {
+    SimulationOptions o = Base();
+    o.record_history = true;
+    if (cap_fraction < 1.0) {
+      // Cap relative to the uncapped peak measured once.
+      static double uncapped_peak_kw = [&] {
+        SimulationOptions probe = Base();
+        probe.record_history = true;
+        Simulation s(probe);
+        s.Run();
+        return s.engine().recorder().MaxOf("power_kw");
+      }();
+      o.power_cap_w = uncapped_peak_kw * 1000.0 * cap_fraction;
+    }
+    Simulation sim(o);
+    sim.Run();
+    peak_mw = sim.engine().recorder().MaxOf("power_kw") / 1000.0;
+    avg_runtime = sim.engine().stats().AvgRuntimeSeconds();
+    const CarbonReport cr =
+        ComputeCarbon(sim.engine().recorder(), CarbonIntensityProfile::Diurnal());
+    carbon_kg = cr.emissions_kg;
+    timing = cr.timing_factor;
+  }
+  state.SetLabel("cap=" + std::to_string(state.range(0)) + "%");
+  state.counters["peak_mw"] = peak_mw;
+  state.counters["avg_runtime_s"] = avg_runtime;
+  state.counters["carbon_kg"] = carbon_kg;
+  state.counters["carbon_timing_factor"] = timing;
+}
+
+BENCHMARK(BM_PowerCapWhatIf)->Arg(100)->Arg(85)->Arg(70)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_BackfillModes)->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_EventTriggeredScheduling)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Prepopulation)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_WeibullRescheduleBaseline)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace sraps

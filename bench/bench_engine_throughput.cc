@@ -1,0 +1,111 @@
+// Engine performance: simulated seconds per wall second across systems and
+// tick lengths — the quantity behind the artifact's reproduction-time
+// estimates and the paper's 688x FastSim speedup claim.  Also measures the
+// resource-manager hot path at machine scale.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dataloaders/replay_synth.h"
+#include "sched/builtin_scheduler.h"
+#include "sched/resource_manager.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+std::vector<Job> WorkloadFor(const SystemConfig& config, SimDuration span,
+                             double rate_per_hour) {
+  SyntheticWorkloadSpec wl;
+  wl.horizon = span;
+  wl.arrival_rate_per_hour = rate_per_hour;
+  wl.max_nodes = std::max(1, config.TotalNodes() / 4);
+  wl.mean_nodes_log2 = 3.0;
+  wl.trace_interval = config.telemetry_interval;
+  wl.seed = 33;
+  std::vector<Job> jobs = GenerateSyntheticWorkload(wl);
+  ReplaySynthesisOptions rs;
+  rs.total_nodes = config.TotalNodes();
+  SynthesizeRecordedSchedule(jobs, rs);
+  return jobs;
+}
+
+void BM_EngineTicksPerSecond(benchmark::State& state) {
+  const char* systems[] = {"mini", "adastraMI250", "marconi100", "frontier"};
+  const SystemConfig config = MakeSystemConfig(systems[state.range(0)]);
+  const SimDuration span = 6 * kHour;
+  const auto jobs = WorkloadFor(config, span, 40);
+  double sim_seconds = 0;
+  for (auto _ : state) {
+    EngineOptions eo;
+    eo.sim_start = 0;
+    eo.sim_end = span;
+    eo.record_history = false;
+    SimulationEngine engine(config, jobs, MakeBuiltinScheduler("fcfs", "easy"), eo);
+    engine.Run();
+    sim_seconds += static_cast<double>(span);
+    benchmark::DoNotOptimize(engine.counters().completed);
+  }
+  state.SetLabel(config.name);
+  state.counters["sim_s_per_wall_s"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+}
+
+void BM_SchedulerInvocation(benchmark::State& state) {
+  // Cost of one full schedule recomputation with a deep queue.
+  const int queue_depth = static_cast<int>(state.range(0));
+  std::vector<Job> jobs;
+  JobQueue queue;
+  for (int i = 0; i < queue_depth; ++i) {
+    Job j;
+    j.id = i + 1;
+    j.submit_time = i;
+    j.recorded_start = i;
+    j.recorded_end = i + 600 + i % 1000;
+    j.time_limit = 2000;
+    j.nodes_required = 1 + i % 64;
+    j.priority = i % 17;
+    jobs.push_back(std::move(j));
+    queue.Push(i);
+  }
+  ResourceManager rm(128);
+  rm.Allocate(100);  // mostly busy: the backfill path does real work
+  std::vector<RunningJobView> running = {{9000, 100, 5000}};
+  BuiltinScheduler sched(Policy::kPriority, BackfillMode::kEasy);
+  SchedulerContext ctx;
+  ctx.now = 1000000;
+  ctx.jobs = &jobs;
+  ctx.queue = &queue;
+  ctx.rm = &rm;
+  ctx.running = &running;
+  for (auto _ : state) {
+    auto placements = sched.Schedule(ctx);
+    benchmark::DoNotOptimize(placements);
+  }
+  state.counters["queue_depth"] = queue_depth;
+}
+
+void BM_ResourceManagerChurn(benchmark::State& state) {
+  // Allocate/release churn at machine scale (Fugaku-sized pool).
+  const int total = static_cast<int>(state.range(0));
+  ResourceManager rm(total);
+  std::vector<std::vector<int>> live;
+  unsigned s = 99;
+  for (auto _ : state) {
+    s = s * 1664525u + 1013904223u;
+    if ((s >> 16) % 2 == 0 && rm.CanAllocate(256)) {
+      live.push_back(rm.Allocate(1 + (s >> 20) % 256));
+    } else if (!live.empty()) {
+      rm.Release(live.back());
+      live.pop_back();
+    }
+  }
+  state.counters["nodes"] = total;
+}
+
+BENCHMARK(BM_EngineTicksPerSecond)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SchedulerInvocation)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ResourceManagerChurn)->Arg(9600)->Arg(158976);
+
+}  // namespace
+}  // namespace sraps

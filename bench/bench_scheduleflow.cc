@@ -1,0 +1,82 @@
+// §4.2.1: ScheduleFlow coupling overhead.  The paper reports that the
+// event-based ScheduleFlow, which recomputes its full reservation plan on
+// every event and keeps its own copy of system state, couples correctly but
+// "initiates frequent recalculation of the schedule incurring large
+// overheads" — usable for synthetic runs, too slow for the real datasets.
+// This bench quantifies that: wall time and plan recomputations for the
+// bridge vs the built-in scheduler on identical synthetic workloads.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "dataloaders/replay_synth.h"
+#include "engine/simulation_engine.h"
+#include "extsched/external_bridge.h"
+#include "extsched/scheduleflow.h"
+#include "sched/builtin_scheduler.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+std::vector<Job> MakeJobs(int count_scale) {
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 6 * kHour;
+  wl.arrival_rate_per_hour = 15.0 * count_scale;
+  wl.max_nodes = 12;
+  wl.mean_nodes_log2 = 1.8;
+  wl.runtime_mu = 7.0;
+  wl.runtime_sigma = 0.8;
+  wl.seed = 55;
+  std::vector<Job> jobs = GenerateSyntheticWorkload(wl);
+  ReplaySynthesisOptions rs;
+  rs.total_nodes = 16;
+  SynthesizeRecordedSchedule(jobs, rs);
+  return jobs;
+}
+
+void BM_ScheduleFlowCoupling(benchmark::State& state) {
+  const auto jobs = MakeJobs(static_cast<int>(state.range(0)));
+  std::size_t completed = 0, recomputations = 0;
+  for (auto _ : state) {
+    auto sf = std::make_unique<ScheduleFlowSim>(16);
+    ScheduleFlowSim* sf_raw = sf.get();
+    EngineOptions eo;
+    eo.sim_start = 0;
+    eo.sim_end = 12 * kHour;
+    eo.record_history = false;
+    SimulationEngine engine(MakeSystemConfig("mini"), jobs,
+                            std::make_unique<ExternalSchedulerBridge>(std::move(sf)),
+                            eo);
+    engine.Run();
+    completed = engine.counters().completed;
+    recomputations = sf_raw->plan_recomputations();
+  }
+  state.counters["jobs"] = static_cast<double>(completed);
+  state.counters["plan_recomputations"] = static_cast<double>(recomputations);
+}
+
+void BM_BuiltinBaseline(benchmark::State& state) {
+  const auto jobs = MakeJobs(static_cast<int>(state.range(0)));
+  std::size_t completed = 0, invocations = 0;
+  for (auto _ : state) {
+    EngineOptions eo;
+    eo.sim_start = 0;
+    eo.sim_end = 12 * kHour;
+    eo.record_history = false;
+    SimulationEngine engine(MakeSystemConfig("mini"), jobs,
+                            MakeBuiltinScheduler("fcfs", "easy"), eo);
+    engine.Run();
+    completed = engine.counters().completed;
+    invocations = engine.counters().scheduler_invocations;
+  }
+  state.counters["jobs"] = static_cast<double>(completed);
+  state.counters["scheduler_invocations"] = static_cast<double>(invocations);
+}
+
+BENCHMARK(BM_ScheduleFlowCoupling)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuiltinBaseline)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,106 @@
+// Table 1: systems and datasets used in the study.  Regenerates the table's
+// rows from the system configurations and the synthetic dataset generators
+// (job counts are scaled-down but proportioned like the originals), and
+// measures dataset generation + load time per system.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "dataloaders/adastra.h"
+#include "dataloaders/dataloader.h"
+#include "dataloaders/frontier.h"
+#include "dataloaders/fugaku.h"
+#include "dataloaders/lassen.h"
+#include "dataloaders/marconi.h"
+
+namespace sraps {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Row {
+  std::string system;
+  std::string architecture;
+  int nodes;
+  std::string scheduler;
+  std::size_t job_count;
+  std::string characteristics;
+};
+
+Row MakeRow(const std::string& system, std::size_t jobs, const std::string& chars) {
+  const SystemConfig c = MakeSystemConfig(system);
+  return {system, c.architecture, c.TotalNodes(), c.scheduler_name, jobs, chars};
+}
+
+void PrintTable(const std::vector<Row>& rows) {
+  std::printf("\n=== Table 1: systems and datasets (synthetic, scaled) ===\n");
+  std::printf("%-14s %-16s %8s %-12s %9s  %s\n", "System", "Architecture", "Nodes",
+              "Scheduler", "Jobs", "Characteristics");
+  for (const Row& r : rows) {
+    std::printf("%-14s %-16s %8d %-12s %9zu  %s\n", r.system.c_str(),
+                r.architecture.c_str(), r.nodes, r.scheduler.c_str(), r.job_count,
+                r.characteristics.c_str());
+  }
+}
+
+void BM_Table1(benchmark::State& state) {
+  std::vector<Row> rows;
+  for (auto _ : state) {
+    const fs::path dir = fs::temp_directory_path() / "sraps_bench_table1";
+    fs::remove_all(dir);
+    rows.clear();
+
+    FrontierDatasetSpec fr;
+    fr.span = 2 * kDay;
+    const auto frontier = GenerateFrontierDataset((dir / "frontier").string(), fr);
+    rows.push_back(MakeRow("frontier", frontier.size(),
+                           "job traces (15s), CPU/GPU power & temp."));
+
+    MarconiDatasetSpec ma;
+    ma.span = 2 * kDay;
+    const auto marconi = GenerateMarconiDataset((dir / "marconi100").string(), ma);
+    rows.push_back(MakeRow("marconi100", marconi.size(),
+                           "job traces (20s), CPU/node power"));
+
+    FugakuDatasetSpec fu;
+    fu.span = kDay;
+    fu.low_rate_per_hour = 200;
+    fu.high_load_start = 2 * kDay;
+    fu.scale_nodes = 2048;
+    const auto fugaku = GenerateFugakuDataset((dir / "fugaku").string(), fu);
+    rows.push_back(MakeRow("fugaku", fugaku.size(),
+                           "job summary, node-level power only"));
+
+    LassenDatasetSpec la;
+    la.span = 2 * kDay;
+    const auto lassen = GenerateLassenDataset((dir / "lassen").string(), la);
+    rows.push_back(MakeRow("lassen", lassen.size(),
+                           "job summary, includes network tx/rx"));
+
+    AdastraDatasetSpec ad;
+    ad.span = 4 * kDay;
+    const auto adastra = GenerateAdastraDataset((dir / "adastraMI250").string(), ad);
+    rows.push_back(MakeRow("adastraMI250", adastra.size(),
+                           "job summary, job avg component power"));
+
+    // Verify each dataset loads back through its registered dataloader.
+    RegisterBuiltinDataloaders();
+    std::size_t loaded = 0;
+    for (const Row& r : rows) {
+      loaded += DataloaderRegistry::Instance()
+                    .Get(r.system)
+                    .Load((dir / r.system).string())
+                    .size();
+    }
+    state.counters["jobs_loaded"] = static_cast<double>(loaded);
+    fs::remove_all(dir);
+  }
+  PrintTable(rows);
+}
+
+BENCHMARK(BM_Table1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace sraps

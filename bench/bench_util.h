@@ -1,0 +1,97 @@
+// Shared helpers for the figure-reproduction benches.  Each bench binary
+// regenerates one table or figure of the paper: it builds the workload,
+// runs the simulation per policy, prints the figure's rows/series summary to
+// stdout, and exports the full time series as CSV under bench_results/ for
+// plotting.  Absolute numbers will differ from the paper (synthetic data,
+// different substrate); the *shape* — who wins, by what factor, where the
+// crossovers are — is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/mathutil.h"
+#include "core/simulation.h"
+
+namespace sraps::bench {
+
+inline std::string ResultsDir() {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results";
+}
+
+/// Summary of one policy run, used by most figure benches.
+struct PolicyRun {
+  std::string label;
+  std::size_t completed = 0;
+  double mean_power_kw = 0;
+  double max_power_kw = 0;
+  double power_sd_kw = 0;
+  double mean_util = 0;
+  double max_util = 0;
+  double avg_wait_s = 0;
+  double avg_turnaround_s = 0;
+  double mean_pue = 0;
+  double max_tower_c = 0;
+  double wall_s = 0;
+  double speedup = 0;
+};
+
+/// Runs one simulation and collects the standard summary; optionally saves
+/// the artifact output files under bench_results/<tag>/<label>/.
+inline PolicyRun RunPolicy(SimulationOptions opts, const std::string& label,
+                           const std::string& save_tag = "") {
+  Simulation sim(std::move(opts));
+  sim.Run();
+  PolicyRun r;
+  r.label = label;
+  const auto& eng = sim.engine();
+  r.completed = eng.counters().completed;
+  if (eng.recorder().Has("power_kw")) {
+    r.mean_power_kw = eng.recorder().MeanOf("power_kw");
+    r.max_power_kw = eng.recorder().MaxOf("power_kw");
+    const auto& ch = eng.recorder().Get("power_kw");
+    r.power_sd_kw = StdDev(ch.values);
+    r.mean_util = eng.recorder().MeanOf("utilization");
+    r.max_util = eng.recorder().MaxOf("utilization");
+  }
+  if (eng.recorder().Has("pue")) {
+    r.mean_pue = eng.recorder().MeanOf("pue");
+    r.max_tower_c = eng.recorder().MaxOf("tower_return_c");
+  }
+  r.avg_wait_s = eng.stats().AvgWaitSeconds();
+  r.avg_turnaround_s = eng.stats().AvgTurnaroundSeconds();
+  r.wall_s = sim.wall_seconds();
+  r.speedup = sim.SpeedupVsRealtime();
+  if (!save_tag.empty()) {
+    sim.SaveOutputs(ResultsDir() + "/" + save_tag + "/" + label);
+  }
+  return r;
+}
+
+inline void PrintHeader(const char* what) {
+  std::printf("\n=== %s ===\n", what);
+  std::printf("%-22s %6s %11s %11s %10s %9s %9s\n", "policy", "jobs", "power[kW]",
+              "sd[kW]", "util[%]", "wait[s]", "turn[s]");
+}
+
+inline void PrintRun(const PolicyRun& r) {
+  std::printf("%-22s %6zu %11.1f %11.1f %10.1f %9.0f %9.0f\n", r.label.c_str(),
+              r.completed, r.mean_power_kw, r.power_sd_kw, r.mean_util, r.avg_wait_s,
+              r.avg_turnaround_s);
+}
+
+/// Attaches the standard summary counters to a benchmark state.
+inline void ReportCounters(benchmark::State& state, const PolicyRun& r) {
+  state.counters["jobs"] = static_cast<double>(r.completed);
+  state.counters["power_kw"] = r.mean_power_kw;
+  state.counters["util_pct"] = r.mean_util;
+  state.counters["wait_s"] = r.avg_wait_s;
+  state.counters["speedup_x"] = r.speedup;
+}
+
+}  // namespace sraps::bench

@@ -1,0 +1,195 @@
+// Command-line front end mirroring the paper artifact's `python main.py`
+// surface, plus dataset generation so every run works offline:
+//
+//   # generate a PM100-shaped dataset, then replay it
+//   ./sraps_cli --generate marconi100 --data ~/data/marconi100
+//   ./sraps_cli --system marconi100 -f ~/data/marconi100 \
+//       --scheduler default --policy replay -o out/replay
+//
+//   # reschedule with EASY backfill over a sub-window
+//   ./sraps_cli --system marconi100 -f ~/data/marconi100 \
+//       --policy fcfs --backfill easy -ff 4h -t 17h -o out/fcfs-easy
+//
+//   # two-phase incentive study
+//   ./sraps_cli --system marconi100 -f DATA --policy replay --accounts -o out/collect
+//   ./sraps_cli --system marconi100 -f DATA --scheduler experimental \
+//       --policy acct_fugaku_pts --backfill firstfit \
+//       --accounts-json out/collect/accounts.json -o out/redeem
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/simulation.h"
+#include "core/validate.h"
+#include "common/log.h"
+#include "dataloaders/adastra.h"
+#include "dataloaders/frontier.h"
+#include "dataloaders/fugaku.h"
+#include "dataloaders/lassen.h"
+#include "dataloaders/marconi.h"
+
+using namespace sraps;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "sraps_cli — scheduled digital-twin simulator (S-RAPS reproduction)\n\n"
+      "usage: sraps_cli [options]\n"
+      "  --system NAME        frontier|marconi100|fugaku|lassen|adastraMI250|mini\n"
+      "  -f, --data PATH      dataset directory (jobs.csv [+ traces.csv])\n"
+      "  --scheduler NAME     default|experimental|scheduleflow|fastsim\n"
+      "  --policy NAME        replay|fcfs|sjf|ljf|priority|ml|acct_*\n"
+      "  --backfill NAME      none|firstfit|easy|conservative\n"
+      "  -ff DURATION         fast-forward into the dataset (e.g. 4h, 35d, 61000)\n"
+      "  -t DURATION          simulation length (default: to dataset end)\n"
+      "  -c, --cooling        couple the cooling model (frontier, mini)\n"
+      "  --accounts           accumulate per-account statistics\n"
+      "  --accounts-json P    reload a collection run's accounts.json\n"
+      "  --tick SECONDS       override the engine tick\n"
+      "  --power-cap KW       facility power cap what-if (throttles + dilates)\n"
+      "  --validate           compare the realised schedule to the recorded one\n"
+      "  --report             also write a self-contained report.html\n"
+      "  -o, --output DIR     write history.csv/stats.out/job_history.csv[/accounts.json]\n"
+      "  --generate SYSTEM    generate a synthetic dataset into --data and exit\n"
+      "                       (also: frontier-fig6 for the hero-run scenario)\n"
+      "  -v                   verbose logging\n");
+}
+
+bool NextArg(int argc, char** argv, int& i, std::string& out) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", argv[i]);
+    return false;
+  }
+  out = argv[++i];
+  return true;
+}
+
+int Generate(const std::string& system, const std::string& dir) {
+  if (dir.empty()) {
+    std::fprintf(stderr, "--generate requires --data DIR\n");
+    return 2;
+  }
+  std::size_t n = 0;
+  if (system == "marconi100") {
+    n = GenerateMarconiDataset(dir).size();
+  } else if (system == "frontier") {
+    n = GenerateFrontierDataset(dir).size();
+  } else if (system == "frontier-fig6") {
+    n = GenerateFrontierFig6Scenario(dir).size();
+  } else if (system == "fugaku") {
+    n = GenerateFugakuDataset(dir).size();
+  } else if (system == "lassen") {
+    n = GenerateLassenDataset(dir).size();
+  } else if (system == "adastraMI250") {
+    n = GenerateAdastraDataset(dir).size();
+  } else {
+    std::fprintf(stderr, "unknown generator '%s'\n", system.c_str());
+    return 2;
+  }
+  std::printf("generated %zu jobs under %s\n", n, dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  std::string output_dir;
+  std::string generate_system;
+  bool validate = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string v;
+    if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+      Usage();
+      return 0;
+    } else if (!std::strcmp(a, "--system")) {
+      if (!NextArg(argc, argv, i, opts.system)) return 2;
+    } else if (!std::strcmp(a, "-f") || !std::strcmp(a, "--data")) {
+      if (!NextArg(argc, argv, i, opts.dataset_path)) return 2;
+    } else if (!std::strcmp(a, "--scheduler")) {
+      if (!NextArg(argc, argv, i, opts.scheduler)) return 2;
+    } else if (!std::strcmp(a, "--policy")) {
+      if (!NextArg(argc, argv, i, opts.policy)) return 2;
+    } else if (!std::strcmp(a, "--backfill")) {
+      if (!NextArg(argc, argv, i, opts.backfill)) return 2;
+    } else if (!std::strcmp(a, "-ff")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      const auto d = ParseDuration(v);
+      if (!d) {
+        std::fprintf(stderr, "bad duration '%s'\n", v.c_str());
+        return 2;
+      }
+      opts.fast_forward = *d;
+    } else if (!std::strcmp(a, "-t")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      const auto d = ParseDuration(v);
+      if (!d) {
+        std::fprintf(stderr, "bad duration '%s'\n", v.c_str());
+        return 2;
+      }
+      opts.duration = *d;
+    } else if (!std::strcmp(a, "--tick")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      opts.tick = std::stoll(v);
+    } else if (!std::strcmp(a, "-c") || !std::strcmp(a, "--cooling")) {
+      opts.cooling = true;
+    } else if (!std::strcmp(a, "--accounts")) {
+      opts.accounts = true;
+    } else if (!std::strcmp(a, "--accounts-json")) {
+      if (!NextArg(argc, argv, i, opts.accounts_json)) return 2;
+    } else if (!std::strcmp(a, "-o") || !std::strcmp(a, "--output")) {
+      if (!NextArg(argc, argv, i, output_dir)) return 2;
+    } else if (!std::strcmp(a, "--generate")) {
+      if (!NextArg(argc, argv, i, generate_system)) return 2;
+    } else if (!std::strcmp(a, "--power-cap")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      opts.power_cap_w = std::stod(v) * 1000.0;
+    } else if (!std::strcmp(a, "--validate")) {
+      validate = true;
+    } else if (!std::strcmp(a, "--report")) {
+      opts.html_report = true;
+    } else if (!std::strcmp(a, "-v")) {
+      SetLogLevel(LogLevel::kInfo);
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (see --help)\n", a);
+      return 2;
+    }
+  }
+
+  try {
+    if (!generate_system.empty()) return Generate(generate_system, opts.dataset_path);
+    if (opts.dataset_path.empty()) {
+      std::fprintf(stderr, "no dataset: pass -f DIR (or --generate SYSTEM first)\n");
+      return 2;
+    }
+    Simulation sim(opts);
+    std::printf("simulating %s [%s .. %s] policy=%s backfill=%s scheduler=%s\n",
+                opts.system.c_str(), FormatTime(sim.sim_start()).c_str(),
+                FormatTime(sim.sim_end()).c_str(), opts.policy.c_str(),
+                opts.backfill.c_str(), opts.scheduler.c_str());
+    sim.Run();
+    const auto& eng = sim.engine();
+    std::printf("completed %zu jobs (%zu dismissed, %zu prepopulated) in %.2f s "
+                "(%.0fx realtime)\n",
+                eng.counters().completed, eng.counters().dismissed,
+                eng.counters().prepopulated, sim.wall_seconds(),
+                sim.SpeedupVsRealtime());
+    std::printf("%s\n", eng.stats().ToJson().Dump(2).c_str());
+    if (validate) {
+      std::printf("validation vs recorded schedule:\n%s\n",
+                  ValidateAgainstRecorded(eng).ToJson().Dump(2).c_str());
+    }
+    if (!output_dir.empty()) {
+      sim.SaveOutputs(output_dir);
+      std::printf("outputs written to %s/\n", output_dir.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

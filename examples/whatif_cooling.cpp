@@ -1,0 +1,65 @@
+// What-if study with the full power + cooling twin (the paper's Fig. 6
+// scenario): a Frontier-like day where the machine drains for three
+// back-to-back 9216-node hero runs.  Compares scheduling policies on
+// utilisation, power, PUE, and cooling-tower return temperature.
+//
+//   ./whatif_cooling
+#include <cstdio>
+#include <filesystem>
+
+#include "core/simulation.h"
+#include "dataloaders/frontier.h"
+
+using namespace sraps;
+
+int main() {
+  namespace fs = std::filesystem;
+  const std::string data_dir = "fig6_data";
+  const std::string out_dir = "cooling_results";
+
+  FrontierFig6Spec spec;
+  const auto jobs = GenerateFrontierFig6Scenario(data_dir, spec);
+  std::printf("Fig. 6 scenario: %zu jobs incl. three %d-node hero runs on Frontier "
+              "(9600 nodes).\n\n",
+              jobs.size(), spec.full_system_nodes);
+
+  const char* configs[][2] = {{"replay", "none"},
+                              {"fcfs", "none"},
+                              {"fcfs", "easy"},
+                              {"priority", "firstfit"}};
+  std::printf("%-18s %10s %10s %8s %12s %14s\n", "policy", "util[%]", "power[MW]",
+              "PUE", "maxTower[C]", "1st hero start");
+  for (const auto& cfg : configs) {
+    SimulationOptions opts;
+    opts.system = "frontier";
+    opts.dataset_path = data_dir;
+    opts.policy = cfg[0];
+    opts.backfill = cfg[1];
+    opts.cooling = true;  // couple the transient thermo-fluid model
+    opts.tick = 60;       // 1-minute ticks keep the example snappy
+    Simulation sim(opts);
+    sim.Run();
+
+    // When does the first hero run start under this policy?
+    SimTime first_hero = -1;
+    for (const Job& j : sim.engine().jobs()) {
+      if (j.nodes_required == spec.full_system_nodes && j.start >= 0) {
+        if (first_hero < 0 || j.start < first_hero) first_hero = j.start;
+      }
+    }
+    const std::string label = std::string(cfg[0]) + "-" + cfg[1];
+    std::printf("%-18s %10.1f %10.2f %8.3f %12.2f %11.1f h\n", label.c_str(),
+                sim.engine().recorder().MeanOf("utilization"),
+                sim.engine().recorder().MeanOf("power_kw") / 1000.0,
+                sim.engine().recorder().MeanOf("pue"),
+                sim.engine().recorder().MaxOf("tower_return_c"),
+                first_hero / 3600.0);
+    sim.SaveOutputs(out_dir + "/" + label);
+  }
+  std::printf("\nRescheduling starts the heroes earlier than the recorded drain, and\n"
+              "backfilled policies fill the drain with small jobs — the utilisation,\n"
+              "power, PUE, and tower-temperature curves are in %s/<policy>/history.csv.\n",
+              out_dir.c_str());
+  fs::remove_all(data_dir);
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "accounts/accounts.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace sraps {
+
+double AccountStats::AvgPowerW() const {
+  if (node_seconds <= 0.0) return 0.0;
+  // energy / node-busy-time = mean per-node power of the account's jobs.
+  return energy_j / node_seconds;
+}
+
+double AccountStats::AvgEdp() const {
+  if (jobs_completed == 0) return 0.0;
+  return edp_sum / static_cast<double>(jobs_completed);
+}
+
+void AccountRegistry::RecordCompletion(const Job& job, double energy_j) {
+  if (job.end < 0 || job.start < 0) {
+    throw std::logic_error("AccountRegistry: job " + std::to_string(job.id) +
+                           " has not completed");
+  }
+  AccountStats& s = GetOrCreate(job.account);
+  const double runtime = static_cast<double>(job.Runtime());
+  const double area = job.NodeSeconds();
+  s.jobs_completed += 1;
+  s.node_seconds += area;
+  s.energy_j += energy_j;
+  s.edp_sum += energy_j * runtime;
+  s.ed2p_sum += energy_j * runtime * runtime;
+  s.wait_seconds += static_cast<double>(job.WaitTime());
+  s.turnaround_seconds += static_cast<double>(job.Turnaround());
+  // Fugaku points: node-hours scaled by how far below the reference power the
+  // job ran.  A job at the reference earns nothing; at idle it earns the full
+  // points_per_node_hour; above the reference it loses points.
+  const double avg_node_power = area > 0.0 ? energy_j / area : 0.0;
+  const double rel_saving =
+      (params_.reference_node_power_w - avg_node_power) / params_.reference_node_power_w;
+  const double node_hours = area / 3600.0;
+  s.fugaku_points += params_.points_per_node_hour * rel_saving * node_hours;
+}
+
+AccountStats& AccountRegistry::GetOrCreate(const std::string& account) {
+  auto [it, inserted] = stats_.try_emplace(account);
+  if (inserted) it->second.account = account;
+  return it->second;
+}
+
+const AccountStats& AccountRegistry::Get(const std::string& account) const {
+  auto it = stats_.find(account);
+  if (it == stats_.end()) {
+    throw std::out_of_range("AccountRegistry: unknown account '" + account + "'");
+  }
+  return it->second;
+}
+
+AccountStats AccountRegistry::GetOrZero(const std::string& account) const {
+  auto it = stats_.find(account);
+  if (it == stats_.end()) {
+    AccountStats s;
+    s.account = account;
+    return s;
+  }
+  return it->second;
+}
+
+std::vector<std::string> AccountRegistry::AccountNames() const {
+  std::vector<std::string> names;
+  names.reserve(stats_.size());
+  for (const auto& [name, s] : stats_) names.push_back(name);
+  return names;
+}
+
+std::string AccountRegistry::ToJson() const {
+  JsonObject root;
+  JsonObject params;
+  params["reference_node_power_w"] = params_.reference_node_power_w;
+  params["points_per_node_hour"] = params_.points_per_node_hour;
+  root["params"] = JsonValue(std::move(params));
+  JsonObject accounts;
+  for (const auto& [name, s] : stats_) {
+    JsonObject a;
+    a["jobs_completed"] = JsonValue(s.jobs_completed);
+    a["node_seconds"] = s.node_seconds;
+    a["energy_j"] = s.energy_j;
+    a["edp_sum"] = s.edp_sum;
+    a["ed2p_sum"] = s.ed2p_sum;
+    a["wait_seconds"] = s.wait_seconds;
+    a["turnaround_seconds"] = s.turnaround_seconds;
+    a["fugaku_points"] = s.fugaku_points;
+    accounts[name] = JsonValue(std::move(a));
+  }
+  root["accounts"] = JsonValue(std::move(accounts));
+  return JsonValue(std::move(root)).Dump(2);
+}
+
+AccountRegistry AccountRegistry::FromJson(const std::string& json) {
+  const JsonValue root = JsonValue::Parse(json);
+  FugakuPointsParams params;
+  const auto& obj = root.AsObject();
+  if (auto it = obj.find("params"); it != obj.end()) {
+    params.reference_node_power_w =
+        it->second.GetDouble("reference_node_power_w", params.reference_node_power_w);
+    params.points_per_node_hour =
+        it->second.GetDouble("points_per_node_hour", params.points_per_node_hour);
+  }
+  AccountRegistry reg(params);
+  for (const auto& [name, a] : root.At("accounts").AsObject()) {
+    AccountStats& s = reg.GetOrCreate(name);
+    s.jobs_completed = a.GetInt("jobs_completed", 0);
+    s.node_seconds = a.GetDouble("node_seconds", 0);
+    s.energy_j = a.GetDouble("energy_j", 0);
+    s.edp_sum = a.GetDouble("edp_sum", 0);
+    s.ed2p_sum = a.GetDouble("ed2p_sum", 0);
+    s.wait_seconds = a.GetDouble("wait_seconds", 0);
+    s.turnaround_seconds = a.GetDouble("turnaround_seconds", 0);
+    s.fugaku_points = a.GetDouble("fugaku_points", 0);
+  }
+  return reg;
+}
+
+void AccountRegistry::Save(const std::string& path) const {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("AccountRegistry: cannot write " + path);
+  out << ToJson() << "\n";
+}
+
+AccountRegistry AccountRegistry::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("AccountRegistry: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return FromJson(ss.str());
+}
+
+}  // namespace sraps

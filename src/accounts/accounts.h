@@ -1,0 +1,84 @@
+// Account-level accumulation (§3.2.6, §4.3): every completed job's behaviour
+// is credited to its issuing account.  The registry can be saved and
+// reloaded across simulations — the paper's two-phase incentive workflow
+// (collection run with `--accounts`, then redeeming runs that reload
+// accounts.json and prioritise by accumulated behaviour).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Accumulated behaviour of one account.
+struct AccountStats {
+  std::string account;
+  std::int64_t jobs_completed = 0;
+  double node_seconds = 0.0;      ///< sum of job areas (nodes * runtime)
+  double energy_j = 0.0;          ///< total energy attributed to the account
+  double edp_sum = 0.0;           ///< sum of per-job E*T   (J*s)
+  double ed2p_sum = 0.0;          ///< sum of per-job E*T^2 (J*s^2)
+  double wait_seconds = 0.0;      ///< sum of waits
+  double turnaround_seconds = 0.0;
+  double fugaku_points = 0.0;     ///< Solórzano et al. incentive score
+
+  /// Time-averaged power of the account's jobs: energy / node-busy time.
+  /// Falls back to 0 when the account has no recorded activity.
+  double AvgPowerW() const;
+  /// EDP per completed job.
+  double AvgEdp() const;
+};
+
+/// Reference used for Fugaku point scoring: the power level considered
+/// "nominal" for one node.  Jobs below the reference earn points, above lose
+/// them, proportional to node-hours — a faithful miniature of the
+/// collection-phase mechanism in Solórzano et al. (SC'24).
+struct FugakuPointsParams {
+  double reference_node_power_w = 250.0;
+  double points_per_node_hour = 100.0;  ///< full score when P_avg = 0
+};
+
+class AccountRegistry {
+ public:
+  AccountRegistry() = default;
+  explicit AccountRegistry(FugakuPointsParams params) : params_(params) {}
+
+  /// Credits a completed job.  `energy_j` is the simulated energy of the
+  /// whole job (all nodes); wait/turnaround/runtime come from the job record.
+  void RecordCompletion(const Job& job, double energy_j);
+
+  /// Number of known accounts.
+  std::size_t size() const { return stats_.size(); }
+  bool Has(const std::string& account) const { return stats_.count(account) != 0; }
+
+  /// Stats for an account; creates an empty record on first touch.
+  AccountStats& GetOrCreate(const std::string& account);
+  /// Read access; throws std::out_of_range for unknown accounts.
+  const AccountStats& Get(const std::string& account) const;
+  /// Read access that tolerates unknown accounts (returns zeros).
+  AccountStats GetOrZero(const std::string& account) const;
+
+  std::vector<std::string> AccountNames() const;
+
+  const FugakuPointsParams& params() const { return params_; }
+
+  /// Serialises to the accounts.json format of the artifact (a JSON object
+  /// keyed by account name).  Deterministic key order.
+  std::string ToJson() const;
+  /// Parses ToJson() output.  Throws std::runtime_error on malformed input.
+  static AccountRegistry FromJson(const std::string& json);
+
+  void Save(const std::string& path) const;
+  static AccountRegistry Load(const std::string& path);
+
+ private:
+  FugakuPointsParams params_;
+  std::map<std::string, AccountStats> stats_;
+};
+
+}  // namespace sraps

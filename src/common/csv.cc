@@ -1,0 +1,186 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sraps {
+namespace {
+
+std::vector<std::vector<std::string>> ParseRows(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // the next field exists even if empty
+        break;
+      case '\r':
+        break;  // swallow; \n ends the row
+      case '\n':
+        if (!row.empty() || !field.empty() || field_started) end_row();
+        break;
+      default:
+        field += c;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("CSV: unterminated quoted field");
+  if (!row.empty() || !field.empty() || field_started) end_row();
+  return rows;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header,
+                   std::vector<std::vector<std::string>> rows)
+    : header_(std::move(header)), rows_(std::move(rows)) {
+  for (std::size_t i = 0; i < header_.size(); ++i) index_[header_[i]] = i;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].size() != header_.size()) {
+      throw std::runtime_error("CSV: row " + std::to_string(r) + " has " +
+                               std::to_string(rows_[r].size()) + " cells, header has " +
+                               std::to_string(header_.size()));
+    }
+  }
+}
+
+CsvTable CsvTable::Parse(const std::string& text) {
+  auto rows = ParseRows(text);
+  if (rows.empty()) throw std::runtime_error("CSV: empty input");
+  std::vector<std::string> header = std::move(rows.front());
+  rows.erase(rows.begin());
+  return CsvTable(std::move(header), std::move(rows));
+}
+
+CsvTable CsvTable::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("CSV: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+std::optional<std::size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& CsvTable::Cell(std::size_t row, std::size_t col) const {
+  if (row >= rows_.size() || col >= header_.size()) {
+    throw std::out_of_range("CSV: cell out of range");
+  }
+  return rows_[row][col];
+}
+
+const std::string& CsvTable::Cell(std::size_t row, const std::string& column) const {
+  auto col = ColumnIndex(column);
+  if (!col) throw std::out_of_range("CSV: no column '" + column + "'");
+  return Cell(row, *col);
+}
+
+std::optional<double> CsvTable::GetDouble(std::size_t row, const std::string& column) const {
+  const std::string& cell = Cell(row, column);
+  if (cell.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) {
+    throw std::runtime_error("CSV: '" + cell + "' is not a number in column " + column);
+  }
+  return v;
+}
+
+std::optional<std::int64_t> CsvTable::GetInt(std::size_t row, const std::string& column) const {
+  const std::string& cell = Cell(row, column);
+  if (cell.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (end != cell.c_str() + cell.size()) {
+    throw std::runtime_error("CSV: '" + cell + "' is not an integer in column " + column);
+  }
+  return v;
+}
+
+std::string CsvQuote(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out += ',';
+    out += CsvQuote(header_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += CsvQuote(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void CsvWriter::Save(const std::string& path) const {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("CsvWriter: cannot write " + path);
+  out << ToString();
+}
+
+}  // namespace sraps

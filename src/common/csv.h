@@ -1,0 +1,73 @@
+// Minimal CSV reading/writing used by the dataloaders and output recorders.
+//
+// The paper's artifacts consume parquet; offline we standardise on CSV with
+// identical column names so every dataloader exercises the same parsing,
+// validation, and unit-handling logic the real loaders need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sraps {
+
+/// One parsed CSV table: a header and row-major cells.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  CsvTable(std::vector<std::string> header, std::vector<std::vector<std::string>> rows);
+
+  /// Parses CSV text.  Handles quoted fields with embedded commas/quotes and
+  /// both \n and \r\n line endings.  Throws std::runtime_error on ragged rows.
+  static CsvTable Parse(const std::string& text);
+
+  /// Reads and parses a CSV file.  Throws std::runtime_error if unreadable.
+  static CsvTable Load(const std::string& path);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Column index for a header name; nullopt if absent.
+  std::optional<std::size_t> ColumnIndex(const std::string& name) const;
+
+  /// Raw cell access (bounds-checked).
+  const std::string& Cell(std::size_t row, std::size_t col) const;
+  const std::string& Cell(std::size_t row, const std::string& column) const;
+
+  /// Typed accessors.  Empty cells yield nullopt; malformed cells throw.
+  std::optional<double> GetDouble(std::size_t row, const std::string& column) const;
+  std::optional<std::int64_t> GetInt(std::size_t row, const std::string& column) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Serialises the table (header + rows) to a string.
+  std::string ToString() const;
+
+  /// Writes to a file, creating parent directories if needed.
+  void Save(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a single CSV field if it contains a comma, quote, or newline.
+std::string CsvQuote(const std::string& field);
+
+}  // namespace sraps

@@ -1,0 +1,64 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace sraps {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2) throw std::invalid_argument("Histogram: need >= 2 edges");
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i] <= edges_[i - 1]) {
+      throw std::invalid_argument("Histogram: edges must be strictly increasing");
+    }
+  }
+  counts_.assign(edges_.size() - 1, 0.0);
+  labels_.resize(counts_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    std::ostringstream ss;
+    ss << "[" << edges_[i] << "," << edges_[i + 1] << ")";
+    labels_[i] = ss.str();
+  }
+}
+
+Histogram::Histogram(std::vector<double> edges, std::vector<std::string> labels)
+    : Histogram(std::move(edges)) {
+  if (labels.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram: labels.size() must equal bucket count");
+  }
+  labels_ = std::move(labels);
+}
+
+std::size_t Histogram::BucketOf(double value) const {
+  if (value < edges_.front() || value >= edges_.back()) return SIZE_MAX;
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+void Histogram::Add(double value, double weight) {
+  if (value < edges_.front()) {
+    underflow_ += weight;
+  } else if (value >= edges_.back()) {
+    overflow_ += weight;
+  } else {
+    counts_[BucketOf(value)] += weight;
+  }
+}
+
+double Histogram::Total() const {
+  double t = underflow_ + overflow_;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    ss << labels_[i] << ": " << counts_[i] << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace sraps

@@ -1,0 +1,47 @@
+// Fixed-edge histogram used by the systems-accounting layer (e.g. the
+// small/medium/large job-size histogram of §3.2.6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sraps {
+
+class Histogram {
+ public:
+  /// Edges must be strictly increasing; bucket i covers [edges[i], edges[i+1]).
+  /// Values below the first edge land in an underflow bucket, values at or
+  /// above the last edge in an overflow bucket.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Convenience: labelled buckets, e.g. {"small","medium","large"} with
+  /// edges {0, 128, 1024, 1e12}.  labels.size() must equal edges.size()-1.
+  Histogram(std::vector<double> edges, std::vector<std::string> labels);
+
+  void Add(double value, double weight = 1.0);
+
+  std::size_t num_buckets() const { return counts_.size(); }
+  double Count(std::size_t bucket) const { return counts_.at(bucket); }
+  double CountUnderflow() const { return underflow_; }
+  double CountOverflow() const { return overflow_; }
+  double Total() const;
+
+  const std::vector<double>& edges() const { return edges_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Bucket index for a value, or SIZE_MAX for under/overflow.
+  std::size_t BucketOf(double value) const;
+
+  /// "label: count" lines, one per bucket.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::string> labels_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace sraps

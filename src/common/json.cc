@@ -1,0 +1,350 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace sraps {
+
+JsonValue::JsonValue(JsonArray a)
+    : type_(Type::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+
+JsonValue::JsonValue(JsonObject o)
+    : type_(Type::kObject), object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+bool JsonValue::AsBool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("JSON: not a bool");
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("JSON: not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  return static_cast<std::int64_t>(std::llround(AsDouble()));
+}
+
+const std::string& JsonValue::AsString() const {
+  if (type_ != Type::kString) throw std::runtime_error("JSON: not a string");
+  return string_;
+}
+
+const JsonArray& JsonValue::AsArray() const {
+  if (type_ != Type::kArray) throw std::runtime_error("JSON: not an array");
+  return *array_;
+}
+
+const JsonObject& JsonValue::AsObject() const {
+  if (type_ != Type::kObject) throw std::runtime_error("JSON: not an object");
+  return *object_;
+}
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  const auto& obj = AsObject();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("JSON: missing key '" + key + "'");
+  return it->second;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const auto& obj = AsObject();
+  auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second.AsDouble();
+}
+
+std::int64_t JsonValue::GetInt(const std::string& key, std::int64_t fallback) const {
+  const auto& obj = AsObject();
+  auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second.AsInt();
+}
+
+namespace {
+
+void EscapeTo(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string NumberToString(double d) {
+  if (d == std::llround(d) && std::fabs(d) < 1e15) {
+    return std::to_string(std::llround(d));
+  }
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << d;
+  return ss.str();
+}
+
+void DumpTo(const JsonValue& v, std::string& out, int indent, int depth);
+
+void Indent(std::string& out, int indent, int depth) {
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+  }
+}
+
+void DumpTo(const JsonValue& v, std::string& out, int indent, int depth) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.AsBool() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: out += NumberToString(v.AsDouble()); break;
+    case JsonValue::Type::kString: EscapeTo(out, v.AsString()); break;
+    case JsonValue::Type::kArray: {
+      const auto& arr = v.AsArray();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& e : arr) {
+        if (!first) out += ',';
+        first = false;
+        Indent(out, indent, depth + 1);
+        DumpTo(e, out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      const auto& obj = v.AsObject();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj) {
+        if (!first) out += ',';
+        first = false;
+        Indent(out, indent, depth + 1);
+        EscapeTo(out, key);
+        out += indent > 0 ? ": " : ":";
+        DumpTo(value, out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return JsonValue(ParseString());
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  void ExpectEnd() {
+    SkipWs();
+    if (pos_ != text_.size()) Fail("trailing characters");
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonObject obj;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      obj[std::move(key)] = ParseValue();
+      SkipWs();
+      if (pos_ >= text_.size()) Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonArray arr;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(ParseValue());
+      SkipWs();
+      if (pos_ >= text_.size()) Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += h - '0';
+              else if (h >= 'a' && h <= 'f') code += 10 + h - 'a';
+              else if (h >= 'A' && h <= 'F') code += 10 + h - 'A';
+              else Fail("bad hex digit");
+            }
+            // UTF-8 encode the BMP code point (surrogates unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: Fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    Fail("unterminated string");
+  }
+
+  JsonValue ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue(false);
+    }
+    Fail("expected boolean");
+  }
+
+  JsonValue ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue();
+    }
+    Fail("expected null");
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) Fail("malformed number '" + token + "'");
+    return JsonValue(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::Parse(const std::string& text) {
+  Parser p(text);
+  JsonValue v = p.ParseValue();
+  p.ExpectEnd();
+  return v;
+}
+
+}  // namespace sraps

@@ -1,0 +1,71 @@
+// Minimal JSON value, writer, and recursive-descent parser.  The simulator
+// round-trips accounts.json (artifact workflow §4.3) and emits stats.out in
+// JSON; a dependency-free subset (objects, arrays, strings, numbers, bools,
+// null) is all that requires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sraps {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}                      // NOLINT
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}                // NOLINT
+  JsonValue(int i) : type_(Type::kNumber), number_(i) {}                   // NOLINT
+  JsonValue(std::int64_t i)                                                // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}           // NOLINT
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(JsonArray a);                                                  // NOLINT
+  JsonValue(JsonObject o);                                                 // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed access; throws std::runtime_error on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsInt() const;
+  const std::string& AsString() const;
+  const JsonArray& AsArray() const;
+  const JsonObject& AsObject() const;
+
+  /// Object member access; throws if not an object or key missing.
+  const JsonValue& At(const std::string& key) const;
+  /// Object member or fallback if missing (still throws if not an object).
+  double GetDouble(const std::string& key, double fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+
+  /// Serialises with 2-space indentation and deterministic key order.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses JSON text; throws std::runtime_error with position info.
+  static JsonValue Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+}  // namespace sraps

@@ -1,0 +1,43 @@
+// Tiny leveled logger.  The simulator is a library first: logging defaults to
+// warnings-only so tests and benches stay quiet, and the examples turn on
+// info-level progress output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sraps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level (default kWarn).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    ss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace sraps
+
+#define SRAPS_LOG_DEBUG ::sraps::internal::LogStream(::sraps::LogLevel::kDebug)
+#define SRAPS_LOG_INFO ::sraps::internal::LogStream(::sraps::LogLevel::kInfo)
+#define SRAPS_LOG_WARN ::sraps::internal::LogStream(::sraps::LogLevel::kWarn)
+#define SRAPS_LOG_ERROR ::sraps::internal::LogStream(::sraps::LogLevel::kError)

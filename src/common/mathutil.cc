@@ -1,0 +1,77 @@
+#include "common/mathutil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sraps {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return KahanSum(v) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) throw std::invalid_argument("Percentile: empty input");
+  p = Clamp(p, 0.0, 100.0);
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  return Lerp(v[lo], v[hi], rank - static_cast<double>(lo));
+}
+
+double Min(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("Min: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("Max: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double KahanSum(const std::vector<double>& v) {
+  double sum = 0.0, c = 0.0;
+  for (double x : v) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+void L2NormalizeColumns(std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return;
+  const std::size_t cols = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != cols) throw std::invalid_argument("L2NormalizeColumns: ragged matrix");
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    double norm2 = 0.0;
+    for (const auto& r : rows) norm2 += r[c] * r[c];
+    const double norm = std::sqrt(norm2);
+    if (norm <= 0.0) continue;
+    for (auto& r : rows) r[c] /= norm;
+  }
+}
+
+double Clamp(double x, double lo, double hi) { return std::max(lo, std::min(hi, x)); }
+
+double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+bool ApproxEqual(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace sraps

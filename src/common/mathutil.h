@@ -1,0 +1,40 @@
+// Small numeric helpers shared across the simulator and the statistics layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sraps {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0,100].  Throws on empty input.
+double Percentile(std::vector<double> v, double p);
+
+/// Min/Max; throw on empty input.
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Sum with Kahan compensation — power series over multi-day windows sum
+/// millions of kW samples and naive accumulation drifts.
+double KahanSum(const std::vector<double>& v);
+
+/// Normalises each column of a row-major matrix to unit L2 norm across rows
+/// (the transformation behind Fig. 10b's multi-objective radar chart).
+/// Zero-norm columns are left untouched.
+void L2NormalizeColumns(std::vector<std::vector<double>>& rows);
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Linear interpolation at fraction t in [0,1].
+double Lerp(double a, double b, double t);
+
+/// true if |a-b| <= tol * max(1, |a|, |b|).
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace sraps

@@ -1,0 +1,60 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components of the simulator (synthetic dataset generators,
+// workload arrival processes, ML bootstrap sampling) draw from this engine so
+// that a fixed seed reproduces every figure bit-for-bit, which the paper's
+// artifact appendix requires of a faithful reproduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sraps {
+
+/// xoshiro256** — small, fast, high-quality PRNG.  Deliberately not
+/// std::mt19937 so the stream is identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(Normal(mu, sigma)).  Job runtimes and node counts in HPC
+  /// traces are famously heavy-tailed; log-normal is the canonical fit.
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with the given rate (events per second) — inter-arrival
+  /// times of job submissions.
+  double Exponential(double rate);
+
+  /// Weibull(shape k, scale lambda) — the original RAPS "reschedule"
+  /// redistributed start times with a Weibull; kept for the ablation bench.
+  double Weibull(double shape, double scale);
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Creates an independent child stream (e.g. one per synthetic job) by
+  /// splitting off the current state.
+  Rng Split();
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sraps

@@ -1,0 +1,88 @@
+#include "common/time.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sraps {
+
+std::optional<SimDuration> ParseDuration(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  SimDuration total = 0;
+  std::size_t i = 0;
+  bool any = false;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+    if (i == start) return std::nullopt;  // no digits where a number is required
+    SimDuration value = 0;
+    for (std::size_t k = start; k < i; ++k) value = value * 10 + (text[k] - '0');
+    SimDuration unit = kSecond;
+    if (i < text.size()) {
+      switch (std::tolower(static_cast<unsigned char>(text[i]))) {
+        case 's': unit = kSecond; ++i; break;
+        case 'm': unit = kMinute; ++i; break;
+        case 'h': unit = kHour; ++i; break;
+        case 'd': unit = kDay; ++i; break;
+        case 'w': unit = 7 * kDay; ++i; break;
+        default: return std::nullopt;
+      }
+    }
+    total += value * unit;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return total;
+}
+
+std::string FormatDuration(SimDuration d) {
+  if (d == 0) return "0s";
+  std::string out;
+  if (d < 0) {
+    out += "-";
+    d = -d;
+  }
+  const SimDuration days = d / kDay;
+  const SimDuration hours = (d % kDay) / kHour;
+  const SimDuration minutes = (d % kHour) / kMinute;
+  const SimDuration seconds = d % kMinute;
+  char buf[32];
+  if (days) {
+    std::snprintf(buf, sizeof buf, "%lldd ", static_cast<long long>(days));
+    out += buf;
+  }
+  if (hours) {
+    std::snprintf(buf, sizeof buf, "%lldh ", static_cast<long long>(hours));
+    out += buf;
+  }
+  if (minutes) {
+    std::snprintf(buf, sizeof buf, "%lldm ", static_cast<long long>(minutes));
+    out += buf;
+  }
+  if (seconds) {
+    std::snprintf(buf, sizeof buf, "%llds ", static_cast<long long>(seconds));
+    out += buf;
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string FormatTime(SimTime t) {
+  const bool neg = t < 0;
+  SimTime a = neg ? -t : t;
+  const SimTime days = a / kDay;
+  const SimTime h = (a % kDay) / kHour;
+  const SimTime m = (a % kHour) / kMinute;
+  const SimTime s = a % kMinute;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%lld+%02lld:%02lld:%02lld", neg ? "-" : "",
+                static_cast<long long>(days), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace sraps

@@ -1,0 +1,39 @@
+// Simulation time primitives.
+//
+// All simulator clocks are integral seconds since the dataset epoch.  A
+// dedicated strong alias (rather than std::chrono) keeps trace arithmetic
+// trivially serialisable and matches the second-granular telemetry of the
+// datasets in Table 1 of the paper (15 s Frontier, 20 s Marconi100, job
+// summaries elsewhere).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sraps {
+
+/// Seconds since the dataset epoch (signed: windows may begin before the
+/// first trace sample).
+using SimTime = std::int64_t;
+
+/// A span of simulated seconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kSecond = 1;
+inline constexpr SimDuration kMinute = 60;
+inline constexpr SimDuration kHour = 3600;
+inline constexpr SimDuration kDay = 86400;
+
+/// Parses a human-friendly duration string as accepted by the paper's CLI
+/// (`-ff 35d`, `-t 7d`, `-t 1h`, plain seconds `61000`).  Supported suffixes:
+/// s, m, h, d, w.  Returns std::nullopt on malformed input.
+std::optional<SimDuration> ParseDuration(const std::string& text);
+
+/// Formats a duration as a compact human-readable string, e.g. "2d 3h 4m 5s".
+std::string FormatDuration(SimDuration d);
+
+/// Formats an absolute sim time as "d+HH:MM:SS" relative to the epoch.
+std::string FormatTime(SimTime t);
+
+}  // namespace sraps

@@ -1,0 +1,264 @@
+#include "config/system_config.h"
+
+#include <stdexcept>
+
+namespace sraps {
+
+double NodePowerSpec::PeakW() const {
+  return idle_w + cpus_per_node * cpu_max_w + gpus_per_node * gpu_max_w + mem_w + nic_w;
+}
+
+double NodePowerSpec::IdleW() const {
+  return idle_w + cpus_per_node * cpu_idle_w + gpus_per_node * gpu_idle_w + mem_w + nic_w;
+}
+
+int SystemConfig::TotalNodes() const {
+  int n = 0;
+  for (const auto& p : partitions) n += p.num_nodes;
+  return n;
+}
+
+double SystemConfig::PeakItPowerW() const {
+  double w = 0.0;
+  for (const auto& p : partitions) w += p.num_nodes * p.node_power.PeakW();
+  return w;
+}
+
+double SystemConfig::IdleItPowerW() const {
+  double w = 0.0;
+  for (const auto& p : partitions) w += p.num_nodes * p.node_power.IdleW();
+  return w;
+}
+
+const NodePowerSpec& SystemConfig::NodeSpec(int node_id) const {
+  return partitions[PartitionOf(node_id)].node_power;
+}
+
+std::size_t SystemConfig::PartitionOf(int node_id) const {
+  if (node_id < 0) throw std::out_of_range("SystemConfig: negative node id");
+  int base = 0;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    base += partitions[i].num_nodes;
+    if (node_id < base) return i;
+  }
+  throw std::out_of_range("SystemConfig: node id " + std::to_string(node_id) +
+                          " >= " + std::to_string(base));
+}
+
+namespace {
+
+// Frontier: HPE/Cray EX, 9600 nodes, 1x 64-core EPYC + 4x MI250X per node,
+// ~29 MW system, direct liquid cooling, PUE ~1.06 (paper footnote 6).
+SystemConfig Frontier() {
+  SystemConfig c;
+  c.name = "frontier";
+  c.architecture = "HPE/Cray EX";
+  c.scheduler_name = "Slurm";
+  Partition p;
+  p.name = "batch";
+  p.num_nodes = 9600;
+  p.node_power.idle_w = 210.0;
+  p.node_power.cpu_idle_w = 60.0;
+  p.node_power.cpu_max_w = 280.0;
+  p.node_power.gpu_idle_w = 90.0;
+  p.node_power.gpu_max_w = 560.0;
+  p.node_power.mem_w = 80.0;
+  p.node_power.nic_w = 40.0;
+  p.node_power.cpus_per_node = 1;
+  p.node_power.gpus_per_node = 4;  // 4x MI250X (8 GCDs)
+  c.partitions.push_back(p);
+  c.conversion.idle_loss_w = 1500.0;
+  c.conversion.linear_coeff = 0.028;
+  c.conversion.quadratic_coeff = 3.0e-8;
+  c.conversion.nodes_per_cabinet = 128;  // EX cabinets are dense
+  c.cooling.has_cooling_model = true;
+  c.cooling.num_cdus = 25;
+  c.cooling.design_it_load_kw = 29000.0;
+  c.cooling.supply_temp_c = 22.0;
+  c.cooling.wetbulb_c = 18.0;
+  c.cooling.tower_approach_c = 4.0;
+  c.cooling.loop_flow_kg_s = 1200.0;  // ~5.8 K design dT: tower return spans
+                                      // ~24-30 C across the load range (Fig. 6)
+  c.cooling.cdu_effectiveness = 0.88;
+  c.cooling.thermal_mass_j_per_k = 1.2e9;
+  c.cooling.pump_rated_kw = 700.0;
+  c.cooling.fan_rated_kw = 900.0;
+  c.telemetry_interval = 15;
+  c.pue_target = 1.06;
+  return c;
+}
+
+// Marconi100: IBM POWER9, 980 nodes, 2x P9 + 4x V100, air/water hybrid.
+SystemConfig Marconi100() {
+  SystemConfig c;
+  c.name = "marconi100";
+  c.architecture = "IBM POWER9";
+  c.scheduler_name = "Slurm";
+  Partition p;
+  p.name = "batch";
+  p.num_nodes = 980;
+  p.node_power.idle_w = 240.0;
+  p.node_power.cpu_idle_w = 70.0;
+  p.node_power.cpu_max_w = 300.0;
+  p.node_power.gpu_idle_w = 60.0;
+  p.node_power.gpu_max_w = 300.0;  // V100 SXM2
+  p.node_power.mem_w = 90.0;
+  p.node_power.nic_w = 30.0;
+  p.node_power.cpus_per_node = 2;
+  p.node_power.gpus_per_node = 4;
+  c.partitions.push_back(p);
+  c.conversion.idle_loss_w = 1800.0;
+  c.conversion.linear_coeff = 0.035;
+  c.conversion.quadratic_coeff = 5.0e-8;
+  c.conversion.nodes_per_cabinet = 18;
+  c.cooling.has_cooling_model = false;
+  c.telemetry_interval = 20;
+  c.pue_target = 1.35;
+  return c;
+}
+
+// Fugaku: Fujitsu A64FX, 158,976 nodes, CPU-only, node-level power data.
+SystemConfig Fugaku() {
+  SystemConfig c;
+  c.name = "fugaku";
+  c.architecture = "Fujitsu A64FX";
+  c.scheduler_name = "Fujitsu TCS";
+  Partition p;
+  p.name = "batch";
+  p.num_nodes = 158976;
+  p.node_power.idle_w = 60.0;
+  p.node_power.cpu_idle_w = 25.0;
+  p.node_power.cpu_max_w = 165.0;  // A64FX package
+  p.node_power.gpu_idle_w = 0.0;
+  p.node_power.gpu_max_w = 0.0;
+  p.node_power.mem_w = 10.0;  // HBM2 on package; small extra share
+  p.node_power.nic_w = 8.0;   // TofuD share
+  p.node_power.cpus_per_node = 1;
+  p.node_power.gpus_per_node = 0;
+  c.partitions.push_back(p);
+  c.conversion.idle_loss_w = 800.0;
+  c.conversion.linear_coeff = 0.03;
+  c.conversion.quadratic_coeff = 2.0e-8;
+  c.conversion.nodes_per_cabinet = 384;  // 8 shelves x 48
+  c.cooling.has_cooling_model = false;
+  c.telemetry_interval = 60;
+  c.pue_target = 1.1;
+  return c;
+}
+
+// Lassen: IBM POWER9 + V100, 792 nodes, LSF.
+SystemConfig Lassen() {
+  SystemConfig c;
+  c.name = "lassen";
+  c.architecture = "IBM POWER9";
+  c.scheduler_name = "LSF";
+  Partition p;
+  p.name = "batch";
+  p.num_nodes = 792;
+  p.node_power.idle_w = 240.0;
+  p.node_power.cpu_idle_w = 70.0;
+  p.node_power.cpu_max_w = 300.0;
+  p.node_power.gpu_idle_w = 60.0;
+  p.node_power.gpu_max_w = 300.0;
+  p.node_power.mem_w = 90.0;
+  p.node_power.nic_w = 35.0;
+  p.node_power.cpus_per_node = 2;
+  p.node_power.gpus_per_node = 4;
+  c.partitions.push_back(p);
+  c.conversion.idle_loss_w = 1700.0;
+  c.conversion.linear_coeff = 0.034;
+  c.conversion.quadratic_coeff = 5.0e-8;
+  c.conversion.nodes_per_cabinet = 18;
+  c.cooling.has_cooling_model = false;
+  c.telemetry_interval = 60;
+  c.pue_target = 1.3;
+  return c;
+}
+
+// Adastra MI250 partition: HPE/Cray EX, 356 nodes with MI250X GPUs.
+SystemConfig Adastra() {
+  SystemConfig c;
+  c.name = "adastraMI250";
+  c.architecture = "HPE/Cray EX";
+  c.scheduler_name = "Slurm";
+  Partition p;
+  p.name = "mi250";
+  p.num_nodes = 356;
+  p.node_power.idle_w = 210.0;
+  p.node_power.cpu_idle_w = 60.0;
+  p.node_power.cpu_max_w = 280.0;
+  p.node_power.gpu_idle_w = 90.0;
+  p.node_power.gpu_max_w = 560.0;
+  p.node_power.mem_w = 80.0;
+  p.node_power.nic_w = 40.0;
+  p.node_power.cpus_per_node = 1;
+  p.node_power.gpus_per_node = 4;
+  c.partitions.push_back(p);
+  c.conversion.idle_loss_w = 1500.0;
+  c.conversion.linear_coeff = 0.028;
+  c.conversion.quadratic_coeff = 3.0e-8;
+  c.conversion.nodes_per_cabinet = 128;
+  c.cooling.has_cooling_model = false;
+  c.telemetry_interval = 30;
+  c.pue_target = 1.15;
+  return c;
+}
+
+// A deliberately small two-partition machine for tests and the quickstart
+// example: fast to simulate, exercises the multi-partition code paths.
+SystemConfig Mini() {
+  SystemConfig c;
+  c.name = "mini";
+  c.architecture = "TestBox";
+  c.scheduler_name = "builtin";
+  Partition cpu;
+  cpu.name = "cpu";
+  cpu.num_nodes = 8;
+  cpu.node_power.idle_w = 100.0;
+  cpu.node_power.cpu_idle_w = 20.0;
+  cpu.node_power.cpu_max_w = 200.0;
+  cpu.node_power.mem_w = 20.0;
+  cpu.node_power.nic_w = 10.0;
+  cpu.node_power.cpus_per_node = 2;
+  cpu.node_power.gpus_per_node = 0;
+  Partition gpu;
+  gpu.name = "gpu";
+  gpu.num_nodes = 8;
+  gpu.node_power = cpu.node_power;
+  gpu.node_power.gpus_per_node = 4;
+  gpu.node_power.gpu_idle_w = 25.0;
+  gpu.node_power.gpu_max_w = 300.0;
+  c.partitions = {cpu, gpu};
+  c.conversion.idle_loss_w = 200.0;
+  c.conversion.linear_coeff = 0.03;
+  c.conversion.quadratic_coeff = 1.0e-7;
+  c.conversion.nodes_per_cabinet = 8;
+  c.cooling.has_cooling_model = true;
+  c.cooling.num_cdus = 1;
+  c.cooling.design_it_load_kw = 30.0;
+  c.cooling.loop_flow_kg_s = 3.0;
+  c.cooling.thermal_mass_j_per_k = 2.0e6;
+  c.cooling.pump_rated_kw = 1.0;
+  c.cooling.fan_rated_kw = 1.5;
+  c.telemetry_interval = 10;
+  c.pue_target = 1.1;
+  return c;
+}
+
+}  // namespace
+
+SystemConfig MakeSystemConfig(const std::string& name) {
+  if (name == "frontier") return Frontier();
+  if (name == "marconi100") return Marconi100();
+  if (name == "fugaku") return Fugaku();
+  if (name == "lassen") return Lassen();
+  if (name == "adastraMI250") return Adastra();
+  if (name == "mini") return Mini();
+  throw std::invalid_argument("Unknown system '" + name + "'");
+}
+
+std::vector<std::string> KnownSystems() {
+  return {"frontier", "marconi100", "fugaku", "lassen", "adastraMI250", "mini"};
+}
+
+}  // namespace sraps

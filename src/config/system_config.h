@@ -1,0 +1,101 @@
+// System descriptions: everything the power, cooling, and scheduling layers
+// need to know about a machine.  One factory per system of Table 1 in the
+// paper (Frontier, Marconi100, Fugaku, Lassen, Adastra) plus a small generic
+// test system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sraps {
+
+/// Per-node electrical model parameters (watts).  Node power is
+///   P = idle + cpu_util * cpus_per_node * (cpu_max - cpu_idle)
+///           + gpu_util * gpus_per_node * (gpu_max - gpu_idle)
+///           + mem/nic static share
+/// clamped to [idle, peak].  See power/node_power.h.
+struct NodePowerSpec {
+  double idle_w = 200.0;        ///< whole-node idle draw
+  double cpu_idle_w = 30.0;     ///< per-CPU-socket idle
+  double cpu_max_w = 280.0;     ///< per-CPU-socket max
+  double gpu_idle_w = 70.0;     ///< per-GPU idle
+  double gpu_max_w = 560.0;     ///< per-GPU max
+  double mem_w = 50.0;          ///< static memory subsystem draw
+  double nic_w = 25.0;          ///< static NIC draw
+  int cpus_per_node = 1;        ///< CPU sockets per node
+  int gpus_per_node = 0;        ///< GPUs per node
+
+  /// Peak whole-node draw implied by the spec.
+  double PeakW() const;
+  /// Idle whole-node draw implied by the spec (idle + static shares).
+  double IdleW() const;
+};
+
+/// Power-conversion (rectifier + DC/DC) loss model per Wojda et al.:
+/// loss(P) = c0 + c1*P + c2*P^2 at the cabinet level, fit so that peak-load
+/// efficiency matches `peak_efficiency`.
+struct ConversionSpec {
+  double idle_loss_w = 2000.0;     ///< per-cabinet constant loss (c0)
+  double linear_coeff = 0.02;      ///< c1, dimensionless
+  double quadratic_coeff = 4e-8;   ///< c2, 1/W
+  int nodes_per_cabinet = 64;
+};
+
+/// Cooling design parameters for the lumped transient model (cooling/).
+struct CoolingSpec {
+  bool has_cooling_model = false;   ///< only Frontier ships a cooling model in the paper
+  int num_cdus = 25;                ///< cooling distribution units
+  double design_it_load_kw = 30000; ///< heat load the loop is sized for
+  double supply_temp_c = 22.0;      ///< facility supply setpoint
+  double wetbulb_c = 18.0;          ///< ambient wet-bulb (tower sink)
+  double tower_approach_c = 4.0;    ///< tower approach at design load
+  double loop_flow_kg_s = 800.0;    ///< facility water mass flow
+  double cdu_effectiveness = 0.85;  ///< heat-exchanger effectiveness
+  double thermal_mass_j_per_k = 5.0e8;  ///< lumped loop thermal mass
+  double pump_rated_kw = 400.0;     ///< facility pumps at design flow
+  double fan_rated_kw = 600.0;      ///< tower fans at design load
+};
+
+/// A named, contiguous block of identical nodes (e.g. Adastra's CPU and GPU
+/// partitions).  Node ids are global across partitions.
+struct Partition {
+  std::string name;
+  int num_nodes = 0;
+  NodePowerSpec node_power;
+};
+
+/// Everything the engine needs to instantiate a digital twin of one system.
+struct SystemConfig {
+  std::string name;                ///< CLI `--system` identifier
+  std::string architecture;        ///< e.g. "HPE/Cray EX"
+  std::string scheduler_name;      ///< production scheduler (Slurm, LSF, TCS)
+  std::vector<Partition> partitions;
+  ConversionSpec conversion;
+  CoolingSpec cooling;
+  SimDuration telemetry_interval = 20;  ///< trace sampling period (s)
+  double pue_target = 1.1;         ///< reported average PUE (validation aid)
+
+  int TotalNodes() const;
+  /// Peak IT power across all partitions, watts.
+  double PeakItPowerW() const;
+  /// Idle IT power across all partitions, watts.
+  double IdleItPowerW() const;
+  /// The power spec governing a global node id; throws if out of range.
+  const NodePowerSpec& NodeSpec(int node_id) const;
+  /// Partition index owning a global node id; throws if out of range.
+  std::size_t PartitionOf(int node_id) const;
+};
+
+/// Factory for the systems of Table 1 and a generic small test machine.
+/// Throws std::invalid_argument for unknown names.
+///
+/// Known names: "frontier", "marconi100", "fugaku", "lassen",
+/// "adastraMI250", "mini" (16-node test system).
+SystemConfig MakeSystemConfig(const std::string& name);
+
+/// Names accepted by MakeSystemConfig, in Table 1 order.
+std::vector<std::string> KnownSystems();
+
+}  // namespace sraps

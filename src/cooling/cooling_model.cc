@@ -1,0 +1,94 @@
+#include "cooling/cooling_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/mathutil.h"
+
+namespace sraps {
+namespace {
+
+constexpr double kCpWater = 4186.0;  // J/(kg K)
+
+}  // namespace
+
+CoolingModel::CoolingModel(const CoolingSpec& spec) : spec_(spec) {
+  if (spec_.loop_flow_kg_s <= 0 || spec_.thermal_mass_j_per_k <= 0) {
+    throw std::invalid_argument("CoolingModel: non-positive flow or thermal mass");
+  }
+  design_heat_w_ = spec_.design_it_load_kw * 1000.0;
+  // At design load the loop picks up dT = Q/(m cp) above the supply setpoint.
+  const double design_dt = design_heat_w_ / (spec_.loop_flow_kg_s * kCpWater);
+  design_hot_temp_c_ = spec_.supply_temp_c + design_dt;
+  const double driving_dt = design_hot_temp_c_ - spec_.wetbulb_c;
+  if (driving_dt <= 0) {
+    throw std::invalid_argument(
+        "CoolingModel: design hot temperature at or below wet bulb — "
+        "the tower cannot reject heat");
+  }
+  ua_w_per_k_ = design_heat_w_ / driving_dt;
+  Reset(design_heat_w_ * 0.5);
+}
+
+double CoolingModel::FanFraction(double heat_w) const {
+  // Fans modulate sub-linearly with load (square-root law) and never fully
+  // stop (tower anti-freeze minimum).  Sub-linear modulation means the loop
+  // equilibrium temperature *rises* with load — the behaviour Fig. 6 plots —
+  // instead of the fans holding a flat setpoint.
+  return Clamp(std::sqrt(heat_w / design_heat_w_), 0.15, 1.0);
+}
+
+double CoolingModel::PumpFraction(double heat_w) const {
+  // Variable-speed facility pumps track load with a floor keeping minimum
+  // flow through the cold plates.
+  return Clamp(heat_w / design_heat_w_, 0.3, 1.0);
+}
+
+void CoolingModel::Reset(double initial_it_heat_w) {
+  const double heat = std::max(0.0, initial_it_heat_w);
+  const double fans = FanFraction(heat);
+  // Steady state: UA * fans * (T - wetbulb) = Q  =>  T = wetbulb + Q/(UA*fans).
+  loop_temp_c_ = spec_.wetbulb_c + heat / (ua_w_per_k_ * fans);
+}
+
+CoolingSample CoolingModel::Step(double it_power_w, double loss_w, double dt_s) {
+  if (dt_s <= 0) throw std::invalid_argument("CoolingModel: dt must be > 0");
+  const double heat_in = std::max(0.0, it_power_w) + std::max(0.0, loss_w);
+  const double fans = FanFraction(heat_in);
+  const double pumps = PumpFraction(heat_in);
+
+  // Sub-step the explicit Euler integration for stability on long engine
+  // ticks: the loop time constant is C/(UA) which can be minutes.
+  const double tau = spec_.thermal_mass_j_per_k / (ua_w_per_k_ * fans);
+  const int substeps = std::max(1, static_cast<int>(std::ceil(dt_s / (tau * 0.25))));
+  const double h = dt_s / substeps;
+  double rejected = 0.0;
+  for (int i = 0; i < substeps; ++i) {
+    const double q_rej = ua_w_per_k_ * fans * std::max(0.0, loop_temp_c_ - spec_.wetbulb_c);
+    loop_temp_c_ += h * (heat_in - q_rej) / spec_.thermal_mass_j_per_k;
+    rejected += q_rej * h;
+  }
+
+  CoolingSample s;
+  s.tower_return_temp_c = loop_temp_c_;
+  const double flow = spec_.loop_flow_kg_s * pumps;
+  const double q_rej_now =
+      ua_w_per_k_ * fans * std::max(0.0, loop_temp_c_ - spec_.wetbulb_c);
+  // Tower cools the loop flow by Q_rej/(m cp).
+  s.supply_temp_c = loop_temp_c_ - q_rej_now / (flow * kCpWater);
+  // CDU secondary return: the supply plus the IT heat pickup, divided by the
+  // heat-exchanger effectiveness (a less effective CDU runs hotter).
+  s.cdu_return_temp_c =
+      s.supply_temp_c + (heat_in / (flow * kCpWater)) / spec_.cdu_effectiveness;
+  s.pump_power_w = spec_.pump_rated_kw * 1000.0 * pumps * pumps * pumps;
+  s.fan_power_w = spec_.fan_rated_kw * 1000.0 * fans * fans * fans;
+  s.cooling_power_w = s.pump_power_w + s.fan_power_w;
+  s.heat_rejected_w = rejected / dt_s;
+  if (it_power_w > 0) {
+    s.pue = (it_power_w + loss_w + s.cooling_power_w) / it_power_w;
+  }
+  return s;
+}
+
+}  // namespace sraps

@@ -1,0 +1,66 @@
+// Transient lumped-parameter cooling model.
+//
+// Stands in for the Modelica thermo-fluid framework of Kumar et al. (Part 1)
+// and Greenwood et al. (Part 2) that the paper couples to RAPS.  The
+// topology matches the paper's description (§3.1): node cold plates feed
+// cooling distribution units (CDUs); CDU heat exchangers move heat into the
+// facility hot-water loop; the loop rejects heat at evaporative cooling
+// towers whose outlet approaches the ambient wet-bulb temperature.
+//
+// The facility loop is modelled as one thermal mass C with
+//     C * dT/dt = Q_in(t) - Q_rej(T, fans)
+// where Q_rej = UA * fan_modulation * (T - T_wetbulb).  UA is calibrated so
+// that the loop holds its design hot-side temperature at design IT load with
+// fans at 100 %.  Pump and fan power follow affinity (cube) laws.  This
+// reproduces the observable behaviour the paper plots in Fig. 6 — tower
+// return temperature and PUE swinging with scheduling-induced load changes,
+// with realistic first-order lag.
+#pragma once
+
+#include "config/system_config.h"
+
+namespace sraps {
+
+/// One tick's thermal/cooling state.
+struct CoolingSample {
+  double tower_return_temp_c = 0.0;  ///< hot water arriving at the towers (Fig. 6)
+  double supply_temp_c = 0.0;        ///< water returned to the CDUs
+  double cdu_return_temp_c = 0.0;    ///< secondary-loop return at the CDUs
+  double pump_power_w = 0.0;
+  double fan_power_w = 0.0;
+  double cooling_power_w = 0.0;  ///< pumps + fans
+  double heat_rejected_w = 0.0;
+  double pue = 1.0;  ///< (IT + loss + cooling) / IT
+};
+
+class CoolingModel {
+ public:
+  explicit CoolingModel(const CoolingSpec& spec);
+
+  /// Resets the loop to steady state at the given IT load (used to
+  /// prepopulate the twin at simulation start, §3.2.3).
+  void Reset(double initial_it_heat_w);
+
+  /// Advances the loop by dt seconds with the given heat input.
+  ///  - it_power_w: IT electrical power (all converted to heat at the cold plates)
+  ///  - loss_w: conversion loss (rejected into the same loop at the cabinets)
+  /// Returns the end-of-step sample.
+  CoolingSample Step(double it_power_w, double loss_w, double dt_s);
+
+  /// Current loop hot-side temperature (°C).
+  double loop_temp_c() const { return loop_temp_c_; }
+
+  const CoolingSpec& spec() const { return spec_; }
+
+ private:
+  double FanFraction(double heat_w) const;
+  double PumpFraction(double heat_w) const;
+
+  CoolingSpec spec_;
+  double ua_w_per_k_ = 0.0;   ///< calibrated tower conductance at full fans
+  double design_heat_w_ = 0.0;
+  double design_hot_temp_c_ = 0.0;
+  double loop_temp_c_ = 0.0;
+};
+
+}  // namespace sraps

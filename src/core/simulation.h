@@ -1,0 +1,95 @@
+// Public facade: one call builds and runs a complete digital-twin
+// simulation, mirroring the paper's CLI surface
+//   main.py --system X -f data --scheduler default --policy fcfs
+//           --backfill easy -ff 4381000 -t 61000 -o --accounts [-c]
+// and produces the artifact's outputs (power/utilisation history, stats.out,
+// job_history.csv, accounts.json).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accounts/accounts.h"
+#include "config/system_config.h"
+#include "engine/simulation_engine.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+struct SimulationOptions {
+  // --- what to simulate -----------------------------------------------------
+  std::string system = "mini";       ///< --system
+  std::string dataset_path;          ///< -f; empty = use jobs_override
+  std::vector<Job> jobs_override;    ///< programmatic workload (tests/benches)
+  std::optional<SystemConfig> config_override;  ///< e.g. FugakuSliceConfig
+
+  // --- scheduling -------------------------------------------------------------
+  std::string scheduler = "default";  ///< default | experimental | scheduleflow | fastsim
+  std::string policy = "replay";      ///< --policy
+  std::string backfill = "none";      ///< --backfill
+
+  // --- window ---------------------------------------------------------------
+  SimDuration fast_forward = 0;  ///< -ff: skip this far into the dataset
+  SimDuration duration = 0;      ///< -t: 0 = run to the dataset's end
+
+  // --- toggles ----------------------------------------------------------------
+  bool cooling = false;          ///< -c: couple the cooling model
+  bool accounts = false;         ///< --accounts: accumulate account stats
+  std::string accounts_json;     ///< --accounts-json: reload a collection run
+  bool record_history = true;
+  bool prepopulate = true;
+  bool event_triggered_scheduling = true;
+  SimDuration tick = 0;          ///< 0 = system telemetry interval
+  double power_cap_w = 0.0;      ///< facility power cap (0 = uncapped)
+  std::vector<NodeOutage> outages;  ///< failure-injection schedule
+  bool html_report = false;      ///< also write report.html in SaveOutputs
+};
+
+class Simulation {
+ public:
+  /// Builds (loads data, constructs scheduler and engine).  Throws on any
+  /// configuration error.
+  explicit Simulation(SimulationOptions options);
+
+  /// Runs to the end of the window and records the wall-clock cost.
+  void Run();
+
+  const SimulationEngine& engine() const { return *engine_; }
+  SimulationEngine& mutable_engine() { return *engine_; }
+  const SystemConfig& config() const { return config_; }
+  const SimulationOptions& options() const { return options_; }
+
+  /// Wall-clock seconds spent inside Run() (for speedup-vs-realtime claims).
+  double wall_seconds() const { return wall_seconds_; }
+  /// Simulated seconds / wall seconds.
+  double SpeedupVsRealtime() const;
+
+  /// Writes the artifact-style output files into `dir`:
+  /// history.csv (power/util/cooling channels), stats.out (JSON),
+  /// job_history.csv, accounts.json (when accounts tracking is on).
+  void SaveOutputs(const std::string& dir) const;
+
+  /// The resolved simulation window.
+  SimTime sim_start() const { return sim_start_; }
+  SimTime sim_end() const { return sim_end_; }
+
+ private:
+  SimulationOptions options_;
+  SystemConfig config_;
+  AccountRegistry policy_accounts_;  ///< collection-phase snapshot for acct_* policies
+  std::unique_ptr<SimulationEngine> engine_;
+  SimTime sim_start_ = 0;
+  SimTime sim_end_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+/// Dataset-derived default window: [min recorded event, max recorded end].
+struct DatasetWindow {
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+DatasetWindow ComputeDatasetWindow(const std::vector<Job>& jobs);
+
+}  // namespace sraps

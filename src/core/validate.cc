@@ -1,0 +1,71 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sraps {
+
+ValidationReport ValidateAgainstRecorded(const SimulationEngine& engine) {
+  ValidationReport report;
+  double sum_start = 0.0, sum_end = 0.0;
+  std::size_t pinned = 0, pinned_ok = 0, runtime_ok = 0;
+
+  for (const Job& job : engine.jobs()) {
+    if (job.state != JobState::kCompleted || job.recorded_start < 0 ||
+        job.recorded_end < 0) {
+      ++report.jobs_skipped;
+      continue;
+    }
+    JobValidation v;
+    v.id = job.id;
+    v.start_delta = job.start - job.recorded_start;
+    v.end_delta = job.end - job.recorded_end;
+    v.runtime_preserved =
+        (job.end - job.start) == (job.recorded_end - job.recorded_start) ||
+        // Replay anchors the end at the recorded end; a start quantised one
+        // tick late with an exact end still counts as preserved intent.
+        job.end == job.recorded_end;
+    if (job.HasRecordedPlacement()) {
+      ++pinned;
+      std::vector<int> realised = job.assigned_nodes;
+      std::vector<int> recorded = job.recorded_nodes;
+      std::sort(realised.begin(), realised.end());
+      std::sort(recorded.begin(), recorded.end());
+      v.placement_matches = realised == recorded;
+      if (v.placement_matches) ++pinned_ok;
+    }
+    if (v.runtime_preserved) ++runtime_ok;
+    sum_start += std::fabs(static_cast<double>(v.start_delta));
+    sum_end += std::fabs(static_cast<double>(v.end_delta));
+    report.max_abs_start_delta_s =
+        std::max(report.max_abs_start_delta_s,
+                 std::fabs(static_cast<double>(v.start_delta)));
+    report.per_job.push_back(v);
+  }
+  report.jobs_compared = report.per_job.size();
+  if (report.jobs_compared > 0) {
+    report.mean_abs_start_delta_s = sum_start / static_cast<double>(report.jobs_compared);
+    report.mean_abs_end_delta_s = sum_end / static_cast<double>(report.jobs_compared);
+    report.runtime_preserved_fraction =
+        static_cast<double>(runtime_ok) / static_cast<double>(report.jobs_compared);
+  }
+  if (pinned > 0) {
+    report.placement_match_fraction =
+        static_cast<double>(pinned_ok) / static_cast<double>(pinned);
+  }
+  return report;
+}
+
+JsonValue ValidationReport::ToJson() const {
+  JsonObject o;
+  o["jobs_compared"] = JsonValue(static_cast<std::int64_t>(jobs_compared));
+  o["jobs_skipped"] = JsonValue(static_cast<std::int64_t>(jobs_skipped));
+  o["mean_abs_start_delta_s"] = mean_abs_start_delta_s;
+  o["max_abs_start_delta_s"] = max_abs_start_delta_s;
+  o["mean_abs_end_delta_s"] = mean_abs_end_delta_s;
+  o["placement_match_fraction"] = placement_match_fraction;
+  o["runtime_preserved_fraction"] = runtime_preserved_fraction;
+  return JsonValue(std::move(o));
+}
+
+}  // namespace sraps

@@ -1,0 +1,43 @@
+// Replay validation — the artifact's `--validate` flag: after a simulation,
+// compare the realised schedule against the dataset's recorded schedule and
+// quantify the twin's fidelity (start/end deltas, node-placement agreement,
+// runtime preservation).  A perfect replay run shows deltas bounded by one
+// engine tick; reschedule runs use the same report to quantify how far the
+// what-if schedule moved from production reality.
+#pragma once
+
+#include <vector>
+
+#include "common/json.h"
+#include "engine/simulation_engine.h"
+
+namespace sraps {
+
+struct JobValidation {
+  JobId id = 0;
+  SimDuration start_delta = 0;  ///< realised - recorded start
+  SimDuration end_delta = 0;
+  bool placement_matches = true;  ///< realised nodes == recorded nodes (when pinned)
+  bool runtime_preserved = true;  ///< realised runtime == recorded runtime
+};
+
+struct ValidationReport {
+  std::size_t jobs_compared = 0;
+  std::size_t jobs_skipped = 0;  ///< dismissed or lacking recorded times
+  double mean_abs_start_delta_s = 0.0;
+  double max_abs_start_delta_s = 0.0;
+  double mean_abs_end_delta_s = 0.0;
+  /// Fraction of pinned-placement jobs whose realised nodes match exactly.
+  double placement_match_fraction = 1.0;
+  /// Fraction of jobs whose realised runtime equals the recorded runtime.
+  double runtime_preserved_fraction = 1.0;
+  std::vector<JobValidation> per_job;
+
+  JsonValue ToJson() const;
+};
+
+/// Builds the report from a finished engine.  Only completed jobs with
+/// recorded start/end are compared.
+ValidationReport ValidateAgainstRecorded(const SimulationEngine& engine);
+
+}  // namespace sraps

@@ -1,0 +1,40 @@
+// Adastra dataloader (Cirou's "Adastra jobs MI250 15 days" dataset).  CINES
+// published 15 days of the 356-node MI250X partition: per-job average node
+// power, memory power, and CPU power.  GPU power is not provided but is
+// derivable as node - cpu - memory (as the paper notes).  The system runs
+// Slurm with no stated policy; utilisation is low, which is why Fig. 5's
+// rescheduled curves all overlap.
+//
+// CSV schema (jobs.csv):
+//   job_id,user,account,submit_time,start_time,end_time,time_limit,
+//   num_nodes,node_power_w,cpu_power_w,mem_power_w,priority
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataloaders/dataloader.h"
+
+namespace sraps {
+
+class AdastraLoader : public Dataloader {
+ public:
+  std::string system_name() const override { return "adastraMI250"; }
+  std::vector<Job> Load(const std::string& path) const override;
+};
+
+struct AdastraDatasetSpec {
+  SimDuration span = 15 * kDay;  ///< the full published window
+  double arrival_rate_per_hour = 9;  ///< low-load system (Fig. 5)
+  std::uint64_t seed = 14;
+  double utilization_cap = 0.8;
+};
+
+std::vector<Job> GenerateAdastraDataset(const std::string& dir,
+                                        const AdastraDatasetSpec& spec = {});
+
+/// GPU power derived from the dataset's columns: node - cpu - mem, floored
+/// at zero (the derivation the paper describes).
+double DeriveAdastraGpuPowerW(double node_w, double cpu_w, double mem_w);
+
+}  // namespace sraps

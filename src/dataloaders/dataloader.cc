@@ -1,0 +1,87 @@
+#include "dataloaders/dataloader.h"
+
+#include <stdexcept>
+
+#include "dataloaders/adastra.h"
+#include "dataloaders/frontier.h"
+#include "dataloaders/fugaku.h"
+#include "dataloaders/lassen.h"
+#include "dataloaders/marconi.h"
+
+namespace sraps {
+
+DataloaderRegistry& DataloaderRegistry::Instance() {
+  static DataloaderRegistry registry;
+  return registry;
+}
+
+void DataloaderRegistry::Register(std::unique_ptr<Dataloader> loader) {
+  for (auto& existing : loaders_) {
+    if (existing->system_name() == loader->system_name()) {
+      existing = std::move(loader);  // replace: latest registration wins
+      return;
+    }
+  }
+  loaders_.push_back(std::move(loader));
+}
+
+const Dataloader& DataloaderRegistry::Get(const std::string& system) const {
+  for (const auto& l : loaders_) {
+    if (l->system_name() == system) return *l;
+  }
+  throw std::invalid_argument("No dataloader registered for system '" + system + "'");
+}
+
+bool DataloaderRegistry::Has(const std::string& system) const {
+  for (const auto& l : loaders_) {
+    if (l->system_name() == system) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> DataloaderRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(loaders_.size());
+  for (const auto& l : loaders_) names.push_back(l->system_name());
+  return names;
+}
+
+void RegisterBuiltinDataloaders() {
+  auto& reg = DataloaderRegistry::Instance();
+  reg.Register(std::make_unique<FrontierLoader>());
+  reg.Register(std::make_unique<MarconiLoader>());
+  reg.Register(std::make_unique<FugakuLoader>());
+  reg.Register(std::make_unique<LassenLoader>());
+  reg.Register(std::make_unique<AdastraLoader>());
+}
+
+namespace loader_detail {
+
+std::vector<int> ParseNodeList(const std::string& cell) {
+  std::vector<int> nodes;
+  std::string token;
+  for (char c : cell) {
+    if (c == '|') {
+      if (!token.empty()) {
+        nodes.push_back(std::stoi(token));
+        token.clear();
+      }
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) nodes.push_back(std::stoi(token));
+  return nodes;
+}
+
+std::string FormatNodeList(const std::vector<int>& nodes) {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out += '|';
+    out += std::to_string(nodes[i]);
+  }
+  return out;
+}
+
+}  // namespace loader_detail
+}  // namespace sraps

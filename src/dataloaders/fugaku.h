@@ -1,0 +1,59 @@
+// Fugaku / F-Data dataloader.  F-Data (Antici et al. 2024) is a job-summary
+// dataset: per-job energy, node power (min/max/avg), performance counters
+// and a derived performance class (compute- vs memory-bound).  No time
+// series — loaders build constant power traces from the averages.
+//
+// CSV schema (jobs.csv):
+//   job_id,usr,acct,submit_time,start_time,end_time,time_limit,nnumr,
+//   energy_j,avg_power_w,min_power_w,max_power_w,perf_class,priority
+// (nnumr = requested node count, F-Data's column name.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataloaders/dataloader.h"
+
+namespace sraps {
+
+class FugakuLoader : public Dataloader {
+ public:
+  std::string system_name() const override { return "fugaku"; }
+  std::vector<Job> Load(const std::string& path) const override;
+};
+
+/// Workload archetypes used by the generator.  Distinct (nodes, runtime,
+/// power) signatures give the ML pipeline real cluster structure to find
+/// (§4.4.1's behavioural clusters).
+enum class FugakuArchetype {
+  kComputeBound,   ///< high power, medium nodes, long
+  kMemoryBound,    ///< lower power, medium nodes, long
+  kDebug,          ///< tiny, short, low power
+  kCapability,     ///< very large node counts, medium runtime
+  kEnsemble,       ///< many small jobs, medium power
+};
+
+struct FugakuDatasetSpec {
+  SimDuration span = 8 * kDay;
+  /// Arrival intensity by phase: the Fig. 10a week has a low-load region
+  /// (~16 % requested utilisation) followed by a high-load region where
+  /// demand exceeds the machine.
+  double low_rate_per_hour = 250;
+  double high_rate_per_hour = 3200;
+  SimDuration high_load_start = 4 * kDay;  ///< when the burst begins
+  std::uint64_t seed = 2021;
+  double utilization_cap = 0.95;
+  int scale_nodes = 8192;  ///< simulate a Fugaku slice (full 158,976 nodes is
+                           ///< possible but slow for unit-test cadence)
+};
+
+/// Writes jobs.csv under `dir`, returns the jobs.  Node counts are scaled to
+/// `scale_nodes`; select the "fugaku" SystemConfig scaled accordingly or use
+/// FugakuSliceConfig().
+std::vector<Job> GenerateFugakuDataset(const std::string& dir,
+                                       const FugakuDatasetSpec& spec = {});
+
+/// A Fugaku SystemConfig resized to a slice of the machine (same node specs).
+SystemConfig FugakuSliceConfig(int nodes);
+
+}  // namespace sraps

@@ -1,0 +1,80 @@
+#include "dataloaders/jobs_io.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "dataloaders/dataloader.h"
+
+namespace sraps {
+namespace {
+
+std::string Num(double v) {
+  std::ostringstream ss;
+  ss.precision(10);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+void WriteJobsCsv(const std::string& path, const std::vector<Job>& jobs,
+                  const std::vector<bool>& shared_flags) {
+  const bool with_shared = !shared_flags.empty();
+  if (with_shared && shared_flags.size() != jobs.size()) {
+    throw std::invalid_argument("WriteJobsCsv: shared_flags size mismatch");
+  }
+  std::vector<std::string> header = {"job_id", "user", "account", "submit_time",
+                                     "start_time", "end_time", "time_limit",
+                                     "num_nodes", "nodes_allocated", "priority",
+                                     "avg_node_power_w"};
+  if (with_shared) header.push_back("shared");
+  CsvWriter w(std::move(header));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    std::string avg_power;
+    if (!j.node_power_w.empty() && j.node_power_w.is_constant()) {
+      avg_power = Num(j.node_power_w.values().front());
+    }
+    std::vector<std::string> row = {
+        std::to_string(j.id), j.user, j.account, std::to_string(j.submit_time),
+        std::to_string(j.recorded_start), std::to_string(j.recorded_end),
+        std::to_string(j.time_limit), std::to_string(j.nodes_required),
+        loader_detail::FormatNodeList(j.recorded_nodes), Num(j.priority), avg_power};
+    if (with_shared) row.push_back(shared_flags[i] ? "1" : "0");
+    w.AddRow(std::move(row));
+  }
+  w.Save(path);
+}
+
+std::vector<Job> ReadJobsCsv(const std::string& path, bool filter_shared) {
+  const CsvTable t = CsvTable::Load(path);
+  const bool has_shared = t.ColumnIndex("shared").has_value();
+  std::vector<Job> jobs;
+  jobs.reserve(t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    if (filter_shared && has_shared) {
+      if (const auto s = t.GetInt(r, "shared"); s && *s != 0) continue;
+    }
+    Job j;
+    j.id = t.GetInt(r, "job_id").value();
+    j.user = t.Cell(r, "user");
+    j.account = t.Cell(r, "account");
+    j.submit_time = t.GetInt(r, "submit_time").value();
+    j.recorded_start = t.GetInt(r, "start_time").value_or(-1);
+    j.recorded_end = t.GetInt(r, "end_time").value_or(-1);
+    j.time_limit = t.GetInt(r, "time_limit").value_or(0);
+    j.nodes_required = static_cast<int>(t.GetInt(r, "num_nodes").value());
+    j.recorded_nodes = loader_detail::ParseNodeList(t.Cell(r, "nodes_allocated"));
+    j.priority = t.GetDouble(r, "priority").value_or(0.0);
+    if (auto p = t.GetDouble(r, "avg_node_power_w")) {
+      j.node_power_w = TraceSeries::Constant(*p);
+    }
+    j.name = "job-" + std::to_string(j.id);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+}  // namespace sraps

@@ -1,0 +1,27 @@
+// Canonical jobs.csv reader/writer shared by the trace-bearing loaders
+// (Frontier, Marconi100).  Columns:
+//   job_id,user,account,submit_time,start_time,end_time,time_limit,
+//   num_nodes,nodes_allocated,priority,avg_node_power_w[,shared]
+// nodes_allocated is a '|'-separated node-id list and may be empty;
+// avg_node_power_w may be empty for jobs carrying full traces.  The optional
+// `shared` column marks shared-node jobs (PM100 contains them; the model
+// does not support node sharing, so loaders filter them — §2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Writes jobs; when `shared_flags` is non-empty (same length as jobs) a
+/// `shared` column is emitted.
+void WriteJobsCsv(const std::string& path, const std::vector<Job>& jobs,
+                  const std::vector<bool>& shared_flags = {});
+
+/// Reads jobs.  When `filter_shared` is set and the file has a `shared`
+/// column, shared-node jobs are skipped (the paper's PM100 pre-filter).
+std::vector<Job> ReadJobsCsv(const std::string& path, bool filter_shared = false);
+
+}  // namespace sraps

@@ -1,0 +1,34 @@
+// Lassen / LAST dataloader.  The Livermore Archive for System Telemetry
+// publishes 1.47 M Lassen jobs as allocation + job-step summaries with
+// accumulated energy and network tx/rx — no time series.  Power traces are
+// reconstructed as constants from energy / (runtime * nodes).
+//
+// CSV schema (jobs.csv):
+//   job_id,user,account,submit_time,start_time,end_time,time_limit,
+//   num_nodes,energy_j,net_tx_gb,net_rx_gb,priority
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataloaders/dataloader.h"
+
+namespace sraps {
+
+class LassenLoader : public Dataloader {
+ public:
+  std::string system_name() const override { return "lassen"; }
+  std::vector<Job> Load(const std::string& path) const override;
+};
+
+struct LassenDatasetSpec {
+  SimDuration span = 5 * kDay;
+  double arrival_rate_per_hour = 90;  ///< LSF throughput machine: many jobs
+  std::uint64_t seed = 26;
+  double utilization_cap = 0.88;
+};
+
+std::vector<Job> GenerateLassenDataset(const std::string& dir,
+                                       const LassenDatasetSpec& spec = {});
+
+}  // namespace sraps

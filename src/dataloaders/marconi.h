@@ -1,0 +1,39 @@
+// Marconi100 / PM100 dataloader.  The PM100 dataset (Antici et al., SC-W'23)
+// is a pre-curated job-power dataset from CINECA's 980-node Marconi100:
+// per-job CPU, memory and node power traces at 20 s cadence.  Shared-node
+// jobs are filtered (unsupported by the model, as in the paper), so replay
+// will not reach the machine's full recorded utilisation.
+//
+// CSV schema (jobs.csv):
+//   job_id,user,account,submit_time,start_time,end_time,time_limit,
+//   num_nodes,nodes_allocated,priority,avg_node_power_w
+// plus a traces.csv in the shared trace-table schema.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataloaders/dataloader.h"
+
+namespace sraps {
+
+class MarconiLoader : public Dataloader {
+ public:
+  std::string system_name() const override { return "marconi100"; }
+  std::vector<Job> Load(const std::string& path) const override;
+};
+
+/// Parameters for the synthetic PM100-shaped dataset.
+struct MarconiDatasetSpec {
+  SimDuration span = 3 * kDay;      ///< dataset time span
+  double arrival_rate_per_hour = 55;  ///< busy system, queue builds up
+  std::uint64_t seed = 100;
+  double utilization_cap = 0.85;    ///< recorded schedule leaves headroom
+  SimDuration max_hold = 45 * kMinute;  ///< production-scheduler dawdling
+};
+
+/// Writes jobs.csv + traces.csv under `dir` and returns the generated jobs.
+std::vector<Job> GenerateMarconiDataset(const std::string& dir,
+                                        const MarconiDatasetSpec& spec = {});
+
+}  // namespace sraps

@@ -1,0 +1,90 @@
+#include "dataloaders/replay_synth.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace sraps {
+
+void SynthesizeRecordedSchedule(std::vector<Job>& jobs,
+                                const ReplaySynthesisOptions& options) {
+  if (options.total_nodes <= 0) {
+    throw std::invalid_argument("SynthesizeRecordedSchedule: total_nodes <= 0");
+  }
+  const int usable =
+      std::max(1, static_cast<int>(options.total_nodes * options.utilization_cap));
+  Rng rng(options.seed);
+
+  // FCFS by submit time.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return jobs[a].submit_time < jobs[b].submit_time;
+  });
+
+  // Free node pool over virtual time: a min-heap of (end_time, nodes).
+  struct Completion {
+    SimTime t;
+    std::vector<int> nodes;
+    bool operator>(const Completion& o) const { return t > o.t; }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+  std::set<int> free_nodes;
+  for (int i = 0; i < usable; ++i) free_nodes.insert(i);
+
+  // FCFS without backfill: starts are monotone in queue order, which also
+  // keeps the virtual-time bookkeeping consistent (a job may never claim a
+  // node freed after its own start).
+  SimTime last_start = 0;
+  bool first = true;
+  for (std::size_t idx : order) {
+    Job& job = jobs[idx];
+    if (job.nodes_required > usable) {
+      throw std::invalid_argument("SynthesizeRecordedSchedule: job " +
+                                  std::to_string(job.id) + " needs " +
+                                  std::to_string(job.nodes_required) + " > usable " +
+                                  std::to_string(usable));
+    }
+    const SimDuration duration = job.recorded_end - job.recorded_start;
+    if (duration <= 0) {
+      throw std::invalid_argument("SynthesizeRecordedSchedule: job " +
+                                  std::to_string(job.id) + " has no duration");
+    }
+    const SimDuration hold =
+        options.max_hold > 0 ? rng.UniformInt(0, options.max_hold) : 0;
+    SimTime t = job.submit_time + hold;
+    if (!first) t = std::max(t, last_start);
+    // Advance virtual time until enough nodes are free at t.
+    while (true) {
+      while (!completions.empty() && completions.top().t <= t) {
+        for (int n : completions.top().nodes) free_nodes.insert(n);
+        completions.pop();
+      }
+      if (static_cast<int>(free_nodes.size()) >= job.nodes_required) break;
+      if (completions.empty()) {
+        throw std::logic_error("SynthesizeRecordedSchedule: deadlock (no completions)");
+      }
+      t = std::max(t, completions.top().t);
+    }
+    std::vector<int> assigned;
+    assigned.reserve(job.nodes_required);
+    auto it = free_nodes.begin();
+    for (int i = 0; i < job.nodes_required; ++i) {
+      assigned.push_back(*it);
+      it = free_nodes.erase(it);
+    }
+    job.recorded_start = t;
+    job.recorded_end = t + duration;
+    last_start = t;
+    first = false;
+    if (options.assign_node_lists) {
+      job.recorded_nodes = assigned;
+    } else {
+      job.recorded_nodes.clear();
+    }
+    completions.push({job.recorded_end, std::move(assigned)});
+  }
+}
+
+}  // namespace sraps

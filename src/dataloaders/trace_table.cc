@@ -1,0 +1,91 @@
+#include "dataloaders/trace_table.h"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace sraps {
+namespace {
+
+struct SeriesBuilder {
+  std::vector<SimDuration> offsets;
+  std::vector<double> values;
+
+  void Add(SimDuration offset, double v) {
+    offsets.push_back(offset);
+    values.push_back(v);
+  }
+  TraceSeries Build() && {
+    if (offsets.empty()) return TraceSeries();
+    return TraceSeries(std::move(offsets), std::move(values));
+  }
+};
+
+std::string Num(double v) {
+  std::ostringstream ss;
+  ss.precision(10);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+std::map<JobId, JobTraces> LoadTraceTable(const std::string& path) {
+  const CsvTable table = CsvTable::Load(path);
+  std::map<JobId, JobTraces> result;
+  std::map<JobId, SeriesBuilder> cpu, gpu, power;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto id_opt = table.GetInt(r, "job_id");
+    const auto off_opt = table.GetInt(r, "offset_s");
+    if (!id_opt || !off_opt) {
+      throw std::runtime_error("traces.csv: row " + std::to_string(r) +
+                               " missing job_id/offset_s");
+    }
+    const JobId id = *id_opt;
+    const SimDuration off = *off_opt;
+    if (auto v = table.GetDouble(r, "cpu_util")) cpu[id].Add(off, *v);
+    if (auto v = table.GetDouble(r, "gpu_util")) gpu[id].Add(off, *v);
+    if (auto v = table.GetDouble(r, "node_power_w")) power[id].Add(off, *v);
+  }
+  for (auto& [id, b] : cpu) result[id].cpu_util = std::move(b).Build();
+  for (auto& [id, b] : gpu) result[id].gpu_util = std::move(b).Build();
+  for (auto& [id, b] : power) result[id].node_power_w = std::move(b).Build();
+  return result;
+}
+
+void SaveTraceTable(const std::string& path, const std::vector<Job>& jobs) {
+  CsvWriter w({"job_id", "offset_s", "cpu_util", "gpu_util", "node_power_w"});
+  for (const Job& job : jobs) {
+    // Merge the offsets of all three series so each row can carry samples
+    // from whichever series has one at that offset.
+    std::map<SimDuration, std::array<std::string, 3>> rows;
+    auto add = [&](const TraceSeries& s, int slot) {
+      if (s.empty() || s.is_constant()) return;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        rows[s.offsets()[i]][slot] = Num(s.values()[i]);
+      }
+    };
+    add(job.cpu_util, 0);
+    add(job.gpu_util, 1);
+    add(job.node_power_w, 2);
+    for (const auto& [off, cells] : rows) {
+      w.AddRow({std::to_string(job.id), std::to_string(off), cells[0], cells[1],
+                cells[2]});
+    }
+  }
+  w.Save(path);
+}
+
+void AttachTraces(std::vector<Job>& jobs, const std::map<JobId, JobTraces>& traces) {
+  for (Job& job : jobs) {
+    auto it = traces.find(job.id);
+    if (it == traces.end()) continue;
+    if (!it->second.cpu_util.empty()) job.cpu_util = it->second.cpu_util;
+    if (!it->second.gpu_util.empty()) job.gpu_util = it->second.gpu_util;
+    if (!it->second.node_power_w.empty()) job.node_power_w = it->second.node_power_w;
+  }
+}
+
+}  // namespace sraps

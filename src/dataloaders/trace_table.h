@@ -1,0 +1,33 @@
+// Shared traces.csv reader/writer for the trace-bearing datasets
+// (Frontier 15 s, Marconi100/PM100 20 s).  Schema:
+//   job_id, offset_s, cpu_util, gpu_util, node_power_w
+// Any of the three value columns may be empty per row; empty columns simply
+// do not contribute samples to the corresponding series.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_series.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+struct JobTraces {
+  TraceSeries cpu_util;
+  TraceSeries gpu_util;
+  TraceSeries node_power_w;
+};
+
+/// Loads a traces.csv into per-job series.  Rows must be grouped by job and
+/// offset-sorted within a job (the writers guarantee this; violations throw).
+std::map<JobId, JobTraces> LoadTraceTable(const std::string& path);
+
+/// Writes the traces of all jobs that have any, in the shared schema.
+void SaveTraceTable(const std::string& path, const std::vector<Job>& jobs);
+
+/// Attaches loaded traces to jobs in place (matching on job id).
+void AttachTraces(std::vector<Job>& jobs, const std::map<JobId, JobTraces>& traces);
+
+}  // namespace sraps

@@ -1,0 +1,374 @@
+#include "engine/simulation_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace sraps {
+
+SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
+                                   std::unique_ptr<Scheduler> scheduler,
+                                   EngineOptions options, AccountRegistry accounts)
+    : config_(std::move(config)),
+      jobs_(std::move(jobs)),
+      scheduler_(std::move(scheduler)),
+      options_(options),
+      rm_(config_.TotalNodes(), options.allocation),
+      power_model_(config_),
+      accounts_(std::move(accounts)) {
+  if (!scheduler_) throw std::invalid_argument("SimulationEngine: null scheduler");
+  if (options_.sim_end <= options_.sim_start) {
+    throw std::invalid_argument("SimulationEngine: sim_end must be > sim_start");
+  }
+  tick_ = options_.tick > 0 ? options_.tick : config_.telemetry_interval;
+  if (tick_ <= 0) throw std::invalid_argument("SimulationEngine: tick must be > 0");
+  if (options_.enable_cooling) {
+    if (!config_.cooling.has_cooling_model) {
+      throw std::invalid_argument("SimulationEngine: system '" + config_.name +
+                                  "' has no cooling model");
+    }
+    cooling_ = std::make_unique<CoolingModel>(config_.cooling);
+  }
+  Initialize();
+}
+
+void SimulationEngine::Initialize() {
+  now_ = options_.sim_start;
+  job_energy_j_.assign(jobs_.size(), std::nan(""));
+
+  // Failure-injection schedule, sorted for cursor-based application.
+  for (const NodeOutage& o : options_.outages) {
+    outage_begins_.emplace_back(o.at, o.nodes);
+    if (o.recover_at > o.at) outage_ends_.emplace_back(o.recover_at, o.nodes);
+  }
+  std::stable_sort(outage_begins_.begin(), outage_begins_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::stable_sort(outage_ends_.begin(), outage_ends_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Window semantics (§3.2.2 / Fig. 3): dismiss jobs entirely outside the
+  // simulated window, and jobs too large for the machine.
+  for (std::size_t h = 0; h < jobs_.size(); ++h) {
+    Job& job = jobs_[h];
+    const bool ended_before_window =
+        job.recorded_end >= 0 && job.recorded_end <= options_.sim_start;
+    const bool submitted_after_window = job.submit_time >= options_.sim_end;
+    const bool oversize = job.nodes_required > rm_.total_nodes();
+    if (ended_before_window || submitted_after_window || oversize) {
+      job.state = JobState::kDismissed;
+      ++counters_.dismissed;
+      continue;
+    }
+    // Flag head/tail truncation relative to the window (footnote 1): no
+    // telemetry ground truth exists for these spans.
+    if (job.recorded_start >= 0 && job.recorded_start < options_.sim_start) {
+      job.trace_flags.truncated_head = true;
+    }
+    if (job.recorded_end >= 0 && job.recorded_end > options_.sim_end) {
+      job.trace_flags.truncated_tail = true;
+    }
+  }
+
+  if (options_.prepopulate) Prepopulate();
+
+  // Remaining pending jobs enter by submit order.
+  for (std::size_t h = 0; h < jobs_.size(); ++h) {
+    if (jobs_[h].state == JobState::kPending) submit_order_.push_back(h);
+  }
+  std::stable_sort(submit_order_.begin(), submit_order_.end(),
+                   [&](JobQueue::Handle a, JobQueue::Handle b) {
+                     return jobs_[a].submit_time < jobs_[b].submit_time;
+                   });
+  next_submit_ = 0;
+  initialized_ = true;
+}
+
+void SimulationEngine::Prepopulate() {
+  // Jobs running at sim_start are placed immediately so the twin starts in
+  // the observed machine state rather than empty.  Their starts keep the
+  // recorded value (so trace offsets line up) and they run to recorded_end.
+  for (std::size_t h = 0; h < jobs_.size(); ++h) {
+    Job& job = jobs_[h];
+    if (job.state != JobState::kPending) continue;
+    if (job.recorded_start < 0 || job.recorded_end < 0) continue;
+    if (job.recorded_start >= options_.sim_start) continue;
+    // recorded_end > sim_start is guaranteed (else dismissed above).
+    std::vector<int> nodes;
+    if (job.HasRecordedPlacement()) {
+      bool ok = true;
+      for (int n : job.recorded_nodes) {
+        if (!rm_.IsFree(n)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        rm_.AllocateExact(job.recorded_nodes);
+        nodes = job.recorded_nodes;
+      }
+    }
+    if (nodes.empty()) {
+      if (!rm_.CanAllocate(job.nodes_required)) {
+        SRAPS_LOG_WARN << "prepopulate: no room for job " << job.id << " ("
+                       << job.nodes_required << " nodes); dismissing";
+        job.state = JobState::kDismissed;
+        ++counters_.dismissed;
+        continue;
+      }
+      nodes = rm_.Allocate(job.nodes_required);
+    }
+    job.assigned_nodes = std::move(nodes);
+    job.start = job.recorded_start;
+    job.end = job.recorded_end;
+    job.state = JobState::kRunning;
+    job_energy_j_[h] = 0.0;
+    running_.push_back(h);
+    ++counters_.prepopulated;
+    scheduler_->OnJobStarted(job);
+  }
+}
+
+SimDuration SimulationEngine::RealizedRuntime(const Job& job) const {
+  // Rescheduled jobs keep their *actual* recorded duration — the scheduler
+  // only moves the start.  Jobs without a recorded runtime (live/synthetic
+  // submissions) run to their wall-time limit.
+  if (job.recorded_start >= 0 && job.recorded_end >= job.recorded_start) {
+    return job.recorded_end - job.recorded_start;
+  }
+  if (job.time_limit > 0) return job.time_limit;
+  throw std::logic_error("SimulationEngine: job " + std::to_string(job.id) +
+                         " has neither recorded runtime nor time limit");
+}
+
+void SimulationEngine::ApplyOutages() {
+  while (next_outage_begin_ < outage_begins_.size() &&
+         outage_begins_[next_outage_begin_].first <= now_) {
+    rm_.MarkDown(outage_begins_[next_outage_begin_].second);
+    ++next_outage_begin_;
+    events_this_tick_ = true;
+  }
+  while (next_outage_end_ < outage_ends_.size() &&
+         outage_ends_[next_outage_end_].first <= now_) {
+    // Overlapping outage windows may already have recovered a node; only
+    // bring back what is actually out of service.
+    std::vector<int> to_recover;
+    for (int n : outage_ends_[next_outage_end_].second) {
+      if (rm_.IsDown(n) || rm_.IsPendingDown(n)) to_recover.push_back(n);
+    }
+    if (!to_recover.empty()) rm_.MarkUp(to_recover);
+    ++next_outage_end_;
+    events_this_tick_ = true;
+  }
+}
+
+void SimulationEngine::ClearCompleted() {
+  // Step (1): release finished jobs *before* scheduling so a node can end
+  // one job and start another within the same time step.
+  std::vector<JobQueue::Handle> still_running;
+  still_running.reserve(running_.size());
+  for (JobQueue::Handle h : running_) {
+    if (jobs_[h].end <= now_) {
+      CompleteJob(h);
+      events_this_tick_ = true;
+    } else {
+      still_running.push_back(h);
+    }
+  }
+  running_.swap(still_running);
+}
+
+void SimulationEngine::CompleteJob(JobQueue::Handle h) {
+  Job& job = jobs_[h];
+  rm_.Release(job.assigned_nodes);
+  job.state = JobState::kCompleted;
+  ++counters_.completed;
+  const double energy = job_energy_j_[h];
+  stats_.RecordCompletion(job, energy);
+  if (options_.track_accounts) accounts_.RecordCompletion(job, energy);
+  scheduler_->OnJobCompleted(job);
+}
+
+void SimulationEngine::EnqueueEligible() {
+  // Step (2): the twin observes jobs as they are submitted; nothing enters
+  // the queue early, so schedules cannot be precomputed.
+  while (next_submit_ < submit_order_.size()) {
+    const JobQueue::Handle h = submit_order_[next_submit_];
+    Job& job = jobs_[h];
+    if (job.submit_time > now_) break;
+    ++next_submit_;
+    job.state = JobState::kQueued;
+    queue_.Push(h);
+    ++counters_.submitted;
+    events_this_tick_ = true;
+    scheduler_->OnJobSubmitted(job);
+  }
+}
+
+void SimulationEngine::CallSchedule() {
+  // Step (3).
+  if (options_.event_triggered_scheduling && !events_this_tick_ && !queue_.empty() &&
+      !scheduler_->NeedsTimeTriggered()) {
+    ++counters_.scheduler_skips;
+    return;
+  }
+  if (queue_.empty()) return;
+
+  std::vector<RunningJobView> running_view;
+  running_view.reserve(running_.size());
+  for (JobQueue::Handle h : running_) {
+    const Job& job = jobs_[h];
+    SimDuration estimate;
+    if (job.time_limit > 0) {
+      estimate = job.time_limit;
+    } else {
+      estimate = job.end - job.start;  // perfect estimate fallback
+    }
+    running_view.push_back(
+        {job.id, static_cast<int>(job.assigned_nodes.size()), job.start + estimate});
+  }
+
+  SchedulerContext ctx;
+  ctx.now = now_;
+  ctx.jobs = &jobs_;
+  ctx.queue = &queue_;
+  ctx.rm = &rm_;
+  ctx.running = &running_view;
+  ctx.had_events = events_this_tick_;
+  ++counters_.scheduler_invocations;
+  const std::vector<Placement> placements = scheduler_->Schedule(ctx);
+
+  for (const Placement& p : placements) {
+    if (p.handle >= jobs_.size()) {
+      throw std::runtime_error("scheduler returned invalid handle");
+    }
+    if (jobs_[p.handle].state != JobState::kQueued) {
+      throw std::runtime_error("scheduler placed job " +
+                               std::to_string(jobs_[p.handle].id) +
+                               " which is not queued");
+    }
+    StartJob(p.handle, p);
+  }
+}
+
+void SimulationEngine::StartJob(JobQueue::Handle h, const Placement& placement) {
+  Job& job = jobs_[h];
+  const std::vector<int>& exact_nodes = placement.nodes;
+  std::vector<int> nodes;
+  if (!exact_nodes.empty()) {
+    if (static_cast<int>(exact_nodes.size()) != job.nodes_required) {
+      throw std::runtime_error("placement for job " + std::to_string(job.id) + " has " +
+                               std::to_string(exact_nodes.size()) + " nodes, requires " +
+                               std::to_string(job.nodes_required));
+    }
+    rm_.AllocateExact(exact_nodes);  // throws if the scheduler double-booked
+    nodes = exact_nodes;
+  } else {
+    nodes = rm_.Allocate(job.nodes_required);
+  }
+  job.assigned_nodes = std::move(nodes);
+  job.start = now_;
+  if (placement.anchor_recorded_end && job.recorded_end > now_) {
+    job.end = job.recorded_end;
+  } else {
+    job.end = now_ + RealizedRuntime(job);
+  }
+  job.state = JobState::kRunning;
+  job_energy_j_[h] = 0.0;
+  queue_.Remove(h);
+  running_.push_back(h);
+  ++counters_.started;
+  scheduler_->OnJobStarted(job);
+}
+
+void SimulationEngine::Tick() {
+  // Step (4): advance the physical simulators and the clock.
+  std::vector<const Job*> running_jobs;
+  running_jobs.reserve(running_.size());
+  for (JobQueue::Handle h : running_) running_jobs.push_back(&jobs_[h]);
+  PowerSample power = power_model_.Compute(running_jobs, now_);
+
+  // Facility power cap: throttle all running jobs uniformly so the wall
+  // power meets the cap; runtimes dilate by the inverse factor.
+  const double dt = static_cast<double>(tick_);
+  double throttle = 1.0;
+  if (options_.power_cap_w > 0.0 && power.wall_power_w > options_.power_cap_w &&
+      power.busy_power_w > 0.0) {
+    const double idle_wall = power.wall_power_w - power.busy_power_w;
+    throttle = (options_.power_cap_w - idle_wall) / power.busy_power_w;
+    throttle = std::max(0.1, std::min(1.0, throttle));  // DVFS floor at 10 %
+    const double shed = (1.0 - throttle) * power.busy_power_w;
+    power.busy_power_w -= shed;
+    power.it_power_w -= shed;
+    power.loss_w = power_model_.conversion().LossW(power.it_power_w);
+    power.wall_power_w = power.it_power_w + power.loss_w;
+    // Runtime dilation: this tick only completes `throttle * dt` worth of
+    // work, so each job's end recedes by the missing dt*(1 - throttle)
+    // (net progress per tick is then exactly throttle * dt).
+    const auto extension =
+        static_cast<SimDuration>(std::llround(dt * (1.0 - throttle)));
+    for (JobQueue::Handle h : running_) jobs_[h].end += extension;
+  }
+
+  // Accumulate per-job energy over this tick.
+  for (JobQueue::Handle h : running_) {
+    const Job& job = jobs_[h];
+    const SimDuration elapsed = now_ - job.start;
+    std::vector<int> per_partition(config_.partitions.size(), 0);
+    for (int n : job.assigned_nodes) ++per_partition[config_.PartitionOf(n)];
+    double job_power = 0.0;
+    for (std::size_t p = 0; p < per_partition.size(); ++p) {
+      if (per_partition[p] == 0) continue;
+      job_power += per_partition[p] * power_model_.JobNodePowerW(
+                                          job, elapsed, config_.partitions[p].node_power);
+    }
+    job_energy_j_[h] += job_power * throttle * dt;
+  }
+
+  double cooling_power_w = 0.0;
+  CoolingSample cool;
+  if (cooling_) {
+    cool = cooling_->Step(power.it_power_w, power.loss_w, dt);
+    cooling_power_w = cool.cooling_power_w;
+  }
+
+  if (options_.record_history) {
+    recorder_.Record("it_power_kw", now_, power.it_power_w / 1000.0);
+    recorder_.Record("loss_kw", now_, power.loss_w / 1000.0);
+    recorder_.Record("power_kw", now_, (power.wall_power_w + cooling_power_w) / 1000.0);
+    recorder_.Record("utilization", now_, power.node_utilization * 100.0);
+    recorder_.Record("queue_length", now_, static_cast<double>(queue_.size()));
+    recorder_.Record("running_jobs", now_, static_cast<double>(running_.size()));
+    if (options_.power_cap_w > 0.0) recorder_.Record("throttle_factor", now_, throttle);
+    if (cooling_) {
+      recorder_.Record("pue", now_, cool.pue);
+      recorder_.Record("tower_return_c", now_, cool.tower_return_temp_c);
+      recorder_.Record("supply_c", now_, cool.supply_temp_c);
+      recorder_.Record("cooling_kw", now_, cooling_power_w / 1000.0);
+    }
+  }
+
+  now_ += tick_;
+  events_this_tick_ = false;
+}
+
+bool SimulationEngine::StepOnce() {
+  if (!initialized_) throw std::logic_error("SimulationEngine: not initialised");
+  if (now_ >= options_.sim_end) return false;
+  ClearCompleted();
+  ApplyOutages();
+  EnqueueEligible();
+  CallSchedule();
+  Tick();
+  return true;
+}
+
+void SimulationEngine::Run() {
+  while (StepOnce()) {
+  }
+  // Final sweep so jobs ending exactly at sim_end are credited.
+  ClearCompleted();
+}
+
+}  // namespace sraps

@@ -1,0 +1,64 @@
+// Generic coupling of external scheduling simulators to the forward-time
+// digital twin (§3.2.4, §4.2).  An external simulator implements
+// ExternalEventScheduler: it receives submit/start/complete events, keeps
+// its own internal system state, and — when triggered — answers which jobs
+// should start now.  The bridge adapts that protocol to the engine's
+// Scheduler interface and cross-checks every answer against the resource
+// manager: if the external simulator's private state drifted (the
+// ScheduleFlow corner case the paper reports), the bridge throws.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace sraps {
+
+/// Protocol an external scheduling simulator implements to be driven by the
+/// twin.  All state the external sim needs must live behind this interface —
+/// the bridge never shares engine internals.
+class ExternalEventScheduler {
+ public:
+  virtual ~ExternalEventScheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Event notifications (the magenta arrows of Fig. 3).
+  virtual void OnSubmit(SimTime now, const Job& job) = 0;
+  virtual void OnStart(SimTime now, const Job& job) = 0;
+  virtual void OnComplete(SimTime now, const Job& job) = 0;
+
+  /// Triggered by the bridge when the event set is non-empty: return the ids
+  /// of queued jobs that should start now, in start order.
+  virtual std::vector<JobId> JobsToStart(SimTime now) = 0;
+};
+
+class ExternalSchedulerBridge : public Scheduler {
+ public:
+  explicit ExternalSchedulerBridge(std::unique_ptr<ExternalEventScheduler> external);
+
+  std::string name() const override { return "bridge:" + external_->name(); }
+
+  std::vector<Placement> Schedule(const SchedulerContext& ctx) override;
+  /// External simulators hold reservations for future instants; the bridge
+  /// must be polled every tick so those reservations are released on time.
+  bool NeedsTimeTriggered() const override { return true; }
+  void OnJobSubmitted(const Job& job) override;
+  void OnJobStarted(const Job& job) override;
+  void OnJobCompleted(const Job& job) override;
+
+  /// Number of times the external simulator was triggered (the paper
+  /// measures the recomputation overhead of event-based externals).
+  std::size_t trigger_count() const { return trigger_count_; }
+
+ private:
+  std::unique_ptr<ExternalEventScheduler> external_;
+  std::size_t trigger_count_ = 0;
+  SimTime last_seen_now_ = 0;
+  bool pending_events_ = false;
+};
+
+}  // namespace sraps

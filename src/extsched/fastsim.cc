@@ -1,0 +1,219 @@
+#include "extsched/fastsim.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sraps {
+
+FastSim::FastSim(int total_nodes, FastSimOptions options)
+    : total_nodes_(total_nodes), free_nodes_(total_nodes), options_(options) {
+  if (total_nodes <= 0) throw std::invalid_argument("FastSim: no nodes");
+}
+
+void FastSim::AddJobs(std::vector<FastSimJob> jobs) {
+  if (jobs_added_) throw std::logic_error("FastSim: jobs already added");
+  for (const auto& j : jobs) {
+    if (j.nodes <= 0 || j.nodes > total_nodes_) {
+      throw std::invalid_argument("FastSim: job " + std::to_string(j.id) +
+                                  " has invalid node count");
+    }
+    if (j.runtime <= 0) {
+      throw std::invalid_argument("FastSim: job " + std::to_string(j.id) +
+                                  " has non-positive runtime");
+    }
+  }
+  pending_ = std::move(jobs);
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const FastSimJob& a, const FastSimJob& b) {
+                     return a.submit < b.submit;
+                   });
+  jobs_added_ = true;
+}
+
+void FastSim::TrySchedule(SimTime now) {
+  // Order the queue: FCFS or priority.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [&](const FastSimJob& a, const FastSimJob& b) {
+                     if (options_.priority_order && a.priority != b.priority) {
+                       return a.priority > b.priority;
+                     }
+                     if (a.submit != b.submit) return a.submit < b.submit;
+                     return a.id < b.id;
+                   });
+
+  auto start_job = [&](const FastSimJob& j) {
+    FastSimDecision d;
+    d.id = j.id;
+    d.start = now;
+    d.end = now + j.runtime;
+    d.nodes = j.nodes;
+    free_nodes_ -= j.nodes;
+    completions_.push({d.end, d.id});
+    running_[d.id] = d;
+    decisions_.push_back(d);
+  };
+
+  // In-order phase.
+  std::size_t head = 0;
+  while (head < queue_.size() && queue_[head].nodes <= free_nodes_) {
+    start_job(queue_[head]);
+    ++head;
+  }
+  if (head >= queue_.size() || !options_.easy_backfill) {
+    queue_.erase(queue_.begin(), queue_.begin() + head);
+    return;
+  }
+
+  // EASY backfill against the blocked head, using wall-time estimates.
+  const FastSimJob blocked = queue_[head];
+  struct FreeEvent {
+    SimTime t;
+    int nodes;
+  };
+  std::vector<FreeEvent> events;
+  events.reserve(running_.size());
+  for (const auto& [id, r] : running_) {
+    // FastSim plans with the estimate (Slurm does not know actual runtimes).
+    events.push_back({std::max(r.end, now), r.nodes});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FreeEvent& a, const FreeEvent& b) { return a.t < b.t; });
+  SimTime shadow = -1;
+  int spare = 0;
+  int avail = free_nodes_;
+  for (const auto& e : events) {
+    avail += e.nodes;
+    if (avail >= blocked.nodes) {
+      shadow = e.t;
+      spare = avail - blocked.nodes;
+      break;
+    }
+  }
+
+  std::vector<FastSimJob> leftover(queue_.begin() + head, queue_.end());
+  queue_.erase(queue_.begin(), queue_.end());
+  std::vector<FastSimJob> still_queued;
+  still_queued.push_back(leftover.front());  // the blocked head stays queued
+  for (std::size_t i = 1; i < leftover.size(); ++i) {
+    const FastSimJob& j = leftover[i];
+    bool placed = false;
+    if (shadow >= 0 && j.nodes <= free_nodes_) {
+      const bool before_shadow = now + j.estimate <= shadow;
+      const bool in_spare = j.nodes <= spare;
+      if (before_shadow || in_spare) {
+        start_job(j);
+        if (!before_shadow) spare -= j.nodes;
+        placed = true;
+      }
+    }
+    if (!placed) still_queued.push_back(j);
+  }
+  queue_ = std::move(still_queued);
+}
+
+void FastSim::AdvanceTo(SimTime t) {
+  while (true) {
+    // Next event: earliest of next submission / next completion, if <= t.
+    SimTime next = std::numeric_limits<SimTime>::max();
+    if (next_pending_ < pending_.size()) {
+      next = std::min(next, pending_[next_pending_].submit);
+    }
+    if (!completions_.empty()) next = std::min(next, completions_.top().t);
+    if (next > t || next == std::numeric_limits<SimTime>::max()) break;
+
+    time_ = next;
+    bool any = false;
+    while (!completions_.empty() && completions_.top().t <= time_) {
+      const Completion c = completions_.top();
+      completions_.pop();
+      auto it = running_.find(c.id);
+      if (it != running_.end()) {
+        free_nodes_ += it->second.nodes;
+        running_.erase(it);
+      }
+      ++events_processed_;
+      any = true;
+    }
+    while (next_pending_ < pending_.size() && pending_[next_pending_].submit <= time_) {
+      queue_.push_back(pending_[next_pending_]);
+      ++next_pending_;
+      ++events_processed_;
+      any = true;
+    }
+    if (any) TrySchedule(time_);
+  }
+  time_ = std::max(time_, t);
+}
+
+std::vector<FastSimDecision> FastSim::RunToCompletion() {
+  AdvanceTo(std::numeric_limits<SimTime>::max() / 2);
+  return decisions_;
+}
+
+const std::map<JobId, FastSimDecision>& FastSim::StateAt(SimTime t) {
+  if (t < time_) {
+    throw std::invalid_argument("FastSim: StateAt moved backwards (" +
+                                std::to_string(t) + " < " + std::to_string(time_) + ")");
+  }
+  AdvanceTo(t);
+  return running_;
+}
+
+std::vector<FastSimJob> ToFastSimJobs(const std::vector<Job>& jobs) {
+  std::vector<FastSimJob> out;
+  out.reserve(jobs.size());
+  for (const Job& j : jobs) {
+    FastSimJob f;
+    f.id = j.id;
+    f.submit = j.submit_time;
+    f.nodes = j.nodes_required;
+    f.runtime = (j.recorded_start >= 0 && j.recorded_end > j.recorded_start)
+                    ? j.recorded_end - j.recorded_start
+                    : j.time_limit;
+    f.estimate = j.time_limit > 0 ? j.time_limit : f.runtime;
+    f.priority = j.priority;
+    out.push_back(f);
+  }
+  return out;
+}
+
+void ApplyFastSimSchedule(std::vector<Job>& jobs,
+                          const std::vector<FastSimDecision>& decisions) {
+  std::map<JobId, const FastSimDecision*> by_id;
+  for (const auto& d : decisions) by_id[d.id] = &d;
+  for (Job& j : jobs) {
+    auto it = by_id.find(j.id);
+    if (it == by_id.end()) continue;
+    j.recorded_start = it->second->start;
+    j.recorded_end = it->second->end;
+    j.recorded_nodes.clear();  // FastSim does not pin node ids
+  }
+}
+
+FastSimScheduler::FastSimScheduler(std::unique_ptr<FastSim> sim)
+    : sim_(std::move(sim)) {
+  if (!sim_) throw std::invalid_argument("FastSimScheduler: null sim");
+}
+
+std::vector<Placement> FastSimScheduler::Schedule(const SchedulerContext& ctx) {
+  // Plugin mode: ask FastSim for the system state at this time step; any job
+  // FastSim reports as running that the twin still has queued is started.
+  // Both sides keep separate copies of the system state (§4.2.2), and the
+  // twin's tick quantisation can make it lag FastSim's event clock by up to
+  // one tick — placements that do not fit *yet* are simply deferred to the
+  // next tick rather than oversubscribing the resource manager.
+  const auto& running = sim_->StateAt(ctx.now);
+  std::vector<Placement> placements;
+  int free = ctx.rm->free_nodes();
+  for (JobQueue::Handle h : ctx.queue->handles()) {
+    const Job& job = ctx.JobOf(h);
+    if (!running.count(job.id)) continue;
+    if (job.nodes_required > free) continue;  // twin lagging: retry next tick
+    free -= job.nodes_required;
+    placements.push_back({h, {}});
+  }
+  return placements;
+}
+
+}  // namespace sraps

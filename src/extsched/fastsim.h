@@ -1,0 +1,118 @@
+// A FastSim-style lightweight Slurm emulator (Wilkinson et al., ISC'23),
+// standing in for the closed-source FastSim of §4.2.2.
+//
+// FastSim is a pure discrete-event simulator: it jumps from event to event
+// (submissions, completions) instead of ticking, which is what makes it
+// "up to thousands of times faster than real time".  Two coupling modes are
+// provided, exactly as the paper describes:
+//   - plugin mode: the driving simulator (S-RAPS) asks for the system state
+//     at a given time; FastSim processes any events up to that time and
+//     responds with the running-job list indexed by job id.  Both sides keep
+//     separate copies of system state.
+//   - sequential mode: FastSim schedules the whole trace first; the twin
+//     then replays the resulting schedule (faster for historical traces).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+#include "sched/scheduler.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+/// The slice of a job FastSim needs (it does not see traces or accounts).
+struct FastSimJob {
+  JobId id = 0;
+  SimTime submit = 0;
+  int nodes = 0;
+  SimDuration runtime = 0;   ///< actual (used for completion events)
+  SimDuration estimate = 0;  ///< wall-time request (used for backfill)
+  double priority = 0.0;
+};
+
+/// A scheduling decision produced by FastSim.
+struct FastSimDecision {
+  JobId id = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  int nodes = 0;
+};
+
+struct FastSimOptions {
+  bool priority_order = false;  ///< false = FCFS, true = priority descending
+  bool easy_backfill = true;    ///< Slurm's default backfill behaviour
+};
+
+class FastSim {
+ public:
+  FastSim(int total_nodes, FastSimOptions options = {});
+
+  /// Registers the workload.  Call once, before any advance.
+  void AddJobs(std::vector<FastSimJob> jobs);
+
+  /// Sequential mode: runs the DES to completion, returns every decision.
+  std::vector<FastSimDecision> RunToCompletion();
+
+  /// Plugin mode: processes events up to (and including) `t` and returns the
+  /// jobs running at `t`, indexed by job id.
+  const std::map<JobId, FastSimDecision>& StateAt(SimTime t);
+
+  SimTime internal_time() const { return time_; }
+  std::size_t events_processed() const { return events_processed_; }
+
+ private:
+  void AdvanceTo(SimTime t);
+  void TrySchedule(SimTime now);
+
+  int total_nodes_;
+  int free_nodes_;
+  FastSimOptions options_;
+  SimTime time_ = 0;
+  std::size_t events_processed_ = 0;
+
+  std::vector<FastSimJob> pending_;  ///< sorted by submit, consumed in order
+  std::size_t next_pending_ = 0;
+  std::vector<FastSimJob> queue_;
+  struct Completion {
+    SimTime t;
+    JobId id;
+    bool operator>(const Completion& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions_;
+  std::map<JobId, FastSimDecision> running_;
+  std::vector<FastSimDecision> decisions_;
+  bool jobs_added_ = false;
+};
+
+/// Converts engine jobs to FastSim inputs.
+std::vector<FastSimJob> ToFastSimJobs(const std::vector<Job>& jobs);
+
+/// Sequential-mode glue: overwrites each job's recorded schedule with
+/// FastSim's decisions so the twin can replay them (Fig. 7 pipeline).
+/// Jobs FastSim never started are left untouched.
+void ApplyFastSimSchedule(std::vector<Job>& jobs,
+                          const std::vector<FastSimDecision>& decisions);
+
+/// Plugin-mode adapter: an engine Scheduler that lock-steps a FastSim
+/// instance and starts whatever FastSim reports as running.
+class FastSimScheduler : public Scheduler {
+ public:
+  FastSimScheduler(std::unique_ptr<FastSim> sim);
+
+  std::string name() const override { return "fastsim-plugin"; }
+  std::vector<Placement> Schedule(const SchedulerContext& ctx) override;
+  /// FastSim's internal event clock may fire between engine events.
+  bool NeedsTimeTriggered() const override { return true; }
+
+ private:
+  std::unique_ptr<FastSim> sim_;
+};
+
+}  // namespace sraps

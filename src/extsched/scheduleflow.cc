@@ -1,0 +1,114 @@
+#include "extsched/scheduleflow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sraps {
+
+ScheduleFlowSim::ScheduleFlowSim(int total_nodes)
+    : total_nodes_(total_nodes), free_nodes_(total_nodes) {
+  if (total_nodes <= 0) throw std::invalid_argument("ScheduleFlowSim: no nodes");
+}
+
+void ScheduleFlowSim::OnSubmit(SimTime now, const Job& job) {
+  PendingJob p;
+  p.id = job.id;
+  p.submit = job.submit_time;
+  p.nodes = job.nodes_required;
+  p.estimate = job.RuntimeEstimate();
+  queue_[job.id] = p;
+  RecomputePlan(now);
+}
+
+void ScheduleFlowSim::OnStart(SimTime now, const Job& job) {
+  auto it = queue_.find(job.id);
+  if (it == queue_.end()) return;  // started by someone else's bookkeeping
+  InternalRunning r;
+  r.id = job.id;
+  r.nodes = it->second.nodes;
+  r.expected_end = now + it->second.estimate;
+  free_nodes_ -= r.nodes;
+  running_[job.id] = r;
+  queue_.erase(it);
+}
+
+void ScheduleFlowSim::OnComplete(SimTime now, const Job& job) {
+  auto it = running_.find(job.id);
+  if (it == running_.end()) return;
+  free_nodes_ += it->second.nodes;
+  running_.erase(it);
+  RecomputePlan(now);
+}
+
+void ScheduleFlowSim::RecomputePlan(SimTime now) {
+  // Full reservation-plan recomputation on every event — the behaviour that
+  // makes this coupling expensive (§4.2.1).  Jobs are planned FCFS; each
+  // reservation is the earliest time enough nodes are free given running
+  // jobs' expected ends and earlier reservations.
+  ++plan_recomputations_;
+
+  struct FreeEvent {
+    SimTime t;
+    int nodes;
+  };
+  std::vector<FreeEvent> events;
+  for (const auto& [id, r] : running_) {
+    events.push_back({std::max(r.expected_end, now), r.nodes});
+  }
+
+  std::vector<PendingJob*> order;
+  order.reserve(queue_.size());
+  for (auto& [id, p] : queue_) order.push_back(&p);
+  std::sort(order.begin(), order.end(), [](const PendingJob* a, const PendingJob* b) {
+    if (a->submit != b->submit) return a->submit < b->submit;
+    return a->id < b->id;
+  });
+
+  int avail = free_nodes_;
+  SimTime cursor = now;
+  for (PendingJob* p : order) {
+    // Advance the cursor through free events until the job fits.
+    std::sort(events.begin(), events.end(),
+              [](const FreeEvent& a, const FreeEvent& b) { return a.t < b.t; });
+    std::size_t consumed = 0;
+    while (avail < p->nodes && consumed < events.size()) {
+      cursor = std::max(cursor, events[consumed].t);
+      avail += events[consumed].nodes;
+      ++consumed;
+    }
+    events.erase(events.begin(), events.begin() + consumed);
+    if (avail < p->nodes) {
+      // Cannot ever fit with current knowledge; park it far in the future.
+      p->reserved_start = -1;
+      continue;
+    }
+    p->reserved_start = cursor;
+    avail -= p->nodes;
+    events.push_back({cursor + p->estimate, p->nodes});
+  }
+}
+
+std::vector<JobId> ScheduleFlowSim::JobsToStart(SimTime now) {
+  std::vector<const PendingJob*> due;
+  for (const auto& [id, p] : queue_) {
+    if (p.reserved_start >= 0 && p.reserved_start <= now) due.push_back(&p);
+  }
+  std::sort(due.begin(), due.end(), [](const PendingJob* a, const PendingJob* b) {
+    if (a->reserved_start != b->reserved_start) {
+      return a->reserved_start < b->reserved_start;
+    }
+    return a->id < b->id;
+  });
+  // Release only what the internal free-node count allows; the bridge
+  // re-validates against the twin's resource manager.
+  std::vector<JobId> out;
+  int avail = free_nodes_;
+  for (const PendingJob* p : due) {
+    if (p->nodes > avail) break;
+    avail -= p->nodes;
+    out.push_back(p->id);
+  }
+  return out;
+}
+
+}  // namespace sraps

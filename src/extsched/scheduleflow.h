@@ -1,0 +1,61 @@
+// A ScheduleFlow-style event-based reservation scheduler (Gainaru et al.),
+// standing in for the Python ScheduleFlow the paper couples in §4.2.1.
+//
+// Faithful properties: it is *event-based* (it reacts to submit/complete
+// events, not ticks), it maintains its *own* copy of system state (free-node
+// count and reservations), and every trigger *recomputes the entire
+// reservation plan* — which is exactly why the paper measures large
+// overheads for this integration.  It plans with reservation-based
+// semantics: every queued job gets a reserved start time; jobs whose
+// reservation has arrived are released to the twin.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "extsched/external_bridge.h"
+
+namespace sraps {
+
+class ScheduleFlowSim : public ExternalEventScheduler {
+ public:
+  explicit ScheduleFlowSim(int total_nodes);
+
+  std::string name() const override { return "scheduleflow"; }
+
+  void OnSubmit(SimTime now, const Job& job) override;
+  void OnStart(SimTime now, const Job& job) override;
+  void OnComplete(SimTime now, const Job& job) override;
+  std::vector<JobId> JobsToStart(SimTime now) override;
+
+  /// Full-plan recomputations performed (the §4.2.1 overhead metric).
+  std::size_t plan_recomputations() const { return plan_recomputations_; }
+
+  /// Injects state drift for testing the bridge's consistency check: makes
+  /// the internal free-node count optimistic by `nodes`.
+  void CorruptFreeNodes(int nodes) { free_nodes_ += nodes; }
+
+ private:
+  struct PendingJob {
+    JobId id;
+    SimTime submit;
+    int nodes;
+    SimDuration estimate;
+    SimTime reserved_start = -1;
+  };
+  struct InternalRunning {
+    JobId id;
+    int nodes;
+    SimTime expected_end;
+  };
+
+  void RecomputePlan(SimTime now);
+
+  int total_nodes_;
+  int free_nodes_;
+  std::map<JobId, PendingJob> queue_;
+  std::map<JobId, InternalRunning> running_;
+  std::size_t plan_recomputations_ = 0;
+};
+
+}  // namespace sraps

@@ -1,0 +1,217 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace sraps {
+namespace {
+
+// Gini impurity of a label histogram.
+double Gini(const std::map<int, int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (const auto& [label, n] : counts) {
+    const double p = static_cast<double>(n) / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(Task task, TreeOptions options)
+    : task_(task), options_(options) {
+  if (options_.max_depth <= 0) throw std::invalid_argument("DecisionTree: max_depth <= 0");
+  if (options_.min_samples_leaf <= 0) {
+    throw std::invalid_argument("DecisionTree: min_samples_leaf <= 0");
+  }
+}
+
+double DecisionTree::LeafValue(const std::vector<double>& y,
+                               const std::vector<std::size_t>& idx, std::size_t lo,
+                               std::size_t hi) const {
+  if (task_ == Task::kRegression) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += y[idx[i]];
+    return s / static_cast<double>(hi - lo);
+  }
+  // Classification: majority vote.
+  std::map<int, int> counts;
+  for (std::size_t i = lo; i < hi; ++i) ++counts[static_cast<int>(y[idx[i]])];
+  int best_label = 0, best_count = -1;
+  for (const auto& [label, n] : counts) {
+    if (n > best_count) {
+      best_count = n;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double DecisionTree::Impurity(const std::vector<double>& y,
+                              const std::vector<std::size_t>& idx, std::size_t lo,
+                              std::size_t hi) const {
+  const int n = static_cast<int>(hi - lo);
+  if (n == 0) return 0.0;
+  if (task_ == Task::kRegression) {
+    double s = 0.0, s2 = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      s += y[idx[i]];
+      s2 += y[idx[i]] * y[idx[i]];
+    }
+    const double mean = s / n;
+    return std::max(0.0, s2 / n - mean * mean);  // variance
+  }
+  std::map<int, int> counts;
+  for (std::size_t i = lo; i < hi; ++i) ++counts[static_cast<int>(y[idx[i]])];
+  return Gini(counts, n);
+}
+
+int DecisionTree::Build(const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y, std::vector<std::size_t>& idx,
+                        std::size_t lo, std::size_t hi, int depth, Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const int n = static_cast<int>(hi - lo);
+  const double node_impurity = Impurity(y, idx, lo, hi);
+
+  auto make_leaf = [&] {
+    Node leaf;
+    leaf.value = LeafValue(y, idx, lo, hi);
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  if (depth >= options_.max_depth || n < options_.min_samples_split ||
+      node_impurity <= 1e-12) {
+    return make_leaf();
+  }
+
+  const int num_features = static_cast<int>(x.front().size());
+  std::vector<int> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  if (options_.max_features > 0 && options_.max_features < num_features) {
+    // Random subset (Fisher–Yates prefix).
+    for (int i = 0; i < options_.max_features; ++i) {
+      const int j = static_cast<int>(rng.UniformInt(i, num_features - 1));
+      std::swap(features[i], features[j]);
+    }
+    features.resize(options_.max_features);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = -1e-12;  // require strictly positive impurity decrease
+
+  std::vector<std::size_t> sorted(idx.begin() + lo, idx.begin() + hi);
+  for (int f : features) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return x[a][f] < x[b][f]; });
+    if (task_ == Task::kRegression) {
+      // Incremental variance split scan.
+      double left_s = 0.0, left_s2 = 0.0;
+      double right_s = 0.0, right_s2 = 0.0;
+      for (std::size_t i = 0; i < sorted.size(); ++i) {
+        right_s += y[sorted[i]];
+        right_s2 += y[sorted[i]] * y[sorted[i]];
+      }
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const double v = y[sorted[i]];
+        left_s += v;
+        left_s2 += v * v;
+        right_s -= v;
+        right_s2 -= v * v;
+        if (x[sorted[i]][f] == x[sorted[i + 1]][f]) continue;  // no split between ties
+        const int nl = static_cast<int>(i) + 1;
+        const int nr = static_cast<int>(sorted.size()) - nl;
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) continue;
+        const double var_l = std::max(0.0, left_s2 / nl - (left_s / nl) * (left_s / nl));
+        const double var_r =
+            std::max(0.0, right_s2 / nr - (right_s / nr) * (right_s / nr));
+        const double score =
+            node_impurity - (nl * var_l + nr * var_r) / static_cast<double>(n);
+        if (score > best_score) {
+          best_score = score;
+          best_feature = f;
+          best_threshold = 0.5 * (x[sorted[i]][f] + x[sorted[i + 1]][f]);
+        }
+      }
+    } else {
+      std::map<int, int> left_counts, right_counts;
+      for (std::size_t i = 0; i < sorted.size(); ++i) {
+        ++right_counts[static_cast<int>(y[sorted[i]])];
+      }
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const int label = static_cast<int>(y[sorted[i]]);
+        ++left_counts[label];
+        if (--right_counts[label] == 0) right_counts.erase(label);
+        if (x[sorted[i]][f] == x[sorted[i + 1]][f]) continue;
+        const int nl = static_cast<int>(i) + 1;
+        const int nr = static_cast<int>(sorted.size()) - nl;
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) continue;
+        const double score = node_impurity - (nl * Gini(left_counts, nl) +
+                                              nr * Gini(right_counts, nr)) /
+                                                 static_cast<double>(n);
+        if (score > best_score) {
+          best_score = score;
+          best_feature = f;
+          best_threshold = 0.5 * (x[sorted[i]][f] + x[sorted[i + 1]][f]);
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition idx[lo,hi) by the chosen split.
+  const auto mid_it =
+      std::stable_partition(idx.begin() + lo, idx.begin() + hi, [&](std::size_t i) {
+        return x[i][best_feature] <= best_threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return make_leaf();  // degenerate split
+
+  Node node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const int me = static_cast<int>(nodes_.size()) - 1;
+  const int left = Build(x, y, idx, lo, mid, depth + 1, rng);
+  const int right = Build(x, y, idx, mid, hi, depth + 1, rng);
+  nodes_[me].left = left;
+  nodes_[me].right = right;
+  return me;
+}
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y, Rng& rng,
+                       const std::vector<std::size_t>& row_indices) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("DecisionTree: bad training data");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> idx;
+  if (row_indices.empty()) {
+    idx.resize(x.size());
+    std::iota(idx.begin(), idx.end(), 0);
+  } else {
+    idx = row_indices;
+  }
+  root_ = Build(x, y, idx, 0, idx.size(), 0, rng);
+}
+
+double DecisionTree::Predict(const std::vector<double>& row) const {
+  if (nodes_.empty() || root_ < 0) throw std::logic_error("DecisionTree: not fitted");
+  int cur = root_;
+  while (nodes_[cur].feature >= 0) {
+    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
+                                                            : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+}  // namespace sraps

@@ -1,0 +1,67 @@
+// CART decision trees — the base learner behind the random forest of §4.4.1
+// step 2 (classification into behavioural clusters) and the per-cluster
+// prediction models of step 3 (regression on runtime/power targets).
+// Classification splits on Gini impurity, regression on variance reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sraps {
+
+struct TreeOptions {
+  int max_depth = 12;
+  int min_samples_split = 4;
+  int min_samples_leaf = 2;
+  /// Features considered per split; 0 = all (single tree), otherwise a
+  /// random subset (random-forest mode).
+  int max_features = 0;
+};
+
+/// Shared CART implementation.  Task is fixed at construction.
+class DecisionTree {
+ public:
+  enum class Task { kClassification, kRegression };
+
+  DecisionTree(Task task, TreeOptions options = {});
+
+  /// Fits on row-major features.  For classification, y holds integral class
+  /// labels >= 0; for regression, real targets.  `row_indices` selects the
+  /// training subset (bootstrap sampling); empty = all rows.
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+           Rng& rng, const std::vector<std::size_t>& row_indices = {});
+
+  /// Predicted class (as double) or regression value.
+  double Predict(const std::vector<double>& row) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;     ///< -1 = leaf
+    double threshold = 0;
+    int left = -1;
+    int right = -1;
+    double value = 0;     ///< leaf prediction
+  };
+
+  int Build(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+            std::vector<std::size_t>& idx, std::size_t lo, std::size_t hi, int depth,
+            Rng& rng);
+  double LeafValue(const std::vector<double>& y, const std::vector<std::size_t>& idx,
+                   std::size_t lo, std::size_t hi) const;
+  double Impurity(const std::vector<double>& y, const std::vector<std::size_t>& idx,
+                  std::size_t lo, std::size_t hi) const;
+
+  Task task_;
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int depth_ = 0;
+};
+
+}  // namespace sraps

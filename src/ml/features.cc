@@ -1,0 +1,96 @@
+#include "ml/features.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/time.h"
+
+namespace sraps {
+namespace {
+
+double Log1p(double v) { return std::log1p(std::max(0.0, v)); }
+
+double AccountBucket(const std::string& account) {
+  // Stable small-cardinality encoding of the account identity.
+  return static_cast<double>(std::hash<std::string>{}(account) % 64);
+}
+
+/// Mean node power from whatever telemetry the job has.
+double MeanPower(const Job& job, SimDuration runtime) {
+  if (!job.node_power_w.empty()) return job.node_power_w.MeanOver(runtime);
+  // No direct power: a crude utilisation proxy (200 W + 400 W * mixed util).
+  const double cpu = job.cpu_util.empty() ? 0.0 : job.cpu_util.MeanOver(runtime);
+  const double gpu = job.gpu_util.empty() ? 0.0 : job.gpu_util.MeanOver(runtime);
+  return 200.0 + 400.0 * (0.4 * cpu + 0.6 * gpu);
+}
+
+}  // namespace
+
+std::vector<double> StaticFeatures(const Job& job) {
+  const double hour =
+      static_cast<double>((job.submit_time % kDay + kDay) % kDay) / kHour;
+  const double dow = static_cast<double>((job.submit_time / kDay) % 7);
+  return {
+      std::log2(static_cast<double>(std::max(1, job.nodes_required))),
+      Log1p(static_cast<double>(job.time_limit)),
+      hour,
+      dow,
+      AccountBucket(job.account),
+      job.priority,
+  };
+}
+
+std::vector<std::string> StaticFeatureNames() {
+  return {"log2_nodes", "log1p_time_limit", "submit_hour", "submit_dow",
+          "account_bucket", "priority"};
+}
+
+std::vector<double> DynamicFeatures(const Job& job) {
+  const SimDuration runtime = job.RecordedRuntime();
+  double p_mean, p_min, p_max, p_sd;
+  if (!job.node_power_w.empty()) {
+    p_mean = job.node_power_w.MeanOver(runtime);
+    p_min = job.node_power_w.RawMin();
+    p_max = job.node_power_w.RawMax();
+    p_sd = job.node_power_w.RawStdDev();
+  } else {
+    p_mean = MeanPower(job, runtime);
+    p_min = p_mean;
+    p_max = p_mean;
+    p_sd = 0.0;
+  }
+  const double cpu = job.cpu_util.empty() ? 0.0 : job.cpu_util.MeanOver(runtime);
+  const double gpu = job.gpu_util.empty() ? 0.0 : job.gpu_util.MeanOver(runtime);
+  const double energy = p_mean * static_cast<double>(runtime) * job.nodes_required;
+  return {
+      Log1p(static_cast<double>(runtime)),
+      p_mean,
+      p_min,
+      p_max,
+      p_sd,
+      cpu,
+      gpu,
+      Log1p(energy),
+  };
+}
+
+std::vector<std::string> DynamicFeatureNames() {
+  return {"log1p_runtime", "power_mean", "power_min", "power_max",
+          "power_sd",      "cpu_util",   "gpu_util",  "log1p_energy"};
+}
+
+std::vector<double> CombinedFeatures(const Job& job) {
+  std::vector<double> f = StaticFeatures(job);
+  const std::vector<double> d = DynamicFeatures(job);
+  f.insert(f.end(), d.begin(), d.end());
+  return f;
+}
+
+std::vector<double> Targets(const Job& job) {
+  const SimDuration runtime = job.RecordedRuntime();
+  return {Log1p(static_cast<double>(runtime)), MeanPower(job, runtime)};
+}
+
+std::vector<std::string> TargetNames() { return {"log1p_runtime", "mean_power_w"}; }
+
+}  // namespace sraps

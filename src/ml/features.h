@@ -1,0 +1,36 @@
+// Job feature extraction for the ML pipeline (§4.4).
+//
+// Static (pre-submission) features are everything known when the job enters
+// the queue; dynamic features summarise telemetry — and because "timeseries
+// data is inherently noisy and high-dimensional", §4.4.3 extracts summary
+// statistics (max, min, mean, stddev) rather than raw series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Static features, available at submission: requested nodes (log2), wall
+/// limit (log), submit hour-of-day, submit day-of-week, account hash bucket,
+/// dataset priority.
+std::vector<double> StaticFeatures(const Job& job);
+std::vector<std::string> StaticFeatureNames();
+
+/// Dynamic features from completed-job telemetry: runtime (log), per-node
+/// power mean/min/max/stddev, cpu/gpu utilisation means, total energy (log).
+/// Requires a recorded runtime; power falls back to utilisation summaries
+/// when no power trace exists.
+std::vector<double> DynamicFeatures(const Job& job);
+std::vector<std::string> DynamicFeatureNames();
+
+/// Static + dynamic concatenated (clustering input, §4.4.1 step 1).
+std::vector<double> CombinedFeatures(const Job& job);
+
+/// Regression targets per job: {log runtime, mean node power W}.
+std::vector<double> Targets(const Job& job);
+std::vector<std::string> TargetNames();
+
+}  // namespace sraps

@@ -1,0 +1,110 @@
+#include "ml/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/features.h"
+
+namespace sraps {
+namespace {
+
+// Summary of the first `prefix` seconds of a trace (step-hold sampling at
+// 1/10th of the prefix).  Empty traces contribute zeros.
+void AppendPrefixSummary(std::vector<double>& out, const TraceSeries& trace,
+                         SimDuration prefix) {
+  if (trace.empty()) {
+    out.insert(out.end(), {0.0, 0.0, 0.0, 0.0});
+    return;
+  }
+  const SimDuration step = std::max<SimDuration>(1, prefix / 10);
+  double sum = 0.0, sum2 = 0.0;
+  double lo = 1e300, hi = -1e300;
+  int n = 0;
+  for (SimDuration t = 0; t < prefix; t += step) {
+    const double v = trace.Sample(t);
+    sum += v;
+    sum2 += v * v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    ++n;
+  }
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum2 / n - mean * mean);
+  out.insert(out.end(), {mean, lo, hi, std::sqrt(var)});
+}
+
+}  // namespace
+
+std::vector<double> JobFingerprinter::PrefixFeatures(const Job& job,
+                                                     SimDuration prefix) {
+  std::vector<double> f = StaticFeatures(job);
+  // Prefer the power trace; utilisation prefixes carry the same shape
+  // information for datasets without power telemetry.
+  AppendPrefixSummary(f, job.node_power_w, prefix);
+  AppendPrefixSummary(f, job.cpu_util, prefix);
+  AppendPrefixSummary(f, job.gpu_util, prefix);
+  return f;
+}
+
+JobFingerprinter::JobFingerprinter(FingerprinterOptions options)
+    : options_(options), kmeans_(options.num_clusters, 100, options.seed) {}
+
+void JobFingerprinter::Train(const std::vector<Job>& history) {
+  if (static_cast<int>(history.size()) < options_.num_clusters) {
+    throw std::invalid_argument("JobFingerprinter: fewer jobs than clusters");
+  }
+  std::vector<std::vector<double>> rows;
+  rows.reserve(history.size());
+  for (const Job& j : history) rows.push_back(PrefixFeatures(j, options_.prefix));
+  scaler_.Fit(rows);
+  const auto scaled = scaler_.TransformAll(rows);
+  const KMeansResult result = kmeans_.Fit(scaled);
+
+  cluster_runtime_s_.assign(options_.num_clusters, 0.0);
+  cluster_power_w_.assign(options_.num_clusters, 0.0);
+  std::vector<int> counts(options_.num_clusters, 0);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const int c = result.labels[i];
+    const Job& j = history[i];
+    const SimDuration runtime = j.RecordedRuntime();
+    cluster_runtime_s_[c] += static_cast<double>(runtime);
+    cluster_power_w_[c] +=
+        j.node_power_w.empty() ? 0.0 : j.node_power_w.MeanOver(runtime);
+    ++counts[c];
+  }
+  double global_runtime = 0.0, global_power = 0.0;
+  for (int c = 0; c < options_.num_clusters; ++c) {
+    global_runtime += cluster_runtime_s_[c];
+    global_power += cluster_power_w_[c];
+  }
+  global_runtime /= static_cast<double>(history.size());
+  global_power /= static_cast<double>(history.size());
+  for (int c = 0; c < options_.num_clusters; ++c) {
+    if (counts[c] > 0) {
+      cluster_runtime_s_[c] /= counts[c];
+      cluster_power_w_[c] /= counts[c];
+    } else {
+      cluster_runtime_s_[c] = global_runtime;  // empty cluster: global prior
+      cluster_power_w_[c] = global_power;
+    }
+  }
+  trained_ = true;
+}
+
+FingerprintForecast JobFingerprinter::Predict(const Job& job,
+                                              SimDuration observed_s) const {
+  if (!trained_) throw std::logic_error("JobFingerprinter: not trained");
+  const auto x = scaler_.Transform(PrefixFeatures(job, options_.prefix));
+  FingerprintForecast f;
+  f.cluster = kmeans_.Predict(x);
+  f.total_runtime_s = cluster_runtime_s_[f.cluster];
+  f.remaining_runtime_s =
+      std::max(0.0, f.total_runtime_s - static_cast<double>(observed_s));
+  f.mean_power_w = cluster_power_w_[f.cluster];
+  const double d2 = SquaredDistance(x, kmeans_.centroids()[f.cluster]);
+  f.confidence = 1.0 / (1.0 + std::sqrt(d2));
+  return f;
+}
+
+}  // namespace sraps

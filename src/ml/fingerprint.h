@@ -1,0 +1,64 @@
+// Early-telemetry job fingerprinting — the paper's named future-work item
+// (§5): "if this information [job power profiles] is not available, we have
+// to rely on user estimates, or fingerprinting and prediction, which are
+// prime candidates for future work."
+//
+// Given only the first few minutes of a running job's power/utilisation
+// telemetry, the fingerprinter matches the observed prefix against clusters
+// learned from historical jobs and forecasts the job's remaining runtime and
+// steady-state power — inputs a power-aware scheduler can act on mid-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/kmeans.h"
+#include "ml/scaler.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+struct FingerprintForecast {
+  int cluster = -1;
+  double total_runtime_s = 0.0;      ///< forecast total runtime
+  double remaining_runtime_s = 0.0;  ///< total minus observed
+  double mean_power_w = 0.0;         ///< forecast whole-job mean node power
+  double confidence = 0.0;  ///< 1 / (1 + distance to centroid); higher = closer
+};
+
+struct FingerprinterOptions {
+  int num_clusters = 5;
+  SimDuration prefix = 10 * kMinute;  ///< telemetry window used as the fingerprint
+  std::uint64_t seed = 23;
+};
+
+class JobFingerprinter {
+ public:
+  explicit JobFingerprinter(FingerprinterOptions options = {});
+
+  /// Trains on completed historical jobs (recorded runtimes + telemetry).
+  /// Throws std::invalid_argument with fewer jobs than clusters.
+  void Train(const std::vector<Job>& history);
+
+  bool trained() const { return trained_; }
+
+  /// Forecasts from the first `options.prefix` seconds of the job's traces
+  /// plus its static features.  `observed_s` is how long the job has been
+  /// running (clamped into [0, forecast total)).
+  FingerprintForecast Predict(const Job& job, SimDuration observed_s) const;
+
+  /// The fingerprint feature vector (exposed for tests): static features +
+  /// prefix power mean/min/max/sd.
+  static std::vector<double> PrefixFeatures(const Job& job, SimDuration prefix);
+
+ private:
+  FingerprinterOptions options_;
+  StandardScaler scaler_;
+  KMeans kmeans_;
+  /// Per-cluster forecasts learned at training time.
+  std::vector<double> cluster_runtime_s_;
+  std::vector<double> cluster_power_w_;
+  bool trained_ = false;
+};
+
+}  // namespace sraps

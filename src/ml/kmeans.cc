@@ -1,0 +1,123 @@
+#include "ml/kmeans.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sraps {
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("SquaredDistance: size mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+KMeans::KMeans(int k, int max_iterations, std::uint64_t seed)
+    : k_(k), max_iterations_(max_iterations), seed_(seed) {
+  if (k <= 0) throw std::invalid_argument("KMeans: k must be > 0");
+  if (max_iterations <= 0) throw std::invalid_argument("KMeans: max_iterations <= 0");
+}
+
+KMeansResult KMeans::Fit(const std::vector<std::vector<double>>& rows) {
+  if (static_cast<int>(rows.size()) < k_) {
+    throw std::invalid_argument("KMeans: fewer rows than clusters");
+  }
+  const std::size_t dim = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != dim) throw std::invalid_argument("KMeans: ragged input");
+  }
+  Rng rng(seed_);
+
+  // k-means++ seeding.
+  centroids_.clear();
+  centroids_.push_back(rows[rng.UniformInt(0, static_cast<std::int64_t>(rows.size()) - 1)]);
+  std::vector<double> dist2(rows.size(), 0.0);
+  while (static_cast<int>(centroids_.size()) < k_) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids_) best = std::min(best, SquaredDistance(rows[i], c));
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      centroids_.push_back(centroids_.back());
+      continue;
+    }
+    double draw = rng.NextDouble() * total;
+    std::size_t chosen = rows.size() - 1;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      draw -= dist2[i];
+      if (draw <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids_.push_back(rows[chosen]);
+  }
+
+  // Lloyd iterations.
+  KMeansResult result;
+  result.labels.assign(rows.size(), 0);
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k_; ++c) {
+        const double d = SquaredDistance(rows[i], centroids_[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(k_, std::vector<double>(dim, 0.0));
+    std::vector<int> counts(k_, 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const int c = result.labels[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += rows[i][d];
+    }
+    for (int c = 0; c < k_; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      for (std::size_t d = 0; d < dim; ++d) {
+        centroids_[c][d] = sums[c][d] / counts[c];
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    result.inertia += SquaredDistance(rows[i], centroids_[result.labels[i]]);
+  }
+  result.centroids = centroids_;
+  return result;
+}
+
+int KMeans::Predict(const std::vector<double>& row) const {
+  if (centroids_.empty()) throw std::logic_error("KMeans: not fitted");
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = SquaredDistance(row, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace sraps

@@ -1,0 +1,43 @@
+// K-means clustering with k-means++ seeding (§4.4.1 step 1: "partition
+// historical jobs into behavioral clusters ... using K-means clustering").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sraps {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k x d
+  std::vector<int> labels;                     ///< one per input row
+  double inertia = 0.0;                        ///< sum of squared distances
+  int iterations = 0;
+};
+
+class KMeans {
+ public:
+  explicit KMeans(int k, int max_iterations = 100, std::uint64_t seed = 5);
+
+  /// Fits on row-major data.  Throws std::invalid_argument if rows < k or
+  /// ragged.  Deterministic for a fixed seed.
+  KMeansResult Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Nearest-centroid label for a new point (after Fit).
+  int Predict(const std::vector<double>& row) const;
+
+  int k() const { return k_; }
+  const std::vector<std::vector<double>>& centroids() const { return centroids_; }
+
+ private:
+  int k_;
+  int max_iterations_;
+  std::uint64_t seed_;
+  std::vector<std::vector<double>> centroids_;
+};
+
+/// Squared Euclidean distance (shared by k-means and tests).
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace sraps

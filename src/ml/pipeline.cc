@@ -1,0 +1,134 @@
+#include "ml/pipeline.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/features.h"
+
+namespace sraps {
+
+MlPipeline::MlPipeline(MlPipelineOptions options)
+    : options_(options),
+      kmeans_(options.num_clusters, 100, options.seed),
+      classifier_(options.classifier),
+      global_runtime_(options.regressor),
+      global_power_(options.regressor) {}
+
+void MlPipeline::Train(const std::vector<Job>& historical) {
+  if (static_cast<int>(historical.size()) < options_.num_clusters) {
+    throw std::invalid_argument("MlPipeline: fewer jobs than clusters");
+  }
+
+  // (1) Clustering on static + dynamic summary features.
+  std::vector<std::vector<double>> combined, statics;
+  std::vector<std::vector<double>> targets;
+  combined.reserve(historical.size());
+  for (const Job& j : historical) {
+    combined.push_back(CombinedFeatures(j));
+    statics.push_back(StaticFeatures(j));
+    targets.push_back(Targets(j));
+  }
+  combined_scaler_.Fit(combined);
+  static_scaler_.Fit(statics);
+  const auto combined_scaled = combined_scaler_.TransformAll(combined);
+  const auto static_scaled = static_scaler_.TransformAll(statics);
+  clustering_ = kmeans_.Fit(combined_scaled);
+
+  // (2) Classifier: static features -> cluster label (dynamic features are
+  // unavailable at submission, §4.4.1 step 2).
+  std::vector<double> labels(clustering_.labels.begin(), clustering_.labels.end());
+  classifier_.Fit(static_scaled, labels);
+  classifier_accuracy_ = classifier_.Score(static_scaled, labels);
+
+  // (3) Per-cluster regressors on static features.
+  runtime_models_.assign(options_.num_clusters,
+                         RandomForestRegressor(options_.regressor));
+  power_models_.assign(options_.num_clusters, RandomForestRegressor(options_.regressor));
+  cluster_has_model_.assign(options_.num_clusters, false);
+  std::vector<double> runtime_y, power_y;
+  runtime_y.reserve(targets.size());
+  for (const auto& t : targets) {
+    runtime_y.push_back(t[0]);
+    power_y.push_back(t[1]);
+  }
+  global_runtime_.Fit(static_scaled, runtime_y);
+  global_power_.Fit(static_scaled, power_y);
+
+  constexpr std::size_t kMinClusterSize = 8;
+  for (int c = 0; c < options_.num_clusters; ++c) {
+    std::vector<std::vector<double>> cx;
+    std::vector<double> cry, cpy;
+    for (std::size_t i = 0; i < historical.size(); ++i) {
+      if (clustering_.labels[i] != c) continue;
+      cx.push_back(static_scaled[i]);
+      cry.push_back(runtime_y[i]);
+      cpy.push_back(power_y[i]);
+    }
+    if (cx.size() < kMinClusterSize) continue;  // fall back to global models
+    runtime_models_[c].Fit(cx, cry);
+    power_models_[c].Fit(cx, cpy);
+    cluster_has_model_[c] = true;
+  }
+
+  // Diagnostics: in-sample R^2 routed through the cluster structure.
+  {
+    double ss_res_r = 0.0, ss_tot_r = 0.0, mean_r = 0.0;
+    double ss_res_p = 0.0, ss_tot_p = 0.0, mean_p = 0.0;
+    for (std::size_t i = 0; i < historical.size(); ++i) {
+      mean_r += runtime_y[i];
+      mean_p += power_y[i];
+    }
+    mean_r /= static_cast<double>(historical.size());
+    mean_p /= static_cast<double>(historical.size());
+    for (std::size_t i = 0; i < historical.size(); ++i) {
+      const int c = clustering_.labels[i];
+      const auto& rm = cluster_has_model_[c] ? runtime_models_[c] : global_runtime_;
+      const auto& pm = cluster_has_model_[c] ? power_models_[c] : global_power_;
+      const double pr = rm.Predict(static_scaled[i]);
+      const double pp = pm.Predict(static_scaled[i]);
+      ss_res_r += (runtime_y[i] - pr) * (runtime_y[i] - pr);
+      ss_tot_r += (runtime_y[i] - mean_r) * (runtime_y[i] - mean_r);
+      ss_res_p += (power_y[i] - pp) * (power_y[i] - pp);
+      ss_tot_p += (power_y[i] - mean_p) * (power_y[i] - mean_p);
+    }
+    runtime_r2_ = ss_tot_r > 0 ? 1.0 - ss_res_r / ss_tot_r : 1.0;
+    power_r2_ = ss_tot_p > 0 ? 1.0 - ss_res_p / ss_tot_p : 1.0;
+  }
+
+  trained_ = true;
+}
+
+MlPrediction MlPipeline::Predict(const Job& job) const {
+  if (!trained_) throw std::logic_error("MlPipeline: not trained");
+  const auto x = static_scaler_.Transform(StaticFeatures(job));
+  MlPrediction p;
+  p.cluster = classifier_.Predict(x);
+  const bool has = p.cluster >= 0 &&
+                   p.cluster < static_cast<int>(cluster_has_model_.size()) &&
+                   cluster_has_model_[p.cluster];
+  const auto& rm = has ? runtime_models_[p.cluster] : global_runtime_;
+  const auto& pm = has ? power_models_[p.cluster] : global_power_;
+  p.log1p_runtime = rm.Predict(x);
+  p.runtime_s = std::expm1(p.log1p_runtime);
+  p.mean_power_w = pm.Predict(x);
+
+  // Scored feature vector: predicted runtime/power (normalised to friendly
+  // scales), job size, priority.  All >= 0 by construction.
+  const std::vector<double> scored = {
+      std::max(0.0, p.log1p_runtime),
+      std::max(0.0, p.mean_power_w / 100.0),  // hundreds of watts -> O(1..10)
+      std::log2(static_cast<double>(std::max(1, job.nodes_required))),
+      std::max(0.0, job.priority),
+  };
+  p.score = Score(scored, options_.weights);
+  return p;
+}
+
+void MlPipeline::ScoreJobs(std::vector<Job>& jobs) const {
+  for (Job& j : jobs) {
+    j.ml_score = Predict(j).score;
+    j.has_ml_score = true;
+  }
+}
+
+}  // namespace sraps

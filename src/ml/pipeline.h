@@ -1,0 +1,85 @@
+// End-to-end ML-guided scheduling pipeline (§4.4, Fig. 9):
+//   Training:  (1) cluster historical jobs on static + dynamic summary
+//              features (K-means); (2) train a random-forest classifier from
+//              pre-submission features to cluster labels; (3) per cluster,
+//              train random-forest regressors predicting runtime and power
+//              from pre-submission features.
+//   Inference: normalise static features, classify into a cluster, invoke
+//              that cluster's predictors, and rank jobs with the exponential
+//              score of §4.4.2 — "this design avoids global approximations
+//              and ensures predictions are tied to the job's class".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/kmeans.h"
+#include "ml/random_forest.h"
+#include "ml/scaler.h"
+#include "ml/scoring.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+struct MlPipelineOptions {
+  int num_clusters = 5;  ///< the artifact clusters F-Data into 5
+  ForestOptions classifier;
+  ForestOptions regressor;
+  ScoreWeights weights;
+  std::uint64_t seed = 17;
+};
+
+struct MlPrediction {
+  int cluster = -1;
+  double log1p_runtime = 0.0;  ///< predicted log1p(seconds)
+  double runtime_s = 0.0;      ///< expm1 of the above
+  double mean_power_w = 0.0;
+  double score = 0.0;
+};
+
+class MlPipeline {
+ public:
+  explicit MlPipeline(MlPipelineOptions options = {});
+
+  /// Trains on completed historical jobs (recorded runtimes + telemetry
+  /// required).  Throws std::invalid_argument if fewer jobs than clusters.
+  void Train(const std::vector<Job>& historical);
+
+  bool trained() const { return trained_; }
+
+  /// Full inference for one (unseen) job using only static features.
+  MlPrediction Predict(const Job& job) const;
+
+  /// Applies inference to every job: fills ml_score / has_ml_score, ready
+  /// for Policy::kMl.
+  void ScoreJobs(std::vector<Job>& jobs) const;
+
+  // --- training diagnostics -------------------------------------------------
+  double classifier_train_accuracy() const { return classifier_accuracy_; }
+  double runtime_r2() const { return runtime_r2_; }
+  double power_r2() const { return power_r2_; }
+  const KMeansResult& clustering() const { return clustering_; }
+
+ private:
+  MlPipelineOptions options_;
+  bool trained_ = false;
+
+  StandardScaler combined_scaler_;  ///< for clustering space
+  StandardScaler static_scaler_;    ///< for classifier/regressors
+  KMeans kmeans_;
+  KMeansResult clustering_;
+  RandomForestClassifier classifier_;
+  /// Per-cluster regressors: [cluster] -> {runtime model, power model}.
+  std::vector<RandomForestRegressor> runtime_models_;
+  std::vector<RandomForestRegressor> power_models_;
+  /// Fallback global models for clusters with too few members.
+  RandomForestRegressor global_runtime_;
+  RandomForestRegressor global_power_;
+  std::vector<bool> cluster_has_model_;
+
+  double classifier_accuracy_ = 0.0;
+  double runtime_r2_ = 0.0;
+  double power_r2_ = 0.0;
+};
+
+}  // namespace sraps

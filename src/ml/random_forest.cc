@@ -1,0 +1,134 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sraps {
+namespace {
+
+std::vector<std::size_t> Bootstrap(std::size_t n, double fraction, Rng& rng) {
+  const std::size_t m = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n))));
+  std::vector<std::size_t> idx(m);
+  for (auto& i : idx) {
+    i = static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(n) - 1));
+  }
+  return idx;
+}
+
+int DefaultMaxFeatures(std::size_t num_features, bool classification) {
+  const double f = static_cast<double>(num_features);
+  const double m = classification ? std::sqrt(f) : f / 3.0;
+  return std::max(1, static_cast<int>(std::llround(m)));
+}
+
+}  // namespace
+
+RandomForestClassifier::RandomForestClassifier(ForestOptions options)
+    : options_(options) {
+  if (options_.num_trees <= 0) throw std::invalid_argument("forest: num_trees <= 0");
+}
+
+void RandomForestClassifier::Fit(const std::vector<std::vector<double>>& x,
+                                 const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("RandomForestClassifier: bad training data");
+  }
+  num_classes_ = 0;
+  for (double label : y) {
+    if (label < 0 || label != std::floor(label)) {
+      throw std::invalid_argument("RandomForestClassifier: labels must be ints >= 0");
+    }
+    num_classes_ = std::max(num_classes_, static_cast<int>(label) + 1);
+  }
+  TreeOptions topts = options_.tree;
+  if (topts.max_features == 0) {
+    topts.max_features = DefaultMaxFeatures(x.front().size(), /*classification=*/true);
+  }
+  Rng rng(options_.seed);
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    DecisionTree tree(DecisionTree::Task::kClassification, topts);
+    const auto idx = Bootstrap(x.size(), options_.bootstrap_fraction, rng);
+    tree.Fit(x, y, rng, idx);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  if (trees_.empty()) throw std::logic_error("RandomForestClassifier: not fitted");
+  std::vector<double> votes(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const int label = static_cast<int>(tree.Predict(row));
+    if (label >= 0 && label < num_classes_) votes[label] += 1.0;
+  }
+  for (auto& v : votes) v /= static_cast<double>(trees_.size());
+  return votes;
+}
+
+int RandomForestClassifier::Predict(const std::vector<double>& row) const {
+  const auto proba = PredictProba(row);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+double RandomForestClassifier::Score(const std::vector<std::vector<double>>& x,
+                                     const std::vector<double>& y) const {
+  if (x.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (Predict(x[i]) == static_cast<int>(y[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+RandomForestRegressor::RandomForestRegressor(ForestOptions options) : options_(options) {
+  if (options_.num_trees <= 0) throw std::invalid_argument("forest: num_trees <= 0");
+}
+
+void RandomForestRegressor::Fit(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("RandomForestRegressor: bad training data");
+  }
+  TreeOptions topts = options_.tree;
+  if (topts.max_features == 0) {
+    topts.max_features = DefaultMaxFeatures(x.front().size(), /*classification=*/false);
+  }
+  Rng rng(options_.seed);
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    DecisionTree tree(DecisionTree::Task::kRegression, topts);
+    const auto idx = Bootstrap(x.size(), options_.bootstrap_fraction, rng);
+    tree.Fit(x, y, rng, idx);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::Predict(const std::vector<double>& row) const {
+  if (trees_.empty()) throw std::logic_error("RandomForestRegressor: not fitted");
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree.Predict(row);
+  return s / static_cast<double>(trees_.size());
+}
+
+double RandomForestRegressor::Score(const std::vector<std::vector<double>>& x,
+                                    const std::vector<double>& y) const {
+  if (x.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = Predict(x[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace sraps

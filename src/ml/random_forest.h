@@ -1,0 +1,67 @@
+// Random forests: bootstrap-aggregated CART trees with per-split feature
+// subsampling.  The classifier realises §4.4.1 step 2 ("we train a Random
+// Forest model to learn the relationships between job characteristics and
+// the target metric"); the regressor realises step 3 (per-cluster target
+// prediction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace sraps {
+
+struct ForestOptions {
+  int num_trees = 25;
+  TreeOptions tree;
+  double bootstrap_fraction = 1.0;  ///< samples per tree (with replacement)
+  std::uint64_t seed = 11;
+};
+
+class RandomForestClassifier {
+ public:
+  explicit RandomForestClassifier(ForestOptions options = {});
+
+  /// y holds integer class labels (as doubles) >= 0.
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y);
+
+  /// Majority vote across trees.
+  int Predict(const std::vector<double>& row) const;
+
+  /// Fraction of trees voting for each class (size = max label + 1).
+  std::vector<double> PredictProba(const std::vector<double>& row) const;
+
+  /// Training accuracy (quick sanity metric for tests/benches).
+  double Score(const std::vector<std::vector<double>>& x,
+               const std::vector<double>& y) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(ForestOptions options = {});
+
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y);
+
+  /// Mean across trees.
+  double Predict(const std::vector<double>& row) const;
+
+  /// R^2 on the given data.
+  double Score(const std::vector<std::vector<double>>& x,
+               const std::vector<double>& y) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace sraps

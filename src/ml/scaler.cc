@@ -1,0 +1,49 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sraps {
+
+void StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("StandardScaler: empty input");
+  const std::size_t cols = rows.front().size();
+  if (cols == 0) throw std::invalid_argument("StandardScaler: zero-width rows");
+  means_.assign(cols, 0.0);
+  stds_.assign(cols, 0.0);
+  for (const auto& r : rows) {
+    if (r.size() != cols) throw std::invalid_argument("StandardScaler: ragged input");
+    for (std::size_t c = 0; c < cols; ++c) means_[c] += r[c];
+  }
+  for (auto& m : means_) m /= static_cast<double>(rows.size());
+  for (const auto& r : rows) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double d = r[c] - means_[c];
+      stds_[c] += d * d;
+    }
+  }
+  for (auto& s : stds_) s = std::sqrt(s / static_cast<double>(rows.size()));
+  fitted_ = true;
+}
+
+std::vector<double> StandardScaler::Transform(const std::vector<double>& row) const {
+  if (!fitted_) throw std::logic_error("StandardScaler: not fitted");
+  if (row.size() != means_.size()) {
+    throw std::invalid_argument("StandardScaler: width mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = stds_[c] > 0.0 ? (row[c] - means_[c]) / stds_[c] : 0.0;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::TransformAll(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(Transform(r));
+  return out;
+}
+
+}  // namespace sraps

@@ -1,0 +1,30 @@
+// Feature normalisation (§4.4.2: "we normalize static features").  Standard
+// z-score scaling with degenerate-column protection.
+#pragma once
+
+#include <vector>
+
+namespace sraps {
+
+class StandardScaler {
+ public:
+  /// Fits per-column mean/stddev.  Throws std::invalid_argument on empty or
+  /// ragged input.
+  void Fit(const std::vector<std::vector<double>>& rows);
+
+  /// (x - mean) / std per column; columns with zero variance map to 0.
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> TransformAll(
+      const std::vector<std::vector<double>>& rows) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+  bool fitted_ = false;
+};
+
+}  // namespace sraps

@@ -1,0 +1,30 @@
+#include "ml/scoring.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sraps {
+
+std::vector<std::string> ScoreFeatureNames() {
+  return {"pred_log1p_runtime", "pred_mean_power_w", "log2_nodes", "priority"};
+}
+
+double Score(const std::vector<double>& features, const ScoreWeights& weights) {
+  if (features.size() != weights.alpha.size()) {
+    throw std::invalid_argument("Score: feature/weight size mismatch (" +
+                                std::to_string(features.size()) + " vs " +
+                                std::to_string(weights.alpha.size()) + ")");
+  }
+  double s = 0.0;
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    const double x = features[j];
+    if (x < -1.0) {
+      throw std::invalid_argument("Score: feature " + std::to_string(j) +
+                                  " below -1 (sqrt domain)");
+    }
+    s += weights.alpha[j] / std::exp(std::sqrt(x + 1.0));
+  }
+  return s;
+}
+
+}  // namespace sraps

@@ -1,0 +1,32 @@
+// The job ranking score of §4.4.2:
+//
+//     S(X_i) = sum_j alpha_j * exp( sqrt( X_i^j + 1 ) )^{-1}
+//
+// The inverse exponential compresses large feature values while preserving
+// fine-grained differences near the origin; the alpha_j coefficients trade
+// off throughput, wait, turnaround, and energy objectives.  Higher score =
+// scheduled earlier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sraps {
+
+struct ScoreWeights {
+  /// One coefficient per scored feature (see ScoreFeatureNames()):
+  /// {predicted log runtime, predicted mean power, log2 requested nodes,
+  ///  priority}.  Positive alpha on a feature *rewards small values* of that
+  /// feature (the exp(sqrt)^-1 transform is decreasing) — the default
+  /// favours short, low-power, small jobs with a mild priority term.
+  std::vector<double> alpha = {2.0, 1.5, 1.0, -0.3};
+};
+
+std::vector<std::string> ScoreFeatureNames();
+
+/// Computes S(X) for one job's scored-feature vector.  Features must be
+/// >= -1 (the sqrt argument); throws std::invalid_argument otherwise, or on
+/// size mismatch with the weights.
+double Score(const std::vector<double>& features, const ScoreWeights& weights = {});
+
+}  // namespace sraps

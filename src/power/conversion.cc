@@ -1,0 +1,31 @@
+#include "power/conversion.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sraps {
+
+ConversionLossModel::ConversionLossModel(const ConversionSpec& spec, int total_nodes)
+    : spec_(spec) {
+  if (spec.nodes_per_cabinet <= 0) {
+    throw std::invalid_argument("ConversionLossModel: nodes_per_cabinet <= 0");
+  }
+  if (total_nodes <= 0) throw std::invalid_argument("ConversionLossModel: no nodes");
+  num_cabinets_ = (total_nodes + spec.nodes_per_cabinet - 1) / spec.nodes_per_cabinet;
+}
+
+double ConversionLossModel::LossW(double it_power_w) const {
+  if (it_power_w < 0.0) it_power_w = 0.0;
+  const double per_cabinet = it_power_w / num_cabinets_;
+  const double loss_per_cabinet = spec_.idle_loss_w + spec_.linear_coeff * per_cabinet +
+                                  spec_.quadratic_coeff * per_cabinet * per_cabinet;
+  return loss_per_cabinet * num_cabinets_;
+}
+
+double ConversionLossModel::Efficiency(double it_power_w) const {
+  const double wall = WallPowerW(it_power_w);
+  if (wall <= 0.0) return 1.0;
+  return std::max(0.0, it_power_w / wall);
+}
+
+}  // namespace sraps

@@ -1,0 +1,34 @@
+// Power-conversion (rectification + DC/DC) loss model after Wojda et al.
+// (ECCE'24), which the paper applies between the simulated IT load and the
+// facility feed (§3.1: "power rectification and conversion losses applied").
+//
+// Losses are modelled per cabinet as loss(P) = c0 + c1*P + c2*P^2, the
+// standard quadratic fit for rectifier efficiency curves: a constant
+// no-load loss, an ohmic-linear term, and an I^2R term that grows with load.
+#pragma once
+
+#include "config/system_config.h"
+
+namespace sraps {
+
+class ConversionLossModel {
+ public:
+  ConversionLossModel(const ConversionSpec& spec, int total_nodes);
+
+  /// Loss (W) for a given total IT load (W) spread uniformly over cabinets.
+  double LossW(double it_power_w) const;
+
+  /// Wall power: IT + loss.
+  double WallPowerW(double it_power_w) const { return it_power_w + LossW(it_power_w); }
+
+  /// Conversion efficiency at a given load, IT / wall, in (0,1].
+  double Efficiency(double it_power_w) const;
+
+  int num_cabinets() const { return num_cabinets_; }
+
+ private:
+  ConversionSpec spec_;
+  int num_cabinets_;
+};
+
+}  // namespace sraps

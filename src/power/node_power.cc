@@ -1,0 +1,33 @@
+#include "power/node_power.h"
+
+#include "common/mathutil.h"
+
+namespace sraps {
+
+double BusyNodePowerW(const NodePowerSpec& spec, const NodeUtilization& util) {
+  const double cpu = Clamp(util.cpu, 0.0, 1.0);
+  const double gpu = Clamp(util.gpu, 0.0, 1.0);
+  double p = spec.idle_w + spec.mem_w + spec.nic_w;
+  p += spec.cpus_per_node * (spec.cpu_idle_w + cpu * (spec.cpu_max_w - spec.cpu_idle_w));
+  p += spec.gpus_per_node * (spec.gpu_idle_w + gpu * (spec.gpu_max_w - spec.gpu_idle_w));
+  return p;
+}
+
+double IdleNodePowerW(const NodePowerSpec& spec) { return spec.IdleW(); }
+
+NodeUtilization UtilizationFromPowerW(const NodePowerSpec& spec, double node_power_w) {
+  const double dynamic_cpu = spec.cpus_per_node * (spec.cpu_max_w - spec.cpu_idle_w);
+  const double dynamic_gpu = spec.gpus_per_node * (spec.gpu_max_w - spec.gpu_idle_w);
+  const double dynamic_total = dynamic_cpu + dynamic_gpu;
+  NodeUtilization u;
+  if (dynamic_total <= 0.0) return u;
+  const double excess = node_power_w - spec.IdleW();
+  const double fraction = Clamp(excess / dynamic_total, 0.0, 1.0);
+  // Proportional split: both components run at the same fraction of their
+  // dynamic range — the max-entropy assumption absent further telemetry.
+  u.cpu = fraction;
+  u.gpu = fraction;
+  return u;
+}
+
+}  // namespace sraps

@@ -1,0 +1,31 @@
+// Node power model: converts instantaneous utilisation to electrical draw.
+// This is the RAPS power model role — "the power simulation is not a mere
+// aggregation of synchronized trace information, but an accurate computation
+// of component behavior" (§5): each component (CPU sockets, GPUs, memory,
+// NIC) contributes idle + utilisation-proportional dynamic power.
+#pragma once
+
+#include "config/system_config.h"
+
+namespace sraps {
+
+/// Instantaneous utilisation of one node.
+struct NodeUtilization {
+  double cpu = 0.0;  ///< [0,1]
+  double gpu = 0.0;  ///< [0,1]
+};
+
+/// Power of one busy node (watts) under the given utilisation.
+/// Utilisation outside [0,1] is clamped.
+double BusyNodePowerW(const NodePowerSpec& spec, const NodeUtilization& util);
+
+/// Power of one idle (unallocated) node in watts.
+double IdleNodePowerW(const NodePowerSpec& spec);
+
+/// Utilisation implied by a measured node power (inverse model), assuming the
+/// CPU/GPU split is proportional to their dynamic ranges.  Used by datasets
+/// that provide power traces but no utilisation (PM100 node power).  Result
+/// components are clamped to [0,1].
+NodeUtilization UtilizationFromPowerW(const NodePowerSpec& spec, double node_power_w);
+
+}  // namespace sraps

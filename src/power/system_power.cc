@@ -1,0 +1,73 @@
+#include "power/system_power.h"
+
+#include <stdexcept>
+
+#include "power/node_power.h"
+
+namespace sraps {
+
+SystemPowerModel::SystemPowerModel(const SystemConfig& config)
+    : config_(config), conversion_(config.conversion, config.TotalNodes()) {
+  for (const auto& p : config_.partitions) {
+    partition_idle_node_w_.push_back(p.node_power.IdleW());
+    partition_sizes_.push_back(p.num_nodes);
+  }
+}
+
+double SystemPowerModel::JobNodePowerW(const Job& job, SimDuration elapsed,
+                                       const NodePowerSpec& spec) const {
+  if (!job.node_power_w.empty()) return job.node_power_w.Sample(elapsed);
+  if (!job.cpu_util.empty() || !job.gpu_util.empty()) {
+    NodeUtilization u;
+    if (!job.cpu_util.empty()) u.cpu = job.cpu_util.Sample(elapsed);
+    if (!job.gpu_util.empty()) u.gpu = job.gpu_util.Sample(elapsed);
+    return BusyNodePowerW(spec, u);
+  }
+  // No telemetry at all: nominal busy node.  Summary-only datasets should
+  // instead populate node_power_w with a constant trace.
+  return BusyNodePowerW(spec, NodeUtilization{0.7, 0.6});
+}
+
+PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
+                                      SimTime now) const {
+  PowerSample s;
+  std::vector<int> busy_per_partition(config_.partitions.size(), 0);
+  double busy_power = 0.0;
+  for (const Job* job : running) {
+    if (job->start < 0) throw std::logic_error("SystemPowerModel: running job has no start");
+    const SimDuration elapsed = now - job->start;
+    if (job->assigned_nodes.empty()) {
+      throw std::logic_error("SystemPowerModel: running job has no nodes");
+    }
+    // Group the job's nodes by partition so heterogeneous allocations use
+    // the right per-node spec.
+    std::vector<int> count_per_partition(config_.partitions.size(), 0);
+    for (int node : job->assigned_nodes) {
+      ++count_per_partition[config_.PartitionOf(node)];
+    }
+    for (std::size_t p = 0; p < count_per_partition.size(); ++p) {
+      const int n = count_per_partition[p];
+      if (n == 0) continue;
+      busy_per_partition[p] += n;
+      busy_power += n * JobNodePowerW(*job, elapsed, config_.partitions[p].node_power);
+    }
+    s.busy_nodes += static_cast<int>(job->assigned_nodes.size());
+  }
+  double idle_power = 0.0;
+  for (std::size_t p = 0; p < partition_sizes_.size(); ++p) {
+    const int idle_nodes = partition_sizes_[p] - busy_per_partition[p];
+    if (idle_nodes < 0) {
+      throw std::logic_error("SystemPowerModel: partition oversubscribed");
+    }
+    idle_power += idle_nodes * partition_idle_node_w_[p];
+  }
+  s.busy_power_w = busy_power;
+  s.it_power_w = busy_power + idle_power;
+  s.loss_w = conversion_.LossW(s.it_power_w);
+  s.wall_power_w = s.it_power_w + s.loss_w;
+  const int total = config_.TotalNodes();
+  s.node_utilization = total > 0 ? static_cast<double>(s.busy_nodes) / total : 0.0;
+  return s;
+}
+
+}  // namespace sraps

@@ -1,0 +1,51 @@
+// System-level power aggregation: combines per-job telemetry-driven node
+// power with idle draw of unallocated nodes and conversion losses into the
+// full-system power the figures plot (Figs. 4-8, 10a).
+#pragma once
+
+#include <vector>
+
+#include "config/system_config.h"
+#include "power/conversion.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+/// One tick's electrical state.
+struct PowerSample {
+  double it_power_w = 0.0;    ///< sum of node draws (busy + idle)
+  double busy_power_w = 0.0;  ///< the job-attributable share of it_power_w
+  double loss_w = 0.0;        ///< conversion loss
+  double wall_power_w = 0.0;  ///< it + loss (cooling power is added by the
+                              ///< cooling model when present)
+  double node_utilization = 0.0;  ///< allocated nodes / total nodes
+  int busy_nodes = 0;
+};
+
+class SystemPowerModel {
+ public:
+  explicit SystemPowerModel(const SystemConfig& config);
+
+  /// Mean per-node power (W) of a running job at `elapsed` seconds after its
+  /// start.  Prefers the job's direct power trace; otherwise runs the
+  /// component model on its utilisation traces; otherwise assumes a busy
+  /// node at nominal utilisation (0.7/0.6) — documented fallback for summary
+  /// datasets without power data.
+  double JobNodePowerW(const Job& job, SimDuration elapsed,
+                       const NodePowerSpec& spec) const;
+
+  /// Aggregates the whole system at time `now` given the running jobs (their
+  /// `assigned_nodes` and `start` must be set).
+  PowerSample Compute(const std::vector<const Job*>& running, SimTime now) const;
+
+  const SystemConfig& config() const { return config_; }
+  const ConversionLossModel& conversion() const { return conversion_; }
+
+ private:
+  SystemConfig config_;
+  ConversionLossModel conversion_;
+  std::vector<double> partition_idle_node_w_;  ///< idle W per node, per partition
+  std::vector<int> partition_sizes_;
+};
+
+}  // namespace sraps

@@ -1,0 +1,225 @@
+#include "report/html_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/time.h"
+
+namespace sraps {
+namespace {
+
+// Distinguishable line colours (colour-blind-safe palette).
+const char* kPalette[] = {"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+                          "#E69F00", "#56B4E9", "#000000"};
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Round(double v, int digits = 2) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(digits);
+  ss << v;
+  return ss.str();
+}
+
+// "Nice" tick step: 1/2/5 * 10^k covering the range in <= 6 ticks.
+double NiceStep(double range) {
+  if (range <= 0) return 1.0;
+  const double raw = range / 5.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  if (norm < 1.5) return mag;
+  if (norm < 3.5) return 2.0 * mag;
+  if (norm < 7.5) return 5.0 * mag;
+  return 10.0 * mag;
+}
+
+}  // namespace
+
+std::string RenderSvgChart(const std::vector<NamedSeries>& series,
+                           const std::string& title, int width, int height) {
+  if (width < 100 || height < 80) {
+    throw std::invalid_argument("RenderSvgChart: chart too small");
+  }
+  // Extents.
+  bool any = false;
+  double t_min = 0, t_max = 1, v_min = 0, v_max = 1;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.times.size(); ++i) {
+      const double t = static_cast<double>(s.times[i]);
+      const double v = s.values[i];
+      if (!any) {
+        t_min = t_max = t;
+        v_min = v_max = v;
+        any = true;
+      }
+      t_min = std::min(t_min, t);
+      t_max = std::max(t_max, t);
+      v_min = std::min(v_min, v);
+      v_max = std::max(v_max, v);
+    }
+  }
+  if (!any) {
+    return "<svg xmlns='http://www.w3.org/2000/svg' width='" + std::to_string(width) +
+           "' height='" + std::to_string(height) + "'><text x='10' y='20'>" +
+           Escape(title) + " (no data)</text></svg>";
+  }
+  if (v_max == v_min) v_max = v_min + 1.0;
+  if (t_max == t_min) t_max = t_min + 1.0;
+  // Pad the value range 5 %.
+  const double pad = (v_max - v_min) * 0.05;
+  v_min -= pad;
+  v_max += pad;
+
+  const int ml = 64, mr = 120, mt = 28, mb = 34;  // margins (right: legend)
+  const double pw = width - ml - mr, ph = height - mt - mb;
+  auto x_of = [&](double t) { return ml + (t - t_min) / (t_max - t_min) * pw; };
+  auto y_of = [&](double v) { return mt + ph - (v - v_min) / (v_max - v_min) * ph; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width << "' height='"
+      << height << "' font-family='sans-serif' font-size='11'>\n";
+  svg << "<text x='" << ml << "' y='16' font-size='13' font-weight='bold'>"
+      << Escape(title) << "</text>\n";
+  // Frame.
+  svg << "<rect x='" << ml << "' y='" << mt << "' width='" << pw << "' height='" << ph
+      << "' fill='none' stroke='#999'/>\n";
+  // Y ticks.
+  const double vstep = NiceStep(v_max - v_min);
+  for (double v = std::ceil(v_min / vstep) * vstep; v <= v_max; v += vstep) {
+    const double y = y_of(v);
+    svg << "<line x1='" << ml << "' y1='" << y << "' x2='" << (ml + pw) << "' y2='" << y
+        << "' stroke='#eee'/>\n";
+    svg << "<text x='" << (ml - 6) << "' y='" << (y + 4)
+        << "' text-anchor='end'>" << Round(v, vstep < 1 ? 2 : 0) << "</text>\n";
+  }
+  // X ticks (hours).
+  const double span_h = (t_max - t_min) / 3600.0;
+  const double hstep = NiceStep(span_h);
+  for (double h = 0; h <= span_h; h += hstep) {
+    const double x = x_of(t_min + h * 3600.0);
+    svg << "<line x1='" << x << "' y1='" << (mt + ph) << "' x2='" << x << "' y2='"
+        << (mt + ph + 4) << "' stroke='#999'/>\n";
+    svg << "<text x='" << x << "' y='" << (mt + ph + 16) << "' text-anchor='middle'>"
+        << Round(h, 0) << "h</text>\n";
+  }
+  // Series.
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char* colour = kPalette[s % (sizeof kPalette / sizeof *kPalette)];
+    std::ostringstream points;
+    for (std::size_t i = 0; i < series[s].times.size(); ++i) {
+      points << Round(x_of(static_cast<double>(series[s].times[i])), 1) << ","
+             << Round(y_of(series[s].values[i]), 1) << " ";
+    }
+    svg << "<polyline fill='none' stroke='" << colour << "' stroke-width='1.3' points='"
+        << points.str() << "'/>\n";
+    // Legend.
+    const double ly = mt + 14.0 * static_cast<double>(s);
+    svg << "<line x1='" << (ml + pw + 8) << "' y1='" << ly + 8 << "' x2='"
+        << (ml + pw + 28) << "' y2='" << ly + 8 << "' stroke='" << colour
+        << "' stroke-width='2'/>\n";
+    svg << "<text x='" << (ml + pw + 32) << "' y='" << (ly + 12) << "'>"
+        << Escape(series[s].label) << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+namespace {
+
+std::string StatsTable(const SimulationStats& stats) {
+  const JsonValue j = stats.ToJson();
+  std::ostringstream html;
+  html << "<table border='0' cellpadding='4' style='border-collapse:collapse'>\n";
+  html << "<tr style='background:#eee'><th align='left'>metric</th>"
+          "<th align='right'>value</th></tr>\n";
+  for (const auto& [key, value] : j.AsObject()) {
+    if (value.is_object()) continue;  // histogram rendered separately
+    html << "<tr><td>" << Escape(key) << "</td><td align='right'>";
+    if (value.is_number()) {
+      html << Round(value.AsDouble(), 3);
+    } else {
+      html << Escape(value.Dump());
+    }
+    html << "</td></tr>\n";
+  }
+  html << "</table>\n";
+  const Histogram& h = stats.JobSizeHistogram();
+  html << "<p>job sizes: ";
+  for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+    if (i) html << ", ";
+    html << Escape(h.labels()[i]) << "=" << Round(h.Count(i), 0);
+  }
+  html << "</p>\n";
+  return html.str();
+}
+
+std::string PageHead(const std::string& title) {
+  return "<!DOCTYPE html>\n<html><head><meta charset='utf-8'><title>" + Escape(title) +
+         "</title></head>\n<body style='font-family:sans-serif;max-width:1100px;"
+         "margin:auto'>\n<h1>" +
+         Escape(title) + "</h1>\n";
+}
+
+}  // namespace
+
+std::string RenderHtmlReport(const TimeSeriesRecorder& recorder,
+                             const SimulationStats& stats,
+                             const ReportOptions& options) {
+  std::ostringstream html;
+  html << PageHead(options.title);
+  for (const std::string& channel : options.channels) {
+    if (!recorder.Has(channel)) continue;
+    const Channel& ch = recorder.Get(channel);
+    NamedSeries s{channel, ch.times, ch.values};
+    html << RenderSvgChart({s}, channel, options.chart_width, options.chart_height);
+  }
+  html << "<h2>systems accounting</h2>\n" << StatsTable(stats);
+  html << "</body></html>\n";
+  return html.str();
+}
+
+std::string RenderComparisonReport(
+    const std::vector<std::pair<std::string, const TimeSeriesRecorder*>>& runs,
+    const ReportOptions& options) {
+  std::ostringstream html;
+  html << PageHead(options.title);
+  for (const std::string& channel : options.channels) {
+    std::vector<NamedSeries> series;
+    for (const auto& [label, recorder] : runs) {
+      if (!recorder->Has(channel)) continue;
+      const Channel& ch = recorder->Get(channel);
+      series.push_back({label, ch.times, ch.values});
+    }
+    if (series.empty()) continue;
+    html << RenderSvgChart(series, channel, options.chart_width, options.chart_height);
+  }
+  html << "</body></html>\n";
+  return html.str();
+}
+
+void WriteReportFile(const std::string& path, const std::string& html) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("WriteReportFile: cannot write " + path);
+  out << html;
+}
+
+}  // namespace sraps

@@ -1,0 +1,52 @@
+// Self-contained HTML report generation — the role of ExaDigiT's third
+// module, the "visual analytics model", in offline form: one .html file
+// with inline SVG charts of the recorded time series (power, utilisation,
+// PUE, temperatures, queue depth) and the systems-accounting tables, so a
+// simulation run can be inspected without any plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/stats.h"
+#include "telemetry/recorder.h"
+
+namespace sraps {
+
+struct ReportOptions {
+  std::string title = "sraps simulation report";
+  int chart_width = 900;
+  int chart_height = 220;
+  /// Channels to chart, in order; missing channels are skipped silently.
+  std::vector<std::string> channels = {"power_kw",  "it_power_kw", "utilization",
+                                       "pue",       "tower_return_c",
+                                       "queue_length", "running_jobs"};
+};
+
+/// One labelled series for comparison charts (e.g. per-policy overlays).
+struct NamedSeries {
+  std::string label;
+  std::vector<SimTime> times;
+  std::vector<double> values;
+};
+
+/// Renders an SVG line chart (axes, ticks, labels, one polyline per series).
+/// Exposed for tests and for callers composing their own pages.
+std::string RenderSvgChart(const std::vector<NamedSeries>& series,
+                           const std::string& title, int width, int height);
+
+/// Full single-run report: charts for the configured channels + stats table.
+std::string RenderHtmlReport(const TimeSeriesRecorder& recorder,
+                             const SimulationStats& stats,
+                             const ReportOptions& options = {});
+
+/// Comparison report: one chart per channel with one line per run — the
+/// layout of the paper's figures (replay vs reschedule overlays).
+std::string RenderComparisonReport(
+    const std::vector<std::pair<std::string, const TimeSeriesRecorder*>>& runs,
+    const ReportOptions& options = {});
+
+/// Convenience: write text to a file, creating directories.
+void WriteReportFile(const std::string& path, const std::string& html);
+
+}  // namespace sraps

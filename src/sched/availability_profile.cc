@@ -1,0 +1,78 @@
+#include "sched/availability_profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sraps {
+
+AvailabilityProfile::AvailabilityProfile(SimTime now, int free_now) : now_(now) {
+  steps_.push_back({now, free_now});
+}
+
+void AvailabilityProfile::AddRelease(SimTime t, int nodes) {
+  if (nodes <= 0) return;
+  t = std::max(t, now_);
+  // Find the step containing t; split it if needed, then add capacity to
+  // every step from t onwards.
+  std::size_t i = 0;
+  while (i + 1 < steps_.size() && steps_[i + 1].t <= t) ++i;
+  if (steps_[i].t != t) {
+    steps_.insert(steps_.begin() + static_cast<long>(i) + 1, {t, steps_[i].free});
+    ++i;
+  }
+  for (std::size_t k = i; k < steps_.size(); ++k) steps_[k].free += nodes;
+}
+
+int AvailabilityProfile::FreeAt(SimTime t) const {
+  if (t < steps_.front().t) return steps_.front().free;
+  std::size_t i = 0;
+  while (i + 1 < steps_.size() && steps_[i + 1].t <= t) ++i;
+  return steps_[i].free;
+}
+
+SimTime AvailabilityProfile::EarliestFit(int nodes, SimDuration duration) const {
+  if (duration <= 0) duration = 1;
+  // Candidate start times are step boundaries.
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const SimTime start = std::max(steps_[i].t, now_);
+    // Check every step overlapping [start, start+duration).
+    bool ok = true;
+    for (std::size_t k = i; k < steps_.size(); ++k) {
+      if (steps_[k].t >= start + duration) break;
+      // Step k overlaps the window iff its interval intersects it; for k==i
+      // the step starts at or before `start`.
+      if (steps_[k].free < nodes) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return start;
+  }
+  return -1;
+}
+
+void AvailabilityProfile::Reserve(SimTime start, SimDuration duration, int nodes) {
+  if (duration <= 0) duration = 1;
+  const SimTime end = start + duration;
+  // Split at start and end so the affected range is aligned to steps.
+  auto split_at = [&](SimTime t) {
+    if (t <= steps_.front().t) return;
+    std::size_t i = 0;
+    while (i + 1 < steps_.size() && steps_[i + 1].t <= t) ++i;
+    if (steps_[i].t != t) {
+      steps_.insert(steps_.begin() + static_cast<long>(i) + 1, {t, steps_[i].free});
+    }
+  };
+  split_at(start);
+  split_at(end);
+  for (auto& step : steps_) {
+    if (step.t >= start && step.t < end) {
+      if (step.free < nodes) {
+        throw std::logic_error("AvailabilityProfile: reserving beyond capacity");
+      }
+      step.free -= nodes;
+    }
+  }
+}
+
+}  // namespace sraps

@@ -1,0 +1,49 @@
+// Future node-availability profile: the data structure behind conservative
+// backfill (every queued job gets a reservation, not just the head — the
+// "conservative" variant §3.2.5 lists among the policies the default
+// scheduler does not ship).  The profile is a step function
+//     t -> free nodes
+// built from the current free count plus the estimated completions of
+// running jobs; reservations carve capacity out of future intervals.
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+
+namespace sraps {
+
+class AvailabilityProfile {
+ public:
+  /// Starts a profile with `free_now` nodes available from `now` onwards.
+  AvailabilityProfile(SimTime now, int free_now);
+
+  /// Adds capacity that becomes free at time t (a running job's estimated
+  /// completion).  t is clamped to `now`.
+  void AddRelease(SimTime t, int nodes);
+
+  /// Earliest time >= now at which `nodes` are continuously available for
+  /// `duration` seconds.  Returns -1 if never (demand exceeds the machine).
+  SimTime EarliestFit(int nodes, SimDuration duration) const;
+
+  /// Reserves `nodes` for [start, start+duration): reduces availability in
+  /// that window.  Throws std::logic_error if the window lacks capacity
+  /// (callers must use EarliestFit first).
+  void Reserve(SimTime start, SimDuration duration, int nodes);
+
+  /// Free nodes at a given instant.
+  int FreeAt(SimTime t) const;
+
+  SimTime now() const { return now_; }
+
+ private:
+  struct Step {
+    SimTime t;
+    int free;  ///< free nodes from t until the next step
+  };
+  /// Steps sorted by time; the last step extends to infinity.
+  std::vector<Step> steps_;
+  SimTime now_;
+};
+
+}  // namespace sraps

@@ -1,0 +1,220 @@
+#include "sched/builtin_scheduler.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "sched/availability_profile.h"
+
+namespace sraps {
+
+BuiltinScheduler::BuiltinScheduler(Policy policy, BackfillMode backfill,
+                                   const AccountRegistry* accounts)
+    : policy_(policy), backfill_(backfill), accounts_(accounts) {
+  if (IsAccountPolicy(policy_) && accounts_ == nullptr) {
+    throw std::invalid_argument("BuiltinScheduler: policy " + ToString(policy_) +
+                                " requires an AccountRegistry");
+  }
+}
+
+std::string BuiltinScheduler::name() const {
+  return "builtin:" + ToString(policy_) + "+" + ToString(backfill_);
+}
+
+double BuiltinScheduler::PriorityKey(const Job& job) const {
+  switch (policy_) {
+    case Policy::kReplay:
+      // Not used — replay has its own path — but keep a sane ordering.
+      return -static_cast<double>(job.recorded_start);
+    case Policy::kFcfs:
+      return -static_cast<double>(job.submit_time);
+    case Policy::kSjf:
+      return -static_cast<double>(job.RuntimeEstimate());
+    case Policy::kLjf:
+      return static_cast<double>(job.nodes_required);
+    case Policy::kPriority:
+      return job.priority;
+    case Policy::kMl:
+      return job.has_ml_score ? job.ml_score : job.priority;
+    case Policy::kAcctAvgPower:
+      return accounts_->GetOrZero(job.account).AvgPowerW();
+    case Policy::kAcctLowAvgPower:
+      return -accounts_->GetOrZero(job.account).AvgPowerW();
+    case Policy::kAcctEdp:
+      return -accounts_->GetOrZero(job.account).AvgEdp();
+    case Policy::kAcctFugakuPts:
+      return accounts_->GetOrZero(job.account).fugaku_points;
+  }
+  return 0.0;
+}
+
+std::vector<Placement> BuiltinScheduler::Schedule(const SchedulerContext& ctx) {
+  if (policy_ == Policy::kReplay) return ScheduleReplay(ctx);
+  if (!ctx.had_events) return {};  // nothing changed: keep the previous schedule
+  return ScheduleOrdered(ctx);
+}
+
+std::vector<Placement> BuiltinScheduler::ScheduleReplay(const SchedulerContext& ctx) const {
+  // Replay enforces the telemetry's own schedule: a job starts exactly at its
+  // recorded start, on its recorded nodes when the dataset pins them.
+  // Two passes: exact (recorded) placements first so that count-based
+  // allocations — which the resource manager satisfies with the lowest free
+  // nodes — cannot steal a node a recorded placement in the same batch needs.
+  std::vector<Placement> placements;
+  std::set<int> claimed;  // nodes taken by earlier placements in this batch
+  for (JobQueue::Handle h : ctx.queue->handles()) {
+    const Job& job = ctx.JobOf(h);
+    if (job.recorded_start < 0 || job.recorded_start > ctx.now) continue;
+    if (!job.HasRecordedPlacement()) continue;
+    bool ok = true;
+    for (int n : job.recorded_nodes) {
+      if (!ctx.rm->IsFree(n) || claimed.count(n)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;  // conflicting record; retry next tick
+    claimed.insert(job.recorded_nodes.begin(), job.recorded_nodes.end());
+    placements.push_back({h, job.recorded_nodes, /*anchor_recorded_end=*/true});
+  }
+  int budget = ctx.rm->free_nodes() - static_cast<int>(claimed.size());
+  for (JobQueue::Handle h : ctx.queue->handles()) {
+    const Job& job = ctx.JobOf(h);
+    if (job.recorded_start < 0 || job.recorded_start > ctx.now) continue;
+    if (job.HasRecordedPlacement()) continue;
+    if (job.nodes_required > budget) continue;
+    placements.push_back({h, {}, /*anchor_recorded_end=*/true});
+    budget -= job.nodes_required;
+  }
+  return placements;
+}
+
+std::vector<Placement> BuiltinScheduler::ScheduleOrdered(const SchedulerContext& ctx) const {
+  // Recompute the queue order under the policy (§3.2.3 step 3: "recomputes
+  // the order of the job queue according to selected policy").
+  std::vector<JobQueue::Handle> order(ctx.queue->handles());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](JobQueue::Handle a, JobQueue::Handle b) {
+                     const double ka = PriorityKey(ctx.JobOf(a));
+                     const double kb = PriorityKey(ctx.JobOf(b));
+                     if (ka != kb) return ka > kb;
+                     const Job& ja = ctx.JobOf(a);
+                     const Job& jb = ctx.JobOf(b);
+                     if (ja.submit_time != jb.submit_time) {
+                       return ja.submit_time < jb.submit_time;
+                     }
+                     return ja.id < jb.id;
+                   });
+
+  if (backfill_ == BackfillMode::kConservative) {
+    // Conservative backfill: walk the queue in priority order maintaining a
+    // full availability profile; every job gets a reservation at its
+    // earliest feasible time, and only jobs whose reservation is *now* are
+    // released.  No job can delay a higher-priority job's reservation.
+    AvailabilityProfile profile(ctx.now, ctx.rm->free_nodes());
+    for (const RunningJobView& r : *ctx.running) {
+      profile.AddRelease(r.estimated_end, r.nodes);
+    }
+    std::vector<Placement> placements;
+    for (JobQueue::Handle h : order) {
+      const Job& job = ctx.JobOf(h);
+      const SimDuration estimate = job.RuntimeEstimate();
+      const SimTime at = profile.EarliestFit(job.nodes_required, estimate);
+      if (at < 0) continue;  // cannot ever fit (engine dismisses oversize jobs)
+      profile.Reserve(at, estimate, job.nodes_required);
+      if (at <= ctx.now) placements.push_back({h, {}});
+    }
+    return placements;
+  }
+
+  std::vector<Placement> placements;
+  int free = ctx.rm->free_nodes();
+
+  // In-order phase: place from the head while jobs fit.
+  std::size_t head = 0;
+  while (head < order.size()) {
+    const Job& job = ctx.JobOf(order[head]);
+    if (job.nodes_required > free) break;
+    placements.push_back({order[head], {}});
+    free -= job.nodes_required;
+    ++head;
+  }
+  if (head >= order.size() || backfill_ == BackfillMode::kNone) return placements;
+
+  if (backfill_ == BackfillMode::kFirstFit) {
+    // First-fit: anything later in the queue that fits right now starts now.
+    for (std::size_t i = head + 1; i < order.size(); ++i) {
+      const Job& job = ctx.JobOf(order[i]);
+      if (job.nodes_required <= free) {
+        placements.push_back({order[i], {}});
+        free -= job.nodes_required;
+      }
+    }
+    return placements;
+  }
+
+  // EASY backfill (Skovira et al.): compute the blocked head job's shadow
+  // time from the estimated completions of running jobs, reserve its nodes,
+  // and admit later jobs only if they cannot delay that reservation.
+  const Job& blocked = ctx.JobOf(order[head]);
+
+  // Completion events: running jobs plus this tick's in-order placements
+  // (which occupy nodes until now + their estimate).
+  struct FreeEvent {
+    SimTime t;
+    int nodes;
+  };
+  std::vector<FreeEvent> events;
+  for (const RunningJobView& r : *ctx.running) {
+    events.push_back({r.estimated_end, r.nodes});
+  }
+  for (const Placement& p : placements) {
+    const Job& j = ctx.JobOf(p.handle);
+    events.push_back({ctx.now + j.RuntimeEstimate(), j.nodes_required});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FreeEvent& a, const FreeEvent& b) { return a.t < b.t; });
+
+  SimTime shadow = -1;
+  int spare_at_shadow = 0;
+  int avail = free;
+  for (const FreeEvent& e : events) {
+    avail += e.nodes;
+    if (avail >= blocked.nodes_required) {
+      shadow = e.t;
+      spare_at_shadow = avail - blocked.nodes_required;
+      break;
+    }
+  }
+  if (shadow < 0) {
+    // The head job can never start (it exceeds the machine) — the engine
+    // dismisses such jobs at submission, so this means estimates are broken.
+    return placements;
+  }
+
+  for (std::size_t i = head + 1; i < order.size(); ++i) {
+    const Job& job = ctx.JobOf(order[i]);
+    if (job.nodes_required > free) continue;
+    const SimTime est_end = ctx.now + job.RuntimeEstimate();
+    const bool fits_before_shadow = est_end <= shadow;
+    const bool fits_in_spare = job.nodes_required <= spare_at_shadow;
+    if (fits_before_shadow || fits_in_spare) {
+      placements.push_back({order[i], {}});
+      free -= job.nodes_required;
+      if (!fits_before_shadow) spare_at_shadow -= job.nodes_required;
+    }
+  }
+  return placements;
+}
+
+std::unique_ptr<Scheduler> MakeBuiltinScheduler(const std::string& policy,
+                                                const std::string& backfill,
+                                                const AccountRegistry* accounts) {
+  const auto p = ParsePolicy(policy);
+  if (!p) throw std::invalid_argument("Unknown policy '" + policy + "'");
+  const auto b = ParseBackfill(backfill);
+  if (!b) throw std::invalid_argument("Unknown backfill '" + backfill + "'");
+  return std::make_unique<BuiltinScheduler>(*p, *b, accounts);
+}
+
+}  // namespace sraps

@@ -1,0 +1,52 @@
+// The built-in scheduler (§3.2.5): replay plus FCFS/SJF/LJF/priority
+// ordering with no-backfill, first-fit, or EASY backfill, and the
+// experimental account-derived incentive policies of §4.3.
+#pragma once
+
+#include <memory>
+
+#include "accounts/accounts.h"
+#include "sched/policies.h"
+#include "sched/scheduler.h"
+
+namespace sraps {
+
+class BuiltinScheduler : public Scheduler {
+ public:
+  /// `accounts` must outlive the scheduler and is required for the
+  /// account-derived policies (throws std::invalid_argument otherwise);
+  /// it is the *collection-phase* snapshot, not mutated here.
+  BuiltinScheduler(Policy policy, BackfillMode backfill,
+                   const AccountRegistry* accounts = nullptr);
+
+  std::string name() const override;
+
+  std::vector<Placement> Schedule(const SchedulerContext& ctx) override;
+
+  /// Replay must run every tick: jobs start when their recorded time
+  /// arrives, which is not an engine event.
+  bool NeedsTimeTriggered() const override { return policy_ == Policy::kReplay; }
+
+  Policy policy() const { return policy_; }
+  BackfillMode backfill() const { return backfill_; }
+
+  /// The sort key a policy assigns a job (higher runs earlier).  Exposed for
+  /// tests and for external schedulers that want to reuse the ordering.
+  double PriorityKey(const Job& job) const;
+
+ private:
+  std::vector<Placement> ScheduleReplay(const SchedulerContext& ctx) const;
+  std::vector<Placement> ScheduleOrdered(const SchedulerContext& ctx) const;
+
+  Policy policy_;
+  BackfillMode backfill_;
+  const AccountRegistry* accounts_;
+};
+
+/// Factory matching the CLI surface: builds the built-in scheduler from
+/// policy/backfill names.  Throws std::invalid_argument on unknown names.
+std::unique_ptr<Scheduler> MakeBuiltinScheduler(const std::string& policy,
+                                                const std::string& backfill,
+                                                const AccountRegistry* accounts = nullptr);
+
+}  // namespace sraps

@@ -1,0 +1,65 @@
+#include "sched/policies.h"
+
+namespace sraps {
+
+std::optional<Policy> ParsePolicy(const std::string& name) {
+  if (name == "replay") return Policy::kReplay;
+  if (name == "fcfs") return Policy::kFcfs;
+  if (name == "sjf") return Policy::kSjf;
+  if (name == "ljf") return Policy::kLjf;
+  if (name == "priority") return Policy::kPriority;
+  if (name == "ml") return Policy::kMl;
+  if (name == "acct_avg_power") return Policy::kAcctAvgPower;
+  if (name == "acct_low_avg_power") return Policy::kAcctLowAvgPower;
+  if (name == "acct_edp") return Policy::kAcctEdp;
+  if (name == "acct_fugaku_pts") return Policy::kAcctFugakuPts;
+  return std::nullopt;
+}
+
+std::string ToString(Policy p) {
+  switch (p) {
+    case Policy::kReplay: return "replay";
+    case Policy::kFcfs: return "fcfs";
+    case Policy::kSjf: return "sjf";
+    case Policy::kLjf: return "ljf";
+    case Policy::kPriority: return "priority";
+    case Policy::kMl: return "ml";
+    case Policy::kAcctAvgPower: return "acct_avg_power";
+    case Policy::kAcctLowAvgPower: return "acct_low_avg_power";
+    case Policy::kAcctEdp: return "acct_edp";
+    case Policy::kAcctFugakuPts: return "acct_fugaku_pts";
+  }
+  return "?";
+}
+
+std::optional<BackfillMode> ParseBackfill(const std::string& name) {
+  if (name == "none" || name == "nobf" || name.empty()) return BackfillMode::kNone;
+  if (name == "firstfit" || name == "first-fit") return BackfillMode::kFirstFit;
+  if (name == "easy") return BackfillMode::kEasy;
+  if (name == "conservative") return BackfillMode::kConservative;
+  return std::nullopt;
+}
+
+std::string ToString(BackfillMode m) {
+  switch (m) {
+    case BackfillMode::kNone: return "none";
+    case BackfillMode::kFirstFit: return "firstfit";
+    case BackfillMode::kEasy: return "easy";
+    case BackfillMode::kConservative: return "conservative";
+  }
+  return "?";
+}
+
+bool IsAccountPolicy(Policy p) {
+  switch (p) {
+    case Policy::kAcctAvgPower:
+    case Policy::kAcctLowAvgPower:
+    case Policy::kAcctEdp:
+    case Policy::kAcctFugakuPts:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sraps

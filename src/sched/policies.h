@@ -1,0 +1,47 @@
+// Policy and backfill identifiers matching the paper's CLI surface
+// (`--policy`, `--backfill`, §3.2.5 and schedulers/experimental.py §4.3).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sraps {
+
+enum class Policy {
+  kReplay,    ///< replay the recorded schedule exactly (original RAPS mode)
+  kFcfs,      ///< first-come first-served
+  kSjf,       ///< shortest-job-first (by runtime estimate)
+  kLjf,       ///< largest-job-first (by node count)
+  kPriority,  ///< dataset-provided priority, descending
+  kMl,        ///< ML-guided: rank by the inference pipeline's score (§4.4)
+  // Experimental account-derived incentive policies (§4.3): priority is the
+  // issuing account's accumulated behaviour from a previous collection run.
+  kAcctAvgPower,     ///< descending average power (high power favoured)
+  kAcctLowAvgPower,  ///< ascending average power (low power favoured)
+  kAcctEdp,          ///< ascending accumulated energy-delay product
+  kAcctFugakuPts,    ///< descending Fugaku points (Solórzano et al.)
+};
+
+enum class BackfillMode {
+  kNone,          ///< strict order; blocked head blocks everything
+  kFirstFit,      ///< place any queued job that fits right now
+  kEasy,          ///< EASY: backfill only if the head job's reservation is kept
+  kConservative,  ///< every queued job holds a reservation; backfill may not
+                  ///< delay any of them (the stricter variant the paper lists
+                  ///< among policies the default scheduler lacks)
+};
+
+/// CLI-style names: "replay", "fcfs", "sjf", "ljf", "priority", "ml",
+/// "acct_avg_power", "acct_low_avg_power", "acct_edp", "acct_fugaku_pts".
+std::optional<Policy> ParsePolicy(const std::string& name);
+std::string ToString(Policy p);
+
+/// "none" (also "nobf"), "firstfit" (also "first-fit"), "easy",
+/// "conservative".
+std::optional<BackfillMode> ParseBackfill(const std::string& name);
+std::string ToString(BackfillMode m);
+
+/// True for the policies that need an AccountRegistry snapshot.
+bool IsAccountPolicy(Policy p);
+
+}  // namespace sraps

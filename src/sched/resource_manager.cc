@@ -1,0 +1,154 @@
+#include "sched/resource_manager.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sraps {
+
+ResourceManager::ResourceManager(int total_nodes, AllocationStrategy strategy)
+    : total_nodes_(total_nodes), strategy_(strategy) {
+  if (total_nodes <= 0) throw std::invalid_argument("ResourceManager: no nodes");
+  busy_.assign(total_nodes_, false);
+  for (int i = 0; i < total_nodes_; ++i) free_.insert(free_.end(), i);
+}
+
+bool ResourceManager::IsFree(int node) const {
+  if (node < 0 || node >= total_nodes_) return false;
+  return !busy_[node];
+}
+
+bool ResourceManager::IsDown(int node) const { return down_.count(node) != 0; }
+
+std::vector<int> ResourceManager::PickLowestFirst(int count) const {
+  std::vector<int> nodes;
+  nodes.reserve(count);
+  auto it = free_.begin();
+  for (int i = 0; i < count; ++i) nodes.push_back(*it++);
+  return nodes;
+}
+
+std::vector<int> ResourceManager::PickBestFitContiguous(int count) const {
+  // Scan the free set for contiguous runs; choose the smallest run that
+  // fits (best fit).  Falls back to lowest-first when no single run fits.
+  int best_start = -1, best_len = total_nodes_ + 1;
+  int run_start = -1, run_len = 0, prev = -2;
+  auto consider = [&] {
+    if (run_len >= count && run_len < best_len) {
+      best_len = run_len;
+      best_start = run_start;
+    }
+  };
+  for (int n : free_) {
+    if (n == prev + 1) {
+      ++run_len;
+    } else {
+      consider();
+      run_start = n;
+      run_len = 1;
+    }
+    prev = n;
+  }
+  consider();
+  if (best_start < 0) return PickLowestFirst(count);
+  std::vector<int> nodes;
+  nodes.reserve(count);
+  for (int i = 0; i < count; ++i) nodes.push_back(best_start + i);
+  return nodes;
+}
+
+std::vector<int> ResourceManager::Allocate(int count) {
+  if (count <= 0) throw std::invalid_argument("ResourceManager: allocate " +
+                                              std::to_string(count) + " nodes");
+  if (count > free_nodes()) {
+    throw std::runtime_error("ResourceManager: requested " + std::to_string(count) +
+                             " nodes, " + std::to_string(free_nodes()) + " free");
+  }
+  std::vector<int> nodes = strategy_ == AllocationStrategy::kBestFitContiguous
+                               ? PickBestFitContiguous(count)
+                               : PickLowestFirst(count);
+  for (int n : nodes) {
+    busy_[n] = true;
+    free_.erase(n);
+  }
+  return nodes;
+}
+
+void ResourceManager::AllocateExact(const std::vector<int>& nodes) {
+  if (nodes.empty()) throw std::invalid_argument("ResourceManager: empty exact allocation");
+  // Validate first so the operation is atomic.
+  for (int n : nodes) {
+    if (n < 0 || n >= total_nodes_) {
+      throw std::runtime_error("ResourceManager: node " + std::to_string(n) +
+                               " out of range");
+    }
+    if (busy_[n]) {
+      throw std::runtime_error("ResourceManager: node " + std::to_string(n) +
+                               " already allocated");
+    }
+  }
+  for (int n : nodes) {
+    busy_[n] = true;
+    free_.erase(n);
+  }
+}
+
+void ResourceManager::Release(const std::vector<int>& nodes) {
+  for (int n : nodes) {
+    if (n < 0 || n >= total_nodes_ || !busy_[n] || down_.count(n)) {
+      throw std::runtime_error("ResourceManager: releasing non-busy node " +
+                               std::to_string(n));
+    }
+  }
+  for (int n : nodes) {
+    if (pending_down_.count(n)) {
+      // Drain completes: the node leaves service instead of the free pool.
+      pending_down_.erase(n);
+      down_.insert(n);
+      // stays busy_
+    } else {
+      busy_[n] = false;
+      free_.insert(n);
+    }
+  }
+}
+
+void ResourceManager::MarkDown(const std::vector<int>& nodes) {
+  for (int n : nodes) {
+    if (n < 0 || n >= total_nodes_) {
+      throw std::runtime_error("ResourceManager: down node " + std::to_string(n) +
+                               " out of range");
+    }
+  }
+  for (int n : nodes) {
+    if (down_.count(n) || pending_down_.count(n)) continue;  // already draining/down
+    if (!busy_[n]) {
+      busy_[n] = true;
+      free_.erase(n);
+      down_.insert(n);
+    } else {
+      pending_down_.insert(n);  // drain: goes down when its job releases it
+    }
+  }
+}
+
+void ResourceManager::MarkUp(const std::vector<int>& nodes) {
+  for (int n : nodes) {
+    if (pending_down_.count(n)) continue;  // cancelling a drain is fine
+    if (!down_.count(n)) {
+      throw std::runtime_error("ResourceManager: node " + std::to_string(n) +
+                               " is not down");
+    }
+  }
+  for (int n : nodes) {
+    if (pending_down_.erase(n)) continue;
+    down_.erase(n);
+    busy_[n] = false;
+    free_.insert(n);
+  }
+}
+
+std::vector<int> ResourceManager::FreeList() const {
+  return std::vector<int>(free_.begin(), free_.end());
+}
+
+}  // namespace sraps

@@ -1,0 +1,82 @@
+// The resource manager owns node state (§3.2.3): schedulers *propose*
+// placements, the resource manager validates and executes them.  This
+// split — introduced by the S-RAPS refactor — is what lets external
+// schedulers coexist with the built-in one, and it resolves the original
+// RAPS timing bug where a node ending and starting a job in the same tick
+// double-allocated (completions must be released before placements).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace sraps {
+
+/// How Allocate picks nodes when the scheduler leaves the choice open.
+enum class AllocationStrategy {
+  kLowestFirst,  ///< lowest-numbered free nodes (default; deterministic)
+  kBestFitContiguous,  ///< smallest contiguous free run that fits, reducing
+                       ///< fragmentation for network-topology-aware studies
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(int total_nodes,
+                           AllocationStrategy strategy = AllocationStrategy::kLowestFirst);
+
+  int total_nodes() const { return total_nodes_; }
+  int free_nodes() const { return static_cast<int>(free_.size()); }
+  int busy_nodes() const { return total_nodes_ - free_nodes(); }
+  bool IsFree(int node) const;
+
+  /// True if `count` nodes could be allocated right now.
+  bool CanAllocate(int count) const { return count <= free_nodes(); }
+
+  /// Allocates `count` lowest-numbered free nodes.  Throws
+  /// std::runtime_error if not enough nodes are free.
+  std::vector<int> Allocate(int count);
+
+  /// Allocates exactly the given nodes (replay mode: the telemetry's
+  /// placement is enforced).  Throws std::runtime_error naming the first
+  /// conflicting node if any is busy or out of range.
+  void AllocateExact(const std::vector<int>& nodes);
+
+  /// Releases nodes.  Throws std::runtime_error if a node was not busy
+  /// (double-release is always a bug upstream).
+  void Release(const std::vector<int>& nodes);
+
+  /// Marks nodes as unavailable (down/drained — the paper notes production
+  /// schedules depend on this; the open datasets lack the information, so
+  /// the twin exposes it for what-if failure studies).  A busy node is not
+  /// interrupted: it is recorded as pending-down and leaves service when its
+  /// job releases it (drain semantics).
+  void MarkDown(const std::vector<int>& nodes);
+
+  /// Returns a down node to service.  Throws std::runtime_error if the node
+  /// is not down (or only pending-down).
+  void MarkUp(const std::vector<int>& nodes);
+
+  bool IsDown(int node) const;
+  /// True if a drain was requested while the node was running a job.
+  bool IsPendingDown(int node) const { return pending_down_.count(node) != 0; }
+  int down_nodes() const { return static_cast<int>(down_.size()); }
+
+  /// Sorted list of currently free node ids (copy).
+  std::vector<int> FreeList() const;
+
+  AllocationStrategy strategy() const { return strategy_; }
+
+ private:
+  std::vector<int> PickLowestFirst(int count) const;
+  std::vector<int> PickBestFitContiguous(int count) const;
+
+  int total_nodes_;
+  AllocationStrategy strategy_;
+  std::set<int> free_;
+  std::vector<bool> busy_;     ///< includes down nodes
+  std::set<int> down_;         ///< out of service (subset of busy)
+  std::set<int> pending_down_; ///< drain requested while running a job
+};
+
+}  // namespace sraps

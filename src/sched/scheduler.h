@@ -1,0 +1,77 @@
+// The scheduler abstraction of §3.2.4.  Each simulation-loop iteration the
+// engine offers the scheduler the current queue and system view; the
+// scheduler returns *proposed placements*, which the engine then executes
+// through the resource manager.  Schedulers never mutate system state —
+// that separation is what makes external scheduler simulators pluggable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sched/resource_manager.h"
+#include "workload/job.h"
+#include "workload/job_queue.h"
+
+namespace sraps {
+
+/// One proposed job start.  `nodes` empty = the resource manager chooses
+/// (reschedule mode); non-empty = exact placement (replay mode / external
+/// schedulers that manage their own node map).
+struct Placement {
+  JobQueue::Handle handle = 0;
+  std::vector<int> nodes;
+  /// Replay mode: end the job at its *recorded* end rather than
+  /// start + duration, so tick quantisation of the start cannot cascade
+  /// through the rest of the recorded schedule.
+  bool anchor_recorded_end = false;
+};
+
+/// What the scheduler may know about a running job — enough for EASY's
+/// shadow-time computation, nothing more (schedulers must not read realised
+/// futures).
+struct RunningJobView {
+  JobId id = 0;
+  int nodes = 0;
+  SimTime estimated_end = 0;  ///< start + wall-time estimate
+};
+
+/// Read-only view handed to Scheduler::Schedule each iteration.
+struct SchedulerContext {
+  SimTime now = 0;
+  const std::vector<Job>* jobs = nullptr;  ///< engine job storage, indexed by Handle
+  const JobQueue* queue = nullptr;
+  const ResourceManager* rm = nullptr;
+  const std::vector<RunningJobView>* running = nullptr;
+  /// True when this tick saw submissions, completions, or frees; schedulers
+  /// may skip recomputation otherwise (§3.2.4 trigger/skip decision).
+  bool had_events = true;
+
+  const Job& JobOf(JobQueue::Handle h) const { return (*jobs)[h]; }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes this tick's placements.  Must be side-effect free with respect
+  /// to engine state; may maintain internal scheduler state.
+  virtual std::vector<Placement> Schedule(const SchedulerContext& ctx) = 0;
+
+  /// True if this scheduler's decisions can change with the mere passage of
+  /// time (replay waits for recorded start times; external simulators hold
+  /// future reservations).  The engine then invokes it every tick instead of
+  /// only on event-bearing ticks.
+  virtual bool NeedsTimeTriggered() const { return false; }
+
+  /// Notification hooks so event-based external schedulers can maintain
+  /// their own state (§3.2.4: "implement the logic for triggering and
+  /// sending these events").  Defaults are no-ops.
+  virtual void OnJobSubmitted(const Job&) {}
+  virtual void OnJobStarted(const Job&) {}
+  virtual void OnJobCompleted(const Job&) {}
+};
+
+}  // namespace sraps

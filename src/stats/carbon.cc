@@ -1,0 +1,69 @@
+#include "stats/carbon.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sraps {
+
+CarbonIntensityProfile CarbonIntensityProfile::Constant(double kg_per_kwh) {
+  return CarbonIntensityProfile(std::vector<double>(24, kg_per_kwh));
+}
+
+CarbonIntensityProfile CarbonIntensityProfile::Diurnal(double base, double solar_dip,
+                                                       double evening_peak) {
+  std::vector<double> hourly(24);
+  for (int h = 0; h < 24; ++h) {
+    // Solar dip centred on 13:00 with ~4 h half-width.
+    const double dip = std::exp(-0.5 * std::pow((h - 13.0) / 3.0, 2.0));
+    // Evening peak centred on 19:00, narrower.
+    const double peak = std::exp(-0.5 * std::pow((h - 19.0) / 2.0, 2.0));
+    double v = base;
+    v -= base * (1.0 - solar_dip) * dip;
+    v += base * (evening_peak - 1.0) * peak;
+    hourly[h] = std::max(0.0, v);
+  }
+  return CarbonIntensityProfile(std::move(hourly));
+}
+
+CarbonIntensityProfile::CarbonIntensityProfile(std::vector<double> hourly)
+    : hourly_(std::move(hourly)) {
+  if (hourly_.size() != 24) {
+    throw std::invalid_argument("CarbonIntensityProfile: need exactly 24 hourly values");
+  }
+  for (double v : hourly_) {
+    if (v < 0.0) throw std::invalid_argument("CarbonIntensityProfile: negative intensity");
+  }
+}
+
+double CarbonIntensityProfile::At(SimTime t) const {
+  const SimTime day_s = ((t % kDay) + kDay) % kDay;
+  return hourly_[static_cast<std::size_t>(day_s / kHour)];
+}
+
+CarbonReport ComputeCarbon(const TimeSeriesRecorder& recorder,
+                           const CarbonIntensityProfile& profile) {
+  const Channel& ch = recorder.Get("power_kw");
+  if (ch.values.size() < 2) {
+    throw std::logic_error("ComputeCarbon: need >= 2 power samples");
+  }
+  double mean_intensity = 0.0;
+  for (double v : profile.hourly()) mean_intensity += v;
+  mean_intensity /= 24.0;
+
+  CarbonReport r;
+  for (std::size_t i = 1; i < ch.values.size(); ++i) {
+    const double dt_h = static_cast<double>(ch.times[i] - ch.times[i - 1]) / 3600.0;
+    const double kwh = 0.5 * (ch.values[i] + ch.values[i - 1]) * dt_h;
+    const double intensity =
+        0.5 * (profile.At(ch.times[i]) + profile.At(ch.times[i - 1]));
+    r.energy_kwh += kwh;
+    r.emissions_kg += kwh * intensity;
+    r.flat_equivalent_kg += kwh * mean_intensity;
+  }
+  r.timing_factor = r.flat_equivalent_kg > 0.0 ? r.emissions_kg / r.flat_equivalent_kg
+                                               : 1.0;
+  return r;
+}
+
+}  // namespace sraps

@@ -1,0 +1,56 @@
+// Carbon accounting over the simulated power series (§3.2.6 tracks "cost
+// estimates for carbon emissions").  Grid carbon intensity is not constant:
+// it follows a diurnal shape (solar mid-day dips, evening fossil peaks), so
+// when a scheduler moves load in time it also moves emissions.  This module
+// integrates system power against a configurable intensity profile —
+// enabling the sustainability what-if studies the paper motivates.
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+#include "telemetry/recorder.h"
+
+namespace sraps {
+
+/// 24-hour grid carbon-intensity profile in kg CO2 per kWh, sampled hourly
+/// (entry h applies to [h:00, h+1:00) local time, repeating daily).
+class CarbonIntensityProfile {
+ public:
+  /// Flat profile (classic constant-factor accounting).
+  static CarbonIntensityProfile Constant(double kg_per_kwh);
+
+  /// A stylised diurnal curve: `base` overnight, dipping to `base*solar_dip`
+  /// around mid-day (solar), peaking at `base*evening_peak` around 19:00.
+  static CarbonIntensityProfile Diurnal(double base = 0.4, double solar_dip = 0.6,
+                                        double evening_peak = 1.3);
+
+  /// Custom hourly values; must contain exactly 24 non-negative entries.
+  explicit CarbonIntensityProfile(std::vector<double> hourly);
+
+  /// Intensity at an absolute sim time (day-periodic).
+  double At(SimTime t) const;
+
+  const std::vector<double>& hourly() const { return hourly_; }
+
+ private:
+  std::vector<double> hourly_;
+};
+
+struct CarbonReport {
+  double energy_kwh = 0.0;
+  double emissions_kg = 0.0;
+  /// Emissions under a flat profile with the same daily-average intensity —
+  /// the baseline that shows how much the *timing* of load matters.
+  double flat_equivalent_kg = 0.0;
+  /// emissions / flat_equivalent; < 1 means the load sat in cleaner hours.
+  double timing_factor = 1.0;
+};
+
+/// Integrates the recorder's `power_kw` channel (trapezoidal) against the
+/// profile.  Throws std::out_of_range if the channel is missing, or
+/// std::logic_error with fewer than 2 samples.
+CarbonReport ComputeCarbon(const TimeSeriesRecorder& recorder,
+                           const CarbonIntensityProfile& profile);
+
+}  // namespace sraps

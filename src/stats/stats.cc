@@ -1,0 +1,219 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/mathutil.h"
+
+namespace sraps {
+namespace {
+
+constexpr double kJoulePerKwh = 3.6e6;
+
+double SafeInverse(double v) { return v > 0.0 ? 1.0 / v : 0.0; }
+
+}  // namespace
+
+SimulationStats::SimulationStats()
+    : size_hist_({0.0, 128.0, 1024.0, 1e9}, {"small", "medium", "large"}) {}
+
+void SimulationStats::RecordCompletion(const Job& job, double energy_j) {
+  if (job.start < 0 || job.end < job.start) {
+    throw std::logic_error("SimulationStats: job " + std::to_string(job.id) +
+                           " not completed");
+  }
+  JobRecord r;
+  r.id = job.id;
+  r.account = job.account;
+  r.user = job.user;
+  r.submit = job.submit_time;
+  r.start = job.start;
+  r.end = job.end;
+  r.nodes = job.nodes_required;
+  r.priority = job.priority;
+  r.energy_j = energy_j;
+  const SimDuration runtime = job.end - job.start;
+  r.avg_cpu_util = job.cpu_util.empty() ? 0.0 : job.cpu_util.MeanOver(runtime);
+  r.avg_gpu_util = job.gpu_util.empty() ? 0.0 : job.gpu_util.MeanOver(runtime);
+  size_hist_.Add(static_cast<double>(r.nodes));
+  records_.push_back(std::move(r));
+}
+
+double SimulationStats::AvgWaitSeconds() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += static_cast<double>(r.Wait());
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgTurnaroundSeconds() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += static_cast<double>(r.Turnaround());
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgRuntimeSeconds() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += static_cast<double>(r.Runtime());
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgJobSizeNodes() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += r.nodes;
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgNodeHours() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += r.NodeSeconds() / 3600.0;
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::TotalEnergyJ() const {
+  double s = 0.0;
+  for (const auto& r : records_) s += r.energy_j;
+  return s;
+}
+
+double SimulationStats::AvgEnergyPerJobJ() const {
+  if (records_.empty()) return 0.0;
+  return TotalEnergyJ() / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgEdp() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += r.Edp();
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgEd2p() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += r.Ed2p();
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgCpuUtil() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += r.avg_cpu_util;
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::AvgGpuUtil() const {
+  if (records_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : records_) s += r.avg_gpu_util;
+  return s / static_cast<double>(records_.size());
+}
+
+double SimulationStats::ThroughputPerHour() const {
+  if (records_.empty()) return 0.0;
+  SimTime first_submit = records_.front().submit;
+  SimTime last_end = records_.front().end;
+  for (const auto& r : records_) {
+    first_submit = std::min(first_submit, r.submit);
+    last_end = std::max(last_end, r.end);
+  }
+  const double hours = static_cast<double>(last_end - first_submit) / 3600.0;
+  if (hours <= 0.0) return 0.0;
+  return static_cast<double>(records_.size()) / hours;
+}
+
+double SimulationStats::AreaWeightedResponseTime() const {
+  double num = 0.0, den = 0.0;
+  for (const auto& r : records_) {
+    const double area = r.NodeSeconds();
+    num += area * static_cast<double>(r.Turnaround());
+    den += area;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double SimulationStats::PriorityWeightedSpecificResponseTime() const {
+  double num = 0.0, den = 0.0;
+  for (const auto& r : records_) {
+    const double area = r.NodeSeconds();
+    if (area <= 0.0) continue;
+    // Specific response time: turnaround per node-hour of work done.
+    const double srt = static_cast<double>(r.Turnaround()) / (area / 3600.0);
+    const double w = std::max(r.priority, 1e-9);  // zero-priority jobs still count
+    num += w * srt;
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double SimulationStats::EnergyCostUsd(const CostModel& cm) const {
+  return TotalEnergyJ() / kJoulePerKwh * cm.usd_per_kwh;
+}
+
+double SimulationStats::CarbonKgCo2(const CostModel& cm) const {
+  return TotalEnergyJ() / kJoulePerKwh * cm.kg_co2_per_kwh;
+}
+
+std::vector<double> SimulationStats::MultiObjectiveVector() const {
+  return {
+      AvgWaitSeconds(),
+      AvgTurnaroundSeconds(),
+      AvgNodeHours(),
+      AvgEd2p(),
+      SafeInverse(static_cast<double>(jobs_completed())),
+      SafeInverse(ThroughputPerHour()),
+      AvgRuntimeSeconds(),
+      SafeInverse(AvgCpuUtil()),
+      SafeInverse(AvgGpuUtil()),
+      PriorityWeightedSpecificResponseTime(),
+      AvgEnergyPerJobJ(),
+      AreaWeightedResponseTime(),
+  };
+}
+
+std::vector<std::string> SimulationStats::MultiObjectiveLabels() {
+  return {
+      "avg_wait",        "avg_turnaround",    "avg_node_hours",     "avg_ed2p",
+      "inv_jobs",        "inv_throughput",    "avg_runtime",        "inv_cpu_util",
+      "inv_gpu_util",    "pw_specific_rt",    "avg_energy",         "aw_response_time",
+  };
+}
+
+JsonValue SimulationStats::ToJson() const {
+  JsonObject o;
+  o["jobs_completed"] = JsonValue(static_cast<std::int64_t>(jobs_completed()));
+  o["avg_wait_s"] = AvgWaitSeconds();
+  o["avg_turnaround_s"] = AvgTurnaroundSeconds();
+  o["avg_runtime_s"] = AvgRuntimeSeconds();
+  o["avg_job_size_nodes"] = AvgJobSizeNodes();
+  o["avg_node_hours"] = AvgNodeHours();
+  o["total_energy_j"] = TotalEnergyJ();
+  o["avg_energy_per_job_j"] = AvgEnergyPerJobJ();
+  o["avg_edp"] = AvgEdp();
+  o["avg_ed2p"] = AvgEd2p();
+  o["avg_cpu_util"] = AvgCpuUtil();
+  o["avg_gpu_util"] = AvgGpuUtil();
+  o["throughput_per_hour"] = ThroughputPerHour();
+  o["area_weighted_response_time_s"] = AreaWeightedResponseTime();
+  o["priority_weighted_specific_rt"] = PriorityWeightedSpecificResponseTime();
+  o["energy_cost_usd"] = EnergyCostUsd();
+  o["carbon_kg_co2"] = CarbonKgCo2();
+  JsonObject hist;
+  for (std::size_t i = 0; i < size_hist_.num_buckets(); ++i) {
+    hist[size_hist_.labels()[i]] = size_hist_.Count(i);
+  }
+  o["job_size_histogram"] = JsonValue(std::move(hist));
+  return JsonValue(std::move(o));
+}
+
+std::vector<std::vector<double>> NormalizeObjectives(
+    std::vector<std::vector<double>> per_policy) {
+  L2NormalizeColumns(per_policy);
+  return per_policy;
+}
+
+}  // namespace sraps

@@ -1,0 +1,113 @@
+// Systems accounting (§3.2.6): per-job records and the aggregate metrics the
+// paper tracks — throughput, wait, turnaround, node-hours, energy, EDP and
+// ED²P, CPU/GPU utilisation, job-size histogram, area-weighted response
+// time and priority-weighted specific response time (Goponenko et al.), plus
+// carbon/cost estimates.  Fig. 10b's 12-axis radar is built from these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/json.h"
+#include "common/time.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Immutable record of one completed job.
+struct JobRecord {
+  JobId id = 0;
+  std::string account;
+  std::string user;
+  SimTime submit = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  int nodes = 0;
+  double priority = 0.0;
+  double energy_j = 0.0;
+  double avg_cpu_util = 0.0;
+  double avg_gpu_util = 0.0;
+
+  SimDuration Wait() const { return start - submit; }
+  SimDuration Turnaround() const { return end - submit; }
+  SimDuration Runtime() const { return end - start; }
+  double NodeSeconds() const { return static_cast<double>(Runtime()) * nodes; }
+  double Edp() const { return energy_j * static_cast<double>(Runtime()); }
+  double Ed2p() const {
+    const double r = static_cast<double>(Runtime());
+    return energy_j * r * r;
+  }
+};
+
+/// Tunables for derived cost metrics.
+struct CostModel {
+  double usd_per_kwh = 0.06;
+  double kg_co2_per_kwh = 0.37;  ///< US grid average
+};
+
+class SimulationStats {
+ public:
+  SimulationStats();
+
+  /// Credits one completed job.  The engine calls this with the simulated
+  /// energy; avg utilisations are taken from the job's traces.
+  void RecordCompletion(const Job& job, double energy_j);
+
+  // --- aggregates ----------------------------------------------------------
+  std::size_t jobs_completed() const { return records_.size(); }
+  const std::vector<JobRecord>& records() const { return records_; }
+
+  double AvgWaitSeconds() const;
+  double AvgTurnaroundSeconds() const;
+  double AvgRuntimeSeconds() const;
+  double AvgJobSizeNodes() const;
+  double AvgNodeHours() const;
+  double TotalEnergyJ() const;
+  double AvgEnergyPerJobJ() const;
+  double AvgEdp() const;
+  double AvgEd2p() const;
+  double AvgCpuUtil() const;
+  double AvgGpuUtil() const;
+  /// Jobs completed per hour of the window [first submit, last end].
+  double ThroughputPerHour() const;
+
+  /// Area-weighted average response time (Goponenko et al.): the mean
+  /// turnaround weighted by each job's node-seconds area — large long jobs
+  /// dominate, capturing packing efficiency.
+  double AreaWeightedResponseTime() const;
+
+  /// Priority-weighted specific response time: mean of (turnaround per unit
+  /// node-hour), weighted by job priority — a fairness-sensitive variant.
+  double PriorityWeightedSpecificResponseTime() const;
+
+  /// Job-size histogram (small < 128 nodes <= medium < 1024 <= large).
+  const Histogram& JobSizeHistogram() const { return size_hist_; }
+
+  /// Derived cost estimates.
+  double EnergyCostUsd(const CostModel& cm = {}) const;
+  double CarbonKgCo2(const CostModel& cm = {}) const;
+
+  /// The 12 Fig. 10b objectives, in plot order.  All are lower-is-better
+  /// (count-like metrics enter inverted, as the paper does).
+  /// Order: avg wait, avg turnaround, avg node-hours, avg ED²P,
+  /// 1/jobs-completed, 1/throughput, avg runtime, 1/avg CPU util,
+  /// 1/avg GPU util, PW-SRT, avg energy, AW-RT.
+  std::vector<double> MultiObjectiveVector() const;
+  static std::vector<std::string> MultiObjectiveLabels();
+
+  /// stats.out-style JSON blob of every aggregate.
+  JsonValue ToJson() const;
+
+ private:
+  std::vector<JobRecord> records_;
+  Histogram size_hist_;
+};
+
+/// L2-normalises a set of per-policy objective vectors (rows = policies),
+/// reproducing Fig. 10b's normalisation so policies are comparable per axis.
+std::vector<std::vector<double>> NormalizeObjectives(
+    std::vector<std::vector<double>> per_policy);
+
+}  // namespace sraps

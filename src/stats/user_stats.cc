@@ -1,0 +1,105 @@
+#include "stats/user_stats.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sraps {
+
+double UserStats::AvgWait() const {
+  return jobs_completed ? wait_seconds / static_cast<double>(jobs_completed) : 0.0;
+}
+
+double UserStats::AvgTurnaround() const {
+  return jobs_completed ? turnaround_seconds / static_cast<double>(jobs_completed) : 0.0;
+}
+
+UserStatsCollector UserStatsCollector::FromRecords(
+    const std::vector<JobRecord>& records) {
+  UserStatsCollector c;
+  for (const auto& r : records) c.Add(r);
+  return c;
+}
+
+void UserStatsCollector::Add(const JobRecord& record) {
+  auto [it, inserted] = users_.try_emplace(record.user);
+  UserStats& u = it->second;
+  if (inserted) u.user = record.user;
+  u.account = record.account;
+  u.jobs_completed += 1;
+  u.node_seconds += record.NodeSeconds();
+  u.energy_j += record.energy_j;
+  u.wait_seconds += static_cast<double>(record.Wait());
+  u.turnaround_seconds += static_cast<double>(record.Turnaround());
+  u.max_wait_seconds = std::max(u.max_wait_seconds, static_cast<double>(record.Wait()));
+}
+
+const UserStats& UserStatsCollector::Get(const std::string& user) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) throw std::out_of_range("UserStats: unknown user " + user);
+  return it->second;
+}
+
+std::vector<std::string> UserStatsCollector::UserNames() const {
+  std::vector<std::string> names;
+  names.reserve(users_.size());
+  for (const auto& [name, u] : users_) names.push_back(name);
+  return names;
+}
+
+std::vector<UserStats> UserStatsCollector::TopBy(const std::string& metric,
+                                                 std::size_t k) const {
+  double UserStats::*field = nullptr;
+  bool by_jobs = false;
+  if (metric == "wait") {
+    field = &UserStats::wait_seconds;
+  } else if (metric == "node_hours") {
+    field = &UserStats::node_seconds;
+  } else if (metric == "energy") {
+    field = &UserStats::energy_j;
+  } else if (metric == "jobs") {
+    by_jobs = true;
+  } else {
+    throw std::invalid_argument("UserStats::TopBy: unknown metric '" + metric + "'");
+  }
+  std::vector<UserStats> all;
+  all.reserve(users_.size());
+  for (const auto& [name, u] : users_) all.push_back(u);
+  std::sort(all.begin(), all.end(), [&](const UserStats& a, const UserStats& b) {
+    if (by_jobs) return a.jobs_completed > b.jobs_completed;
+    return a.*field > b.*field;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+double UserStatsCollector::WaitImbalance() const {
+  double sum = 0.0, max = 0.0;
+  std::size_t n = 0;
+  for (const auto& [name, u] : users_) {
+    const double w = u.AvgWait();
+    sum += w;
+    max = std::max(max, w);
+    ++n;
+  }
+  if (n == 0 || sum <= 0.0) return 0.0;
+  const double mean = sum / static_cast<double>(n);
+  return max / mean;
+}
+
+JsonValue UserStatsCollector::ToJson() const {
+  JsonObject root;
+  for (const auto& [name, u] : users_) {
+    JsonObject o;
+    o["account"] = u.account;
+    o["jobs_completed"] = JsonValue(u.jobs_completed);
+    o["node_hours"] = u.NodeHours();
+    o["energy_j"] = u.energy_j;
+    o["avg_wait_s"] = u.AvgWait();
+    o["avg_turnaround_s"] = u.AvgTurnaround();
+    o["max_wait_s"] = u.max_wait_seconds;
+    root[name] = JsonValue(std::move(o));
+  }
+  return JsonValue(std::move(root));
+}
+
+}  // namespace sraps

@@ -1,0 +1,61 @@
+// Per-user aggregation (§3.2.6: S-RAPS "adds collection of statistics for
+// jobs, users, accounts").  Users are finer-grained than accounts — several
+// users share one allocation — and the per-user view is what exposes
+// fairness questions: "we can assess if a setting of the scheduler favors
+// specific jobs or users".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "stats/stats.h"
+
+namespace sraps {
+
+struct UserStats {
+  std::string user;
+  std::string account;  ///< the (last-seen) account the user submitted under
+  std::int64_t jobs_completed = 0;
+  double node_seconds = 0.0;
+  double energy_j = 0.0;
+  double wait_seconds = 0.0;
+  double turnaround_seconds = 0.0;
+  double max_wait_seconds = 0.0;
+
+  double AvgWait() const;
+  double AvgTurnaround() const;
+  double NodeHours() const { return node_seconds / 3600.0; }
+};
+
+/// Aggregates JobRecords by user.
+class UserStatsCollector {
+ public:
+  /// Builds per-user stats from a finished simulation's job records.
+  static UserStatsCollector FromRecords(const std::vector<JobRecord>& records);
+
+  void Add(const JobRecord& record);
+
+  std::size_t size() const { return users_.size(); }
+  bool Has(const std::string& user) const { return users_.count(user) != 0; }
+  /// Throws std::out_of_range for unknown users.
+  const UserStats& Get(const std::string& user) const;
+  std::vector<std::string> UserNames() const;
+
+  /// Users sorted by a metric, descending.  Metric: "wait", "node_hours",
+  /// "energy", "jobs".  Throws std::invalid_argument on unknown metric.
+  std::vector<UserStats> TopBy(const std::string& metric, std::size_t k) const;
+
+  /// Fairness indicator: max over users of avg wait divided by the mean of
+  /// user avg waits (1.0 = perfectly even).  0 when no users have waits.
+  double WaitImbalance() const;
+
+  JsonValue ToJson() const;
+
+ private:
+  std::map<std::string, UserStats> users_;
+};
+
+}  // namespace sraps

@@ -1,0 +1,122 @@
+#include "telemetry/recorder.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/mathutil.h"
+
+namespace sraps {
+namespace {
+
+std::string FormatValue(double v) {
+  std::ostringstream ss;
+  ss.precision(10);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+void TimeSeriesRecorder::Record(const std::string& channel, SimTime t, double value) {
+  auto& ch = channels_[channel];
+  if (!ch.times.empty() && t < ch.times.back()) {
+    throw std::invalid_argument("Recorder: time went backwards in channel " + channel);
+  }
+  ch.times.push_back(t);
+  ch.values.push_back(value);
+}
+
+bool TimeSeriesRecorder::Has(const std::string& channel) const {
+  return channels_.count(channel) != 0;
+}
+
+const Channel& TimeSeriesRecorder::Get(const std::string& channel) const {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    throw std::out_of_range("Recorder: no channel '" + channel + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TimeSeriesRecorder::ChannelNames() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, ch] : channels_) names.push_back(name);
+  return names;
+}
+
+double TimeSeriesRecorder::MeanOf(const std::string& channel) const {
+  const auto& ch = Get(channel);
+  if (ch.values.empty()) throw std::logic_error("Recorder: empty channel " + channel);
+  return Mean(ch.values);
+}
+
+double TimeSeriesRecorder::MaxOf(const std::string& channel) const {
+  const auto& ch = Get(channel);
+  if (ch.values.empty()) throw std::logic_error("Recorder: empty channel " + channel);
+  return *std::max_element(ch.values.begin(), ch.values.end());
+}
+
+double TimeSeriesRecorder::MinOf(const std::string& channel) const {
+  const auto& ch = Get(channel);
+  if (ch.values.empty()) throw std::logic_error("Recorder: empty channel " + channel);
+  return *std::min_element(ch.values.begin(), ch.values.end());
+}
+
+double TimeSeriesRecorder::IntegralOf(const std::string& channel) const {
+  const auto& ch = Get(channel);
+  if (ch.values.size() < 2) throw std::logic_error("Recorder: need >=2 samples " + channel);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < ch.values.size(); ++i) {
+    const double dt = static_cast<double>(ch.times[i] - ch.times[i - 1]);
+    acc += 0.5 * (ch.values[i] + ch.values[i - 1]) * dt;
+  }
+  return acc;
+}
+
+CsvTable TimeSeriesRecorder::ToCsv() const {
+  std::set<SimTime> all_times;
+  for (const auto& [name, ch] : channels_) {
+    all_times.insert(ch.times.begin(), ch.times.end());
+  }
+  std::vector<std::string> header = {"time"};
+  for (const auto& [name, ch] : channels_) header.push_back(name);
+
+  // Per-channel cursor advance (times are sorted).
+  std::map<std::string, std::size_t> cursor;
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(all_times.size());
+  for (SimTime t : all_times) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    row.push_back(std::to_string(t));
+    for (const auto& [name, ch] : channels_) {
+      std::size_t& c = cursor[name];
+      // Advance the cursor to the sample at time t, if there is one.
+      while (c < ch.times.size() && ch.times[c] < t) ++c;
+      if (c < ch.times.size() && ch.times[c] == t) {
+        row.push_back(FormatValue(ch.values[c]));
+      } else {
+        row.push_back("");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return CsvTable(std::move(header), std::move(rows));
+}
+
+void TimeSeriesRecorder::Save(const std::string& path) const {
+  const CsvTable table = ToCsv();
+  CsvWriter w(table.header());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.num_cols());
+    for (std::size_t c = 0; c < table.num_cols(); ++c) row.push_back(table.Cell(r, c));
+    w.AddRow(std::move(row));
+  }
+  w.Save(path);
+}
+
+}  // namespace sraps

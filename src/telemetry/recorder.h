@@ -1,0 +1,53 @@
+// Output time-series recording: the C++ analogue of the artifact's
+// power_history.parquet / util.parquet / cooling_model.parquet outputs.
+// Every engine tick appends one sample per registered channel; the recorder
+// can dump everything as CSV for the plotting stage of each figure.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/time.h"
+
+namespace sraps {
+
+/// A single named output channel, e.g. "power_kw" or "utilization".
+struct Channel {
+  std::vector<SimTime> times;
+  std::vector<double> values;
+};
+
+class TimeSeriesRecorder {
+ public:
+  /// Appends a sample to a channel (creating it on first use).
+  void Record(const std::string& channel, SimTime t, double value);
+
+  bool Has(const std::string& channel) const;
+  const Channel& Get(const std::string& channel) const;
+  std::vector<std::string> ChannelNames() const;
+
+  /// Mean of a channel's samples; throws if absent/empty.
+  double MeanOf(const std::string& channel) const;
+  /// Max of a channel's samples; throws if absent/empty.
+  double MaxOf(const std::string& channel) const;
+  /// Min of a channel's samples; throws if absent/empty.
+  double MinOf(const std::string& channel) const;
+
+  /// Trapezoidal time-integral of the channel (e.g. kW -> kJ if values are kW
+  /// and times are seconds).  Throws if absent or fewer than 2 samples.
+  double IntegralOf(const std::string& channel) const;
+
+  /// All channels joined on time into one wide CSV.  Channels missing a
+  /// sample at some time get an empty cell.
+  CsvTable ToCsv() const;
+
+  /// Writes ToCsv() to a file.
+  void Save(const std::string& path) const;
+
+ private:
+  std::map<std::string, Channel> channels_;
+};
+
+}  // namespace sraps

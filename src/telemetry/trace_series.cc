@@ -1,0 +1,88 @@
+#include "telemetry/trace_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/mathutil.h"
+
+namespace sraps {
+
+TraceSeries::TraceSeries(std::vector<SimDuration> offsets, std::vector<double> values,
+                         TraceFlags flags)
+    : offsets_(std::move(offsets)), values_(std::move(values)), flags_(flags) {
+  if (offsets_.size() != values_.size()) {
+    throw std::invalid_argument("TraceSeries: offsets/values size mismatch");
+  }
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    if (offsets_[i] < 0) throw std::invalid_argument("TraceSeries: negative offset");
+    if (i > 0 && offsets_[i] <= offsets_[i - 1]) {
+      throw std::invalid_argument("TraceSeries: offsets must be strictly increasing");
+    }
+  }
+}
+
+TraceSeries TraceSeries::Constant(double value) {
+  TraceSeries t;
+  t.offsets_ = {0};
+  t.values_ = {value};
+  t.constant_ = true;
+  return t;
+}
+
+double TraceSeries::Sample(SimDuration offset_from_start) const {
+  if (empty()) throw std::logic_error("TraceSeries: sampling an empty trace");
+  if (constant_ || offset_from_start <= offsets_.front()) return values_.front();
+  // Last sample with offset <= query (step hold / last-known-value).
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), offset_from_start);
+  const std::size_t idx = static_cast<std::size_t>(it - offsets_.begin()) - 1;
+  return values_[idx];
+}
+
+double TraceSeries::MeanOver(SimDuration horizon) const {
+  if (empty()) throw std::logic_error("TraceSeries: empty trace");
+  if (constant_ || size() == 1) return values_.front();
+  if (horizon <= 0) return values_.front();
+  double weighted = 0.0;
+  SimDuration covered = 0;
+  // Head: value[0] holds from 0 to offsets[0] (head fill).
+  const SimDuration head = std::min<SimDuration>(offsets_.front(), horizon);
+  weighted += static_cast<double>(head) * values_.front();
+  covered += head;
+  for (std::size_t i = 0; i + 1 < size() && covered < horizon; ++i) {
+    const SimDuration seg_start = std::max<SimDuration>(offsets_[i], 0);
+    const SimDuration seg_end = std::min<SimDuration>(offsets_[i + 1], horizon);
+    if (seg_end > seg_start) {
+      weighted += static_cast<double>(seg_end - seg_start) * values_[i];
+      covered += seg_end - seg_start;
+    }
+  }
+  // Tail: last value holds to the horizon.
+  if (covered < horizon) {
+    weighted += static_cast<double>(horizon - covered) * values_.back();
+    covered = horizon;
+  }
+  return weighted / static_cast<double>(horizon);
+}
+
+double TraceSeries::RawMean() const {
+  if (empty()) throw std::logic_error("TraceSeries: empty trace");
+  return Mean(values_);
+}
+
+double TraceSeries::RawMin() const {
+  if (empty()) throw std::logic_error("TraceSeries: empty trace");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TraceSeries::RawMax() const {
+  if (empty()) throw std::logic_error("TraceSeries: empty trace");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TraceSeries::RawStdDev() const {
+  if (empty()) throw std::logic_error("TraceSeries: empty trace");
+  return StdDev(values_);
+}
+
+}  // namespace sraps

@@ -1,0 +1,70 @@
+// Per-job telemetry traces with the resampling semantics of §3.2.2:
+// when a rescheduled job is sampled at an offset where no recorded sample
+// exists, the last known value is used; jobs whose recordings are truncated
+// at the head or tail of the capture window are flagged because no ground
+// truth exists there (Fig. 3 edge cases).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sraps {
+
+/// Flags carried with each trace describing capture-window truncation.
+struct TraceFlags {
+  bool truncated_head = false;  ///< job started before telemetry capture began
+  bool truncated_tail = false;  ///< job ended after telemetry capture ended
+};
+
+/// A sequence of (offset-from-job-start, value) samples.  Offsets are
+/// non-negative, strictly increasing.  Values are unitless here (utilisation
+/// fraction, watts, ... — the consumer decides).
+class TraceSeries {
+ public:
+  TraceSeries() = default;
+
+  /// Constructs from parallel vectors.  Throws std::invalid_argument if the
+  /// sizes differ or offsets are not strictly increasing / negative.
+  TraceSeries(std::vector<SimDuration> offsets, std::vector<double> values,
+              TraceFlags flags = {});
+
+  /// A constant-valued trace (the scalar-summary datasets: Fugaku, Lassen,
+  /// Adastra provide only average values).
+  static TraceSeries Constant(double value);
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+  bool is_constant() const { return constant_; }
+  const TraceFlags& flags() const { return flags_; }
+
+  /// Samples the trace at the given offset from job start.
+  ///  - before the first sample: first value (head fill)
+  ///  - between samples: the last sample at or before the offset (step hold)
+  ///  - after the last sample: last value (§3.2.2 "last known value")
+  /// Throws std::logic_error on an empty trace.
+  double Sample(SimDuration offset_from_start) const;
+
+  /// Mean of the recorded samples, duration-weighted using the step-hold
+  /// interpretation over [0, horizon].  For constant traces returns the value.
+  double MeanOver(SimDuration horizon) const;
+
+  /// Simple min / max / arithmetic-mean / stddev of raw samples
+  /// (the ML pipeline's summary-statistics extraction of §4.4.3).
+  double RawMean() const;
+  double RawMin() const;
+  double RawMax() const;
+  double RawStdDev() const;
+
+  const std::vector<SimDuration>& offsets() const { return offsets_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<SimDuration> offsets_;
+  std::vector<double> values_;
+  TraceFlags flags_;
+  bool constant_ = false;
+};
+
+}  // namespace sraps

@@ -1,0 +1,59 @@
+#include "workload/job.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sraps {
+
+const char* ToString(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kDismissed: return "dismissed";
+  }
+  return "?";
+}
+
+SimDuration Job::RecordedRuntime() const {
+  if (recorded_start < 0 || recorded_end < 0 || recorded_end < recorded_start) {
+    throw std::logic_error("Job " + std::to_string(id) + ": no recorded runtime");
+  }
+  return recorded_end - recorded_start;
+}
+
+SimDuration Job::RuntimeEstimate() const {
+  if (time_limit > 0) return time_limit;
+  if (recorded_start >= 0 && recorded_end >= recorded_start) return RecordedRuntime();
+  throw std::logic_error("Job " + std::to_string(id) + ": no runtime estimate available");
+}
+
+SimDuration Job::WaitTime() const {
+  if (start < 0) throw std::logic_error("Job " + std::to_string(id) + ": not started");
+  return start - submit_time;
+}
+
+SimDuration Job::Turnaround() const {
+  if (end < 0) throw std::logic_error("Job " + std::to_string(id) + ": not finished");
+  return end - submit_time;
+}
+
+SimDuration Job::Runtime() const {
+  if (start < 0 || end < 0) {
+    throw std::logic_error("Job " + std::to_string(id) + ": not run");
+  }
+  return end - start;
+}
+
+double Job::NodeSeconds() const {
+  return static_cast<double>(Runtime()) * static_cast<double>(nodes_required);
+}
+
+double Job::MeanNodePowerW() const {
+  if (node_power_w.empty()) return std::nan("");
+  if (start >= 0 && end > start) return node_power_w.MeanOver(end - start);
+  return node_power_w.RawMean();
+}
+
+}  // namespace sraps

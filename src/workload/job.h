@@ -1,0 +1,93 @@
+// The job model.  A Job carries everything a dataloader can know about one
+// batch job (§3.2.2): submit/start/end times, wall-time limit, node count or
+// exact recorded placement, the per-job telemetry traces (utilisation and/or
+// node power), accounting identity, and — after simulation — the realised
+// schedule the engine produced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "telemetry/trace_series.h"
+
+namespace sraps {
+
+using JobId = std::int64_t;
+
+/// Lifecycle of a job inside the simulation engine.
+enum class JobState {
+  kPending,    ///< known to the dataloader, not yet submitted in sim time
+  kQueued,     ///< submitted, waiting in the scheduler's queue
+  kRunning,    ///< placed on nodes
+  kCompleted,  ///< finished inside the simulation window
+  kDismissed,  ///< outside the window (ended before start / submitted after end)
+};
+
+const char* ToString(JobState s);
+
+struct Job {
+  // --- identity -----------------------------------------------------------
+  JobId id = 0;
+  std::string name;
+  std::string user;
+  std::string account;
+
+  // --- as recorded in the dataset ------------------------------------------
+  SimTime submit_time = 0;
+  SimTime recorded_start = -1;  ///< -1 when the dataset lacks it
+  SimTime recorded_end = -1;
+  SimDuration time_limit = 0;  ///< requested wall time; 0 = unknown
+  int nodes_required = 1;
+  /// Exact node placement from telemetry; used (and enforced) in replay mode.
+  std::vector<int> recorded_nodes;
+  /// Scheduler priority as provided by the dataset / site policy.
+  double priority = 0.0;
+
+  // --- telemetry ------------------------------------------------------------
+  /// Per-node CPU utilisation in [0,1] as offsets from job start.
+  TraceSeries cpu_util;
+  /// Per-node GPU utilisation in [0,1]; empty for CPU-only systems.
+  TraceSeries gpu_util;
+  /// Direct per-node power trace in watts.  When non-empty it overrides the
+  /// utilisation-based power model (the Adastra/Fugaku "job average power"
+  /// style datasets provide this as a constant trace).
+  TraceSeries node_power_w;
+
+  // --- ML-guided scheduling (§4.4) -------------------------------------------
+  /// Rank score assigned by the inference pipeline; higher runs earlier.
+  double ml_score = 0.0;
+  bool has_ml_score = false;
+
+  // --- simulation results -----------------------------------------------------
+  JobState state = JobState::kPending;
+  SimTime start = -1;  ///< realised start (simulated or replayed)
+  SimTime end = -1;    ///< realised end
+  std::vector<int> assigned_nodes;
+  /// §3.2.2 edge-case flags: no ground-truth telemetry at the head/tail.
+  TraceFlags trace_flags;
+
+  // --- derived ------------------------------------------------------------
+  /// Runtime recorded in the dataset.  Throws if recorded_start/end unset.
+  SimDuration RecordedRuntime() const;
+  /// Wall-time estimate the scheduler may use: the time limit when present,
+  /// otherwise the recorded runtime (perfect estimate).
+  SimDuration RuntimeEstimate() const;
+  /// Realised wait: start - submit.  Requires the job to have started.
+  SimDuration WaitTime() const;
+  /// Realised turnaround: end - submit.  Requires the job to have finished.
+  SimDuration Turnaround() const;
+  /// Realised runtime: end - start.
+  SimDuration Runtime() const;
+  /// Node-seconds of the realised run ("area" in packing metrics).
+  double NodeSeconds() const;
+  /// Mean per-node power (W) over the realised runtime: the direct trace if
+  /// present, otherwise NaN (the power model owns utilisation conversion).
+  double MeanNodePowerW() const;
+
+  /// True when the dataset pins the job to explicit nodes.
+  bool HasRecordedPlacement() const { return !recorded_nodes.empty(); }
+};
+
+}  // namespace sraps

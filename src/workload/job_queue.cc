@@ -1,0 +1,14 @@
+#include "workload/job_queue.h"
+
+#include <algorithm>
+
+namespace sraps {
+
+bool JobQueue::Remove(Handle h) {
+  auto it = std::find(handles_.begin(), handles_.end(), h);
+  if (it == handles_.end()) return false;
+  handles_.erase(it);
+  return true;
+}
+
+}  // namespace sraps

@@ -1,0 +1,36 @@
+// The scheduler-visible job queue (§3.2.3 step 2).  Jobs enter only once
+// their submit time has passed — the digital twin observes jobs as they are
+// submitted, exactly like a real system, so schedules cannot be precomputed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Holds indices into an external job vector (the engine owns Job storage;
+/// the queue holds stable handles).  Order is submission order until a
+/// policy re-sorts it.
+class JobQueue {
+ public:
+  using Handle = std::size_t;  ///< index into the engine's job array
+
+  void Push(Handle h) { handles_.push_back(h); }
+  bool empty() const { return handles_.empty(); }
+  std::size_t size() const { return handles_.size(); }
+
+  const std::vector<Handle>& handles() const { return handles_; }
+  std::vector<Handle>& mutable_handles() { return handles_; }
+
+  /// Removes a specific handle; returns false if absent.
+  bool Remove(Handle h);
+
+  void Clear() { handles_.clear(); }
+
+ private:
+  std::vector<Handle> handles_;
+};
+
+}  // namespace sraps

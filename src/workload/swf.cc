@@ -1,0 +1,85 @@
+#include "workload/swf.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/mathutil.h"
+
+namespace sraps {
+
+std::vector<Job> ParseSwf(const std::string& text, int procs_per_node) {
+  if (procs_per_node < 1) throw std::invalid_argument("ParseSwf: procs_per_node < 1");
+  std::vector<Job> jobs;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and blank lines.
+    const auto semi = line.find(';');
+    if (semi != std::string::npos) line = line.substr(0, semi);
+    std::istringstream ls(line);
+    std::vector<double> f;
+    double v;
+    while (ls >> v) f.push_back(v);
+    if (f.empty()) continue;
+    if (f.size() < 18) {
+      throw std::runtime_error("SWF: expected 18 fields, got " + std::to_string(f.size()));
+    }
+    const double runtime = f[3];
+    double procs = f[7] > 0 ? f[7] : f[4];  // requested, falling back to used
+    if (runtime < 0 || procs < 1) continue;  // failed/cancelled record
+
+    Job job;
+    job.id = static_cast<JobId>(f[0]);
+    job.name = "swf-" + std::to_string(job.id);
+    job.submit_time = static_cast<SimTime>(f[1]);
+    const double wait = f[2] >= 0 ? f[2] : 0;
+    job.recorded_start = job.submit_time + static_cast<SimTime>(wait);
+    job.recorded_end = job.recorded_start + static_cast<SimTime>(runtime);
+    job.nodes_required =
+        static_cast<int>(std::ceil(procs / static_cast<double>(procs_per_node)));
+    if (f[8] > 0) job.time_limit = static_cast<SimDuration>(f[8]);
+    job.user = "user" + std::to_string(static_cast<long long>(f[11]));
+    job.account = "group" + std::to_string(static_cast<long long>(f[12]));
+    job.priority = f[14] >= 0 ? f[14] : 0.0;  // queue number as a priority proxy
+    if (f[5] > 0 && runtime > 0) {
+      job.cpu_util = TraceSeries::Constant(Clamp(f[5] / runtime, 0.0, 1.0));
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<Job> LoadSwf(const std::string& path, int procs_per_node) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("SWF: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseSwf(ss.str(), procs_per_node);
+}
+
+std::string WriteSwf(const std::vector<Job>& jobs, int procs_per_node) {
+  std::ostringstream out;
+  out << "; SWF written by sraps\n";
+  for (const Job& j : jobs) {
+    const long long wait =
+        j.recorded_start >= 0 ? static_cast<long long>(j.recorded_start - j.submit_time) : -1;
+    const long long runtime =
+        (j.recorded_start >= 0 && j.recorded_end >= 0)
+            ? static_cast<long long>(j.recorded_end - j.recorded_start)
+            : -1;
+    const long long procs = static_cast<long long>(j.nodes_required) * procs_per_node;
+    double avg_cpu = -1;
+    if (!j.cpu_util.empty() && runtime > 0) avg_cpu = j.cpu_util.RawMean() * runtime;
+    out << j.id << ' ' << j.submit_time << ' ' << wait << ' ' << runtime << ' ' << procs
+        << ' ' << avg_cpu << ' ' << -1 << ' ' << procs << ' '
+        << (j.time_limit > 0 ? static_cast<long long>(j.time_limit) : -1) << ' ' << -1
+        << ' ' << 1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' '
+        << static_cast<long long>(j.priority) << ' ' << -1 << ' ' << -1 << ' ' << -1
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sraps

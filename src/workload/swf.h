@@ -1,0 +1,34 @@
+// Standard Workload Format (SWF) support — the interchange format of the
+// Parallel Workloads Archive, cited by the paper (§3.2.2 [13]) as the
+// baseline of what every scheduling simulator expects a dataloader to emit.
+// Parsing SWF lets users bring the ~40 public archive traces to the twin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Parses SWF text.  Header/comment lines start with ';' and are skipped.
+/// Each data line has 18 whitespace-separated fields:
+///   1 job id, 2 submit, 3 wait, 4 runtime, 5 used procs, 6 avg cpu time,
+///   7 used mem, 8 requested procs, 9 requested time, 10 requested mem,
+///   11 status, 12 user id, 13 group id, 14 executable, 15 queue,
+///   16 partition, 17 preceding job, 18 think time
+/// Mapping: nodes_required = ceil(requested procs / procs_per_node);
+/// recorded_start = submit + wait; recorded_end = start + runtime;
+/// time_limit = requested time; user/account from user/group ids;
+/// cpu_util = constant trace of avg cpu time / runtime when both known.
+/// Jobs with runtime < 0 or procs < 1 (failed/cancelled records) are skipped.
+std::vector<Job> ParseSwf(const std::string& text, int procs_per_node = 1);
+
+/// Loads and parses an SWF file.  Throws std::runtime_error if unreadable.
+std::vector<Job> LoadSwf(const std::string& path, int procs_per_node = 1);
+
+/// Serialises jobs back to SWF (one line per job, fields we do not model
+/// written as -1).  Round-trips with ParseSwf for the modelled fields.
+std::string WriteSwf(const std::vector<Job>& jobs, int procs_per_node = 1);
+
+}  // namespace sraps

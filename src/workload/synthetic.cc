@@ -1,0 +1,103 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/mathutil.h"
+
+namespace sraps {
+
+std::string SyntheticAccountName(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "acct%02d", i);
+  return buf;
+}
+
+std::string SyntheticUserName(int account, int user) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "u%02d_%02d", account, user);
+  return buf;
+}
+
+TraceSeries MakePhasedUtilTrace(Rng& rng, SimDuration runtime, SimDuration interval,
+                                double plateau, double noise_sd) {
+  if (interval <= 0) interval = 1;
+  std::vector<SimDuration> offsets;
+  std::vector<double> values;
+  const SimDuration ramp = std::max<SimDuration>(interval, runtime / 20);
+  const SimDuration tail = std::max<SimDuration>(interval, runtime / 25);
+  for (SimDuration t = 0; t < runtime; t += interval) {
+    double base;
+    if (t < ramp) {
+      base = plateau * static_cast<double>(t + interval) / static_cast<double>(ramp + interval);
+    } else if (t >= runtime - tail) {
+      base = plateau * 0.4;
+    } else {
+      base = plateau;
+    }
+    const double noisy = base * (1.0 + rng.Normal(0.0, noise_sd));
+    offsets.push_back(t);
+    values.push_back(Clamp(noisy, 0.0, 1.0));
+  }
+  if (offsets.empty()) {
+    offsets.push_back(0);
+    values.push_back(Clamp(plateau, 0.0, 1.0));
+  }
+  return TraceSeries(std::move(offsets), std::move(values));
+}
+
+std::vector<Job> GenerateSyntheticWorkload(const SyntheticWorkloadSpec& spec,
+                                           JobId first_id) {
+  Rng rng(spec.seed);
+  std::vector<Job> jobs;
+
+  // Zipf-ish account weights: account i has weight 1/(i+1); heavy users exist.
+  std::vector<double> acct_weights;
+  for (int i = 0; i < spec.num_accounts; ++i) acct_weights.push_back(1.0 / (i + 1));
+
+  const double rate_per_sec = spec.arrival_rate_per_hour / 3600.0;
+  double t = static_cast<double>(spec.first_submit);
+  JobId next_id = first_id;
+  while (true) {
+    t += rng.Exponential(rate_per_sec);
+    const SimTime submit = static_cast<SimTime>(t);
+    if (submit >= spec.first_submit + spec.horizon) break;
+
+    Job job;
+    job.id = next_id++;
+    job.name = "synth-" + std::to_string(job.id);
+    const int acct = static_cast<int>(rng.Categorical(acct_weights));
+    job.account = SyntheticAccountName(acct);
+    job.user = SyntheticUserName(
+        acct, static_cast<int>(rng.UniformInt(0, spec.num_users_per_account - 1)));
+    job.submit_time = submit;
+
+    // Node count: 2^N(mu, sd), rounded, clamped to [1, max_nodes].
+    const double raw_log2 = rng.Normal(spec.mean_nodes_log2, spec.sd_nodes_log2);
+    const double raw_nodes = std::pow(2.0, raw_log2);
+    job.nodes_required = static_cast<int>(
+        Clamp(std::round(raw_nodes), 1.0, static_cast<double>(spec.max_nodes)));
+
+    const auto runtime = static_cast<SimDuration>(
+        Clamp(rng.LogNormal(spec.runtime_mu, spec.runtime_sigma), 60.0, 7.0 * kDay));
+    job.recorded_start = submit;  // dataloaders overwrite with replay schedules
+    job.recorded_end = submit + runtime;
+    job.time_limit = static_cast<SimDuration>(
+        static_cast<double>(runtime) * std::max(1.0, spec.overestimate_factor));
+    job.priority = rng.Uniform(0.0, spec.priority_max);
+
+    Rng trace_rng = rng.Split();
+    const double cpu_plateau = Clamp(rng.Normal(spec.mean_cpu_util, 0.15), 0.05, 1.0);
+    job.cpu_util = MakePhasedUtilTrace(trace_rng, runtime, spec.trace_interval, cpu_plateau);
+    if (spec.gpu_jobs && rng.NextDouble() < 0.8) {
+      const double gpu_plateau = Clamp(rng.Normal(spec.mean_gpu_util, 0.2), 0.0, 1.0);
+      job.gpu_util =
+          MakePhasedUtilTrace(trace_rng, runtime, spec.trace_interval, gpu_plateau);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace sraps

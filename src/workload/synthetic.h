@@ -1,0 +1,56 @@
+// Synthetic workload generation.  Where the paper replays Zenodo datasets we
+// generate dataset-shaped workloads: Poisson arrivals, log-normal runtimes,
+// power-of-two-biased node counts, and per-job utilisation traces with
+// phase structure (ramp-up, plateau with noise, tail), so the power model
+// sees realistic temporal variation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Knobs for the generic generator.  Defaults approximate a mid-size
+/// capacity system at healthy load.
+struct SyntheticWorkloadSpec {
+  SimTime first_submit = 0;
+  SimDuration horizon = 24 * kHour;   ///< submissions span [first_submit, first_submit+horizon)
+  double arrival_rate_per_hour = 40;  ///< Poisson arrival intensity
+  int max_nodes = 256;                ///< cap node requests at the machine size
+  double mean_nodes_log2 = 3.0;       ///< node count ~ 2^Normal(mean, sd), clamped
+  double sd_nodes_log2 = 2.0;
+  double runtime_mu = 8.0;            ///< runtime ~ LogNormal(mu, sigma) seconds
+  double runtime_sigma = 1.2;
+  double overestimate_factor = 1.6;   ///< time_limit = runtime * factor (users pad)
+  double mean_cpu_util = 0.65;        ///< plateau CPU utilisation
+  double mean_gpu_util = 0.55;        ///< plateau GPU utilisation (if system has GPUs)
+  bool gpu_jobs = true;
+  SimDuration trace_interval = 20;    ///< telemetry sample spacing
+  int num_accounts = 12;              ///< accounts drawn Zipf-like
+  int num_users_per_account = 4;
+  double priority_max = 100.0;        ///< priorities uniform in [0, priority_max]
+  std::uint64_t seed = 42;
+};
+
+/// Generates a full job list (sorted by submit time, ids dense from
+/// `first_id`).  Each job gets cpu/gpu utilisation traces with a ramp /
+/// plateau / tail shape and multiplicative noise.
+std::vector<Job> GenerateSyntheticWorkload(const SyntheticWorkloadSpec& spec,
+                                           JobId first_id = 1);
+
+/// Builds a phase-structured utilisation trace: a ramp to the plateau over
+/// ~5% of the runtime, a noisy plateau, and a decay tail.  Exposed for tests
+/// and for the dataset-specific generators.
+TraceSeries MakePhasedUtilTrace(Rng& rng, SimDuration runtime, SimDuration interval,
+                                double plateau, double noise_sd = 0.08);
+
+/// An account name for index i ("acct00".."acctNN") — shared by generators
+/// and the incentive-structure benches so account identities line up.
+std::string SyntheticAccountName(int i);
+std::string SyntheticUserName(int account, int user);
+
+}  // namespace sraps

@@ -1,0 +1,171 @@
+// Unit tests for the account registry: accumulation, Fugaku points, and the
+// accounts.json round trip of the two-phase incentive workflow (§4.3).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "accounts/accounts.h"
+
+namespace sraps {
+namespace {
+
+Job CompletedJob(JobId id, const std::string& account, int nodes, SimDuration runtime,
+                 SimTime submit = 0, SimTime start = 100) {
+  Job j;
+  j.id = id;
+  j.account = account;
+  j.user = "u";
+  j.submit_time = submit;
+  j.start = start;
+  j.end = start + runtime;
+  j.nodes_required = nodes;
+  j.state = JobState::kCompleted;
+  return j;
+}
+
+TEST(AccountsTest, RecordAccumulates) {
+  AccountRegistry reg;
+  reg.RecordCompletion(CompletedJob(1, "a", 4, 3600), /*energy=*/4 * 3600 * 200.0);
+  reg.RecordCompletion(CompletedJob(2, "a", 2, 1800), 2 * 1800 * 300.0);
+  const AccountStats& s = reg.Get("a");
+  EXPECT_EQ(s.jobs_completed, 2);
+  EXPECT_DOUBLE_EQ(s.node_seconds, 4 * 3600.0 + 2 * 1800.0);
+  EXPECT_DOUBLE_EQ(s.energy_j, 4 * 3600 * 200.0 + 2 * 1800 * 300.0);
+}
+
+TEST(AccountsTest, AvgPowerIsEnergyPerNodeSecond) {
+  AccountRegistry reg;
+  reg.RecordCompletion(CompletedJob(1, "a", 4, 3600), 4 * 3600 * 250.0);
+  EXPECT_DOUBLE_EQ(reg.Get("a").AvgPowerW(), 250.0);
+}
+
+TEST(AccountsTest, EmptyAccountHasZeroAverages) {
+  AccountRegistry reg;
+  reg.GetOrCreate("empty");
+  EXPECT_DOUBLE_EQ(reg.Get("empty").AvgPowerW(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.Get("empty").AvgEdp(), 0.0);
+}
+
+TEST(AccountsTest, EdpAndEd2pTrackRuntime) {
+  AccountRegistry reg;
+  const double energy = 1000.0;
+  reg.RecordCompletion(CompletedJob(1, "a", 1, 10), energy);
+  const AccountStats& s = reg.Get("a");
+  EXPECT_DOUBLE_EQ(s.edp_sum, energy * 10);
+  EXPECT_DOUBLE_EQ(s.ed2p_sum, energy * 100);
+  EXPECT_DOUBLE_EQ(s.AvgEdp(), energy * 10);
+}
+
+TEST(AccountsTest, IncompleteJobThrows) {
+  AccountRegistry reg;
+  Job j = CompletedJob(1, "a", 1, 10);
+  j.end = -1;
+  EXPECT_THROW(reg.RecordCompletion(j, 1.0), std::logic_error);
+}
+
+TEST(AccountsTest, UnknownAccountThrowsOnGet) {
+  AccountRegistry reg;
+  EXPECT_THROW(reg.Get("nope"), std::out_of_range);
+  EXPECT_DOUBLE_EQ(reg.GetOrZero("nope").energy_j, 0.0);
+  EXPECT_FALSE(reg.Has("nope"));
+}
+
+// --- Fugaku points (Solórzano et al. incentive) --------------------------------
+
+TEST(FugakuPointsTest, BelowReferenceEarnsPoints) {
+  FugakuPointsParams params;
+  params.reference_node_power_w = 200.0;
+  params.points_per_node_hour = 100.0;
+  AccountRegistry reg(params);
+  // 1 node-hour at 100 W: saving fraction = 0.5 -> 50 points.
+  reg.RecordCompletion(CompletedJob(1, "a", 1, 3600), 3600 * 100.0);
+  EXPECT_NEAR(reg.Get("a").fugaku_points, 50.0, 1e-9);
+}
+
+TEST(FugakuPointsTest, AboveReferenceLosesPoints) {
+  FugakuPointsParams params;
+  params.reference_node_power_w = 200.0;
+  AccountRegistry reg(params);
+  reg.RecordCompletion(CompletedJob(1, "a", 1, 3600), 3600 * 300.0);
+  EXPECT_LT(reg.Get("a").fugaku_points, 0.0);
+}
+
+TEST(FugakuPointsTest, AtReferenceIsNeutral) {
+  FugakuPointsParams params;
+  params.reference_node_power_w = 200.0;
+  AccountRegistry reg(params);
+  reg.RecordCompletion(CompletedJob(1, "a", 1, 3600), 3600 * 200.0);
+  EXPECT_NEAR(reg.Get("a").fugaku_points, 0.0, 1e-9);
+}
+
+TEST(FugakuPointsTest, PointsScaleWithNodeHours) {
+  FugakuPointsParams params;
+  params.reference_node_power_w = 200.0;
+  AccountRegistry small(params), large(params);
+  small.RecordCompletion(CompletedJob(1, "a", 1, 3600), 3600 * 100.0);
+  large.RecordCompletion(CompletedJob(1, "a", 10, 3600), 10 * 3600 * 100.0);
+  EXPECT_NEAR(large.Get("a").fugaku_points, 10 * small.Get("a").fugaku_points, 1e-9);
+}
+
+// --- persistence -----------------------------------------------------------------
+
+TEST(AccountsTest, JsonRoundTrip) {
+  FugakuPointsParams params;
+  params.reference_node_power_w = 222.0;
+  params.points_per_node_hour = 50.0;
+  AccountRegistry reg(params);
+  reg.RecordCompletion(CompletedJob(1, "alpha", 4, 3600, 0, 50), 4 * 3600 * 180.0);
+  reg.RecordCompletion(CompletedJob(2, "beta", 2, 1200, 10, 60), 2 * 1200 * 90.0);
+
+  const AccountRegistry back = AccountRegistry::FromJson(reg.ToJson());
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.Get("alpha").energy_j, reg.Get("alpha").energy_j);
+  EXPECT_DOUBLE_EQ(back.Get("alpha").fugaku_points, reg.Get("alpha").fugaku_points);
+  EXPECT_DOUBLE_EQ(back.Get("beta").wait_seconds, reg.Get("beta").wait_seconds);
+  EXPECT_DOUBLE_EQ(back.params().reference_node_power_w, 222.0);
+  EXPECT_DOUBLE_EQ(back.params().points_per_node_hour, 50.0);
+}
+
+TEST(AccountsTest, SaveLoadFile) {
+  const auto path = std::filesystem::temp_directory_path() / "sraps_accounts_test.json";
+  AccountRegistry reg;
+  reg.RecordCompletion(CompletedJob(1, "a", 2, 600), 2 * 600 * 150.0);
+  reg.Save(path.string());
+  const AccountRegistry back = AccountRegistry::Load(path.string());
+  EXPECT_DOUBLE_EQ(back.Get("a").energy_j, reg.Get("a").energy_j);
+  std::filesystem::remove(path);
+}
+
+TEST(AccountsTest, LoadMissingFileThrows) {
+  EXPECT_THROW(AccountRegistry::Load("/nonexistent/accounts.json"), std::runtime_error);
+}
+
+TEST(AccountsTest, MalformedJsonThrows) {
+  EXPECT_THROW(AccountRegistry::FromJson("{not json"), std::runtime_error);
+  EXPECT_THROW(AccountRegistry::FromJson("{}"), std::runtime_error);  // no accounts key
+}
+
+TEST(AccountsTest, CrossSimulationAggregation) {
+  // The paper's two-phase workflow: reload a collection run and keep
+  // accumulating into the same accounts.
+  AccountRegistry phase1;
+  phase1.RecordCompletion(CompletedJob(1, "a", 1, 3600), 3600 * 100.0);
+  AccountRegistry phase2 = AccountRegistry::FromJson(phase1.ToJson());
+  phase2.RecordCompletion(CompletedJob(2, "a", 1, 3600), 3600 * 100.0);
+  EXPECT_EQ(phase2.Get("a").jobs_completed, 2);
+  EXPECT_DOUBLE_EQ(phase2.Get("a").energy_j, 2 * 3600 * 100.0);
+}
+
+TEST(AccountsTest, AccountNamesSorted) {
+  AccountRegistry reg;
+  reg.GetOrCreate("zeta");
+  reg.GetOrCreate("alpha");
+  const auto names = reg.AccountNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace sraps

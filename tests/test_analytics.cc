@@ -1,0 +1,395 @@
+// Tests for the analytics extensions: per-user statistics, carbon
+// accounting, replay validation, early-telemetry fingerprinting, the HTML
+// report renderer, and the facility power-cap what-if.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/simulation.h"
+#include "core/validate.h"
+#include "ml/fingerprint.h"
+#include "report/html_report.h"
+#include "sched/builtin_scheduler.h"
+#include "stats/carbon.h"
+#include "stats/user_stats.h"
+
+namespace sraps {
+namespace {
+
+JobRecord MakeRecord(JobId id, const std::string& user, SimTime submit, SimTime start,
+                     SimDuration runtime, int nodes, double energy) {
+  JobRecord r;
+  r.id = id;
+  r.user = user;
+  r.account = "acct_" + user;
+  r.submit = submit;
+  r.start = start;
+  r.end = start + runtime;
+  r.nodes = nodes;
+  r.energy_j = energy;
+  return r;
+}
+
+// --- user stats -----------------------------------------------------------------
+
+TEST(UserStatsTest, AggregatesPerUser) {
+  UserStatsCollector c;
+  c.Add(MakeRecord(1, "alice", 0, 100, 900, 4, 1000));
+  c.Add(MakeRecord(2, "alice", 50, 200, 300, 2, 500));
+  c.Add(MakeRecord(3, "bob", 0, 0, 100, 1, 50));
+  EXPECT_EQ(c.size(), 2u);
+  const UserStats& alice = c.Get("alice");
+  EXPECT_EQ(alice.jobs_completed, 2);
+  EXPECT_DOUBLE_EQ(alice.node_seconds, 4 * 900.0 + 2 * 300.0);
+  EXPECT_DOUBLE_EQ(alice.energy_j, 1500.0);
+  EXPECT_DOUBLE_EQ(alice.AvgWait(), (100 + 150) / 2.0);
+  EXPECT_DOUBLE_EQ(alice.max_wait_seconds, 150.0);
+  EXPECT_DOUBLE_EQ(c.Get("bob").AvgWait(), 0.0);
+}
+
+TEST(UserStatsTest, UnknownUserThrows) {
+  UserStatsCollector c;
+  EXPECT_THROW(c.Get("nobody"), std::out_of_range);
+  EXPECT_FALSE(c.Has("nobody"));
+}
+
+TEST(UserStatsTest, TopByMetrics) {
+  UserStatsCollector c;
+  c.Add(MakeRecord(1, "small", 0, 0, 100, 1, 10));
+  c.Add(MakeRecord(2, "big", 0, 0, 10000, 64, 1e6));
+  c.Add(MakeRecord(3, "mid", 0, 500, 1000, 8, 1e3));
+  const auto by_energy = c.TopBy("energy", 2);
+  ASSERT_EQ(by_energy.size(), 2u);
+  EXPECT_EQ(by_energy[0].user, "big");
+  const auto by_wait = c.TopBy("wait", 1);
+  EXPECT_EQ(by_wait[0].user, "mid");
+  EXPECT_THROW(c.TopBy("charisma", 1), std::invalid_argument);
+}
+
+TEST(UserStatsTest, WaitImbalance) {
+  UserStatsCollector even;
+  even.Add(MakeRecord(1, "a", 0, 100, 10, 1, 1));
+  even.Add(MakeRecord(2, "b", 0, 100, 10, 1, 1));
+  EXPECT_NEAR(even.WaitImbalance(), 1.0, 1e-9);  // identical waits
+  UserStatsCollector skew;
+  skew.Add(MakeRecord(1, "a", 0, 0, 10, 1, 1));
+  skew.Add(MakeRecord(2, "b", 0, 1000, 10, 1, 1));
+  EXPECT_NEAR(skew.WaitImbalance(), 2.0, 1e-9);  // max=1000, mean=500
+}
+
+TEST(UserStatsTest, JsonContainsUsers) {
+  UserStatsCollector c;
+  c.Add(MakeRecord(1, "alice", 0, 100, 900, 4, 1000));
+  const JsonValue j = c.ToJson();
+  EXPECT_EQ(j.At("alice").At("jobs_completed").AsInt(), 1);
+  EXPECT_GT(j.At("alice").At("node_hours").AsDouble(), 0.0);
+}
+
+// --- carbon ----------------------------------------------------------------------
+
+TEST(CarbonTest, ConstantProfileMatchesHandComputation) {
+  TimeSeriesRecorder r;
+  r.Record("power_kw", 0, 1000.0);
+  r.Record("power_kw", 3600, 1000.0);  // 1 MW for 1 h = 1000 kWh
+  const auto report = ComputeCarbon(r, CarbonIntensityProfile::Constant(0.5));
+  EXPECT_NEAR(report.energy_kwh, 1000.0, 1e-9);
+  EXPECT_NEAR(report.emissions_kg, 500.0, 1e-9);
+  EXPECT_NEAR(report.timing_factor, 1.0, 1e-9);
+}
+
+TEST(CarbonTest, DiurnalProfileShape) {
+  const auto p = CarbonIntensityProfile::Diurnal(0.4, 0.6, 1.3);
+  // Mid-day (13:00) is the cleanest hour, 19:00 the dirtiest.
+  EXPECT_LT(p.At(13 * kHour), p.At(3 * kHour));
+  EXPECT_GT(p.At(19 * kHour), p.At(3 * kHour));
+  EXPECT_NEAR(p.At(13 * kHour), 0.4 * 0.6, 0.02);
+  // Day-periodic.
+  EXPECT_DOUBLE_EQ(p.At(13 * kHour), p.At(13 * kHour + 5 * kDay));
+}
+
+TEST(CarbonTest, TimingFactorRewardsCleanHours) {
+  const auto p = CarbonIntensityProfile::Diurnal();
+  TimeSeriesRecorder noon, evening;
+  // Identical energy, different hours.
+  noon.Record("power_kw", 12 * kHour, 1000.0);
+  noon.Record("power_kw", 14 * kHour, 1000.0);
+  evening.Record("power_kw", 18 * kHour, 1000.0);
+  evening.Record("power_kw", 20 * kHour, 1000.0);
+  const auto rn = ComputeCarbon(noon, p);
+  const auto re = ComputeCarbon(evening, p);
+  EXPECT_NEAR(rn.energy_kwh, re.energy_kwh, 1e-9);
+  EXPECT_LT(rn.emissions_kg, re.emissions_kg);
+  EXPECT_LT(rn.timing_factor, 1.0);
+  EXPECT_GT(re.timing_factor, 1.0);
+}
+
+TEST(CarbonTest, Validation) {
+  EXPECT_THROW(CarbonIntensityProfile({1.0, 2.0}), std::invalid_argument);
+  std::vector<double> neg(24, 0.1);
+  neg[5] = -1;
+  EXPECT_THROW(CarbonIntensityProfile{neg}, std::invalid_argument);
+  TimeSeriesRecorder r;
+  EXPECT_THROW(ComputeCarbon(r, CarbonIntensityProfile::Constant(1)), std::out_of_range);
+}
+
+// --- validation ---------------------------------------------------------------------
+
+std::vector<Job> ValidationWorkload() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    Job j;
+    j.id = i + 1;
+    j.submit_time = i * 100;
+    j.recorded_start = j.submit_time + 50;
+    j.recorded_end = j.recorded_start + 400;
+    j.time_limit = 900;
+    j.nodes_required = 2;
+    j.recorded_nodes = {2 * (i % 8), 2 * (i % 8) + 1};
+    j.cpu_util = TraceSeries::Constant(0.5);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST(ValidateTest, ReplayFidelityWithinOneTick) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = ValidationWorkload();
+  opts.policy = "replay";
+  Simulation sim(opts);
+  sim.Run();
+  const ValidationReport report = ValidateAgainstRecorded(sim.engine());
+  EXPECT_EQ(report.jobs_compared, 8u);
+  EXPECT_LE(report.max_abs_start_delta_s, 10.0);  // one mini tick
+  EXPECT_DOUBLE_EQ(report.placement_match_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.runtime_preserved_fraction, 1.0);
+}
+
+TEST(ValidateTest, RescheduleShowsDeltas) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = ValidationWorkload();
+  opts.policy = "fcfs";
+  Simulation sim(opts);
+  sim.Run();
+  const ValidationReport report = ValidateAgainstRecorded(sim.engine());
+  // FCFS starts jobs at submission, 50 s before their recorded starts.
+  EXPECT_GT(report.mean_abs_start_delta_s, 10.0);
+  // Reschedule chooses its own nodes; placements no longer match.
+  EXPECT_LT(report.placement_match_fraction, 1.0);
+  EXPECT_TRUE(report.ToJson().is_object());
+}
+
+// --- fingerprinting ------------------------------------------------------------------
+
+std::vector<Job> FingerprintHistory(int n_per_class = 30) {
+  // Two behaviours: hot-and-long vs cool-and-short, distinguishable from the
+  // first minutes of telemetry.
+  std::vector<Job> jobs;
+  Rng rng(3);
+  for (int i = 0; i < 2 * n_per_class; ++i) {
+    const bool hot = i % 2 == 0;
+    Job j;
+    j.id = i + 1;
+    j.account = hot ? "hot" : "cool";
+    j.submit_time = i * 100;
+    const SimDuration runtime = hot ? 20000 : 1200;
+    j.recorded_start = j.submit_time;
+    j.recorded_end = j.submit_time + runtime;
+    j.time_limit = runtime * 2;
+    j.nodes_required = hot ? 32 : 2;
+    j.priority = 1;
+    j.node_power_w =
+        TraceSeries::Constant(hot ? 420.0 + rng.Normal(0, 5) : 140.0 + rng.Normal(0, 5));
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST(FingerprintTest, SeparatesBehavioursFromPrefix) {
+  FingerprinterOptions opts;
+  opts.num_clusters = 2;
+  JobFingerprinter fp(opts);
+  const auto history = FingerprintHistory();
+  fp.Train(history);
+
+  const FingerprintForecast hot = fp.Predict(history[0], 300);
+  const FingerprintForecast cool = fp.Predict(history[1], 300);
+  EXPECT_NE(hot.cluster, cool.cluster);
+  EXPECT_GT(hot.total_runtime_s, cool.total_runtime_s);
+  EXPECT_GT(hot.mean_power_w, cool.mean_power_w);
+  EXPECT_NEAR(hot.total_runtime_s, 20000.0, 2000.0);
+  EXPECT_NEAR(cool.mean_power_w, 140.0, 15.0);
+}
+
+TEST(FingerprintTest, RemainingRuntimeDecreasesWithObservation) {
+  FingerprinterOptions opts;
+  opts.num_clusters = 2;
+  JobFingerprinter fp(opts);
+  const auto history = FingerprintHistory();
+  fp.Train(history);
+  const auto early = fp.Predict(history[0], 100);
+  const auto late = fp.Predict(history[0], 10000);
+  EXPECT_GT(early.remaining_runtime_s, late.remaining_runtime_s);
+  // Never negative, even past the forecast.
+  EXPECT_DOUBLE_EQ(fp.Predict(history[0], 500000).remaining_runtime_s, 0.0);
+}
+
+TEST(FingerprintTest, Validation) {
+  JobFingerprinter fp;
+  EXPECT_THROW(fp.Predict(Job{}, 0), std::logic_error);
+  FingerprinterOptions opts;
+  opts.num_clusters = 50;
+  JobFingerprinter fp2(opts);
+  EXPECT_THROW(fp2.Train(FingerprintHistory(3)), std::invalid_argument);
+}
+
+TEST(FingerprintTest, ConfidenceInUnitRange) {
+  FingerprinterOptions opts;
+  opts.num_clusters = 2;
+  JobFingerprinter fp(opts);
+  const auto history = FingerprintHistory();
+  fp.Train(history);
+  for (int i = 0; i < 6; ++i) {
+    const auto f = fp.Predict(history[i], 60);
+    EXPECT_GT(f.confidence, 0.0);
+    EXPECT_LE(f.confidence, 1.0);
+  }
+}
+
+// --- HTML report ----------------------------------------------------------------------
+
+TEST(HtmlReportTest, SvgChartContainsSeries) {
+  NamedSeries s;
+  s.label = "power";
+  s.times = {0, 3600, 7200};
+  s.values = {10, 20, 15};
+  const std::string svg = RenderSvgChart({s}, "test chart", 600, 200);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("test chart"), std::string::npos);
+  EXPECT_NE(svg.find("power"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EmptySeriesHandled) {
+  const std::string svg = RenderSvgChart({}, "empty", 600, 200);
+  EXPECT_NE(svg.find("no data"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EscapesMarkup) {
+  NamedSeries s;
+  s.label = "a<b>&c";
+  s.times = {0, 1};
+  s.values = {1, 2};
+  const std::string svg = RenderSvgChart({s}, "<script>", 600, 200);
+  EXPECT_EQ(svg.find("<script>"), std::string::npos);
+  EXPECT_NE(svg.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(HtmlReportTest, TooSmallChartThrows) {
+  EXPECT_THROW(RenderSvgChart({}, "x", 10, 10), std::invalid_argument);
+}
+
+TEST(HtmlReportTest, FullReportFromSimulation) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = ValidationWorkload();
+  opts.html_report = true;
+  Simulation sim(opts);
+  sim.Run();
+  const std::string html =
+      RenderHtmlReport(sim.engine().recorder(), sim.engine().stats());
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("power_kw"), std::string::npos);
+  EXPECT_NE(html.find("systems accounting"), std::string::npos);
+
+  const auto dir = std::filesystem::temp_directory_path() / "sraps_report_test";
+  std::filesystem::remove_all(dir);
+  sim.SaveOutputs(dir.string());
+  EXPECT_TRUE(std::filesystem::exists(dir / "report.html"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "users.json"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HtmlReportTest, ComparisonReportOverlaysRuns) {
+  SimulationOptions a;
+  a.system = "mini";
+  a.jobs_override = ValidationWorkload();
+  a.policy = "replay";
+  Simulation ra(a);
+  ra.Run();
+  SimulationOptions b = a;
+  b.jobs_override = ValidationWorkload();
+  b.policy = "fcfs";
+  Simulation rb(b);
+  rb.Run();
+  const std::string html = RenderComparisonReport(
+      {{"replay", &ra.engine().recorder()}, {"fcfs", &rb.engine().recorder()}});
+  EXPECT_NE(html.find("replay"), std::string::npos);
+  EXPECT_NE(html.find("fcfs"), std::string::npos);
+}
+
+// --- power cap -------------------------------------------------------------------------
+
+TEST(PowerCapTest, CapIsRespected) {
+  SimulationOptions uncapped;
+  uncapped.system = "mini";
+  uncapped.jobs_override = ValidationWorkload();
+  uncapped.policy = "fcfs";
+  Simulation su(uncapped);
+  su.Run();
+  const double peak = su.engine().recorder().MaxOf("power_kw");
+
+  SimulationOptions capped = uncapped;
+  capped.jobs_override = ValidationWorkload();
+  capped.power_cap_w = peak * 1000.0 * 0.8;  // cap at 80 % of the observed peak
+  Simulation sc(capped);
+  sc.Run();
+  EXPECT_LE(sc.engine().recorder().MaxOf("power_kw"), peak * 0.8 + 0.5);
+  EXPECT_LT(sc.engine().recorder().MinOf("throttle_factor"), 1.0);
+}
+
+TEST(PowerCapTest, ThrottlingDilatesRuntime) {
+  // Homogeneous machine: on the two-partition mini box, dilation increases
+  // job overlap and spills jobs onto the hotter GPU partition, which is a
+  // real placement effect but would mask the conservation check below.
+  SystemConfig homogeneous = MakeSystemConfig("mini");
+  homogeneous.partitions[1].num_nodes = 0;
+  homogeneous.partitions[0].num_nodes = 16;
+  SimulationOptions uncapped;
+  uncapped.system = "mini";
+  uncapped.config_override = homogeneous;
+  uncapped.jobs_override = ValidationWorkload();
+  uncapped.policy = "fcfs";
+  uncapped.duration = 4 * kHour;
+  Simulation su(uncapped);
+  su.Run();
+
+  SimulationOptions capped = uncapped;
+  capped.jobs_override = ValidationWorkload();
+  capped.power_cap_w = su.engine().recorder().MaxOf("power_kw") * 1000.0 * 0.75;
+  Simulation sc(capped);
+  sc.Run();
+  ASSERT_GT(sc.engine().counters().completed, 0u);
+  EXPECT_GT(sc.engine().stats().AvgRuntimeSeconds(),
+            su.engine().stats().AvgRuntimeSeconds());
+  // Energy is approximately conserved: power scales by f while runtime
+  // stretches by 1/f (the model's linear-DVFS simplification), so per-job
+  // energy stays put — the cap trades *peak power* for *time*.
+  EXPECT_NEAR(sc.engine().stats().AvgEnergyPerJobJ(),
+              su.engine().stats().AvgEnergyPerJobJ(),
+              su.engine().stats().AvgEnergyPerJobJ() * 0.1);
+}
+
+TEST(PowerCapTest, GenerousCapIsNoOp) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = ValidationWorkload();
+  opts.power_cap_w = 1e9;
+  Simulation sim(opts);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.engine().recorder().MinOf("throttle_factor"), 1.0);
+}
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,379 @@
+// Tests for the extension features: the availability profile, conservative
+// backfill, best-fit contiguous allocation, node drain/outage semantics, and
+// failure injection through the engine.
+#include <gtest/gtest.h>
+
+#include "engine/simulation_engine.h"
+#include "sched/availability_profile.h"
+#include "sched/builtin_scheduler.h"
+#include "sched/resource_manager.h"
+
+namespace sraps {
+namespace {
+
+// --- availability profile -----------------------------------------------------
+
+TEST(AvailabilityProfileTest, FreeAtTracksReleases) {
+  AvailabilityProfile p(0, 4);
+  p.AddRelease(100, 6);
+  p.AddRelease(200, 2);
+  EXPECT_EQ(p.FreeAt(0), 4);
+  EXPECT_EQ(p.FreeAt(99), 4);
+  EXPECT_EQ(p.FreeAt(100), 10);
+  EXPECT_EQ(p.FreeAt(200), 12);
+}
+
+TEST(AvailabilityProfileTest, EarliestFitNow) {
+  AvailabilityProfile p(50, 8);
+  EXPECT_EQ(p.EarliestFit(8, 1000), 50);
+  EXPECT_EQ(p.EarliestFit(4, 1), 50);
+}
+
+TEST(AvailabilityProfileTest, EarliestFitWaitsForRelease) {
+  AvailabilityProfile p(0, 4);
+  p.AddRelease(100, 6);
+  EXPECT_EQ(p.EarliestFit(10, 500), 100);
+}
+
+TEST(AvailabilityProfileTest, EarliestFitNeverReturnsMinusOne) {
+  AvailabilityProfile p(0, 4);
+  p.AddRelease(100, 2);
+  EXPECT_EQ(p.EarliestFit(100, 10), -1);
+}
+
+TEST(AvailabilityProfileTest, ReserveCarvesWindow) {
+  AvailabilityProfile p(0, 10);
+  p.Reserve(0, 100, 6);
+  EXPECT_EQ(p.FreeAt(0), 4);
+  EXPECT_EQ(p.FreeAt(99), 4);
+  EXPECT_EQ(p.FreeAt(100), 10);
+  // A 6-node job now fits only after the reservation ends.
+  EXPECT_EQ(p.EarliestFit(6, 10), 100);
+}
+
+TEST(AvailabilityProfileTest, ReserveBeyondCapacityThrows) {
+  AvailabilityProfile p(0, 4);
+  EXPECT_THROW(p.Reserve(0, 10, 5), std::logic_error);
+}
+
+TEST(AvailabilityProfileTest, ReleaseBeforeNowClamps) {
+  AvailabilityProfile p(1000, 2);
+  p.AddRelease(500, 3);  // the release already happened: counts from now
+  EXPECT_EQ(p.FreeAt(1000), 5);
+}
+
+TEST(AvailabilityProfileTest, GapBetweenWindowsDetected) {
+  // 10 free now, a reservation occupies [50,150): a long job that needs the
+  // full 10 nodes cannot start at 0 if it would overlap the reservation.
+  AvailabilityProfile p(0, 10);
+  p.Reserve(50, 100, 5);
+  EXPECT_EQ(p.EarliestFit(10, 100), 150);  // must wait out the reservation
+  EXPECT_EQ(p.EarliestFit(5, 100), 0);     // a half-size job fits immediately
+}
+
+// --- conservative backfill -----------------------------------------------------
+
+class ConsFixture {
+ public:
+  explicit ConsFixture(int nodes = 16) : rm_(nodes) {}
+  std::size_t AddQueued(JobId id, SimTime submit, int nodes, SimDuration limit) {
+    Job j;
+    j.id = id;
+    j.submit_time = submit;
+    j.recorded_start = submit;
+    j.recorded_end = submit + limit / 2;
+    j.time_limit = limit;
+    j.nodes_required = nodes;
+    j.state = JobState::kQueued;
+    jobs_.push_back(std::move(j));
+    queue_.Push(jobs_.size() - 1);
+    return jobs_.size() - 1;
+  }
+  void AddRunning(JobId id, int nodes, SimTime est_end) {
+    running_.push_back({id, nodes, est_end});
+    rm_.Allocate(nodes);
+  }
+  SchedulerContext Ctx(SimTime now) {
+    SchedulerContext ctx;
+    ctx.now = now;
+    ctx.jobs = &jobs_;
+    ctx.queue = &queue_;
+    ctx.rm = &rm_;
+    ctx.running = &running_;
+    ctx.had_events = true;
+    return ctx;
+  }
+  std::vector<Job> jobs_;
+  JobQueue queue_;
+  ResourceManager rm_;
+  std::vector<RunningJobView> running_;
+};
+
+TEST(ConservativeBackfillTest, ProtectsAllReservations) {
+  // Machine 16; 10 nodes busy until t=1000, 6 free now.  Queue (FCFS):
+  //   A: 8 nodes, 600 s  -> reserved at 1000
+  //   B: 8 nodes, 600 s  -> also reserved at 1000 (A+B = 16 fit together)
+  //   C: 6 nodes, 1400 s -> fits *now*, but would still hold 6 nodes at
+  //      t=1000 when A+B's reservations need the full machine.
+  // EASY protects only the head (A): C ends after the shadow but fits in
+  // A's spare (16-8=8 >= 6), so EASY admits C — delaying B.  Conservative
+  // protects B's reservation too and must refuse C.
+  ConsFixture f(16);
+  f.AddRunning(99, 10, 1000);
+  f.AddQueued(1, 0, 8, 600);
+  f.AddQueued(2, 10, 8, 600);
+  f.AddQueued(3, 20, 6, 1400);
+  BuiltinScheduler conservative(Policy::kFcfs, BackfillMode::kConservative);
+  EXPECT_TRUE(conservative.Schedule(f.Ctx(0)).empty());
+
+  ConsFixture g(16);
+  g.AddRunning(99, 10, 1000);
+  g.AddQueued(1, 0, 8, 600);
+  g.AddQueued(2, 10, 8, 600);
+  g.AddQueued(3, 20, 6, 1400);
+  BuiltinScheduler easy(Policy::kFcfs, BackfillMode::kEasy);
+  const auto easy_ps = easy.Schedule(g.Ctx(0));
+  ASSERT_EQ(easy_ps.size(), 1u);
+  EXPECT_EQ(g.jobs_[easy_ps[0].handle].id, 3);  // EASY lets C delay B
+}
+
+TEST(ConservativeBackfillTest, AdmitsReservationSafeBackfill) {
+  // Same setup, but C finishes before the t=1000 reservations: admitted.
+  ConsFixture f(16);
+  f.AddRunning(99, 10, 1000);
+  f.AddQueued(1, 0, 8, 600);
+  f.AddQueued(2, 10, 8, 600);
+  f.AddQueued(3, 20, 6, 900);
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kConservative);
+  const auto ps = s.Schedule(f.Ctx(0));
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(f.jobs_[ps[0].handle].id, 3);
+}
+
+TEST(ConservativeBackfillTest, PlacesHeadWhenItFits) {
+  ConsFixture f(16);
+  f.AddQueued(1, 0, 8, 600);
+  f.AddQueued(2, 0, 8, 600);
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kConservative);
+  const auto ps = s.Schedule(f.Ctx(0));
+  EXPECT_EQ(ps.size(), 2u);  // both fit side by side right now
+}
+
+TEST(ConservativeBackfillTest, EngineRunCompletesContendedQueue) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 30; ++i) {
+    Job j;
+    j.id = i + 1;
+    j.submit_time = i * 15;
+    j.recorded_start = j.submit_time;
+    j.recorded_end = j.submit_time + 120 + (i % 5) * 90;
+    j.time_limit = 600;
+    j.nodes_required = 2 + (i % 7);
+    j.cpu_util = TraceSeries::Constant(0.5);
+    jobs.push_back(std::move(j));
+  }
+  EngineOptions eo;
+  eo.sim_start = 0;
+  eo.sim_end = 20000;
+  SimulationEngine e(MakeSystemConfig("mini"), std::move(jobs),
+                     MakeBuiltinScheduler("fcfs", "conservative"), eo);
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 30u);
+}
+
+TEST(ConservativeBackfillTest, NeverBeatsEasyOnThroughputButNoStarvation) {
+  // Property: conservative is more cautious than EASY — it admits a subset
+  // of EASY's backfills at each decision — but every job still completes.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    Job j;
+    j.id = i + 1;
+    j.submit_time = i * 11;
+    j.recorded_start = j.submit_time;
+    j.recorded_end = j.submit_time + 100 + (i * 37) % 900;
+    j.time_limit = (j.recorded_end - j.recorded_start) * 2;
+    j.nodes_required = 1 + (i * 5) % 12;
+    j.cpu_util = TraceSeries::Constant(0.5);
+    jobs.push_back(std::move(j));
+  }
+  EngineOptions eo;
+  eo.sim_start = 0;
+  eo.sim_end = 50000;
+  SimulationEngine cons(MakeSystemConfig("mini"), jobs,
+                        MakeBuiltinScheduler("fcfs", "conservative"), eo);
+  cons.Run();
+  SimulationEngine easy(MakeSystemConfig("mini"), jobs,
+                        MakeBuiltinScheduler("fcfs", "easy"), eo);
+  easy.Run();
+  EXPECT_EQ(cons.counters().completed, 40u);
+  EXPECT_EQ(easy.counters().completed, 40u);
+  EXPECT_GE(cons.stats().AvgWaitSeconds() + 1e-9, easy.stats().AvgWaitSeconds());
+}
+
+// --- allocation strategies ------------------------------------------------------
+
+TEST(AllocationStrategyTest, BestFitPrefersSmallestRun) {
+  ResourceManager rm(16, AllocationStrategy::kBestFitContiguous);
+  // Carve the free space into runs: busy {4,5} and {10} ->
+  // free runs: [0..3](4), [6..9](4), [11..15](5).
+  rm.AllocateExact({4, 5, 10});
+  // A 4-node request should take one of the exact-fit runs, not split the 5.
+  const auto nodes = rm.Allocate(4);
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1, 2, 3}));
+  // A 5-node request now takes the 5-run.
+  const auto five = rm.Allocate(5);
+  EXPECT_EQ(five, (std::vector<int>{11, 12, 13, 14, 15}));
+}
+
+TEST(AllocationStrategyTest, BestFitFallsBackWhenFragmented) {
+  ResourceManager rm(8, AllocationStrategy::kBestFitContiguous);
+  rm.AllocateExact({1, 3, 5});  // free: 0,2,4,6,7 — max run is 2
+  const auto nodes = rm.Allocate(4);  // no contiguous run of 4: lowest-first
+  EXPECT_EQ(nodes, (std::vector<int>{0, 2, 4, 6}));
+}
+
+TEST(AllocationStrategyTest, LowestFirstUnchanged) {
+  ResourceManager rm(8, AllocationStrategy::kLowestFirst);
+  rm.AllocateExact({0});
+  EXPECT_EQ(rm.Allocate(3), (std::vector<int>{1, 2, 3}));
+}
+
+// --- drain / outage semantics ------------------------------------------------------
+
+TEST(DrainTest, BusyNodeDrainsOnRelease) {
+  ResourceManager rm(4);
+  const auto nodes = rm.Allocate(2);  // {0,1}
+  rm.MarkDown({0, 2});                // 0 is busy -> pending; 2 -> down now
+  EXPECT_TRUE(rm.IsDown(2));
+  EXPECT_FALSE(rm.IsDown(0));
+  EXPECT_TRUE(rm.IsPendingDown(0));
+  rm.Release(nodes);
+  EXPECT_TRUE(rm.IsDown(0));  // drained instead of returning to the pool
+  EXPECT_FALSE(rm.IsFree(0));
+  EXPECT_TRUE(rm.IsFree(1));
+  EXPECT_EQ(rm.down_nodes(), 2);
+}
+
+TEST(DrainTest, MarkUpRestoresService) {
+  ResourceManager rm(4);
+  rm.MarkDown({1});
+  EXPECT_EQ(rm.free_nodes(), 3);
+  rm.MarkUp({1});
+  EXPECT_EQ(rm.free_nodes(), 4);
+  EXPECT_FALSE(rm.IsDown(1));
+}
+
+TEST(DrainTest, MarkUpOnHealthyNodeThrows) {
+  ResourceManager rm(4);
+  EXPECT_THROW(rm.MarkUp({2}), std::runtime_error);
+}
+
+TEST(DrainTest, MarkUpCancelsPendingDrain) {
+  ResourceManager rm(4);
+  const auto nodes = rm.Allocate(1);
+  rm.MarkDown({nodes[0]});
+  rm.MarkUp({nodes[0]});  // drain cancelled while the job still runs
+  rm.Release(nodes);
+  EXPECT_TRUE(rm.IsFree(nodes[0]));
+}
+
+// --- engine failure injection --------------------------------------------------------
+
+Job OutageJob(JobId id, SimTime submit, SimDuration runtime, int nodes) {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.recorded_start = submit;
+  j.recorded_end = submit + runtime;
+  j.time_limit = runtime * 2;
+  j.nodes_required = nodes;
+  j.cpu_util = TraceSeries::Constant(0.5);
+  return j;
+}
+
+TEST(OutageTest, CapacityLossDelaysJobs) {
+  // 16-node machine; at t=100 half the machine goes down until t=1000.
+  // A 12-node job submitted at t=200 must wait for recovery.
+  EngineOptions eo;
+  eo.sim_start = 0;
+  eo.sim_end = 3000;
+  eo.outages = {{100, 1000, {0, 1, 2, 3, 4, 5, 6, 7}}};
+  std::vector<Job> jobs = {OutageJob(1, 200, 300, 12)};
+  SimulationEngine e(MakeSystemConfig("mini"), std::move(jobs),
+                     MakeBuiltinScheduler("fcfs", "none"), eo);
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].state, JobState::kCompleted);
+  EXPECT_GE(e.jobs()[0].start, 1000);
+}
+
+TEST(OutageTest, RunningJobSurvivesDrain) {
+  // The outage hits nodes occupied by a running job: drain semantics — the
+  // job finishes normally, the nodes go down afterwards.
+  EngineOptions eo;
+  eo.sim_start = 0;
+  eo.sim_end = 3000;
+  eo.outages = {{50, 0, {0, 1}}};  // permanent outage of nodes 0,1
+  std::vector<Job> jobs = {OutageJob(1, 0, 500, 2),   // occupies 0,1 at t=0
+                           OutageJob(2, 600, 300, 16)};  // needs the full machine
+  SimulationEngine e(MakeSystemConfig("mini"), std::move(jobs),
+                     MakeBuiltinScheduler("fcfs", "none"), eo);
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].state, JobState::kCompleted);  // not interrupted
+  // Job 2 can never run: two nodes are permanently down.
+  EXPECT_NE(e.jobs()[1].state, JobState::kCompleted);
+  EXPECT_EQ(e.resource_manager().down_nodes(), 2);
+}
+
+TEST(OutageTest, RecoveryRestoresThroughput) {
+  EngineOptions eo;
+  eo.sim_start = 0;
+  eo.sim_end = 5000;
+  eo.outages = {{0, 800, {8, 9, 10, 11, 12, 13, 14, 15}}};
+  std::vector<Job> jobs = {OutageJob(1, 0, 300, 10)};
+  SimulationEngine e(MakeSystemConfig("mini"), std::move(jobs),
+                     MakeBuiltinScheduler("fcfs", "none"), eo);
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].state, JobState::kCompleted);
+  EXPECT_GE(e.jobs()[0].start, 800);
+  EXPECT_EQ(e.resource_manager().down_nodes(), 0);
+}
+
+TEST(OutageTest, OverlappingOutagesDoNotThrow) {
+  EngineOptions eo;
+  eo.sim_start = 0;
+  eo.sim_end = 2000;
+  eo.outages = {{0, 500, {3, 4}}, {100, 700, {4, 5}}};
+  std::vector<Job> jobs = {OutageJob(1, 0, 100, 2)};
+  SimulationEngine e(MakeSystemConfig("mini"), std::move(jobs),
+                     MakeBuiltinScheduler("fcfs", "none"), eo);
+  EXPECT_NO_THROW(e.Run());
+  EXPECT_EQ(e.resource_manager().down_nodes(), 0);
+}
+
+// Property sweep: conservative backfill placements never oversubscribe under
+// randomized queues (mirrors the PlacementInvariants sweep for EASY).
+class ConservativeInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservativeInvariants, CapacityRespected) {
+  ConsFixture f(32);
+  f.AddRunning(900, 10, 2000);
+  unsigned s = static_cast<unsigned>(GetParam());
+  auto next = [&] {
+    s = s * 1103515245u + 12345u;
+    return s >> 16;
+  };
+  for (int i = 0; i < 15; ++i) {
+    f.AddQueued(i + 1, i * 10, 1 + static_cast<int>(next() % 12),
+                300 + static_cast<SimDuration>(next() % 3000));
+  }
+  BuiltinScheduler sched(Policy::kFcfs, BackfillMode::kConservative);
+  const auto ps = sched.Schedule(f.Ctx(500));
+  int total = 0;
+  for (const auto& p : ps) total += f.jobs_[p.handle].nodes_required;
+  EXPECT_LE(total, f.rm_.free_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservativeInvariants, ::testing::Values(1, 7, 42, 99));
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,118 @@
+// Unit tests for src/config: the system factory and derived quantities.
+#include <gtest/gtest.h>
+
+#include "config/system_config.h"
+
+namespace sraps {
+namespace {
+
+TEST(SystemConfigTest, KnownSystemsAllConstruct) {
+  for (const auto& name : KnownSystems()) {
+    const SystemConfig c = MakeSystemConfig(name);
+    EXPECT_EQ(c.name, name);
+    EXPECT_GT(c.TotalNodes(), 0);
+    EXPECT_GT(c.PeakItPowerW(), c.IdleItPowerW());
+    EXPECT_GT(c.telemetry_interval, 0);
+  }
+}
+
+TEST(SystemConfigTest, UnknownSystemThrows) {
+  EXPECT_THROW(MakeSystemConfig("hal9000"), std::invalid_argument);
+}
+
+TEST(SystemConfigTest, Table1NodeCounts) {
+  EXPECT_EQ(MakeSystemConfig("frontier").TotalNodes(), 9600);
+  EXPECT_EQ(MakeSystemConfig("marconi100").TotalNodes(), 980);
+  EXPECT_EQ(MakeSystemConfig("fugaku").TotalNodes(), 158976);
+  EXPECT_EQ(MakeSystemConfig("lassen").TotalNodes(), 792);
+  EXPECT_EQ(MakeSystemConfig("adastraMI250").TotalNodes(), 356);
+}
+
+TEST(SystemConfigTest, Table1Schedulers) {
+  EXPECT_EQ(MakeSystemConfig("frontier").scheduler_name, "Slurm");
+  EXPECT_EQ(MakeSystemConfig("fugaku").scheduler_name, "Fujitsu TCS");
+  EXPECT_EQ(MakeSystemConfig("lassen").scheduler_name, "LSF");
+}
+
+TEST(SystemConfigTest, FrontierIsTheOnlyCoolingModelSystem) {
+  // The paper only ships a cooling model for Frontier (plus our test box).
+  EXPECT_TRUE(MakeSystemConfig("frontier").cooling.has_cooling_model);
+  EXPECT_FALSE(MakeSystemConfig("marconi100").cooling.has_cooling_model);
+  EXPECT_FALSE(MakeSystemConfig("adastraMI250").cooling.has_cooling_model);
+}
+
+TEST(SystemConfigTest, FrontierPeakPowerIsExascaleClass) {
+  const SystemConfig c = MakeSystemConfig("frontier");
+  // ~20-35 MW IT peak: the machine the paper's Fig. 6 plots at 10-25 MW.
+  EXPECT_GT(c.PeakItPowerW(), 20e6);
+  EXPECT_LT(c.PeakItPowerW(), 35e6);
+}
+
+TEST(SystemConfigTest, FugakuIsCpuOnly) {
+  const SystemConfig c = MakeSystemConfig("fugaku");
+  EXPECT_EQ(c.partitions[0].node_power.gpus_per_node, 0);
+}
+
+TEST(NodePowerSpecTest, PeakExceedsIdle) {
+  NodePowerSpec s;
+  s.cpus_per_node = 2;
+  s.gpus_per_node = 4;
+  EXPECT_GT(s.PeakW(), s.IdleW());
+}
+
+TEST(NodePowerSpecTest, IdleIncludesStaticShares) {
+  NodePowerSpec s;
+  s.idle_w = 100;
+  s.mem_w = 20;
+  s.nic_w = 10;
+  s.cpu_idle_w = 30;
+  s.cpus_per_node = 2;
+  s.gpus_per_node = 0;
+  EXPECT_DOUBLE_EQ(s.IdleW(), 100 + 20 + 10 + 60);
+}
+
+TEST(SystemConfigTest, PartitionOfMapsGlobalIds) {
+  const SystemConfig c = MakeSystemConfig("mini");  // 8 cpu + 8 gpu nodes
+  EXPECT_EQ(c.PartitionOf(0), 0u);
+  EXPECT_EQ(c.PartitionOf(7), 0u);
+  EXPECT_EQ(c.PartitionOf(8), 1u);
+  EXPECT_EQ(c.PartitionOf(15), 1u);
+  EXPECT_THROW(c.PartitionOf(16), std::out_of_range);
+  EXPECT_THROW(c.PartitionOf(-1), std::out_of_range);
+}
+
+TEST(SystemConfigTest, NodeSpecFollowsPartition) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  EXPECT_EQ(c.NodeSpec(0).gpus_per_node, 0);
+  EXPECT_EQ(c.NodeSpec(8).gpus_per_node, 4);
+}
+
+TEST(SystemConfigTest, MiniHasTwoPartitions) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  ASSERT_EQ(c.partitions.size(), 2u);
+  EXPECT_EQ(c.TotalNodes(), 16);
+}
+
+// Sweep: every system's conversion-loss parameters produce a sane loss
+// fraction at peak load (between 1 % and 15 %).
+class ConversionSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConversionSanity, LossFractionAtPeakIsReasonable) {
+  const SystemConfig c = MakeSystemConfig(GetParam());
+  const double peak = c.PeakItPowerW();
+  const double per_cab = peak / ((c.TotalNodes() + c.conversion.nodes_per_cabinet - 1) /
+                                 c.conversion.nodes_per_cabinet);
+  const double loss_per_cab = c.conversion.idle_loss_w +
+                              c.conversion.linear_coeff * per_cab +
+                              c.conversion.quadratic_coeff * per_cab * per_cab;
+  const double frac = loss_per_cab / per_cab;
+  EXPECT_GT(frac, 0.01) << GetParam();
+  EXPECT_LT(frac, 0.15) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ConversionSanity,
+                         ::testing::Values("frontier", "marconi100", "fugaku", "lassen",
+                                           "adastraMI250", "mini"));
+
+}  // namespace
+}  // namespace sraps

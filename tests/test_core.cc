@@ -1,0 +1,230 @@
+// Unit tests for the Simulation facade: CLI-style option handling, dataset
+// loading, window resolution, output files, and scheduler selection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/simulation.h"
+#include "dataloaders/marconi.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<Job> SmallWorkload(int n = 10) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < n; ++i) {
+    Job j;
+    j.id = i + 1;
+    j.submit_time = i * 60;
+    j.recorded_start = j.submit_time + 30;
+    j.recorded_end = j.recorded_start + 300;
+    j.time_limit = 600;
+    j.nodes_required = 2 + (i % 4);
+    j.account = i % 2 ? "odd" : "even";
+    j.cpu_util = TraceSeries::Constant(0.5);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST(SimulationTest, RunsWithInjectedJobs) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.policy = "fcfs";
+  opts.backfill = "easy";
+  Simulation sim(opts);
+  sim.Run();
+  EXPECT_EQ(sim.engine().counters().completed, 10u);
+  EXPECT_GT(sim.wall_seconds(), 0.0);
+  EXPECT_GT(sim.SpeedupVsRealtime(), 1.0);
+}
+
+TEST(SimulationTest, WindowFromDataset) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  Simulation sim(opts);
+  // First event at t=0 (submit of job 1), last recorded end at 9*60+30+300.
+  EXPECT_EQ(sim.sim_start(), 0);
+  EXPECT_GE(sim.sim_end(), 9 * 60 + 30 + 300);
+}
+
+TEST(SimulationTest, FastForwardAndDuration) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.fast_forward = 120;
+  opts.duration = 300;
+  Simulation sim(opts);
+  EXPECT_EQ(sim.sim_start(), 120);
+  EXPECT_EQ(sim.sim_end(), 420);
+}
+
+TEST(SimulationTest, EmptyWindowThrows) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.fast_forward = 100 * kDay;  // past everything...
+  opts.duration = 0;               // dataset end < start
+  EXPECT_THROW(Simulation{opts}, std::invalid_argument);
+}
+
+TEST(SimulationTest, NoJobsThrows) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  EXPECT_THROW(Simulation{opts}, std::invalid_argument);
+}
+
+TEST(SimulationTest, UnknownSchedulerThrows) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.scheduler = "slurm-for-real";
+  EXPECT_THROW(Simulation{opts}, std::invalid_argument);
+}
+
+TEST(SimulationTest, UnknownPolicyThrows) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.policy = "lottery";
+  EXPECT_THROW(Simulation{opts}, std::invalid_argument);
+}
+
+TEST(SimulationTest, DatasetPathThroughDataloader) {
+  const fs::path dir = fs::temp_directory_path() / "sraps_core_marconi";
+  fs::remove_all(dir);
+  MarconiDatasetSpec spec;
+  spec.span = 6 * kHour;
+  spec.arrival_rate_per_hour = 20;
+  GenerateMarconiDataset(dir.string(), spec);
+
+  SimulationOptions opts;
+  opts.system = "marconi100";
+  opts.dataset_path = dir.string();
+  opts.policy = "replay";
+  opts.duration = 2 * kHour;
+  Simulation sim(opts);
+  sim.Run();
+  EXPECT_GT(sim.engine().counters().completed, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(SimulationTest, SaveOutputsWritesArtifactFiles) {
+  const fs::path dir = fs::temp_directory_path() / "sraps_core_outputs";
+  fs::remove_all(dir);
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.accounts = true;
+  Simulation sim(opts);
+  sim.Run();
+  sim.SaveOutputs(dir.string());
+  EXPECT_TRUE(fs::exists(dir / "history.csv"));
+  EXPECT_TRUE(fs::exists(dir / "stats.out"));
+  EXPECT_TRUE(fs::exists(dir / "job_history.csv"));
+  EXPECT_TRUE(fs::exists(dir / "accounts.json"));
+  fs::remove_all(dir);
+}
+
+TEST(SimulationTest, TwoPhaseIncentiveWorkflow) {
+  // Phase 1: collection with --accounts; Phase 2: reload and use an
+  // account-derived policy (the artifact's T11 -> T13..T16 dependency).
+  const fs::path dir = fs::temp_directory_path() / "sraps_core_incentive";
+  fs::remove_all(dir);
+  SimulationOptions collect;
+  collect.system = "mini";
+  collect.jobs_override = SmallWorkload();
+  collect.policy = "replay";
+  collect.accounts = true;
+  Simulation phase1(collect);
+  phase1.Run();
+  phase1.SaveOutputs(dir.string());
+
+  SimulationOptions redeem;
+  redeem.system = "mini";
+  redeem.jobs_override = SmallWorkload();
+  redeem.scheduler = "experimental";
+  redeem.policy = "acct_fugaku_pts";
+  redeem.backfill = "firstfit";
+  redeem.accounts_json = (dir / "accounts.json").string();
+  Simulation phase2(redeem);
+  phase2.Run();
+  EXPECT_EQ(phase2.engine().counters().completed, 10u);
+  fs::remove_all(dir);
+}
+
+TEST(SimulationTest, ScheduleFlowSchedulerOption) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.scheduler = "scheduleflow";
+  Simulation sim(opts);
+  sim.Run();
+  EXPECT_EQ(sim.engine().counters().completed, 10u);
+}
+
+TEST(SimulationTest, FastSimSchedulerOption) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.scheduler = "fastsim";
+  Simulation sim(opts);
+  sim.Run();
+  EXPECT_EQ(sim.engine().counters().completed, 10u);
+}
+
+TEST(SimulationTest, CoolingToggle) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.cooling = true;
+  Simulation sim(opts);
+  sim.Run();
+  EXPECT_TRUE(sim.engine().recorder().Has("pue"));
+}
+
+TEST(SimulationTest, ConfigOverride) {
+  SystemConfig custom = MakeSystemConfig("mini");
+  custom.partitions[0].num_nodes = 100;
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.config_override = custom;
+  opts.jobs_override = SmallWorkload();
+  Simulation sim(opts);
+  EXPECT_EQ(sim.config().TotalNodes(), 108);
+}
+
+TEST(DatasetWindowTest, CoversAllEvents) {
+  auto jobs = SmallWorkload(3);
+  jobs[0].submit_time = 100;
+  jobs[0].recorded_start = 50;  // start before submit (prepopulated trace)
+  const DatasetWindow w = ComputeDatasetWindow(jobs);
+  EXPECT_EQ(w.begin, 50);
+  EXPECT_GE(w.end, jobs[2].recorded_end);
+  EXPECT_THROW(ComputeDatasetWindow({}), std::invalid_argument);
+}
+
+// All built-in policies complete the same workload through the facade.
+class FacadePolicies : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FacadePolicies, Completes) {
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = SmallWorkload();
+  opts.policy = GetParam();
+  opts.backfill = "firstfit";
+  Simulation sim(opts);
+  sim.Run();
+  EXPECT_EQ(sim.engine().counters().completed, 10u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FacadePolicies,
+                         ::testing::Values("replay", "fcfs", "sjf", "ljf", "priority"));
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,299 @@
+// Unit tests for the simulation engine: the four-step loop, window
+// semantics, prepopulation, replay enforcement, energy accounting, and the
+// event-triggered scheduling optimisation (§3.2.3).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/simulation_engine.h"
+#include "sched/builtin_scheduler.h"
+
+namespace sraps {
+namespace {
+
+Job MakeJob(JobId id, SimTime submit, SimDuration runtime, int nodes,
+            SimDuration limit = 0, const std::string& account = "acct") {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.recorded_start = submit;
+  j.recorded_end = submit + runtime;
+  j.time_limit = limit > 0 ? limit : runtime * 2;
+  j.nodes_required = nodes;
+  j.account = account;
+  j.user = "u";
+  j.cpu_util = TraceSeries::Constant(0.5);
+  return j;
+}
+
+std::unique_ptr<Scheduler> Fcfs() {
+  return MakeBuiltinScheduler("fcfs", "none");
+}
+
+EngineOptions Opts(SimTime start, SimTime end) {
+  EngineOptions o;
+  o.sim_start = start;
+  o.sim_end = end;
+  return o;
+}
+
+SystemConfig Mini() { return MakeSystemConfig("mini"); }
+
+TEST(EngineTest, ConstructionValidation) {
+  EXPECT_THROW(SimulationEngine(Mini(), {MakeJob(1, 0, 100, 1)}, nullptr, Opts(0, 100)),
+               std::invalid_argument);
+  EXPECT_THROW(SimulationEngine(Mini(), {MakeJob(1, 0, 100, 1)}, Fcfs(), Opts(100, 100)),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, CoolingRequiresModel) {
+  EngineOptions o = Opts(0, 100);
+  o.enable_cooling = true;
+  SystemConfig marconi = MakeSystemConfig("marconi100");
+  EXPECT_THROW(
+      SimulationEngine(marconi, {MakeJob(1, 0, 100, 1)}, Fcfs(), o),
+      std::invalid_argument);
+  // mini has a cooling model: fine.
+  EXPECT_NO_THROW(SimulationEngine(Mini(), {MakeJob(1, 0, 100, 1)}, Fcfs(), o));
+}
+
+TEST(EngineTest, SimpleJobRunsToCompletion) {
+  SimulationEngine e(Mini(), {MakeJob(1, 0, 100, 4)}, Fcfs(), Opts(0, 500));
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 1u);
+  const Job& j = e.jobs()[0];
+  EXPECT_EQ(j.state, JobState::kCompleted);
+  EXPECT_EQ(j.start, 0);
+  EXPECT_EQ(j.end, 100);
+  EXPECT_EQ(j.assigned_nodes.size(), 4u);
+}
+
+TEST(EngineTest, JobWaitsForSubmission) {
+  // The twin observes jobs as submitted: nothing starts before submit time.
+  SimulationEngine e(Mini(), {MakeJob(1, 200, 100, 2)}, Fcfs(), Opts(0, 1000));
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].start, 200);
+}
+
+TEST(EngineTest, WindowDismissals) {
+  std::vector<Job> jobs;
+  jobs.push_back(MakeJob(1, 0, 100, 1));      // ends (t=100) at/before window start
+  jobs.push_back(MakeJob(2, 5000, 100, 1));   // submitted after window end
+  jobs.push_back(MakeJob(3, 200, 100, 1));    // inside: runs
+  Job big = MakeJob(4, 250, 100, 99);         // larger than the machine
+  jobs.push_back(big);
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), Opts(100, 1000));
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].state, JobState::kDismissed);
+  EXPECT_EQ(e.jobs()[1].state, JobState::kDismissed);
+  EXPECT_EQ(e.jobs()[2].state, JobState::kCompleted);
+  EXPECT_EQ(e.jobs()[3].state, JobState::kDismissed);
+  EXPECT_EQ(e.counters().dismissed, 3u);
+}
+
+TEST(EngineTest, PrepopulationPlacesRunningJobs) {
+  // Job started at t=0, window starts at t=100 -> it must occupy nodes at
+  // the first tick rather than re-queue (§3.2.3 footnote 2).
+  std::vector<Job> jobs = {MakeJob(1, 0, 1000, 4)};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), Opts(100, 2000));
+  EXPECT_EQ(e.counters().prepopulated, 1u);
+  EXPECT_EQ(e.jobs()[0].state, JobState::kRunning);
+  EXPECT_EQ(e.jobs()[0].start, 0);  // keeps its recorded start for trace offsets
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].state, JobState::kCompleted);
+  EXPECT_EQ(e.jobs()[0].end, 1000);
+}
+
+TEST(EngineTest, PrepopulationCanBeDisabled) {
+  EngineOptions o = Opts(100, 2000);
+  o.prepopulate = false;
+  std::vector<Job> jobs = {MakeJob(1, 0, 1000, 4)};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), o);
+  EXPECT_EQ(e.counters().prepopulated, 0u);
+  e.Run();
+  // Without prepopulation the job is rescheduled from the queue instead.
+  EXPECT_EQ(e.jobs()[0].state, JobState::kCompleted);
+  EXPECT_GE(e.jobs()[0].start, 100);
+}
+
+TEST(EngineTest, PrepopulationUsesRecordedNodes) {
+  Job j = MakeJob(1, 0, 1000, 2);
+  j.recorded_nodes = {10, 11};
+  SimulationEngine e(Mini(), {j}, Fcfs(), Opts(100, 2000));
+  EXPECT_EQ(e.jobs()[0].assigned_nodes, (std::vector<int>{10, 11}));
+}
+
+TEST(EngineTest, TruncationFlagsSet) {
+  std::vector<Job> jobs = {MakeJob(1, 0, 1000, 1), MakeJob(2, 300, 10000, 1)};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), Opts(100, 2000));
+  EXPECT_TRUE(e.jobs()[0].trace_flags.truncated_head);
+  EXPECT_FALSE(e.jobs()[0].trace_flags.truncated_tail);
+  EXPECT_TRUE(e.jobs()[1].trace_flags.truncated_tail);
+}
+
+TEST(EngineTest, SameTickEndAndStartReusesNodes) {
+  // Machine-filling job ends exactly when a second machine-filling job is
+  // waiting: the refactor guarantees the node is released before placement.
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 16), MakeJob(2, 0, 100, 16)};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), Opts(0, 1000));
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 2u);
+  EXPECT_EQ(e.jobs()[1].start, 100);  // starts the very tick job 1 ends
+}
+
+TEST(EngineTest, FcfsQueueingUnderContention) {
+  // Two 10-node jobs on a 16-node machine: strictly sequential under FCFS.
+  std::vector<Job> jobs = {MakeJob(1, 0, 200, 10), MakeJob(2, 0, 200, 10)};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), Opts(0, 1000));
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].start, 0);
+  EXPECT_EQ(e.jobs()[1].start, 200);
+}
+
+TEST(EngineTest, ReplayEnforcesRecordedSchedule) {
+  Job a = MakeJob(1, 0, 200, 4);
+  a.recorded_start = 50;
+  a.recorded_end = 250;
+  a.recorded_nodes = {3, 4, 5, 6};
+  SimulationEngine e(Mini(), {a}, MakeBuiltinScheduler("replay", "none"), Opts(0, 1000));
+  e.Run();
+  const Job& j = e.jobs()[0];
+  // Tick is 10 s; the job starts at the first tick >= recorded_start.
+  EXPECT_EQ(j.start, 50);
+  EXPECT_EQ(j.assigned_nodes, (std::vector<int>{3, 4, 5, 6}));
+  EXPECT_EQ(j.end, 250);
+}
+
+TEST(EngineTest, EnergyAccountingMatchesAnalyticValue) {
+  // Constant 0.5 cpu util on a known node spec -> exact expected energy.
+  const SystemConfig c = Mini();
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 2)};  // lands on cpu partition
+  SimulationEngine e(c, std::move(jobs), Fcfs(), Opts(0, 500));
+  e.Run();
+  const NodePowerSpec& spec = c.partitions[0].node_power;
+  const double node_w =
+      spec.idle_w + spec.mem_w + spec.nic_w +
+      spec.cpus_per_node * (spec.cpu_idle_w + 0.5 * (spec.cpu_max_w - spec.cpu_idle_w));
+  const double expected = node_w * 2 /*nodes*/ * 100 /*s*/;
+  ASSERT_EQ(e.stats().records().size(), 1u);
+  EXPECT_NEAR(e.stats().records()[0].energy_j, expected, expected * 1e-9);
+}
+
+TEST(EngineTest, RecorderChannelsPopulated) {
+  SimulationEngine e(Mini(), {MakeJob(1, 0, 100, 4)}, Fcfs(), Opts(0, 200));
+  e.Run();
+  for (const char* ch : {"it_power_kw", "loss_kw", "power_kw", "utilization",
+                         "queue_length", "running_jobs"}) {
+    EXPECT_TRUE(e.recorder().Has(ch)) << ch;
+  }
+  EXPECT_FALSE(e.recorder().Has("pue"));  // no cooling enabled
+  EXPECT_GT(e.recorder().MaxOf("utilization"), 0.0);
+}
+
+TEST(EngineTest, CoolingChannelsWhenEnabled) {
+  EngineOptions o = Opts(0, 400);
+  o.enable_cooling = true;
+  SimulationEngine e(Mini(), {MakeJob(1, 0, 300, 8)}, Fcfs(), o);
+  e.Run();
+  EXPECT_TRUE(e.recorder().Has("pue"));
+  EXPECT_TRUE(e.recorder().Has("tower_return_c"));
+  EXPECT_GT(e.recorder().MeanOf("pue"), 1.0);
+}
+
+TEST(EngineTest, HistoryRecordingCanBeDisabled) {
+  EngineOptions o = Opts(0, 200);
+  o.record_history = false;
+  SimulationEngine e(Mini(), {MakeJob(1, 0, 100, 1)}, Fcfs(), o);
+  e.Run();
+  EXPECT_TRUE(e.recorder().ChannelNames().empty());
+}
+
+TEST(EngineTest, EventTriggeredSchedulingSkips) {
+  // A long quiet stretch: scheduler invocations must be far fewer than ticks.
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 16), MakeJob(2, 10, 100, 16)};
+  EngineOptions o = Opts(0, 5000);  // 500 ticks at 10 s
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), o);
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 2u);
+  EXPECT_GT(e.counters().scheduler_skips, 0u);
+  EXPECT_LT(e.counters().scheduler_invocations, 20u);
+}
+
+TEST(EngineTest, AlwaysCallSchedulingWhenDisabled) {
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 16), MakeJob(2, 10, 100, 16)};
+  EngineOptions o = Opts(0, 5000);
+  o.event_triggered_scheduling = false;
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), o);
+  e.Run();
+  EXPECT_EQ(e.counters().scheduler_skips, 0u);
+}
+
+TEST(EngineTest, AccountTrackingAccumulates) {
+  EngineOptions o = Opts(0, 500);
+  o.track_accounts = true;
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 2, 0, "projA"),
+                           MakeJob(2, 0, 100, 2, 0, "projB")};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), o);
+  e.Run();
+  EXPECT_TRUE(e.accounts().Has("projA"));
+  EXPECT_TRUE(e.accounts().Has("projB"));
+  EXPECT_EQ(e.accounts().Get("projA").jobs_completed, 1);
+  EXPECT_GT(e.accounts().Get("projA").energy_j, 0.0);
+}
+
+TEST(EngineTest, JobEndingExactlyAtWindowEndIsCredited) {
+  std::vector<Job> jobs = {MakeJob(1, 0, 500, 2)};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), Opts(0, 500));
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 1u);
+}
+
+TEST(EngineTest, JobOutlivingWindowStaysRunning) {
+  std::vector<Job> jobs = {MakeJob(1, 0, 10000, 2)};
+  SimulationEngine e(Mini(), std::move(jobs), Fcfs(), Opts(0, 500));
+  e.Run();
+  EXPECT_EQ(e.jobs()[0].state, JobState::kRunning);
+  EXPECT_EQ(e.counters().completed, 0u);
+}
+
+TEST(EngineTest, StepOnceAdvancesTick) {
+  SimulationEngine e(Mini(), {MakeJob(1, 0, 100, 1)}, Fcfs(), Opts(0, 100));
+  const SimTime t0 = e.now();
+  EXPECT_TRUE(e.StepOnce());
+  EXPECT_EQ(e.now(), t0 + 10);  // mini telemetry interval
+  while (e.StepOnce()) {
+  }
+  EXPECT_FALSE(e.StepOnce());
+}
+
+TEST(EngineTest, UtilizationNeverExceedsFull) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 30; ++i) jobs.push_back(MakeJob(i + 1, i * 5, 200, 3));
+  SimulationEngine e(Mini(), std::move(jobs),
+                     MakeBuiltinScheduler("fcfs", "firstfit"), Opts(0, 4000));
+  e.Run();
+  EXPECT_LE(e.recorder().MaxOf("utilization"), 100.0 + 1e-9);
+  EXPECT_EQ(e.counters().completed, 30u);
+}
+
+// Policy sweep: every policy drains a contended queue completely.
+class DrainsQueue : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DrainsQueue, AllJobsComplete) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 25; ++i) {
+    Job j = MakeJob(i + 1, i * 20, 100 + (i % 7) * 60, 1 + (i % 8));
+    j.priority = static_cast<double>(i % 5);
+    jobs.push_back(j);
+  }
+  SimulationEngine e(Mini(), std::move(jobs), MakeBuiltinScheduler(GetParam(), "easy"),
+                     Opts(0, 20000));
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 25u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DrainsQueue,
+                         ::testing::Values("fcfs", "sjf", "ljf", "priority"));
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,346 @@
+// Unit tests for the external-scheduler couplings: the generic bridge, the
+// ScheduleFlow-style event scheduler (§4.2.1), and the FastSim-style Slurm
+// emulator with plugin and sequential modes (§4.2.2).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/simulation_engine.h"
+#include "extsched/external_bridge.h"
+#include "extsched/fastsim.h"
+#include "extsched/scheduleflow.h"
+#include "sched/builtin_scheduler.h"
+
+namespace sraps {
+namespace {
+
+Job MakeJob(JobId id, SimTime submit, SimDuration runtime, int nodes) {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.recorded_start = submit;
+  j.recorded_end = submit + runtime;
+  j.time_limit = runtime * 2;
+  j.nodes_required = nodes;
+  j.account = "a";
+  j.cpu_util = TraceSeries::Constant(0.5);
+  return j;
+}
+
+SystemConfig Mini() { return MakeSystemConfig("mini"); }
+
+EngineOptions Opts(SimTime start, SimTime end) {
+  EngineOptions o;
+  o.sim_start = start;
+  o.sim_end = end;
+  return o;
+}
+
+// --- FastSim DES ----------------------------------------------------------------
+
+TEST(FastSimTest, ValidationOnAdd) {
+  FastSim sim(16);
+  EXPECT_THROW(sim.AddJobs({{1, 0, 0, 100, 100, 0}}), std::invalid_argument);   // 0 nodes
+  EXPECT_THROW(sim.AddJobs({{1, 0, 99, 100, 100, 0}}), std::invalid_argument);  // too big
+  EXPECT_THROW(sim.AddJobs({{1, 0, 4, 0, 100, 0}}), std::invalid_argument);     // 0 runtime
+}
+
+TEST(FastSimTest, DoubleAddThrows) {
+  FastSim sim(16);
+  sim.AddJobs({{1, 0, 4, 100, 100, 0}});
+  EXPECT_THROW(sim.AddJobs({{2, 0, 4, 100, 100, 0}}), std::logic_error);
+}
+
+TEST(FastSimTest, FcfsSequentialWhenContended) {
+  FastSim sim(16);
+  sim.AddJobs({{1, 0, 10, 200, 200, 0}, {2, 0, 10, 200, 200, 0}});
+  const auto decisions = sim.RunToCompletion();
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].start, 0);
+  EXPECT_EQ(decisions[1].start, 200);  // waits for the first to finish
+}
+
+TEST(FastSimTest, EasyBackfillFillsHoles) {
+  FastSim sim(16);
+  // Job 1 runs on 10 nodes until 1000.  Job 2 (8 nodes) blocks.  Job 3
+  // (4 nodes, short) backfills.
+  sim.AddJobs({{1, 0, 10, 1000, 1000, 0},
+               {2, 10, 8, 500, 500, 0},
+               {3, 20, 4, 300, 300, 0}});
+  const auto decisions = sim.RunToCompletion();
+  ASSERT_EQ(decisions.size(), 3u);
+  SimTime start3 = -1, start2 = -1;
+  for (const auto& d : decisions) {
+    if (d.id == 3) start3 = d.start;
+    if (d.id == 2) start2 = d.start;
+  }
+  EXPECT_EQ(start3, 20);    // backfilled immediately
+  EXPECT_EQ(start2, 1000);  // head waits for the big release
+}
+
+TEST(FastSimTest, NoBackfillOptionBlocks) {
+  FastSimOptions opts;
+  opts.easy_backfill = false;
+  FastSim sim(16, opts);
+  sim.AddJobs({{1, 0, 10, 1000, 1000, 0},
+               {2, 10, 8, 500, 500, 0},
+               {3, 20, 4, 300, 300, 0}});
+  const auto decisions = sim.RunToCompletion();
+  for (const auto& d : decisions) {
+    if (d.id == 3) {
+      EXPECT_GE(d.start, 1000);  // no backfill: waits behind job 2
+    }
+  }
+}
+
+TEST(FastSimTest, PriorityOrderOption) {
+  FastSimOptions opts;
+  opts.priority_order = true;
+  opts.easy_backfill = false;
+  FastSim sim(16, opts);
+  // Both jobs are queued while the blocker holds the machine until t=100;
+  // only one 10-node job fits at a time afterwards.
+  sim.AddJobs({{9, 0, 16, 100, 100, 0},
+               {1, 5, 10, 100, 100, /*priority=*/1.0},
+               {2, 6, 10, 100, 100, /*priority=*/5.0}});
+  const auto decisions = sim.RunToCompletion();
+  SimTime s1 = 0, s2 = 0;
+  for (const auto& d : decisions) {
+    if (d.id == 1) s1 = d.start;
+    if (d.id == 2) s2 = d.start;
+  }
+  EXPECT_EQ(s2, 100);  // higher priority starts first despite later submit
+  EXPECT_EQ(s1, 200);
+}
+
+TEST(FastSimTest, StateAtIsMonotone) {
+  FastSim sim(16);
+  sim.AddJobs({{1, 0, 4, 100, 100, 0}});
+  sim.StateAt(50);
+  EXPECT_THROW(sim.StateAt(10), std::invalid_argument);
+}
+
+TEST(FastSimTest, StateAtReportsRunningSet) {
+  FastSim sim(16);
+  sim.AddJobs({{1, 0, 4, 100, 100, 0}, {2, 150, 4, 100, 100, 0}});
+  EXPECT_EQ(sim.StateAt(50).count(1), 1u);
+  EXPECT_EQ(sim.StateAt(120).size(), 0u);  // job 1 done, job 2 not submitted
+  EXPECT_EQ(sim.StateAt(160).count(2), 1u);
+}
+
+TEST(FastSimTest, EventCountTracksWorkload) {
+  FastSim sim(64);
+  std::vector<FastSimJob> jobs;
+  for (int i = 0; i < 50; ++i) jobs.push_back({i + 1, i * 10, 2, 100, 150, 0});
+  sim.AddJobs(jobs);
+  sim.RunToCompletion();
+  EXPECT_GE(sim.events_processed(), 100u);  // one submit + one completion each
+}
+
+TEST(FastSimTest, ApplyScheduleRewritesRecordedTimes) {
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 4)};
+  std::vector<FastSimDecision> decisions = {{1, 500, 600, 4}};
+  ApplyFastSimSchedule(jobs, decisions);
+  EXPECT_EQ(jobs[0].recorded_start, 500);
+  EXPECT_EQ(jobs[0].recorded_end, 600);
+  EXPECT_TRUE(jobs[0].recorded_nodes.empty());
+}
+
+TEST(FastSimTest, ToFastSimJobsDerivesRuntimeAndEstimate) {
+  Job j = MakeJob(1, 10, 300, 4);
+  j.time_limit = 500;
+  const auto f = ToFastSimJobs({j});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].runtime, 300);
+  EXPECT_EQ(f[0].estimate, 500);
+}
+
+// --- FastSim plugin mode through the engine ---------------------------------------
+
+TEST(FastSimPluginTest, EngineFollowsFastSimDecisions) {
+  // Lock-step coupling: the engine starts exactly the jobs FastSim reports.
+  std::vector<Job> jobs = {MakeJob(1, 0, 200, 10), MakeJob(2, 0, 200, 10)};
+  auto sim = std::make_unique<FastSim>(16);
+  sim->AddJobs(ToFastSimJobs(jobs));
+  SimulationEngine e(Mini(), jobs, std::make_unique<FastSimScheduler>(std::move(sim)),
+                     Opts(0, 1000));
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 2u);
+  EXPECT_EQ(e.jobs()[0].start, 0);
+  EXPECT_EQ(e.jobs()[1].start, 200);  // FastSim's FCFS decision mirrored
+}
+
+TEST(FastSimPluginTest, SequentialModeMatchesPluginMode) {
+  // The paper runs FastSim first and replays in RAPS for historical traces;
+  // both coupling modes must produce the same realised schedule.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back(MakeJob(i + 1, i * 50, 150 + i * 10, 3));
+
+  // Plugin mode.
+  auto sim1 = std::make_unique<FastSim>(16);
+  sim1->AddJobs(ToFastSimJobs(jobs));
+  SimulationEngine plugin(Mini(), jobs, std::make_unique<FastSimScheduler>(std::move(sim1)),
+                          Opts(0, 10000));
+  plugin.Run();
+
+  // Sequential mode: schedule, rewrite, replay.
+  FastSim sim2(16);
+  sim2.AddJobs(ToFastSimJobs(jobs));
+  std::vector<Job> replay_jobs = jobs;
+  ApplyFastSimSchedule(replay_jobs, sim2.RunToCompletion());
+  SimulationEngine sequential(Mini(), replay_jobs,
+                              MakeBuiltinScheduler("replay", "none"), Opts(0, 10000));
+  sequential.Run();
+
+  ASSERT_EQ(plugin.counters().completed, sequential.counters().completed);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(plugin.jobs()[i].start, sequential.jobs()[i].start)
+        << "job " << jobs[i].id;
+  }
+}
+
+// --- ScheduleFlow ------------------------------------------------------------------
+
+TEST(ScheduleFlowTest, ReservationBasedStarts) {
+  ScheduleFlowSim sim(16);
+  Job j1 = MakeJob(1, 0, 100, 10);
+  sim.OnSubmit(0, j1);
+  const auto starts = sim.JobsToStart(0);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], 1);
+}
+
+TEST(ScheduleFlowTest, RecomputesPlanOnEveryEvent) {
+  ScheduleFlowSim sim(16);
+  const auto before = sim.plan_recomputations();
+  sim.OnSubmit(0, MakeJob(1, 0, 100, 4));
+  sim.OnSubmit(0, MakeJob(2, 0, 100, 4));
+  EXPECT_EQ(sim.plan_recomputations(), before + 2);  // the §4.2.1 overhead
+}
+
+TEST(ScheduleFlowTest, QueuedJobWaitsForReservation) {
+  ScheduleFlowSim sim(16);
+  Job big = MakeJob(1, 0, 1000, 16);
+  sim.OnSubmit(0, big);
+  auto starts = sim.JobsToStart(0);
+  ASSERT_EQ(starts.size(), 1u);
+  sim.OnStart(0, big);
+  // Second job cannot start while the machine is full.
+  Job second = MakeJob(2, 10, 100, 8);
+  sim.OnSubmit(10, second);
+  EXPECT_TRUE(sim.JobsToStart(10).empty());
+  // After completion it is released.
+  sim.OnComplete(1000, big);
+  const auto later = sim.JobsToStart(1000);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0], 2);
+}
+
+TEST(ScheduleFlowTest, EngineIntegrationCompletesWorkload) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back(MakeJob(i + 1, i * 30, 200, 4));
+  auto bridge = std::make_unique<ExternalSchedulerBridge>(
+      std::make_unique<ScheduleFlowSim>(16));
+  SimulationEngine e(Mini(), std::move(jobs), std::move(bridge), Opts(0, 20000));
+  e.Run();
+  EXPECT_EQ(e.counters().completed, 10u);
+}
+
+TEST(ScheduleFlowTest, BridgeDetectsStateDrift) {
+  // Corrupt ScheduleFlow's private free-node count: it will promise nodes
+  // the twin does not have, and the bridge must throw (the paper's reported
+  // corner case: "we check and throw").
+  std::vector<Job> jobs = {MakeJob(1, 0, 500, 16), MakeJob(2, 10, 100, 8)};
+  auto sf = std::make_unique<ScheduleFlowSim>(16);
+  ScheduleFlowSim* sf_raw = sf.get();
+  auto bridge = std::make_unique<ExternalSchedulerBridge>(std::move(sf));
+  SimulationEngine e(Mini(), std::move(jobs), std::move(bridge), Opts(0, 5000));
+  // Step past job 1's start, then lie about free nodes.
+  e.StepOnce();
+  sf_raw->CorruptFreeNodes(16);
+  EXPECT_THROW(
+      {
+        while (e.StepOnce()) {
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(BridgeTest, TriggerCountSkipsEventFreeTicks) {
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 4)};
+  auto bridge = std::make_unique<ExternalSchedulerBridge>(
+      std::make_unique<ScheduleFlowSim>(16));
+  ExternalSchedulerBridge* raw = bridge.get();
+  SimulationEngine e(Mini(), std::move(jobs), std::move(bridge), Opts(0, 5000));
+  e.Run();
+  // 500 ticks, but only a handful of event-bearing ones trigger the external.
+  EXPECT_LE(raw->trigger_count(), 10u);
+}
+
+TEST(BridgeTest, NullExternalThrows) {
+  EXPECT_THROW(ExternalSchedulerBridge(nullptr), std::invalid_argument);
+}
+
+TEST(BridgeTest, UnknownJobIdFromExternalThrows) {
+  // An external that invents a job id must be caught.
+  class LyingScheduler : public ExternalEventScheduler {
+   public:
+    std::string name() const override { return "liar"; }
+    void OnSubmit(SimTime, const Job&) override {}
+    void OnStart(SimTime, const Job&) override {}
+    void OnComplete(SimTime, const Job&) override {}
+    std::vector<JobId> JobsToStart(SimTime) override { return {999}; }
+  };
+  std::vector<Job> jobs = {MakeJob(1, 0, 100, 4)};
+  SimulationEngine e(Mini(), std::move(jobs),
+                     std::make_unique<ExternalSchedulerBridge>(
+                         std::make_unique<LyingScheduler>()),
+                     Opts(0, 1000));
+  EXPECT_THROW(e.Run(), std::runtime_error);
+}
+
+// Property: FastSim decisions never oversubscribe the machine.
+class FastSimCapacity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastSimCapacity, DecisionsFeasible) {
+  const int machine = GetParam();
+  FastSim sim(machine);
+  std::vector<FastSimJob> jobs;
+  unsigned state = 7;
+  auto next = [&] {
+    state = state * 1103515245u + 12345u;
+    return state >> 16;
+  };
+  for (int i = 0; i < 80; ++i) {
+    jobs.push_back({i + 1, static_cast<SimTime>(next() % 5000),
+                    1 + static_cast<int>(next() % machine),
+                    100 + static_cast<SimDuration>(next() % 2000),
+                    200 + static_cast<SimDuration>(next() % 3000), 0});
+  }
+  sim.AddJobs(jobs);
+  const auto decisions = sim.RunToCompletion();
+  EXPECT_EQ(decisions.size(), jobs.size());
+  struct Event {
+    SimTime t;
+    int delta;
+  };
+  std::vector<Event> events;
+  for (const auto& d : decisions) {
+    events.push_back({d.start, d.nodes});
+    events.push_back({d.end, -d.nodes});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;
+  });
+  int used = 0;
+  for (const auto& e : events) {
+    used += e.delta;
+    ASSERT_LE(used, machine);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, FastSimCapacity, ::testing::Values(8, 16, 64));
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,203 @@
+// Randomized end-to-end property tests: across random workloads, policies,
+// backfill modes, systems, and failure injections, the engine must uphold
+// its invariants — no crash, utilisation within [0,100], conservation of
+// job states, monotone time, positive energies, and capacity never
+// oversubscribed.  Plus per-CDU cooling model properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "cooling/multi_cdu.h"
+#include "core/simulation.h"
+#include "dataloaders/replay_synth.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  const char* policy;
+  const char* backfill;
+  bool outages;
+  double cap_fraction;  // 0 = uncapped
+};
+
+class EngineFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(EngineFuzz, InvariantsHold) {
+  const FuzzCase& fc = GetParam();
+  Rng rng(fc.seed);
+
+  // Draw the recorded-schedule capacity cap first so jobs always fit it.
+  const double utilization_cap = rng.Uniform(0.6, 1.0);
+  const int usable = std::max(1, static_cast<int>(16 * utilization_cap));
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = static_cast<SimDuration>(rng.UniformInt(2, 8)) * kHour;
+  wl.arrival_rate_per_hour = rng.Uniform(5, 60);
+  wl.max_nodes = static_cast<int>(rng.UniformInt(1, usable));
+  wl.mean_nodes_log2 = rng.Uniform(0.5, 2.5);
+  wl.runtime_mu = rng.Uniform(6.5, 8.0);
+  wl.runtime_sigma = rng.Uniform(0.4, 1.2);
+  wl.seed = fc.seed * 7 + 1;
+  std::vector<Job> jobs = GenerateSyntheticWorkload(wl);
+  if (jobs.empty()) GTEST_SKIP() << "empty workload draw";
+
+  ReplaySynthesisOptions rs;
+  rs.total_nodes = 16;
+  rs.utilization_cap = utilization_cap;
+  rs.max_hold = rng.UniformInt(0, 30 * kMinute);
+  rs.seed = fc.seed + 2;
+  SynthesizeRecordedSchedule(jobs, rs);
+
+  SimulationOptions opts;
+  opts.system = "mini";
+  opts.jobs_override = jobs;
+  opts.policy = fc.policy;
+  opts.backfill = fc.backfill;
+  opts.duration = wl.horizon + 12 * kHour;  // generous drain window
+  if (fc.outages) {
+    opts.outages = {{rng.UniformInt(0, kHour), rng.UniformInt(kHour, 4 * kHour),
+                     {static_cast<int>(rng.UniformInt(0, 7)),
+                      static_cast<int>(rng.UniformInt(8, 15))}}};
+  }
+  if (fc.cap_fraction > 0) {
+    opts.power_cap_w = MakeSystemConfig("mini").PeakItPowerW() * fc.cap_fraction;
+  }
+
+  Simulation sim(opts);
+  ASSERT_NO_THROW(sim.Run());
+  const auto& eng = sim.engine();
+
+  // Utilisation in range.
+  EXPECT_GE(eng.recorder().MinOf("utilization"), 0.0);
+  EXPECT_LE(eng.recorder().MaxOf("utilization"), 100.0 + 1e-9);
+
+  // Every job ended in a valid terminal or live state, with consistent times.
+  std::size_t completed = 0, dismissed = 0;
+  for (std::size_t i = 0; i < eng.jobs().size(); ++i) {
+    const Job& j = eng.jobs()[i];
+    switch (j.state) {
+      case JobState::kCompleted: {
+        ++completed;
+        EXPECT_GE(j.start, j.submit_time);
+        EXPECT_GT(j.end, j.start);
+        EXPECT_EQ(static_cast<int>(j.assigned_nodes.size()), j.nodes_required);
+        const double e = eng.job_energy_j()[i];
+        EXPECT_TRUE(std::isfinite(e));
+        EXPECT_GT(e, 0.0);
+        break;
+      }
+      case JobState::kDismissed:
+        ++dismissed;
+        break;
+      case JobState::kQueued:
+      case JobState::kRunning:
+      case JobState::kPending:
+        break;  // window may legitimately end with live jobs
+    }
+  }
+  EXPECT_EQ(completed, eng.counters().completed);
+  EXPECT_EQ(dismissed, eng.counters().dismissed);
+
+  // Power always at least idle (down nodes stay powered) and at most peak.
+  const SystemConfig config = MakeSystemConfig("mini");
+  EXPECT_GE(eng.recorder().MinOf("it_power_kw") * 1000.0, config.IdleItPowerW() - 1e-6);
+  EXPECT_LE(eng.recorder().MaxOf("it_power_kw") * 1000.0, config.PeakItPowerW() + 1e-6);
+
+  // Under a cap, the recorded wall power respects it.
+  if (fc.cap_fraction > 0) {
+    EXPECT_LE(eng.recorder().MaxOf("power_kw") * 1000.0, opts.power_cap_w * 1.001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EngineFuzz,
+    ::testing::Values(FuzzCase{11, "fcfs", "none", false, 0},
+                      FuzzCase{12, "fcfs", "easy", false, 0},
+                      FuzzCase{13, "sjf", "firstfit", false, 0},
+                      FuzzCase{14, "ljf", "easy", true, 0},
+                      FuzzCase{15, "priority", "conservative", false, 0},
+                      FuzzCase{16, "replay", "none", false, 0},
+                      FuzzCase{17, "fcfs", "easy", true, 0},
+                      FuzzCase{18, "sjf", "conservative", true, 0},
+                      FuzzCase{19, "fcfs", "firstfit", false, 0.8},
+                      FuzzCase{20, "priority", "easy", true, 0.7},
+                      FuzzCase{21, "replay", "none", true, 0},
+                      FuzzCase{22, "ljf", "none", false, 0.9},
+                      FuzzCase{23, "fcfs", "conservative", true, 0.85},
+                      FuzzCase{24, "sjf", "easy", false, 0},
+                      FuzzCase{25, "priority", "firstfit", true, 0}));
+
+// --- per-CDU cooling -------------------------------------------------------------
+
+CoolingSpec FrontierSpec() { return MakeSystemConfig("frontier").cooling; }
+
+TEST(MultiCduTest, UniformHeatGivesZeroSpread) {
+  MultiCduCoolingModel m(FrontierSpec());
+  const double load = FrontierSpec().design_it_load_kw * 800.0;
+  m.Reset(load);
+  MultiCduSample s{};
+  for (int i = 0; i < 50; ++i) s = m.StepUniform(load, 0, 60.0);
+  EXPECT_NEAR(s.spread_c, 0.0, 1e-6);
+  EXPECT_EQ(static_cast<int>(s.cdus.size()), m.num_cdus());
+}
+
+TEST(MultiCduTest, SkewedHeatCreatesHotSpot) {
+  const CoolingSpec spec = FrontierSpec();
+  MultiCduCoolingModel m(spec);
+  const double total = spec.design_it_load_kw * 800.0;
+  m.Reset(total);
+  // All heat on the first half of the CDUs (a packed full-machine job).
+  std::vector<double> skew(m.num_cdus(), 0.0);
+  for (int i = 0; i < m.num_cdus() / 2; ++i) skew[i] = total / (m.num_cdus() / 2);
+  MultiCduSample s{};
+  for (int i = 0; i < 100; ++i) s = m.Step(skew, 0, 60.0);
+  EXPECT_GT(s.spread_c, 1.0);  // hot-spot CDUs clearly hotter
+  EXPECT_GT(s.hottest_cdu_c, s.facility.supply_temp_c);
+  // Facility-side heat balance unchanged vs the uniform case.
+  MultiCduCoolingModel uniform(spec);
+  uniform.Reset(total);
+  MultiCduSample u{};
+  for (int i = 0; i < 100; ++i) u = uniform.StepUniform(total, 0, 60.0);
+  EXPECT_NEAR(s.facility.tower_return_temp_c, u.facility.tower_return_temp_c, 0.2);
+}
+
+TEST(MultiCduTest, Validation) {
+  MultiCduCoolingModel m(FrontierSpec());
+  EXPECT_THROW(m.Step({1.0}, 0, 60.0), std::invalid_argument);  // wrong size
+  std::vector<double> neg(m.num_cdus(), 1.0);
+  neg[0] = -5;
+  EXPECT_THROW(m.Step(neg, 0, 60.0), std::invalid_argument);
+  CoolingSpec bad = FrontierSpec();
+  bad.num_cdus = 0;
+  EXPECT_THROW(MultiCduCoolingModel{bad}, std::invalid_argument);
+}
+
+TEST(MultiCduTest, HeatDistributionByCabinet) {
+  // 8 nodes, 2 per cabinet, 2 CDUs: cabinets 0,2 -> CDU 0; 1,3 -> CDU 1.
+  std::vector<double> per_node = {1, 1, 2, 2, 4, 4, 8, 8};
+  const auto per_cdu = DistributeHeatByCabinet(per_node, 2, 2);
+  ASSERT_EQ(per_cdu.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_cdu[0], 1 + 1 + 4 + 4);
+  EXPECT_DOUBLE_EQ(per_cdu[1], 2 + 2 + 8 + 8);
+  EXPECT_THROW(DistributeHeatByCabinet(per_node, 0, 2), std::invalid_argument);
+}
+
+TEST(MultiCduTest, SecondaryLoopLagsStep) {
+  MultiCduCoolingModel m(FrontierSpec());
+  const double low = FrontierSpec().design_it_load_kw * 300.0;
+  const double high = FrontierSpec().design_it_load_kw * 900.0;
+  m.Reset(low);
+  const double before = m.StepUniform(low, 0, 10.0).cdus[0].return_temp_c;
+  const double after_1step = m.StepUniform(high, 0, 10.0).cdus[0].return_temp_c;
+  MultiCduSample settled{};
+  for (int i = 0; i < 500; ++i) settled = m.StepUniform(high, 0, 60.0);
+  EXPECT_GT(after_1step, before);                          // moving up
+  EXPECT_GT(settled.cdus[0].return_temp_c, after_1step);   // not yet settled
+}
+
+}  // namespace
+}  // namespace sraps

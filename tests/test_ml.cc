@@ -1,0 +1,376 @@
+// Unit tests for the ML substrate: scaler, k-means, trees, forests, feature
+// extraction, the §4.4.2 scoring function, and the end-to-end pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_tree.h"
+#include "ml/features.h"
+#include "ml/kmeans.h"
+#include "ml/pipeline.h"
+#include "ml/random_forest.h"
+#include "ml/scaler.h"
+#include "ml/scoring.h"
+
+namespace sraps {
+namespace {
+
+// --- scaler --------------------------------------------------------------------
+
+TEST(ScalerTest, ZScoreTransform) {
+  StandardScaler s;
+  s.Fit({{0, 10}, {2, 10}, {4, 10}});
+  const auto t = s.Transform({2, 10});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 0.0, 1e-12);  // zero-variance column maps to 0
+  const auto hi = s.Transform({4, 10});
+  EXPECT_GT(hi[0], 1.0);
+}
+
+TEST(ScalerTest, Validation) {
+  StandardScaler s;
+  EXPECT_THROW(s.Fit({}), std::invalid_argument);
+  EXPECT_THROW(s.Transform({1.0}), std::logic_error);  // not fitted
+  s.Fit({{1, 2}});
+  EXPECT_THROW(s.Transform({1.0}), std::invalid_argument);  // width mismatch
+  EXPECT_THROW(s.Fit({{1, 2}, {1}}), std::invalid_argument);  // ragged
+}
+
+// --- kmeans --------------------------------------------------------------------
+
+std::vector<std::vector<double>> ThreeBlobs(int per_blob = 30) {
+  std::vector<std::vector<double>> rows;
+  Rng rng(4);
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 8}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_blob; ++i) {
+      rows.push_back({centers[c][0] + rng.Normal(0, 0.5),
+                      centers[c][1] + rng.Normal(0, 0.5)});
+    }
+  }
+  return rows;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const auto rows = ThreeBlobs();
+  KMeans km(3);
+  const auto result = km.Fit(rows);
+  // Each blob maps to one label, labels are pure within blobs.
+  for (int blob = 0; blob < 3; ++blob) {
+    const int first = result.labels[blob * 30];
+    for (int i = 0; i < 30; ++i) EXPECT_EQ(result.labels[blob * 30 + i], first);
+  }
+  EXPECT_LT(result.inertia, 100.0);
+}
+
+TEST(KMeansTest, PredictMatchesTrainingAssignment) {
+  const auto rows = ThreeBlobs();
+  KMeans km(3);
+  const auto result = km.Fit(rows);
+  for (std::size_t i = 0; i < rows.size(); i += 7) {
+    EXPECT_EQ(km.Predict(rows[i]), result.labels[i]);
+  }
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const auto rows = ThreeBlobs();
+  KMeans a(3, 100, 9), b(3, 100, 9);
+  EXPECT_EQ(a.Fit(rows).labels, b.Fit(rows).labels);
+}
+
+TEST(KMeansTest, Validation) {
+  KMeans km(5);
+  EXPECT_THROW(km.Fit({{1, 2}, {3, 4}}), std::invalid_argument);  // rows < k
+  EXPECT_THROW(km.Predict({1.0}), std::logic_error);              // not fitted
+  EXPECT_THROW(KMeans(0), std::invalid_argument);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  std::vector<std::vector<double>> rows(10, {1.0, 1.0});
+  KMeans km(3);
+  const auto result = km.Fit(rows);  // must not hang or crash
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+// --- decision tree ----------------------------------------------------------------
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 25 ? 0.0 : 1.0);
+  }
+  Rng rng(1);
+  DecisionTree t(DecisionTree::Task::kClassification);
+  t.Fit(x, y, rng);
+  EXPECT_EQ(t.Predict({5.0}), 0.0);
+  EXPECT_EQ(t.Predict({40.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, RegressionFitsStepFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 30 ? 5.0 : 25.0);
+  }
+  Rng rng(1);
+  DecisionTree t(DecisionTree::Task::kRegression);
+  t.Fit(x, y, rng);
+  EXPECT_NEAR(t.Predict({10.0}), 5.0, 1e-9);
+  EXPECT_NEAR(t.Predict({50.0}), 25.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  TreeOptions opts;
+  opts.max_depth = 1;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back({static_cast<double>(i % 8)});
+    y.push_back(static_cast<double>(i % 8));
+  }
+  Rng rng(1);
+  DecisionTree t(DecisionTree::Task::kRegression, opts);
+  t.Fit(x, y, rng);
+  EXPECT_LE(t.depth(), 1);
+}
+
+TEST(DecisionTreeTest, PredictBeforeFitThrows) {
+  DecisionTree t(DecisionTree::Task::kRegression);
+  EXPECT_THROW(t.Predict({1.0}), std::logic_error);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  std::vector<std::vector<double>> x = {{1}, {2}, {3}, {4}};
+  std::vector<double> y = {7, 7, 7, 7};
+  Rng rng(1);
+  DecisionTree t(DecisionTree::Task::kClassification);
+  t.Fit(x, y, rng);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.Predict({100.0}), 7.0);
+}
+
+// --- random forest ------------------------------------------------------------------
+
+TEST(RandomForestTest, ClassifierSeparatesBlobs) {
+  const auto rows = ThreeBlobs();
+  std::vector<double> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) labels.push_back(c);
+  }
+  RandomForestClassifier rf;
+  rf.Fit(rows, labels);
+  EXPECT_GT(rf.Score(rows, labels), 0.95);
+  const auto proba = rf.PredictProba({10.0, 10.0});
+  ASSERT_EQ(proba.size(), 3u);
+  EXPECT_GT(proba[1], 0.8);
+}
+
+TEST(RandomForestTest, ClassifierRejectsBadLabels) {
+  RandomForestClassifier rf;
+  EXPECT_THROW(rf.Fit({{1.0}}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(rf.Fit({{1.0}}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(rf.Fit({}, {}), std::invalid_argument);
+}
+
+TEST(RandomForestTest, RegressorLearnsSmoothFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.Uniform(0, 10);
+    x.push_back({v});
+    y.push_back(3.0 * v + 2.0);
+  }
+  RandomForestRegressor rf;
+  rf.Fit(x, y);
+  EXPECT_GT(rf.Score(x, y), 0.97);
+  EXPECT_NEAR(rf.Predict({5.0}), 17.0, 2.0);
+}
+
+TEST(RandomForestTest, PredictBeforeFitThrows) {
+  RandomForestRegressor rf;
+  EXPECT_THROW(rf.Predict({1.0}), std::logic_error);
+  RandomForestClassifier rc;
+  EXPECT_THROW(rc.Predict({1.0}), std::logic_error);
+}
+
+// --- features ---------------------------------------------------------------------
+
+Job FeatureJob() {
+  Job j;
+  j.id = 1;
+  j.account = "acct07";
+  j.submit_time = 3 * kDay + 5 * kHour;
+  j.recorded_start = j.submit_time + 100;
+  j.recorded_end = j.recorded_start + 3600;
+  j.time_limit = 7200;
+  j.nodes_required = 32;
+  j.priority = 12.0;
+  j.node_power_w = TraceSeries({0, 1800}, {200.0, 300.0});
+  j.cpu_util = TraceSeries::Constant(0.6);
+  return j;
+}
+
+TEST(FeaturesTest, StaticFeatureShapeAndValues) {
+  const auto f = StaticFeatures(FeatureJob());
+  ASSERT_EQ(f.size(), StaticFeatureNames().size());
+  EXPECT_DOUBLE_EQ(f[0], 5.0);  // log2(32)
+  EXPECT_NEAR(f[2], 5.03, 0.1);  // submit hour ~5
+  EXPECT_DOUBLE_EQ(f[5], 12.0);
+}
+
+TEST(FeaturesTest, DynamicSummariesFromTrace) {
+  const auto d = DynamicFeatures(FeatureJob());
+  ASSERT_EQ(d.size(), DynamicFeatureNames().size());
+  EXPECT_NEAR(d[1], 250.0, 1e-9);  // duration-weighted mean power
+  EXPECT_DOUBLE_EQ(d[2], 200.0);   // min
+  EXPECT_DOUBLE_EQ(d[3], 300.0);   // max
+}
+
+TEST(FeaturesTest, CombinedConcatenates) {
+  const Job j = FeatureJob();
+  EXPECT_EQ(CombinedFeatures(j).size(),
+            StaticFeatures(j).size() + DynamicFeatures(j).size());
+}
+
+TEST(FeaturesTest, TargetsAreRuntimeAndPower) {
+  const auto t = Targets(FeatureJob());
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_NEAR(t[0], std::log1p(3600.0), 1e-9);
+  EXPECT_NEAR(t[1], 250.0, 1e-9);
+}
+
+// --- scoring ----------------------------------------------------------------------
+
+TEST(ScoringTest, DecreasingInEachFeature) {
+  ScoreWeights w;
+  w.alpha = {1.0};
+  EXPECT_GT(Score({0.0}, w), Score({1.0}, w));
+  EXPECT_GT(Score({1.0}, w), Score({100.0}, w));
+}
+
+TEST(ScoringTest, MatchesClosedForm) {
+  ScoreWeights w;
+  w.alpha = {2.0, -0.5};
+  const double expected =
+      2.0 / std::exp(std::sqrt(4.0)) + (-0.5) / std::exp(std::sqrt(1.0));
+  EXPECT_NEAR(Score({3.0, 0.0}, w), expected, 1e-12);
+}
+
+TEST(ScoringTest, Validation) {
+  ScoreWeights w;
+  w.alpha = {1.0};
+  EXPECT_THROW(Score({1.0, 2.0}, w), std::invalid_argument);  // size mismatch
+  EXPECT_THROW(Score({-2.0}, w), std::invalid_argument);      // sqrt domain
+}
+
+// --- pipeline ---------------------------------------------------------------------
+
+std::vector<Job> TwoClassHistory(int n_per_class = 40) {
+  // Two clearly distinct behavioural classes:
+  //  A: small short low-power jobs;  B: large long high-power jobs.
+  std::vector<Job> jobs;
+  Rng rng(21);
+  for (int i = 0; i < 2 * n_per_class; ++i) {
+    const bool big = i % 2 == 1;
+    Job j;
+    j.id = i + 1;
+    j.account = big ? "acct_big" : "acct_small";
+    j.submit_time = i * 600;
+    const SimDuration runtime =
+        big ? 20000 + static_cast<SimDuration>(rng.Uniform(0, 2000))
+            : 600 + static_cast<SimDuration>(rng.Uniform(0, 200));
+    j.recorded_start = j.submit_time + 60;
+    j.recorded_end = j.recorded_start + runtime;
+    j.time_limit = runtime * 2;
+    j.nodes_required = big ? 64 : 2;
+    j.priority = big ? 10 : 1;
+    j.node_power_w = TraceSeries::Constant(big ? 400.0 : 150.0);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST(PipelineTest, TrainsAndPredicts) {
+  MlPipelineOptions opts;
+  opts.num_clusters = 2;
+  MlPipeline p(opts);
+  const auto history = TwoClassHistory();
+  p.Train(history);
+  EXPECT_TRUE(p.trained());
+  EXPECT_GT(p.classifier_train_accuracy(), 0.9);
+  EXPECT_GT(p.runtime_r2(), 0.8);
+  EXPECT_GT(p.power_r2(), 0.8);
+}
+
+TEST(PipelineTest, PredictionsTrackJobClass) {
+  MlPipelineOptions opts;
+  opts.num_clusters = 2;
+  MlPipeline p(opts);
+  p.Train(TwoClassHistory());
+
+  Job small;
+  small.id = 900;
+  small.account = "acct_small";
+  small.submit_time = 1000;
+  small.nodes_required = 2;
+  small.time_limit = 1500;
+  small.priority = 1;
+  Job big = small;
+  big.id = 901;
+  big.account = "acct_big";
+  big.nodes_required = 64;
+  big.time_limit = 40000;
+  big.priority = 10;
+
+  const MlPrediction ps = p.Predict(small);
+  const MlPrediction pb = p.Predict(big);
+  EXPECT_NE(ps.cluster, pb.cluster);
+  EXPECT_LT(ps.runtime_s, pb.runtime_s);
+  EXPECT_LT(ps.mean_power_w, pb.mean_power_w);
+  // The default weights prefer short low-power small jobs.
+  EXPECT_GT(ps.score, pb.score);
+}
+
+TEST(PipelineTest, ScoreJobsFillsMlFields) {
+  MlPipelineOptions opts;
+  opts.num_clusters = 2;
+  MlPipeline p(opts);
+  p.Train(TwoClassHistory());
+  std::vector<Job> fresh = TwoClassHistory(5);
+  for (Job& j : fresh) {
+    j.has_ml_score = false;
+    j.ml_score = 0;
+  }
+  p.ScoreJobs(fresh);
+  for (const Job& j : fresh) EXPECT_TRUE(j.has_ml_score);
+}
+
+TEST(PipelineTest, UntrainedPredictThrows) {
+  MlPipeline p;
+  EXPECT_THROW(p.Predict(Job{}), std::logic_error);
+}
+
+TEST(PipelineTest, TooFewJobsThrows) {
+  MlPipelineOptions opts;
+  opts.num_clusters = 5;
+  MlPipeline p(opts);
+  EXPECT_THROW(p.Train(TwoClassHistory(1)), std::invalid_argument);
+}
+
+// Property sweep: k-means inertia is non-increasing in k.
+class InertiaMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(InertiaMonotone, MoreClustersFitBetter) {
+  const auto rows = ThreeBlobs(20);
+  KMeans a(GetParam(), 100, 3), b(GetParam() + 2, 100, 3);
+  EXPECT_GE(a.Fit(rows).inertia + 1e-9, b.Fit(rows).inertia);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, InertiaMonotone, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,234 @@
+// Unit tests for src/power: node power model, conversion losses, and
+// system aggregation.
+#include <gtest/gtest.h>
+
+#include "power/conversion.h"
+#include "power/node_power.h"
+#include "power/system_power.h"
+
+namespace sraps {
+namespace {
+
+NodePowerSpec GpuNodeSpec() {
+  NodePowerSpec s;
+  s.idle_w = 100;
+  s.cpu_idle_w = 20;
+  s.cpu_max_w = 120;
+  s.gpu_idle_w = 50;
+  s.gpu_max_w = 450;
+  s.mem_w = 30;
+  s.nic_w = 20;
+  s.cpus_per_node = 1;
+  s.gpus_per_node = 4;
+  return s;
+}
+
+TEST(NodePowerTest, IdleEqualsSpecIdle) {
+  const auto s = GpuNodeSpec();
+  EXPECT_DOUBLE_EQ(BusyNodePowerW(s, {0.0, 0.0}), s.IdleW());
+  EXPECT_DOUBLE_EQ(IdleNodePowerW(s), s.IdleW());
+}
+
+TEST(NodePowerTest, FullLoadEqualsPeak) {
+  const auto s = GpuNodeSpec();
+  EXPECT_DOUBLE_EQ(BusyNodePowerW(s, {1.0, 1.0}), s.PeakW());
+}
+
+TEST(NodePowerTest, MonotoneInUtilization) {
+  const auto s = GpuNodeSpec();
+  double prev = 0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double p = BusyNodePowerW(s, {u, u});
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NodePowerTest, ClampsOutOfRangeUtilization) {
+  const auto s = GpuNodeSpec();
+  EXPECT_DOUBLE_EQ(BusyNodePowerW(s, {2.0, -1.0}),
+                   BusyNodePowerW(s, {1.0, 0.0}));
+}
+
+TEST(NodePowerTest, InverseModelRoundTrip) {
+  const auto s = GpuNodeSpec();
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double p = BusyNodePowerW(s, {frac, frac});
+    const NodeUtilization u = UtilizationFromPowerW(s, p);
+    EXPECT_NEAR(u.cpu, frac, 1e-9);
+    EXPECT_NEAR(u.gpu, frac, 1e-9);
+  }
+}
+
+TEST(NodePowerTest, InverseModelClamps) {
+  const auto s = GpuNodeSpec();
+  EXPECT_DOUBLE_EQ(UtilizationFromPowerW(s, 1e9).cpu, 1.0);
+  EXPECT_DOUBLE_EQ(UtilizationFromPowerW(s, 0.0).cpu, 0.0);
+}
+
+TEST(NodePowerTest, InverseModelNoDynamicRange) {
+  NodePowerSpec s;
+  s.cpu_idle_w = s.cpu_max_w = 100;  // no dynamic range at all
+  s.cpus_per_node = 1;
+  s.gpus_per_node = 0;
+  const auto u = UtilizationFromPowerW(s, 500);
+  EXPECT_DOUBLE_EQ(u.cpu, 0.0);
+}
+
+// --- conversion -----------------------------------------------------------
+
+TEST(ConversionTest, LossPositiveAndGrowing) {
+  ConversionSpec spec;
+  ConversionLossModel m(spec, 512);
+  const double l0 = m.LossW(0);
+  const double l1 = m.LossW(1e6);
+  const double l2 = m.LossW(2e6);
+  EXPECT_GT(l0, 0.0);  // constant no-load loss
+  EXPECT_GT(l1, l0);
+  EXPECT_GT(l2, l1);
+  // Quadratic term: marginal loss grows.
+  EXPECT_GT(l2 - l1, l1 - l0);
+}
+
+TEST(ConversionTest, EfficiencyImprovesThenDegrades) {
+  ConversionSpec spec;
+  ConversionLossModel m(spec, 512);
+  // At tiny load the constant loss dominates -> poor efficiency.
+  EXPECT_LT(m.Efficiency(1e4), 0.5);
+  // At nominal load efficiency is high.
+  EXPECT_GT(m.Efficiency(5e6), 0.9);
+}
+
+TEST(ConversionTest, NegativeLoadTreatedAsZero) {
+  ConversionSpec spec;
+  ConversionLossModel m(spec, 64);
+  EXPECT_DOUBLE_EQ(m.LossW(-5.0), m.LossW(0.0));
+}
+
+TEST(ConversionTest, CabinetCountCeil) {
+  ConversionSpec spec;
+  spec.nodes_per_cabinet = 100;
+  EXPECT_EQ(ConversionLossModel(spec, 100).num_cabinets(), 1);
+  EXPECT_EQ(ConversionLossModel(spec, 101).num_cabinets(), 2);
+}
+
+TEST(ConversionTest, InvalidConstruction) {
+  ConversionSpec spec;
+  EXPECT_THROW(ConversionLossModel(spec, 0), std::invalid_argument);
+  spec.nodes_per_cabinet = 0;
+  EXPECT_THROW(ConversionLossModel(spec, 10), std::invalid_argument);
+}
+
+// --- system power -----------------------------------------------------------
+
+Job RunningJob(JobId id, std::vector<int> nodes, SimTime start, double cpu, double gpu) {
+  Job j;
+  j.id = id;
+  j.nodes_required = static_cast<int>(nodes.size());
+  j.assigned_nodes = std::move(nodes);
+  j.start = start;
+  j.end = start + 10000;
+  j.state = JobState::kRunning;
+  j.cpu_util = TraceSeries::Constant(cpu);
+  j.gpu_util = TraceSeries::Constant(gpu);
+  return j;
+}
+
+TEST(SystemPowerTest, EmptySystemDrawsIdle) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  SystemPowerModel m(c);
+  const PowerSample s = m.Compute({}, 0);
+  EXPECT_DOUBLE_EQ(s.it_power_w, c.IdleItPowerW());
+  EXPECT_DOUBLE_EQ(s.node_utilization, 0.0);
+  EXPECT_EQ(s.busy_nodes, 0);
+  EXPECT_GT(s.loss_w, 0.0);
+  EXPECT_DOUBLE_EQ(s.wall_power_w, s.it_power_w + s.loss_w);
+}
+
+TEST(SystemPowerTest, BusyNodesRaisePower) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  SystemPowerModel m(c);
+  const Job j = RunningJob(1, {0, 1, 2, 3}, 0, 0.9, 0.0);
+  const PowerSample s = m.Compute({&j}, 100);
+  EXPECT_GT(s.it_power_w, c.IdleItPowerW());
+  EXPECT_EQ(s.busy_nodes, 4);
+  EXPECT_DOUBLE_EQ(s.node_utilization, 4.0 / 16.0);
+}
+
+TEST(SystemPowerTest, DirectPowerTraceOverridesUtil) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  SystemPowerModel m(c);
+  Job j = RunningJob(1, {0, 1}, 0, 1.0, 1.0);
+  j.node_power_w = TraceSeries::Constant(123.0);
+  const double p = m.JobNodePowerW(j, 50, c.partitions[0].node_power);
+  EXPECT_DOUBLE_EQ(p, 123.0);
+}
+
+TEST(SystemPowerTest, NoTelemetryFallsBackToNominal) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  SystemPowerModel m(c);
+  Job j;
+  j.id = 1;
+  const double p = m.JobNodePowerW(j, 0, c.partitions[0].node_power);
+  EXPECT_GT(p, c.partitions[0].node_power.IdleW());
+  EXPECT_LE(p, c.partitions[0].node_power.PeakW());
+}
+
+TEST(SystemPowerTest, HeterogeneousAllocationUsesPerPartitionSpecs) {
+  const SystemConfig c = MakeSystemConfig("mini");  // nodes 8..15 have GPUs
+  SystemPowerModel m(c);
+  const Job cpu_only = RunningJob(1, {0, 1}, 0, 1.0, 1.0);
+  const Job gpu_node = RunningJob(2, {8, 9}, 0, 1.0, 1.0);
+  const double p_cpu = m.Compute({&cpu_only}, 0).it_power_w;
+  const double p_gpu = m.Compute({&gpu_node}, 0).it_power_w;
+  EXPECT_GT(p_gpu, p_cpu);  // same util, GPU partition draws more
+}
+
+TEST(SystemPowerTest, RunningJobWithoutNodesThrows) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  SystemPowerModel m(c);
+  Job j = RunningJob(1, {0}, 0, 0.5, 0.0);
+  j.assigned_nodes.clear();
+  EXPECT_THROW(m.Compute({&j}, 0), std::logic_error);
+}
+
+TEST(SystemPowerTest, RunningJobWithoutStartThrows) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  SystemPowerModel m(c);
+  Job j = RunningJob(1, {0}, 0, 0.5, 0.0);
+  j.start = -1;
+  EXPECT_THROW(m.Compute({&j}, 0), std::logic_error);
+}
+
+TEST(SystemPowerTest, PowerBoundedByPeak) {
+  const SystemConfig c = MakeSystemConfig("mini");
+  SystemPowerModel m(c);
+  std::vector<Job> jobs;
+  std::vector<const Job*> ptrs;
+  for (int n = 0; n < 16; n += 2) {
+    jobs.push_back(RunningJob(n, {n, n + 1}, 0, 1.0, 1.0));
+  }
+  for (const auto& j : jobs) ptrs.push_back(&j);
+  const PowerSample s = m.Compute(ptrs, 0);
+  EXPECT_NEAR(s.it_power_w, c.PeakItPowerW(), 1e-6);
+  EXPECT_DOUBLE_EQ(s.node_utilization, 1.0);
+}
+
+// Property sweep across systems: idle <= simulated <= peak at any util level.
+class PowerEnvelope : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerEnvelope, WithinEnvelope) {
+  const SystemConfig c = MakeSystemConfig("marconi100");
+  SystemPowerModel m(c);
+  const double u = GetParam();
+  Job j = RunningJob(1, {0, 1, 2, 3, 4, 5, 6, 7}, 0, u, u);
+  const PowerSample s = m.Compute({&j}, 0);
+  EXPECT_GE(s.it_power_w, c.IdleItPowerW() - 1e-6);
+  EXPECT_LE(s.it_power_w, c.PeakItPowerW() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(UtilLevels, PowerEnvelope,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,150 @@
+// Unit tests for the resource manager: allocation, exact placement, release
+// discipline, and down-node handling.
+#include <gtest/gtest.h>
+
+#include "sched/resource_manager.h"
+
+namespace sraps {
+namespace {
+
+TEST(ResourceManagerTest, InitialState) {
+  ResourceManager rm(10);
+  EXPECT_EQ(rm.total_nodes(), 10);
+  EXPECT_EQ(rm.free_nodes(), 10);
+  EXPECT_EQ(rm.busy_nodes(), 0);
+  EXPECT_TRUE(rm.IsFree(0));
+  EXPECT_TRUE(rm.IsFree(9));
+  EXPECT_FALSE(rm.IsFree(10));  // out of range is never free
+  EXPECT_FALSE(rm.IsFree(-1));
+}
+
+TEST(ResourceManagerTest, ConstructionRejectsNonPositive) {
+  EXPECT_THROW(ResourceManager(0), std::invalid_argument);
+  EXPECT_THROW(ResourceManager(-4), std::invalid_argument);
+}
+
+TEST(ResourceManagerTest, AllocateLowestNumbered) {
+  ResourceManager rm(8);
+  const auto nodes = rm.Allocate(3);
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(rm.free_nodes(), 5);
+  EXPECT_FALSE(rm.IsFree(0));
+}
+
+TEST(ResourceManagerTest, AllocateTooManyThrows) {
+  ResourceManager rm(4);
+  rm.Allocate(3);
+  EXPECT_THROW(rm.Allocate(2), std::runtime_error);
+  EXPECT_TRUE(rm.CanAllocate(1));
+  EXPECT_FALSE(rm.CanAllocate(2));
+}
+
+TEST(ResourceManagerTest, AllocateNonPositiveThrows) {
+  ResourceManager rm(4);
+  EXPECT_THROW(rm.Allocate(0), std::invalid_argument);
+  EXPECT_THROW(rm.Allocate(-1), std::invalid_argument);
+}
+
+TEST(ResourceManagerTest, ReleaseReturnsNodes) {
+  ResourceManager rm(4);
+  const auto nodes = rm.Allocate(4);
+  rm.Release({nodes[1], nodes[2]});
+  EXPECT_EQ(rm.free_nodes(), 2);
+  // Released nodes are reallocated lowest-first.
+  EXPECT_EQ(rm.Allocate(2), (std::vector<int>{1, 2}));
+}
+
+TEST(ResourceManagerTest, DoubleReleaseThrows) {
+  ResourceManager rm(4);
+  const auto nodes = rm.Allocate(2);
+  rm.Release(nodes);
+  EXPECT_THROW(rm.Release(nodes), std::runtime_error);
+}
+
+TEST(ResourceManagerTest, ReleaseValidatesBeforeMutating) {
+  ResourceManager rm(4);
+  const auto nodes = rm.Allocate(2);  // {0,1}
+  // One valid + one invalid: nothing must change.
+  EXPECT_THROW(rm.Release({nodes[0], 3}), std::runtime_error);
+  EXPECT_FALSE(rm.IsFree(nodes[0]));
+}
+
+TEST(ResourceManagerTest, AllocateExact) {
+  ResourceManager rm(8);
+  rm.AllocateExact({5, 2, 7});
+  EXPECT_FALSE(rm.IsFree(5));
+  EXPECT_FALSE(rm.IsFree(2));
+  EXPECT_FALSE(rm.IsFree(7));
+  EXPECT_EQ(rm.free_nodes(), 5);
+}
+
+TEST(ResourceManagerTest, AllocateExactConflictIsAtomic) {
+  ResourceManager rm(8);
+  rm.AllocateExact({3});
+  EXPECT_THROW(rm.AllocateExact({2, 3}), std::runtime_error);
+  EXPECT_TRUE(rm.IsFree(2)) << "partial allocation leaked";
+}
+
+TEST(ResourceManagerTest, AllocateExactOutOfRangeThrows) {
+  ResourceManager rm(4);
+  EXPECT_THROW(rm.AllocateExact({4}), std::runtime_error);
+  EXPECT_THROW(rm.AllocateExact({-1}), std::runtime_error);
+  EXPECT_THROW(rm.AllocateExact({}), std::invalid_argument);
+}
+
+TEST(ResourceManagerTest, MarkDownRemovesCapacity) {
+  ResourceManager rm(6);
+  rm.MarkDown({0, 1});
+  EXPECT_EQ(rm.free_nodes(), 4);
+  EXPECT_FALSE(rm.IsFree(0));
+  // Allocation skips down nodes.
+  EXPECT_EQ(rm.Allocate(2), (std::vector<int>{2, 3}));
+}
+
+TEST(ResourceManagerTest, MarkDownIdempotentOnBusy) {
+  ResourceManager rm(4);
+  rm.Allocate(2);
+  rm.MarkDown({0});  // already busy: no change
+  EXPECT_EQ(rm.free_nodes(), 2);
+}
+
+TEST(ResourceManagerTest, MarkDownOutOfRangeThrows) {
+  ResourceManager rm(4);
+  EXPECT_THROW(rm.MarkDown({7}), std::runtime_error);
+}
+
+TEST(ResourceManagerTest, FreeListSorted) {
+  ResourceManager rm(6);
+  rm.AllocateExact({1, 3});
+  EXPECT_EQ(rm.FreeList(), (std::vector<int>{0, 2, 4, 5}));
+}
+
+TEST(ResourceManagerTest, ChurnConservesNodeCount) {
+  // Property: through arbitrary allocate/release churn, free + busy = total
+  // and no node is ever double-allocated.
+  ResourceManager rm(64);
+  std::vector<std::vector<int>> live;
+  unsigned state = 12345;
+  auto next = [&] {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || (next() % 2 == 0 && rm.free_nodes() > 0);
+    if (do_alloc) {
+      const int want = 1 + static_cast<int>(next() % 8);
+      if (rm.CanAllocate(want)) live.push_back(rm.Allocate(want));
+    } else {
+      const std::size_t pick = next() % live.size();
+      rm.Release(live[pick]);
+      live.erase(live.begin() + pick);
+    }
+    int held = 0;
+    for (const auto& v : live) held += static_cast<int>(v.size());
+    ASSERT_EQ(rm.busy_nodes(), held);
+    ASSERT_EQ(rm.free_nodes() + rm.busy_nodes(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace sraps

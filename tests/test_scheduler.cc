@@ -1,0 +1,394 @@
+// Unit tests for the built-in scheduler: policy ordering, replay semantics,
+// and the three backfill modes (§3.2.5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accounts/accounts.h"
+#include "sched/builtin_scheduler.h"
+#include "sched/policies.h"
+
+namespace sraps {
+namespace {
+
+// A small fixture wiring jobs + queue + resource manager into a context.
+class SchedFixture {
+ public:
+  explicit SchedFixture(int nodes = 16) : rm_(nodes) {}
+
+  // Adds a queued job and returns its handle.
+  std::size_t AddQueued(JobId id, SimTime submit, int nodes, SimDuration runtime,
+                        SimDuration limit = 0, double priority = 0.0,
+                        const std::string& account = "acct") {
+    Job j;
+    j.id = id;
+    j.submit_time = submit;
+    j.recorded_start = submit;  // duration carrier for reschedule mode
+    j.recorded_end = submit + runtime;
+    j.time_limit = limit;
+    j.nodes_required = nodes;
+    j.priority = priority;
+    j.account = account;
+    j.state = JobState::kQueued;
+    jobs_.push_back(std::move(j));
+    const std::size_t h = jobs_.size() - 1;
+    queue_.Push(h);
+    return h;
+  }
+
+  void AddRunning(JobId id, int nodes, SimTime estimated_end) {
+    running_.push_back({id, nodes, estimated_end});
+    rm_.Allocate(nodes);
+  }
+
+  SchedulerContext Ctx(SimTime now, bool had_events = true) {
+    SchedulerContext ctx;
+    ctx.now = now;
+    ctx.jobs = &jobs_;
+    ctx.queue = &queue_;
+    ctx.rm = &rm_;
+    ctx.running = &running_;
+    ctx.had_events = had_events;
+    return ctx;
+  }
+
+  std::vector<Job> jobs_;
+  JobQueue queue_;
+  ResourceManager rm_;
+  std::vector<RunningJobView> running_;
+};
+
+std::vector<JobId> PlacedIds(const SchedFixture& f, const std::vector<Placement>& ps) {
+  std::vector<JobId> ids;
+  for (const auto& p : ps) ids.push_back(f.jobs_[p.handle].id);
+  return ids;
+}
+
+// --- policy parsing -----------------------------------------------------------
+
+TEST(PolicyTest, ParseAllNames) {
+  EXPECT_EQ(ParsePolicy("replay"), Policy::kReplay);
+  EXPECT_EQ(ParsePolicy("fcfs"), Policy::kFcfs);
+  EXPECT_EQ(ParsePolicy("sjf"), Policy::kSjf);
+  EXPECT_EQ(ParsePolicy("ljf"), Policy::kLjf);
+  EXPECT_EQ(ParsePolicy("priority"), Policy::kPriority);
+  EXPECT_EQ(ParsePolicy("ml"), Policy::kMl);
+  EXPECT_EQ(ParsePolicy("acct_avg_power"), Policy::kAcctAvgPower);
+  EXPECT_EQ(ParsePolicy("acct_low_avg_power"), Policy::kAcctLowAvgPower);
+  EXPECT_EQ(ParsePolicy("acct_edp"), Policy::kAcctEdp);
+  EXPECT_EQ(ParsePolicy("acct_fugaku_pts"), Policy::kAcctFugakuPts);
+  EXPECT_FALSE(ParsePolicy("bogus").has_value());
+}
+
+TEST(PolicyTest, ToStringRoundTrip) {
+  for (Policy p : {Policy::kReplay, Policy::kFcfs, Policy::kSjf, Policy::kLjf,
+                   Policy::kPriority, Policy::kMl, Policy::kAcctAvgPower,
+                   Policy::kAcctLowAvgPower, Policy::kAcctEdp, Policy::kAcctFugakuPts}) {
+    EXPECT_EQ(ParsePolicy(ToString(p)), p);
+  }
+}
+
+TEST(PolicyTest, ParseBackfillAliases) {
+  EXPECT_EQ(ParseBackfill("none"), BackfillMode::kNone);
+  EXPECT_EQ(ParseBackfill("nobf"), BackfillMode::kNone);
+  EXPECT_EQ(ParseBackfill(""), BackfillMode::kNone);
+  EXPECT_EQ(ParseBackfill("firstfit"), BackfillMode::kFirstFit);
+  EXPECT_EQ(ParseBackfill("first-fit"), BackfillMode::kFirstFit);
+  EXPECT_EQ(ParseBackfill("easy"), BackfillMode::kEasy);
+  EXPECT_FALSE(ParseBackfill("greedy").has_value());
+}
+
+TEST(PolicyTest, AccountPolicyDetection) {
+  EXPECT_TRUE(IsAccountPolicy(Policy::kAcctEdp));
+  EXPECT_TRUE(IsAccountPolicy(Policy::kAcctFugakuPts));
+  EXPECT_FALSE(IsAccountPolicy(Policy::kFcfs));
+  EXPECT_FALSE(IsAccountPolicy(Policy::kMl));
+}
+
+TEST(PolicyTest, AccountPolicyRequiresRegistry) {
+  EXPECT_THROW(BuiltinScheduler(Policy::kAcctEdp, BackfillMode::kNone, nullptr),
+               std::invalid_argument);
+}
+
+TEST(PolicyTest, FactoryRejectsUnknownNames) {
+  EXPECT_THROW(MakeBuiltinScheduler("bogus", "none"), std::invalid_argument);
+  EXPECT_THROW(MakeBuiltinScheduler("fcfs", "bogus"), std::invalid_argument);
+}
+
+// --- ordering policies ---------------------------------------------------------
+
+TEST(BuiltinSchedulerTest, FcfsRespectsSubmitOrder) {
+  SchedFixture f(16);
+  f.AddQueued(1, 100, 4, 600);
+  f.AddQueued(2, 50, 4, 600);
+  f.AddQueued(3, 75, 4, 600);
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kNone);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(200)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 3, 1}));
+}
+
+TEST(BuiltinSchedulerTest, SjfShortestFirst) {
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 4, 0, /*limit=*/3000);
+  f.AddQueued(2, 0, 4, 0, /*limit=*/600);
+  f.AddQueued(3, 0, 4, 0, /*limit=*/1800);
+  BuiltinScheduler s(Policy::kSjf, BackfillMode::kNone);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 3, 1}));
+}
+
+TEST(BuiltinSchedulerTest, LjfLargestFirst) {
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 2, 600);
+  f.AddQueued(2, 0, 8, 600);
+  f.AddQueued(3, 0, 4, 600);
+  BuiltinScheduler s(Policy::kLjf, BackfillMode::kNone);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 3, 1}));
+}
+
+TEST(BuiltinSchedulerTest, PriorityDescendingWithFcfsTieBreak) {
+  SchedFixture f(16);
+  f.AddQueued(1, 10, 2, 600, 0, /*priority=*/5.0);
+  f.AddQueued(2, 20, 2, 600, 0, /*priority=*/9.0);
+  f.AddQueued(3, 5, 2, 600, 0, /*priority=*/5.0);
+  BuiltinScheduler s(Policy::kPriority, BackfillMode::kNone);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(100)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 3, 1}));  // 9 first, then 5s by submit
+}
+
+TEST(BuiltinSchedulerTest, MlScoreOrdersQueue) {
+  SchedFixture f(16);
+  const auto h1 = f.AddQueued(1, 0, 2, 600);
+  const auto h2 = f.AddQueued(2, 0, 2, 600);
+  f.jobs_[h1].ml_score = 0.3;
+  f.jobs_[h1].has_ml_score = true;
+  f.jobs_[h2].ml_score = 0.9;
+  f.jobs_[h2].has_ml_score = true;
+  BuiltinScheduler s(Policy::kMl, BackfillMode::kNone);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 1}));
+}
+
+TEST(BuiltinSchedulerTest, SkipsWhenNoEvents) {
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 2, 600);
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kNone);
+  EXPECT_TRUE(s.Schedule(f.Ctx(0, /*had_events=*/false)).empty());
+  EXPECT_FALSE(s.Schedule(f.Ctx(0, /*had_events=*/true)).empty());
+}
+
+// --- backfill -------------------------------------------------------------------
+
+TEST(BuiltinSchedulerTest, NoBackfillBlocksBehindHead) {
+  SchedFixture f(16);
+  f.AddRunning(100, 10, /*estimated_end=*/5000);  // 6 free
+  f.AddQueued(1, 0, 8, 600, 700);                 // head: does not fit
+  f.AddQueued(2, 10, 2, 600, 700);                // would fit, but blocked
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kNone);
+  EXPECT_TRUE(s.Schedule(f.Ctx(100)).empty());
+}
+
+TEST(BuiltinSchedulerTest, FirstFitFillsAroundHead) {
+  SchedFixture f(16);
+  f.AddRunning(100, 10, 5000);
+  f.AddQueued(1, 0, 8, 600, 700);   // blocked head
+  f.AddQueued(2, 10, 2, 600, 700);  // fits
+  f.AddQueued(3, 20, 9, 600, 700);  // does not fit
+  f.AddQueued(4, 30, 4, 600, 700);  // fits
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kFirstFit);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(100)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 4}));
+}
+
+TEST(BuiltinSchedulerTest, EasyAdmitsOnlyReservationSafeJobs) {
+  SchedFixture f(16);
+  // 10 nodes busy until t=1000; 6 free now.  Head needs 8 -> shadow = 1000,
+  // spare at shadow = (6 free + 10 freed) - 8 = 8.
+  f.AddRunning(100, 10, 1000);
+  f.AddQueued(1, 0, 8, 600, 900);  // blocked head; reservation at t=1000
+  // Short job: finishes by the shadow (limit 500 <= 1000) -> admitted.
+  f.AddQueued(2, 10, 2, 400, 500);
+  // Long job needing 4: runs past the shadow but 4 <= spare 8 -> admitted
+  // on spare nodes (cannot delay the head's reservation).
+  f.AddQueued(3, 20, 4, 5000, 6000);
+  // Another long job needing 6: only 6-2-4 = 0 nodes free now -> skipped.
+  f.AddQueued(4, 30, 6, 5000, 6000);
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kEasy);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 3}));
+}
+
+TEST(BuiltinSchedulerTest, EasyRefusesBackfillThatDelaysHead) {
+  SchedFixture f(16);
+  f.AddRunning(100, 10, 1000);  // 6 free
+  f.AddQueued(1, 0, 8, 600, 900);    // head, shadow=1000, spare=8... wait
+  // spare at shadow = (6 free + 10 freed) - 8 = 8.
+  // A 6-node job with a long limit: 6 <= spare 8 -> admitted.
+  // Tighten: make the running job release only 4 nodes -> spare smaller.
+  SchedFixture g(16);
+  g.AddRunning(100, 4, 1000);
+  g.rm_.Allocate(6);  // 6 nodes held by an untracked reservation; 6 free
+  g.AddQueued(1, 0, 10, 600, 900);   // head: needs 10; shadow=1000, spare=0
+  g.AddQueued(2, 10, 6, 5000, 6000); // long 6-node job; 6 > spare 0 -> refused
+  g.AddQueued(3, 20, 6, 900, 950);   // finishes before shadow -> admitted
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kEasy);
+  const auto ids = PlacedIds(g, s.Schedule(g.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{3}));
+}
+
+TEST(BuiltinSchedulerTest, EasyPlacesInOrderWhenEverythingFits) {
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 4, 600, 700);
+  f.AddQueued(2, 10, 4, 600, 700);
+  BuiltinScheduler s(Policy::kFcfs, BackfillMode::kEasy);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(100)));
+  EXPECT_EQ(ids, (std::vector<JobId>{1, 2}));
+}
+
+// --- replay ---------------------------------------------------------------------
+
+TEST(BuiltinSchedulerTest, ReplayWaitsForRecordedStart) {
+  SchedFixture f(16);
+  const auto h = f.AddQueued(1, 0, 4, 600);
+  f.jobs_[h].recorded_start = 500;
+  f.jobs_[h].recorded_end = 1100;
+  BuiltinScheduler s(Policy::kReplay, BackfillMode::kNone);
+  EXPECT_TRUE(s.Schedule(f.Ctx(499)).empty());
+  EXPECT_EQ(s.Schedule(f.Ctx(500)).size(), 1u);
+}
+
+TEST(BuiltinSchedulerTest, ReplayUsesRecordedNodes) {
+  SchedFixture f(16);
+  const auto h = f.AddQueued(1, 0, 3, 600);
+  f.jobs_[h].recorded_start = 0;
+  f.jobs_[h].recorded_nodes = {7, 8, 9};
+  BuiltinScheduler s(Policy::kReplay, BackfillMode::kNone);
+  const auto ps = s.Schedule(f.Ctx(0));
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].nodes, (std::vector<int>{7, 8, 9}));
+}
+
+TEST(BuiltinSchedulerTest, ReplayDefersOnNodeConflict) {
+  SchedFixture f(16);
+  f.rm_.AllocateExact({7});
+  const auto h = f.AddQueued(1, 0, 2, 600);
+  f.jobs_[h].recorded_start = 0;
+  f.jobs_[h].recorded_nodes = {7, 8};
+  BuiltinScheduler s(Policy::kReplay, BackfillMode::kNone);
+  EXPECT_TRUE(s.Schedule(f.Ctx(0)).empty());  // conflict: retried later
+}
+
+// --- account policies --------------------------------------------------------------
+
+AccountRegistry MakeRegistryWithTwoAccounts() {
+  AccountRegistry reg;
+  // "hungry" ran hot; "frugal" ran cool.
+  Job a;
+  a.id = 1;
+  a.account = "hungry";
+  a.submit_time = 0;
+  a.start = 0;
+  a.end = 3600;
+  a.nodes_required = 10;
+  a.state = JobState::kCompleted;
+  reg.RecordCompletion(a, /*energy_j=*/3600.0 * 10 * 400);  // 400 W/node
+  Job b = a;
+  b.id = 2;
+  b.account = "frugal";
+  reg.RecordCompletion(b, /*energy_j=*/3600.0 * 10 * 100);  // 100 W/node
+  return reg;
+}
+
+TEST(BuiltinSchedulerTest, AcctAvgPowerFavoursHungry) {
+  const AccountRegistry reg = MakeRegistryWithTwoAccounts();
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 2, 600, 0, 0, "frugal");
+  f.AddQueued(2, 0, 2, 600, 0, 0, "hungry");
+  BuiltinScheduler s(Policy::kAcctAvgPower, BackfillMode::kNone, &reg);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 1}));
+}
+
+TEST(BuiltinSchedulerTest, AcctLowAvgPowerFavoursFrugal) {
+  const AccountRegistry reg = MakeRegistryWithTwoAccounts();
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 2, 600, 0, 0, "hungry");
+  f.AddQueued(2, 0, 2, 600, 0, 0, "frugal");
+  BuiltinScheduler s(Policy::kAcctLowAvgPower, BackfillMode::kNone, &reg);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 1}));
+}
+
+TEST(BuiltinSchedulerTest, AcctFugakuPtsFavoursFrugal) {
+  const AccountRegistry reg = MakeRegistryWithTwoAccounts();
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 2, 600, 0, 0, "hungry");
+  f.AddQueued(2, 0, 2, 600, 0, 0, "frugal");
+  BuiltinScheduler s(Policy::kAcctFugakuPts, BackfillMode::kNone, &reg);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 1}));
+}
+
+TEST(BuiltinSchedulerTest, AcctEdpFavoursLowEdp) {
+  const AccountRegistry reg = MakeRegistryWithTwoAccounts();
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 2, 600, 0, 0, "hungry");  // high energy -> high EDP
+  f.AddQueued(2, 0, 2, 600, 0, 0, "frugal");
+  BuiltinScheduler s(Policy::kAcctEdp, BackfillMode::kNone, &reg);
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 1}));
+}
+
+TEST(BuiltinSchedulerTest, UnknownAccountGetsZeroStats) {
+  const AccountRegistry reg = MakeRegistryWithTwoAccounts();
+  SchedFixture f(16);
+  f.AddQueued(1, 0, 2, 600, 0, 0, "newcomer");
+  f.AddQueued(2, 0, 2, 600, 0, 0, "hungry");
+  BuiltinScheduler s(Policy::kAcctAvgPower, BackfillMode::kNone, &reg);
+  // hungry (high power) outranks the zero-history newcomer.
+  const auto ids = PlacedIds(f, s.Schedule(f.Ctx(0)));
+  EXPECT_EQ(ids, (std::vector<JobId>{2, 1}));
+}
+
+// Property sweep: under every policy+backfill combination the proposed
+// placements never exceed free nodes and never duplicate a job.
+struct Combo {
+  Policy policy;
+  BackfillMode backfill;
+};
+
+class PlacementInvariants : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PlacementInvariants, RespectsCapacityAndUniqueness) {
+  SchedFixture f(32);
+  f.AddRunning(900, 10, 2000);
+  for (int i = 0; i < 12; ++i) {
+    f.AddQueued(i + 1, i * 10, 1 + (i * 7) % 9, 600 + i * 100, 900 + i * 120,
+                static_cast<double>(i % 5));
+  }
+  AccountRegistry reg = MakeRegistryWithTwoAccounts();
+  BuiltinScheduler s(GetParam().policy, GetParam().backfill, &reg);
+  const auto ps = s.Schedule(f.Ctx(500));
+  int total_nodes = 0;
+  std::set<std::size_t> seen;
+  for (const auto& p : ps) {
+    EXPECT_TRUE(seen.insert(p.handle).second) << "duplicate placement";
+    total_nodes += f.jobs_[p.handle].nodes_required;
+  }
+  EXPECT_LE(total_nodes, f.rm_.free_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PlacementInvariants,
+    ::testing::Values(Combo{Policy::kFcfs, BackfillMode::kNone},
+                      Combo{Policy::kFcfs, BackfillMode::kFirstFit},
+                      Combo{Policy::kFcfs, BackfillMode::kEasy},
+                      Combo{Policy::kSjf, BackfillMode::kEasy},
+                      Combo{Policy::kLjf, BackfillMode::kFirstFit},
+                      Combo{Policy::kPriority, BackfillMode::kFirstFit},
+                      Combo{Policy::kPriority, BackfillMode::kEasy},
+                      Combo{Policy::kAcctFugakuPts, BackfillMode::kFirstFit}));
+
+}  // namespace
+}  // namespace sraps

@@ -1,0 +1,164 @@
+// Unit tests for systems accounting (§3.2.6) and the Fig. 10b objective
+// vector / normalisation.
+#include <gtest/gtest.h>
+
+#include "stats/stats.h"
+
+namespace sraps {
+namespace {
+
+Job Completed(JobId id, SimTime submit, SimTime start, SimDuration runtime, int nodes,
+              double priority = 1.0) {
+  Job j;
+  j.id = id;
+  j.account = "a";
+  j.user = "u";
+  j.submit_time = submit;
+  j.start = start;
+  j.end = start + runtime;
+  j.nodes_required = nodes;
+  j.priority = priority;
+  j.state = JobState::kCompleted;
+  return j;
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  SimulationStats s;
+  EXPECT_EQ(s.jobs_completed(), 0u);
+  EXPECT_DOUBLE_EQ(s.AvgWaitSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ThroughputPerHour(), 0.0);
+  EXPECT_DOUBLE_EQ(s.AreaWeightedResponseTime(), 0.0);
+}
+
+TEST(StatsTest, BasicAggregates) {
+  SimulationStats s;
+  s.RecordCompletion(Completed(1, 0, 100, 900, 4), /*energy=*/1000.0);
+  s.RecordCompletion(Completed(2, 50, 150, 300, 2), 500.0);
+  EXPECT_EQ(s.jobs_completed(), 2u);
+  EXPECT_DOUBLE_EQ(s.AvgWaitSeconds(), (100 + 100) / 2.0);
+  EXPECT_DOUBLE_EQ(s.AvgTurnaroundSeconds(), ((1000 - 0) + (450 - 50)) / 2.0);
+  EXPECT_DOUBLE_EQ(s.AvgRuntimeSeconds(), 600.0);
+  EXPECT_DOUBLE_EQ(s.AvgJobSizeNodes(), 3.0);
+  EXPECT_DOUBLE_EQ(s.TotalEnergyJ(), 1500.0);
+  EXPECT_DOUBLE_EQ(s.AvgEnergyPerJobJ(), 750.0);
+}
+
+TEST(StatsTest, IncompleteJobRejected) {
+  SimulationStats s;
+  Job j = Completed(1, 0, 100, 900, 4);
+  j.start = -1;
+  EXPECT_THROW(s.RecordCompletion(j, 1.0), std::logic_error);
+}
+
+TEST(StatsTest, EdpUsesEnergyTimesRuntime) {
+  SimulationStats s;
+  s.RecordCompletion(Completed(1, 0, 0, 10, 1), 100.0);
+  EXPECT_DOUBLE_EQ(s.AvgEdp(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.AvgEd2p(), 10000.0);
+}
+
+TEST(StatsTest, AreaWeightedResponseTimeWeighsBigJobs) {
+  SimulationStats s;
+  // Small job with huge turnaround; big job with small turnaround.
+  s.RecordCompletion(Completed(1, 0, 10000, 100, 1), 1.0);   // area 100
+  s.RecordCompletion(Completed(2, 0, 0, 1000, 100), 1.0);    // area 100000
+  const double awrt = s.AreaWeightedResponseTime();
+  // Dominated by the big job's turnaround (1000), not the small one's (10100).
+  EXPECT_LT(awrt, 1100.0);
+  EXPECT_GT(awrt, 999.0);
+}
+
+TEST(StatsTest, PrioritySpecificResponseTime) {
+  SimulationStats s;
+  // Specific RT = turnaround per node-hour.
+  s.RecordCompletion(Completed(1, 0, 0, 3600, 1, /*priority=*/1.0), 1.0);
+  // turnaround 3600s over 1 node-hour -> srt = 3600.
+  EXPECT_NEAR(s.PriorityWeightedSpecificResponseTime(), 3600.0, 1e-6);
+}
+
+TEST(StatsTest, JobSizeHistogramBuckets) {
+  SimulationStats s;
+  s.RecordCompletion(Completed(1, 0, 0, 10, 1), 1.0);     // small
+  s.RecordCompletion(Completed(2, 0, 0, 10, 127), 1.0);   // small
+  s.RecordCompletion(Completed(3, 0, 0, 10, 128), 1.0);   // medium
+  s.RecordCompletion(Completed(4, 0, 0, 10, 1024), 1.0);  // large
+  const Histogram& h = s.JobSizeHistogram();
+  EXPECT_DOUBLE_EQ(h.Count(0), 2);
+  EXPECT_DOUBLE_EQ(h.Count(1), 1);
+  EXPECT_DOUBLE_EQ(h.Count(2), 1);
+}
+
+TEST(StatsTest, ThroughputWindow) {
+  SimulationStats s;
+  s.RecordCompletion(Completed(1, 0, 0, 1800, 1), 1.0);
+  s.RecordCompletion(Completed(2, 0, 1800, 1800, 1), 1.0);
+  // 2 jobs over 1 h window.
+  EXPECT_NEAR(s.ThroughputPerHour(), 2.0, 1e-9);
+}
+
+TEST(StatsTest, CostAndCarbon) {
+  SimulationStats s;
+  s.RecordCompletion(Completed(1, 0, 0, 10, 1), 3.6e6);  // exactly 1 kWh
+  CostModel cm;
+  cm.usd_per_kwh = 0.10;
+  cm.kg_co2_per_kwh = 0.5;
+  EXPECT_NEAR(s.EnergyCostUsd(cm), 0.10, 1e-9);
+  EXPECT_NEAR(s.CarbonKgCo2(cm), 0.5, 1e-9);
+}
+
+TEST(StatsTest, MultiObjectiveVectorShapeAndLabels) {
+  SimulationStats s;
+  s.RecordCompletion(Completed(1, 0, 10, 100, 2), 50.0);
+  const auto v = s.MultiObjectiveVector();
+  const auto labels = SimulationStats::MultiObjectiveLabels();
+  ASSERT_EQ(v.size(), 12u);
+  ASSERT_EQ(labels.size(), 12u);
+  for (double x : v) EXPECT_GE(x, 0.0);
+}
+
+TEST(StatsTest, InverseMetricsLowerIsBetter) {
+  // More completed jobs must *reduce* the inverse-jobs objective.
+  SimulationStats few, many;
+  few.RecordCompletion(Completed(1, 0, 0, 10, 1), 1.0);
+  for (int i = 0; i < 10; ++i) {
+    many.RecordCompletion(Completed(i + 1, 0, 0, 10, 1), 1.0);
+  }
+  EXPECT_GT(few.MultiObjectiveVector()[4], many.MultiObjectiveVector()[4]);
+}
+
+TEST(StatsTest, ToJsonContainsAllAggregates) {
+  SimulationStats s;
+  s.RecordCompletion(Completed(1, 0, 10, 100, 2), 50.0);
+  const JsonValue j = s.ToJson();
+  EXPECT_EQ(j.At("jobs_completed").AsInt(), 1);
+  EXPECT_GT(j.At("avg_wait_s").AsDouble(), 0.0);
+  EXPECT_TRUE(j.At("job_size_histogram").is_object());
+  EXPECT_GE(j.At("carbon_kg_co2").AsDouble(), 0.0);
+}
+
+TEST(StatsTest, NormalizeObjectivesUnitColumns) {
+  std::vector<std::vector<double>> rows = {{3, 10}, {4, 0}};
+  const auto n = NormalizeObjectives(rows);
+  EXPECT_NEAR(n[0][0] * n[0][0] + n[1][0] * n[1][0], 1.0, 1e-12);
+  EXPECT_NEAR(n[0][1], 1.0, 1e-12);
+}
+
+// Parameterized: PW-SRT must weight high-priority jobs more.
+class PwSrtWeighting : public ::testing::TestWithParam<double> {};
+
+TEST_P(PwSrtWeighting, HighPriorityDominates) {
+  const double hi_pri = GetParam();
+  SimulationStats s;
+  // High-priority job with terrible specific response time.
+  s.RecordCompletion(Completed(1, 0, 36000, 3600, 1, hi_pri), 1.0);
+  // Low-priority job with excellent one.
+  s.RecordCompletion(Completed(2, 0, 0, 3600, 1, 1.0), 1.0);
+  const double pwsrt = s.PriorityWeightedSpecificResponseTime();
+  const double unweighted = (39600.0 + 3600.0) / 2.0;
+  EXPECT_GT(pwsrt, unweighted);  // pulled toward the high-priority job
+}
+
+INSTANTIATE_TEST_SUITE_P(Priorities, PwSrtWeighting, ::testing::Values(5.0, 20.0, 100.0));
+
+}  // namespace
+}  // namespace sraps

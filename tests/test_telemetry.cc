@@ -1,0 +1,159 @@
+// Unit tests for src/telemetry: trace series semantics (§3.2.2 last-known-
+// value fill, truncation flags) and the output recorder.
+#include <gtest/gtest.h>
+
+#include "telemetry/recorder.h"
+#include "telemetry/trace_series.h"
+
+namespace sraps {
+namespace {
+
+TEST(TraceSeriesTest, ConstructionValidation) {
+  EXPECT_THROW(TraceSeries({0, 1}, {1.0}), std::invalid_argument);      // size mismatch
+  EXPECT_THROW(TraceSeries({1, 1}, {1.0, 2.0}), std::invalid_argument); // non-increasing
+  EXPECT_THROW(TraceSeries({-1, 0}, {1.0, 2.0}), std::invalid_argument);// negative offset
+  EXPECT_NO_THROW(TraceSeries({0, 20, 40}, {1.0, 2.0, 3.0}));
+}
+
+TEST(TraceSeriesTest, EmptySamplingThrows) {
+  TraceSeries t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.Sample(0), std::logic_error);
+  EXPECT_THROW(t.RawMean(), std::logic_error);
+}
+
+TEST(TraceSeriesTest, StepHoldSemantics) {
+  const TraceSeries t({0, 20, 40}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.Sample(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.Sample(19), 1.0);
+  EXPECT_DOUBLE_EQ(t.Sample(20), 2.0);
+  EXPECT_DOUBLE_EQ(t.Sample(39), 2.0);
+  EXPECT_DOUBLE_EQ(t.Sample(40), 3.0);
+}
+
+TEST(TraceSeriesTest, LastKnownValueBeyondEnd) {
+  // §3.2.2: missing data at the tail -> last known value.
+  const TraceSeries t({0, 20}, {1.0, 5.0});
+  EXPECT_DOUBLE_EQ(t.Sample(1000000), 5.0);
+}
+
+TEST(TraceSeriesTest, HeadFillBeforeFirstSample) {
+  const TraceSeries t({10, 20}, {4.0, 5.0});
+  EXPECT_DOUBLE_EQ(t.Sample(0), 4.0);
+}
+
+TEST(TraceSeriesTest, ConstantTrace) {
+  const TraceSeries t = TraceSeries::Constant(250.0);
+  EXPECT_TRUE(t.is_constant());
+  EXPECT_DOUBLE_EQ(t.Sample(0), 250.0);
+  EXPECT_DOUBLE_EQ(t.Sample(999999), 250.0);
+  EXPECT_DOUBLE_EQ(t.MeanOver(3600), 250.0);
+}
+
+TEST(TraceSeriesTest, MeanOverWeighsDurations) {
+  // value 1 for [0,10), value 3 for [10,20) -> mean over 20 s = 2.
+  const TraceSeries t({0, 10}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.MeanOver(20), 2.0);
+  // Over 40 s the tail holds 3: (10*1 + 30*3)/40 = 2.5.
+  EXPECT_DOUBLE_EQ(t.MeanOver(40), 2.5);
+}
+
+TEST(TraceSeriesTest, MeanOverShortHorizon) {
+  const TraceSeries t({0, 10}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.MeanOver(10), 1.0);
+  EXPECT_DOUBLE_EQ(t.MeanOver(0), 1.0);  // degenerate horizon: first value
+}
+
+TEST(TraceSeriesTest, RawStatistics) {
+  const TraceSeries t({0, 1, 2, 3}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.RawMean(), 2.5);
+  EXPECT_DOUBLE_EQ(t.RawMin(), 1.0);
+  EXPECT_DOUBLE_EQ(t.RawMax(), 4.0);
+  EXPECT_NEAR(t.RawStdDev(), 1.118, 1e-3);
+}
+
+TEST(TraceSeriesTest, FlagsCarryThrough) {
+  TraceFlags flags;
+  flags.truncated_head = true;
+  const TraceSeries t({0}, {1.0}, flags);
+  EXPECT_TRUE(t.flags().truncated_head);
+  EXPECT_FALSE(t.flags().truncated_tail);
+}
+
+// --- recorder ----------------------------------------------------------------
+
+TEST(RecorderTest, RecordAndQuery) {
+  TimeSeriesRecorder r;
+  r.Record("p", 0, 10.0);
+  r.Record("p", 10, 20.0);
+  r.Record("p", 20, 30.0);
+  EXPECT_TRUE(r.Has("p"));
+  EXPECT_FALSE(r.Has("q"));
+  EXPECT_DOUBLE_EQ(r.MeanOf("p"), 20.0);
+  EXPECT_DOUBLE_EQ(r.MaxOf("p"), 30.0);
+  EXPECT_DOUBLE_EQ(r.MinOf("p"), 10.0);
+}
+
+TEST(RecorderTest, TimeMustBeMonotone) {
+  TimeSeriesRecorder r;
+  r.Record("p", 10, 1.0);
+  EXPECT_THROW(r.Record("p", 5, 2.0), std::invalid_argument);
+}
+
+TEST(RecorderTest, IntegralTrapezoid) {
+  TimeSeriesRecorder r;
+  r.Record("p", 0, 0.0);
+  r.Record("p", 10, 10.0);
+  // Trapezoid: (0+10)/2 * 10 = 50.
+  EXPECT_DOUBLE_EQ(r.IntegralOf("p"), 50.0);
+}
+
+TEST(RecorderTest, IntegralNeedsTwoSamples) {
+  TimeSeriesRecorder r;
+  r.Record("p", 0, 1.0);
+  EXPECT_THROW(r.IntegralOf("p"), std::logic_error);
+}
+
+TEST(RecorderTest, UnknownChannelThrows) {
+  TimeSeriesRecorder r;
+  EXPECT_THROW(r.Get("nope"), std::out_of_range);
+  EXPECT_THROW(r.MeanOf("nope"), std::out_of_range);
+}
+
+TEST(RecorderTest, CsvJoinsChannelsOnTime) {
+  TimeSeriesRecorder r;
+  r.Record("a", 0, 1.0);
+  r.Record("a", 10, 2.0);
+  r.Record("b", 10, 5.0);
+  const CsvTable t = r.ToCsv();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Cell(0, "a"), "1");
+  EXPECT_EQ(t.Cell(0, "b"), "");  // b has no sample at t=0
+  EXPECT_EQ(t.Cell(1, "b"), "5");
+}
+
+TEST(RecorderTest, ChannelNamesSorted) {
+  TimeSeriesRecorder r;
+  r.Record("z", 0, 1);
+  r.Record("a", 0, 1);
+  const auto names = r.ChannelNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "z");
+}
+
+// Property: Sample never extrapolates outside the recorded value range.
+class SampleBounds : public ::testing::TestWithParam<SimDuration> {};
+
+TEST_P(SampleBounds, WithinRecordedRange) {
+  const TraceSeries t({0, 15, 30, 45}, {2.0, 8.0, 4.0, 6.0});
+  const double v = t.Sample(GetParam());
+  EXPECT_GE(v, 2.0);
+  EXPECT_LE(v, 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, SampleBounds,
+                         ::testing::Values(0, 1, 14, 15, 29, 44, 45, 46, 100, 100000));
+
+}  // namespace
+}  // namespace sraps

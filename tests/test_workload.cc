@@ -1,0 +1,265 @@
+// Unit tests for src/workload: the job model, queue, synthetic generator,
+// and SWF interchange.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/job.h"
+#include "workload/job_queue.h"
+#include "workload/swf.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+Job BasicJob() {
+  Job j;
+  j.id = 1;
+  j.submit_time = 100;
+  j.recorded_start = 150;
+  j.recorded_end = 450;
+  j.time_limit = 600;
+  j.nodes_required = 4;
+  return j;
+}
+
+TEST(JobTest, DerivedTimes) {
+  Job j = BasicJob();
+  EXPECT_EQ(j.RecordedRuntime(), 300);
+  EXPECT_EQ(j.RuntimeEstimate(), 600);  // time limit wins
+  j.time_limit = 0;
+  EXPECT_EQ(j.RuntimeEstimate(), 300);  // falls back to recorded runtime
+}
+
+TEST(JobTest, RealizedMetricsRequireRun) {
+  Job j = BasicJob();
+  EXPECT_THROW(j.WaitTime(), std::logic_error);
+  EXPECT_THROW(j.Turnaround(), std::logic_error);
+  j.start = 200;
+  j.end = 500;
+  EXPECT_EQ(j.WaitTime(), 100);
+  EXPECT_EQ(j.Turnaround(), 400);
+  EXPECT_EQ(j.Runtime(), 300);
+  EXPECT_DOUBLE_EQ(j.NodeSeconds(), 1200.0);
+}
+
+TEST(JobTest, NoRuntimeInfoThrows) {
+  Job j;
+  j.id = 9;
+  EXPECT_THROW(j.RecordedRuntime(), std::logic_error);
+  EXPECT_THROW(j.RuntimeEstimate(), std::logic_error);
+}
+
+TEST(JobTest, MeanNodePowerUsesTrace) {
+  Job j = BasicJob();
+  j.node_power_w = TraceSeries::Constant(300.0);
+  EXPECT_DOUBLE_EQ(j.MeanNodePowerW(), 300.0);
+  Job none = BasicJob();
+  EXPECT_TRUE(std::isnan(none.MeanNodePowerW()));
+}
+
+TEST(JobTest, StateNames) {
+  EXPECT_STREQ(ToString(JobState::kPending), "pending");
+  EXPECT_STREQ(ToString(JobState::kRunning), "running");
+  EXPECT_STREQ(ToString(JobState::kDismissed), "dismissed");
+}
+
+TEST(JobQueueTest, PushRemove) {
+  JobQueue q;
+  EXPECT_TRUE(q.empty());
+  q.Push(3);
+  q.Push(7);
+  q.Push(5);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.Remove(7));
+  EXPECT_FALSE(q.Remove(7));
+  ASSERT_EQ(q.handles().size(), 2u);
+  EXPECT_EQ(q.handles()[0], 3u);
+  EXPECT_EQ(q.handles()[1], 5u);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+}
+
+// --- synthetic generator ------------------------------------------------------
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticWorkloadSpec spec;
+  spec.horizon = 6 * kHour;
+  spec.seed = 99;
+  const auto a = GenerateSyntheticWorkload(spec);
+  const auto b = GenerateSyntheticWorkload(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].nodes_required, b[i].nodes_required);
+    EXPECT_EQ(a[i].recorded_end, b[i].recorded_end);
+  }
+}
+
+TEST(SyntheticTest, SubmitTimesSortedAndInHorizon) {
+  SyntheticWorkloadSpec spec;
+  spec.first_submit = 1000;
+  spec.horizon = 12 * kHour;
+  const auto jobs = GenerateSyntheticWorkload(spec);
+  ASSERT_GT(jobs.size(), 10u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_time, 1000);
+    EXPECT_LT(jobs[i].submit_time, 1000 + 12 * kHour);
+    if (i > 0) {
+      EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+    }
+  }
+}
+
+TEST(SyntheticTest, NodeCountsWithinBounds) {
+  SyntheticWorkloadSpec spec;
+  spec.max_nodes = 64;
+  spec.horizon = 12 * kHour;
+  for (const auto& j : GenerateSyntheticWorkload(spec)) {
+    EXPECT_GE(j.nodes_required, 1);
+    EXPECT_LE(j.nodes_required, 64);
+  }
+}
+
+TEST(SyntheticTest, TimeLimitExceedsRuntime) {
+  SyntheticWorkloadSpec spec;
+  spec.horizon = 12 * kHour;
+  spec.overestimate_factor = 1.6;
+  for (const auto& j : GenerateSyntheticWorkload(spec)) {
+    EXPECT_GE(j.time_limit, j.RecordedRuntime());
+  }
+}
+
+TEST(SyntheticTest, IdsDenseFromFirstId) {
+  SyntheticWorkloadSpec spec;
+  spec.horizon = 4 * kHour;
+  const auto jobs = GenerateSyntheticWorkload(spec, 100);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<JobId>(100 + i));
+  }
+}
+
+TEST(SyntheticTest, UtilTracesAreValidFractions) {
+  SyntheticWorkloadSpec spec;
+  spec.horizon = 6 * kHour;
+  for (const auto& j : GenerateSyntheticWorkload(spec)) {
+    ASSERT_FALSE(j.cpu_util.empty());
+    for (double v : j.cpu_util.values()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, AccountsComeFromConfiguredPool) {
+  SyntheticWorkloadSpec spec;
+  spec.horizon = 12 * kHour;
+  spec.num_accounts = 5;
+  std::set<std::string> accounts;
+  for (const auto& j : GenerateSyntheticWorkload(spec)) accounts.insert(j.account);
+  EXPECT_LE(accounts.size(), 5u);
+  EXPECT_GE(accounts.size(), 2u);  // Zipf weights still hit several
+}
+
+TEST(SyntheticTest, PhasedTraceShape) {
+  Rng rng(5);
+  const TraceSeries t = MakePhasedUtilTrace(rng, 1000, 10, 0.8, 0.0);
+  // Ramp: first sample well below plateau; middle at plateau; tail decays.
+  EXPECT_LT(t.values().front(), 0.5);
+  EXPECT_NEAR(t.Sample(500), 0.8, 1e-9);
+  EXPECT_LT(t.values().back(), 0.5);
+}
+
+TEST(SyntheticTest, PhasedTraceHandlesTinyRuntime) {
+  Rng rng(5);
+  const TraceSeries t = MakePhasedUtilTrace(rng, 5, 10, 0.8);
+  EXPECT_FALSE(t.empty());
+}
+
+// --- SWF ----------------------------------------------------------------------
+
+constexpr const char* kSwfSample =
+    "; comment line\n"
+    "1 0 10 100 4 50 -1 4 200 -1 1 3 7 -1 2 -1 -1 -1\n"
+    "2 5 -1 -1 2 -1 -1 2 100 -1 0 4 8 -1 1 -1 -1 -1\n"  // runtime<0: skipped
+    "3 10 0 50 8 -1 -1 8 60 -1 1 5 9 -1 3 -1 -1 -1\n";
+
+TEST(SwfTest, ParseBasics) {
+  const auto jobs = ParseSwf(kSwfSample);
+  ASSERT_EQ(jobs.size(), 2u);  // job 2 has runtime -1 -> skipped
+  const Job& j = jobs[0];
+  EXPECT_EQ(j.id, 1);
+  EXPECT_EQ(j.submit_time, 0);
+  EXPECT_EQ(j.recorded_start, 10);
+  EXPECT_EQ(j.recorded_end, 110);
+  EXPECT_EQ(j.nodes_required, 4);
+  EXPECT_EQ(j.time_limit, 200);
+  EXPECT_EQ(j.user, "user3");
+  EXPECT_EQ(j.account, "group7");
+}
+
+TEST(SwfTest, ProcsPerNodeDivides) {
+  const auto jobs = ParseSwf(kSwfSample, 4);
+  EXPECT_EQ(jobs[0].nodes_required, 1);  // 4 procs / 4 per node
+  EXPECT_EQ(jobs[1].nodes_required, 2);  // 8 procs / 4 per node
+}
+
+TEST(SwfTest, CpuUtilFromAvgCpuTime) {
+  const auto jobs = ParseSwf(kSwfSample);
+  ASSERT_FALSE(jobs[0].cpu_util.empty());
+  EXPECT_DOUBLE_EQ(jobs[0].cpu_util.Sample(0), 0.5);  // 50 / 100
+}
+
+TEST(SwfTest, TooFewFieldsThrows) {
+  EXPECT_THROW(ParseSwf("1 2 3\n"), std::runtime_error);
+}
+
+TEST(SwfTest, BadProcsPerNodeThrows) {
+  EXPECT_THROW(ParseSwf(kSwfSample, 0), std::invalid_argument);
+}
+
+TEST(SwfTest, WriteParseRoundTrip) {
+  const auto jobs = ParseSwf(kSwfSample);
+  const auto round = ParseSwf(WriteSwf(jobs));
+  ASSERT_EQ(round.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(round[i].id, jobs[i].id);
+    EXPECT_EQ(round[i].submit_time, jobs[i].submit_time);
+    EXPECT_EQ(round[i].recorded_start, jobs[i].recorded_start);
+    EXPECT_EQ(round[i].recorded_end, jobs[i].recorded_end);
+    EXPECT_EQ(round[i].nodes_required, jobs[i].nodes_required);
+  }
+}
+
+TEST(SwfTest, SyntheticWorkloadSurvivesSwfRoundTrip) {
+  SyntheticWorkloadSpec spec;
+  spec.horizon = 4 * kHour;
+  const auto jobs = GenerateSyntheticWorkload(spec);
+  const auto round = ParseSwf(WriteSwf(jobs));
+  ASSERT_EQ(round.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(round[i].nodes_required, jobs[i].nodes_required);
+    EXPECT_EQ(round[i].recorded_end - round[i].recorded_start,
+              jobs[i].recorded_end - jobs[i].recorded_start);
+  }
+}
+
+// Property sweep: arrival counts scale roughly with the configured rate.
+class ArrivalRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArrivalRate, JobCountTracksRate) {
+  SyntheticWorkloadSpec spec;
+  spec.horizon = 24 * kHour;
+  spec.arrival_rate_per_hour = GetParam();
+  spec.seed = 1234;
+  const auto jobs = GenerateSyntheticWorkload(spec);
+  const double expected = GetParam() * 24.0;
+  EXPECT_GT(static_cast<double>(jobs.size()), expected * 0.7);
+  EXPECT_LT(static_cast<double>(jobs.size()), expected * 1.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ArrivalRate, ::testing::Values(10.0, 40.0, 120.0));
+
+}  // namespace
+}  // namespace sraps
