@@ -30,8 +30,8 @@ void EnsureDataset() {
   done = true;
 }
 
-SimulationOptions Base() {
-  SimulationOptions o;
+ScenarioSpec Base() {
+  ScenarioSpec o;
   o.system = "marconi100";
   o.dataset_path = kDataDir;
   o.policy = "fcfs";
@@ -45,7 +45,7 @@ void BM_EventTriggeredScheduling(benchmark::State& state) {
   const bool event_triggered = state.range(0) != 0;
   std::size_t invocations = 0, skips = 0;
   for (auto _ : state) {
-    SimulationOptions o = Base();
+    ScenarioSpec o = Base();
     o.event_triggered_scheduling = event_triggered;
     Simulation sim(o);
     sim.Run();
@@ -62,7 +62,7 @@ void BM_Prepopulation(benchmark::State& state) {
   const bool prepopulate = state.range(0) != 0;
   double early_power = 0, steady_power = 0;
   for (auto _ : state) {
-    SimulationOptions o = Base();
+    ScenarioSpec o = Base();
     o.record_history = true;
     o.prepopulate = prepopulate;
     o.fast_forward = 12 * kHour;  // plenty of jobs already running
@@ -146,7 +146,7 @@ void BM_BackfillModes(benchmark::State& state) {
   std::size_t completed = 0;
   double wait = 0, util = 0;
   for (auto _ : state) {
-    SimulationOptions o = Base();
+    ScenarioSpec o = Base();
     o.backfill = mode;
     o.record_history = true;
     Simulation sim(o);
@@ -168,12 +168,12 @@ void BM_PowerCapWhatIf(benchmark::State& state) {
   const double cap_fraction = static_cast<double>(state.range(0)) / 100.0;
   double peak_mw = 0, avg_runtime = 0, carbon_kg = 0, timing = 1;
   for (auto _ : state) {
-    SimulationOptions o = Base();
+    ScenarioSpec o = Base();
     o.record_history = true;
     if (cap_fraction < 1.0) {
       // Cap relative to the uncapped peak measured once.
       static double uncapped_peak_kw = [&] {
-        SimulationOptions probe = Base();
+        ScenarioSpec probe = Base();
         probe.record_history = true;
         Simulation s(probe);
         s.Run();

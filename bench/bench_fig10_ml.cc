@@ -64,7 +64,7 @@ struct PolicyResult {
 };
 
 PolicyResult RunOne(const char* policy, const Fig10Data& data) {
-  SimulationOptions o;
+  ScenarioSpec o;
   o.system = "fugaku";
   o.config_override = FugakuSliceConfig(kSliceNodes);
   o.jobs_override = data.eval;

@@ -31,8 +31,8 @@ void EnsureDataset() {
   done = true;
 }
 
-SimulationOptions Base() {
-  SimulationOptions o;
+ScenarioSpec Base() {
+  ScenarioSpec o;
   o.system = "marconi100";
   o.dataset_path = kDataDir;
   // The paper plots a 17 h window offset into the dataset (-ff ... -t 61000).
@@ -47,24 +47,24 @@ void BM_Fig4(benchmark::State& state) {
   for (auto _ : state) {
     runs.clear();
     {
-      SimulationOptions o = Base();
+      ScenarioSpec o = Base();
       o.policy = "replay";
       runs.push_back(bench::RunPolicy(o, "replay", "fig4"));
     }
     {
-      SimulationOptions o = Base();
+      ScenarioSpec o = Base();
       o.policy = "fcfs";
       o.backfill = "none";
       runs.push_back(bench::RunPolicy(o, "fcfs-nobf", "fig4"));
     }
     {
-      SimulationOptions o = Base();
+      ScenarioSpec o = Base();
       o.policy = "fcfs";
       o.backfill = "easy";
       runs.push_back(bench::RunPolicy(o, "fcfs-easy", "fig4"));
     }
     {
-      SimulationOptions o = Base();
+      ScenarioSpec o = Base();
       o.policy = "priority";
       o.backfill = "firstfit";
       runs.push_back(bench::RunPolicy(o, "priority-ffbf", "fig4"));

@@ -37,7 +37,7 @@ void BM_Fig5(benchmark::State& state) {
                                 {"fcfs", "easy", "fcfs-easy"},
                                 {"priority", "firstfit", "priority-ffbf"}};
     for (const auto& cfg : configs) {
-      SimulationOptions o;
+      ScenarioSpec o;
       o.system = "adastraMI250";
       o.dataset_path = kDataDir;
       o.policy = cfg[0];

@@ -36,7 +36,7 @@ struct Fig6Run {
 };
 
 Fig6Run RunOne(const char* policy, const char* backfill, const char* label) {
-  SimulationOptions o;
+  ScenarioSpec o;
   o.system = "frontier";
   o.dataset_path = kDataDir;
   o.policy = policy;

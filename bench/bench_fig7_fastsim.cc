@@ -84,7 +84,7 @@ void BM_Fig7(benchmark::State& state) {
 
     // Stage 2: the twin replays FastSim's schedule.
     ApplyFastSimSchedule(jobs, decisions);
-    SimulationOptions o;
+    ScenarioSpec o;
     o.system = "frontier";
     o.jobs_override = std::move(jobs);
     o.policy = "replay";

@@ -44,7 +44,7 @@ void BM_Fig8(benchmark::State& state) {
   for (auto _ : state) {
     runs.clear();
     // Collection phase: replay with account accumulation (blue curve).
-    SimulationOptions collect;
+    ScenarioSpec collect;
     collect.system = "frontier";
     collect.dataset_path = kDataDir;
     collect.policy = "replay";
@@ -67,7 +67,7 @@ void BM_Fig8(benchmark::State& state) {
     const char* policies[] = {"acct_avg_power", "acct_low_avg_power", "acct_edp",
                               "acct_fugaku_pts"};
     for (const char* policy : policies) {
-      SimulationOptions redeem;
+      ScenarioSpec redeem;
       redeem.system = "frontier";
       redeem.dataset_path = kDataDir;
       redeem.scheduler = "experimental";

@@ -43,7 +43,7 @@ struct PolicyRun {
 
 /// Runs one simulation and collects the standard summary; optionally saves
 /// the artifact output files under bench_results/<tag>/<label>/.
-inline PolicyRun RunPolicy(SimulationOptions opts, const std::string& label,
+inline PolicyRun RunPolicy(ScenarioSpec opts, const std::string& label,
                            const std::string& save_tag = "") {
   Simulation sim(std::move(opts));
   sim.Run();

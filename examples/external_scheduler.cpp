@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/simulation.h"
+#include "core/simulation_builder.h"
 #include "dataloaders/replay_synth.h"
 #include "engine/simulation_engine.h"
 #include "extsched/external_bridge.h"
@@ -44,17 +45,18 @@ int main() {
   std::printf("Workload: %zu synthetic jobs on the 16-node 'mini' system.\n\n",
               jobs.size());
 
-  // (a) ScheduleFlow through the generic event bridge.
+  // (a) ScheduleFlow through the generic event bridge, resolved by name
+  // through the unified scheduler registry.
   {
-    SimulationOptions opts;
-    opts.system = "mini";
-    opts.jobs_override = jobs;
-    opts.scheduler = "scheduleflow";
-    Simulation sim(opts);
-    sim.Run();
+    auto sim = SimulationBuilder()
+                   .WithSystem("mini")
+                   .WithJobs(jobs)
+                   .WithScheduler("scheduleflow")
+                   .Build();
+    sim->Run();
     std::printf("[scheduleflow] completed %zu jobs, wall %.3f s (%.0fx realtime)\n",
-                sim.engine().counters().completed, sim.wall_seconds(),
-                sim.SpeedupVsRealtime());
+                sim->engine().counters().completed, sim->wall_seconds(),
+                sim->SpeedupVsRealtime());
   }
 
   // The same coupling, hand-wired, to expose the overhead counters.
@@ -76,14 +78,14 @@ int main() {
   // (b) FastSim plugin mode: the twin asks FastSim for the system state at
   // each time step.
   {
-    SimulationOptions opts;
-    opts.system = "mini";
-    opts.jobs_override = jobs;
-    opts.scheduler = "fastsim";
-    Simulation sim(opts);
-    sim.Run();
+    auto sim = SimulationBuilder()
+                   .WithSystem("mini")
+                   .WithJobs(jobs)
+                   .WithScheduler("fastsim")
+                   .Build();
+    sim->Run();
     std::printf("[fastsim plugin]    completed %zu jobs, wall %.3f s\n",
-                sim.engine().counters().completed, sim.wall_seconds());
+                sim->engine().counters().completed, sim->wall_seconds());
   }
 
   // (b') FastSim sequential mode: schedule everything first, then replay —
@@ -97,17 +99,17 @@ int main() {
     ApplyFastSimSchedule(replay_jobs, decisions);
     const auto t1 = std::chrono::steady_clock::now();
 
-    SimulationOptions opts;
-    opts.system = "mini";
-    opts.jobs_override = replay_jobs;
-    opts.policy = "replay";
-    Simulation sim(opts);
-    sim.Run();
+    auto sim = SimulationBuilder()
+                   .WithSystem("mini")
+                   .WithJobs(replay_jobs)
+                   .WithPolicy("replay")
+                   .Build();
+    sim->Run();
     const double sched_s = std::chrono::duration<double>(t1 - t0).count();
     std::printf("[fastsim sequential] scheduled %zu decisions in %.4f s "
                 "(%zu DES events), replay wall %.3f s\n",
                 decisions.size(), sched_s, fastsim.events_processed(),
-                sim.wall_seconds());
+                sim->wall_seconds());
   }
   return 0;
 }

@@ -10,7 +10,9 @@
 #include <filesystem>
 
 #include "core/simulation.h"
+#include "core/simulation_builder.h"
 #include "dataloaders/marconi.h"
+#include "experiment/experiment_runner.h"
 
 using namespace sraps;
 
@@ -28,22 +30,24 @@ int main() {
   std::printf("Generated a PM100-shaped dataset under %s/\n\n", data_dir.c_str());
 
   // Phase 1: collection run (replay + account accumulation).
-  SimulationOptions collect;
-  collect.system = "marconi100";
-  collect.dataset_path = data_dir;
-  collect.policy = "replay";
-  collect.accounts = true;
-  Simulation phase1(collect);
-  phase1.Run();
-  phase1.SaveOutputs(out_dir + "/replay");
+  auto phase1 = SimulationBuilder()
+                    .WithName("collect")
+                    .WithSystem("marconi100")
+                    .WithDataset(data_dir)
+                    .WithPolicy("replay")
+                    .WithAccounts()
+                    .Build();
+  phase1->Run();
+  phase1->SaveOutputs(out_dir + "/replay");
   std::printf("Collection phase: %zu jobs credited to %zu accounts.\n",
-              phase1.engine().counters().completed, phase1.engine().accounts().size());
+              phase1->engine().counters().completed,
+              phase1->engine().accounts().size());
 
   // Show the most and least power-hungry accounts.
   std::string hungriest, frugalest;
   double hi = -1, lo = 1e18;
-  for (const auto& name : phase1.engine().accounts().AccountNames()) {
-    const double p = phase1.engine().accounts().Get(name).AvgPowerW();
+  for (const auto& name : phase1->engine().accounts().AccountNames()) {
+    const double p = phase1->engine().accounts().Get(name).AvgPowerW();
     if (p > hi) {
       hi = p;
       hungriest = name;
@@ -56,26 +60,24 @@ int main() {
   std::printf("  hungriest account: %s (%.0f W/node avg)\n", hungriest.c_str(), hi);
   std::printf("  most frugal:       %s (%.0f W/node avg)\n\n", frugalest.c_str(), lo);
 
-  // Phase 2: redeeming runs under each incentive policy.
-  const char* policies[] = {"acct_avg_power", "acct_low_avg_power", "acct_edp",
-                            "acct_fugaku_pts"};
-  std::printf("%-22s %12s %12s %12s\n", "policy", "power[kW]", "wait[s]", "jobs");
-  for (const char* policy : policies) {
-    SimulationOptions redeem;
-    redeem.system = "marconi100";
-    redeem.dataset_path = data_dir;
-    redeem.scheduler = "experimental";
-    redeem.policy = policy;
-    redeem.backfill = "firstfit";
-    redeem.accounts_json = out_dir + "/replay/accounts.json";
-    Simulation sim(redeem);
-    sim.Run();
-    sim.SaveOutputs(out_dir + "/" + policy + "-ffbf");
-    std::printf("%-22s %12.1f %12.0f %12zu\n", policy,
-                sim.engine().recorder().MeanOf("power_kw"),
-                sim.engine().stats().AvgWaitSeconds(),
-                sim.engine().counters().completed);
+  // Phase 2: the four redeeming runs are one ExperimentRunner sweep — the
+  // dataset is parsed once and the incentive policies fan out across threads.
+  ScenarioSpec base;
+  base.system = "marconi100";
+  base.dataset_path = data_dir;
+  base.scheduler = "experimental";
+  base.backfill = "firstfit";
+  base.accounts_json = out_dir + "/replay/accounts.json";
+
+  ExperimentRunner sweep(base);
+  for (const char* policy : {"acct_avg_power", "acct_low_avg_power", "acct_edp",
+                             "acct_fugaku_pts"}) {
+    sweep.Add(policy, [policy](ScenarioSpec& s) { s.policy = policy; });
   }
+  ExperimentOptions run_opts;
+  run_opts.output_dir = out_dir;
+  const auto results = sweep.RunAll(run_opts);
+  std::printf("%s", ComparisonTable(results).c_str());
   std::printf("\nPer-policy time series written under %s/<policy>/history.csv — the\n"
               "Fig. 8 power curves are the power_kw column of each.\n",
               out_dir.c_str());

@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "core/simulation.h"
+#include "core/simulation_builder.h"
 #include "dataloaders/fugaku.h"
 #include "ml/pipeline.h"
 #include "stats/stats.h"
@@ -59,21 +60,22 @@ int main() {
   std::printf("%-10s %10s %12s %12s %14s\n", "policy", "wait[s]", "turnar.[s]",
               "power[kW]", "energy/job[MJ]");
   for (const char* policy : policies) {
-    SimulationOptions opts;
-    opts.system = "fugaku";
-    opts.config_override = slice;
-    opts.jobs_override = eval;
-    opts.policy = policy;
-    opts.backfill = "firstfit";
-    opts.tick = 120;
-    Simulation sim(opts);
-    sim.Run();
+    auto sim = SimulationBuilder()
+                   .WithName(policy)
+                   .WithSystem("fugaku")
+                   .WithConfig(slice)
+                   .WithJobs(eval)
+                   .WithPolicy(policy)
+                   .WithBackfill("firstfit")
+                   .WithTick(120)
+                   .Build();
+    sim->Run();
     std::printf("%-10s %10.0f %12.0f %12.0f %14.1f\n", policy,
-                sim.engine().stats().AvgWaitSeconds(),
-                sim.engine().stats().AvgTurnaroundSeconds(),
-                sim.engine().recorder().MeanOf("power_kw"),
-                sim.engine().stats().AvgEnergyPerJobJ() / 1e6);
-    objective_rows.push_back(sim.engine().stats().MultiObjectiveVector());
+                sim->engine().stats().AvgWaitSeconds(),
+                sim->engine().stats().AvgTurnaroundSeconds(),
+                sim->engine().recorder().MeanOf("power_kw"),
+                sim->engine().stats().AvgEnergyPerJobJ() / 1e6);
+    objective_rows.push_back(sim->engine().stats().MultiObjectiveVector());
   }
 
   // The Fig. 10b radar: L2-normalised multi-objective comparison.

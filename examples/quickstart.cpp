@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/simulation.h"
+#include "core/simulation_builder.h"
 #include "dataloaders/replay_synth.h"
 #include "workload/synthetic.h"
 
@@ -52,32 +53,35 @@ int main() {
   std::printf("Generated %zu jobs on the 16-node 'mini' system.\n\n", jobs.size());
 
   // 1. Replay: the twin re-enacts the recorded schedule exactly.
-  SimulationOptions replay;
-  replay.system = "mini";
-  replay.jobs_override = jobs;
-  replay.policy = "replay";
-  Simulation replay_sim(replay);
-  replay_sim.Run();
+  auto replay_sim = SimulationBuilder()
+                        .WithName("replay")
+                        .WithSystem("mini")
+                        .WithJobs(jobs)
+                        .WithPolicy("replay")
+                        .Build();
+  replay_sim->Run();
 
   // 2. What-if: same jobs, rescheduled with FCFS + EASY backfill.
-  SimulationOptions whatif = replay;
-  whatif.jobs_override = jobs;
-  whatif.policy = "fcfs";
-  whatif.backfill = "easy";
-  Simulation whatif_sim(whatif);
-  whatif_sim.Run();
+  auto whatif_sim = SimulationBuilder()
+                        .WithName("fcfs-easy")
+                        .WithSystem("mini")
+                        .WithJobs(jobs)
+                        .WithPolicy("fcfs")
+                        .WithBackfill("easy")
+                        .Build();
+  whatif_sim->Run();
 
   std::printf("policy       | completed | power          | utilization | waits\n");
-  Report("replay", replay_sim);
-  Report("fcfs-easy", whatif_sim);
+  Report("replay", *replay_sim);
+  Report("fcfs-easy", *whatif_sim);
 
-  const double dwait = replay_sim.engine().stats().AvgWaitSeconds() -
-                       whatif_sim.engine().stats().AvgWaitSeconds();
+  const double dwait = replay_sim->engine().stats().AvgWaitSeconds() -
+                       whatif_sim->engine().stats().AvgWaitSeconds();
   std::printf("\nEASY backfill cut the average wait by %.0f s; the simulation ran %.0fx "
               "faster than real time.\n",
-              dwait, whatif_sim.SpeedupVsRealtime());
+              dwait, whatif_sim->SpeedupVsRealtime());
 
-  whatif_sim.SaveOutputs("quickstart_results");
+  whatif_sim->SaveOutputs("quickstart_results");
   std::printf("Wrote history.csv / stats.out / job_history.csv to quickstart_results/.\n");
   return 0;
 }

@@ -3,44 +3,59 @@
 //
 //   # generate a PM100-shaped dataset, then replay it
 //   ./sraps_cli --generate marconi100 --data ~/data/marconi100
-//   ./sraps_cli --system marconi100 -f ~/data/marconi100 \
-//       --scheduler default --policy replay -o out/replay
+//   ./sraps_cli --system marconi100 -f ~/data/marconi100 --scheduler default --policy replay -o out/replay
 //
 //   # reschedule with EASY backfill over a sub-window
-//   ./sraps_cli --system marconi100 -f ~/data/marconi100 \
-//       --policy fcfs --backfill easy -ff 4h -t 17h -o out/fcfs-easy
+//   ./sraps_cli --system marconi100 -f ~/data/marconi100 --policy fcfs --backfill easy -ff 4h -t 17h -o out/fcfs-easy
+//
+//   # drive a run from a scenario file (later flags override its fields)
+//   ./sraps_cli --scenario whatif.json -o out/whatif
 //
 //   # two-phase incentive study
 //   ./sraps_cli --system marconi100 -f DATA --policy replay --accounts -o out/collect
-//   ./sraps_cli --system marconi100 -f DATA --scheduler experimental \
-//       --policy acct_fugaku_pts --backfill firstfit \
-//       --accounts-json out/collect/accounts.json -o out/redeem
+//   ./sraps_cli --system marconi100 -f DATA --scheduler experimental --policy acct_fugaku_pts --backfill firstfit --accounts-json out/collect/accounts.json -o out/redeem
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/simulation.h"
+#include "core/simulation_builder.h"
 #include "core/validate.h"
 #include "common/log.h"
 #include "dataloaders/adastra.h"
+#include "dataloaders/dataloader.h"
 #include "dataloaders/frontier.h"
 #include "dataloaders/fugaku.h"
 #include "dataloaders/lassen.h"
 #include "dataloaders/marconi.h"
+#include "sched/policies.h"
+#include "sched/scheduler_registry.h"
 
 using namespace sraps;
 
 namespace {
 
+std::string Joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
+}
+
 void Usage() {
+  EnsureBuiltinComponents();
   std::printf(
       "sraps_cli — scheduled digital-twin simulator (S-RAPS reproduction)\n\n"
       "usage: sraps_cli [options]\n"
-      "  --system NAME        frontier|marconi100|fugaku|lassen|adastraMI250|mini\n"
+      "  --system NAME        %s|mini\n"
       "  -f, --data PATH      dataset directory (jobs.csv [+ traces.csv])\n"
-      "  --scheduler NAME     default|experimental|scheduleflow|fastsim\n"
-      "  --policy NAME        replay|fcfs|sjf|ljf|priority|ml|acct_*\n"
-      "  --backfill NAME      none|firstfit|easy|conservative\n"
+      "  --scenario FILE      load a ScenarioSpec JSON file (later flags override)\n"
+      "  --save-scenario F    write the resolved ScenarioSpec to F and exit\n"
+      "  --scheduler NAME     %s\n"
+      "  --policy NAME        %s\n"
+      "  --backfill NAME      %s\n"
       "  -ff DURATION         fast-forward into the dataset (e.g. 4h, 35d, 61000)\n"
       "  -t DURATION          simulation length (default: to dataset end)\n"
       "  -c, --cooling        couple the cooling model (frontier, mini)\n"
@@ -53,7 +68,11 @@ void Usage() {
       "  -o, --output DIR     write history.csv/stats.out/job_history.csv[/accounts.json]\n"
       "  --generate SYSTEM    generate a synthetic dataset into --data and exit\n"
       "                       (also: frontier-fig6 for the hero-run scenario)\n"
-      "  -v                   verbose logging\n");
+      "  -v                   verbose logging\n",
+      Joined(DataloaderRegistry::Instance().Names()).c_str(),
+      Joined(SchedulerRegistry().Names()).c_str(),
+      Joined(PolicyRegistry().Names()).c_str(),
+      Joined(BackfillRegistry().Names()).c_str());
 }
 
 bool NextArg(int argc, char** argv, int& i, std::string& out) {
@@ -94,10 +113,11 @@ int Generate(const std::string& system, const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   std::string output_dir;
   std::string generate_system;
+  std::string save_scenario;
   bool validate = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -106,6 +126,16 @@ int main(int argc, char** argv) {
     if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
       Usage();
       return 0;
+    } else if (!std::strcmp(a, "--scenario")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        opts = ScenarioSpec::LoadFile(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--save-scenario")) {
+      if (!NextArg(argc, argv, i, save_scenario)) return 2;
     } else if (!std::strcmp(a, "--system")) {
       if (!NextArg(argc, argv, i, opts.system)) return 2;
     } else if (!std::strcmp(a, "-f") || !std::strcmp(a, "--data")) {
@@ -134,7 +164,12 @@ int main(int argc, char** argv) {
       opts.duration = *d;
     } else if (!std::strcmp(a, "--tick")) {
       if (!NextArg(argc, argv, i, v)) return 2;
-      opts.tick = std::stoll(v);
+      try {
+        opts.tick = std::stoll(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad tick '%s'\n", v.c_str());
+        return 2;
+      }
     } else if (!std::strcmp(a, "-c") || !std::strcmp(a, "--cooling")) {
       opts.cooling = true;
     } else if (!std::strcmp(a, "--accounts")) {
@@ -147,7 +182,12 @@ int main(int argc, char** argv) {
       if (!NextArg(argc, argv, i, generate_system)) return 2;
     } else if (!std::strcmp(a, "--power-cap")) {
       if (!NextArg(argc, argv, i, v)) return 2;
-      opts.power_cap_w = std::stod(v) * 1000.0;
+      try {
+        opts.power_cap_w = std::stod(v) * 1000.0;
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad power cap '%s'\n", v.c_str());
+        return 2;
+      }
     } else if (!std::strcmp(a, "--validate")) {
       validate = true;
     } else if (!std::strcmp(a, "--report")) {
@@ -162,29 +202,34 @@ int main(int argc, char** argv) {
 
   try {
     if (!generate_system.empty()) return Generate(generate_system, opts.dataset_path);
+    if (!save_scenario.empty()) {
+      opts.SaveFile(save_scenario);
+      std::printf("scenario written to %s\n", save_scenario.c_str());
+      return 0;
+    }
     if (opts.dataset_path.empty()) {
       std::fprintf(stderr, "no dataset: pass -f DIR (or --generate SYSTEM first)\n");
       return 2;
     }
-    Simulation sim(opts);
+    auto sim = SimulationBuilder(opts).Build();
     std::printf("simulating %s [%s .. %s] policy=%s backfill=%s scheduler=%s\n",
-                opts.system.c_str(), FormatTime(sim.sim_start()).c_str(),
-                FormatTime(sim.sim_end()).c_str(), opts.policy.c_str(),
+                opts.system.c_str(), FormatTime(sim->sim_start()).c_str(),
+                FormatTime(sim->sim_end()).c_str(), opts.policy.c_str(),
                 opts.backfill.c_str(), opts.scheduler.c_str());
-    sim.Run();
-    const auto& eng = sim.engine();
+    sim->Run();
+    const auto& eng = sim->engine();
     std::printf("completed %zu jobs (%zu dismissed, %zu prepopulated) in %.2f s "
                 "(%.0fx realtime)\n",
                 eng.counters().completed, eng.counters().dismissed,
-                eng.counters().prepopulated, sim.wall_seconds(),
-                sim.SpeedupVsRealtime());
+                eng.counters().prepopulated, sim->wall_seconds(),
+                sim->SpeedupVsRealtime());
     std::printf("%s\n", eng.stats().ToJson().Dump(2).c_str());
     if (validate) {
       std::printf("validation vs recorded schedule:\n%s\n",
                   ValidateAgainstRecorded(eng).ToJson().Dump(2).c_str());
     }
     if (!output_dir.empty()) {
-      sim.SaveOutputs(output_dir);
+      sim->SaveOutputs(output_dir);
       std::printf("outputs written to %s/\n", output_dir.c_str());
     }
   } catch (const std::exception& e) {

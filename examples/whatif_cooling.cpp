@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "core/simulation.h"
+#include "core/simulation_builder.h"
 #include "dataloaders/frontier.h"
 
 using namespace sraps;
@@ -30,31 +31,32 @@ int main() {
   std::printf("%-18s %10s %10s %8s %12s %14s\n", "policy", "util[%]", "power[MW]",
               "PUE", "maxTower[C]", "1st hero start");
   for (const auto& cfg : configs) {
-    SimulationOptions opts;
-    opts.system = "frontier";
-    opts.dataset_path = data_dir;
-    opts.policy = cfg[0];
-    opts.backfill = cfg[1];
-    opts.cooling = true;  // couple the transient thermo-fluid model
-    opts.tick = 60;       // 1-minute ticks keep the example snappy
-    Simulation sim(opts);
-    sim.Run();
+    const std::string label = std::string(cfg[0]) + "-" + cfg[1];
+    auto sim = SimulationBuilder()
+                   .WithName(label)
+                   .WithSystem("frontier")
+                   .WithDataset(data_dir)
+                   .WithPolicy(cfg[0])
+                   .WithBackfill(cfg[1])
+                   .WithCooling()  // couple the transient thermo-fluid model
+                   .WithTick(60)   // 1-minute ticks keep the example snappy
+                   .Build();
+    sim->Run();
 
     // When does the first hero run start under this policy?
     SimTime first_hero = -1;
-    for (const Job& j : sim.engine().jobs()) {
+    for (const Job& j : sim->engine().jobs()) {
       if (j.nodes_required == spec.full_system_nodes && j.start >= 0) {
         if (first_hero < 0 || j.start < first_hero) first_hero = j.start;
       }
     }
-    const std::string label = std::string(cfg[0]) + "-" + cfg[1];
     std::printf("%-18s %10.1f %10.2f %8.3f %12.2f %11.1f h\n", label.c_str(),
-                sim.engine().recorder().MeanOf("utilization"),
-                sim.engine().recorder().MeanOf("power_kw") / 1000.0,
-                sim.engine().recorder().MeanOf("pue"),
-                sim.engine().recorder().MaxOf("tower_return_c"),
+                sim->engine().recorder().MeanOf("utilization"),
+                sim->engine().recorder().MeanOf("power_kw") / 1000.0,
+                sim->engine().recorder().MeanOf("pue"),
+                sim->engine().recorder().MaxOf("tower_return_c"),
                 first_hero / 3600.0);
-    sim.SaveOutputs(out_dir + "/" + label);
+    sim->SaveOutputs(out_dir + "/" + label);
   }
   std::printf("\nRescheduling starts the heroes earlier than the recorded drain, and\n"
               "backfilled policies fill the drain with small jobs — the utilisation,\n"

@@ -1,0 +1,108 @@
+// Generic string-keyed component registry — the one plugin mechanism behind
+// dataloaders (`--system`), schedulers (`--scheduler`), scheduling policies
+// (`--policy`), and backfill strategies (`--backfill`).  Each registry maps a
+// CLI-surface name to an entry (usually a factory) plus a one-line
+// description, and produces uniform "unknown X ... available: ..." errors so
+// every lookup failure tells the user what *would* have worked.
+//
+// Thread safety: fully guarded by a mutex.  Built-in entries are registered
+// once (call_once in the owning module); plugins may register at any time
+// before the names are looked up.  `Get` hands out a reference that stays
+// valid as long as the entry is not re-registered — in practice registration
+// happens at startup and lookups afterwards, including concurrently from
+// ExperimentRunner worker threads.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sraps {
+
+template <typename Entry>
+class NamedRegistry {
+ public:
+  /// `kind` names the component class in error messages ("scheduler",
+  /// "policy", "backfill strategy", "dataloader").
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  NamedRegistry(const NamedRegistry&) = delete;
+  NamedRegistry& operator=(const NamedRegistry&) = delete;
+
+  /// Registers (or replaces — latest registration wins) `name`.
+  void Register(const std::string& name, Entry entry, std::string description = "") {
+    if (name.empty()) {
+      throw std::invalid_argument("NamedRegistry<" + kind_ + ">: empty name");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = entries_[name];
+    slot.entry = std::move(entry);
+    slot.description = std::move(description);
+  }
+
+  bool Has(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.count(name) != 0;
+  }
+
+  /// Throws std::invalid_argument listing the registered names.
+  const Entry& Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) throw std::invalid_argument(UnknownMessageLocked(name));
+    return it->second.entry;
+  }
+
+  /// Registered names in deterministic (lexicographic) order.
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto& [name, slot] : entries_) names.push_back(name);
+    return names;
+  }
+
+  /// The description given at registration ("" if none / unknown name).
+  std::string Description(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? std::string() : it->second.description;
+  }
+
+  const std::string& kind() const { return kind_; }
+
+  /// The error text Get would throw for `name` (for callers that want to
+  /// report without throwing).
+  std::string UnknownMessage(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return UnknownMessageLocked(name);
+  }
+
+ private:
+  struct Slot {
+    Entry entry{};
+    std::string description;
+  };
+
+  std::string UnknownMessageLocked(const std::string& name) const {
+    std::string msg = "unknown " + kind_ + " '" + name + "'";
+    msg += " (available: ";
+    bool first = true;
+    for (const auto& [known, slot] : entries_) {
+      if (!first) msg += ", ";
+      msg += known;
+      first = false;
+    }
+    msg += entries_.empty() ? "none)" : ")";
+    return msg;
+  }
+
+  std::string kind_;
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> entries_;
+};
+
+}  // namespace sraps

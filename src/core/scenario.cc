@@ -1,0 +1,175 @@
+#include "core/scenario.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sraps {
+namespace {
+
+JsonValue OutageToJson(const NodeOutage& o) {
+  JsonArray nodes;
+  nodes.reserve(o.nodes.size());
+  for (int n : o.nodes) nodes.emplace_back(n);
+  JsonObject obj;
+  obj["at"] = JsonValue(static_cast<std::int64_t>(o.at));
+  obj["recover_at"] = JsonValue(static_cast<std::int64_t>(o.recover_at));
+  obj["nodes"] = JsonValue(std::move(nodes));
+  return JsonValue(std::move(obj));
+}
+
+NodeOutage OutageFromJson(const JsonValue& v) {
+  NodeOutage o;
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "at") {
+      o.at = value.AsInt();
+    } else if (key == "recover_at") {
+      o.recover_at = value.AsInt();
+    } else if (key == "nodes") {
+      for (const JsonValue& n : value.AsArray()) {
+        o.nodes.push_back(static_cast<int>(n.AsInt()));
+      }
+    } else {
+      throw std::invalid_argument("ScenarioSpec: unknown outage key '" + key + "'");
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+JsonValue ScenarioSpec::ToJson() const {
+  JsonObject obj;
+  obj["name"] = name;
+  obj["system"] = system;
+  obj["dataset"] = dataset_path;
+  obj["scheduler"] = scheduler;
+  obj["policy"] = policy;
+  obj["backfill"] = backfill;
+  obj["fast_forward"] = JsonValue(static_cast<std::int64_t>(fast_forward));
+  obj["duration"] = JsonValue(static_cast<std::int64_t>(duration));
+  obj["cooling"] = cooling;
+  obj["accounts"] = accounts;
+  obj["accounts_json"] = accounts_json;
+  obj["record_history"] = record_history;
+  obj["prepopulate"] = prepopulate;
+  obj["event_triggered_scheduling"] = event_triggered_scheduling;
+  obj["tick"] = JsonValue(static_cast<std::int64_t>(tick));
+  obj["power_cap_w"] = power_cap_w;
+  obj["html_report"] = html_report;
+  JsonArray outage_array;
+  outage_array.reserve(outages.size());
+  for (const NodeOutage& o : outages) outage_array.push_back(OutageToJson(o));
+  obj["outages"] = JsonValue(std::move(outage_array));
+  return JsonValue(std::move(obj));
+}
+
+ScenarioSpec ScenarioSpec::FromJson(const JsonValue& v) {
+  ScenarioSpec spec;
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "name") {
+      spec.name = value.AsString();
+    } else if (key == "system") {
+      spec.system = value.AsString();
+    } else if (key == "dataset") {
+      spec.dataset_path = value.AsString();
+    } else if (key == "scheduler") {
+      spec.scheduler = value.AsString();
+    } else if (key == "policy") {
+      spec.policy = value.AsString();
+    } else if (key == "backfill") {
+      spec.backfill = value.AsString();
+    } else if (key == "fast_forward") {
+      spec.fast_forward = value.AsInt();
+    } else if (key == "duration") {
+      spec.duration = value.AsInt();
+    } else if (key == "cooling") {
+      spec.cooling = value.AsBool();
+    } else if (key == "accounts") {
+      spec.accounts = value.AsBool();
+    } else if (key == "accounts_json") {
+      spec.accounts_json = value.AsString();
+    } else if (key == "record_history") {
+      spec.record_history = value.AsBool();
+    } else if (key == "prepopulate") {
+      spec.prepopulate = value.AsBool();
+    } else if (key == "event_triggered_scheduling") {
+      spec.event_triggered_scheduling = value.AsBool();
+    } else if (key == "tick") {
+      spec.tick = value.AsInt();
+    } else if (key == "power_cap_w") {
+      spec.power_cap_w = value.AsDouble();
+    } else if (key == "html_report") {
+      spec.html_report = value.AsBool();
+    } else if (key == "outages") {
+      for (const JsonValue& o : value.AsArray()) {
+        spec.outages.push_back(OutageFromJson(o));
+      }
+    } else {
+      throw std::invalid_argument("ScenarioSpec: unknown key '" + key +
+                                  "' (jobs_override/config_override are "
+                                  "programmatic-only and not file-representable)");
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ScenarioSpec: cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return FromJson(JsonValue::Parse(text.str()));
+}
+
+void ScenarioSpec::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ScenarioSpec: cannot write '" + path + "'");
+  out << ToJson().Dump(2) << "\n";
+}
+
+void ValidateScenarioSpec(const ScenarioSpec& spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("ScenarioSpec: name must not be empty");
+  }
+  if (spec.system.empty()) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': system must not be empty");
+  }
+  if (spec.fast_forward < 0) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': fast_forward must be >= 0, got " +
+                                std::to_string(spec.fast_forward));
+  }
+  if (spec.duration < 0) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': duration must be >= 0, got " +
+                                std::to_string(spec.duration));
+  }
+  if (spec.tick < 0) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': tick must be >= 0 (0 = telemetry interval), got " +
+                                std::to_string(spec.tick));
+  }
+  if (spec.power_cap_w < 0.0) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': power_cap_w must be >= 0 (0 = uncapped), got " +
+                                std::to_string(spec.power_cap_w));
+  }
+  for (const NodeOutage& o : spec.outages) {
+    if (o.nodes.empty()) {
+      throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                  "': outage at t=" + std::to_string(o.at) +
+                                  " lists no nodes");
+    }
+    for (int n : o.nodes) {
+      if (n < 0) {
+        throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                    "': outage node id " + std::to_string(n) +
+                                    " is negative");
+      }
+    }
+  }
+}
+
+}  // namespace sraps

@@ -1,0 +1,80 @@
+// ScenarioSpec: the declarative description of one digital-twin what-if —
+// which system, which workload, which scheduler/policy/backfill, what
+// window, and which perturbations (power cap, outages, cooling coupling).
+// Specs are plain data: they serialise to/from JSON so scenario files can
+// drive the CLI and the ExperimentRunner, and they are cheap to copy so a
+// sweep can stamp out N variants from one base.
+//
+// The two programmatic escape hatches — `jobs_override` (inject a workload
+// without a dataset) and `config_override` (inject a custom SystemConfig) —
+// intentionally do NOT round-trip through JSON; a scenario file describes
+// them by `dataset_path` and `system` instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "config/system_config.h"
+#include "engine/simulation_engine.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+struct ScenarioSpec {
+  std::string name = "scenario";  ///< label in experiment tables/outputs
+
+  // --- what to simulate -----------------------------------------------------
+  std::string system = "mini";       ///< --system
+  std::string dataset_path;          ///< -f; empty = use jobs_override
+  /// Programmatic workload (tests/benches).  Consumed at Build: the engine
+  /// takes ownership (engine().jobs()); the spec a Simulation retains has
+  /// this field emptied.
+  std::vector<Job> jobs_override;
+  std::optional<SystemConfig> config_override;  ///< e.g. FugakuSliceConfig
+
+  // --- scheduling -----------------------------------------------------------
+  std::string scheduler = "default";  ///< SchedulerRegistry name
+  std::string policy = "replay";      ///< PolicyRegistry name
+  std::string backfill = "none";      ///< BackfillRegistry name
+
+  // --- window ---------------------------------------------------------------
+  SimDuration fast_forward = 0;  ///< -ff: skip this far into the dataset
+  SimDuration duration = 0;      ///< -t: 0 = run to the dataset's end
+
+  // --- toggles --------------------------------------------------------------
+  bool cooling = false;          ///< -c: couple the cooling model
+  bool accounts = false;         ///< --accounts: accumulate account stats
+  std::string accounts_json;     ///< --accounts-json: reload a collection run
+  bool record_history = true;
+  bool prepopulate = true;
+  bool event_triggered_scheduling = true;
+  SimDuration tick = 0;          ///< 0 = system telemetry interval
+  double power_cap_w = 0.0;      ///< facility power cap (0 = uncapped)
+  std::vector<NodeOutage> outages;  ///< failure-injection schedule
+  bool html_report = false;      ///< also write report.html in SaveOutputs
+
+  /// Serialises every file-representable field (not jobs_override /
+  /// config_override) with deterministic key order.
+  JsonValue ToJson() const;
+
+  /// Inverse of ToJson.  Unknown keys throw std::invalid_argument (catching
+  /// scenario-file typos); missing keys keep their defaults.
+  static ScenarioSpec FromJson(const JsonValue& v);
+
+  /// File convenience wrappers; Load throws std::runtime_error on I/O or
+  /// parse failure, std::invalid_argument on unknown keys.
+  static ScenarioSpec LoadFile(const std::string& path);
+  void SaveFile(const std::string& path) const;
+};
+
+/// Value-level validation shared by the builder and the facade: rejects
+/// negative fast-forward/duration/tick, negative power cap, malformed
+/// outages (empty node list, negative node ids), and an empty name, with
+/// descriptive std::invalid_argument messages.  Name resolution (system /
+/// scheduler / policy / backfill) is validated separately against the
+/// registries by SimulationBuilder.
+void ValidateScenarioSpec(const ScenarioSpec& spec);
+
+}  // namespace sraps

@@ -7,13 +7,9 @@
 #include <stdexcept>
 
 #include "common/csv.h"
-#include "dataloaders/dataloader.h"
+#include "core/simulation_builder.h"
 #include "report/html_report.h"
 #include "stats/user_stats.h"
-#include "extsched/external_bridge.h"
-#include "extsched/fastsim.h"
-#include "extsched/scheduleflow.h"
-#include "sched/builtin_scheduler.h"
 
 namespace sraps {
 namespace fs = std::filesystem;
@@ -32,70 +28,8 @@ DatasetWindow ComputeDatasetWindow(const std::vector<Job>& jobs) {
   return w;
 }
 
-Simulation::Simulation(SimulationOptions options) : options_(std::move(options)) {
-  // 1. System configuration (plugin-selected by name, or injected).
-  config_ = options_.config_override ? *options_.config_override
-                                     : MakeSystemConfig(options_.system);
-
-  // 2. Workload: dataset through the registered dataloader, or injected jobs.
-  std::vector<Job> jobs;
-  if (!options_.dataset_path.empty()) {
-    RegisterBuiltinDataloaders();
-    jobs = DataloaderRegistry::Instance().Get(options_.system).Load(options_.dataset_path);
-  } else {
-    jobs = options_.jobs_override;
-  }
-  if (jobs.empty()) throw std::invalid_argument("Simulation: no jobs to simulate");
-
-  // 3. Window: -ff offsets from the dataset's first event; -t bounds it.
-  const DatasetWindow window = ComputeDatasetWindow(jobs);
-  sim_start_ = window.begin + options_.fast_forward;
-  sim_end_ = options_.duration > 0 ? sim_start_ + options_.duration : window.end;
-  if (sim_end_ <= sim_start_) {
-    throw std::invalid_argument("Simulation: empty window (check -ff/-t)");
-  }
-
-  // 4. Collection-phase accounts for the experimental policies.
-  if (!options_.accounts_json.empty()) {
-    policy_accounts_ = AccountRegistry::Load(options_.accounts_json);
-  }
-
-  // 5. Scheduler.
-  std::unique_ptr<Scheduler> scheduler;
-  if (options_.scheduler == "default" || options_.scheduler == "experimental") {
-    // `experimental` is the artifact's name for the account-policy module;
-    // both route to the built-in scheduler, which hosts all policies.
-    scheduler =
-        MakeBuiltinScheduler(options_.policy, options_.backfill, &policy_accounts_);
-  } else if (options_.scheduler == "scheduleflow") {
-    scheduler = std::make_unique<ExternalSchedulerBridge>(
-        std::make_unique<ScheduleFlowSim>(config_.TotalNodes()));
-  } else if (options_.scheduler == "fastsim") {
-    auto sim = std::make_unique<FastSim>(config_.TotalNodes());
-    sim->AddJobs(ToFastSimJobs(jobs));
-    scheduler = std::make_unique<FastSimScheduler>(std::move(sim));
-  } else {
-    throw std::invalid_argument("Simulation: unknown scheduler '" + options_.scheduler +
-                                "'");
-  }
-
-  // 6. Engine.
-  EngineOptions eo;
-  eo.sim_start = sim_start_;
-  eo.sim_end = sim_end_;
-  eo.tick = options_.tick;
-  eo.enable_cooling = options_.cooling;
-  eo.record_history = options_.record_history;
-  eo.prepopulate = options_.prepopulate;
-  eo.event_triggered_scheduling = options_.event_triggered_scheduling;
-  eo.track_accounts = options_.accounts;
-  eo.power_cap_w = options_.power_cap_w;
-  eo.outages = options_.outages;
-  // The engine's own registry continues accumulating on top of any reloaded
-  // collection run (the paper's cross-simulation aggregation).
-  engine_ = std::make_unique<SimulationEngine>(config_, std::move(jobs),
-                                               std::move(scheduler), eo,
-                                               policy_accounts_);
+Simulation::Simulation(ScenarioSpec options) {
+  SimulationBuilder(std::move(options)).BuildInto(*this);
 }
 
 void Simulation::Run() {

@@ -4,6 +4,12 @@
 //           --backfill easy -ff 4381000 -t 61000 -o --accounts [-c]
 // and produces the artifact's outputs (power/utilisation history, stats.out,
 // job_history.csv, accounts.json).
+//
+// Construction goes through SimulationBuilder (core/simulation_builder.h),
+// which validates the ScenarioSpec and resolves every component — system
+// config, dataloader, scheduler, policy, backfill — through the unified
+// registries.  The `Simulation(ScenarioSpec)` constructor is a thin shim
+// over the builder, kept so the original one-shot facade keeps working.
 #pragma once
 
 #include <memory>
@@ -13,45 +19,22 @@
 
 #include "accounts/accounts.h"
 #include "config/system_config.h"
+#include "core/scenario.h"
 #include "engine/simulation_engine.h"
 #include "workload/job.h"
 
 namespace sraps {
 
-struct SimulationOptions {
-  // --- what to simulate -----------------------------------------------------
-  std::string system = "mini";       ///< --system
-  std::string dataset_path;          ///< -f; empty = use jobs_override
-  std::vector<Job> jobs_override;    ///< programmatic workload (tests/benches)
-  std::optional<SystemConfig> config_override;  ///< e.g. FugakuSliceConfig
-
-  // --- scheduling -------------------------------------------------------------
-  std::string scheduler = "default";  ///< default | experimental | scheduleflow | fastsim
-  std::string policy = "replay";      ///< --policy
-  std::string backfill = "none";      ///< --backfill
-
-  // --- window ---------------------------------------------------------------
-  SimDuration fast_forward = 0;  ///< -ff: skip this far into the dataset
-  SimDuration duration = 0;      ///< -t: 0 = run to the dataset's end
-
-  // --- toggles ----------------------------------------------------------------
-  bool cooling = false;          ///< -c: couple the cooling model
-  bool accounts = false;         ///< --accounts: accumulate account stats
-  std::string accounts_json;     ///< --accounts-json: reload a collection run
-  bool record_history = true;
-  bool prepopulate = true;
-  bool event_triggered_scheduling = true;
-  SimDuration tick = 0;          ///< 0 = system telemetry interval
-  double power_cap_w = 0.0;      ///< facility power cap (0 = uncapped)
-  std::vector<NodeOutage> outages;  ///< failure-injection schedule
-  bool html_report = false;      ///< also write report.html in SaveOutputs
-};
+/// Backwards-compatible name for the declarative scenario description the
+/// facade consumes; new code should say ScenarioSpec.
+using SimulationOptions = ScenarioSpec;
 
 class Simulation {
  public:
-  /// Builds (loads data, constructs scheduler and engine).  Throws on any
+  /// Thin shim: delegates to SimulationBuilder (loads data, constructs
+  /// scheduler and engine).  Throws std::invalid_argument on any
   /// configuration error.
-  explicit Simulation(SimulationOptions options);
+  explicit Simulation(ScenarioSpec options);
 
   /// Runs to the end of the window and records the wall-clock cost.
   void Run();
@@ -59,7 +42,9 @@ class Simulation {
   const SimulationEngine& engine() const { return *engine_; }
   SimulationEngine& mutable_engine() { return *engine_; }
   const SystemConfig& config() const { return config_; }
-  const SimulationOptions& options() const { return options_; }
+  const ScenarioSpec& spec() const { return options_; }
+  /// Backwards-compatible alias of spec().
+  const ScenarioSpec& options() const { return options_; }
 
   /// Wall-clock seconds spent inside Run() (for speedup-vs-realtime claims).
   double wall_seconds() const { return wall_seconds_; }
@@ -76,7 +61,10 @@ class Simulation {
   SimTime sim_end() const { return sim_end_; }
 
  private:
-  SimulationOptions options_;
+  friend class SimulationBuilder;  ///< assembles all state via BuildInto
+  Simulation() = default;
+
+  ScenarioSpec options_;
   SystemConfig config_;
   AccountRegistry policy_accounts_;  ///< collection-phase snapshot for acct_* policies
   std::unique_ptr<SimulationEngine> engine_;

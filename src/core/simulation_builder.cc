@@ -1,0 +1,258 @@
+#include "core/simulation_builder.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "accounts/accounts.h"
+#include "core/simulation.h"
+#include "dataloaders/dataloader.h"
+#include "extsched/extsched_registry.h"
+#include "sched/policies.h"
+#include "sched/scheduler_registry.h"
+
+namespace sraps {
+
+void EnsureBuiltinComponents() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    RegisterBuiltinDataloaders();
+    SchedulerRegistry();   // self-populates "default"/"experimental"
+    PolicyRegistry();      // self-populates the built-in policies
+    BackfillRegistry();    // self-populates the built-in backfill modes
+    RegisterExternalSchedulers();  // "scheduleflow", "fastsim"
+  });
+}
+
+SimulationBuilder& SimulationBuilder::WithName(std::string name) {
+  if (name.empty()) {
+    throw std::invalid_argument("SimulationBuilder: scenario name must not be empty");
+  }
+  spec_.name = std::move(name);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithSystem(std::string system) {
+  if (system.empty()) {
+    throw std::invalid_argument("SimulationBuilder: system must not be empty");
+  }
+  spec_.system = std::move(system);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithDataset(std::string path) {
+  spec_.dataset_path = std::move(path);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithJobs(std::vector<Job> jobs) {
+  spec_.jobs_override = std::move(jobs);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithConfig(SystemConfig config) {
+  spec_.config_override = std::move(config);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithScheduler(const std::string& scheduler) {
+  EnsureBuiltinComponents();
+  SchedulerRegistry().Get(scheduler);  // throws listing available names
+  spec_.scheduler = scheduler;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithPolicy(const std::string& policy) {
+  EnsureBuiltinComponents();
+  PolicyRegistry().Get(policy);
+  spec_.policy = policy;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithBackfill(const std::string& backfill) {
+  EnsureBuiltinComponents();
+  if (!backfill.empty()) BackfillRegistry().Get(backfill);
+  spec_.backfill = backfill;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithFastForward(SimDuration ff) {
+  if (ff < 0) {
+    throw std::invalid_argument("SimulationBuilder: fast_forward must be >= 0, got " +
+                                std::to_string(ff));
+  }
+  spec_.fast_forward = ff;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithDuration(SimDuration duration) {
+  if (duration < 0) {
+    throw std::invalid_argument("SimulationBuilder: duration must be >= 0, got " +
+                                std::to_string(duration));
+  }
+  spec_.duration = duration;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithTick(SimDuration tick) {
+  if (tick < 0) {
+    throw std::invalid_argument(
+        "SimulationBuilder: tick must be >= 0 (0 = telemetry interval), got " +
+        std::to_string(tick));
+  }
+  spec_.tick = tick;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithCooling(bool on) {
+  spec_.cooling = on;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithAccounts(bool on) {
+  spec_.accounts = on;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithAccountsJson(std::string path) {
+  spec_.accounts_json = std::move(path);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithPowerCapW(double watts) {
+  if (watts < 0.0) {
+    throw std::invalid_argument(
+        "SimulationBuilder: power cap must be >= 0 W (0 = uncapped), got " +
+        std::to_string(watts));
+  }
+  spec_.power_cap_w = watts;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithOutage(NodeOutage outage) {
+  if (outage.nodes.empty()) {
+    throw std::invalid_argument("SimulationBuilder: outage at t=" +
+                                std::to_string(outage.at) + " lists no nodes");
+  }
+  for (int n : outage.nodes) {
+    if (n < 0) {
+      throw std::invalid_argument("SimulationBuilder: outage node id " +
+                                  std::to_string(n) + " is negative");
+    }
+  }
+  spec_.outages.push_back(std::move(outage));
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithRecordHistory(bool on) {
+  spec_.record_history = on;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithPrepopulate(bool on) {
+  spec_.prepopulate = on;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithEventTriggeredScheduling(bool on) {
+  spec_.event_triggered_scheduling = on;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithHtmlReport(bool on) {
+  spec_.html_report = on;
+  return *this;
+}
+
+void SimulationBuilder::Validate() const {
+  EnsureBuiltinComponents();
+  ValidateScenarioSpec(spec_);
+  SchedulerRegistry().Get(spec_.scheduler);
+  const PolicyDef& policy = PolicyRegistry().Get(spec_.policy);
+  if (policy.needs_accounts && spec_.accounts_json.empty()) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name + "': policy '" + spec_.policy +
+        "' ranks by a collection-phase account snapshot; set accounts_json to a "
+        "previous run's accounts.json");
+  }
+  if (!spec_.backfill.empty()) BackfillRegistry().Get(spec_.backfill);
+  if (spec_.dataset_path.empty() && spec_.jobs_override.empty()) {
+    throw std::invalid_argument("ScenarioSpec '" + spec_.name +
+                                "': no jobs to simulate (set a dataset path or "
+                                "inject jobs)");
+  }
+}
+
+std::unique_ptr<Simulation> SimulationBuilder::Build() const {
+  std::unique_ptr<Simulation> sim(new Simulation());
+  BuildInto(*sim);
+  return sim;
+}
+
+void SimulationBuilder::BuildInto(Simulation& sim) const {
+  Validate();
+  // The facade retains the spec for its scalar observers; the workload is
+  // owned by the engine (engine().jobs()), so the retained copy's
+  // jobs_override is moved into the engine rather than duplicated.
+  sim.options_ = spec_;
+  ScenarioSpec& spec = sim.options_;
+
+  // 1. System configuration (registry-selected by name, or injected).
+  sim.config_ =
+      spec.config_override ? *spec.config_override : MakeSystemConfig(spec.system);
+
+  // 2. Workload: dataset through the registered dataloader, or injected jobs.
+  std::vector<Job> jobs;
+  if (!spec.dataset_path.empty()) {
+    jobs = DataloaderRegistry::Instance().Get(spec.system).Load(spec.dataset_path);
+  } else {
+    jobs = std::move(spec.jobs_override);
+  }
+  if (jobs.empty()) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': dataset yielded no jobs");
+  }
+
+  // 3. Window: -ff offsets from the dataset's first event; -t bounds it.
+  const DatasetWindow window = ComputeDatasetWindow(jobs);
+  sim.sim_start_ = window.begin + spec.fast_forward;
+  sim.sim_end_ = spec.duration > 0 ? sim.sim_start_ + spec.duration : window.end;
+  if (sim.sim_end_ <= sim.sim_start_) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': empty simulation window (check -ff/-t)");
+  }
+
+  // 4. Collection-phase accounts for the experimental policies.
+  if (!spec.accounts_json.empty()) {
+    sim.policy_accounts_ = AccountRegistry::Load(spec.accounts_json);
+  }
+
+  // 5. Scheduler, through the unified registry.
+  SchedulerFactoryContext ctx;
+  ctx.config = &sim.config_;
+  ctx.jobs = &jobs;
+  ctx.policy = spec.policy;
+  ctx.backfill = spec.backfill;
+  ctx.accounts = &sim.policy_accounts_;
+  std::unique_ptr<Scheduler> scheduler = SchedulerRegistry().Get(spec.scheduler)(ctx);
+
+  // 6. Engine.
+  EngineOptions eo;
+  eo.sim_start = sim.sim_start_;
+  eo.sim_end = sim.sim_end_;
+  eo.tick = spec.tick;
+  eo.enable_cooling = spec.cooling;
+  eo.record_history = spec.record_history;
+  eo.prepopulate = spec.prepopulate;
+  eo.event_triggered_scheduling = spec.event_triggered_scheduling;
+  eo.track_accounts = spec.accounts;
+  eo.power_cap_w = spec.power_cap_w;
+  eo.outages = spec.outages;
+  // The engine's own registry continues accumulating on top of any reloaded
+  // collection run (the paper's cross-simulation aggregation).
+  sim.engine_ = std::make_unique<SimulationEngine>(sim.config_, std::move(jobs),
+                                                   std::move(scheduler), eo,
+                                                   sim.policy_accounts_);
+}
+
+}  // namespace sraps

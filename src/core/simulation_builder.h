@@ -1,0 +1,86 @@
+// Fluent, incrementally-validated construction of a Simulation from a
+// ScenarioSpec.  Every setter rejects bad input immediately with a
+// descriptive std::invalid_argument (unknown registry names list the
+// available options); Build() performs the remaining whole-spec validation,
+// resolves every component through the unified registries, and assembles
+// the engine.
+//
+//   auto sim = SimulationBuilder()
+//                  .WithSystem("marconi100")
+//                  .WithDataset(path)
+//                  .WithPolicy("fcfs")
+//                  .WithBackfill("easy")
+//                  .WithDuration(17 * kHour)
+//                  .Build();
+//   sim->Run();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace sraps {
+
+class Simulation;
+
+class SimulationBuilder {
+ public:
+  SimulationBuilder() = default;
+  /// Starts from an existing spec (e.g. a loaded scenario file).  The spec
+  /// is validated on Build, not here.
+  explicit SimulationBuilder(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  // --- identity / workload --------------------------------------------------
+  SimulationBuilder& WithName(std::string name);
+  SimulationBuilder& WithSystem(std::string system);
+  SimulationBuilder& WithDataset(std::string path);
+  SimulationBuilder& WithJobs(std::vector<Job> jobs);
+  SimulationBuilder& WithConfig(SystemConfig config);
+
+  // --- scheduling (validated against the registries) ------------------------
+  SimulationBuilder& WithScheduler(const std::string& scheduler);
+  SimulationBuilder& WithPolicy(const std::string& policy);
+  SimulationBuilder& WithBackfill(const std::string& backfill);
+
+  // --- window ---------------------------------------------------------------
+  SimulationBuilder& WithFastForward(SimDuration ff);
+  SimulationBuilder& WithDuration(SimDuration duration);
+  SimulationBuilder& WithTick(SimDuration tick);
+
+  // --- what-if knobs --------------------------------------------------------
+  SimulationBuilder& WithCooling(bool on = true);
+  SimulationBuilder& WithAccounts(bool on = true);
+  SimulationBuilder& WithAccountsJson(std::string path);
+  SimulationBuilder& WithPowerCapW(double watts);
+  SimulationBuilder& WithOutage(NodeOutage outage);
+  SimulationBuilder& WithRecordHistory(bool on);
+  SimulationBuilder& WithPrepopulate(bool on);
+  SimulationBuilder& WithEventTriggeredScheduling(bool on);
+  SimulationBuilder& WithHtmlReport(bool on = true);
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// Whole-spec validation without building; throws std::invalid_argument.
+  void Validate() const;
+
+  /// Validates, resolves components through the registries, loads the
+  /// dataset, and assembles the engine.
+  std::unique_ptr<Simulation> Build() const;
+
+ private:
+  friend class Simulation;  // the Simulation(ScenarioSpec) shim delegates here
+  void BuildInto(Simulation& sim) const;
+
+  ScenarioSpec spec_;
+};
+
+/// Registers every built-in component — dataloaders, the built-in scheduler
+/// ("default"/"experimental"), the external couplings ("scheduleflow",
+/// "fastsim"), policies, and backfill strategies.  Idempotent and
+/// thread-safe; the builder calls it automatically, the CLI calls it to
+/// print available names.
+void EnsureBuiltinComponents();
+
+}  // namespace sraps

@@ -16,34 +16,20 @@ DataloaderRegistry& DataloaderRegistry::Instance() {
 }
 
 void DataloaderRegistry::Register(std::unique_ptr<Dataloader> loader) {
-  for (auto& existing : loaders_) {
-    if (existing->system_name() == loader->system_name()) {
-      existing = std::move(loader);  // replace: latest registration wins
-      return;
-    }
-  }
-  loaders_.push_back(std::move(loader));
+  const std::string name = loader->system_name();
+  loaders_.Register(name, std::move(loader));
 }
 
 const Dataloader& DataloaderRegistry::Get(const std::string& system) const {
-  for (const auto& l : loaders_) {
-    if (l->system_name() == system) return *l;
-  }
-  throw std::invalid_argument("No dataloader registered for system '" + system + "'");
+  return *loaders_.Get(system);
 }
 
 bool DataloaderRegistry::Has(const std::string& system) const {
-  for (const auto& l : loaders_) {
-    if (l->system_name() == system) return true;
-  }
-  return false;
+  return loaders_.Has(system);
 }
 
 std::vector<std::string> DataloaderRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(loaders_.size());
-  for (const auto& l : loaders_) names.push_back(l->system_name());
-  return names;
+  return loaders_.Names();
 }
 
 void RegisterBuiltinDataloaders() {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/registry.h"
 #include "config/system_config.h"
 #include "workload/job.h"
 
@@ -34,20 +35,20 @@ class Dataloader {
   virtual std::vector<Job> Load(const std::string& path) const = 0;
 };
 
-/// Registry keyed by system name (plugin mechanism).  Thread-compatible:
-/// registration happens at startup, lookups afterwards.
+/// Registry keyed by system name (plugin mechanism), backed by the unified
+/// NamedRegistry used for schedulers, policies, and backfill strategies.
 class DataloaderRegistry {
  public:
   static DataloaderRegistry& Instance();
 
   void Register(std::unique_ptr<Dataloader> loader);
-  /// Throws std::invalid_argument for unknown systems.
+  /// Throws std::invalid_argument listing the registered systems.
   const Dataloader& Get(const std::string& system) const;
   bool Has(const std::string& system) const;
   std::vector<std::string> Names() const;
 
  private:
-  std::vector<std::unique_ptr<Dataloader>> loaders_;
+  NamedRegistry<std::unique_ptr<Dataloader>> loaders_{"dataloader"};
 };
 
 /// Registers the five built-in loaders (frontier, marconi100, fugaku,

@@ -20,7 +20,28 @@ SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
       accounts_(std::move(accounts)) {
   if (!scheduler_) throw std::invalid_argument("SimulationEngine: null scheduler");
   if (options_.sim_end <= options_.sim_start) {
-    throw std::invalid_argument("SimulationEngine: sim_end must be > sim_start");
+    throw std::invalid_argument(
+        "SimulationEngine: sim_end (" + std::to_string(options_.sim_end) +
+        ") must be > sim_start (" + std::to_string(options_.sim_start) + ")");
+  }
+  if (options_.tick < 0) {
+    throw std::invalid_argument("SimulationEngine: tick must be >= 0 (0 = telemetry "
+                                "interval), got " + std::to_string(options_.tick));
+  }
+  if (options_.power_cap_w < 0.0) {
+    throw std::invalid_argument("SimulationEngine: power cap must be >= 0 W (0 = "
+                                "uncapped), got " + std::to_string(options_.power_cap_w));
+  }
+  for (const NodeOutage& o : options_.outages) {
+    for (int n : o.nodes) {
+      if (n < 0 || n >= config_.TotalNodes()) {
+        throw std::invalid_argument(
+            "SimulationEngine: outage at t=" + std::to_string(o.at) + " names node " +
+            std::to_string(n) + ", outside [0, " +
+            std::to_string(config_.TotalNodes()) + ") for system '" + config_.name +
+            "'");
+      }
+    }
   }
   tick_ = options_.tick > 0 ? options_.tick : config_.telemetry_interval;
   if (tick_ <= 0) throw std::invalid_argument("SimulationEngine: tick must be > 0");

@@ -1,0 +1,214 @@
+#include "experiment/experiment_runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/simulation.h"
+#include "core/simulation_builder.h"
+#include "dataloaders/dataloader.h"
+
+namespace sraps {
+
+ExperimentRunner::ExperimentRunner(ScenarioSpec base) : base_(std::move(base)) {}
+
+ExperimentRunner& ExperimentRunner::Add(
+    const std::string& name, const std::function<void(ScenarioSpec&)>& mutate) {
+  if (name.empty()) {
+    throw std::invalid_argument("ExperimentRunner: scenario name must not be empty");
+  }
+  // Copy the base without duplicating its workload: variants share the
+  // load-once job set, substituted per run in RunAll.  A mutate callback may
+  // still inject a custom jobs_override of its own.
+  std::vector<Job> base_jobs = std::move(base_.jobs_override);
+  ScenarioSpec spec = base_;
+  base_.jobs_override = std::move(base_jobs);
+  if (mutate) mutate(spec);
+  spec.name = name;
+  return Add(std::move(spec));
+}
+
+ExperimentRunner& ExperimentRunner::Add(ScenarioSpec spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("ExperimentRunner: scenario name must not be empty");
+  }
+  for (const ScenarioSpec& existing : scenarios_) {
+    if (existing.name == spec.name) {
+      throw std::invalid_argument("ExperimentRunner: duplicate scenario name '" +
+                                  spec.name + "'");
+    }
+  }
+  scenarios_.push_back(std::move(spec));
+  return *this;
+}
+
+void ExperimentRunner::EnsureJobsLoaded() {
+  if (jobs_loaded_) return;
+  if (!base_.dataset_path.empty()) {
+    EnsureBuiltinComponents();
+    jobs_ =
+        DataloaderRegistry::Instance().Get(base_.system).Load(base_.dataset_path);
+  } else {
+    jobs_ = base_.jobs_override;
+  }
+  if (jobs_.empty()) {
+    throw std::invalid_argument(
+        "ExperimentRunner: base scenario '" + base_.name +
+        "' yields no jobs (set dataset_path or jobs_override)");
+  }
+  jobs_loaded_ = true;
+}
+
+ScenarioResult ExperimentRunner::RunOne(ScenarioSpec spec,
+                                        const std::string& output_dir) const {
+  ScenarioResult r;
+  r.name = spec.name;
+  try {
+    auto sim = SimulationBuilder(std::move(spec)).Build();
+    sim->Run();
+    if (!output_dir.empty()) sim->SaveOutputs(output_dir + "/" + r.name);
+    const SimulationEngine& eng = sim->engine();
+    r.counters = eng.counters();
+    r.avg_wait_s = eng.stats().AvgWaitSeconds();
+    r.avg_turnaround_s = eng.stats().AvgTurnaroundSeconds();
+    r.total_energy_j = eng.stats().TotalEnergyJ();
+    if (eng.recorder().Has("power_kw")) {
+      r.mean_power_kw = eng.recorder().MeanOf("power_kw");
+      r.max_power_kw = eng.recorder().MaxOf("power_kw");
+      r.mean_util_pct = eng.recorder().MeanOf("utilization");
+    }
+    if (eng.recorder().Has("pue")) {
+      r.mean_pue = eng.recorder().MeanOf("pue");
+    }
+    r.sim_start = sim->sim_start();
+    r.sim_end = sim->sim_end();
+    r.wall_seconds = sim->wall_seconds();
+    r.stats = eng.stats().ToJson();
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+std::vector<ScenarioResult> ExperimentRunner::RunAll(const ExperimentOptions& options) {
+  if (scenarios_.empty()) {
+    throw std::invalid_argument("ExperimentRunner: no scenarios added");
+  }
+  EnsureJobsLoaded();
+
+  // Substitute the shared, load-once job set into every variant that still
+  // points at the base workload; a variant that overrides the dataset or
+  // injects its own jobs keeps its override.
+  std::vector<ScenarioSpec> specs = scenarios_;
+  for (ScenarioSpec& spec : specs) {
+    // A variant shares the base workload unless it injected its own jobs or
+    // points at a different dataset.  (With no dataset the jobs were injected
+    // programmatically, so a variant may even swap the system under them.)
+    const bool same_workload =
+        spec.jobs_override.empty() && spec.dataset_path == base_.dataset_path &&
+        (base_.dataset_path.empty() || spec.system == base_.system);
+    if (same_workload) {
+      spec.dataset_path.clear();
+      spec.jobs_override = jobs_;  // per-variant copy: the engine takes ownership
+    }
+  }
+
+  unsigned threads = options.threads != 0 ? options.threads
+                                          : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > specs.size()) threads = static_cast<unsigned>(specs.size());
+
+  std::vector<ScenarioResult> results(specs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < specs.size(); i = next.fetch_add(1)) {
+      results[i] = RunOne(std::move(specs[i]), options.output_dir);
+      // Record the *pre-substitution* spec: it still names the dataset, so
+      // the JSON export describes a reproducible run instead of carrying
+      // (unserialisable) injected jobs.
+      results[i].spec = scenarios_[i];
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+std::string ComparisonTable(const std::vector<ScenarioResult>& results) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %6s %9s %9s %10s %8s %11s %8s\n",
+                "scenario", "jobs", "wait[s]", "turn[s]", "power[kW]", "util[%]",
+                "energy[MWh]", "wall[s]");
+  out += line;
+  for (const ScenarioResult& r : results) {
+    if (!r.ok) {
+      std::snprintf(line, sizeof(line), "%-24s FAILED: %s\n", r.name.c_str(),
+                    r.error.c_str());
+      out += line;
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-24s %6zu %9.0f %9.0f %10.1f %8.1f %11.3f %8.2f\n",
+                  r.name.c_str(), r.counters.completed, r.avg_wait_s,
+                  r.avg_turnaround_s, r.mean_power_kw, r.mean_util_pct,
+                  r.total_energy_j / 3.6e9, r.wall_seconds);
+    out += line;
+  }
+  return out;
+}
+
+JsonValue ResultsToJson(const std::vector<ScenarioResult>& results) {
+  JsonArray scenarios;
+  scenarios.reserve(results.size());
+  for (const ScenarioResult& r : results) {
+    JsonObject obj;
+    obj["name"] = r.name;
+    obj["ok"] = r.ok;
+    obj["spec"] = r.spec.ToJson();
+    if (!r.ok) {
+      obj["error"] = r.error;
+      scenarios.emplace_back(std::move(obj));
+      continue;
+    }
+    JsonObject counters;
+    counters["submitted"] = JsonValue(static_cast<std::int64_t>(r.counters.submitted));
+    counters["started"] = JsonValue(static_cast<std::int64_t>(r.counters.started));
+    counters["completed"] = JsonValue(static_cast<std::int64_t>(r.counters.completed));
+    counters["dismissed"] = JsonValue(static_cast<std::int64_t>(r.counters.dismissed));
+    counters["prepopulated"] =
+        JsonValue(static_cast<std::int64_t>(r.counters.prepopulated));
+    counters["scheduler_invocations"] =
+        JsonValue(static_cast<std::int64_t>(r.counters.scheduler_invocations));
+    counters["scheduler_skips"] =
+        JsonValue(static_cast<std::int64_t>(r.counters.scheduler_skips));
+    obj["counters"] = JsonValue(std::move(counters));
+    obj["avg_wait_s"] = r.avg_wait_s;
+    obj["avg_turnaround_s"] = r.avg_turnaround_s;
+    obj["total_energy_j"] = r.total_energy_j;
+    obj["mean_power_kw"] = r.mean_power_kw;
+    obj["max_power_kw"] = r.max_power_kw;
+    obj["mean_util_pct"] = r.mean_util_pct;
+    obj["mean_pue"] = r.mean_pue;
+    obj["sim_start"] = JsonValue(static_cast<std::int64_t>(r.sim_start));
+    obj["sim_end"] = JsonValue(static_cast<std::int64_t>(r.sim_end));
+    obj["wall_seconds"] = r.wall_seconds;
+    obj["stats"] = r.stats;
+    scenarios.emplace_back(std::move(obj));
+  }
+  JsonObject root;
+  root["scenarios"] = JsonValue(std::move(scenarios));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace sraps

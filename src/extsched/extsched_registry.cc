@@ -1,0 +1,42 @@
+#include "extsched/extsched_registry.h"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "extsched/external_bridge.h"
+#include "extsched/fastsim.h"
+#include "extsched/scheduleflow.h"
+#include "sched/scheduler_registry.h"
+
+namespace sraps {
+
+void RegisterExternalSchedulers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = SchedulerRegistry();
+    reg.Register(
+        "scheduleflow",
+        [](const SchedulerFactoryContext& ctx) -> std::unique_ptr<Scheduler> {
+          if (!ctx.config) {
+            throw std::invalid_argument("scheduleflow factory: no system config");
+          }
+          return std::make_unique<ExternalSchedulerBridge>(
+              std::make_unique<ScheduleFlowSim>(ctx.config->TotalNodes()));
+        },
+        "event-based reservation scheduler coupled through the bridge (§4.2.1)");
+    reg.Register(
+        "fastsim",
+        [](const SchedulerFactoryContext& ctx) -> std::unique_ptr<Scheduler> {
+          if (!ctx.config || !ctx.jobs) {
+            throw std::invalid_argument("fastsim factory: no system config or jobs");
+          }
+          auto sim = std::make_unique<FastSim>(ctx.config->TotalNodes());
+          sim->AddJobs(ToFastSimJobs(*ctx.jobs));
+          return std::make_unique<FastSimScheduler>(std::move(sim));
+        },
+        "discrete-event Slurm emulator in plugin mode (§4.2.2)");
+  });
+}
+
+}  // namespace sraps

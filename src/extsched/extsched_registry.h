@@ -1,0 +1,12 @@
+// Registers the external scheduler couplings of §4.2 ("scheduleflow",
+// "fastsim") into the unified SchedulerRegistry.  Kept out of src/sched/ so
+// the core scheduling layer has no dependency on the external simulators;
+// the simulation builder calls this once at startup.
+#pragma once
+
+namespace sraps {
+
+/// Idempotent; safe to call from multiple threads.
+void RegisterExternalSchedulers();
+
+}  // namespace sraps

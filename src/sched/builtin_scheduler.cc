@@ -210,11 +210,10 @@ std::vector<Placement> BuiltinScheduler::ScheduleOrdered(const SchedulerContext&
 std::unique_ptr<Scheduler> MakeBuiltinScheduler(const std::string& policy,
                                                 const std::string& backfill,
                                                 const AccountRegistry* accounts) {
-  const auto p = ParsePolicy(policy);
-  if (!p) throw std::invalid_argument("Unknown policy '" + policy + "'");
-  const auto b = ParseBackfill(backfill);
-  if (!b) throw std::invalid_argument("Unknown backfill '" + backfill + "'");
-  return std::make_unique<BuiltinScheduler>(*p, *b, accounts);
+  const PolicyDef& p = PolicyRegistry().Get(policy);
+  const BackfillDef b = backfill.empty() ? BackfillDef{BackfillMode::kNone, "none"}
+                                         : BackfillRegistry().Get(backfill);
+  return std::make_unique<BuiltinScheduler>(p.id, b.id, accounts);
 }
 
 }  // namespace sraps

@@ -1,19 +1,64 @@
 #include "sched/policies.h"
 
+#include <mutex>
+
 namespace sraps {
+namespace {
+
+void RegisterBuiltinPolicies(NamedRegistry<PolicyDef>& reg) {
+  auto add = [&reg](const std::string& name, Policy id, bool needs_accounts,
+                    std::string description) {
+    reg.Register(name, PolicyDef{id, needs_accounts, ToString(id)},
+                 std::move(description));
+  };
+  add("replay", Policy::kReplay, false, "re-enact the recorded schedule exactly");
+  add("fcfs", Policy::kFcfs, false, "first-come first-served");
+  add("sjf", Policy::kSjf, false, "shortest job first (runtime estimate)");
+  add("ljf", Policy::kLjf, false, "largest job first (node count)");
+  add("priority", Policy::kPriority, false, "dataset priority, descending");
+  add("ml", Policy::kMl, false, "rank by the ML pipeline's score");
+  add("acct_avg_power", Policy::kAcctAvgPower, true,
+      "descending account average power");
+  add("acct_low_avg_power", Policy::kAcctLowAvgPower, true,
+      "ascending account average power");
+  add("acct_edp", Policy::kAcctEdp, true, "ascending account energy-delay product");
+  add("acct_fugaku_pts", Policy::kAcctFugakuPts, true,
+      "descending Fugaku points (Solorzano et al.)");
+}
+
+void RegisterBuiltinBackfills(NamedRegistry<BackfillDef>& reg) {
+  auto add = [&reg](const std::string& name, BackfillMode id, std::string description) {
+    reg.Register(name, BackfillDef{id, ToString(id)}, std::move(description));
+  };
+  add("none", BackfillMode::kNone, "strict order; blocked head blocks everything");
+  add("nobf", BackfillMode::kNone, "alias of none");
+  add("firstfit", BackfillMode::kFirstFit, "start any queued job that fits now");
+  add("first-fit", BackfillMode::kFirstFit, "alias of firstfit");
+  add("easy", BackfillMode::kEasy, "backfill keeping the head job's reservation");
+  add("conservative", BackfillMode::kConservative,
+      "backfill keeping every queued job's reservation");
+}
+
+}  // namespace
+
+NamedRegistry<PolicyDef>& PolicyRegistry() {
+  static NamedRegistry<PolicyDef> registry("policy");
+  static std::once_flag once;
+  std::call_once(once, [] { RegisterBuiltinPolicies(registry); });
+  return registry;
+}
+
+NamedRegistry<BackfillDef>& BackfillRegistry() {
+  static NamedRegistry<BackfillDef> registry("backfill strategy");
+  static std::once_flag once;
+  std::call_once(once, [] { RegisterBuiltinBackfills(registry); });
+  return registry;
+}
 
 std::optional<Policy> ParsePolicy(const std::string& name) {
-  if (name == "replay") return Policy::kReplay;
-  if (name == "fcfs") return Policy::kFcfs;
-  if (name == "sjf") return Policy::kSjf;
-  if (name == "ljf") return Policy::kLjf;
-  if (name == "priority") return Policy::kPriority;
-  if (name == "ml") return Policy::kMl;
-  if (name == "acct_avg_power") return Policy::kAcctAvgPower;
-  if (name == "acct_low_avg_power") return Policy::kAcctLowAvgPower;
-  if (name == "acct_edp") return Policy::kAcctEdp;
-  if (name == "acct_fugaku_pts") return Policy::kAcctFugakuPts;
-  return std::nullopt;
+  auto& reg = PolicyRegistry();
+  if (!reg.Has(name)) return std::nullopt;
+  return reg.Get(name).id;
 }
 
 std::string ToString(Policy p) {
@@ -33,11 +78,10 @@ std::string ToString(Policy p) {
 }
 
 std::optional<BackfillMode> ParseBackfill(const std::string& name) {
-  if (name == "none" || name == "nobf" || name.empty()) return BackfillMode::kNone;
-  if (name == "firstfit" || name == "first-fit") return BackfillMode::kFirstFit;
-  if (name == "easy") return BackfillMode::kEasy;
-  if (name == "conservative") return BackfillMode::kConservative;
-  return std::nullopt;
+  if (name.empty()) return BackfillMode::kNone;
+  auto& reg = BackfillRegistry();
+  if (!reg.Has(name)) return std::nullopt;
+  return reg.Get(name).id;
 }
 
 std::string ToString(BackfillMode m) {

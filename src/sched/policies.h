@@ -1,9 +1,13 @@
 // Policy and backfill identifiers matching the paper's CLI surface
-// (`--policy`, `--backfill`, §3.2.5 and schedulers/experimental.py §4.3).
+// (`--policy`, `--backfill`, §3.2.5 and schedulers/experimental.py §4.3),
+// resolved through string-keyed registries so aliases and plugin-registered
+// names share one mechanism with schedulers and dataloaders.
 #pragma once
 
 #include <optional>
 #include <string>
+
+#include "common/registry.h"
 
 namespace sraps {
 
@@ -31,13 +35,35 @@ enum class BackfillMode {
                   ///< among policies the default scheduler lacks)
 };
 
-/// CLI-style names: "replay", "fcfs", "sjf", "ljf", "priority", "ml",
-/// "acct_avg_power", "acct_low_avg_power", "acct_edp", "acct_fugaku_pts".
+/// A registered scheduling policy: the enum the built-in scheduler orders
+/// by, plus the metadata the builder needs for incremental validation.
+struct PolicyDef {
+  Policy id = Policy::kReplay;
+  bool needs_accounts = false;  ///< requires a collection-phase AccountRegistry
+  std::string canonical_name;   ///< ToString(id); aliases map here
+};
+
+/// A registered backfill strategy.
+struct BackfillDef {
+  BackfillMode id = BackfillMode::kNone;
+  std::string canonical_name;
+};
+
+/// The `--policy` registry, pre-populated with the built-in names
+/// ("replay", "fcfs", "sjf", "ljf", "priority", "ml", "acct_avg_power",
+/// "acct_low_avg_power", "acct_edp", "acct_fugaku_pts").  Plugins may
+/// register further aliases.
+NamedRegistry<PolicyDef>& PolicyRegistry();
+
+/// The `--backfill` registry, pre-populated with "none" (alias "nobf"),
+/// "firstfit" (alias "first-fit"), "easy", and "conservative".
+NamedRegistry<BackfillDef>& BackfillRegistry();
+
+/// CLI-style names resolved through PolicyRegistry().
 std::optional<Policy> ParsePolicy(const std::string& name);
 std::string ToString(Policy p);
 
-/// "none" (also "nobf"), "firstfit" (also "first-fit"), "easy",
-/// "conservative".
+/// Resolved through BackfillRegistry(); "" means "none".
 std::optional<BackfillMode> ParseBackfill(const std::string& name);
 std::string ToString(BackfillMode m);
 

@@ -1,0 +1,26 @@
+#include "sched/scheduler_registry.h"
+
+#include <mutex>
+
+#include "sched/builtin_scheduler.h"
+
+namespace sraps {
+
+NamedRegistry<SchedulerFactory>& SchedulerRegistry() {
+  static NamedRegistry<SchedulerFactory> registry("scheduler");
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // `experimental` is the artifact's name for the account-policy module;
+    // both route to the built-in scheduler, which hosts all policies.
+    const SchedulerFactory builtin = [](const SchedulerFactoryContext& ctx) {
+      return MakeBuiltinScheduler(ctx.policy, ctx.backfill, ctx.accounts);
+    };
+    registry.Register("default", builtin,
+                      "built-in scheduler (replay + ordering policies + backfill)");
+    registry.Register("experimental", builtin,
+                      "built-in scheduler with the account-derived incentive policies");
+  });
+  return registry;
+}
+
+}  // namespace sraps

@@ -1,0 +1,42 @@
+// The `--scheduler` registry (§3.2.4): string-keyed factories producing the
+// pluggable Scheduler a simulation runs with.  "default" and "experimental"
+// (the built-in scheduler hosting every policy) register here at startup;
+// the external couplings ("scheduleflow", "fastsim") register from
+// src/extsched/; plugins register their own factories the same way —
+// replacing the constructor if/else dispatch the seed facade used.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accounts/accounts.h"
+#include "common/registry.h"
+#include "config/system_config.h"
+#include "sched/scheduler.h"
+#include "workload/job.h"
+
+namespace sraps {
+
+/// Everything a scheduler factory may need.  Pointers are non-owning and
+/// valid for the duration of the factory call only.
+struct SchedulerFactoryContext {
+  const SystemConfig* config = nullptr;     ///< resolved system description
+  const std::vector<Job>* jobs = nullptr;   ///< full workload (pre-window)
+  std::string policy = "replay";            ///< --policy (built-in scheduler)
+  std::string backfill = "none";            ///< --backfill (built-in scheduler)
+  /// Collection-phase account snapshot for the acct_* policies; must outlive
+  /// the produced scheduler.
+  const AccountRegistry* accounts = nullptr;
+};
+
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(const SchedulerFactoryContext&)>;
+
+/// The `--scheduler` registry, pre-populated with "default" and
+/// "experimental".  External couplings are added by
+/// RegisterExternalSchedulers() (src/extsched/extsched_registry.h).
+NamedRegistry<SchedulerFactory>& SchedulerRegistry();
+
+}  // namespace sraps

@@ -152,7 +152,7 @@ std::vector<Job> ValidationWorkload() {
 }
 
 TEST(ValidateTest, ReplayFidelityWithinOneTick) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = ValidationWorkload();
   opts.policy = "replay";
@@ -166,7 +166,7 @@ TEST(ValidateTest, ReplayFidelityWithinOneTick) {
 }
 
 TEST(ValidateTest, RescheduleShowsDeltas) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = ValidationWorkload();
   opts.policy = "fcfs";
@@ -291,7 +291,7 @@ TEST(HtmlReportTest, TooSmallChartThrows) {
 }
 
 TEST(HtmlReportTest, FullReportFromSimulation) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = ValidationWorkload();
   opts.html_report = true;
@@ -312,13 +312,13 @@ TEST(HtmlReportTest, FullReportFromSimulation) {
 }
 
 TEST(HtmlReportTest, ComparisonReportOverlaysRuns) {
-  SimulationOptions a;
+  ScenarioSpec a;
   a.system = "mini";
   a.jobs_override = ValidationWorkload();
   a.policy = "replay";
   Simulation ra(a);
   ra.Run();
-  SimulationOptions b = a;
+  ScenarioSpec b = a;
   b.jobs_override = ValidationWorkload();
   b.policy = "fcfs";
   Simulation rb(b);
@@ -332,7 +332,7 @@ TEST(HtmlReportTest, ComparisonReportOverlaysRuns) {
 // --- power cap -------------------------------------------------------------------------
 
 TEST(PowerCapTest, CapIsRespected) {
-  SimulationOptions uncapped;
+  ScenarioSpec uncapped;
   uncapped.system = "mini";
   uncapped.jobs_override = ValidationWorkload();
   uncapped.policy = "fcfs";
@@ -340,7 +340,7 @@ TEST(PowerCapTest, CapIsRespected) {
   su.Run();
   const double peak = su.engine().recorder().MaxOf("power_kw");
 
-  SimulationOptions capped = uncapped;
+  ScenarioSpec capped = uncapped;
   capped.jobs_override = ValidationWorkload();
   capped.power_cap_w = peak * 1000.0 * 0.8;  // cap at 80 % of the observed peak
   Simulation sc(capped);
@@ -356,7 +356,7 @@ TEST(PowerCapTest, ThrottlingDilatesRuntime) {
   SystemConfig homogeneous = MakeSystemConfig("mini");
   homogeneous.partitions[1].num_nodes = 0;
   homogeneous.partitions[0].num_nodes = 16;
-  SimulationOptions uncapped;
+  ScenarioSpec uncapped;
   uncapped.system = "mini";
   uncapped.config_override = homogeneous;
   uncapped.jobs_override = ValidationWorkload();
@@ -365,7 +365,7 @@ TEST(PowerCapTest, ThrottlingDilatesRuntime) {
   Simulation su(uncapped);
   su.Run();
 
-  SimulationOptions capped = uncapped;
+  ScenarioSpec capped = uncapped;
   capped.jobs_override = ValidationWorkload();
   capped.power_cap_w = su.engine().recorder().MaxOf("power_kw") * 1000.0 * 0.75;
   Simulation sc(capped);
@@ -382,7 +382,7 @@ TEST(PowerCapTest, ThrottlingDilatesRuntime) {
 }
 
 TEST(PowerCapTest, GenerousCapIsNoOp) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = ValidationWorkload();
   opts.power_cap_w = 1e9;

@@ -1,5 +1,7 @@
-// Unit tests for the Simulation facade: CLI-style option handling, dataset
-// loading, window resolution, output files, and scheduler selection.
+// Unit tests for the Simulation facade — the thin ScenarioSpec shim over
+// SimulationBuilder: CLI-style option handling, dataset loading, window
+// resolution, output files, and registry-driven scheduler selection.
+// Builder-specific behaviour is covered in test_scenario.cc.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -31,7 +33,7 @@ std::vector<Job> SmallWorkload(int n = 10) {
 }
 
 TEST(SimulationTest, RunsWithInjectedJobs) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.policy = "fcfs";
@@ -44,7 +46,7 @@ TEST(SimulationTest, RunsWithInjectedJobs) {
 }
 
 TEST(SimulationTest, WindowFromDataset) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   Simulation sim(opts);
@@ -54,7 +56,7 @@ TEST(SimulationTest, WindowFromDataset) {
 }
 
 TEST(SimulationTest, FastForwardAndDuration) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.fast_forward = 120;
@@ -65,7 +67,7 @@ TEST(SimulationTest, FastForwardAndDuration) {
 }
 
 TEST(SimulationTest, EmptyWindowThrows) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.fast_forward = 100 * kDay;  // past everything...
@@ -74,13 +76,13 @@ TEST(SimulationTest, EmptyWindowThrows) {
 }
 
 TEST(SimulationTest, NoJobsThrows) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   EXPECT_THROW(Simulation{opts}, std::invalid_argument);
 }
 
 TEST(SimulationTest, UnknownSchedulerThrows) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.scheduler = "slurm-for-real";
@@ -88,7 +90,7 @@ TEST(SimulationTest, UnknownSchedulerThrows) {
 }
 
 TEST(SimulationTest, UnknownPolicyThrows) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.policy = "lottery";
@@ -103,7 +105,7 @@ TEST(SimulationTest, DatasetPathThroughDataloader) {
   spec.arrival_rate_per_hour = 20;
   GenerateMarconiDataset(dir.string(), spec);
 
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "marconi100";
   opts.dataset_path = dir.string();
   opts.policy = "replay";
@@ -117,7 +119,7 @@ TEST(SimulationTest, DatasetPathThroughDataloader) {
 TEST(SimulationTest, SaveOutputsWritesArtifactFiles) {
   const fs::path dir = fs::temp_directory_path() / "sraps_core_outputs";
   fs::remove_all(dir);
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.accounts = true;
@@ -136,7 +138,7 @@ TEST(SimulationTest, TwoPhaseIncentiveWorkflow) {
   // account-derived policy (the artifact's T11 -> T13..T16 dependency).
   const fs::path dir = fs::temp_directory_path() / "sraps_core_incentive";
   fs::remove_all(dir);
-  SimulationOptions collect;
+  ScenarioSpec collect;
   collect.system = "mini";
   collect.jobs_override = SmallWorkload();
   collect.policy = "replay";
@@ -145,7 +147,7 @@ TEST(SimulationTest, TwoPhaseIncentiveWorkflow) {
   phase1.Run();
   phase1.SaveOutputs(dir.string());
 
-  SimulationOptions redeem;
+  ScenarioSpec redeem;
   redeem.system = "mini";
   redeem.jobs_override = SmallWorkload();
   redeem.scheduler = "experimental";
@@ -159,7 +161,7 @@ TEST(SimulationTest, TwoPhaseIncentiveWorkflow) {
 }
 
 TEST(SimulationTest, ScheduleFlowSchedulerOption) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.scheduler = "scheduleflow";
@@ -169,7 +171,7 @@ TEST(SimulationTest, ScheduleFlowSchedulerOption) {
 }
 
 TEST(SimulationTest, FastSimSchedulerOption) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.scheduler = "fastsim";
@@ -179,7 +181,7 @@ TEST(SimulationTest, FastSimSchedulerOption) {
 }
 
 TEST(SimulationTest, CoolingToggle) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.cooling = true;
@@ -191,7 +193,7 @@ TEST(SimulationTest, CoolingToggle) {
 TEST(SimulationTest, ConfigOverride) {
   SystemConfig custom = MakeSystemConfig("mini");
   custom.partitions[0].num_nodes = 100;
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.config_override = custom;
   opts.jobs_override = SmallWorkload();
@@ -213,7 +215,7 @@ TEST(DatasetWindowTest, CoversAllEvents) {
 class FacadePolicies : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(FacadePolicies, Completes) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = SmallWorkload();
   opts.policy = GetParam();

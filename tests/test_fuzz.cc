@@ -52,7 +52,7 @@ TEST_P(EngineFuzz, InvariantsHold) {
   rs.seed = fc.seed + 2;
   SynthesizeRecordedSchedule(jobs, rs);
 
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = jobs;
   opts.policy = fc.policy;

@@ -42,7 +42,7 @@ std::vector<Job> ContendedWorkload(std::uint64_t seed = 3) {
 double RunAndGet(const std::string& policy, const std::string& backfill,
                  std::vector<Job> jobs, double* mean_power_kw = nullptr,
                  double* mean_util = nullptr, std::size_t* completed = nullptr) {
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = std::move(jobs);
   opts.policy = policy;
@@ -57,7 +57,7 @@ double RunAndGet(const std::string& policy, const std::string& backfill,
 
 TEST(IntegrationTest, ReplayReproducesRecordedSchedule) {
   const auto jobs = ContendedWorkload();
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = jobs;
   opts.policy = "replay";
@@ -77,7 +77,7 @@ TEST(IntegrationTest, RescheduleStartsNoLaterThanRecorded) {
   // The recorded schedule contains operator holds; FCFS rescheduling should
   // start the average job earlier.
   const auto jobs = ContendedWorkload();
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = jobs;
   opts.policy = "fcfs";
@@ -141,7 +141,7 @@ TEST(IntegrationTest, EnergyConservedAcrossPolicies) {
   homogeneous.partitions[1].num_nodes = 0;
   homogeneous.partitions[0].num_nodes = 16;
   const auto jobs = ContendedWorkload();
-  SimulationOptions a;
+  ScenarioSpec a;
   a.system = "mini";
   a.config_override = homogeneous;
   a.jobs_override = jobs;
@@ -149,7 +149,7 @@ TEST(IntegrationTest, EnergyConservedAcrossPolicies) {
   a.backfill = "none";
   Simulation sa(a);
   sa.Run();
-  SimulationOptions b = a;
+  ScenarioSpec b = a;
   b.policy = "sjf";
   b.backfill = "easy";
   b.jobs_override = jobs;
@@ -191,7 +191,7 @@ TEST(IntegrationTest, IncentivePolicyReordersAccounts) {
     j.gpu_util = TraceSeries::Constant(i % 2 ? 1.0 : 0.0);
     phase1.push_back(std::move(j));
   }
-  SimulationOptions collect;
+  ScenarioSpec collect;
   collect.system = "mini";
   collect.jobs_override = phase1;
   collect.policy = "fcfs";
@@ -216,7 +216,7 @@ TEST(IntegrationTest, IncentivePolicyReordersAccounts) {
     j.cpu_util = TraceSeries::Constant(0.5);
     phase2.push_back(std::move(j));
   }
-  SimulationOptions redeem;
+  ScenarioSpec redeem;
   redeem.system = "mini";
   redeem.jobs_override = phase2;
   redeem.scheduler = "experimental";
@@ -249,7 +249,7 @@ TEST(IntegrationTest, CoolingTracksPowerAcrossPolicies) {
   // return temperature.  Compare a serialized (cooler) vs packed (hotter)
   // instantaneous load by comparing max tower temperature.
   const auto jobs = ContendedWorkload(9);
-  SimulationOptions packed;
+  ScenarioSpec packed;
   packed.system = "mini";
   packed.jobs_override = jobs;
   packed.policy = "fcfs";
@@ -258,7 +258,7 @@ TEST(IntegrationTest, CoolingTracksPowerAcrossPolicies) {
   Simulation sp(packed);
   sp.Run();
 
-  SimulationOptions serial = packed;
+  ScenarioSpec serial = packed;
   serial.jobs_override = jobs;
   serial.backfill = "none";
   Simulation ss(serial);
@@ -304,7 +304,7 @@ TEST(IntegrationTest, MlGuidedSchedulingEndToEnd) {
 
   SystemConfig slice = FugakuSliceConfig(256);
   auto run_policy = [&](const std::string& policy) {
-    SimulationOptions o;
+    ScenarioSpec o;
     o.system = "fugaku";
     o.config_override = slice;
     o.jobs_override = eval;
@@ -324,7 +324,7 @@ TEST(IntegrationTest, MlGuidedSchedulingEndToEnd) {
 TEST(IntegrationTest, SpeedupFarExceedsRealtime) {
   // §4.2.2 reports 688x; even the test box should beat real time by far.
   const auto jobs = ContendedWorkload();
-  SimulationOptions opts;
+  ScenarioSpec opts;
   opts.system = "mini";
   opts.jobs_override = jobs;
   opts.policy = "fcfs";
