@@ -2,6 +2,12 @@
 // tick lengths — the quantity behind the artifact's reproduction-time
 // estimates and the paper's 688x FastSim speedup claim.  Also measures the
 // resource-manager hot path at machine scale.
+//
+// The dense/sparse × tick/event grid below feeds the CI perf-regression
+// gate: `--benchmark_format=json` output is compared against
+// bench/bench_baseline.json by bench/check_regression.py, which fails the
+// build on a throughput regression and enforces the event-calendar's
+// speedup floor on the sparse (idle-heavy) workload.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
@@ -29,25 +35,77 @@ std::vector<Job> WorkloadFor(const SystemConfig& config, SimDuration span,
   return jobs;
 }
 
-void BM_EngineTicksPerSecond(benchmark::State& state) {
-  const char* systems[] = {"mini", "adastraMI250", "marconi100", "frontier"};
-  const SystemConfig config = MakeSystemConfig(systems[state.range(0)]);
-  const SimDuration span = 6 * kHour;
-  const auto jobs = WorkloadFor(config, span, 40);
+std::vector<Job> SparseWorkloadFor(const SystemConfig& config, SimDuration span) {
+  // Idle-heavy: ~1 short job per hour, so >80 % of the window has nothing
+  // running and the event calendar can hop submit-to-submit.
+  SyntheticWorkloadSpec wl;
+  wl.horizon = span;
+  wl.arrival_rate_per_hour = 0.5;
+  wl.max_nodes = std::max(1, config.TotalNodes() / 4);
+  wl.mean_nodes_log2 = 2.0;
+  wl.runtime_mu = 5.0;  // ~150 s median runtime
+  wl.runtime_sigma = 0.5;
+  wl.trace_interval = config.telemetry_interval;
+  wl.seed = 47;
+  std::vector<Job> jobs = GenerateSyntheticWorkload(wl);
+  ReplaySynthesisOptions rs;
+  rs.total_nodes = config.TotalNodes();
+  SynthesizeRecordedSchedule(jobs, rs);
+  return jobs;
+}
+
+/// One engine run per iteration; reports simulated seconds per wall second.
+void RunEngineBench(benchmark::State& state, const SystemConfig& config,
+                    const std::vector<Job>& jobs, SimDuration span,
+                    bool event_calendar, bool record_history) {
   double sim_seconds = 0;
   for (auto _ : state) {
     EngineOptions eo;
     eo.sim_start = 0;
     eo.sim_end = span;
-    eo.record_history = false;
+    eo.record_history = record_history;
+    eo.event_calendar = event_calendar;
     SimulationEngine engine(config, jobs, MakeBuiltinScheduler("fcfs", "easy"), eo);
     engine.Run();
     sim_seconds += static_cast<double>(span);
     benchmark::DoNotOptimize(engine.counters().completed);
   }
-  state.SetLabel(config.name);
+  state.SetLabel(config.name + (event_calendar ? "/event" : "/tick"));
   state.counters["sim_s_per_wall_s"] =
       benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+}
+
+void BM_EngineTicksPerSecond(benchmark::State& state) {
+  // Dense mix (queue stays busy): range(0) selects the system, range(1) the
+  // engine mode (0 = tick loop, 1 = event calendar).
+  const char* systems[] = {"mini", "adastraMI250", "marconi100", "frontier"};
+  const SystemConfig config = MakeSystemConfig(systems[state.range(0)]);
+  const SimDuration span = 6 * kHour;
+  const auto jobs = WorkloadFor(config, span, 40);
+  RunEngineBench(state, config, jobs, span, state.range(1) != 0,
+                 /*record_history=*/false);
+}
+
+void BM_EngineSparse(benchmark::State& state) {
+  // Sparse, idle-heavy workload (a couple of jobs per hour over days): the
+  // event calendar's headline case.  History recording stays on — the
+  // batched replay must still fill every telemetry tick.  range(0) is the
+  // engine mode.
+  const SystemConfig config = MakeSystemConfig("mini");
+  const SimDuration span = 14 * kDay;
+  const auto jobs = SparseWorkloadFor(config, span);
+  RunEngineBench(state, config, jobs, span, state.range(0) != 0,
+                 /*record_history=*/true);
+}
+
+void BM_EngineSparseNoHistory(benchmark::State& state) {
+  // Same sparse workload with history off — the sweep configuration
+  // (ExperimentRunner what-ifs keep only stats), where idle spans cost O(1).
+  const SystemConfig config = MakeSystemConfig("mini");
+  const SimDuration span = 14 * kDay;
+  const auto jobs = SparseWorkloadFor(config, span);
+  RunEngineBench(state, config, jobs, span, state.range(0) != 0,
+                 /*record_history=*/false);
 }
 
 void BM_SchedulerInvocation(benchmark::State& state) {
@@ -102,7 +160,20 @@ void BM_ResourceManagerChurn(benchmark::State& state) {
   state.counters["nodes"] = total;
 }
 
-BENCHMARK(BM_EngineTicksPerSecond)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineTicksPerSecond)
+    ->ArgNames({"system", "event"})
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineSparse)
+    ->ArgNames({"event"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineSparseNoHistory)
+    ->ArgNames({"event"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SchedulerInvocation)->Arg(100)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ResourceManagerChurn)->Arg(9600)->Arg(158976);

@@ -60,8 +60,9 @@ std::vector<Job> MakeTrace() {
   add_phase(static_cast<SimTime>(9.25 * kDay), static_cast<SimDuration>(5.75 * kDay), 16,
             0.7, 73);
   for (Job& j : jobs) j.priority = FrontierPriority(j.submit_time, j.nodes_required);
-  std::stable_sort(jobs.begin(), jobs.end(),
-                   [](const Job& a, const Job& b) { return a.submit_time < b.submit_time; });
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.submit_time < b.submit_time;
+  });
   return jobs;
 }
 

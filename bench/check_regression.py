@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the engine benches.
+
+Reads one or more google-benchmark JSON result files, compares the
+`sim_s_per_wall_s` throughput counters against the checked-in baseline
+(bench/bench_baseline.json), and fails (exit 1) when
+
+  * a benchmark named in the baseline regressed by more than the tolerance
+    (default 15 %, the CI gate of ISSUE 2), or
+  * a speedup ratio named in the baseline (e.g. the event-calendar vs
+    tick-loop sparse speedup) fell below its floor — ratios divide two
+    measurements from the *same* run, so they hold across machines of very
+    different absolute speed, and are the primary gate.
+
+Absolute throughputs differ between CI runners and laptops, so absolute
+comparisons only run with --absolute (CI sets it: the runner fleet is
+homogeneous enough for a 15 % band).  Regenerate the baseline after an
+intentional perf change with:
+
+    ./bench_engine_throughput --benchmark_format=json > results.json
+    python3 bench/check_regression.py --update results.json
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "bench_baseline.json"
+
+
+def load_results(paths):
+    """Merges benchmark-name -> benchmark object across result files."""
+    merged = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for b in data.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            merged[b["name"]] = b
+    return merged
+
+
+def counter_of(results, name, counter):
+    bench = results.get(name)
+    if bench is None:
+        return None
+    return bench.get(counter)
+
+
+def check(baseline, results, tolerance, absolute):
+    failures = []
+    notes = []
+    # Absolute bands only mean something against a baseline measured on the
+    # same fleet.  Until someone regenerates the baseline from a CI run
+    # (--update --calibrate), absolute misses are reported but not fatal.
+    calibrated = baseline.get("calibrated", False)
+    for name, entry in sorted(baseline.get("benchmarks", {}).items()):
+        counter = entry.get("counter", "sim_s_per_wall_s")
+        want = entry["value"]
+        got = counter_of(results, name, counter)
+        if got is None:
+            failures.append(f"MISSING  {name}: benchmark/counter not in results")
+            continue
+        ratio = got / want if want else float("inf")
+        line = f"{name} [{counter}]: {got:.3g} vs baseline {want:.3g} ({ratio:.2f}x)"
+        if absolute and got < want * (1.0 - tolerance):
+            if calibrated:
+                failures.append(f"REGRESSED {line}")
+            else:
+                notes.append(f"UNCALIBRATED baseline, not enforced: {line}")
+        else:
+            notes.append(f"ok        {line}")
+    for rname, spec in sorted(baseline.get("ratios", {}).items()):
+        counter = spec.get("counter", "sim_s_per_wall_s")
+        num = counter_of(results, spec["numerator"], counter)
+        den = counter_of(results, spec["denominator"], counter)
+        if num is None or den is None:
+            failures.append(f"MISSING  ratio {rname}: operands not in results")
+            continue
+        ratio = num / den if den else float("inf")
+        line = f"ratio {rname}: {ratio:.2f}x (floor {spec['min']:.2f}x)"
+        if ratio < spec["min"]:
+            failures.append(f"BELOW FLOOR {line}")
+        else:
+            notes.append(f"ok        {line}")
+    return failures, notes
+
+
+def update(baseline, results):
+    for name, entry in baseline.get("benchmarks", {}).items():
+        counter = entry.get("counter", "sim_s_per_wall_s")
+        got = counter_of(results, name, counter)
+        if got is not None:
+            entry["value"] = got
+        else:
+            print(f"warning: {name} [{counter}] not in results; keeping old value")
+    return baseline
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", nargs="+", help="google-benchmark JSON output files")
+    ap.add_argument("--baseline", default=str(BASELINE))
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional throughput drop (default 0.15)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also gate absolute throughputs, not just ratios")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from these results and exit")
+    ap.add_argument("--calibrate", action="store_true",
+                    help="with --update: mark the baseline as measured on the "
+                         "enforcing fleet, making absolute misses fatal")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    results = load_results(args.results)
+
+    if args.update:
+        baseline = update(baseline, results)
+        if args.calibrate:
+            baseline["calibrated"] = True
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    failures, notes = check(baseline, results, args.tolerance, args.absolute)
+    for line in notes:
+        print(line)
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} issue(s)); if intentional, "
+              f"regenerate with: python3 bench/check_regression.py --update "
+              f"<results.json>", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,7 @@ int main() {
               dwait, whatif_sim->SpeedupVsRealtime());
 
   whatif_sim->SaveOutputs("quickstart_results");
-  std::printf("Wrote history.csv / stats.out / job_history.csv to quickstart_results/.\n");
+  std::printf(
+      "Wrote history.csv / stats.out / job_history.csv to quickstart_results/.\n");
   return 0;
 }

@@ -62,10 +62,12 @@ void Usage() {
       "  --accounts           accumulate per-account statistics\n"
       "  --accounts-json P    reload a collection run's accounts.json\n"
       "  --tick SECONDS       override the engine tick\n"
+      "  --event-calendar     hop the clock event-to-event (bit-identical, faster)\n"
       "  --power-cap KW       facility power cap what-if (throttles + dilates)\n"
       "  --validate           compare the realised schedule to the recorded one\n"
       "  --report             also write a self-contained report.html\n"
-      "  -o, --output DIR     write history.csv/stats.out/job_history.csv[/accounts.json]\n"
+      "  -o, --output DIR     write history.csv/stats.out/job_history.csv"
+      "[/accounts.json]\n"
       "  --generate SYSTEM    generate a synthetic dataset into --data and exit\n"
       "                       (also: frontier-fig6 for the hero-run scenario)\n"
       "  -v                   verbose logging\n",
@@ -170,6 +172,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad tick '%s'\n", v.c_str());
         return 2;
       }
+    } else if (!std::strcmp(a, "--event-calendar")) {
+      opts.event_calendar = true;
     } else if (!std::strcmp(a, "-c") || !std::strcmp(a, "--cooling")) {
       opts.cooling = true;
     } else if (!std::strcmp(a, "--accounts")) {

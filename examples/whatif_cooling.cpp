@@ -58,10 +58,11 @@ int main() {
                 first_hero / 3600.0);
     sim->SaveOutputs(out_dir + "/" + label);
   }
-  std::printf("\nRescheduling starts the heroes earlier than the recorded drain, and\n"
-              "backfilled policies fill the drain with small jobs — the utilisation,\n"
-              "power, PUE, and tower-temperature curves are in %s/<policy>/history.csv.\n",
-              out_dir.c_str());
+  std::printf(
+      "\nRescheduling starts the heroes earlier than the recorded drain, and\n"
+      "backfilled policies fill the drain with small jobs — the utilisation,\n"
+      "power, PUE, and tower-temperature curves are in %s/<policy>/history.csv.\n",
+      out_dir.c_str());
   fs::remove_all(data_dir);
   return 0;
 }

@@ -116,7 +116,8 @@ const std::string& CsvTable::Cell(std::size_t row, const std::string& column) co
   return Cell(row, *col);
 }
 
-std::optional<double> CsvTable::GetDouble(std::size_t row, const std::string& column) const {
+std::optional<double> CsvTable::GetDouble(std::size_t row,
+                                          const std::string& column) const {
   const std::string& cell = Cell(row, column);
   if (cell.empty()) return std::nullopt;
   char* end = nullptr;
@@ -127,7 +128,8 @@ std::optional<double> CsvTable::GetDouble(std::size_t row, const std::string& co
   return v;
 }
 
-std::optional<std::int64_t> CsvTable::GetInt(std::size_t row, const std::string& column) const {
+std::optional<std::int64_t> CsvTable::GetInt(std::size_t row,
+                                             const std::string& column) const {
   const std::string& cell = Cell(row, column);
   if (cell.empty()) return std::nullopt;
   char* end = nullptr;

@@ -54,7 +54,9 @@ void L2NormalizeColumns(std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return;
   const std::size_t cols = rows.front().size();
   for (const auto& r : rows) {
-    if (r.size() != cols) throw std::invalid_argument("L2NormalizeColumns: ragged matrix");
+    if (r.size() != cols) {
+      throw std::invalid_argument("L2NormalizeColumns: ragged matrix");
+    }
   }
   for (std::size_t c = 0; c < cols; ++c) {
     double norm2 = 0.0;

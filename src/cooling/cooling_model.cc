@@ -65,7 +65,8 @@ CoolingSample CoolingModel::Step(double it_power_w, double loss_w, double dt_s) 
   const double h = dt_s / substeps;
   double rejected = 0.0;
   for (int i = 0; i < substeps; ++i) {
-    const double q_rej = ua_w_per_k_ * fans * std::max(0.0, loop_temp_c_ - spec_.wetbulb_c);
+    const double q_rej =
+        ua_w_per_k_ * fans * std::max(0.0, loop_temp_c_ - spec_.wetbulb_c);
     loop_temp_c_ += h * (heat_in - q_rej) / spec_.thermal_mass_j_per_k;
     rejected += q_rej * h;
   }

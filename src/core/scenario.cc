@@ -54,6 +54,7 @@ JsonValue ScenarioSpec::ToJson() const {
   obj["record_history"] = record_history;
   obj["prepopulate"] = prepopulate;
   obj["event_triggered_scheduling"] = event_triggered_scheduling;
+  obj["event_calendar"] = event_calendar;
   obj["tick"] = JsonValue(static_cast<std::int64_t>(tick));
   obj["power_cap_w"] = power_cap_w;
   obj["html_report"] = html_report;
@@ -95,6 +96,8 @@ ScenarioSpec ScenarioSpec::FromJson(const JsonValue& v) {
       spec.prepopulate = value.AsBool();
     } else if (key == "event_triggered_scheduling") {
       spec.event_triggered_scheduling = value.AsBool();
+    } else if (key == "event_calendar") {
+      spec.event_calendar = value.AsBool();
     } else if (key == "tick") {
       spec.tick = value.AsInt();
     } else if (key == "power_cap_w") {

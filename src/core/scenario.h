@@ -50,6 +50,9 @@ struct ScenarioSpec {
   bool record_history = true;
   bool prepopulate = true;
   bool event_triggered_scheduling = true;
+  /// Event-calendar fast path: hop from event to event instead of iterating
+  /// physics-free ticks; results stay bit-identical to tick stepping.
+  bool event_calendar = false;
   SimDuration tick = 0;          ///< 0 = system telemetry interval
   double power_cap_w = 0.0;      ///< facility power cap (0 = uncapped)
   std::vector<NodeOutage> outages;  ///< failure-injection schedule

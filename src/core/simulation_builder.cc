@@ -159,6 +159,11 @@ SimulationBuilder& SimulationBuilder::WithEventTriggeredScheduling(bool on) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::WithEventCalendar(bool on) {
+  spec_.event_calendar = on;
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::WithHtmlReport(bool on) {
   spec_.html_report = on;
   return *this;
@@ -245,6 +250,7 @@ void SimulationBuilder::BuildInto(Simulation& sim) const {
   eo.record_history = spec.record_history;
   eo.prepopulate = spec.prepopulate;
   eo.event_triggered_scheduling = spec.event_triggered_scheduling;
+  eo.event_calendar = spec.event_calendar;
   eo.track_accounts = spec.accounts;
   eo.power_cap_w = spec.power_cap_w;
   eo.outages = spec.outages;

@@ -58,6 +58,7 @@ class SimulationBuilder {
   SimulationBuilder& WithRecordHistory(bool on);
   SimulationBuilder& WithPrepopulate(bool on);
   SimulationBuilder& WithEventTriggeredScheduling(bool on);
+  SimulationBuilder& WithEventCalendar(bool on = true);
   SimulationBuilder& WithHtmlReport(bool on = true);
 
   const ScenarioSpec& spec() const { return spec_; }

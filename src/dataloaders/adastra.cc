@@ -84,10 +84,10 @@ std::vector<Job> GenerateAdastraDataset(const std::string& dir,
     const SimDuration runtime = j.recorded_end - j.recorded_start;
     const double cpu_u = j.cpu_util.empty() ? 0.4 : j.cpu_util.MeanOver(runtime);
     const double gpu_u = j.gpu_util.empty() ? 0.0 : j.gpu_util.MeanOver(runtime);
-    const double cpu_w =
-        node.cpus_per_node * (node.cpu_idle_w + cpu_u * (node.cpu_max_w - node.cpu_idle_w));
-    const double gpu_w =
-        node.gpus_per_node * (node.gpu_idle_w + gpu_u * (node.gpu_max_w - node.gpu_idle_w));
+    const double cpu_w = node.cpus_per_node *
+                         (node.cpu_idle_w + cpu_u * (node.cpu_max_w - node.cpu_idle_w));
+    const double gpu_w = node.gpus_per_node *
+                         (node.gpu_idle_w + gpu_u * (node.gpu_max_w - node.gpu_idle_w));
     const double mem_w = node.mem_w * rng.Uniform(0.8, 1.2);
     const double node_w = node.idle_w + node.nic_w + cpu_w + gpu_w + mem_w;
     j.node_power_w = TraceSeries::Constant(node_w);

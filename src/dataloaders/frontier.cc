@@ -152,8 +152,9 @@ std::vector<Job> GenerateFrontierFig6Scenario(const std::string& dir,
   // Recorded schedule: FCFS without backfill reproduces the production
   // behaviour — the machine drains for the heroes, runs them back to back,
   // then refills.
-  std::stable_sort(jobs.begin(), jobs.end(),
-                   [](const Job& x, const Job& y) { return x.submit_time < y.submit_time; });
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& x, const Job& y) {
+    return x.submit_time < y.submit_time;
+  });
   ReplaySynthesisOptions rs;
   rs.total_nodes = config.TotalNodes();
   rs.utilization_cap = 1.0;  // the heroes need 9216 of 9600

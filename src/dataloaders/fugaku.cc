@@ -123,7 +123,8 @@ std::vector<Job> GenerateFugakuDataset(const std::string& dir,
     j.account = SyntheticAccountName(acct);
     j.user = SyntheticUserName(acct, static_cast<int>(rng.UniformInt(0, 3)));
     j.submit_time = submit;
-    const double raw_nodes = std::pow(2.0, rng.Normal(arch.nodes_log2_mu, arch.nodes_log2_sd));
+    const double raw_nodes =
+        std::pow(2.0, rng.Normal(arch.nodes_log2_mu, arch.nodes_log2_sd));
     j.nodes_required = static_cast<int>(
         Clamp(std::round(raw_nodes), 1.0, spec.scale_nodes * 0.5));
     const auto runtime = static_cast<SimDuration>(

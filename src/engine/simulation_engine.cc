@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/log.h"
 
 namespace sraps {
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+/// Ticks needed to reach `target` from `from` on a grid of `step`-wide ticks
+/// (i.e. the first k with from + k*step >= target).  Requires target > from.
+SimDuration TicksToReach(SimTime from, SimTime target, SimDuration step) {
+  return (target - from + step - 1) / step;
+}
+
+}  // namespace
 
 SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
                                    std::unique_ptr<Scheduler> scheduler,
@@ -58,6 +70,35 @@ SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
 void SimulationEngine::Initialize() {
   now_ = options_.sim_start;
   job_energy_j_.assign(jobs_.size(), std::nan(""));
+
+  if (options_.record_history) {
+    hist_.it_power = &recorder_.Mutable("it_power_kw");
+    hist_.loss = &recorder_.Mutable("loss_kw");
+    hist_.power = &recorder_.Mutable("power_kw");
+    hist_.utilization = &recorder_.Mutable("utilization");
+    hist_.queue_len = &recorder_.Mutable("queue_length");
+    hist_.running = &recorder_.Mutable("running_jobs");
+    if (options_.power_cap_w > 0.0) {
+      hist_.throttle = &recorder_.Mutable("throttle_factor");
+    }
+    if (options_.enable_cooling) {
+      hist_.pue = &recorder_.Mutable("pue");
+      hist_.tower = &recorder_.Mutable("tower_return_c");
+      hist_.supply = &recorder_.Mutable("supply_c");
+      hist_.cooling_kw = &recorder_.Mutable("cooling_kw");
+    }
+    // Every channel gets exactly one sample per tick; one upfront reserve
+    // keeps the hot-loop appends reallocation-free.
+    const auto total_ticks = static_cast<std::size_t>(
+        (options_.sim_end - options_.sim_start + tick_ - 1) / tick_);
+    for (Channel* ch : {hist_.it_power, hist_.loss, hist_.power, hist_.utilization,
+                        hist_.queue_len, hist_.running, hist_.throttle, hist_.pue,
+                        hist_.tower, hist_.supply, hist_.cooling_kw}) {
+      if (!ch) continue;
+      ch->times.reserve(total_ticks);
+      ch->values.reserve(total_ticks);
+    }
+  }
 
   // Failure-injection schedule, sorted for cursor-based application.
   for (const NodeOutage& o : options_.outages) {
@@ -146,6 +187,7 @@ void SimulationEngine::Prepopulate() {
     job.state = JobState::kRunning;
     job_energy_j_[h] = 0.0;
     running_.push_back(h);
+    completions_.push({job.end, h});
     ++counters_.prepopulated;
     scheduler_->OnJobStarted(job);
   }
@@ -184,9 +226,32 @@ void SimulationEngine::ApplyOutages() {
   }
 }
 
+SimTime SimulationEngine::NextCompletionTime() {
+  while (!completions_.empty()) {
+    const auto [end, h] = completions_.top();
+    if (jobs_[h].state != JobState::kRunning) {
+      completions_.pop();  // completed via an earlier sweep; entry is dead
+      continue;
+    }
+    if (jobs_[h].end != end) {
+      // Stale key: power-cap throttling dilated this job after the push.
+      // Dilation only moves ends later, so re-keying on pop is safe.
+      completions_.pop();
+      completions_.push({jobs_[h].end, h});
+      continue;
+    }
+    return end;
+  }
+  return kNever;
+}
+
 void SimulationEngine::ClearCompleted() {
   // Step (1): release finished jobs *before* scheduling so a node can end
-  // one job and start another within the same time step.
+  // one job and start another within the same time step.  The heap top
+  // bounds every running end from below, so the linear sweep (which keeps
+  // running_ in start order for deterministic power summation) only runs on
+  // steps where at least one job actually finishes.
+  if (NextCompletionTime() > now_) return;
   std::vector<JobQueue::Handle> still_running;
   still_running.reserve(running_.size());
   for (JobQueue::Handle h : running_) {
@@ -299,16 +364,85 @@ void SimulationEngine::StartJob(JobQueue::Handle h, const Placement& placement) 
   job_energy_j_[h] = 0.0;
   queue_.Remove(h);
   running_.push_back(h);
+  completions_.push({job.end, h});
   ++counters_.started;
   scheduler_->OnJobStarted(job);
 }
 
-void SimulationEngine::Tick() {
-  // Step (4): advance the physical simulators and the clock.
-  std::vector<const Job*> running_jobs;
-  running_jobs.reserve(running_.size());
-  for (JobQueue::Handle h : running_) running_jobs.push_back(&jobs_[h]);
-  PowerSample power = power_model_.Compute(running_jobs, now_);
+SimDuration SimulationEngine::TicksUntilTraceChange(const Job& job,
+                                                    SimDuration elapsed) const {
+  constexpr SimDuration kFlat = std::numeric_limits<SimDuration>::max();
+  const auto ticks_until = [&](const TraceSeries& t) -> SimDuration {
+    const SimDuration off = t.NextOffsetAfter(elapsed);
+    return off < 0 ? kFlat : TicksToReach(elapsed, off, tick_);
+  };
+  // The power model prefers the direct power trace; utilisation traces only
+  // matter when it is absent, and a job with no traces draws nominal
+  // (constant) busy power.
+  if (!job.node_power_w.empty()) return ticks_until(job.node_power_w);
+  SimDuration n = kFlat;
+  if (!job.cpu_util.empty()) n = std::min(n, ticks_until(job.cpu_util));
+  if (!job.gpu_util.empty()) n = std::min(n, ticks_until(job.gpu_util));
+  return n;
+}
+
+SimDuration SimulationEngine::SpanTicks() {
+  // A time-triggered scheduler (replay waits on recorded starts; external
+  // simulators hold future reservations) may act on any tick while jobs are
+  // queued — so may the per-tick scheduler when event triggering is off.
+  if (!queue_.empty() &&
+      (!options_.event_triggered_scheduling || scheduler_->NeedsTimeTriggered())) {
+    return 1;
+  }
+  SimTime next = NextCompletionTime();
+  if (next_submit_ < submit_order_.size()) {
+    next = std::min(next, jobs_[submit_order_[next_submit_]].submit_time);
+  }
+  if (next_outage_begin_ < outage_begins_.size()) {
+    next = std::min(next, outage_begins_[next_outage_begin_].first);
+  }
+  if (next_outage_end_ < outage_ends_.size()) {
+    next = std::min(next, outage_ends_[next_outage_end_].first);
+  }
+  // Every pending event lies strictly ahead (<= now_ was processed this
+  // step), and throttle dilation only moves completions later, so hopping to
+  // the first tick at or past `next` can never skip over an event.
+  const SimDuration remaining = TicksToReach(now_, options_.sim_end, tick_);
+  SimDuration n = next == kNever
+                      ? remaining
+                      : std::min(remaining, TicksToReach(now_, next, tick_));
+  // Bound the span by the next trace-sample boundary of any running job so
+  // one power computation provably covers every tick in it (this is also
+  // where an active power cap gets re-evaluated: throttle can only change
+  // when sampled power does).
+  for (JobQueue::Handle h : running_) {
+    if (n <= 1) break;
+    n = std::min(n, TicksUntilTraceChange(jobs_[h], now_ - jobs_[h].start));
+  }
+  return std::max<SimDuration>(1, n);
+}
+
+void SimulationEngine::AdvanceTicks(SimDuration n) {
+  // Step (4), batched: the caller guarantees ticks 2..n are event-free with
+  // the same sampled power as tick 1, so one power/throttle computation
+  // covers the whole span and every per-tick arithmetic below repeats the
+  // tick-by-tick loop operation for operation.
+  if (n > 1 && !queue_.empty()) {
+    // Ticks 2..n would each take CallSchedule's event-free skip branch.
+    counters_.scheduler_skips += static_cast<std::size_t>(n - 1);
+  }
+  PowerSample power;
+  if (running_.empty()) {
+    // A fully idle machine draws a constant: every node at idle power.
+    if (!idle_sample_) idle_sample_ = power_model_.Compute({}, now_);
+    power = *idle_sample_;
+    job_power_scratch_.clear();
+  } else {
+    running_scratch_.clear();
+    running_scratch_.reserve(running_.size());
+    for (JobQueue::Handle h : running_) running_scratch_.push_back(&jobs_[h]);
+    power = power_model_.Compute(running_scratch_, now_, &job_power_scratch_);
+  }
 
   // Facility power cap: throttle all running jobs uniformly so the wall
   // power meets the cap; runtimes dilate by the inverse factor.
@@ -324,53 +458,61 @@ void SimulationEngine::Tick() {
     power.it_power_w -= shed;
     power.loss_w = power_model_.conversion().LossW(power.it_power_w);
     power.wall_power_w = power.it_power_w + power.loss_w;
-    // Runtime dilation: this tick only completes `throttle * dt` worth of
-    // work, so each job's end recedes by the missing dt*(1 - throttle)
-    // (net progress per tick is then exactly throttle * dt).
+    // Runtime dilation: each tick only completes `throttle * dt` worth of
+    // work, so each job's end recedes by the missing dt*(1 - throttle) per
+    // tick (net progress per tick is then exactly throttle * dt).  The
+    // completion heap is not touched here; its keys are re-built lazily.
     const auto extension =
         static_cast<SimDuration>(std::llround(dt * (1.0 - throttle)));
-    for (JobQueue::Handle h : running_) jobs_[h].end += extension;
+    for (JobQueue::Handle h : running_) jobs_[h].end += extension * n;
   }
 
-  // Accumulate per-job energy over this tick.
-  for (JobQueue::Handle h : running_) {
-    const Job& job = jobs_[h];
-    const SimDuration elapsed = now_ - job.start;
-    std::vector<int> per_partition(config_.partitions.size(), 0);
-    for (int n : job.assigned_nodes) ++per_partition[config_.PartitionOf(n)];
-    double job_power = 0.0;
-    for (std::size_t p = 0; p < per_partition.size(); ++p) {
-      if (per_partition[p] == 0) continue;
-      job_power += per_partition[p] * power_model_.JobNodePowerW(
-                                          job, elapsed, config_.partitions[p].node_power);
-    }
-    job_energy_j_[h] += job_power * throttle * dt;
-  }
-
-  double cooling_power_w = 0.0;
-  CoolingSample cool;
-  if (cooling_) {
-    cool = cooling_->Step(power.it_power_w, power.loss_w, dt);
-    cooling_power_w = cool.cooling_power_w;
+  // Accumulate per-job energy over the span, reusing the draws Compute just
+  // sampled.  The per-tick increment is constant, but the running sum must
+  // reproduce the tick loop's repeated addition bit for bit, so it is added
+  // n times rather than multiplied.
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    const double increment = job_power_scratch_[i] * throttle * dt;
+    double acc = job_energy_j_[running_[i]];
+    for (SimDuration k = 0; k < n; ++k) acc += increment;
+    job_energy_j_[running_[i]] = acc;
   }
 
   if (options_.record_history) {
-    recorder_.Record("it_power_kw", now_, power.it_power_w / 1000.0);
-    recorder_.Record("loss_kw", now_, power.loss_w / 1000.0);
-    recorder_.Record("power_kw", now_, (power.wall_power_w + cooling_power_w) / 1000.0);
-    recorder_.Record("utilization", now_, power.node_utilization * 100.0);
-    recorder_.Record("queue_length", now_, static_cast<double>(queue_.size()));
-    recorder_.Record("running_jobs", now_, static_cast<double>(running_.size()));
-    if (options_.power_cap_w > 0.0) recorder_.Record("throttle_factor", now_, throttle);
-    if (cooling_) {
-      recorder_.Record("pue", now_, cool.pue);
-      recorder_.Record("tower_return_c", now_, cool.tower_return_temp_c);
-      recorder_.Record("supply_c", now_, cool.supply_temp_c);
-      recorder_.Record("cooling_kw", now_, cooling_power_w / 1000.0);
+    const auto count = static_cast<std::size_t>(n);
+    hist_.it_power->AppendSpan(now_, tick_, count, power.it_power_w / 1000.0);
+    hist_.loss->AppendSpan(now_, tick_, count, power.loss_w / 1000.0);
+    if (!cooling_) {
+      hist_.power->AppendSpan(now_, tick_, count, power.wall_power_w / 1000.0);
+    }
+    hist_.utilization->AppendSpan(now_, tick_, count, power.node_utilization * 100.0);
+    hist_.queue_len->AppendSpan(now_, tick_, count,
+                                static_cast<double>(queue_.size()));
+    hist_.running->AppendSpan(now_, tick_, count,
+                              static_cast<double>(running_.size()));
+    if (options_.power_cap_w > 0.0) {
+      hist_.throttle->AppendSpan(now_, tick_, count, throttle);
     }
   }
 
-  now_ += tick_;
+  if (cooling_) {
+    // The loop's thermal state keeps its first-order lag even when the
+    // electrical side is flat, so it (and the wall power that includes its
+    // fans/pumps) advances tick by tick within the span.
+    for (SimDuration i = 0; i < n; ++i) {
+      const CoolingSample cool = cooling_->Step(power.it_power_w, power.loss_w, dt);
+      if (options_.record_history) {
+        const SimTime t = now_ + i * tick_;
+        hist_.power->Append(t, (power.wall_power_w + cool.cooling_power_w) / 1000.0);
+        hist_.pue->Append(t, cool.pue);
+        hist_.tower->Append(t, cool.tower_return_temp_c);
+        hist_.supply->Append(t, cool.supply_temp_c);
+        hist_.cooling_kw->Append(t, cool.cooling_power_w / 1000.0);
+      }
+    }
+  }
+
+  now_ += n * tick_;
   events_this_tick_ = false;
 }
 
@@ -381,7 +523,14 @@ bool SimulationEngine::StepOnce() {
   ApplyOutages();
   EnqueueEligible();
   CallSchedule();
-  Tick();
+  if (options_.event_calendar) {
+    const SimDuration n = SpanTicks();
+    ++counters_.calendar_steps;
+    if (n > 1) counters_.batched_ticks += static_cast<std::size_t>(n);
+    AdvanceTicks(n);
+  } else {
+    AdvanceTicks(1);
+  }
   return true;
 }
 

@@ -7,6 +7,13 @@
 //   (4) tick: the DCDT physical simulators (power, conversion loss, cooling)
 //       advance and the clock increments.
 //
+// With EngineOptions::event_calendar set, step (4) advances the clock
+// directly to the next interesting time — job submit, earliest completion
+// (a lazily re-keyed min-heap), outage edge, trace-sample boundary — and
+// replays the skipped span into the power/cooling/telemetry models as one
+// batched integration step.  Recorded history, stats, and counters stay
+// bit-identical to the tick-stepped loop (tests/test_engine_events.cc).
+//
 // The engine also implements the paper's window semantics: jobs that ended
 // before the simulation start or were submitted after its end are dismissed;
 // jobs already running at the start prepopulate the system so the twin
@@ -15,6 +22,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "accounts/accounts.h"
@@ -55,6 +65,11 @@ struct EngineOptions {
   /// dilates inversely — the facility-level power-capping what-if the twin
   /// enables (cf. the GPU power-capping study of Patki et al. [28]).
   double power_cap_w = 0.0;
+  /// Event-calendar fast path: hop the clock from event to event instead of
+  /// iterating physics-free ticks.  Every tick is still accounted for in the
+  /// recorded history and energy integration — the skipped span is replayed
+  /// in one batched step — so results are bit-identical to tick stepping.
+  bool event_calendar = false;
 };
 
 /// Aggregate counters available after (or during) a run.
@@ -66,6 +81,8 @@ struct EngineCounters {
   std::size_t prepopulated = 0;
   std::size_t scheduler_invocations = 0;
   std::size_t scheduler_skips = 0;
+  std::size_t calendar_steps = 0;  ///< event-calendar loop iterations
+  std::size_t batched_ticks = 0;   ///< ticks covered by batched spans (n > 1)
 };
 
 class SimulationEngine {
@@ -80,7 +97,9 @@ class SimulationEngine {
   /// Runs the loop to sim_end.
   void Run();
 
-  /// Advances one tick; returns false once the window is exhausted.
+  /// Advances one step — one tick, or one event-calendar hop (possibly many
+  /// ticks) when event_calendar is set.  Returns false once the window is
+  /// exhausted.
   bool StepOnce();
 
   // --- observers -----------------------------------------------------------
@@ -106,7 +125,21 @@ class SimulationEngine {
   void ClearCompleted();
   void EnqueueEligible();
   void CallSchedule();
-  void Tick();
+  /// Step (4) for `n` consecutive event-free ticks in one batched
+  /// integration (n == 1 is the classic tick).  The caller guarantees the
+  /// running set and every running job's sampled power are constant across
+  /// the span, so one power/throttle computation covers all n ticks and the
+  /// replayed history is bit-identical to n single ticks.
+  void AdvanceTicks(SimDuration n);
+  /// How many ticks the calendar may hop before the next interesting time:
+  /// submit, completion, outage edge, trace-sample boundary, or sim_end.
+  SimDuration SpanTicks();
+  /// Earliest current end among running jobs via the completion heap,
+  /// lazily discarding completed entries and re-keying throttle-dilated
+  /// ones.  Returns SimTime max when nothing runs.
+  SimTime NextCompletionTime();
+  /// Ticks until Sample() of any power-relevant trace of `job` can change.
+  SimDuration TicksUntilTraceChange(const Job& job, SimDuration elapsed) const;
   void StartJob(JobQueue::Handle h, const Placement& placement);
   void CompleteJob(JobQueue::Handle h);
   SimDuration RealizedRuntime(const Job& job) const;
@@ -138,6 +171,38 @@ class SimulationEngine {
   std::size_t next_outage_end_ = 0;
   std::vector<JobQueue::Handle> running_;
   std::vector<double> job_energy_j_;
+
+  /// Min-heap of (candidate end, handle) — the event calendar's completion
+  /// track.  Keys go stale when power-cap throttling dilates running jobs
+  /// (ends only ever move later), so NextCompletionTime re-keys lazily on
+  /// pop instead of rebuilding the heap on every cap-boundary crossing.
+  std::priority_queue<std::pair<SimTime, JobQueue::Handle>,
+                      std::vector<std::pair<SimTime, JobQueue::Handle>>,
+                      std::greater<>>
+      completions_;
+
+  /// Compute() over an empty running set is a pure constant (idle draw of
+  /// every node); cached so fully idle ticks skip the power model.
+  std::optional<PowerSample> idle_sample_;
+  std::vector<const Job*> running_scratch_;  ///< reused per step, never shrinks
+  std::vector<double> job_power_scratch_;    ///< per-job draw from Compute()
+
+  /// Hot-loop channel handles, resolved once at Initialize when
+  /// record_history is on (cooling/throttle members only with their
+  /// features); Channel references are stable across map growth.
+  struct HistoryChannels {
+    Channel* it_power = nullptr;
+    Channel* loss = nullptr;
+    Channel* power = nullptr;
+    Channel* utilization = nullptr;
+    Channel* queue_len = nullptr;
+    Channel* running = nullptr;
+    Channel* throttle = nullptr;
+    Channel* pue = nullptr;
+    Channel* tower = nullptr;
+    Channel* supply = nullptr;
+    Channel* cooling_kw = nullptr;
+  } hist_;
 };
 
 }  // namespace sraps

@@ -25,7 +25,9 @@ double Gini(const std::map<int, int>& counts, int total) {
 
 DecisionTree::DecisionTree(Task task, TreeOptions options)
     : task_(task), options_(options) {
-  if (options_.max_depth <= 0) throw std::invalid_argument("DecisionTree: max_depth <= 0");
+  if (options_.max_depth <= 0) {
+    throw std::invalid_argument("DecisionTree: max_depth <= 0");
+  }
   if (options_.min_samples_leaf <= 0) {
     throw std::invalid_argument("DecisionTree: min_samples_leaf <= 0");
   }

@@ -33,7 +33,8 @@ KMeansResult KMeans::Fit(const std::vector<std::vector<double>>& rows) {
 
   // k-means++ seeding.
   centroids_.clear();
-  centroids_.push_back(rows[rng.UniformInt(0, static_cast<std::int64_t>(rows.size()) - 1)]);
+  centroids_.push_back(
+      rows[rng.UniformInt(0, static_cast<std::int64_t>(rows.size()) - 1)]);
   std::vector<double> dist2(rows.size(), 0.0);
   while (static_cast<int>(centroids_.size()) < k_) {
     double total = 0.0;

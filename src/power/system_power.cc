@@ -29,28 +29,44 @@ double SystemPowerModel::JobNodePowerW(const Job& job, SimDuration elapsed,
 }
 
 PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
-                                      SimTime now) const {
+                                      SimTime now,
+                                      std::vector<double>* job_power_w) const {
   PowerSample s;
-  std::vector<int> busy_per_partition(config_.partitions.size(), 0);
+  busy_scratch_.assign(config_.partitions.size(), 0);
+  std::vector<int>& busy_per_partition = busy_scratch_;
+  if (job_power_w) {
+    job_power_w->clear();
+    job_power_w->reserve(running.size());
+  }
   double busy_power = 0.0;
   for (const Job* job : running) {
-    if (job->start < 0) throw std::logic_error("SystemPowerModel: running job has no start");
+    if (job->start < 0) {
+      throw std::logic_error("SystemPowerModel: running job has no start");
+    }
     const SimDuration elapsed = now - job->start;
     if (job->assigned_nodes.empty()) {
       throw std::logic_error("SystemPowerModel: running job has no nodes");
     }
     // Group the job's nodes by partition so heterogeneous allocations use
     // the right per-node spec.
-    std::vector<int> count_per_partition(config_.partitions.size(), 0);
+    count_scratch_.assign(config_.partitions.size(), 0);
+    std::vector<int>& count_per_partition = count_scratch_;
     for (int node : job->assigned_nodes) {
       ++count_per_partition[config_.PartitionOf(node)];
     }
+    // The per-job subtotal keeps its own accumulator: consumers integrating
+    // job energy must see the exact sum the engine historically computed.
+    double job_power = 0.0;
     for (std::size_t p = 0; p < count_per_partition.size(); ++p) {
       const int n = count_per_partition[p];
       if (n == 0) continue;
+      const double node_w =
+          JobNodePowerW(*job, elapsed, config_.partitions[p].node_power);
       busy_per_partition[p] += n;
-      busy_power += n * JobNodePowerW(*job, elapsed, config_.partitions[p].node_power);
+      busy_power += n * node_w;
+      job_power += n * node_w;
     }
+    if (job_power_w) job_power_w->push_back(job_power);
     s.busy_nodes += static_cast<int>(job->assigned_nodes.size());
   }
   double idle_power = 0.0;

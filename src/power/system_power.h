@@ -35,8 +35,13 @@ class SystemPowerModel {
                        const NodePowerSpec& spec) const;
 
   /// Aggregates the whole system at time `now` given the running jobs (their
-  /// `assigned_nodes` and `start` must be set).
-  PowerSample Compute(const std::vector<const Job*>& running, SimTime now) const;
+  /// `assigned_nodes` and `start` must be set).  When `job_power_w` is
+  /// non-null it receives each job's total draw (indexed like `running`) so
+  /// the engine's energy integration can reuse the already-sampled values
+  /// instead of re-walking every trace.  Not thread-safe (reuses scratch
+  /// buffers); engines own their model, so this never crosses threads.
+  PowerSample Compute(const std::vector<const Job*>& running, SimTime now,
+                      std::vector<double>* job_power_w = nullptr) const;
 
   const SystemConfig& config() const { return config_; }
   const ConversionLossModel& conversion() const { return conversion_; }
@@ -46,6 +51,9 @@ class SystemPowerModel {
   ConversionLossModel conversion_;
   std::vector<double> partition_idle_node_w_;  ///< idle W per node, per partition
   std::vector<int> partition_sizes_;
+  // Per-Compute scratch (why Compute is not thread-safe).
+  mutable std::vector<int> busy_scratch_;
+  mutable std::vector<int> count_scratch_;
 };
 
 }  // namespace sraps

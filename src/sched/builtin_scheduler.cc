@@ -54,7 +54,8 @@ std::vector<Placement> BuiltinScheduler::Schedule(const SchedulerContext& ctx) {
   return ScheduleOrdered(ctx);
 }
 
-std::vector<Placement> BuiltinScheduler::ScheduleReplay(const SchedulerContext& ctx) const {
+std::vector<Placement> BuiltinScheduler::ScheduleReplay(
+    const SchedulerContext& ctx) const {
   // Replay enforces the telemetry's own schedule: a job starts exactly at its
   // recorded start, on its recorded nodes when the dataset pins them.
   // Two passes: exact (recorded) placements first so that count-based
@@ -89,7 +90,8 @@ std::vector<Placement> BuiltinScheduler::ScheduleReplay(const SchedulerContext& 
   return placements;
 }
 
-std::vector<Placement> BuiltinScheduler::ScheduleOrdered(const SchedulerContext& ctx) const {
+std::vector<Placement> BuiltinScheduler::ScheduleOrdered(
+    const SchedulerContext& ctx) const {
   // Recompute the queue order under the policy (§3.2.3 step 3: "recomputes
   // the order of the job queue according to selected policy").
   std::vector<JobQueue::Handle> order(ctx.queue->handles());

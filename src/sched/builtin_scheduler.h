@@ -45,8 +45,8 @@ class BuiltinScheduler : public Scheduler {
 
 /// Factory matching the CLI surface: builds the built-in scheduler from
 /// policy/backfill names.  Throws std::invalid_argument on unknown names.
-std::unique_ptr<Scheduler> MakeBuiltinScheduler(const std::string& policy,
-                                                const std::string& backfill,
-                                                const AccountRegistry* accounts = nullptr);
+std::unique_ptr<Scheduler> MakeBuiltinScheduler(
+    const std::string& policy, const std::string& backfill,
+    const AccountRegistry* accounts = nullptr);
 
 }  // namespace sraps

@@ -74,7 +74,9 @@ std::vector<int> ResourceManager::Allocate(int count) {
 }
 
 void ResourceManager::AllocateExact(const std::vector<int>& nodes) {
-  if (nodes.empty()) throw std::invalid_argument("ResourceManager: empty exact allocation");
+  if (nodes.empty()) {
+    throw std::invalid_argument("ResourceManager: empty exact allocation");
+  }
   // Validate first so the operation is atomic.
   for (int n : nodes) {
     if (n < 0 || n >= total_nodes_) {

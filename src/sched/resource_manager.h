@@ -22,8 +22,8 @@ enum class AllocationStrategy {
 
 class ResourceManager {
  public:
-  explicit ResourceManager(int total_nodes,
-                           AllocationStrategy strategy = AllocationStrategy::kLowestFirst);
+  explicit ResourceManager(
+      int total_nodes, AllocationStrategy strategy = AllocationStrategy::kLowestFirst);
 
   int total_nodes() const { return total_nodes_; }
   int free_nodes() const { return static_cast<int>(free_.size()); }

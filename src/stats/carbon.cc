@@ -32,7 +32,9 @@ CarbonIntensityProfile::CarbonIntensityProfile(std::vector<double> hourly)
     throw std::invalid_argument("CarbonIntensityProfile: need exactly 24 hourly values");
   }
   for (double v : hourly_) {
-    if (v < 0.0) throw std::invalid_argument("CarbonIntensityProfile: negative intensity");
+    if (v < 0.0) {
+      throw std::invalid_argument("CarbonIntensityProfile: negative intensity");
+    }
   }
 }
 

@@ -39,6 +39,33 @@ void SimulationStats::RecordCompletion(const Job& job, double energy_j) {
   records_.push_back(std::move(r));
 }
 
+std::uint64_t SimulationStats::Fingerprint() const {
+  // FNV-1a, fed field-by-field so padding bytes never leak in.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_i64 = [&](std::int64_t v) { mix(&v, sizeof v); };
+  const auto mix_f64 = [&](double v) { mix(&v, sizeof v); };
+  for (const JobRecord& r : records_) {
+    mix_i64(r.id);
+    mix(r.account.data(), r.account.size());
+    mix_i64(r.submit);
+    mix_i64(r.start);
+    mix_i64(r.end);
+    mix_i64(r.nodes);
+    mix_f64(r.priority);
+    mix_f64(r.energy_j);
+    mix_f64(r.avg_cpu_util);
+    mix_f64(r.avg_gpu_util);
+  }
+  return h;
+}
+
 double SimulationStats::AvgWaitSeconds() const {
   if (records_.empty()) return 0.0;
   double s = 0.0;

@@ -100,6 +100,13 @@ class SimulationStats {
   /// stats.out-style JSON blob of every aggregate.
   JsonValue ToJson() const;
 
+  /// Order-sensitive 64-bit digest over every completion record, hashing the
+  /// raw bit patterns of times, energy, and utilisations: two runs agree iff
+  /// their completions are bit-identical in value *and* order.  The
+  /// event-calendar A/B equivalence tests and the CI perf gate use this as a
+  /// cheap determinism probe.
+  std::uint64_t Fingerprint() const;
+
  private:
   std::vector<JobRecord> records_;
   Histogram size_hist_;

@@ -24,8 +24,18 @@ void TimeSeriesRecorder::Record(const std::string& channel, SimTime t, double va
   if (!ch.times.empty() && t < ch.times.back()) {
     throw std::invalid_argument("Recorder: time went backwards in channel " + channel);
   }
-  ch.times.push_back(t);
-  ch.values.push_back(value);
+  ch.Append(t, value);
+}
+
+void TimeSeriesRecorder::RecordSpan(const std::string& channel, SimTime t0,
+                                    SimDuration dt, std::size_t n, double value) {
+  if (n == 0) return;
+  if (dt <= 0) throw std::invalid_argument("Recorder: RecordSpan needs dt > 0");
+  auto& ch = channels_[channel];
+  if (!ch.times.empty() && t0 < ch.times.back()) {
+    throw std::invalid_argument("Recorder: time went backwards in channel " + channel);
+  }
+  ch.AppendSpan(t0, dt, n, value);
 }
 
 bool TimeSeriesRecorder::Has(const std::string& channel) const {
@@ -67,7 +77,9 @@ double TimeSeriesRecorder::MinOf(const std::string& channel) const {
 
 double TimeSeriesRecorder::IntegralOf(const std::string& channel) const {
   const auto& ch = Get(channel);
-  if (ch.values.size() < 2) throw std::logic_error("Recorder: need >=2 samples " + channel);
+  if (ch.values.size() < 2) {
+    throw std::logic_error("Recorder: need >=2 samples " + channel);
+  }
   double acc = 0.0;
   for (std::size_t i = 1; i < ch.values.size(); ++i) {
     const double dt = static_cast<double>(ch.times[i] - ch.times[i - 1]);

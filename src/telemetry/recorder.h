@@ -17,12 +17,40 @@ namespace sraps {
 struct Channel {
   std::vector<SimTime> times;
   std::vector<double> values;
+
+  /// Unchecked appends for hot-loop writers that maintain time monotonicity
+  /// themselves (the engine); Record/RecordSpan are the checked front door.
+  void Append(SimTime t, double value) {
+    times.push_back(t);
+    values.push_back(value);
+  }
+  void AppendSpan(SimTime t0, SimDuration dt, std::size_t n, double value) {
+    // No reserve: exact-capacity growth before every append would defeat
+    // push_back's geometric growth and turn a span-per-tick caller quadratic.
+    for (std::size_t i = 0; i < n; ++i) {
+      times.push_back(t0 + static_cast<SimDuration>(i) * dt);
+    }
+    values.insert(values.end(), n, value);
+  }
 };
 
 class TimeSeriesRecorder {
  public:
   /// Appends a sample to a channel (creating it on first use).
   void Record(const std::string& channel, SimTime t, double value);
+
+  /// Appends `n` samples of the same value at times t0, t0+dt, ...,
+  /// t0+(n-1)*dt.  Equivalent to n Record() calls (and throws like Record if
+  /// t0 precedes the channel's tail); this is the checked public counterpart
+  /// of Channel::AppendSpan, which the engine's batched replay drives
+  /// directly through Mutable() handles.
+  void RecordSpan(const std::string& channel, SimTime t0, SimDuration dt,
+                  std::size_t n, double value);
+
+  /// Stable handle to a channel's storage, creating it on first use.  Map
+  /// nodes never move, so the reference outlives later insertions; hot loops
+  /// resolve once and Append directly instead of paying a lookup per tick.
+  Channel& Mutable(const std::string& channel) { return channels_[channel]; }
 
   bool Has(const std::string& channel) const;
   const Channel& Get(const std::string& channel) const;

@@ -39,6 +39,15 @@ double TraceSeries::Sample(SimDuration offset_from_start) const {
   return values_[idx];
 }
 
+SimDuration TraceSeries::NextOffsetAfter(SimDuration offset) const {
+  if (constant_ || size() <= 1) return -1;
+  // Sample() holds values_[i] over [offsets_[i], offsets_[i+1]) and head-fills
+  // before offsets_[0], so the value can only change at offsets_[i] for i >= 1.
+  const auto it = std::upper_bound(offsets_.begin() + 1, offsets_.end(), offset);
+  if (it == offsets_.end()) return -1;
+  return *it;
+}
+
 double TraceSeries::MeanOver(SimDuration horizon) const {
   if (empty()) throw std::logic_error("TraceSeries: empty trace");
   if (constant_ || size() == 1) return values_.front();

@@ -46,6 +46,13 @@ class TraceSeries {
   /// Throws std::logic_error on an empty trace.
   double Sample(SimDuration offset_from_start) const;
 
+  /// Smallest sample offset strictly greater than `offset` at which Sample's
+  /// step-hold value can next change, or -1 when the trace is flat from
+  /// `offset` onwards (constant traces, single-sample traces, offsets past
+  /// the last sample).  The engine's event calendar uses this to bound the
+  /// span over which a running job's power is provably constant.
+  SimDuration NextOffsetAfter(SimDuration offset) const;
+
   /// Mean of the recorded samples, duration-weighted using the step-hold
   /// interpretation over [0, horizon].  For constant traces returns the value.
   double MeanOver(SimDuration horizon) const;

@@ -24,7 +24,8 @@ std::vector<Job> ParseSwf(const std::string& text, int procs_per_node) {
     while (ls >> v) f.push_back(v);
     if (f.empty()) continue;
     if (f.size() < 18) {
-      throw std::runtime_error("SWF: expected 18 fields, got " + std::to_string(f.size()));
+      throw std::runtime_error("SWF: expected 18 fields, got " +
+                               std::to_string(f.size()));
     }
     const double runtime = f[3];
     double procs = f[7] > 0 ? f[7] : f[4];  // requested, falling back to used
@@ -64,7 +65,8 @@ std::string WriteSwf(const std::vector<Job>& jobs, int procs_per_node) {
   out << "; SWF written by sraps\n";
   for (const Job& j : jobs) {
     const long long wait =
-        j.recorded_start >= 0 ? static_cast<long long>(j.recorded_start - j.submit_time) : -1;
+        j.recorded_start >= 0 ? static_cast<long long>(j.recorded_start - j.submit_time)
+                              : -1;
     const long long runtime =
         (j.recorded_start >= 0 && j.recorded_end >= 0)
             ? static_cast<long long>(j.recorded_end - j.recorded_start)

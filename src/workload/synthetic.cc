@@ -30,7 +30,8 @@ TraceSeries MakePhasedUtilTrace(Rng& rng, SimDuration runtime, SimDuration inter
   for (SimDuration t = 0; t < runtime; t += interval) {
     double base;
     if (t < ramp) {
-      base = plateau * static_cast<double>(t + interval) / static_cast<double>(ramp + interval);
+      base = plateau * static_cast<double>(t + interval) /
+             static_cast<double>(ramp + interval);
     } else if (t >= runtime - tail) {
       base = plateau * 0.4;
     } else {
@@ -89,7 +90,8 @@ std::vector<Job> GenerateSyntheticWorkload(const SyntheticWorkloadSpec& spec,
 
     Rng trace_rng = rng.Split();
     const double cpu_plateau = Clamp(rng.Normal(spec.mean_cpu_util, 0.15), 0.05, 1.0);
-    job.cpu_util = MakePhasedUtilTrace(trace_rng, runtime, spec.trace_interval, cpu_plateau);
+    job.cpu_util =
+        MakePhasedUtilTrace(trace_rng, runtime, spec.trace_interval, cpu_plateau);
     if (spec.gpu_jobs && rng.NextDouble() < 0.8) {
       const double gpu_plateau = Clamp(rng.Normal(spec.mean_gpu_util, 0.2), 0.0, 1.0);
       job.gpu_util =

@@ -18,7 +18,8 @@ namespace sraps {
 /// capacity system at healthy load.
 struct SyntheticWorkloadSpec {
   SimTime first_submit = 0;
-  SimDuration horizon = 24 * kHour;   ///< submissions span [first_submit, first_submit+horizon)
+  /// Submissions span [first_submit, first_submit + horizon).
+  SimDuration horizon = 24 * kHour;
   double arrival_rate_per_hour = 40;  ///< Poisson arrival intensity
   int max_nodes = 256;                ///< cap node requests at the machine size
   double mean_nodes_log2 = 3.0;       ///< node count ~ 2^Normal(mean, sd), clamped

@@ -306,8 +306,9 @@ TEST(FrontierTest, Fig6ScenarioShape) {
     if (j.nodes_required == spec.full_system_nodes) heroes.push_back(&j);
   }
   ASSERT_EQ(heroes.size(), 3u);
-  std::sort(heroes.begin(), heroes.end(),
-            [](const Job* a, const Job* b) { return a->recorded_start < b->recorded_start; });
+  std::sort(heroes.begin(), heroes.end(), [](const Job* a, const Job* b) {
+    return a->recorded_start < b->recorded_start;
+  });
   EXPECT_GE(heroes[1]->recorded_start, heroes[0]->recorded_end);
   EXPECT_GE(heroes[2]->recorded_start, heroes[1]->recorded_end);
   // Heroes are submitted early but start only after the machine drains.

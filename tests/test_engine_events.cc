@@ -1,0 +1,348 @@
+// Event-calendar vs tick-loop A/B equivalence — the EngineOptions::
+// event_calendar contract: hopping the clock event-to-event and replaying the
+// skipped span as one batched integration step must leave *no observable
+// trace*: identical counters, bit-identical stats records and per-job energy,
+// bit-identical recorded telemetry, identical realised schedules.  Covered
+// here across empty-queue idle spans, outages, power-cap throttling (the lazy
+// completion re-keying path), prepopulation, cooling coupling, sampled
+// (time-varying) traces, queue contention, replay's time-triggered scheduler,
+// and dataset-driven fig-style scenarios.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "core/simulation.h"
+#include "core/simulation_builder.h"
+#include "dataloaders/frontier.h"
+#include "dataloaders/marconi.h"
+#include "engine/simulation_engine.h"
+#include "sched/builtin_scheduler.h"
+
+namespace sraps {
+namespace {
+
+namespace fs = std::filesystem;
+
+Job MakeJob(JobId id, SimTime submit, SimDuration runtime, int nodes,
+            double cpu = 0.5) {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.recorded_start = submit;
+  j.recorded_end = submit + runtime;
+  j.time_limit = runtime * 2;
+  j.nodes_required = nodes;
+  j.account = "acct";
+  j.user = "u";
+  j.cpu_util = TraceSeries::Constant(cpu);
+  return j;
+}
+
+std::unique_ptr<SimulationEngine> RunEngine(std::vector<Job> jobs, EngineOptions o,
+                                            bool event_calendar,
+                                            const std::string& policy = "fcfs",
+                                            const std::string& backfill = "easy",
+                                            const std::string& system = "mini") {
+  o.event_calendar = event_calendar;
+  auto e = std::make_unique<SimulationEngine>(
+      MakeSystemConfig(system), std::move(jobs),
+      MakeBuiltinScheduler(policy, backfill), o);
+  e->Run();
+  return e;
+}
+
+/// Bitwise equality for double vectors (NaN-safe; the job energy array keeps
+/// NaN for never-completed jobs).
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void ExpectEquivalent(const SimulationEngine& tick, const SimulationEngine& ev) {
+  // Shared counters (calendar_steps/batched_ticks describe the fast path
+  // itself and are intentionally different).
+  EXPECT_EQ(tick.counters().submitted, ev.counters().submitted);
+  EXPECT_EQ(tick.counters().started, ev.counters().started);
+  EXPECT_EQ(tick.counters().completed, ev.counters().completed);
+  EXPECT_EQ(tick.counters().dismissed, ev.counters().dismissed);
+  EXPECT_EQ(tick.counters().prepopulated, ev.counters().prepopulated);
+  EXPECT_EQ(tick.counters().scheduler_invocations, ev.counters().scheduler_invocations);
+  EXPECT_EQ(tick.counters().scheduler_skips, ev.counters().scheduler_skips);
+  EXPECT_EQ(tick.now(), ev.now());
+
+  // Stats: bit-identical completion records, in order.
+  EXPECT_EQ(tick.stats().Fingerprint(), ev.stats().Fingerprint());
+  ASSERT_EQ(tick.stats().records().size(), ev.stats().records().size());
+
+  // Realised schedule and per-job energy integration.
+  ASSERT_EQ(tick.jobs().size(), ev.jobs().size());
+  for (std::size_t i = 0; i < tick.jobs().size(); ++i) {
+    const Job& a = tick.jobs()[i];
+    const Job& b = ev.jobs()[i];
+    EXPECT_EQ(a.state, b.state) << "job " << a.id;
+    EXPECT_EQ(a.start, b.start) << "job " << a.id;
+    EXPECT_EQ(a.end, b.end) << "job " << a.id;
+    EXPECT_EQ(a.assigned_nodes, b.assigned_nodes) << "job " << a.id;
+  }
+  EXPECT_TRUE(BitIdentical(tick.job_energy_j(), ev.job_energy_j()));
+
+  // Telemetry: channel for channel, sample for sample, bit for bit.
+  ASSERT_EQ(tick.recorder().ChannelNames(), ev.recorder().ChannelNames());
+  for (const std::string& name : tick.recorder().ChannelNames()) {
+    const Channel& a = tick.recorder().Get(name);
+    const Channel& b = ev.recorder().Get(name);
+    EXPECT_EQ(a.times, b.times) << "channel " << name;
+    EXPECT_TRUE(BitIdentical(a.values, b.values)) << "channel " << name;
+  }
+}
+
+EngineOptions Opts(SimTime start, SimTime end) {
+  EngineOptions o;
+  o.sim_start = start;
+  o.sim_end = end;
+  return o;
+}
+
+// A handful of short jobs spread over a long, mostly idle window: the
+// calendar's bread-and-butter case (empty-queue idle spans dominate).
+std::vector<Job> SparseWorkload() {
+  std::vector<Job> jobs;
+  jobs.push_back(MakeJob(1, 0, 600, 4));
+  jobs.push_back(MakeJob(2, 6 * kHour, 900, 8));
+  jobs.push_back(MakeJob(3, 14 * kHour, 300, 2));
+  jobs.push_back(MakeJob(4, 23 * kHour, 1200, 12));
+  return jobs;
+}
+
+TEST(EngineEventsTest, SparseIdleSpansAreBatchedAndEquivalent) {
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_EQ(ev->counters().completed, 4u);
+  // The fast path must actually fast-path: ~8640 ticks collapse into a
+  // handful of calendar steps.
+  EXPECT_GT(ev->counters().batched_ticks, 8000u);
+  EXPECT_LT(ev->counters().calendar_steps, 100u);
+}
+
+TEST(EngineEventsTest, EmptyQueueLongIdleHeadAndTail) {
+  // One mid-window job: pure idle spans on both sides, including the
+  // window-end hop (sim_end is a calendar event too).
+  std::vector<Job> jobs = {MakeJob(1, 12 * kHour, 600, 4)};
+  const EngineOptions o = Opts(0, 36 * kHour);
+  const auto tick = RunEngine(jobs, o, false);
+  const auto ev = RunEngine(jobs, o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_LT(ev->counters().calendar_steps, 10u);
+}
+
+TEST(EngineEventsTest, OutagesDuringIdleAndBusySpans) {
+  EngineOptions o = Opts(0, 24 * kHour);
+  // One outage cuts into idle machine, one hits a running job's nodes (the
+  // busy nodes drain), one never recovers.
+  o.outages = {{2 * kHour, 4 * kHour, {0, 1, 2, 3}},
+               {6 * kHour + 300, 7 * kHour, {4, 5}},
+               {20 * kHour, 0, {15}}};
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+}
+
+TEST(EngineEventsTest, PowerCapThrottlingDilatesIdentically) {
+  // A cap between idle and peak wall power so it throttles whenever the big
+  // jobs run: completion times recede tick by tick, exercising the lazy heap
+  // re-keying.  The cap is derived from an uncapped probe run so the test
+  // keeps biting if the mini system's power model is retuned.
+  EngineOptions o = Opts(0, 24 * kHour);
+  const auto probe = RunEngine(SparseWorkload(), o, false);
+  const double idle_w = probe->recorder().MinOf("power_kw") * 1000.0;
+  const double peak_w = probe->recorder().MaxOf("power_kw") * 1000.0;
+  ASSERT_GT(peak_w, idle_w);
+  o.power_cap_w = idle_w + 0.4 * (peak_w - idle_w);
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  // Throttling must actually have happened for this test to mean anything.
+  EXPECT_LT(tick->recorder().MinOf("throttle_factor"), 1.0);
+  EXPECT_EQ(tick->counters().completed, 4u);
+}
+
+TEST(EngineEventsTest, PrepopulatedWindowEquivalent) {
+  // Window starts mid-trace: jobs already running are prepopulated; one job
+  // straddles the window end and stays running.
+  std::vector<Job> jobs = {MakeJob(1, 0, 3 * kHour, 4), MakeJob(2, kHour, 600, 2),
+                           MakeJob(3, 4 * kHour, 20 * kHour, 8)};
+  const EngineOptions o = Opts(2 * kHour, 12 * kHour);
+  const auto tick = RunEngine(jobs, o, false);
+  const auto ev = RunEngine(jobs, o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_EQ(ev->counters().prepopulated, 1u);
+  EXPECT_EQ(ev->jobs()[2].state, JobState::kRunning);
+}
+
+TEST(EngineEventsTest, SampledTracesBoundTheSpans) {
+  // Time-varying telemetry: power changes at trace-sample boundaries, so
+  // spans must break there for the batched power computation to hold.
+  std::vector<Job> jobs;
+  Job a = MakeJob(1, 0, 2 * kHour, 4);
+  a.cpu_util = TraceSeries({0, 600, 1800, 3600}, {0.2, 0.9, 0.4, 0.7});
+  jobs.push_back(a);
+  Job b = MakeJob(2, 3 * kHour, 90 * kMinute, 6);
+  b.cpu_util = TraceSeries();  // no util trace:
+  b.node_power_w = TraceSeries({0, 1200, 2400}, {800.0, 1500.0, 600.0});
+  jobs.push_back(b);
+  const EngineOptions o = Opts(0, 8 * kHour);
+  const auto tick = RunEngine(jobs, o, false);
+  const auto ev = RunEngine(jobs, o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(ev->counters().batched_ticks, 0u);
+}
+
+TEST(EngineEventsTest, CoolingLoopStateAdvancesIdentically) {
+  EngineOptions o = Opts(0, 12 * kHour);
+  o.enable_cooling = true;
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_TRUE(ev->recorder().Has("pue"));
+}
+
+TEST(EngineEventsTest, ContendedQueueSkipAccountingMatches) {
+  // More work than the machine fits: jobs queue across event-free spans, so
+  // the batched path must reproduce the per-tick scheduler_skips count.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(MakeJob(i + 1, i * 120, kHour + i * 300, 6 + (i % 3) * 5));
+  }
+  const EngineOptions o = Opts(0, 30 * kHour);
+  const auto tick = RunEngine(jobs, o, false);
+  const auto ev = RunEngine(jobs, o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(tick->counters().scheduler_skips, 0u);
+  EXPECT_EQ(tick->counters().completed, 12u);
+}
+
+TEST(EngineEventsTest, ReplaySchedulerPinsTheSpanWhileQueued) {
+  // Replay is time-triggered (it waits for recorded starts): while anything
+  // queues, the calendar must fall back to tick-by-tick stepping, yet idle
+  // gaps between recorded starts still batch.
+  std::vector<Job> jobs = {MakeJob(1, 0, 600, 4), MakeJob(2, 5 * kHour, 900, 8)};
+  jobs[1].recorded_start = 5 * kHour + 1800;  // waits queued for 30 min
+  jobs[1].recorded_end = jobs[1].recorded_start + 900;
+  const EngineOptions o = Opts(0, 10 * kHour);
+  const auto tick = RunEngine(jobs, o, false, "replay", "none");
+  const auto ev = RunEngine(jobs, o, true, "replay", "none");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_EQ(ev->jobs()[1].start, 5 * kHour + 1800);
+}
+
+TEST(EngineEventsTest, PerTickSchedulingDisablesBatchingWhileQueued) {
+  // event_triggered_scheduling=false invokes the scheduler every tick while
+  // the queue is non-empty; equivalence must hold with the span pinned to 1.
+  std::vector<Job> jobs = {MakeJob(1, 0, kHour, 10), MakeJob(2, 0, kHour, 10)};
+  EngineOptions o = Opts(0, 6 * kHour);
+  o.event_triggered_scheduling = false;
+  const auto tick = RunEngine(jobs, o, false);
+  const auto ev = RunEngine(jobs, o, true);
+  ExpectEquivalent(*tick, *ev);
+}
+
+TEST(EngineEventsTest, HistoryDisabledStillEquivalent) {
+  EngineOptions o = Opts(0, 24 * kHour);
+  o.record_history = false;
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_TRUE(ev->recorder().ChannelNames().empty());
+}
+
+TEST(EngineEventsTest, StepOnceHopsWholeSpans) {
+  std::vector<Job> jobs = {MakeJob(1, 4 * kHour, 600, 2)};
+  EngineOptions o = Opts(0, 8 * kHour);
+  o.event_calendar = true;
+  SimulationEngine e(MakeSystemConfig("mini"), std::move(jobs),
+                     MakeBuiltinScheduler("fcfs", "none"), o);
+  ASSERT_TRUE(e.StepOnce());
+  // First hop: straight to the submit at t=4h.
+  EXPECT_EQ(e.now(), 4 * kHour);
+  EXPECT_EQ(e.counters().calendar_steps, 1u);
+}
+
+// Dataset-driven fig-style scenarios: the same loaders, systems, windows, and
+// policies the figure benches use, at test scale.  ScenarioSpec round-trips
+// through the builder with only the event_calendar bit flipped.
+class FigScenarioEquivalence : public ::testing::Test {
+ protected:
+  static void ExpectSimsEquivalent(ScenarioSpec spec) {
+    spec.event_calendar = false;
+    Simulation tick(spec);
+    tick.Run();
+    spec.event_calendar = true;
+    Simulation ev(spec);
+    ev.Run();
+    ExpectEquivalent(tick.engine(), ev.engine());
+    EXPECT_GT(ev.engine().counters().completed, 0u);
+  }
+
+  static fs::path TempDir(const std::string& name) {
+    const fs::path dir = fs::temp_directory_path() / ("sraps_events_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }
+};
+
+TEST_F(FigScenarioEquivalence, MarconiRescheduleFig4Style) {
+  const fs::path dir = TempDir("marconi");
+  MarconiDatasetSpec ds;
+  ds.span = 1 * kDay;
+  GenerateMarconiDataset(dir.string(), ds);
+  ScenarioSpec spec;
+  spec.name = "fig4-fcfs-easy";
+  spec.system = "marconi100";
+  spec.dataset_path = dir.string();
+  spec.policy = "fcfs";
+  spec.backfill = "easy";
+  spec.duration = 6 * kHour;
+  ExpectSimsEquivalent(spec);
+}
+
+TEST_F(FigScenarioEquivalence, MarconiReplayWithCapFig8Style) {
+  const fs::path dir = TempDir("marconi_cap");
+  MarconiDatasetSpec ds;
+  ds.span = 1 * kDay;
+  GenerateMarconiDataset(dir.string(), ds);
+  ScenarioSpec spec;
+  spec.name = "fig8-replay-cap";
+  spec.system = "marconi100";
+  spec.dataset_path = dir.string();
+  spec.policy = "replay";
+  spec.backfill = "none";
+  spec.duration = 6 * kHour;
+  spec.power_cap_w = 8.0e5;
+  ExpectSimsEquivalent(spec);
+}
+
+TEST_F(FigScenarioEquivalence, FrontierFig6HeroRunsWithCooling) {
+  const fs::path dir = TempDir("fig6");
+  FrontierFig6Spec ds;
+  ds.span = 8 * kHour;
+  ds.hero_runtime = kHour;
+  GenerateFrontierFig6Scenario(dir.string(), ds);
+  ScenarioSpec spec;
+  spec.name = "fig6-hero";
+  spec.system = "frontier";
+  spec.dataset_path = dir.string();
+  spec.policy = "fcfs";
+  spec.backfill = "easy";
+  spec.duration = 6 * kHour;
+  spec.cooling = true;
+  ExpectSimsEquivalent(spec);
+}
+
+}  // namespace
+}  // namespace sraps

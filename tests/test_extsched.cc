@@ -41,8 +41,10 @@ EngineOptions Opts(SimTime start, SimTime end) {
 TEST(FastSimTest, ValidationOnAdd) {
   FastSim sim(16);
   EXPECT_THROW(sim.AddJobs({{1, 0, 0, 100, 100, 0}}), std::invalid_argument);   // 0 nodes
-  EXPECT_THROW(sim.AddJobs({{1, 0, 99, 100, 100, 0}}), std::invalid_argument);  // too big
-  EXPECT_THROW(sim.AddJobs({{1, 0, 4, 0, 100, 0}}), std::invalid_argument);     // 0 runtime
+  EXPECT_THROW(sim.AddJobs({{1, 0, 99, 100, 100, 0}}),
+               std::invalid_argument);  // too big
+  EXPECT_THROW(sim.AddJobs({{1, 0, 4, 0, 100, 0}}),
+               std::invalid_argument);  // 0 runtime
 }
 
 TEST(FastSimTest, DoubleAddThrows) {
@@ -179,7 +181,8 @@ TEST(FastSimPluginTest, SequentialModeMatchesPluginMode) {
   // Plugin mode.
   auto sim1 = std::make_unique<FastSim>(16);
   sim1->AddJobs(ToFastSimJobs(jobs));
-  SimulationEngine plugin(Mini(), jobs, std::make_unique<FastSimScheduler>(std::move(sim1)),
+  SimulationEngine plugin(Mini(), jobs,
+                          std::make_unique<FastSimScheduler>(std::move(sim1)),
                           Opts(0, 10000));
   plugin.Run();
 

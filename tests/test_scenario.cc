@@ -50,6 +50,7 @@ ScenarioSpec FullSpec() {
   spec.record_history = false;
   spec.prepopulate = false;
   spec.event_triggered_scheduling = false;
+  spec.event_calendar = true;
   spec.tick = 15;
   spec.power_cap_w = 2.5e7;
   spec.outages = {{100, 2000, {1, 2, 3}}, {5000, 0, {7}}};
@@ -74,6 +75,7 @@ TEST(ScenarioSpecTest, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(back.record_history, spec.record_history);
   EXPECT_EQ(back.prepopulate, spec.prepopulate);
   EXPECT_EQ(back.event_triggered_scheduling, spec.event_triggered_scheduling);
+  EXPECT_EQ(back.event_calendar, spec.event_calendar);
   EXPECT_EQ(back.tick, spec.tick);
   EXPECT_DOUBLE_EQ(back.power_cap_w, spec.power_cap_w);
   EXPECT_EQ(back.html_report, spec.html_report);

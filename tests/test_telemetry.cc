@@ -37,6 +37,39 @@ TEST(TraceSeriesTest, LastKnownValueBeyondEnd) {
   EXPECT_DOUBLE_EQ(t.Sample(1000000), 5.0);
 }
 
+TEST(TraceSeriesTest, NextOffsetAfterFindsStepBoundaries) {
+  const TraceSeries t({0, 20, 40}, {1.0, 2.0, 3.0});
+  // Sample() can only change value at offsets[i] for i >= 1.
+  EXPECT_EQ(t.NextOffsetAfter(-5), 20);
+  EXPECT_EQ(t.NextOffsetAfter(0), 20);
+  EXPECT_EQ(t.NextOffsetAfter(19), 20);
+  EXPECT_EQ(t.NextOffsetAfter(20), 40);
+  EXPECT_EQ(t.NextOffsetAfter(40), -1);  // flat from the last sample on
+  EXPECT_EQ(TraceSeries::Constant(0.5).NextOffsetAfter(0), -1);
+  EXPECT_EQ(TraceSeries({7}, {1.0}).NextOffsetAfter(0), -1);  // single sample
+}
+
+TEST(RecorderTest, RecordSpanMatchesRepeatedRecord) {
+  TimeSeriesRecorder a;
+  TimeSeriesRecorder b;
+  for (int i = 0; i < 5; ++i) a.Record("ch", 100 + i * 10, 2.5);
+  b.RecordSpan("ch", 100, 10, 5, 2.5);
+  EXPECT_EQ(a.Get("ch").times, b.Get("ch").times);
+  EXPECT_EQ(a.Get("ch").values, b.Get("ch").values);
+  // Appends continue seamlessly after a span; zero-length spans are no-ops.
+  b.RecordSpan("ch", 150, 10, 0, 9.9);
+  EXPECT_EQ(b.Get("ch").values.size(), 5u);
+  b.Record("ch", 150, 3.5);
+  EXPECT_EQ(b.Get("ch").times.back(), 150);
+}
+
+TEST(RecorderTest, RecordSpanValidatesInput) {
+  TimeSeriesRecorder r;
+  r.RecordSpan("ch", 100, 10, 3, 1.0);
+  EXPECT_THROW(r.RecordSpan("ch", 50, 10, 2, 1.0), std::invalid_argument);  // backwards
+  EXPECT_THROW(r.RecordSpan("ch", 200, 0, 2, 1.0), std::invalid_argument);  // dt = 0
+}
+
 TEST(TraceSeriesTest, HeadFillBeforeFirstSample) {
   const TraceSeries t({10, 20}, {4.0, 5.0});
   EXPECT_DOUBLE_EQ(t.Sample(0), 4.0);
