@@ -10,7 +10,11 @@ Reads one or more google-benchmark JSON result files, compares the
   * a speedup ratio named in the baseline (e.g. the event-calendar vs
     tick-loop sparse speedup) fell below its floor — ratios divide two
     measurements from the *same* run, so they hold across machines of very
-    different absolute speed, and are the primary gate.
+    different absolute speed, and are the primary gate, or
+  * a benchmark/counter named in the baseline is MISSING from the results —
+    in every mode, including --update (a silently skipped bench reads as
+    "no regression" when the regression is total).  Removing a bench on
+    purpose requires --update --allow-missing.
 
 Absolute throughputs differ between CI runners and laptops, so absolute
 comparisons only run with --absolute (CI sets it: the runner fleet is
@@ -91,17 +95,21 @@ def check(baseline, results, tolerance, absolute):
 
 
 def update(baseline, results):
+    """Rewrites baseline values in place.  Returns the benches that were
+    named in the baseline but absent from the results — the caller decides
+    whether that is fatal."""
+    missing = []
     for name, entry in baseline.get("benchmarks", {}).items():
         counter = entry.get("counter", "sim_s_per_wall_s")
         got = counter_of(results, name, counter)
         if got is not None:
             entry["value"] = got
         else:
-            print(f"warning: {name} [{counter}] not in results; keeping old value")
-    return baseline
+            missing.append(f"{name} [{counter}]")
+    return missing
 
 
-def main():
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("results", nargs="+", help="google-benchmark JSON output files")
     ap.add_argument("--baseline", default=str(BASELINE))
@@ -111,17 +119,30 @@ def main():
                     help="also gate absolute throughputs, not just ratios")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from these results and exit")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="with --update: keep (do not fail on) baseline benches "
+                         "absent from the results, e.g. after deleting a bench")
     ap.add_argument("--calibrate", action="store_true",
                     help="with --update: mark the baseline as measured on the "
                          "enforcing fleet, making absolute misses fatal")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     with open(args.baseline) as f:
         baseline = json.load(f)
     results = load_results(args.results)
 
     if args.update:
-        baseline = update(baseline, results)
+        missing = update(baseline, results)
+        if missing and not args.allow_missing:
+            for entry in missing:
+                print(f"MISSING  {entry}: benchmark/counter not in results",
+                      file=sys.stderr)
+            print("\nbaseline NOT updated: a bench named in the baseline did "
+                  "not run.  Re-run it, or pass --allow-missing if it was "
+                  "removed on purpose.", file=sys.stderr)
+            return 1
+        for entry in missing:
+            print(f"warning: {entry} not in results; keeping old value")
         if args.calibrate:
             baseline["calibrated"] = True
         with open(args.baseline, "w") as f:

@@ -28,8 +28,11 @@
 #include "dataloaders/fugaku.h"
 #include "dataloaders/lassen.h"
 #include "dataloaders/marconi.h"
+#include "report/html_report.h"
+#include "report/sweep_report.h"
 #include "sched/policies.h"
 #include "sched/scheduler_registry.h"
+#include "sweep/sweep_runner.h"
 
 using namespace sraps;
 
@@ -68,6 +71,11 @@ void Usage() {
       "  --report             also write a self-contained report.html\n"
       "  -o, --output DIR     write history.csv/stats.out/job_history.csv"
       "[/accounts.json]\n"
+      "  --sweep FILE         run a SweepSpec JSON grid (see DESIGN.md) and exit;\n"
+      "                       with --report also writes sweep_report.html\n"
+      "  --sweep-out DIR      spill sweep rows-*.csv shards + aggregates.json there\n"
+      "  --sweep-threads N    sweep worker threads (default: hardware)\n"
+      "  --sweep-shard N      scenarios per sweep CSV shard (default 256)\n"
       "  --generate SYSTEM    generate a synthetic dataset into --data and exit\n"
       "                       (also: frontier-fig6 for the hero-run scenario)\n"
       "  -v                   verbose logging\n",
@@ -112,6 +120,41 @@ int Generate(const std::string& system, const std::string& dir) {
   return 0;
 }
 
+int RunSweep(const std::string& spec_path, const SweepOptions& options,
+             bool html_report) {
+  SweepRunner runner(SweepSpec::LoadFile(spec_path));
+  const std::size_t total = runner.spec().ScenarioCount();
+  std::printf("sweep '%s': %zu scenarios over %zu axes\n",
+              runner.spec().name.c_str(), total, runner.spec().axes.size());
+  const SweepSummary summary = runner.Run(options);
+  std::printf("%zu ok, %zu failed in %.2f s (%.1f scenarios/s)\n",
+              summary.ok_count, summary.failed_count, summary.wall_seconds,
+              summary.wall_seconds > 0
+                  ? static_cast<double>(summary.total) / summary.wall_seconds
+                  : 0.0);
+  for (const std::string& err : summary.sample_errors) {
+    std::fprintf(stderr, "  failed: %s\n", err.c_str());
+  }
+  std::printf("%s\n", summary.aggregates.ToJson().Dump(2).c_str());
+  if (html_report && options.output_dir.empty()) {
+    std::fprintf(stderr,
+                 "note: --report needs --sweep-out DIR; no report written\n");
+  }
+  if (!options.output_dir.empty()) {
+    std::printf("%zu row shard(s) + aggregates.json written to %s/\n",
+                summary.shard_paths.size(), options.output_dir.c_str());
+    if (html_report) {
+      const std::string path = options.output_dir + "/sweep_report.html";
+      WriteReportFile(path,
+                      RenderSweepReport(runner.spec(), summary.aggregates));
+      std::printf("report written to %s\n", path.c_str());
+    }
+  }
+  // Any failed scenario is a nonzero exit: the sweep-smoke and nightly CI
+  // lanes gate on this, so a half-broken grid cannot pass green.
+  return summary.failed_count == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,6 +163,8 @@ int main(int argc, char** argv) {
   std::string output_dir;
   std::string generate_system;
   std::string save_scenario;
+  std::string sweep_spec;
+  SweepOptions sweep_options;
   bool validate = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -184,6 +229,29 @@ int main(int argc, char** argv) {
       if (!NextArg(argc, argv, i, output_dir)) return 2;
     } else if (!std::strcmp(a, "--generate")) {
       if (!NextArg(argc, argv, i, generate_system)) return 2;
+    } else if (!std::strcmp(a, "--sweep")) {
+      if (!NextArg(argc, argv, i, sweep_spec)) return 2;
+    } else if (!std::strcmp(a, "--sweep-out")) {
+      if (!NextArg(argc, argv, i, sweep_options.output_dir)) return 2;
+    } else if (!std::strcmp(a, "--sweep-threads")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      // std::stoul accepts "-1" by wrapping; reject negatives explicitly.
+      try {
+        if (v.find('-') != std::string::npos) throw std::invalid_argument(v);
+        sweep_options.threads = static_cast<unsigned>(std::stoul(v));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad thread count '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--sweep-shard")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        if (v.find('-') != std::string::npos) throw std::invalid_argument(v);
+        sweep_options.shard_size = std::stoul(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad shard size '%s'\n", v.c_str());
+        return 2;
+      }
     } else if (!std::strcmp(a, "--power-cap")) {
       if (!NextArg(argc, argv, i, v)) return 2;
       try {
@@ -206,6 +274,7 @@ int main(int argc, char** argv) {
 
   try {
     if (!generate_system.empty()) return Generate(generate_system, opts.dataset_path);
+    if (!sweep_spec.empty()) return RunSweep(sweep_spec, sweep_options, opts.html_report);
     if (!save_scenario.empty()) {
       opts.SaveFile(save_scenario);
       std::printf("scenario written to %s\n", save_scenario.c_str());

@@ -131,6 +131,18 @@ void ScenarioSpec::SaveFile(const std::string& path) const {
   out << ToJson().Dump(2) << "\n";
 }
 
+void ApplyScenarioKey(ScenarioSpec& spec, const std::string& key,
+                      const JsonValue& value) {
+  JsonObject patch = spec.ToJson().AsObject();
+  patch[key] = value;
+  // Parse before touching `spec`: if the key/value is rejected the caller's
+  // spec (including its programmatic-only fields) is left fully intact.
+  ScenarioSpec parsed = ScenarioSpec::FromJson(JsonValue(std::move(patch)));
+  parsed.jobs_override = std::move(spec.jobs_override);
+  parsed.config_override = std::move(spec.config_override);
+  spec = std::move(parsed);
+}
+
 void ValidateScenarioSpec(const ScenarioSpec& spec) {
   if (spec.name.empty()) {
     throw std::invalid_argument("ScenarioSpec: name must not be empty");

@@ -72,6 +72,15 @@ struct ScenarioSpec {
   void SaveFile(const std::string& path) const;
 };
 
+/// Applies one JSON-level field assignment to a spec: `key` is any ToJson
+/// key ("power_cap_w", "scheduler", "event_calendar", ...) and `value` its
+/// new value.  Reuses the strict FromJson parsing, so an unknown key or a
+/// mistyped value throws std::invalid_argument; the programmatic-only
+/// jobs_override / config_override fields are preserved across the patch.
+/// This is how sweep axes stamp values onto scenario copies.
+void ApplyScenarioKey(ScenarioSpec& spec, const std::string& key,
+                      const JsonValue& value);
+
 /// Value-level validation shared by the builder and the facade: rejects
 /// negative fast-forward/duration/tick, negative power cap, malformed
 /// outages (empty node list, negative node ids), and an empty name, with

@@ -1,5 +1,6 @@
 #include "experiment/experiment_runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <stdexcept>
@@ -61,8 +62,8 @@ void ExperimentRunner::EnsureJobsLoaded() {
   jobs_loaded_ = true;
 }
 
-ScenarioResult ExperimentRunner::RunOne(ScenarioSpec spec,
-                                        const std::string& output_dir) const {
+ScenarioResult RunScenarioSpec(ScenarioSpec spec, const std::string& output_dir,
+                               bool capture_stats_json) {
   ScenarioResult r;
   r.name = spec.name;
   try {
@@ -73,6 +74,15 @@ ScenarioResult ExperimentRunner::RunOne(ScenarioSpec spec,
     r.counters = eng.counters();
     r.avg_wait_s = eng.stats().AvgWaitSeconds();
     r.avg_turnaround_s = eng.stats().AvgTurnaroundSeconds();
+    if (!eng.stats().records().empty()) {
+      SimTime first_submit = eng.stats().records().front().submit;
+      SimTime last_end = eng.stats().records().front().end;
+      for (const JobRecord& rec : eng.stats().records()) {
+        first_submit = std::min(first_submit, rec.submit);
+        last_end = std::max(last_end, rec.end);
+      }
+      r.makespan_s = static_cast<double>(last_end - first_submit);
+    }
     r.total_energy_j = eng.stats().TotalEnergyJ();
     if (eng.recorder().Has("power_kw")) {
       r.mean_power_kw = eng.recorder().MeanOf("power_kw");
@@ -85,13 +95,19 @@ ScenarioResult ExperimentRunner::RunOne(ScenarioSpec spec,
     r.sim_start = sim->sim_start();
     r.sim_end = sim->sim_end();
     r.wall_seconds = sim->wall_seconds();
-    r.stats = eng.stats().ToJson();
+    r.fingerprint = eng.stats().Fingerprint();
+    if (capture_stats_json) r.stats = eng.stats().ToJson();
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
   }
   return r;
+}
+
+ScenarioResult ExperimentRunner::RunOne(ScenarioSpec spec,
+                                        const std::string& output_dir) const {
+  return RunScenarioSpec(std::move(spec), output_dir);
 }
 
 std::vector<ScenarioResult> ExperimentRunner::RunAll(const ExperimentOptions& options) {
@@ -195,6 +211,7 @@ JsonValue ResultsToJson(const std::vector<ScenarioResult>& results) {
     obj["counters"] = JsonValue(std::move(counters));
     obj["avg_wait_s"] = r.avg_wait_s;
     obj["avg_turnaround_s"] = r.avg_turnaround_s;
+    obj["makespan_s"] = r.makespan_s;
     obj["total_energy_j"] = r.total_energy_j;
     obj["mean_power_kw"] = r.mean_power_kw;
     obj["max_power_kw"] = r.max_power_kw;

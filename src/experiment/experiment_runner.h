@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -41,6 +42,10 @@ struct ScenarioResult {
   EngineCounters counters;
   double avg_wait_s = 0.0;
   double avg_turnaround_s = 0.0;
+  /// Workload completion span: last completion end − first submit over the
+  /// completed-job records (0 when nothing completed).  The energy-vs-
+  /// makespan Pareto frontier of sweeps uses this as its time objective.
+  double makespan_s = 0.0;
   double total_energy_j = 0.0;
   double mean_power_kw = 0.0;   ///< 0 when history recording is off
   double max_power_kw = 0.0;
@@ -49,8 +54,20 @@ struct ScenarioResult {
   SimTime sim_start = 0;
   SimTime sim_end = 0;
   double wall_seconds = 0.0;
+  /// SimulationStats::Fingerprint(): order-sensitive digest over every
+  /// completion record — the cheap determinism probe sweep shards carry.
+  std::uint64_t fingerprint = 0;
   JsonValue stats;              ///< full SimulationStats::ToJson()
 };
+
+/// Builds and runs ONE scenario, extracting the summary metrics every
+/// experiment/sweep row needs.  Failures are captured in the result
+/// (`ok = false`, `error`), never thrown.  `capture_stats_json` controls
+/// whether the full SimulationStats JSON blob is retained — the streaming
+/// sweep path turns it off so a folded row stays a few hundred bytes.  When
+/// `output_dir` is non-empty the artifact files are written there.
+ScenarioResult RunScenarioSpec(ScenarioSpec spec, const std::string& output_dir,
+                               bool capture_stats_json = true);
 
 struct ExperimentOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).

@@ -1,0 +1,171 @@
+#include "report/sweep_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sraps {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Round(double v, int digits = 2) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(digits);
+  ss << v;
+  return ss.str();
+}
+
+double NiceStep(double range) {
+  if (range <= 0) return 1.0;
+  const double raw = range / 5.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  if (norm < 1.5) return mag;
+  if (norm < 3.5) return 2.0 * mag;
+  if (norm < 7.5) return 5.0 * mag;
+  return 10.0 * mag;
+}
+
+/// Scatter of scenarios in (energy MWh, makespan h); frontier points in the
+/// warning colour, joined by a step line.
+std::string RenderParetoScatter(const SweepAggregates& agg, int width, int height) {
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width << "' height='"
+      << height << "' font-family='sans-serif' font-size='11'>\n";
+  svg << "<text x='56' y='16' font-size='13' font-weight='bold'>"
+      << "energy vs makespan (" << agg.points.size() << " scenarios, "
+      << agg.pareto.size() << " on frontier)</text>\n";
+  if (agg.points.empty()) {
+    svg << "<text x='56' y='40'>(no completed scenarios)</text>\n</svg>\n";
+    return svg.str();
+  }
+
+  const auto mwh = [](double j) { return j / 3.6e9; };
+  const auto hours = [](double s) { return s / 3600.0; };
+  double x_min = mwh(agg.points.front().total_energy_j), x_max = x_min;
+  double y_min = hours(agg.points.front().makespan_s), y_max = y_min;
+  for (const SweepPoint& p : agg.points) {
+    x_min = std::min(x_min, mwh(p.total_energy_j));
+    x_max = std::max(x_max, mwh(p.total_energy_j));
+    y_min = std::min(y_min, hours(p.makespan_s));
+    y_max = std::max(y_max, hours(p.makespan_s));
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  const double x_pad = (x_max - x_min) * 0.05, y_pad = (y_max - y_min) * 0.05;
+  x_min -= x_pad;
+  x_max += x_pad;
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  const int ml = 56, mr = 16, mt = 28, mb = 40;
+  const double pw = width - ml - mr, ph = height - mt - mb;
+  auto x_of = [&](double x) { return ml + (x - x_min) / (x_max - x_min) * pw; };
+  auto y_of = [&](double y) { return mt + ph - (y - y_min) / (y_max - y_min) * ph; };
+
+  svg << "<rect x='" << ml << "' y='" << mt << "' width='" << pw << "' height='" << ph
+      << "' fill='none' stroke='#999'/>\n";
+  const double xstep = NiceStep(x_max - x_min);
+  for (double x = std::ceil(x_min / xstep) * xstep; x <= x_max; x += xstep) {
+    svg << "<text x='" << x_of(x) << "' y='" << (mt + ph + 16)
+        << "' text-anchor='middle'>" << Round(x, xstep < 1 ? 2 : 0) << "</text>\n";
+  }
+  const double ystep = NiceStep(y_max - y_min);
+  for (double y = std::ceil(y_min / ystep) * ystep; y <= y_max; y += ystep) {
+    svg << "<text x='" << (ml - 6) << "' y='" << (y_of(y) + 4)
+        << "' text-anchor='end'>" << Round(y, ystep < 1 ? 2 : 0) << "</text>\n";
+  }
+  svg << "<text x='" << (ml + pw / 2) << "' y='" << (mt + ph + 32)
+      << "' text-anchor='middle'>energy [MWh]</text>\n";
+  svg << "<text x='14' y='" << (mt + ph / 2)
+      << "' text-anchor='middle' transform='rotate(-90 14 " << (mt + ph / 2)
+      << ")'>makespan [h]</text>\n";
+
+  for (const SweepPoint& p : agg.points) {
+    if (p.on_frontier) continue;
+    svg << "<circle cx='" << x_of(mwh(p.total_energy_j)) << "' cy='"
+        << y_of(hours(p.makespan_s))
+        << "' r='2.5' fill='#0072B2' fill-opacity='0.35'/>\n";
+  }
+  if (!agg.pareto.empty()) {
+    svg << "<polyline fill='none' stroke='#D55E00' stroke-width='1.5' points='";
+    for (const ParetoPoint& p : agg.pareto) {
+      svg << x_of(mwh(p.total_energy_j)) << "," << y_of(hours(p.makespan_s)) << " ";
+    }
+    svg << "'/>\n";
+    for (const ParetoPoint& p : agg.pareto) {
+      svg << "<circle cx='" << x_of(mwh(p.total_energy_j)) << "' cy='"
+          << y_of(hours(p.makespan_s)) << "' r='4' fill='#D55E00'><title>"
+          << Escape(p.name) << "</title></circle>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace
+
+std::string RenderSweepReport(const SweepSpec& spec, const SweepAggregates& agg) {
+  std::ostringstream html;
+  html << "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>\n<title>"
+       << Escape(spec.name) << " — sweep report</title>\n<style>\n"
+       << "body{font-family:sans-serif;margin:24px;color:#222}\n"
+       << "table{border-collapse:collapse;margin:12px 0}\n"
+       << "th,td{border:1px solid #ccc;padding:4px 10px;text-align:right}\n"
+       << "th{background:#f4f4f4}\ntd:first-child,th:first-child{text-align:left}\n"
+       << "</style></head><body>\n";
+  html << "<h1>" << Escape(spec.name) << "</h1>\n";
+  html << "<p>" << agg.total << " scenarios (" << agg.ok_count << " ok, "
+       << agg.failed_count << " failed) over " << spec.axes.size()
+       << " axes; base system <b>" << Escape(spec.base.system) << "</b>, scheduler <b>"
+       << Escape(spec.base.scheduler) << "</b>, policy <b>" << Escape(spec.base.policy)
+       << "</b>.</p>\n";
+
+  html << "<h2>Axes</h2>\n<table><tr><th>key</th><th>values</th></tr>\n";
+  for (const SweepAxis& axis : spec.axes) {
+    std::string values;
+    for (const JsonValue& v : axis.values) {
+      if (!values.empty()) values += ", ";
+      values += v.is_string() ? v.AsString() : v.Dump(0);
+    }
+    html << "<tr><td>" << Escape(axis.key) << "</td><td>" << Escape(values)
+         << "</td></tr>\n";
+  }
+  html << "</table>\n";
+
+  html << "<h2>Aggregates</h2>\n<table><tr><th>metric</th><th>mean</th><th>min</th>"
+       << "<th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>\n";
+  for (const auto& [name, s] : agg.metrics) {
+    html << "<tr><td>" << Escape(name) << "</td><td>" << Round(s.mean) << "</td><td>"
+         << Round(s.min) << "</td><td>" << Round(s.p50) << "</td><td>" << Round(s.p90)
+         << "</td><td>" << Round(s.p99) << "</td><td>" << Round(s.max)
+         << "</td></tr>\n";
+  }
+  html << "</table>\n";
+
+  html << "<h2>Pareto frontier</h2>\n" << RenderParetoScatter(agg, 760, 420) << "\n";
+  html << "<table><tr><th>scenario</th><th>energy [MWh]</th><th>makespan [h]</th></tr>\n";
+  for (const ParetoPoint& p : agg.pareto) {
+    html << "<tr><td>" << Escape(p.name) << "</td><td>"
+         << Round(p.total_energy_j / 3.6e9, 3) << "</td><td>"
+         << Round(p.makespan_s / 3600.0, 2) << "</td></tr>\n";
+  }
+  html << "</table>\n</body></html>\n";
+  return html.str();
+}
+
+}  // namespace sraps

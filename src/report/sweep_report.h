@@ -1,0 +1,19 @@
+// Sweep report: one self-contained HTML page summarising a SweepRunner run —
+// the grid definition, the per-metric aggregate table, and an SVG scatter of
+// every scenario in the (energy, makespan) plane with the Pareto frontier
+// highlighted — so a thousand-scenario sweep can be triaged without loading
+// the row shards into a plotting stack.
+#pragma once
+
+#include <string>
+
+#include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
+
+namespace sraps {
+
+/// Renders the report from the spec (axis table) and the finalized
+/// aggregates (metric summaries, Pareto frontier, scatter points).
+std::string RenderSweepReport(const SweepSpec& spec, const SweepAggregates& agg);
+
+}  // namespace sraps

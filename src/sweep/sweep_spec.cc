@@ -1,0 +1,309 @@
+#include "sweep/sweep_spec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+
+namespace sraps {
+namespace {
+
+constexpr const char* kSynthPrefix = "synth.";
+
+bool IsSynthKey(const std::string& key) {
+  return key.rfind(kSynthPrefix, 0) == 0;
+}
+
+std::string SynthKnob(const std::string& key) {
+  return key.substr(std::string(kSynthPrefix).size());
+}
+
+/// JSON-patches one synthetic-workload knob, with the same strict unknown-key
+/// behaviour ApplyScenarioKey gives scenario fields.
+void ApplySynthKey(SyntheticWorkloadSpec& spec, const std::string& knob,
+                   const JsonValue& value) {
+  JsonObject patch = spec.ToJson().AsObject();
+  patch[knob] = value;
+  spec = SyntheticWorkloadSpec::FromJson(JsonValue(std::move(patch)));
+}
+
+}  // namespace
+
+SweepAxis::SweepAxis(std::string key_in, std::vector<JsonValue> values_in)
+    : key(std::move(key_in)), values(std::move(values_in)) {}
+
+SweepAxis SweepAxis::Range(std::string key, double from, double to, double step) {
+  if (!(step > 0) || !std::isfinite(step)) {
+    throw std::invalid_argument("SweepAxis '" + key + "': range step must be > 0");
+  }
+  if (!std::isfinite(from) || !std::isfinite(to) || from > to) {
+    throw std::invalid_argument("SweepAxis '" + key +
+                                "': range requires finite from <= to");
+  }
+  std::vector<JsonValue> values;
+  // Tolerate accumulated rounding at the upper endpoint so e.g.
+  // Range(0.1, 0.3, 0.1) yields {0.1, 0.2, 0.3} — with the final value
+  // clamped to `to` so the inclusive bound is honoured bit-exactly.
+  const double tol = step * 1e-9;
+  for (std::size_t k = 0;; ++k) {
+    const double v = from + static_cast<double>(k) * step;
+    if (v > to + tol) break;
+    values.emplace_back(v > to ? to : v);
+  }
+  return SweepAxis(std::move(key), std::move(values));
+}
+
+SweepAxis SweepAxis::LogRange(std::string key, double from, double to, int points) {
+  if (!(from > 0) || !(to > 0)) {
+    throw std::invalid_argument("SweepAxis '" + key +
+                                "': log_range requires from, to > 0");
+  }
+  if (points < 1) {
+    throw std::invalid_argument("SweepAxis '" + key +
+                                "': log_range requires points >= 1");
+  }
+  if (points == 1 && from != to) {
+    throw std::invalid_argument("SweepAxis '" + key +
+                                "': log_range with 1 point requires from == to");
+  }
+  std::vector<JsonValue> values;
+  values.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    // Endpoints land exactly: i == 0 is `from` and i == points-1 is `to`
+    // bit-for-bit, not via pow round trips.
+    double v;
+    if (i == 0) {
+      v = from;
+    } else if (i == points - 1) {
+      v = to;
+    } else {
+      const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+      v = from * std::pow(to / from, t);
+    }
+    values.emplace_back(v);
+  }
+  return SweepAxis(std::move(key), std::move(values));
+}
+
+JsonValue SweepAxis::ToJson() const {
+  JsonObject obj;
+  obj["key"] = key;
+  obj["values"] = JsonValue(JsonArray(values.begin(), values.end()));
+  return JsonValue(std::move(obj));
+}
+
+SweepAxis SweepAxis::FromJson(const JsonValue& v) {
+  // Collect every field before dispatching, so an unknown key (or a typo'd
+  // 'values' next to a 'range') is rejected regardless of iteration order.
+  std::string key;
+  const JsonValue* values = nullptr;
+  const JsonValue* range = nullptr;
+  const JsonValue* log_range = nullptr;
+  for (const auto& [field, value] : v.AsObject()) {
+    if (field == "key") {
+      key = value.AsString();
+    } else if (field == "values") {
+      values = &value;
+    } else if (field == "range") {
+      range = &value;
+    } else if (field == "log_range") {
+      log_range = &value;
+    } else {
+      throw std::invalid_argument("SweepAxis: unknown key '" + field + "'");
+    }
+  }
+  if (key.empty()) {
+    throw std::invalid_argument("SweepAxis: missing 'key'");
+  }
+  const int forms = (values != nullptr) + (range != nullptr) + (log_range != nullptr);
+  if (forms != 1) {
+    throw std::invalid_argument("SweepAxis '" + key +
+                                "': needs exactly one of 'values', 'range', "
+                                "or 'log_range'");
+  }
+  const auto check_fields = [&](const JsonValue& form, const char* which,
+                                std::initializer_list<const char*> allowed) {
+    for (const auto& [field, value] : form.AsObject()) {
+      (void)value;
+      bool known = false;
+      for (const char* name : allowed) known = known || field == name;
+      if (!known) {
+        throw std::invalid_argument("SweepAxis '" + key + "': unknown " + which +
+                                    " key '" + field + "'");
+      }
+    }
+  };
+  if (range) {
+    check_fields(*range, "range", {"from", "to", "step"});
+    return Range(std::move(key), range->At("from").AsDouble(),
+                 range->At("to").AsDouble(), range->At("step").AsDouble());
+  }
+  if (log_range) {
+    check_fields(*log_range, "log_range", {"from", "to", "points"});
+    return LogRange(std::move(key), log_range->At("from").AsDouble(),
+                    log_range->At("to").AsDouble(),
+                    static_cast<int>(log_range->At("points").AsInt()));
+  }
+  return SweepAxis(std::move(key),
+                   std::vector<JsonValue>(values->AsArray().begin(),
+                                          values->AsArray().end()));
+}
+
+std::size_t SweepSpec::ScenarioCount() const {
+  std::size_t n = 1;
+  for (const SweepAxis& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+ExpandedScenario SweepSpec::Expand(std::size_t index) const {
+  const std::size_t total = ScenarioCount();
+  if (index >= total) {
+    throw std::out_of_range("SweepSpec '" + name + "': scenario index " +
+                            std::to_string(index) + " >= " + std::to_string(total));
+  }
+  ExpandedScenario out;
+  out.index = index;
+  out.spec = base;
+  out.synthetic = synthetic;
+
+  // Decompose the flat index with the LAST axis varying fastest.
+  std::vector<std::size_t> axis_index(axes.size(), 0);
+  std::size_t rem = index;
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    axis_index[a] = rem % axes[a].values.size();
+    rem /= axes[a].values.size();
+  }
+  out.axis_values.reserve(axes.size());
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    const JsonValue& value = axes[a].values[axis_index[a]];
+    out.axis_values.push_back(value);
+    if (IsSynthKey(axes[a].key)) {
+      if (!out.synthetic) out.synthetic.emplace();
+      ApplySynthKey(*out.synthetic, SynthKnob(axes[a].key), value);
+    } else {
+      ApplyScenarioKey(out.spec, axes[a].key, value);
+    }
+  }
+
+  char suffix[24];
+  std::snprintf(suffix, sizeof suffix, "-%06zu", index);
+  out.spec.name = name + suffix;
+  return out;
+}
+
+void SweepSpec::Validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("SweepSpec: name must not be empty");
+  }
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    const SweepAxis& axis = axes[a];
+    if (axis.key.empty()) {
+      throw std::invalid_argument("SweepSpec '" + name + "': axis " +
+                                  std::to_string(a) + " has an empty key");
+    }
+    if (axis.values.empty()) {
+      throw std::invalid_argument("SweepSpec '" + name + "': axis '" + axis.key +
+                                  "' has no values");
+    }
+    if (axis.key == "name" || axis.key == "dataset") {
+      throw std::invalid_argument(
+          "SweepSpec '" + name + "': axis '" + axis.key +
+          "' is not sweepable (scenario names are derived; the workload "
+          "dataset is shared across the sweep)");
+    }
+    for (std::size_t b = 0; b < a; ++b) {
+      if (axes[b].key == axis.key) {
+        throw std::invalid_argument("SweepSpec '" + name + "': duplicate axis key '" +
+                                    axis.key + "'");
+      }
+    }
+    // Probe-apply every value so type and key errors surface at load time
+    // rather than scenario #1371.
+    try {
+      if (IsSynthKey(axis.key)) {
+        if (!synthetic && !calibrate_synthetic) {
+          throw std::invalid_argument(
+              "axis needs a 'synthetic' section (or calibrate_synthetic)");
+        }
+        SyntheticWorkloadSpec probe = synthetic ? *synthetic
+                                                : SyntheticWorkloadSpec{};
+        for (const JsonValue& value : axis.values) {
+          ApplySynthKey(probe, SynthKnob(axis.key), value);
+        }
+      } else {
+        ScenarioSpec probe = base;
+        for (const JsonValue& value : axis.values) {
+          ApplyScenarioKey(probe, axis.key, value);
+        }
+      }
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("SweepSpec '" + name + "': axis '" + axis.key +
+                                  "': " + e.what());
+    }
+  }
+  if (calibrate_synthetic && base.dataset_path.empty() && base.jobs_override.empty()) {
+    throw std::invalid_argument("SweepSpec '" + name +
+                                "': calibrate_synthetic requires a base dataset "
+                                "(or jobs_override) to fit from");
+  }
+  if (calibrate_synthetic && synthetic) {
+    throw std::invalid_argument(
+        "SweepSpec '" + name +
+        "': calibrate_synthetic and an explicit 'synthetic' section are "
+        "mutually exclusive (override fitted knobs with 'synth.*' axes)");
+  }
+  ValidateScenarioSpec(base);
+}
+
+JsonValue SweepSpec::ToJson() const {
+  JsonObject obj;
+  obj["name"] = name;
+  obj["base"] = base.ToJson();
+  JsonArray axis_array;
+  axis_array.reserve(axes.size());
+  for (const SweepAxis& axis : axes) axis_array.push_back(axis.ToJson());
+  obj["axes"] = JsonValue(std::move(axis_array));
+  if (synthetic) obj["synthetic"] = synthetic->ToJson();
+  obj["calibrate_synthetic"] = calibrate_synthetic;
+  return JsonValue(std::move(obj));
+}
+
+SweepSpec SweepSpec::FromJson(const JsonValue& v) {
+  SweepSpec spec;
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "name") {
+      spec.name = value.AsString();
+    } else if (key == "base") {
+      spec.base = ScenarioSpec::FromJson(value);
+    } else if (key == "axes") {
+      for (const JsonValue& axis : value.AsArray()) {
+        spec.axes.push_back(SweepAxis::FromJson(axis));
+      }
+    } else if (key == "synthetic") {
+      spec.synthetic = SyntheticWorkloadSpec::FromJson(value);
+    } else if (key == "calibrate_synthetic") {
+      spec.calibrate_synthetic = value.AsBool();
+    } else {
+      throw std::invalid_argument("SweepSpec: unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+SweepSpec SweepSpec::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("SweepSpec: cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return FromJson(JsonValue::Parse(text.str()));
+}
+
+void SweepSpec::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SweepSpec: cannot write '" + path + "'");
+  out << ToJson().Dump(2) << "\n";
+}
+
+}  // namespace sraps

@@ -1,0 +1,117 @@
+// SweepSpec: a declarative parameter grid over ScenarioSpec.  One base
+// scenario plus N axes — each a list, arithmetic range, or log range over a
+// scenario key ("power_cap_w", "scheduler", "event_calendar", ...) or a
+// synthetic-workload knob ("synth.seed", "synth.arrival_rate_per_hour", ...)
+// — expand to the cross product of their values.  Expansion is LAZY: a
+// sweep never materialises its scenario list; Expand(i) reconstructs
+// scenario #i from the base and the axis values on demand, so a
+// 2,000-scenario grid costs 2,000 × (one spec copy), never 2,000 ×
+// (one Simulation).
+//
+// Sweep files are JSON:
+//
+//   {
+//     "name": "powercap-grid",
+//     "base": { <ScenarioSpec fields> },
+//     "axes": [
+//       {"key": "power_cap_w", "range": {"from": 14e6, "to": 20e6, "step": 2e6}},
+//       {"key": "backfill", "values": ["easy", "none"]},
+//       {"key": "synth.seed", "values": [1, 2, 3, 4]}
+//     ],
+//     "synthetic": { <SyntheticWorkloadSpec fields> },   // optional
+//     "calibrate_synthetic": false                        // optional
+//   }
+//
+// When "synthetic" is present the workload is generated per scenario instead
+// of loaded from base.dataset; with "calibrate_synthetic" the base dataset
+// is loaded once, fitted via CalibrateSyntheticWorkload, and the fitted spec
+// (patched with per-scenario "synth.*" axis values) drives generation — this
+// is how a sweep scales job counts beyond the recorded trace.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/scenario.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+
+/// One sweep dimension: a scenario (or "synth.") key and its ordered values.
+/// Ranges are expanded to explicit values at construction/parse time, so the
+/// canonical (ToJson) form is always a value list.
+struct SweepAxis {
+  std::string key;
+  std::vector<JsonValue> values;
+
+  SweepAxis() = default;
+  SweepAxis(std::string key, std::vector<JsonValue> values);
+
+  /// Arithmetic range [from, to] inclusive with positive step; the last
+  /// value is the largest from + k*step <= to (+ tolerance for rounding).
+  /// from == to yields a single value.  Throws on step <= 0 or from > to.
+  static SweepAxis Range(std::string key, double from, double to, double step);
+
+  /// Geometric range: `points` values from `from` to `to` with a constant
+  /// ratio (both endpoints included; points == 1 requires from == to).
+  /// Throws unless from, to > 0 and points >= 1.
+  static SweepAxis LogRange(std::string key, double from, double to, int points);
+
+  /// {"key": K, "values": [...]}.
+  JsonValue ToJson() const;
+  /// Accepts {"key", "values"} | {"key", "range": {from,to,step}} |
+  /// {"key", "log_range": {from,to,points}}.
+  static SweepAxis FromJson(const JsonValue& v);
+};
+
+/// Scenario #index of a sweep, fully resolved: the patched ScenarioSpec and,
+/// for synthetic sweeps, the patched workload spec to generate jobs from.
+struct ExpandedScenario {
+  std::size_t index = 0;
+  ScenarioSpec spec;
+  std::optional<SyntheticWorkloadSpec> synthetic;
+  /// The axis values this scenario was stamped with, in axis order
+  /// (column values for the result rows).
+  std::vector<JsonValue> axis_values;
+};
+
+struct SweepSpec {
+  std::string name = "sweep";
+  ScenarioSpec base;
+  std::vector<SweepAxis> axes;
+  /// Per-scenario generated workload (replaces base.dataset_path at run
+  /// time).  Axis keys "synth.<knob>" patch this spec per scenario.
+  std::optional<SyntheticWorkloadSpec> synthetic;
+  /// Load base.dataset once, fit a SyntheticWorkloadSpec from it
+  /// (CalibrateSyntheticWorkload), and generate per-scenario workloads from
+  /// the fit.  Mutually exclusive with an explicit `synthetic` section —
+  /// override fitted knobs with "synth.*" axes instead.  The runner resolves
+  /// the fit by assigning `synthetic` on its working copy before Expand.
+  bool calibrate_synthetic = false;
+
+  /// Cross-product size (1 when there are no axes).
+  std::size_t ScenarioCount() const;
+
+  /// Reconstructs scenario #index.  The LAST axis varies fastest (row-major
+  /// nesting, like the equivalent nested for loops).  The scenario is named
+  /// "<name>-<zero-padded index>"; axis values ride along for labelling.
+  /// Throws std::out_of_range for index >= ScenarioCount().
+  ExpandedScenario Expand(std::size_t index) const;
+
+  /// Structural validation: non-empty name, every axis non-empty with a
+  /// unique key, no axis on "name"/"dataset" (the workload is shared),
+  /// "synth." axes only with a synthetic section, every key applicable to
+  /// the base spec (probed via ApplyScenarioKey), and the base spec itself
+  /// valid.  Throws std::invalid_argument.
+  void Validate() const;
+
+  JsonValue ToJson() const;
+  static SweepSpec FromJson(const JsonValue& v);
+  static SweepSpec LoadFile(const std::string& path);
+  void SaveFile(const std::string& path) const;
+};
+
+}  // namespace sraps

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
+#include <stdexcept>
 
 #include "common/mathutil.h"
 
@@ -100,6 +102,141 @@ std::vector<Job> GenerateSyntheticWorkload(const SyntheticWorkloadSpec& spec,
     jobs.push_back(std::move(job));
   }
   return jobs;
+}
+
+JsonValue SyntheticWorkloadSpec::ToJson() const {
+  JsonObject obj;
+  obj["first_submit"] = JsonValue(static_cast<std::int64_t>(first_submit));
+  obj["horizon"] = JsonValue(static_cast<std::int64_t>(horizon));
+  obj["arrival_rate_per_hour"] = arrival_rate_per_hour;
+  obj["max_nodes"] = max_nodes;
+  obj["mean_nodes_log2"] = mean_nodes_log2;
+  obj["sd_nodes_log2"] = sd_nodes_log2;
+  obj["runtime_mu"] = runtime_mu;
+  obj["runtime_sigma"] = runtime_sigma;
+  obj["overestimate_factor"] = overestimate_factor;
+  obj["mean_cpu_util"] = mean_cpu_util;
+  obj["mean_gpu_util"] = mean_gpu_util;
+  obj["gpu_jobs"] = gpu_jobs;
+  obj["trace_interval"] = JsonValue(static_cast<std::int64_t>(trace_interval));
+  obj["num_accounts"] = num_accounts;
+  obj["num_users_per_account"] = num_users_per_account;
+  obj["priority_max"] = priority_max;
+  obj["seed"] = JsonValue(static_cast<std::int64_t>(seed));
+  return JsonValue(std::move(obj));
+}
+
+SyntheticWorkloadSpec SyntheticWorkloadSpec::FromJson(const JsonValue& v) {
+  SyntheticWorkloadSpec spec;
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "first_submit") {
+      spec.first_submit = value.AsInt();
+    } else if (key == "horizon") {
+      spec.horizon = value.AsInt();
+    } else if (key == "arrival_rate_per_hour") {
+      spec.arrival_rate_per_hour = value.AsDouble();
+    } else if (key == "max_nodes") {
+      spec.max_nodes = static_cast<int>(value.AsInt());
+    } else if (key == "mean_nodes_log2") {
+      spec.mean_nodes_log2 = value.AsDouble();
+    } else if (key == "sd_nodes_log2") {
+      spec.sd_nodes_log2 = value.AsDouble();
+    } else if (key == "runtime_mu") {
+      spec.runtime_mu = value.AsDouble();
+    } else if (key == "runtime_sigma") {
+      spec.runtime_sigma = value.AsDouble();
+    } else if (key == "overestimate_factor") {
+      spec.overestimate_factor = value.AsDouble();
+    } else if (key == "mean_cpu_util") {
+      spec.mean_cpu_util = value.AsDouble();
+    } else if (key == "mean_gpu_util") {
+      spec.mean_gpu_util = value.AsDouble();
+    } else if (key == "gpu_jobs") {
+      spec.gpu_jobs = value.AsBool();
+    } else if (key == "trace_interval") {
+      spec.trace_interval = value.AsInt();
+    } else if (key == "num_accounts") {
+      spec.num_accounts = static_cast<int>(value.AsInt());
+    } else if (key == "num_users_per_account") {
+      spec.num_users_per_account = static_cast<int>(value.AsInt());
+    } else if (key == "priority_max") {
+      spec.priority_max = value.AsDouble();
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(value.AsInt());
+    } else {
+      throw std::invalid_argument("SyntheticWorkloadSpec: unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+SyntheticWorkloadSpec CalibrateSyntheticWorkload(const std::vector<Job>& jobs) {
+  if (jobs.empty()) {
+    throw std::invalid_argument("CalibrateSyntheticWorkload: no jobs to fit");
+  }
+  SyntheticWorkloadSpec spec;
+
+  SimTime first_submit = jobs.front().submit_time;
+  SimTime last_submit = jobs.front().submit_time;
+  int max_nodes = 1;
+  std::vector<double> log2_nodes;
+  std::vector<double> log_runtimes;
+  std::vector<double> overestimates;
+  std::vector<double> cpu_plateaus;
+  std::vector<double> gpu_plateaus;
+  std::set<std::string> accounts;
+  std::set<std::string> users;
+  double priority_max = 0.0;
+  SimDuration trace_interval = 0;
+  for (const Job& job : jobs) {
+    first_submit = std::min(first_submit, job.submit_time);
+    last_submit = std::max(last_submit, job.submit_time);
+    max_nodes = std::max(max_nodes, job.nodes_required);
+    log2_nodes.push_back(std::log2(std::max(1, job.nodes_required)));
+    if (job.recorded_start >= 0 && job.recorded_end > job.recorded_start) {
+      const auto runtime = static_cast<double>(job.recorded_end - job.recorded_start);
+      log_runtimes.push_back(std::log(runtime));
+      if (job.time_limit > 0) {
+        overestimates.push_back(static_cast<double>(job.time_limit) / runtime);
+      }
+    }
+    if (!job.cpu_util.empty()) cpu_plateaus.push_back(job.cpu_util.RawMean());
+    if (!job.gpu_util.empty()) gpu_plateaus.push_back(job.gpu_util.RawMean());
+    if (trace_interval == 0 && job.cpu_util.offsets().size() >= 2) {
+      trace_interval = job.cpu_util.offsets()[1] - job.cpu_util.offsets()[0];
+    }
+    if (!job.account.empty()) accounts.insert(job.account);
+    if (!job.user.empty()) users.insert(job.user);
+    priority_max = std::max(priority_max, job.priority);
+  }
+
+  spec.first_submit = first_submit;
+  spec.horizon = std::max<SimDuration>(last_submit - first_submit, kHour);
+  spec.arrival_rate_per_hour = static_cast<double>(jobs.size()) /
+                               (static_cast<double>(spec.horizon) / kHour);
+  spec.max_nodes = max_nodes;
+  spec.mean_nodes_log2 = Mean(log2_nodes);
+  spec.sd_nodes_log2 = StdDev(log2_nodes);
+  if (!log_runtimes.empty()) {
+    spec.runtime_mu = Mean(log_runtimes);
+    spec.runtime_sigma = StdDev(log_runtimes);
+  }
+  if (!overestimates.empty()) {
+    spec.overestimate_factor = std::max(1.0, Mean(overestimates));
+  }
+  if (!cpu_plateaus.empty()) {
+    spec.mean_cpu_util = Clamp(Mean(cpu_plateaus), 0.05, 1.0);
+  }
+  spec.gpu_jobs = !gpu_plateaus.empty();
+  if (!gpu_plateaus.empty()) {
+    spec.mean_gpu_util = Clamp(Mean(gpu_plateaus), 0.0, 1.0);
+  }
+  if (trace_interval > 0) spec.trace_interval = trace_interval;
+  spec.num_accounts = std::max<int>(1, static_cast<int>(accounts.size()));
+  spec.num_users_per_account = std::max<int>(
+      1, static_cast<int>(users.size() / std::max<std::size_t>(1, accounts.size())));
+  if (priority_max > 0) spec.priority_max = priority_max;
+  return spec;
 }
 
 }  // namespace sraps

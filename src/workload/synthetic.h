@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "workload/job.h"
@@ -35,7 +36,23 @@ struct SyntheticWorkloadSpec {
   int num_users_per_account = 4;
   double priority_max = 100.0;        ///< priorities uniform in [0, priority_max]
   std::uint64_t seed = 42;
+
+  /// Serialises every knob with deterministic key order, so sweep files can
+  /// describe a synthetic workload and axes can override individual knobs.
+  JsonValue ToJson() const;
+  /// Inverse of ToJson.  Unknown keys throw std::invalid_argument; missing
+  /// keys keep their defaults.
+  static SyntheticWorkloadSpec FromJson(const JsonValue& v);
 };
+
+/// Fits a SyntheticWorkloadSpec to a loaded trace: Poisson arrival rate from
+/// the submit span, log2-normal node counts, log-normal runtimes, time-limit
+/// overestimation factor, utilisation plateaus and trace spacing from the
+/// recorded telemetry, and the account/user population.  The returned spec
+/// keeps the default seed; a sweep varies it (and `horizon`) to scale job
+/// counts beyond the recorded trace.  Throws std::invalid_argument on an
+/// empty job list.
+SyntheticWorkloadSpec CalibrateSyntheticWorkload(const std::vector<Job>& jobs);
 
 /// Generates a full job list (sorted by submit time, ids dense from
 /// `first_id`).  Each job gets cpu/gpu utilisation traces with a ramp /
