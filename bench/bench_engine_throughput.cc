@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "dataloaders/replay_synth.h"
+#include "grid/grid_environment.h"
 #include "sched/builtin_scheduler.h"
 #include "sched/resource_manager.h"
 #include "workload/synthetic.h"
@@ -57,7 +58,8 @@ std::vector<Job> SparseWorkloadFor(const SystemConfig& config, SimDuration span)
 /// One engine run per iteration; reports simulated seconds per wall second.
 void RunEngineBench(benchmark::State& state, const SystemConfig& config,
                     const std::vector<Job>& jobs, SimDuration span,
-                    bool event_calendar, bool record_history) {
+                    bool event_calendar, bool record_history,
+                    const GridEnvironment* grid = nullptr) {
   double sim_seconds = 0;
   for (auto _ : state) {
     EngineOptions eo;
@@ -65,6 +67,7 @@ void RunEngineBench(benchmark::State& state, const SystemConfig& config,
     eo.sim_end = span;
     eo.record_history = record_history;
     eo.event_calendar = event_calendar;
+    if (grid) eo.grid = *grid;
     SimulationEngine engine(config, jobs, MakeBuiltinScheduler("fcfs", "easy"), eo);
     engine.Run();
     sim_seconds += static_cast<double>(span);
@@ -106,6 +109,33 @@ void BM_EngineSparseNoHistory(benchmark::State& state) {
   const auto jobs = SparseWorkloadFor(config, span);
   RunEngineBench(state, config, jobs, span, state.range(0) != 0,
                  /*record_history=*/false);
+}
+
+void BM_EngineGridSignals(benchmark::State& state) {
+  // Full grid stack — diurnal price + carbon signals (hourly boundaries cap
+  // every batched span at one hour) and demand-response cap windows — over
+  // the dense and sparse workloads.  range(0): 0 = dense 6 h, 1 = sparse
+  // 14 d; range(1): engine mode.  History off, as in sweep configuration.
+  const SystemConfig config = MakeSystemConfig("mini");
+  const bool sparse = state.range(0) != 0;
+  const SimDuration span = sparse ? 14 * kDay : 6 * kHour;
+  const auto jobs =
+      sparse ? SparseWorkloadFor(config, span) : WorkloadFor(config, span, 40);
+  GridEnvironment grid;
+  grid.price_usd_per_kwh = GridSignal::Diurnal(0.08, 0.5, 1.4);
+  grid.carbon_kg_per_kwh = GridSignal::Diurnal(0.4, 0.6, 1.3);
+  const double peak_w = config.PeakItPowerW();
+  // An evening DR event every simulated day; the short dense window gets a
+  // single mid-run event instead (18:00 lies outside its 6 h span).
+  for (SimTime day = 0; day * kDay + 21 * kHour <= span; ++day) {
+    grid.dr_windows.push_back(
+        {day * kDay + 18 * kHour, day * kDay + 21 * kHour, peak_w * 0.7});
+  }
+  if (grid.dr_windows.empty()) {
+    grid.dr_windows.push_back({2 * kHour, 4 * kHour, peak_w * 0.7});
+  }
+  RunEngineBench(state, config, jobs, span, state.range(1) != 0,
+                 /*record_history=*/false, &grid);
 }
 
 void BM_SchedulerInvocation(benchmark::State& state) {
@@ -173,6 +203,10 @@ BENCHMARK(BM_EngineSparseNoHistory)
     ->ArgNames({"event"})
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineGridSignals)
+    ->ArgNames({"sparse", "event"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SchedulerInvocation)->Arg(100)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMicrosecond);

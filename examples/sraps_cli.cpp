@@ -16,6 +16,8 @@
 //   ./sraps_cli --system marconi100 -f DATA --scheduler experimental --policy acct_fugaku_pts --backfill firstfit --accounts-json out/collect/accounts.json -o out/redeem
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/simulation.h"
@@ -28,6 +30,7 @@
 #include "dataloaders/fugaku.h"
 #include "dataloaders/lassen.h"
 #include "dataloaders/marconi.h"
+#include "grid/grid_environment.h"
 #include "report/html_report.h"
 #include "report/sweep_report.h"
 #include "sched/policies.h"
@@ -67,6 +70,9 @@ void Usage() {
       "  --tick SECONDS       override the engine tick\n"
       "  --event-calendar     hop the clock event-to-event (bit-identical, faster)\n"
       "  --power-cap KW       facility power cap what-if (throttles + dilates)\n"
+      "  --grid FILE          GridEnvironment JSON (price/carbon signals,\n"
+      "                       demand-response cap windows, grid_aware slack)\n"
+      "  --grid-csv FILE      load a time,value CSV as the $/kWh price signal\n"
       "  --validate           compare the realised schedule to the recorded one\n"
       "  --report             also write a self-contained report.html\n"
       "  -o, --output DIR     write history.csv/stats.out/job_history.csv"
@@ -250,6 +256,26 @@ int main(int argc, char** argv) {
         sweep_options.shard_size = std::stoul(v);
       } catch (const std::exception&) {
         std::fprintf(stderr, "bad shard size '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--grid")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        std::ifstream in(v);
+        if (!in) throw std::runtime_error("cannot open '" + v + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        opts.grid = GridEnvironment::FromJson(JsonValue::Parse(text.str()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad grid file '%s': %s\n", v.c_str(), e.what());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--grid-csv")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        opts.grid.price_usd_per_kwh = GridSignal::FromCsv(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad grid CSV '%s': %s\n", v.c_str(), e.what());
         return 2;
       }
     } else if (!std::strcmp(a, "--power-cap")) {

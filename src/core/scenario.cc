@@ -62,6 +62,7 @@ JsonValue ScenarioSpec::ToJson() const {
   outage_array.reserve(outages.size());
   for (const NodeOutage& o : outages) outage_array.push_back(OutageToJson(o));
   obj["outages"] = JsonValue(std::move(outage_array));
+  obj["grid"] = grid.ToJson();
   return JsonValue(std::move(obj));
 }
 
@@ -108,6 +109,8 @@ ScenarioSpec ScenarioSpec::FromJson(const JsonValue& v) {
       for (const JsonValue& o : value.AsArray()) {
         spec.outages.push_back(OutageFromJson(o));
       }
+    } else if (key == "grid") {
+      spec.grid = GridEnvironment::FromJson(value);
     } else {
       throw std::invalid_argument("ScenarioSpec: unknown key '" + key +
                                   "' (jobs_override/config_override are "
@@ -131,13 +134,44 @@ void ScenarioSpec::SaveFile(const std::string& path) const {
   out << ToJson().Dump(2) << "\n";
 }
 
+namespace {
+
+/// Sets `value` at a dotted path inside `node` (rebuilding the objects along
+/// the path — JsonValue has no mutable accessors), creating intermediate
+/// objects where the path does not exist yet.  A path segment that lands on
+/// a non-object (e.g. "power_cap_w.x") throws.
+JsonValue SetAtPath(const JsonValue& node, const std::string& path,
+                    std::size_t from, const JsonValue& value) {
+  const std::size_t dot = path.find('.', from);
+  const std::string segment =
+      path.substr(from, dot == std::string::npos ? std::string::npos : dot - from);
+  if (segment.empty()) {
+    throw std::invalid_argument("ApplyScenarioKey: empty segment in key '" + path +
+                                "'");
+  }
+  if (!node.is_null() && !node.is_object()) {
+    throw std::invalid_argument("ApplyScenarioKey: key '" + path +
+                                "' descends into a non-object at '" + segment + "'");
+  }
+  JsonObject obj = node.is_object() ? node.AsObject() : JsonObject{};
+  if (dot == std::string::npos) {
+    obj[segment] = value;
+  } else {
+    const auto it = obj.find(segment);
+    obj[segment] =
+        SetAtPath(it == obj.end() ? JsonValue() : it->second, path, dot + 1, value);
+  }
+  return JsonValue(std::move(obj));
+}
+
+}  // namespace
+
 void ApplyScenarioKey(ScenarioSpec& spec, const std::string& key,
                       const JsonValue& value) {
-  JsonObject patch = spec.ToJson().AsObject();
-  patch[key] = value;
+  const JsonValue patched = SetAtPath(spec.ToJson(), key, 0, value);
   // Parse before touching `spec`: if the key/value is rejected the caller's
   // spec (including its programmatic-only fields) is left fully intact.
-  ScenarioSpec parsed = ScenarioSpec::FromJson(JsonValue(std::move(patch)));
+  ScenarioSpec parsed = ScenarioSpec::FromJson(patched);
   parsed.jobs_override = std::move(spec.jobs_override);
   parsed.config_override = std::move(spec.config_override);
   spec = std::move(parsed);
@@ -185,6 +219,7 @@ void ValidateScenarioSpec(const ScenarioSpec& spec) {
       }
     }
   }
+  ValidateGridEnvironment(spec.grid, "ScenarioSpec '" + spec.name + "'");
 }
 
 }  // namespace sraps

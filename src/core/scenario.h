@@ -56,6 +56,9 @@ struct ScenarioSpec {
   SimDuration tick = 0;          ///< 0 = system telemetry interval
   double power_cap_w = 0.0;      ///< facility power cap (0 = uncapped)
   std::vector<NodeOutage> outages;  ///< failure-injection schedule
+  /// Time-varying grid context (price/carbon signals, demand-response cap
+  /// windows, grid_aware slack) — the "grid" JSON block.
+  GridEnvironment grid;
   bool html_report = false;      ///< also write report.html in SaveOutputs
 
   /// Serialises every file-representable field (not jobs_override /
@@ -74,17 +77,20 @@ struct ScenarioSpec {
 
 /// Applies one JSON-level field assignment to a spec: `key` is any ToJson
 /// key ("power_cap_w", "scheduler", "event_calendar", ...) and `value` its
-/// new value.  Reuses the strict FromJson parsing, so an unknown key or a
-/// mistyped value throws std::invalid_argument; the programmatic-only
-/// jobs_override / config_override fields are preserved across the patch.
-/// This is how sweep axes stamp values onto scenario copies.
+/// new value.  A dotted key ("grid.price.scale", "grid.slack_s") descends
+/// into nested objects, creating intermediate objects as needed.  Reuses the
+/// strict FromJson parsing, so an unknown key or a mistyped value throws
+/// std::invalid_argument; the programmatic-only jobs_override /
+/// config_override fields are preserved across the patch.  This is how
+/// sweep axes stamp values onto scenario copies.
 void ApplyScenarioKey(ScenarioSpec& spec, const std::string& key,
                       const JsonValue& value);
 
 /// Value-level validation shared by the builder and the facade: rejects
 /// negative fast-forward/duration/tick, negative power cap, malformed
-/// outages (empty node list, negative node ids), and an empty name, with
-/// descriptive std::invalid_argument messages.  Name resolution (system /
+/// outages (empty node list, negative node ids), malformed grid blocks
+/// (empty DR windows, non-positive DR caps, negative slack), and an empty
+/// name, with descriptive std::invalid_argument messages.  Name resolution (system /
 /// scheduler / policy / backfill) is validated separately against the
 /// registries by SimulationBuilder.
 void ValidateScenarioSpec(const ScenarioSpec& spec);

@@ -144,6 +144,39 @@ SimulationBuilder& SimulationBuilder::WithOutage(NodeOutage outage) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::WithGrid(GridEnvironment grid) {
+  ValidateGridEnvironment(grid, "SimulationBuilder");
+  spec_.grid = std::move(grid);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithGridPrice(GridSignal price) {
+  spec_.grid.price_usd_per_kwh = std::move(price);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithGridCarbon(GridSignal carbon) {
+  spec_.grid.carbon_kg_per_kwh = std::move(carbon);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithDrWindow(DrWindow window) {
+  GridEnvironment probe;
+  probe.dr_windows = {window};
+  ValidateGridEnvironment(probe, "SimulationBuilder");
+  spec_.grid.dr_windows.push_back(window);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithGridSlack(SimDuration slack_s) {
+  if (slack_s < 0) {
+    throw std::invalid_argument("SimulationBuilder: grid slack must be >= 0, got " +
+                                std::to_string(slack_s));
+  }
+  spec_.grid.slack_s = slack_s;
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::WithRecordHistory(bool on) {
   spec_.record_history = on;
   return *this;
@@ -179,6 +212,12 @@ void SimulationBuilder::Validate() const {
         "ScenarioSpec '" + spec_.name + "': policy '" + spec_.policy +
         "' ranks by a collection-phase account snapshot; set accounts_json to a "
         "previous run's accounts.json");
+  }
+  if (policy.needs_grid && !spec_.grid.HasSignals()) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name + "': policy '" + spec_.policy +
+        "' delays jobs into cheap/clean windows; the scenario needs a \"grid\" "
+        "block with a price or carbon signal");
   }
   if (!spec_.backfill.empty()) BackfillRegistry().Get(spec_.backfill);
   if (spec_.dataset_path.empty() && spec_.jobs_override.empty()) {
@@ -239,6 +278,9 @@ void SimulationBuilder::BuildInto(Simulation& sim) const {
   ctx.policy = spec.policy;
   ctx.backfill = spec.backfill;
   ctx.accounts = &sim.policy_accounts_;
+  // The retained spec outlives the engine, so grid-reactive schedulers can
+  // reference its environment directly.
+  ctx.grid = &spec.grid;
   std::unique_ptr<Scheduler> scheduler = SchedulerRegistry().Get(spec.scheduler)(ctx);
 
   // 6. Engine.
@@ -254,6 +296,7 @@ void SimulationBuilder::BuildInto(Simulation& sim) const {
   eo.track_accounts = spec.accounts;
   eo.power_cap_w = spec.power_cap_w;
   eo.outages = spec.outages;
+  eo.grid = spec.grid;
   // The engine's own registry continues accumulating on top of any reloaded
   // collection run (the paper's cross-simulation aggregation).
   sim.engine_ = std::make_unique<SimulationEngine>(sim.config_, std::move(jobs),

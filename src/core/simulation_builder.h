@@ -55,6 +55,17 @@ class SimulationBuilder {
   SimulationBuilder& WithAccountsJson(std::string path);
   SimulationBuilder& WithPowerCapW(double watts);
   SimulationBuilder& WithOutage(NodeOutage outage);
+  /// Replaces the whole grid environment (price/carbon signals, DR windows,
+  /// slack); structurally validated immediately.
+  SimulationBuilder& WithGrid(GridEnvironment grid);
+  /// Sets the $/kWh price signal driving incremental cost accounting.
+  SimulationBuilder& WithGridPrice(GridSignal price);
+  /// Sets the kg-CO2/kWh intensity signal driving emissions accounting.
+  SimulationBuilder& WithGridCarbon(GridSignal carbon);
+  /// Appends one demand-response cap window (end > start, cap_w > 0).
+  SimulationBuilder& WithDrWindow(DrWindow window);
+  /// Slack bound for the grid_aware policy (max delay past submit).
+  SimulationBuilder& WithGridSlack(SimDuration slack_s);
   SimulationBuilder& WithRecordHistory(bool on);
   SimulationBuilder& WithPrepopulate(bool on);
   SimulationBuilder& WithEventTriggeredScheduling(bool on);

@@ -54,6 +54,13 @@ SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
             "'");
       }
     }
+    RequireWindowIntersects("SimulationEngine: outage window", o.at, o.recover_at,
+                            options_.sim_start, options_.sim_end);
+  }
+  ValidateGridEnvironment(options_.grid, "SimulationEngine");
+  for (const DrWindow& w : options_.grid.dr_windows) {
+    RequireWindowIntersects("SimulationEngine: demand-response window", w.start,
+                            w.end, options_.sim_start, options_.sim_end);
   }
   tick_ = options_.tick > 0 ? options_.tick : config_.telemetry_interval;
   if (tick_ <= 0) throw std::invalid_argument("SimulationEngine: tick must be > 0");
@@ -71,6 +78,13 @@ void SimulationEngine::Initialize() {
   now_ = options_.sim_start;
   job_energy_j_.assign(jobs_.size(), std::nan(""));
 
+  grid_cost_on_ = !options_.grid.price_usd_per_kwh.empty();
+  grid_co2_on_ = !options_.grid.carbon_kg_per_kwh.empty();
+  // Every time the effective cap, price, or carbon intensity can change
+  // becomes an event: the calendar may not batch across one, and crossing
+  // one marks the tick eventful so grid-reactive schedulers re-run.
+  grid_events_ = options_.grid.BoundariesIn(options_.sim_start, options_.sim_end);
+
   if (options_.record_history) {
     hist_.it_power = &recorder_.Mutable("it_power_kw");
     hist_.loss = &recorder_.Mutable("loss_kw");
@@ -78,9 +92,11 @@ void SimulationEngine::Initialize() {
     hist_.utilization = &recorder_.Mutable("utilization");
     hist_.queue_len = &recorder_.Mutable("queue_length");
     hist_.running = &recorder_.Mutable("running_jobs");
-    if (options_.power_cap_w > 0.0) {
+    if (options_.power_cap_w > 0.0 || !options_.grid.dr_windows.empty()) {
       hist_.throttle = &recorder_.Mutable("throttle_factor");
     }
+    if (grid_cost_on_) hist_.price = &recorder_.Mutable("price_usd_per_kwh");
+    if (grid_co2_on_) hist_.carbon = &recorder_.Mutable("carbon_kg_per_kwh");
     if (options_.enable_cooling) {
       hist_.pue = &recorder_.Mutable("pue");
       hist_.tower = &recorder_.Mutable("tower_return_c");
@@ -92,8 +108,9 @@ void SimulationEngine::Initialize() {
     const auto total_ticks = static_cast<std::size_t>(
         (options_.sim_end - options_.sim_start + tick_ - 1) / tick_);
     for (Channel* ch : {hist_.it_power, hist_.loss, hist_.power, hist_.utilization,
-                        hist_.queue_len, hist_.running, hist_.throttle, hist_.pue,
-                        hist_.tower, hist_.supply, hist_.cooling_kw}) {
+                        hist_.queue_len, hist_.running, hist_.throttle, hist_.price,
+                        hist_.carbon, hist_.pue, hist_.tower, hist_.supply,
+                        hist_.cooling_kw}) {
       if (!ch) continue;
       ch->times.reserve(total_ticks);
       ch->values.reserve(total_ticks);
@@ -224,6 +241,21 @@ void SimulationEngine::ApplyOutages() {
     ++next_outage_end_;
     events_this_tick_ = true;
   }
+}
+
+void SimulationEngine::ApplyGridEvents() {
+  while (next_grid_event_ < grid_events_.size() &&
+         grid_events_[next_grid_event_] <= now_) {
+    ++next_grid_event_;
+    ++counters_.grid_events;
+    // A cap/price/carbon change is a system event: grid-reactive schedulers
+    // (grid_aware holds jobs for cheap windows) must be re-invoked.
+    events_this_tick_ = true;
+  }
+}
+
+double SimulationEngine::EffectiveCapW() const {
+  return options_.grid.EffectiveCapW(now_, options_.power_cap_w);
 }
 
 SimTime SimulationEngine::NextCompletionTime() {
@@ -404,6 +436,11 @@ SimDuration SimulationEngine::SpanTicks() {
   if (next_outage_end_ < outage_ends_.size()) {
     next = std::min(next, outage_ends_[next_outage_end_].first);
   }
+  if (next_grid_event_ < grid_events_.size()) {
+    // Cap / price / carbon boundaries: the effective cap and signal values
+    // are provably constant on every tick short of the next one.
+    next = std::min(next, grid_events_[next_grid_event_]);
+  }
   // Every pending event lies strictly ahead (<= now_ was processed this
   // step), and throttle dilation only moves completions later, so hopping to
   // the first tick at or past `next` can never skip over an event.
@@ -445,13 +482,16 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
   }
 
   // Facility power cap: throttle all running jobs uniformly so the wall
-  // power meets the cap; runtimes dilate by the inverse factor.
+  // power meets the cap; runtimes dilate by the inverse factor.  The cap in
+  // force is dynamic — the static cap tightened by any active demand-
+  // response window — and is constant across the span: DR edges are
+  // calendar events, so no span straddles a cap change.
   const double dt = static_cast<double>(tick_);
+  const double cap_w = EffectiveCapW();
   double throttle = 1.0;
-  if (options_.power_cap_w > 0.0 && power.wall_power_w > options_.power_cap_w &&
-      power.busy_power_w > 0.0) {
+  if (cap_w > 0.0 && power.wall_power_w > cap_w && power.busy_power_w > 0.0) {
     const double idle_wall = power.wall_power_w - power.busy_power_w;
-    throttle = (options_.power_cap_w - idle_wall) / power.busy_power_w;
+    throttle = (cap_w - idle_wall) / power.busy_power_w;
     throttle = std::max(0.1, std::min(1.0, throttle));  // DVFS floor at 10 %
     const double shed = (1.0 - throttle) * power.busy_power_w;
     power.busy_power_w -= shed;
@@ -478,6 +518,24 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     job_energy_j_[running_[i]] = acc;
   }
 
+  // Grid accounting: wall energy priced at the signals in force now.  Signal
+  // boundaries are calendar events, so both values are constant across the
+  // span and the per-tick increments repeat the tick loop's additions bit
+  // for bit (same repeated-addition discipline as the job energy above).
+  const double price_now =
+      grid_cost_on_ ? options_.grid.price_usd_per_kwh.At(now_) : 0.0;
+  const double carbon_now =
+      grid_co2_on_ ? options_.grid.carbon_kg_per_kwh.At(now_) : 0.0;
+  if (!cooling_ && (grid_cost_on_ || grid_co2_on_)) {
+    const double kwh_per_tick = power.wall_power_w * dt / 3.6e6;
+    const double cost_inc = kwh_per_tick * price_now;
+    const double co2_inc = kwh_per_tick * carbon_now;
+    for (SimDuration k = 0; k < n; ++k) {
+      grid_cost_usd_ += cost_inc;
+      grid_co2_kg_ += co2_inc;
+    }
+  }
+
   if (options_.record_history) {
     const auto count = static_cast<std::size_t>(n);
     hist_.it_power->AppendSpan(now_, tick_, count, power.it_power_w / 1000.0);
@@ -490,26 +548,39 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
                                 static_cast<double>(queue_.size()));
     hist_.running->AppendSpan(now_, tick_, count,
                               static_cast<double>(running_.size()));
-    if (options_.power_cap_w > 0.0) {
+    if (hist_.throttle) {
       hist_.throttle->AppendSpan(now_, tick_, count, throttle);
     }
+    if (hist_.price) hist_.price->AppendSpan(now_, tick_, count, price_now);
+    if (hist_.carbon) hist_.carbon->AppendSpan(now_, tick_, count, carbon_now);
   }
 
   if (cooling_) {
     // The loop's thermal state keeps its first-order lag even when the
     // electrical side is flat, so it (and the wall power that includes its
-    // fans/pumps) advances tick by tick within the span.
+    // fans/pumps) advances tick by tick within the span — as does the grid
+    // accounting, whose cost basis includes the cooling draw.
     for (SimDuration i = 0; i < n; ++i) {
       const CoolingSample cool = cooling_->Step(power.it_power_w, power.loss_w, dt);
+      const double wall_w = power.wall_power_w + cool.cooling_power_w;
+      if (grid_cost_on_ || grid_co2_on_) {
+        const double kwh = wall_w * dt / 3.6e6;
+        grid_cost_usd_ += kwh * price_now;
+        grid_co2_kg_ += kwh * carbon_now;
+      }
       if (options_.record_history) {
         const SimTime t = now_ + i * tick_;
-        hist_.power->Append(t, (power.wall_power_w + cool.cooling_power_w) / 1000.0);
+        hist_.power->Append(t, wall_w / 1000.0);
         hist_.pue->Append(t, cool.pue);
         hist_.tower->Append(t, cool.tower_return_temp_c);
         hist_.supply->Append(t, cool.supply_temp_c);
         hist_.cooling_kw->Append(t, cool.cooling_power_w / 1000.0);
       }
     }
+  }
+
+  if (grid_cost_on_ || grid_co2_on_) {
+    stats_.SetGridTotals(grid_cost_usd_, grid_co2_kg_);
   }
 
   now_ += n * tick_;
@@ -521,6 +592,7 @@ bool SimulationEngine::StepOnce() {
   if (now_ >= options_.sim_end) return false;
   ClearCompleted();
   ApplyOutages();
+  ApplyGridEvents();
   EnqueueEligible();
   CallSchedule();
   if (options_.event_calendar) {

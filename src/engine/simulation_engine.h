@@ -30,6 +30,7 @@
 #include "accounts/accounts.h"
 #include "config/system_config.h"
 #include "cooling/cooling_model.h"
+#include "grid/grid_environment.h"
 #include "power/system_power.h"
 #include "sched/scheduler.h"
 #include "stats/stats.h"
@@ -65,6 +66,12 @@ struct EngineOptions {
   /// dilates inversely — the facility-level power-capping what-if the twin
   /// enables (cf. the GPU power-capping study of Patki et al. [28]).
   double power_cap_w = 0.0;
+  /// Time-varying grid context: price/carbon signals drive incremental cost
+  /// and emissions accounting, and demand-response windows lower the
+  /// effective power cap over their span (EffectiveCapW = min of the static
+  /// cap and every active window).  Signal boundaries and window edges are
+  /// event-calendar events, so the fast path stays bit-identical.
+  GridEnvironment grid;
   /// Event-calendar fast path: hop the clock from event to event instead of
   /// iterating physics-free ticks.  Every tick is still accounted for in the
   /// recorded history and energy integration — the skipped span is replayed
@@ -83,6 +90,7 @@ struct EngineCounters {
   std::size_t scheduler_skips = 0;
   std::size_t calendar_steps = 0;  ///< event-calendar loop iterations
   std::size_t batched_ticks = 0;   ///< ticks covered by batched spans (n > 1)
+  std::size_t grid_events = 0;     ///< grid signal/DR boundaries crossed
 };
 
 class SimulationEngine {
@@ -118,10 +126,24 @@ class SimulationEngine {
   /// Per-job simulated energy (J); indexed like jobs().  NaN until completed.
   const std::vector<double>& job_energy_j() const { return job_energy_j_; }
 
+  /// Cumulative wall-energy cost ($) integrated against the grid price
+  /// signal, and emissions (kg CO2) against the carbon-intensity signal.
+  /// 0 when the corresponding signal is absent.  Bit-identical between the
+  /// tick loop and the event calendar.
+  double grid_cost_usd() const { return grid_cost_usd_; }
+  double grid_co2_kg() const { return grid_co2_kg_; }
+
  private:
   void Initialize();
   void Prepopulate();
   void ApplyOutages();
+  /// Consumes grid boundaries (signal steps, DR window edges) that have
+  /// arrived; each marks the tick as eventful so grid-reactive schedulers
+  /// are re-invoked exactly when the grid changes.
+  void ApplyGridEvents();
+  /// The wall-power cap in force now: min of the static cap and every
+  /// active demand-response window (0 = uncapped).
+  double EffectiveCapW() const;
   void ClearCompleted();
   void EnqueueEligible();
   void CallSchedule();
@@ -172,6 +194,16 @@ class SimulationEngine {
   std::vector<JobQueue::Handle> running_;
   std::vector<double> job_energy_j_;
 
+  /// Grid accounting state: which integrations are active, the running
+  /// totals, and the sorted in-window boundary schedule with its cursor
+  /// (analogous to the outage cursors).
+  bool grid_cost_on_ = false;
+  bool grid_co2_on_ = false;
+  double grid_cost_usd_ = 0.0;
+  double grid_co2_kg_ = 0.0;
+  std::vector<SimTime> grid_events_;
+  std::size_t next_grid_event_ = 0;
+
   /// Min-heap of (candidate end, handle) — the event calendar's completion
   /// track.  Keys go stale when power-cap throttling dilates running jobs
   /// (ends only ever move later), so NextCompletionTime re-keys lazily on
@@ -198,6 +230,8 @@ class SimulationEngine {
     Channel* queue_len = nullptr;
     Channel* running = nullptr;
     Channel* throttle = nullptr;
+    Channel* price = nullptr;
+    Channel* carbon = nullptr;
     Channel* pue = nullptr;
     Channel* tower = nullptr;
     Channel* supply = nullptr;

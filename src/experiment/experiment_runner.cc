@@ -84,6 +84,8 @@ ScenarioResult RunScenarioSpec(ScenarioSpec spec, const std::string& output_dir,
       r.makespan_s = static_cast<double>(last_end - first_submit);
     }
     r.total_energy_j = eng.stats().TotalEnergyJ();
+    r.grid_cost_usd = eng.grid_cost_usd();
+    r.grid_co2_kg = eng.grid_co2_kg();
     if (eng.recorder().Has("power_kw")) {
       r.mean_power_kw = eng.recorder().MeanOf("power_kw");
       r.max_power_kw = eng.recorder().MaxOf("power_kw");
@@ -213,6 +215,8 @@ JsonValue ResultsToJson(const std::vector<ScenarioResult>& results) {
     obj["avg_turnaround_s"] = r.avg_turnaround_s;
     obj["makespan_s"] = r.makespan_s;
     obj["total_energy_j"] = r.total_energy_j;
+    obj["grid_cost_usd"] = r.grid_cost_usd;
+    obj["grid_co2_kg"] = r.grid_co2_kg;
     obj["mean_power_kw"] = r.mean_power_kw;
     obj["max_power_kw"] = r.max_power_kw;
     obj["mean_util_pct"] = r.mean_util_pct;

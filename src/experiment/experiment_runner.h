@@ -47,6 +47,10 @@ struct ScenarioResult {
   /// makespan Pareto frontier of sweeps uses this as its time objective.
   double makespan_s = 0.0;
   double total_energy_j = 0.0;
+  /// Signal-integrated wall-energy cost / emissions (0 without a grid
+  /// block) — the Pareto objectives grid sweeps trade against makespan.
+  double grid_cost_usd = 0.0;
+  double grid_co2_kg = 0.0;
   double mean_power_kw = 0.0;   ///< 0 when history recording is off
   double max_power_kw = 0.0;
   double mean_util_pct = 0.0;

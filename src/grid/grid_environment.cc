@@ -1,0 +1,133 @@
+#include "grid/grid_environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sraps {
+
+JsonValue DrWindow::ToJson() const {
+  JsonObject obj;
+  obj["start"] = JsonValue(static_cast<std::int64_t>(start));
+  obj["end"] = JsonValue(static_cast<std::int64_t>(end));
+  obj["cap_w"] = cap_w;
+  return JsonValue(std::move(obj));
+}
+
+DrWindow DrWindow::FromJson(const JsonValue& v) {
+  DrWindow w;
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "start") {
+      w.start = value.AsInt();
+    } else if (key == "end") {
+      w.end = value.AsInt();
+    } else if (key == "cap_w") {
+      w.cap_w = value.AsDouble();
+    } else {
+      throw std::invalid_argument("DrWindow: unknown key '" + key + "'");
+    }
+  }
+  return w;
+}
+
+double GridEnvironment::EffectiveCapW(SimTime t, double static_cap_w) const {
+  double cap = static_cap_w;
+  for (const DrWindow& w : dr_windows) {
+    if (w.start <= t && t < w.end) {
+      if (cap <= 0.0 || w.cap_w < cap) cap = w.cap_w;
+    }
+  }
+  return cap;
+}
+
+std::vector<SimTime> GridEnvironment::BoundariesIn(SimTime from, SimTime to) const {
+  std::vector<SimTime> out;
+  for (const DrWindow& w : dr_windows) {
+    if (w.start > from && w.start < to) out.push_back(w.start);
+    if (w.end > from && w.end < to) out.push_back(w.end);
+  }
+  for (const GridSignal* sig : {&price_usd_per_kwh, &carbon_kg_per_kwh}) {
+    if (sig->empty()) continue;
+    for (SimTime b = sig->NextBoundaryAfter(from); b >= 0 && b < to;
+         b = sig->NextBoundaryAfter(b)) {
+      out.push_back(b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+JsonValue GridEnvironment::ToJson() const {
+  JsonObject obj;
+  if (!price_usd_per_kwh.empty()) obj["price"] = price_usd_per_kwh.ToJson();
+  if (!carbon_kg_per_kwh.empty()) obj["carbon"] = carbon_kg_per_kwh.ToJson();
+  if (!dr_windows.empty()) {
+    JsonArray windows;
+    windows.reserve(dr_windows.size());
+    for (const DrWindow& w : dr_windows) windows.push_back(w.ToJson());
+    obj["dr_windows"] = JsonValue(std::move(windows));
+  }
+  if (slack_s != 0) obj["slack_s"] = JsonValue(static_cast<std::int64_t>(slack_s));
+  return JsonValue(std::move(obj));
+}
+
+GridEnvironment GridEnvironment::FromJson(const JsonValue& v) {
+  GridEnvironment env;
+  if (v.is_null()) return env;
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "price") {
+      env.price_usd_per_kwh = GridSignal::FromJson(value);
+    } else if (key == "carbon") {
+      env.carbon_kg_per_kwh = GridSignal::FromJson(value);
+    } else if (key == "dr_windows") {
+      for (const JsonValue& w : value.AsArray()) {
+        env.dr_windows.push_back(DrWindow::FromJson(w));
+      }
+    } else if (key == "slack_s") {
+      env.slack_s = value.AsInt();
+    } else {
+      throw std::invalid_argument("GridEnvironment: unknown key '" + key +
+                                  "' (price|carbon|dr_windows|slack_s)");
+    }
+  }
+  return env;
+}
+
+void ValidateGridEnvironment(const GridEnvironment& env, const std::string& context) {
+  for (const DrWindow& w : env.dr_windows) {
+    if (w.end <= w.start) {
+      throw std::invalid_argument(
+          context + ": demand-response window [" + std::to_string(w.start) + ", " +
+          std::to_string(w.end) + ") is empty — end must be > start");
+    }
+    if (!(w.cap_w > 0.0) || !std::isfinite(w.cap_w)) {
+      throw std::invalid_argument(
+          context + ": demand-response window at t=" + std::to_string(w.start) +
+          " has cap_w = " + std::to_string(w.cap_w) + "; the cap must be > 0 W");
+    }
+  }
+  if (env.slack_s < 0) {
+    throw std::invalid_argument(context + ": grid slack_s must be >= 0, got " +
+                                std::to_string(env.slack_s));
+  }
+}
+
+void RequireWindowIntersects(const std::string& what, SimTime start, SimTime end,
+                             SimTime sim_start, SimTime sim_end) {
+  const bool open_ended = end <= start;
+  const bool intersects =
+      start < sim_end && (open_ended || end > sim_start);
+  if (!intersects) {
+    const std::string window =
+        open_ended ? "[" + std::to_string(start) + ", never)"
+                   : "[" + std::to_string(start) + ", " + std::to_string(end) + ")";
+    throw std::invalid_argument(
+        what + " " + window + " lies entirely outside the simulated window [" +
+        std::to_string(sim_start) + ", " + std::to_string(sim_end) +
+        ") and can never take effect — check the scenario's times "
+        "(absolute sim seconds) against fast_forward/duration");
+  }
+}
+
+}  // namespace sraps

@@ -1,0 +1,75 @@
+// GridEnvironment: the facility's electrical context for one simulation —
+// a $/kWh price signal, a kg-CO2/kWh carbon-intensity signal, and a
+// schedule of demand-response windows during which the grid operator caps
+// the facility's wall power.  The engine derives its dynamic power cap from
+// this (EffectiveCapW = min of the static cap and every active DR window),
+// integrates energy cost and emissions incrementally against the signals,
+// and treats every signal boundary / DR edge as an event-calendar event so
+// the batched fast path stays bit-identical to tick stepping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/time.h"
+#include "grid/grid_signal.h"
+
+namespace sraps {
+
+/// One demand-response event: the grid asks the facility to stay under
+/// `cap_w` wall watts over [start, end).
+struct DrWindow {
+  SimTime start = 0;
+  SimTime end = 0;  ///< exclusive; must be > start
+  double cap_w = 0.0;  ///< must be > 0
+
+  JsonValue ToJson() const;
+  static DrWindow FromJson(const JsonValue& v);
+};
+
+struct GridEnvironment {
+  GridSignal price_usd_per_kwh;
+  GridSignal carbon_kg_per_kwh;
+  std::vector<DrWindow> dr_windows;
+  /// The grid_aware policy may delay a job at most this far past its submit
+  /// time while waiting for a cheaper/cleaner window (0 = never delay).
+  SimDuration slack_s = 0;
+
+  /// True when cost or emissions accounting has a signal to integrate.
+  bool HasSignals() const {
+    return !price_usd_per_kwh.empty() || !carbon_kg_per_kwh.empty();
+  }
+  /// True when the environment affects the run in any way.
+  bool HasAny() const { return HasSignals() || !dr_windows.empty(); }
+
+  /// The wall-power cap in force at `t`: the minimum of `static_cap_w`
+  /// (0 = uncapped) and every DR window containing `t`.  Returns 0 when
+  /// nothing caps.
+  double EffectiveCapW(SimTime t, double static_cap_w) const;
+
+  /// Every time in (from, to) at which the effective cap, price, or carbon
+  /// intensity can change — DR window edges plus signal boundaries — sorted
+  /// and deduplicated.  These become event-calendar events.
+  std::vector<SimTime> BoundariesIn(SimTime from, SimTime to) const;
+
+  /// {"price": ..., "carbon": ..., "dr_windows": [...], "slack_s": n};
+  /// absent signals are omitted, so an inactive environment dumps as {}.
+  JsonValue ToJson() const;
+  static GridEnvironment FromJson(const JsonValue& v);
+};
+
+/// Structural validation (DR end > start, cap > 0, slack >= 0) with
+/// actionable messages; `context` names the owning scenario.  Throws
+/// std::invalid_argument.
+void ValidateGridEnvironment(const GridEnvironment& env, const std::string& context);
+
+/// Shared sim-window check for time windows (DR windows and node outages):
+/// rejects a window [start, end) — `end <= start` means open-ended — that
+/// cannot intersect [sim_start, sim_end) and therefore can never take
+/// effect, which is almost always a scenario-file typo.  Throws
+/// std::invalid_argument naming `what` and both ranges.
+void RequireWindowIntersects(const std::string& what, SimTime start, SimTime end,
+                             SimTime sim_start, SimTime sim_end);
+
+}  // namespace sraps

@@ -1,0 +1,297 @@
+#include "grid/grid_signal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace sraps {
+namespace {
+
+void CheckSteps(const std::vector<SimTime>& times, const std::vector<double>& values,
+                bool periodic, SimDuration period) {
+  if (times.size() != values.size()) {
+    throw std::invalid_argument("GridSignal: times/values size mismatch (" +
+                                std::to_string(times.size()) + " vs " +
+                                std::to_string(values.size()) + ")");
+  }
+  if (times.empty()) {
+    throw std::invalid_argument("GridSignal: a step series needs >= 1 sample");
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      throw std::invalid_argument("GridSignal: non-finite value at index " +
+                                  std::to_string(i));
+    }
+    if (i > 0 && times[i] <= times[i - 1]) {
+      throw std::invalid_argument("GridSignal: times must be strictly increasing "
+                                  "(times[" + std::to_string(i) + "] = " +
+                                  std::to_string(times[i]) + " <= " +
+                                  std::to_string(times[i - 1]) + ")");
+    }
+    if (periodic && (times[i] < 0 || times[i] >= period)) {
+      throw std::invalid_argument("GridSignal: periodic boundary " +
+                                  std::to_string(times[i]) + " outside [0, " +
+                                  std::to_string(period) + ")");
+    }
+  }
+}
+
+}  // namespace
+
+GridSignal GridSignal::Constant(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("GridSignal: constant value must be finite");
+  }
+  GridSignal s;
+  s.kind_ = Kind::kConstant;
+  s.times_ = {0};
+  s.values_ = {value};
+  return s;
+}
+
+GridSignal GridSignal::Hourly(std::vector<double> hourly) {
+  if (hourly.size() != 24) {
+    throw std::invalid_argument("GridSignal: hourly profile needs exactly 24 "
+                                "values, got " + std::to_string(hourly.size()));
+  }
+  GridSignal s;
+  s.kind_ = Kind::kHourly;
+  s.times_.reserve(24);
+  for (int h = 0; h < 24; ++h) s.times_.push_back(h * kHour);
+  s.values_ = std::move(hourly);
+  s.period_ = kDay;
+  CheckSteps(s.times_, s.values_, /*periodic=*/true, kDay);
+  return s;
+}
+
+GridSignal GridSignal::Diurnal(double base, double dip, double peak) {
+  std::vector<double> hourly(24);
+  for (int h = 0; h < 24; ++h) {
+    // Solar dip centred on 13:00 with ~4 h half-width; evening peak centred
+    // on 19:00, narrower — identical arithmetic to the original carbon
+    // profile so the delegating CarbonIntensityProfile stays bit-identical.
+    const double dip_w = std::exp(-0.5 * std::pow((h - 13.0) / 3.0, 2.0));
+    const double peak_w = std::exp(-0.5 * std::pow((h - 19.0) / 2.0, 2.0));
+    double v = base;
+    v -= base * (1.0 - dip) * dip_w;
+    v += base * (peak - 1.0) * peak_w;
+    hourly[h] = std::max(0.0, v);
+  }
+  GridSignal s = Hourly(std::move(hourly));
+  s.kind_ = Kind::kDiurnal;
+  s.diurnal_base_ = base;
+  s.diurnal_dip_ = dip;
+  s.diurnal_peak_ = peak;
+  return s;
+}
+
+GridSignal GridSignal::Steps(std::vector<SimTime> times, std::vector<double> values) {
+  CheckSteps(times, values, /*periodic=*/false, 0);
+  GridSignal s;
+  s.kind_ = Kind::kSteps;
+  s.times_ = std::move(times);
+  s.values_ = std::move(values);
+  return s;
+}
+
+GridSignal GridSignal::FromCsv(const std::string& path) {
+  const CsvTable table = CsvTable::Load(path);
+  if (!table.ColumnIndex("time") || !table.ColumnIndex("value")) {
+    throw std::invalid_argument("GridSignal: '" + path +
+                                "' needs 'time' and 'value' columns");
+  }
+  std::vector<SimTime> times;
+  std::vector<double> values;
+  times.reserve(table.num_rows());
+  values.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto t = table.GetInt(r, "time");
+    const auto v = table.GetDouble(r, "value");
+    if (!t || !v) {
+      throw std::invalid_argument("GridSignal: '" + path + "' row " +
+                                  std::to_string(r) + " has an empty cell");
+    }
+    times.push_back(*t);
+    values.push_back(*v);
+  }
+  GridSignal s = Steps(std::move(times), std::move(values));
+  s.kind_ = Kind::kCsv;
+  s.csv_path_ = path;
+  return s;
+}
+
+void GridSignal::SetScale(double scale) {
+  if (!std::isfinite(scale) || scale < 0.0) {
+    throw std::invalid_argument("GridSignal: scale must be finite and >= 0, got " +
+                                std::to_string(scale));
+  }
+  scale_ = scale;
+}
+
+double GridSignal::At(SimTime t) const {
+  if (empty()) throw std::logic_error("GridSignal: sampling an empty signal");
+  SimTime q = t;
+  if (period_ > 0) q = ((t % period_) + period_) % period_;
+  if (q < times_.front()) {
+    // Periodic: the span before the first boundary wraps around from the
+    // last value of the previous period; non-periodic: head fill.
+    return (period_ > 0 ? values_.back() : values_.front()) * scale_;
+  }
+  const auto it = std::upper_bound(times_.begin(), times_.end(), q);
+  return values_[static_cast<std::size_t>(it - times_.begin()) - 1] * scale_;
+}
+
+SimTime GridSignal::NextBoundaryAfter(SimTime t) const {
+  if (is_flat()) return -1;
+  if (period_ > 0) {
+    const SimTime fold = ((t % period_) + period_) % period_;
+    const SimTime base = t - fold;  // start of the enclosing period
+    const auto it = std::upper_bound(times_.begin(), times_.end(), fold);
+    if (it != times_.end()) return base + *it;
+    // Wrap into the next period's first boundary.
+    return base + period_ + times_.front();
+  }
+  // Non-periodic: the value can only change at times_[i] for i >= 1 (the
+  // first value back-fills before times_[0], exactly like TraceSeries).
+  const auto it = std::upper_bound(times_.begin() + 1, times_.end(), t);
+  if (it == times_.end()) return -1;
+  return *it;
+}
+
+double GridSignal::MeanValue() const {
+  if (empty()) throw std::logic_error("GridSignal: empty signal has no mean");
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size()) * scale_;
+}
+
+JsonValue GridSignal::ToJson() const {
+  if (kind_ == Kind::kEmpty) return JsonValue();
+  JsonObject obj;
+  switch (kind_) {
+    case Kind::kConstant:
+      obj["kind"] = "constant";
+      obj["value"] = values_.front();
+      break;
+    case Kind::kDiurnal:
+      obj["kind"] = "diurnal";
+      obj["base"] = diurnal_base_;
+      obj["dip"] = diurnal_dip_;
+      obj["peak"] = diurnal_peak_;
+      break;
+    case Kind::kHourly: {
+      obj["kind"] = "hourly";
+      JsonArray values(values_.begin(), values_.end());
+      obj["values"] = JsonValue(std::move(values));
+      break;
+    }
+    case Kind::kSteps: {
+      obj["kind"] = "steps";
+      JsonArray times;
+      times.reserve(times_.size());
+      for (SimTime t : times_) times.emplace_back(static_cast<std::int64_t>(t));
+      obj["times"] = JsonValue(std::move(times));
+      JsonArray values(values_.begin(), values_.end());
+      obj["values"] = JsonValue(std::move(values));
+      break;
+    }
+    case Kind::kCsv: {
+      obj["kind"] = "csv";
+      obj["path"] = csv_path_;
+      // The loaded series rides along inline: FromJson prefers it over
+      // re-reading the file, so the ToJson/FromJson round trips that sweep
+      // expansion performs per scenario cost no disk I/O.
+      JsonArray times;
+      times.reserve(times_.size());
+      for (SimTime t : times_) times.emplace_back(static_cast<std::int64_t>(t));
+      obj["times"] = JsonValue(std::move(times));
+      JsonArray values(values_.begin(), values_.end());
+      obj["values"] = JsonValue(std::move(values));
+      break;
+    }
+    case Kind::kEmpty:
+      break;  // unreachable
+  }
+  obj["scale"] = scale_;
+  return JsonValue(std::move(obj));
+}
+
+GridSignal GridSignal::FromJson(const JsonValue& v) {
+  if (v.is_null()) return GridSignal();
+  const JsonObject& obj = v.AsObject();
+  std::string kind;
+  double scale = 1.0;
+  // First pass: kind + scale; the kind then decides which other keys are
+  // legal, so a typo'd field is rejected regardless of map iteration order.
+  for (const auto& [key, value] : obj) {
+    if (key == "kind") {
+      kind = value.AsString();
+    } else if (key == "scale") {
+      scale = value.AsDouble();
+    }
+  }
+  if (kind.empty()) {
+    throw std::invalid_argument(
+        "GridSignal: missing 'kind' "
+        "(constant|diurnal|hourly|steps|csv)");
+  }
+  const auto check_keys = [&](std::initializer_list<const char*> allowed) {
+    for (const auto& [key, value] : obj) {
+      (void)value;
+      if (key == "kind" || key == "scale") continue;
+      bool known = false;
+      for (const char* name : allowed) known = known || key == name;
+      if (!known) {
+        throw std::invalid_argument("GridSignal (" + kind + "): unknown key '" +
+                                    key + "'");
+      }
+    }
+  };
+  GridSignal s;
+  if (kind == "constant") {
+    check_keys({"value"});
+    s = Constant(v.At("value").AsDouble());
+  } else if (kind == "diurnal") {
+    check_keys({"base", "dip", "peak"});
+    s = Diurnal(v.At("base").AsDouble(), v.GetDouble("dip", 0.6),
+                v.GetDouble("peak", 1.3));
+  } else if (kind == "hourly") {
+    check_keys({"values"});
+    std::vector<double> values;
+    for (const JsonValue& x : v.At("values").AsArray()) values.push_back(x.AsDouble());
+    s = Hourly(std::move(values));
+  } else if (kind == "steps") {
+    check_keys({"times", "values"});
+    std::vector<SimTime> times;
+    for (const JsonValue& x : v.At("times").AsArray()) times.push_back(x.AsInt());
+    std::vector<double> values;
+    for (const JsonValue& x : v.At("values").AsArray()) values.push_back(x.AsDouble());
+    s = Steps(std::move(times), std::move(values));
+  } else if (kind == "csv") {
+    check_keys({"path", "times", "values"});
+    const JsonObject& fields = v.AsObject();
+    if (fields.count("times") && fields.count("values")) {
+      // Serialised form carrying the already-loaded series (see ToJson).
+      std::vector<SimTime> times;
+      for (const JsonValue& x : v.At("times").AsArray()) times.push_back(x.AsInt());
+      std::vector<double> values;
+      for (const JsonValue& x : v.At("values").AsArray()) {
+        values.push_back(x.AsDouble());
+      }
+      s = Steps(std::move(times), std::move(values));
+      s.kind_ = Kind::kCsv;
+      s.csv_path_ = v.At("path").AsString();
+    } else {
+      s = FromCsv(v.At("path").AsString());
+    }
+  } else {
+    throw std::invalid_argument("GridSignal: unknown kind '" + kind +
+                                "' (constant|diurnal|hourly|steps|csv)");
+  }
+  s.SetScale(scale);
+  return s;
+}
+
+}  // namespace sraps

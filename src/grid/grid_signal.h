@@ -1,0 +1,106 @@
+// Grid-signal time series (§3.2.6): electricity price, carbon intensity,
+// and demand-response schedules are arbitrary step functions of *absolute*
+// simulation time — unlike the per-job TraceSeries, whose samples are
+// offsets from a job's start.  A GridSignal holds its value between
+// boundaries (step hold), optionally repeats with a fixed period (diurnal
+// profiles), and can report the next time its value may change
+// (NextBoundaryAfter) so the engine's event calendar can hop over
+// signal-flat spans without losing bit-identity to the tick loop.
+//
+// Signals remember how they were constructed (constant / diurnal / hourly /
+// steps / csv) so they serialise back to the same JSON "kind" they were
+// parsed from, and carry a multiplicative `scale` so sweeps can dial a whole
+// price or carbon curve up and down through one axis ("grid.price.scale").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/time.h"
+
+namespace sraps {
+
+class GridSignal {
+ public:
+  /// Default-constructed signals are empty ("absent"): At() throws, and the
+  /// GridEnvironment treats them as disabled.
+  GridSignal() = default;
+
+  /// Flat signal (classic constant-factor price/carbon accounting).
+  static GridSignal Constant(double value);
+
+  /// Day-periodic profile sampled hourly: entry h applies to [h:00, h+1:00)
+  /// of every simulated day.  Must contain exactly 24 entries.
+  static GridSignal Hourly(std::vector<double> hourly);
+
+  /// A stylised diurnal curve (same shape the carbon module has always
+  /// used): `base` overnight, dipping to `base*dip` around 13:00 (solar),
+  /// peaking at `base*peak` around 19:00.  Day-periodic, hourly resolution.
+  static GridSignal Diurnal(double base, double dip = 0.6, double peak = 1.3);
+
+  /// Non-periodic step function: value[i] holds over [times[i], times[i+1]),
+  /// the first value back-fills before times[0], the last holds forever.
+  /// Times must be strictly increasing.  Throws std::invalid_argument.
+  static GridSignal Steps(std::vector<SimTime> times, std::vector<double> values);
+
+  /// Loads a non-periodic step series from a CSV file with "time,value"
+  /// columns (absolute sim seconds).  The path is remembered so ToJson
+  /// round-trips as {"kind": "csv", "path": ...}.  Throws std::runtime_error
+  /// on I/O failure, std::invalid_argument on malformed data.
+  static GridSignal FromCsv(const std::string& path);
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+  /// True when At() cannot change over time (single sample).
+  bool is_flat() const { return values_.size() <= 1; }
+  /// Repeat period in seconds; 0 = non-periodic.
+  SimDuration period() const { return period_; }
+  double scale() const { return scale_; }
+  /// Multiplies every value returned by At().  Throws on negative or
+  /// non-finite scales.
+  void SetScale(double scale);
+
+  /// Value at an absolute sim time (scale applied).  Periodic signals fold
+  /// `t` into [0, period); negative times are handled.  Throws
+  /// std::logic_error on an empty signal.
+  double At(SimTime t) const;
+
+  /// Smallest absolute time strictly greater than `t` at which At() can next
+  /// change, or -1 when the signal is flat from `t` onwards.  Periodic
+  /// signals always have a next boundary (unless flat); the engine bounds
+  /// its batched spans with this, exactly like TraceSeries::NextOffsetAfter.
+  SimTime NextBoundaryAfter(SimTime t) const;
+
+  /// Arithmetic mean of the step values (scale applied) — the flat-
+  /// equivalent intensity used by carbon timing-factor reporting.
+  double MeanValue() const;
+
+  /// Serialises to the constructor form: {"kind": "constant"|"diurnal"|
+  /// "hourly"|"steps"|"csv", ..., "scale": s}.  Empty signals serialise to
+  /// JSON null (the environment omits them).
+  JsonValue ToJson() const;
+
+  /// Inverse of ToJson; null or missing -> empty signal.  Unknown keys and
+  /// malformed kinds throw std::invalid_argument.  "csv" kinds load the file
+  /// at parse time.
+  static GridSignal FromJson(const JsonValue& v);
+
+  const std::vector<SimTime>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  enum class Kind { kEmpty, kConstant, kDiurnal, kHourly, kSteps, kCsv };
+
+  Kind kind_ = Kind::kEmpty;
+  /// Boundary times: absolute (non-periodic) or within [0, period_).
+  std::vector<SimTime> times_;
+  std::vector<double> values_;
+  SimDuration period_ = 0;
+  double scale_ = 1.0;
+  // Constructor provenance, so ToJson reproduces the input form.
+  double diurnal_base_ = 0.0, diurnal_dip_ = 0.0, diurnal_peak_ = 0.0;
+  std::string csv_path_;
+};
+
+}  // namespace sraps

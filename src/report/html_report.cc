@@ -179,6 +179,25 @@ std::string PageHead(const std::string& title) {
 
 }  // namespace
 
+namespace {
+
+/// Min-max normalises a channel onto [0, 1] (flat series map to 0.5) so two
+/// series with wildly different units share one overlay axis.
+NamedSeries NormalisedSeries(const std::string& label, const Channel& ch) {
+  NamedSeries s{label, ch.times, ch.values};
+  if (s.values.empty()) return s;
+  double lo = s.values.front(), hi = s.values.front();
+  for (double v : s.values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo;
+  for (double& v : s.values) v = range > 0.0 ? (v - lo) / range : 0.5;
+  return s;
+}
+
+}  // namespace
+
 std::string RenderHtmlReport(const TimeSeriesRecorder& recorder,
                              const SimulationStats& stats,
                              const ReportOptions& options) {
@@ -189,6 +208,14 @@ std::string RenderHtmlReport(const TimeSeriesRecorder& recorder,
     const Channel& ch = recorder.Get(channel);
     NamedSeries s{channel, ch.times, ch.values};
     html << RenderSvgChart({s}, channel, options.chart_width, options.chart_height);
+  }
+  if (options.price_overlay && recorder.Has("power_kw") &&
+      recorder.Has("price_usd_per_kwh")) {
+    const std::vector<NamedSeries> overlay = {
+        NormalisedSeries("power_kw", recorder.Get("power_kw")),
+        NormalisedSeries("price", recorder.Get("price_usd_per_kwh"))};
+    html << RenderSvgChart(overlay, "power vs grid price (normalised)",
+                           options.chart_width, options.chart_height);
   }
   html << "<h2>systems accounting</h2>\n" << StatsTable(stats);
   html << "</body></html>\n";

@@ -19,8 +19,13 @@ struct ReportOptions {
   int chart_height = 220;
   /// Channels to chart, in order; missing channels are skipped silently.
   std::vector<std::string> channels = {"power_kw",  "it_power_kw", "utilization",
+                                       "price_usd_per_kwh", "carbon_kg_per_kwh",
                                        "pue",       "tower_return_c",
                                        "queue_length", "running_jobs"};
+  /// Render a combined power-vs-price timeline (both series min-max
+  /// normalised onto one axis) when the run recorded a price signal — shows
+  /// at a glance whether load sat in cheap windows.
+  bool price_overlay = true;
 };
 
 /// One labelled series for comparison charts (e.g. per-policy overlays).

@@ -9,11 +9,17 @@
 namespace sraps {
 
 BuiltinScheduler::BuiltinScheduler(Policy policy, BackfillMode backfill,
-                                   const AccountRegistry* accounts)
-    : policy_(policy), backfill_(backfill), accounts_(accounts) {
+                                   const AccountRegistry* accounts,
+                                   const GridEnvironment* grid)
+    : policy_(policy), backfill_(backfill), accounts_(accounts), grid_(grid) {
   if (IsAccountPolicy(policy_) && accounts_ == nullptr) {
     throw std::invalid_argument("BuiltinScheduler: policy " + ToString(policy_) +
                                 " requires an AccountRegistry");
+  }
+  if (policy_ == Policy::kGridAware && (grid_ == nullptr || !grid_->HasSignals())) {
+    throw std::invalid_argument(
+        "BuiltinScheduler: policy grid_aware requires a GridEnvironment with a "
+        "price or carbon signal");
   }
 }
 
@@ -36,6 +42,10 @@ double BuiltinScheduler::PriorityKey(const Job& job) const {
       return job.priority;
     case Policy::kMl:
       return job.has_ml_score ? job.ml_score : job.priority;
+    case Policy::kGridAware:
+      // FCFS base order; the grid influence is the eligibility hold, not
+      // the sort key.
+      return -static_cast<double>(job.submit_time);
     case Policy::kAcctAvgPower:
       return accounts_->GetOrZero(job.account).AvgPowerW();
     case Policy::kAcctLowAvgPower:
@@ -90,11 +100,42 @@ std::vector<Placement> BuiltinScheduler::ScheduleReplay(
   return placements;
 }
 
+bool BuiltinScheduler::HoldForCheaperWindow(const Job& job, SimTime now) const {
+  // Price is the primary cost signal; carbon stands in when no price is set
+  // (the "clean" in cheap/clean windows).
+  const GridSignal& sig = !grid_->price_usd_per_kwh.empty()
+                              ? grid_->price_usd_per_kwh
+                              : grid_->carbon_kg_per_kwh;
+  if (sig.is_flat()) return false;
+  const SimTime deadline = job.submit_time + grid_->slack_s;
+  if (now >= deadline) return false;  // slack exhausted: run regardless
+  const double here = sig.At(now);
+  // Hold while a strictly cheaper boundary is reachable before the slack
+  // deadline.  Signal boundaries are engine events, so the queue is always
+  // re-examined exactly when the verdict can flip; at the cheapest boundary
+  // within the remaining slack no cheaper one is reachable and the job runs.
+  for (SimTime b = sig.NextBoundaryAfter(now); b >= 0 && b <= deadline;
+       b = sig.NextBoundaryAfter(b)) {
+    if (sig.At(b) < here) return true;
+  }
+  return false;
+}
+
 std::vector<Placement> BuiltinScheduler::ScheduleOrdered(
     const SchedulerContext& ctx) const {
   // Recompute the queue order under the policy (§3.2.3 step 3: "recomputes
   // the order of the job queue according to selected policy").
   std::vector<JobQueue::Handle> order(ctx.queue->handles());
+  if (policy_ == Policy::kGridAware) {
+    // Held jobs are simply not eligible this round; the rest of the pass
+    // (ordering + backfill) runs unchanged over the eligible set.
+    order.erase(std::remove_if(order.begin(), order.end(),
+                               [&](JobQueue::Handle h) {
+                                 return HoldForCheaperWindow(ctx.JobOf(h), ctx.now);
+                               }),
+                order.end());
+    if (order.empty()) return {};
+  }
   std::stable_sort(order.begin(), order.end(),
                    [&](JobQueue::Handle a, JobQueue::Handle b) {
                      const double ka = PriorityKey(ctx.JobOf(a));
@@ -211,11 +252,12 @@ std::vector<Placement> BuiltinScheduler::ScheduleOrdered(
 
 std::unique_ptr<Scheduler> MakeBuiltinScheduler(const std::string& policy,
                                                 const std::string& backfill,
-                                                const AccountRegistry* accounts) {
+                                                const AccountRegistry* accounts,
+                                                const GridEnvironment* grid) {
   const PolicyDef& p = PolicyRegistry().Get(policy);
   const BackfillDef b = backfill.empty() ? BackfillDef{BackfillMode::kNone, "none"}
                                          : BackfillRegistry().Get(backfill);
-  return std::make_unique<BuiltinScheduler>(p.id, b.id, accounts);
+  return std::make_unique<BuiltinScheduler>(p.id, b.id, accounts, grid);
 }
 
 }  // namespace sraps

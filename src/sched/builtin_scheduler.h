@@ -1,11 +1,13 @@
 // The built-in scheduler (§3.2.5): replay plus FCFS/SJF/LJF/priority
-// ordering with no-backfill, first-fit, or EASY backfill, and the
-// experimental account-derived incentive policies of §4.3.
+// ordering with no-backfill, first-fit, or EASY backfill, the experimental
+// account-derived incentive policies of §4.3, and the grid_aware policy
+// that holds delayable jobs for cheaper/cleaner grid windows.
 #pragma once
 
 #include <memory>
 
 #include "accounts/accounts.h"
+#include "grid/grid_environment.h"
 #include "sched/policies.h"
 #include "sched/scheduler.h"
 
@@ -15,9 +17,12 @@ class BuiltinScheduler : public Scheduler {
  public:
   /// `accounts` must outlive the scheduler and is required for the
   /// account-derived policies (throws std::invalid_argument otherwise);
-  /// it is the *collection-phase* snapshot, not mutated here.
+  /// it is the *collection-phase* snapshot, not mutated here.  `grid` must
+  /// outlive the scheduler and carry a price or carbon signal for the
+  /// grid_aware policy (throws otherwise).
   BuiltinScheduler(Policy policy, BackfillMode backfill,
-                   const AccountRegistry* accounts = nullptr);
+                   const AccountRegistry* accounts = nullptr,
+                   const GridEnvironment* grid = nullptr);
 
   std::string name() const override;
 
@@ -34,6 +39,11 @@ class BuiltinScheduler : public Scheduler {
   /// tests and for external schedulers that want to reuse the ordering.
   double PriorityKey(const Job& job) const;
 
+  /// grid_aware's hold decision: true when `job` should wait because a
+  /// strictly cheaper/cleaner signal boundary is reachable within the grid
+  /// environment's slack bound of the job's submit time.  Exposed for tests.
+  bool HoldForCheaperWindow(const Job& job, SimTime now) const;
+
  private:
   std::vector<Placement> ScheduleReplay(const SchedulerContext& ctx) const;
   std::vector<Placement> ScheduleOrdered(const SchedulerContext& ctx) const;
@@ -41,12 +51,14 @@ class BuiltinScheduler : public Scheduler {
   Policy policy_;
   BackfillMode backfill_;
   const AccountRegistry* accounts_;
+  const GridEnvironment* grid_;
 };
 
 /// Factory matching the CLI surface: builds the built-in scheduler from
 /// policy/backfill names.  Throws std::invalid_argument on unknown names.
 std::unique_ptr<Scheduler> MakeBuiltinScheduler(
     const std::string& policy, const std::string& backfill,
-    const AccountRegistry* accounts = nullptr);
+    const AccountRegistry* accounts = nullptr,
+    const GridEnvironment* grid = nullptr);
 
 }  // namespace sraps

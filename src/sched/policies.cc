@@ -8,7 +8,8 @@ namespace {
 void RegisterBuiltinPolicies(NamedRegistry<PolicyDef>& reg) {
   auto add = [&reg](const std::string& name, Policy id, bool needs_accounts,
                     std::string description) {
-    reg.Register(name, PolicyDef{id, needs_accounts, ToString(id)},
+    const bool needs_grid = id == Policy::kGridAware;
+    reg.Register(name, PolicyDef{id, needs_accounts, needs_grid, ToString(id)},
                  std::move(description));
   };
   add("replay", Policy::kReplay, false, "re-enact the recorded schedule exactly");
@@ -17,6 +18,8 @@ void RegisterBuiltinPolicies(NamedRegistry<PolicyDef>& reg) {
   add("ljf", Policy::kLjf, false, "largest job first (node count)");
   add("priority", Policy::kPriority, false, "dataset priority, descending");
   add("ml", Policy::kMl, false, "rank by the ML pipeline's score");
+  add("grid_aware", Policy::kGridAware, false,
+      "FCFS, delaying delayable jobs into cheap/clean grid windows");
   add("acct_avg_power", Policy::kAcctAvgPower, true,
       "descending account average power");
   add("acct_low_avg_power", Policy::kAcctLowAvgPower, true,
@@ -69,6 +72,7 @@ std::string ToString(Policy p) {
     case Policy::kLjf: return "ljf";
     case Policy::kPriority: return "priority";
     case Policy::kMl: return "ml";
+    case Policy::kGridAware: return "grid_aware";
     case Policy::kAcctAvgPower: return "acct_avg_power";
     case Policy::kAcctLowAvgPower: return "acct_low_avg_power";
     case Policy::kAcctEdp: return "acct_edp";

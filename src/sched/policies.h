@@ -18,6 +18,12 @@ enum class Policy {
   kLjf,       ///< largest-job-first (by node count)
   kPriority,  ///< dataset-provided priority, descending
   kMl,        ///< ML-guided: rank by the inference pipeline's score (§4.4)
+  /// Grid-aware: FCFS order, but jobs are held back — up to the grid
+  /// environment's slack bound past their submit time — while a strictly
+  /// cheaper (price signal; carbon when no price is set) window is reachable
+  /// within that slack.  The sustainability scheduling the §3.2.6 accounting
+  /// motivates.
+  kGridAware,
   // Experimental account-derived incentive policies (§4.3): priority is the
   // issuing account's accumulated behaviour from a previous collection run.
   kAcctAvgPower,     ///< descending average power (high power favoured)
@@ -40,6 +46,7 @@ enum class BackfillMode {
 struct PolicyDef {
   Policy id = Policy::kReplay;
   bool needs_accounts = false;  ///< requires a collection-phase AccountRegistry
+  bool needs_grid = false;      ///< requires a GridEnvironment with signals
   std::string canonical_name;   ///< ToString(id); aliases map here
 };
 
@@ -50,9 +57,9 @@ struct BackfillDef {
 };
 
 /// The `--policy` registry, pre-populated with the built-in names
-/// ("replay", "fcfs", "sjf", "ljf", "priority", "ml", "acct_avg_power",
-/// "acct_low_avg_power", "acct_edp", "acct_fugaku_pts").  Plugins may
-/// register further aliases.
+/// ("replay", "fcfs", "sjf", "ljf", "priority", "ml", "grid_aware",
+/// "acct_avg_power", "acct_low_avg_power", "acct_edp", "acct_fugaku_pts").
+/// Plugins may register further aliases.
 NamedRegistry<PolicyDef>& PolicyRegistry();
 
 /// The `--backfill` registry, pre-populated with "none" (alias "nobf"),

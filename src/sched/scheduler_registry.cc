@@ -13,7 +13,7 @@ NamedRegistry<SchedulerFactory>& SchedulerRegistry() {
     // `experimental` is the artifact's name for the account-policy module;
     // both route to the built-in scheduler, which hosts all policies.
     const SchedulerFactory builtin = [](const SchedulerFactoryContext& ctx) {
-      return MakeBuiltinScheduler(ctx.policy, ctx.backfill, ctx.accounts);
+      return MakeBuiltinScheduler(ctx.policy, ctx.backfill, ctx.accounts, ctx.grid);
     };
     registry.Register("default", builtin,
                       "built-in scheduler (replay + ordering policies + backfill)");

@@ -14,6 +14,7 @@
 #include "accounts/accounts.h"
 #include "common/registry.h"
 #include "config/system_config.h"
+#include "grid/grid_environment.h"
 #include "sched/scheduler.h"
 #include "workload/job.h"
 
@@ -29,6 +30,9 @@ struct SchedulerFactoryContext {
   /// Collection-phase account snapshot for the acct_* policies; must outlive
   /// the produced scheduler.
   const AccountRegistry* accounts = nullptr;
+  /// Grid environment for grid-reactive policies (grid_aware); must outlive
+  /// the produced scheduler.  May be null.
+  const GridEnvironment* grid = nullptr;
 };
 
 using SchedulerFactory =

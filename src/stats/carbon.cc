@@ -1,10 +1,19 @@
 #include "stats/carbon.h"
 
-#include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace sraps {
+namespace {
+
+void CheckNonNegative(const std::vector<double>& values) {
+  for (double v : values) {
+    if (v < 0.0) {
+      throw std::invalid_argument("CarbonIntensityProfile: negative intensity");
+    }
+  }
+}
+
+}  // namespace
 
 CarbonIntensityProfile CarbonIntensityProfile::Constant(double kg_per_kwh) {
   return CarbonIntensityProfile(std::vector<double>(24, kg_per_kwh));
@@ -12,35 +21,30 @@ CarbonIntensityProfile CarbonIntensityProfile::Constant(double kg_per_kwh) {
 
 CarbonIntensityProfile CarbonIntensityProfile::Diurnal(double base, double solar_dip,
                                                        double evening_peak) {
-  std::vector<double> hourly(24);
-  for (int h = 0; h < 24; ++h) {
-    // Solar dip centred on 13:00 with ~4 h half-width.
-    const double dip = std::exp(-0.5 * std::pow((h - 13.0) / 3.0, 2.0));
-    // Evening peak centred on 19:00, narrower.
-    const double peak = std::exp(-0.5 * std::pow((h - 19.0) / 2.0, 2.0));
-    double v = base;
-    v -= base * (1.0 - solar_dip) * dip;
-    v += base * (evening_peak - 1.0) * peak;
-    hourly[h] = std::max(0.0, v);
-  }
-  return CarbonIntensityProfile(std::move(hourly));
+  // GridSignal::Diurnal reproduces the original curve arithmetic exactly.
+  return CarbonIntensityProfile(GridSignal::Diurnal(base, solar_dip, evening_peak));
 }
 
-CarbonIntensityProfile::CarbonIntensityProfile(std::vector<double> hourly)
-    : hourly_(std::move(hourly)) {
-  if (hourly_.size() != 24) {
-    throw std::invalid_argument("CarbonIntensityProfile: need exactly 24 hourly values");
+CarbonIntensityProfile::CarbonIntensityProfile(std::vector<double> hourly) {
+  if (hourly.size() != 24) {
+    throw std::invalid_argument(
+        "CarbonIntensityProfile: need exactly 24 hourly values");
   }
-  for (double v : hourly_) {
-    if (v < 0.0) {
-      throw std::invalid_argument("CarbonIntensityProfile: negative intensity");
-    }
-  }
+  CheckNonNegative(hourly);
+  signal_ = GridSignal::Hourly(std::move(hourly));
 }
 
-double CarbonIntensityProfile::At(SimTime t) const {
-  const SimTime day_s = ((t % kDay) + kDay) % kDay;
-  return hourly_[static_cast<std::size_t>(day_s / kHour)];
+CarbonIntensityProfile::CarbonIntensityProfile(GridSignal signal)
+    : signal_(std::move(signal)) {
+  if (signal_.empty()) {
+    throw std::invalid_argument("CarbonIntensityProfile: empty signal");
+  }
+  CheckNonNegative(signal_.values());
+}
+
+const std::vector<double>& CarbonIntensityProfile::hourly() const {
+  static const std::vector<double> kEmpty;
+  return signal_.period() == kDay ? signal_.values() : kEmpty;
 }
 
 CarbonReport ComputeCarbon(const TimeSeriesRecorder& recorder,
@@ -49,9 +53,7 @@ CarbonReport ComputeCarbon(const TimeSeriesRecorder& recorder,
   if (ch.values.size() < 2) {
     throw std::logic_error("ComputeCarbon: need >= 2 power samples");
   }
-  double mean_intensity = 0.0;
-  for (double v : profile.hourly()) mean_intensity += v;
-  mean_intensity /= 24.0;
+  const double mean_intensity = profile.MeanIntensity();
 
   CarbonReport r;
   for (std::size_t i = 1; i < ch.values.size(); ++i) {

@@ -4,17 +4,25 @@
 // when a scheduler moves load in time it also moves emissions.  This module
 // integrates system power against a configurable intensity profile —
 // enabling the sustainability what-if studies the paper motivates.
+//
+// The profile delegates to the grid subsystem's GridSignal, so it is no
+// longer limited to 24 hourly day-periodic samples: any step series
+// (non-periodic, arbitrary resolution — e.g. a real grid-operator feed
+// loaded via GridSignal::FromCsv) can drive the integration.  The classic
+// Constant/Diurnal/hourly constructors keep their exact semantics.
 #pragma once
 
 #include <vector>
 
 #include "common/time.h"
+#include "grid/grid_signal.h"
 #include "telemetry/recorder.h"
 
 namespace sraps {
 
-/// 24-hour grid carbon-intensity profile in kg CO2 per kWh, sampled hourly
-/// (entry h applies to [h:00, h+1:00) local time, repeating daily).
+/// Grid carbon-intensity profile in kg CO2 per kWh — a thin, validated
+/// wrapper over GridSignal.  The hourly constructors produce a day-periodic
+/// signal whose At() is bit-identical to the original hourly table lookup.
 class CarbonIntensityProfile {
  public:
   /// Flat profile (classic constant-factor accounting).
@@ -28,13 +36,27 @@ class CarbonIntensityProfile {
   /// Custom hourly values; must contain exactly 24 non-negative entries.
   explicit CarbonIntensityProfile(std::vector<double> hourly);
 
-  /// Intensity at an absolute sim time (day-periodic).
-  double At(SimTime t) const;
+  /// Generalised profile from any non-empty GridSignal (arbitrary
+  /// resolution, optionally non-periodic).  Throws std::invalid_argument on
+  /// an empty signal or negative intensities.
+  explicit CarbonIntensityProfile(GridSignal signal);
 
-  const std::vector<double>& hourly() const { return hourly_; }
+  /// Intensity at an absolute sim time.
+  double At(SimTime t) const { return signal_.At(t); }
+
+  /// The 24 hourly values for day-periodic hourly profiles (Constant /
+  /// Diurnal / the hourly constructor); empty for non-periodic signals.
+  const std::vector<double>& hourly() const;
+
+  /// The mean step value — the flat-equivalent baseline.  For the hourly
+  /// constructors this is the plain hourly average, bit-identical to the
+  /// original 24-entry table's.
+  double MeanIntensity() const { return signal_.MeanValue(); }
+
+  const GridSignal& signal() const { return signal_; }
 
  private:
-  std::vector<double> hourly_;
+  GridSignal signal_;
 };
 
 struct CarbonReport {

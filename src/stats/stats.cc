@@ -229,6 +229,10 @@ JsonValue SimulationStats::ToJson() const {
   o["priority_weighted_specific_rt"] = PriorityWeightedSpecificResponseTime();
   o["energy_cost_usd"] = EnergyCostUsd();
   o["carbon_kg_co2"] = CarbonKgCo2();
+  if (has_grid_) {
+    o["grid_cost_usd"] = grid_cost_usd_;
+    o["grid_co2_kg"] = grid_co2_kg_;
+  }
   JsonObject hist;
   for (std::size_t i = 0; i < size_hist_.num_buckets(); ++i) {
     hist[size_hist_.labels()[i]] = size_hist_.Count(i);

@@ -85,9 +85,23 @@ class SimulationStats {
   /// Job-size histogram (small < 128 nodes <= medium < 1024 <= large).
   const Histogram& JobSizeHistogram() const { return size_hist_; }
 
-  /// Derived cost estimates.
+  /// Derived cost estimates (flat CostModel factors over completed-job
+  /// energy — the original post-hoc accounting).
   double EnergyCostUsd(const CostModel& cm = {}) const;
   double CarbonKgCo2(const CostModel& cm = {}) const;
+
+  /// Signal-integrated totals: the engine accumulates wall energy against
+  /// the GridEnvironment's time-varying price/carbon signals during the run
+  /// and mirrors the running totals here.  has_grid() is false (and the
+  /// ToJson keys absent) when no grid signal was configured.
+  void SetGridTotals(double cost_usd, double co2_kg) {
+    has_grid_ = true;
+    grid_cost_usd_ = cost_usd;
+    grid_co2_kg_ = co2_kg;
+  }
+  bool has_grid() const { return has_grid_; }
+  double grid_cost_usd() const { return grid_cost_usd_; }
+  double grid_co2_kg() const { return grid_co2_kg_; }
 
   /// The 12 Fig. 10b objectives, in plot order.  All are lower-is-better
   /// (count-like metrics enter inverted, as the paper does).
@@ -110,6 +124,9 @@ class SimulationStats {
  private:
   std::vector<JobRecord> records_;
   Histogram size_hist_;
+  bool has_grid_ = false;
+  double grid_cost_usd_ = 0.0;
+  double grid_co2_kg_ = 0.0;
 };
 
 /// L2-normalises a set of per-policy objective vectors (rows = policies),

@@ -21,17 +21,19 @@
 namespace sraps {
 namespace {
 
-constexpr std::size_t kNumMetrics = 10;
+constexpr std::size_t kNumMetrics = 12;
 // Named positions into the metric arrays below; MetricNamesImpl and
 // MetricsOf must stay in this order.
 constexpr std::size_t kMetricCompleted = 0;
 constexpr std::size_t kMetricMakespan = 4;
 constexpr std::size_t kMetricEnergy = 5;
+constexpr std::size_t kMetricGridCost = 10;
 
 const std::vector<std::string>& MetricNamesImpl() {
   static const std::vector<std::string> kNames = {
       "completed", "dismissed", "avg_wait_s", "avg_turnaround_s", "makespan_s",
-      "total_energy_j", "mean_power_kw", "max_power_kw", "mean_util_pct", "mean_pue"};
+      "total_energy_j", "mean_power_kw", "max_power_kw", "mean_util_pct", "mean_pue",
+      "grid_cost_usd", "grid_co2_kg"};
   return kNames;
 }
 
@@ -45,7 +47,9 @@ std::array<double, kNumMetrics> MetricsOf(const SweepRow& row) {
           row.mean_power_kw,
           row.max_power_kw,
           row.mean_util_pct,
-          row.mean_pue};
+          row.mean_pue,
+          row.grid_cost_usd,
+          row.grid_co2_kg};
 }
 
 /// Deterministic shortest-round-trip-free formatting: 17 significant digits
@@ -88,6 +92,8 @@ SweepRow RowFromResult(const ScenarioResult& result, std::size_t index,
   row.max_power_kw = result.max_power_kw;
   row.mean_util_pct = result.mean_util_pct;
   row.mean_pue = result.mean_pue;
+  row.grid_cost_usd = result.grid_cost_usd;
+  row.grid_co2_kg = result.grid_co2_kg;
   row.fingerprint = result.fingerprint;
   return row;
 }
@@ -122,6 +128,17 @@ JsonValue SweepAggregates::ToJson() const {
     pareto_array.emplace_back(std::move(point));
   }
   obj["pareto"] = JsonValue(std::move(pareto_array));
+  JsonArray cost_array;
+  cost_array.reserve(pareto_cost.size());
+  for (const CostParetoPoint& p : pareto_cost) {
+    JsonObject point;
+    point["index"] = JsonValue(static_cast<std::int64_t>(p.index));
+    point["name"] = p.name;
+    point["grid_cost_usd"] = p.grid_cost_usd;
+    point["makespan_s"] = p.makespan_s;
+    cost_array.emplace_back(std::move(point));
+  }
+  obj["pareto_cost"] = JsonValue(std::move(cost_array));
   return JsonValue(std::move(obj));
 }
 
@@ -227,6 +244,31 @@ SweepAggregates SweepAggregator::Finalize() const {
       agg.points.push_back({i, slot.metrics[kMetricEnergy],
                             slot.metrics[kMetricMakespan], on_frontier[i]});
     }
+  }
+
+  // Second frontier over (grid cost, makespan) — only rows that actually
+  // accrued a cost participate, so sweeps without a price signal get an
+  // empty frontier rather than a degenerate all-zero one.
+  std::vector<Candidate> cost_candidates;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.folded && slot.ok && slot.metrics[kMetricCompleted] > 0 &&
+        slot.metrics[kMetricGridCost] > 0) {
+      cost_candidates.push_back(
+          {i, slot.metrics[kMetricGridCost], slot.metrics[kMetricMakespan]});
+    }
+  }
+  std::sort(cost_candidates.begin(), cost_candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.energy != b.energy) return a.energy < b.energy;
+              if (a.makespan != b.makespan) return a.makespan < b.makespan;
+              return a.index < b.index;
+            });
+  best_makespan = 0.0;
+  for (const Candidate& c : cost_candidates) {
+    if (!agg.pareto_cost.empty() && c.makespan >= best_makespan) continue;
+    best_makespan = c.makespan;
+    agg.pareto_cost.push_back({c.index, slots_[c.index].name, c.energy, c.makespan});
   }
   return agg;
 }

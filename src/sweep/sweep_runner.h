@@ -46,6 +46,9 @@ struct SweepRow {
   double max_power_kw = 0.0;
   double mean_util_pct = 0.0;
   double mean_pue = 0.0;
+  /// Grid-signal-integrated cost/emissions (0 without a "grid" block).
+  double grid_cost_usd = 0.0;
+  double grid_co2_kg = 0.0;
   std::uint64_t fingerprint = 0;  ///< completion-record digest (determinism probe)
 };
 
@@ -73,6 +76,16 @@ struct ParetoPoint {
   double makespan_s = 0.0;
 };
 
+/// One non-dominated scenario in the (grid cost, makespan) plane, present
+/// only when the sweep carries a grid price signal — the $-vs-time frontier
+/// grid-axis sweeps optimise over.
+struct CostParetoPoint {
+  std::size_t index = 0;
+  std::string name;
+  double grid_cost_usd = 0.0;
+  double makespan_s = 0.0;
+};
+
 /// Per-scenario projection onto the two Pareto objectives, for plotting.
 /// Deliberately NOT serialised into aggregates.json (which stays O(metrics),
 /// not O(scenarios)); the sweep report consumes these directly.
@@ -92,6 +105,9 @@ struct SweepAggregates {
   std::vector<std::pair<std::string, MetricSummary>> metrics;
   /// Sorted by energy ascending (makespan therefore descending).
   std::vector<ParetoPoint> pareto;
+  /// (grid cost, makespan) frontier over rows with a positive cost; empty
+  /// when the sweep has no price signal.  Sorted by cost ascending.
+  std::vector<CostParetoPoint> pareto_cost;
   /// Every successful scenario with >= 1 completion, in index order.
   std::vector<SweepPoint> points;
   JsonValue ToJson() const;

@@ -71,7 +71,12 @@ void ExpectEquivalent(const SimulationEngine& tick, const SimulationEngine& ev) 
   EXPECT_EQ(tick.counters().prepopulated, ev.counters().prepopulated);
   EXPECT_EQ(tick.counters().scheduler_invocations, ev.counters().scheduler_invocations);
   EXPECT_EQ(tick.counters().scheduler_skips, ev.counters().scheduler_skips);
+  EXPECT_EQ(tick.counters().grid_events, ev.counters().grid_events);
   EXPECT_EQ(tick.now(), ev.now());
+
+  // Grid accounting: signal-integrated cost and emissions, bit for bit.
+  EXPECT_TRUE(BitIdentical({tick.grid_cost_usd()}, {ev.grid_cost_usd()}));
+  EXPECT_TRUE(BitIdentical({tick.grid_co2_kg()}, {ev.grid_co2_kg()}));
 
   // Stats: bit-identical completion records, in order.
   EXPECT_EQ(tick.stats().Fingerprint(), ev.stats().Fingerprint());
@@ -249,6 +254,104 @@ TEST(EngineEventsTest, PerTickSchedulingDisablesBatchingWhileQueued) {
   const auto tick = RunEngine(jobs, o, false);
   const auto ev = RunEngine(jobs, o, true);
   ExpectEquivalent(*tick, *ev);
+}
+
+// A cap between the workload's idle and peak wall power, derived from an
+// uncapped probe run so the tests keep biting if the power model is retuned.
+double MidCapW(const std::vector<Job>& jobs, const EngineOptions& o,
+               double fraction = 0.4) {
+  const auto probe = RunEngine(jobs, o, false);
+  const double idle_w = probe->recorder().MinOf("power_kw") * 1000.0;
+  const double peak_w = probe->recorder().MaxOf("power_kw") * 1000.0;
+  EXPECT_GT(peak_w, idle_w);
+  return idle_w + fraction * (peak_w - idle_w);
+}
+
+TEST(EngineEventsTest, DrCapChangeMidJobDilatesIdentically) {
+  // A demand-response window opens while the big jobs run and closes before
+  // they finish: the effective cap changes mid-job in both directions, and
+  // the lazily re-keyed completion heap must stay bit-identical.
+  EngineOptions o = Opts(0, 24 * kHour);
+  const double cap_w = MidCapW(SparseWorkload(), o);
+  o.grid.dr_windows = {{6 * kHour + 600, 7 * kHour, cap_w},
+                       {23 * kHour, 23 * kHour + 900, cap_w}};
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_LT(tick->recorder().MinOf("throttle_factor"), 1.0);
+  EXPECT_GT(tick->counters().grid_events, 0u);
+  EXPECT_EQ(tick->counters().completed, 4u);
+}
+
+TEST(EngineEventsTest, DrWindowsStackWithStaticCap) {
+  EngineOptions o = Opts(0, 24 * kHour);
+  const double cap_w = MidCapW(SparseWorkload(), o, 0.6);
+  o.power_cap_w = cap_w;
+  // The DR window bites deeper than the static cap.
+  o.grid.dr_windows = {{6 * kHour, 8 * kHour, cap_w * 0.8}};
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+}
+
+TEST(EngineEventsTest, NonPeriodicPriceAndCarbonSeriesEquivalent) {
+  // Arbitrary non-periodic step series, with boundaries both on and off the
+  // tick grid (the mini tick is 60 s; 90-minute+7 s offsets land mid-tick).
+  EngineOptions o = Opts(0, 24 * kHour);
+  o.grid.price_usd_per_kwh = GridSignal::Steps(
+      {0, 90 * kMinute + 7, 5 * kHour, 14 * kHour + 13}, {0.12, 0.30, 0.04, 0.18});
+  o.grid.carbon_kg_per_kwh =
+      GridSignal::Steps({2 * kHour, 9 * kHour}, {0.5, 0.2});
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(ev->grid_cost_usd(), 0.0);
+  EXPECT_GT(ev->grid_co2_kg(), 0.0);
+}
+
+TEST(EngineEventsTest, DiurnalSignalsWithDrWindowsAndCoolingEquivalent) {
+  // The full grid stack at once: periodic price, periodic carbon, a DR cap
+  // window over the busy stretch, and the cooling loop feeding the cost
+  // basis (wall + cooling power) tick by tick.
+  EngineOptions o = Opts(0, 24 * kHour);
+  const double cap_w = MidCapW(SparseWorkload(), o);
+  o.enable_cooling = true;
+  o.grid.price_usd_per_kwh = GridSignal::Diurnal(0.08, 0.5, 1.4);
+  o.grid.carbon_kg_per_kwh = GridSignal::Diurnal(0.4, 0.6, 1.3);
+  o.grid.dr_windows = {{6 * kHour, 7 * kHour, cap_w}};
+  const auto tick = RunEngine(SparseWorkload(), o, false);
+  const auto ev = RunEngine(SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(ev->grid_cost_usd(), 0.0);
+  // Hourly boundaries at 1h..23h; the DR edges (6h, 7h) dedupe with them.
+  EXPECT_EQ(ev->counters().grid_events, 23u);
+}
+
+TEST(EngineEventsTest, GridAwareHoldsReleaseIdenticallyAtBoundaries) {
+  // grid_aware delays jobs to signal boundaries — scheduling decisions made
+  // exactly at grid events must coincide between the two stepping modes.
+  std::vector<Job> jobs = SparseWorkload();
+  EngineOptions o = Opts(0, 30 * kHour);
+  o.grid.price_usd_per_kwh =
+      GridSignal::Steps({0, 7 * kHour, 16 * kHour}, {0.25, 0.05, 0.40});
+  o.grid.slack_s = 4 * kHour;
+  GridEnvironment sched_env = o.grid;
+  const auto run = [&](bool event_calendar) {
+    EngineOptions eo = o;
+    eo.event_calendar = event_calendar;
+    auto e = std::make_unique<SimulationEngine>(
+        MakeSystemConfig("mini"), jobs,
+        std::make_unique<BuiltinScheduler>(Policy::kGridAware, BackfillMode::kEasy,
+                                           nullptr, &sched_env),
+        eo);
+    e->Run();
+    return e;
+  };
+  const auto tick = run(false);
+  const auto ev = run(true);
+  ExpectEquivalent(*tick, *ev);
+  // The job submitted at 6h (price 0.25, drop at 7h within slack) waited.
+  EXPECT_EQ(tick->jobs()[1].start, 7 * kHour);
 }
 
 TEST(EngineEventsTest, HistoryDisabledStillEquivalent) {

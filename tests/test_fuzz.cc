@@ -11,6 +11,7 @@
 #include "cooling/multi_cdu.h"
 #include "core/simulation.h"
 #include "dataloaders/replay_synth.h"
+#include "grid/grid_environment.h"
 #include "workload/synthetic.h"
 
 namespace sraps {
@@ -130,6 +131,149 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzCase{23, "fcfs", "conservative", true, 0.85},
                       FuzzCase{24, "sjf", "easy", false, 0},
                       FuzzCase{25, "priority", "firstfit", true, 0}));
+
+// --- grid JSON block fuzz --------------------------------------------------------
+
+/// Random "grid" JSON blocks — structurally valid and invalid alike — parsed
+/// through the strict ScenarioSpec path.  Valid blocks must run with the
+/// engine invariants intact (finite non-negative cost/emissions, wall power
+/// under the effective cap inside DR windows); invalid ones must be rejected
+/// with std::invalid_argument at load/build time, never crash mid-run.
+class GridJsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridJsonFuzz, ParseValidateRunOrReject) {
+  Rng rng(GetParam());
+  const SimDuration horizon = 6 * kHour;
+
+  JsonObject grid;
+  // Price: one random kind (sometimes absent).
+  switch (rng.UniformInt(0, 3)) {
+    case 0: {
+      JsonObject sig;
+      sig["kind"] = "constant";
+      sig["value"] = rng.Uniform(0.01, 0.5);
+      grid["price"] = JsonValue(std::move(sig));
+      break;
+    }
+    case 1: {
+      JsonObject sig;
+      sig["kind"] = "diurnal";
+      sig["base"] = rng.Uniform(0.02, 0.3);
+      sig["dip"] = rng.Uniform(0.2, 1.0);
+      sig["peak"] = rng.Uniform(1.0, 2.0);
+      sig["scale"] = rng.Uniform(0.5, 2.0);
+      grid["price"] = JsonValue(std::move(sig));
+      break;
+    }
+    case 2: {
+      JsonObject sig;
+      sig["kind"] = "steps";
+      JsonArray times, values;
+      SimTime t = rng.UniformInt(0, kHour);
+      for (int i = 0, n = static_cast<int>(rng.UniformInt(1, 6)); i < n; ++i) {
+        times.emplace_back(static_cast<std::int64_t>(t));
+        values.emplace_back(rng.Uniform(0.01, 0.4));
+        t += rng.UniformInt(1, 2 * kHour);
+      }
+      sig["times"] = JsonValue(std::move(times));
+      sig["values"] = JsonValue(std::move(values));
+      grid["price"] = JsonValue(std::move(sig));
+      break;
+    }
+    default:
+      break;  // no price signal
+  }
+  if (rng.UniformInt(0, 1) == 0) {
+    JsonObject sig;
+    sig["kind"] = "constant";
+    sig["value"] = rng.Uniform(0.1, 0.6);
+    grid["carbon"] = JsonValue(std::move(sig));
+  }
+  // DR windows; a "broken" draw injects end <= start, an out-of-range
+  // window, or a non-positive cap — each must be rejected cleanly.
+  const int breakage = static_cast<int>(rng.UniformInt(0, 5));  // 0-2 break
+  const double peak_w = MakeSystemConfig("mini").PeakItPowerW();
+  {
+    JsonArray windows;
+    const int n = static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < n || (breakage <= 2 && i == 0); ++i) {
+      JsonObject w;
+      SimTime start = rng.UniformInt(0, horizon - kHour);
+      SimTime end = start + rng.UniformInt(kMinute, 2 * kHour);
+      double cap = peak_w * rng.Uniform(0.3, 0.9);
+      if (i == 0 && breakage == 0) end = start - rng.UniformInt(0, kHour);
+      if (i == 0 && breakage == 1) {
+        start = horizon + kDay;
+        end = start + kHour;
+      }
+      if (i == 0 && breakage == 2) cap = -cap;
+      w["start"] = JsonValue(static_cast<std::int64_t>(start));
+      w["end"] = JsonValue(static_cast<std::int64_t>(end));
+      w["cap_w"] = cap;
+      windows.emplace_back(std::move(w));
+    }
+    if (!windows.empty()) grid["dr_windows"] = JsonValue(std::move(windows));
+  }
+  if (rng.UniformInt(0, 1) == 0) {
+    grid["slack_s"] = JsonValue(static_cast<std::int64_t>(rng.UniformInt(0, 2 * kHour)));
+  }
+  const bool expect_reject = breakage <= 2 && grid.count("dr_windows") > 0;
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = horizon / 2;
+  wl.arrival_rate_per_hour = 8;
+  wl.max_nodes = 8;
+  wl.seed = GetParam();
+  JsonObject spec_json;
+  spec_json["name"] = "grid-fuzz";
+  spec_json["system"] = "mini";
+  spec_json["duration"] = JsonValue(static_cast<std::int64_t>(horizon));
+  spec_json["grid"] = JsonValue(std::move(grid));
+
+  ScenarioSpec opts;
+  try {
+    opts = ScenarioSpec::FromJson(JsonValue(std::move(spec_json)));
+    opts.jobs_override = GenerateSyntheticWorkload(wl);
+    ValidateScenarioSpec(opts);
+    Simulation sim(opts);
+    sim.Run();
+    EXPECT_FALSE(expect_reject) << "broken grid block was accepted";
+    const auto& eng = sim.engine();
+    EXPECT_TRUE(std::isfinite(eng.grid_cost_usd()));
+    EXPECT_TRUE(std::isfinite(eng.grid_co2_kg()));
+    EXPECT_GE(eng.grid_cost_usd(), 0.0);
+    EXPECT_GE(eng.grid_co2_kg(), 0.0);
+    if (opts.grid.HasSignals()) {
+      EXPECT_EQ(eng.stats().has_grid(), true);
+    }
+    // Wall power respects the effective cap inside every DR window.
+    if (!opts.grid.dr_windows.empty() && eng.recorder().Has("power_kw")) {
+      const Channel& power = eng.recorder().Get("power_kw");
+      for (std::size_t i = 0; i < power.times.size(); ++i) {
+        const double cap =
+            opts.grid.EffectiveCapW(power.times[i], opts.power_cap_w);
+        if (cap > 0.0) {
+          EXPECT_LE(power.values[i] * 1000.0, cap * 1.001) << power.times[i];
+        }
+      }
+    }
+    // The grid block round-trips through the spec JSON.
+    const ScenarioSpec back = ScenarioSpec::FromJson(opts.ToJson());
+    EXPECT_EQ(back.grid.ToJson().Dump(2), opts.grid.ToJson().Dump(2));
+  } catch (const std::invalid_argument& e) {
+    // A structurally valid draw may still be rejected when the random
+    // workload's window happens not to contain it — but only for that
+    // reason; anything else is a real bug.
+    if (!expect_reject) {
+      EXPECT_NE(std::string(e.what()).find("outside the simulated window"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridJsonFuzz,
+                         ::testing::Range<std::uint64_t>(100, 130));
 
 // --- per-CDU cooling -------------------------------------------------------------
 

@@ -54,6 +54,10 @@ ScenarioSpec FullSpec() {
   spec.tick = 15;
   spec.power_cap_w = 2.5e7;
   spec.outages = {{100, 2000, {1, 2, 3}}, {5000, 0, {7}}};
+  spec.grid.price_usd_per_kwh = GridSignal::Diurnal(0.08, 0.5, 1.4);
+  spec.grid.carbon_kg_per_kwh = GridSignal::Constant(0.37);
+  spec.grid.dr_windows = {{4 * kHour, 6 * kHour, 1.8e7}};
+  spec.grid.slack_s = 2 * kHour;
   spec.html_report = true;
   return spec;
 }
@@ -85,8 +89,66 @@ TEST(ScenarioSpecTest, JsonRoundTripPreservesEveryField) {
     EXPECT_EQ(back.outages[i].recover_at, spec.outages[i].recover_at);
     EXPECT_EQ(back.outages[i].nodes, spec.outages[i].nodes);
   }
+  EXPECT_EQ(back.grid.ToJson().Dump(2), spec.grid.ToJson().Dump(2));
+  ASSERT_EQ(back.grid.dr_windows.size(), 1u);
+  EXPECT_EQ(back.grid.dr_windows[0].start, 4 * kHour);
+  EXPECT_EQ(back.grid.slack_s, 2 * kHour);
+  EXPECT_EQ(back.grid.price_usd_per_kwh.values(),
+            spec.grid.price_usd_per_kwh.values());
   // Serialisation is deterministic: dumping twice gives identical text.
   EXPECT_EQ(spec.ToJson().Dump(2), back.ToJson().Dump(2));
+}
+
+TEST(ScenarioSpecTest, GridBlockStrictParsing) {
+  // Unknown keys inside the grid block (and its signals) must be rejected.
+  EXPECT_THROW(ScenarioSpec::FromJson(
+                   JsonValue::Parse(R"({"grid": {"pricing": {}}})")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioSpec::FromJson(JsonValue::Parse(
+          R"({"grid": {"price": {"kind": "constant", "value": 1, "vlaue": 2}}})")),
+      std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromJson(JsonValue::Parse(
+                   R"({"grid": {"dr_windows": [{"start": 0, "end": 10,
+                                                "cap": 1}]}})")),
+               std::invalid_argument);
+  // Value-level problems surface in ValidateScenarioSpec.
+  ScenarioSpec spec;
+  spec.grid.dr_windows = {{100, 100, 1000.0}};  // empty window
+  EXPECT_THROW(ValidateScenarioSpec(spec), std::invalid_argument);
+  spec.grid.dr_windows = {{0, 100, -1.0}};  // non-positive cap
+  EXPECT_THROW(ValidateScenarioSpec(spec), std::invalid_argument);
+  spec.grid.dr_windows.clear();
+  spec.grid.slack_s = -1;
+  EXPECT_THROW(ValidateScenarioSpec(spec), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ApplyScenarioKeyDottedPaths) {
+  ScenarioSpec spec = FullSpec();
+  // Descend into the grid block: scale the price curve.
+  ApplyScenarioKey(spec, "grid.price.scale", JsonValue(1.5));
+  EXPECT_DOUBLE_EQ(spec.grid.price_usd_per_kwh.scale(), 1.5);
+  // Untouched siblings survive the nested patch.
+  EXPECT_DOUBLE_EQ(spec.grid.carbon_kg_per_kwh.At(0), 0.37);
+  EXPECT_EQ(spec.grid.slack_s, 2 * kHour);
+  EXPECT_EQ(spec.policy, "acct_edp");
+
+  ApplyScenarioKey(spec, "grid.slack_s", JsonValue(static_cast<std::int64_t>(kHour)));
+  EXPECT_EQ(spec.grid.slack_s, kHour);
+
+  // A dotted path into an absent signal fails strict parsing (no 'kind'),
+  // leaving the spec intact.
+  ScenarioSpec plain;
+  plain.jobs_override = SmallWorkload();
+  const std::size_t jobs = plain.jobs_override.size();
+  EXPECT_THROW(ApplyScenarioKey(plain, "grid.price.scale", JsonValue(2.0)),
+               std::invalid_argument);
+  EXPECT_EQ(plain.jobs_override.size(), jobs);
+  // Descending through a scalar is rejected, as is an empty segment.
+  EXPECT_THROW(ApplyScenarioKey(plain, "power_cap_w.x", JsonValue(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ApplyScenarioKey(plain, "grid..scale", JsonValue(1)),
+               std::invalid_argument);
 }
 
 TEST(ScenarioSpecTest, FileRoundTrip) {
@@ -217,10 +279,14 @@ TEST(SimulationBuilderTest, SettersValidateIncrementally) {
   EXPECT_THROW(b.WithPowerCapW(-0.5), std::invalid_argument);
   EXPECT_THROW(b.WithOutage({0, 0, {}}), std::invalid_argument);
   EXPECT_THROW(b.WithOutage({0, 0, {-1}}), std::invalid_argument);
+  EXPECT_THROW(b.WithDrWindow({100, 100, 1000.0}), std::invalid_argument);
+  EXPECT_THROW(b.WithDrWindow({0, 100, 0.0}), std::invalid_argument);
+  EXPECT_THROW(b.WithGridSlack(-1), std::invalid_argument);
   // A failed setter must not have corrupted the spec.
   EXPECT_EQ(b.spec().scheduler, "default");
   EXPECT_EQ(b.spec().policy, "replay");
   EXPECT_TRUE(b.spec().outages.empty());
+  EXPECT_FALSE(b.spec().grid.HasAny());
 }
 
 TEST(SimulationBuilderTest, BuildRequiresJobs) {
