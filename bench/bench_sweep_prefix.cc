@@ -1,0 +1,76 @@
+// Sweep prefix sharing: scenarios per wall second with and without
+// `--sweep-share-prefix` over a grid whose widest axis is trajectory-neutral
+// (grid.price.scale).  The sharing path simulates one trajectory per share
+// group and forks per scale variant (snapshot + accounting replay), so its
+// throughput should approach (group size)x the plain path's; the CI gate
+// enforces a conservative floor on the ratio (bench_baseline.json:
+// sweep_prefix_share_speedup).  Shard/aggregate bit-identity between the two
+// paths is asserted by tests/test_sweep.cc and the nightly diff lane — this
+// bench only measures the wall-clock win.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+/// 2 caps x 8 price scales = 16 scenarios in 2 share groups of 8.
+SweepSpec PrefixShareGrid() {
+  SweepSpec sweep;
+  sweep.name = "bench-prefix-share";
+  sweep.base.name = "base";
+  sweep.base.system = "mini";
+  sweep.base.policy = "fcfs";
+  sweep.base.backfill = "easy";
+  sweep.base.record_history = false;
+  sweep.base.event_calendar = true;
+  sweep.base.duration = 48 * kHour;
+  sweep.base.grid.price_usd_per_kwh = GridSignal::Diurnal(0.08, 0.5, 1.4);
+  sweep.base.grid.carbon_kg_per_kwh = GridSignal::Diurnal(0.4, 0.6, 1.3);
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 48 * kHour;
+  wl.arrival_rate_per_hour = 6;
+  wl.max_nodes = 8;
+  wl.mean_nodes_log2 = 1.5;
+  wl.seed = 29;
+  sweep.synthetic = wl;
+
+  sweep.axes.push_back(
+      SweepAxis("power_cap_w", {JsonValue(1500.0), JsonValue(0.0)}));
+  sweep.axes.push_back(SweepAxis::LogRange("grid.price.scale", 0.25, 4.0, 8));
+  return sweep;
+}
+
+void RunSweepBench(benchmark::State& state, bool share_prefix) {
+  const SweepSpec sweep = PrefixShareGrid();
+  double scenarios = 0;
+  std::size_t trajectories = 0;
+  for (auto _ : state) {
+    SweepOptions options;
+    options.threads = 1;  // measure work, not the pool
+    options.share_prefix = share_prefix;
+    SweepRunner runner(sweep);
+    const SweepSummary summary = runner.Run(options);
+    if (summary.failed_count != 0) state.SkipWithError("sweep scenarios failed");
+    scenarios += static_cast<double>(summary.total);
+    trajectories = summary.simulated_trajectories;
+    benchmark::DoNotOptimize(summary.aggregates.ok_count);
+  }
+  state.counters["scenarios_per_s"] =
+      benchmark::Counter(scenarios, benchmark::Counter::kIsRate);
+  state.counters["trajectories"] =
+      benchmark::Counter(static_cast<double>(trajectories));
+}
+
+void BM_SweepPrefixPlain(benchmark::State& state) { RunSweepBench(state, false); }
+void BM_SweepPrefixShare(benchmark::State& state) { RunSweepBench(state, true); }
+
+BENCHMARK(BM_SweepPrefixPlain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepPrefixShare)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sraps

@@ -56,6 +56,11 @@ def counter_of(results, name, counter):
 
 
 def check(baseline, results, tolerance, absolute):
+    """Returns (failures, notes).  Every failure is ONE self-contained line
+    prefixed `PERF-FAIL` with key=value fields (name, counter, measured,
+    floor/baseline, ratio), so a CI log can be triaged with a single
+    `grep PERF-FAIL` — the bench name and the measured-vs-floor ratio land
+    on the same line."""
     failures = []
     notes = []
     # Absolute bands only mean something against a baseline measured on the
@@ -67,13 +72,18 @@ def check(baseline, results, tolerance, absolute):
         want = entry["value"]
         got = counter_of(results, name, counter)
         if got is None:
-            failures.append(f"MISSING  {name}: benchmark/counter not in results")
+            failures.append(
+                f"PERF-FAIL MISSING name={name} counter={counter} "
+                f"reason=benchmark-or-counter-not-in-results")
             continue
         ratio = got / want if want else float("inf")
         line = f"{name} [{counter}]: {got:.3g} vs baseline {want:.3g} ({ratio:.2f}x)"
         if absolute and got < want * (1.0 - tolerance):
             if calibrated:
-                failures.append(f"REGRESSED {line}")
+                failures.append(
+                    f"PERF-FAIL REGRESSED name={name} counter={counter} "
+                    f"measured={got:.6g} baseline={want:.6g} "
+                    f"ratio={ratio:.2f}x floor={1.0 - tolerance:.2f}x")
             else:
                 notes.append(f"UNCALIBRATED baseline, not enforced: {line}")
         else:
@@ -83,21 +93,27 @@ def check(baseline, results, tolerance, absolute):
         num = counter_of(results, spec["numerator"], counter)
         den = counter_of(results, spec["denominator"], counter)
         if num is None or den is None:
-            failures.append(f"MISSING  ratio {rname}: operands not in results")
+            failures.append(
+                f"PERF-FAIL MISSING name={rname} counter={counter} "
+                f"numerator={spec['numerator']} denominator={spec['denominator']} "
+                f"reason=ratio-operands-not-in-results")
             continue
         ratio = num / den if den else float("inf")
         line = f"ratio {rname}: {ratio:.2f}x (floor {spec['min']:.2f}x)"
         if ratio < spec["min"]:
-            failures.append(f"BELOW FLOOR {line}")
+            failures.append(
+                f"PERF-FAIL BELOW-FLOOR name={rname} counter={counter} "
+                f"measured={ratio:.2f}x floor={spec['min']:.2f}x "
+                f"numerator={spec['numerator']} denominator={spec['denominator']}")
         else:
             notes.append(f"ok        {line}")
     return failures, notes
 
 
 def update(baseline, results):
-    """Rewrites baseline values in place.  Returns the benches that were
-    named in the baseline but absent from the results — the caller decides
-    whether that is fatal."""
+    """Rewrites baseline values in place.  Returns (name, counter) pairs for
+    benches named in the baseline but absent from the results — the caller
+    decides whether that is fatal."""
     missing = []
     for name, entry in baseline.get("benchmarks", {}).items():
         counter = entry.get("counter", "sim_s_per_wall_s")
@@ -105,7 +121,7 @@ def update(baseline, results):
         if got is not None:
             entry["value"] = got
         else:
-            missing.append(f"{name} [{counter}]")
+            missing.append((name, counter))
     return missing
 
 
@@ -134,15 +150,16 @@ def main(argv=None):
     if args.update:
         missing = update(baseline, results)
         if missing and not args.allow_missing:
-            for entry in missing:
-                print(f"MISSING  {entry}: benchmark/counter not in results",
+            for name, counter in missing:
+                print(f"PERF-FAIL MISSING name={name} counter={counter} "
+                      f"reason=benchmark-or-counter-not-in-results",
                       file=sys.stderr)
             print("\nbaseline NOT updated: a bench named in the baseline did "
                   "not run.  Re-run it, or pass --allow-missing if it was "
                   "removed on purpose.", file=sys.stderr)
             return 1
-        for entry in missing:
-            print(f"warning: {entry} not in results; keeping old value")
+        for name, counter in missing:
+            print(f"warning: {name} [{counter}] not in results; keeping old value")
         if args.calibrate:
             baseline["calibrated"] = True
         with open(args.baseline, "w") as f:

@@ -125,7 +125,47 @@ class CheckRegressionTest(unittest.TestCase):
         results = [bench_result("BM_Fast", 20.0), bench_result("BM_Slow", 10.0)]
         code, output, _ = self.run_main(baseline, results)
         self.assertEqual(code, 1)
-        self.assertIn("BELOW FLOOR", output)
+        self.assertIn("BELOW-FLOOR", output)
+
+    # --- failure lines are single-line grep-able records ---------------------
+
+    def failure_lines(self, output):
+        return [l for l in output.splitlines() if l.startswith("PERF-FAIL")]
+
+    def test_ratio_failure_is_one_greppable_line(self):
+        baseline = {"benchmarks": {},
+                    "ratios": {"speedup": {"numerator": "BM_Fast",
+                                           "denominator": "BM_Slow", "min": 3.0}}}
+        results = [bench_result("BM_Fast", 20.0), bench_result("BM_Slow", 10.0)]
+        code, output, _ = self.run_main(baseline, results)
+        self.assertEqual(code, 1)
+        lines = self.failure_lines(output)
+        self.assertEqual(len(lines), 1, output)
+        # Bench/ratio name AND measured-vs-floor ratio on the same line.
+        self.assertIn("name=speedup", lines[0])
+        self.assertIn("measured=2.00x", lines[0])
+        self.assertIn("floor=3.00x", lines[0])
+        self.assertIn("numerator=BM_Fast", lines[0])
+
+    def test_absolute_failure_is_one_greppable_line(self):
+        baseline = {"calibrated": True, "benchmarks": {"BM_A": {"value": 10.0}}}
+        code, output, _ = self.run_main(
+            baseline, [bench_result("BM_A", 5.0)], "--absolute")
+        self.assertEqual(code, 1)
+        lines = self.failure_lines(output)
+        self.assertEqual(len(lines), 1, output)
+        self.assertIn("name=BM_A", lines[0])
+        self.assertIn("measured=5", lines[0])
+        self.assertIn("ratio=0.50x", lines[0])
+        self.assertIn("floor=0.85x", lines[0])
+
+    def test_missing_failure_is_one_greppable_line(self):
+        baseline = {"benchmarks": {"BM_Gone": {"value": 10.0}}}
+        code, output, _ = self.run_main(baseline, [])
+        self.assertEqual(code, 1)
+        lines = self.failure_lines(output)
+        self.assertEqual(len(lines), 1, output)
+        self.assertIn("name=BM_Gone", lines[0])
 
     def test_aggregate_rows_are_ignored(self):
         baseline = {"benchmarks": {"BM_A": {"value": 10.0}}}

@@ -82,6 +82,10 @@ void Usage() {
       "  --sweep-out DIR      spill sweep rows-*.csv shards + aggregates.json there\n"
       "  --sweep-threads N    sweep worker threads (default: hardware)\n"
       "  --sweep-shard N      scenarios per sweep CSV shard (default 256)\n"
+      "  --sweep-share-prefix share trajectories across scenarios that differ\n"
+      "                       only in grid.*.scale axes: run once per group,\n"
+      "                       fork + replay accounting per variant; outputs\n"
+      "                       stay bit-identical to the non-sharing path\n"
       "  --generate SYSTEM    generate a synthetic dataset into --data and exit\n"
       "                       (also: frontier-fig6 for the hero-run scenario)\n"
       "  -v                   verbose logging\n",
@@ -138,6 +142,10 @@ int RunSweep(const std::string& spec_path, const SweepOptions& options,
               summary.wall_seconds > 0
                   ? static_cast<double>(summary.total) / summary.wall_seconds
                   : 0.0);
+  if (summary.forked_scenarios > 0) {
+    std::printf("prefix sharing: %zu trajectories simulated, %zu scenarios forked\n",
+                summary.simulated_trajectories, summary.forked_scenarios);
+  }
   for (const std::string& err : summary.sample_errors) {
     std::fprintf(stderr, "  failed: %s\n", err.c_str());
   }
@@ -249,6 +257,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad thread count '%s'\n", v.c_str());
         return 2;
       }
+    } else if (!std::strcmp(a, "--sweep-share-prefix")) {
+      sweep_options.share_prefix = true;
     } else if (!std::strcmp(a, "--sweep-shard")) {
       if (!NextArg(argc, argv, i, v)) return 2;
       try {

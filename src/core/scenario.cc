@@ -55,6 +55,7 @@ JsonValue ScenarioSpec::ToJson() const {
   obj["prepopulate"] = prepopulate;
   obj["event_triggered_scheduling"] = event_triggered_scheduling;
   obj["event_calendar"] = event_calendar;
+  obj["capture_grid_basis"] = capture_grid_basis;
   obj["tick"] = JsonValue(static_cast<std::int64_t>(tick));
   obj["power_cap_w"] = power_cap_w;
   obj["html_report"] = html_report;
@@ -99,6 +100,8 @@ ScenarioSpec ScenarioSpec::FromJson(const JsonValue& v) {
       spec.event_triggered_scheduling = value.AsBool();
     } else if (key == "event_calendar") {
       spec.event_calendar = value.AsBool();
+    } else if (key == "capture_grid_basis") {
+      spec.capture_grid_basis = value.AsBool();
     } else if (key == "tick") {
       spec.tick = value.AsInt();
     } else if (key == "power_cap_w") {

@@ -26,8 +26,8 @@ struct ScenarioSpec {
   std::string name = "scenario";  ///< label in experiment tables/outputs
 
   // --- what to simulate -----------------------------------------------------
-  std::string system = "mini";       ///< --system
-  std::string dataset_path;          ///< -f; empty = use jobs_override
+  std::string system = "mini";  ///< --system
+  std::string dataset_path;     ///< -f; empty = use jobs_override
   /// Programmatic workload (tests/benches).  Consumed at Build: the engine
   /// takes ownership (engine().jobs()); the spec a Simulation retains has
   /// this field emptied.
@@ -44,17 +44,21 @@ struct ScenarioSpec {
   SimDuration duration = 0;      ///< -t: 0 = run to the dataset's end
 
   // --- toggles --------------------------------------------------------------
-  bool cooling = false;          ///< -c: couple the cooling model
-  bool accounts = false;         ///< --accounts: accumulate account stats
-  std::string accounts_json;     ///< --accounts-json: reload a collection run
-  bool record_history = true;
-  bool prepopulate = true;
-  bool event_triggered_scheduling = true;
+  bool cooling = false;                    ///< -c: couple the cooling model
+  bool accounts = false;                   ///< --accounts: accumulate account stats
+  std::string accounts_json;               ///< --accounts-json: reload a collection run
+  bool record_history = true;              ///< fill the telemetry channels (history.csv)
+  bool prepopulate = true;                 ///< place jobs already running at sim start
+  bool event_triggered_scheduling = true;  ///< skip scheduler on event-free ticks
   /// Event-calendar fast path: hop from event to event instead of iterating
   /// physics-free ticks; results stay bit-identical to tick stepping.
   bool event_calendar = false;
-  SimDuration tick = 0;          ///< 0 = system telemetry interval
-  double power_cap_w = 0.0;      ///< facility power cap (0 = uncapped)
+  /// Record the per-tick wall energy so grid cost/CO2 accounting can be
+  /// replayed under re-scaled signals (Simulation::ForkWithGrid) — the
+  /// prefix-sharing sweep enables this on shared runs.  Costs 8 B/tick.
+  bool capture_grid_basis = false;
+  SimDuration tick = 0;             ///< 0 = system telemetry interval
+  double power_cap_w = 0.0;         ///< facility power cap (0 = uncapped)
   std::vector<NodeOutage> outages;  ///< failure-injection schedule
   /// Time-varying grid context (price/carbon signals, demand-response cap
   /// windows, grid_aware slack) — the "grid" JSON block.

@@ -25,6 +25,8 @@
 
 namespace sraps {
 
+class SimStateSnapshot;
+
 /// Backwards-compatible name for the declarative scenario description the
 /// facade consumes; new code should say ScenarioSpec.
 using SimulationOptions = ScenarioSpec;
@@ -39,9 +41,41 @@ class Simulation {
   /// Runs to the end of the window and records the wall-clock cost.
   void Run();
 
+  /// Runs until the engine clock reaches `t` (the first step boundary at or
+  /// past it), accumulating wall-clock cost.  A subsequent Run() finishes the
+  /// window exactly like an uninterrupted run would have.
+  void RunUntil(SimTime t);
+
+  /// Deep-copies the complete simulation state into a self-contained
+  /// snapshot (core/snapshot.h).  Valid between steps — i.e. whenever no
+  /// Run/RunUntil call is executing.  Throws std::runtime_error when the
+  /// active scheduler does not support cloning (a custom Scheduler without
+  /// a Clone override).
+  SimStateSnapshot Snapshot() const;
+
+  /// Builds a new Simulation resuming from `snap`.  The fork owns all its
+  /// state; running it to sim_end produces outputs bit-identical to a run
+  /// that was never snapshotted.  One snapshot may be forked many times.
+  static std::unique_ptr<Simulation> ForkFrom(const SimStateSnapshot& snap);
+
+  /// Fork under re-scaled grid signals: `grid` must keep the snapshot's
+  /// signal presence, boundary times, DR windows, and slack (only signal
+  /// *values* — e.g. GridSignal scale — may differ), and the snapshot must
+  /// carry the per-tick energy basis (ScenarioSpec::capture_grid_basis).
+  /// Cost/CO2 and the recorded price/carbon channels are replayed so the
+  /// fork's accounting is bit-identical to a full run under `grid`.  Throws
+  /// std::invalid_argument on incompatible grids or a grid-reactive policy
+  /// (whose trajectory could depend on the signal values).
+  static std::unique_ptr<Simulation> ForkWithGrid(const SimStateSnapshot& snap,
+                                                  GridEnvironment grid);
+
+  /// The engine carrying all run state (jobs, stats, recorder, counters).
   const SimulationEngine& engine() const { return *engine_; }
+  /// Mutable engine access (step-by-step driving, tests).
   SimulationEngine& mutable_engine() { return *engine_; }
+  /// The resolved system description the run was built with.
   const SystemConfig& config() const { return config_; }
+  /// The resolved scenario (jobs_override emptied — the engine owns them).
   const ScenarioSpec& spec() const { return options_; }
   /// Backwards-compatible alias of spec().
   const ScenarioSpec& options() const { return options_; }
@@ -63,6 +97,11 @@ class Simulation {
  private:
   friend class SimulationBuilder;  ///< assembles all state via BuildInto
   Simulation() = default;
+
+  /// Shared fork body: restores the engine from `snap`, optionally swapping
+  /// the grid environment (ForkWithGrid validates compatibility first).
+  static std::unique_ptr<Simulation> Fork(const SimStateSnapshot& snap,
+                                          const GridEnvironment* grid);
 
   ScenarioSpec options_;
   SystemConfig config_;

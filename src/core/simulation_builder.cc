@@ -293,6 +293,7 @@ void SimulationBuilder::BuildInto(Simulation& sim) const {
   eo.prepopulate = spec.prepopulate;
   eo.event_triggered_scheduling = spec.event_triggered_scheduling;
   eo.event_calendar = spec.event_calendar;
+  eo.capture_grid_basis = spec.capture_grid_basis;
   eo.track_accounts = spec.accounts;
   eo.power_cap_w = spec.power_cap_w;
   eo.outages = spec.outages;

@@ -33,28 +33,28 @@ class SimulationBuilder {
   explicit SimulationBuilder(ScenarioSpec spec) : spec_(std::move(spec)) {}
 
   // --- identity / workload --------------------------------------------------
-  SimulationBuilder& WithName(std::string name);
-  SimulationBuilder& WithSystem(std::string system);
-  SimulationBuilder& WithDataset(std::string path);
-  SimulationBuilder& WithJobs(std::vector<Job> jobs);
-  SimulationBuilder& WithConfig(SystemConfig config);
+  SimulationBuilder& WithName(std::string name);       ///< scenario label
+  SimulationBuilder& WithSystem(std::string system);   ///< system/dataloader name
+  SimulationBuilder& WithDataset(std::string path);    ///< dataset file/dir to load
+  SimulationBuilder& WithJobs(std::vector<Job> jobs);  ///< inject jobs directly
+  SimulationBuilder& WithConfig(SystemConfig config);  ///< inject a custom system
 
   // --- scheduling (validated against the registries) ------------------------
-  SimulationBuilder& WithScheduler(const std::string& scheduler);
-  SimulationBuilder& WithPolicy(const std::string& policy);
-  SimulationBuilder& WithBackfill(const std::string& backfill);
+  SimulationBuilder& WithScheduler(const std::string& scheduler);  ///< registry name
+  SimulationBuilder& WithPolicy(const std::string& policy);        ///< queue policy
+  SimulationBuilder& WithBackfill(const std::string& backfill);    ///< backfill mode
 
   // --- window ---------------------------------------------------------------
-  SimulationBuilder& WithFastForward(SimDuration ff);
-  SimulationBuilder& WithDuration(SimDuration duration);
-  SimulationBuilder& WithTick(SimDuration tick);
+  SimulationBuilder& WithFastForward(SimDuration ff);     ///< skip into the dataset
+  SimulationBuilder& WithDuration(SimDuration duration);  ///< window length (0 = all)
+  SimulationBuilder& WithTick(SimDuration tick);          ///< tick width (0 = default)
 
   // --- what-if knobs --------------------------------------------------------
-  SimulationBuilder& WithCooling(bool on = true);
-  SimulationBuilder& WithAccounts(bool on = true);
-  SimulationBuilder& WithAccountsJson(std::string path);
-  SimulationBuilder& WithPowerCapW(double watts);
-  SimulationBuilder& WithOutage(NodeOutage outage);
+  SimulationBuilder& WithCooling(bool on = true);         ///< couple the cooling model
+  SimulationBuilder& WithAccounts(bool on = true);        ///< accumulate account stats
+  SimulationBuilder& WithAccountsJson(std::string path);  ///< reload a collection run
+  SimulationBuilder& WithPowerCapW(double watts);         ///< static facility cap
+  SimulationBuilder& WithOutage(NodeOutage outage);       ///< append a failure window
   /// Replaces the whole grid environment (price/carbon signals, DR windows,
   /// slack); structurally validated immediately.
   SimulationBuilder& WithGrid(GridEnvironment grid);
@@ -66,11 +66,11 @@ class SimulationBuilder {
   SimulationBuilder& WithDrWindow(DrWindow window);
   /// Slack bound for the grid_aware policy (max delay past submit).
   SimulationBuilder& WithGridSlack(SimDuration slack_s);
-  SimulationBuilder& WithRecordHistory(bool on);
-  SimulationBuilder& WithPrepopulate(bool on);
-  SimulationBuilder& WithEventTriggeredScheduling(bool on);
-  SimulationBuilder& WithEventCalendar(bool on = true);
-  SimulationBuilder& WithHtmlReport(bool on = true);
+  SimulationBuilder& WithRecordHistory(bool on);             ///< telemetry channels
+  SimulationBuilder& WithPrepopulate(bool on);               ///< place running jobs
+  SimulationBuilder& WithEventTriggeredScheduling(bool on);  ///< skip idle ticks
+  SimulationBuilder& WithEventCalendar(bool on = true);      ///< event-hop fast path
+  SimulationBuilder& WithHtmlReport(bool on = true);         ///< write report.html
 
   const ScenarioSpec& spec() const { return spec_; }
 

@@ -1,0 +1,143 @@
+#include "core/snapshot.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "core/simulation.h"
+#include "core/simulation_builder.h"
+#include "sched/policies.h"
+#include "sched/scheduler.h"
+
+namespace sraps {
+namespace {
+
+bool SameDrWindows(const std::vector<DrWindow>& a, const std::vector<DrWindow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start != b[i].start || a[i].end != b[i].end ||
+        a[i].cap_w != b[i].cap_w) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// ForkWithGrid's compatibility contract: the replacement grid may change
+/// signal *values* (scale, step levels) but nothing that can alter the
+/// trajectory — signal presence (which channels/integrations exist), boundary
+/// times (which ticks are calendar events), DR windows (the dynamic cap), or
+/// slack.  Violations throw with the offending dimension named.
+void RequireGridCompatible(const GridEnvironment& have, const GridEnvironment& want,
+                           SimTime sim_start, SimTime sim_end) {
+  if (have.price_usd_per_kwh.empty() != want.price_usd_per_kwh.empty() ||
+      have.carbon_kg_per_kwh.empty() != want.carbon_kg_per_kwh.empty()) {
+    throw std::invalid_argument(
+        "Simulation::ForkWithGrid: signal presence differs from the snapshot "
+        "(adding/removing a price or carbon signal changes which history "
+        "channels and integrations exist; run the variant from scratch)");
+  }
+  if (!SameDrWindows(have.dr_windows, want.dr_windows)) {
+    throw std::invalid_argument(
+        "Simulation::ForkWithGrid: demand-response windows differ from the "
+        "snapshot; DR caps change the trajectory, not just the accounting");
+  }
+  if (have.slack_s != want.slack_s) {
+    throw std::invalid_argument(
+        "Simulation::ForkWithGrid: grid slack differs from the snapshot");
+  }
+  if (have.BoundariesIn(sim_start, sim_end) != want.BoundariesIn(sim_start, sim_end)) {
+    throw std::invalid_argument(
+        "Simulation::ForkWithGrid: signal boundary times differ from the "
+        "snapshot (the event calendar batched spans against the original "
+        "boundaries); only signal values may change");
+  }
+}
+
+}  // namespace
+
+void Simulation::RunUntil(SimTime t) {
+  const auto t0 = std::chrono::steady_clock::now();
+  engine_->RunUntil(t);
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+}
+
+SimStateSnapshot Simulation::Snapshot() const {
+  SimStateSnapshot snap;
+  snap.spec_ = options_;
+  snap.config_ = config_;
+  snap.policy_accounts_ = policy_accounts_;
+  snap.sim_start_ = sim_start_;
+  snap.sim_end_ = sim_end_;
+  snap.engine_options_ = engine_->options();
+  snap.state_ = engine_->CaptureState();
+  // The clone must not dangle into this simulation: rebind it to the
+  // snapshot's own accounts/grid copies.
+  SchedulerCloneContext ctx;
+  ctx.accounts = &snap.policy_accounts_;
+  ctx.grid = &snap.spec_.grid;
+  const Scheduler& sched = engine_->scheduler();
+  snap.scheduler_ = sched.Clone(ctx);
+  if (!snap.scheduler_) {
+    throw std::runtime_error("Simulation::Snapshot: scheduler '" + sched.name() +
+                             "' does not support cloning; override "
+                             "Scheduler::Clone to make it snapshottable");
+  }
+  return snap;
+}
+
+std::unique_ptr<Simulation> Simulation::Fork(const SimStateSnapshot& snap,
+                                             const GridEnvironment* grid) {
+  std::unique_ptr<Simulation> sim(new Simulation());
+  sim->options_ = snap.spec_;
+  sim->config_ = snap.config_;
+  sim->policy_accounts_ = snap.policy_accounts_;
+  sim->sim_start_ = snap.sim_start_;
+  sim->sim_end_ = snap.sim_end_;
+  EngineOptions eo = snap.engine_options_;
+  if (grid) {
+    eo.grid = *grid;
+    sim->options_.grid = *grid;
+  }
+  SchedulerCloneContext ctx;
+  ctx.accounts = &sim->policy_accounts_;
+  ctx.grid = &sim->options_.grid;
+  std::unique_ptr<Scheduler> sched = snap.scheduler_->Clone(ctx);
+  if (!sched) {
+    throw std::runtime_error("Simulation::ForkFrom: snapshot scheduler '" +
+                             snap.scheduler_->name() + "' refused to clone");
+  }
+  // A fresh deep copy per fork: forking twice from one snapshot yields two
+  // fully independent simulations.
+  EngineState state = snap.state_;
+  sim->engine_ = SimulationEngine::Restore(sim->config_, std::move(sched),
+                                           std::move(eo), std::move(state));
+  return sim;
+}
+
+std::unique_ptr<Simulation> Simulation::ForkFrom(const SimStateSnapshot& snap) {
+  return Fork(snap, nullptr);
+}
+
+std::unique_ptr<Simulation> Simulation::ForkWithGrid(const SimStateSnapshot& snap,
+                                                     GridEnvironment grid) {
+  if (!snap.has_grid_basis()) {
+    throw std::invalid_argument(
+        "Simulation::ForkWithGrid: the snapshot carries no per-tick energy "
+        "basis; run the source with capture_grid_basis = true");
+  }
+  EnsureBuiltinComponents();
+  if (PolicyRegistry().Get(snap.spec().policy).needs_grid) {
+    throw std::invalid_argument(
+        "Simulation::ForkWithGrid: policy '" + snap.spec().policy +
+        "' reacts to grid signal values, so its trajectory is not invariant "
+        "under re-scaling; run the variant from scratch");
+  }
+  RequireGridCompatible(snap.spec().grid, grid, snap.sim_start(), snap.sim_end());
+  std::unique_ptr<Simulation> sim = Fork(snap, &grid);
+  sim->engine_->ReplayGridAccounting();
+  return sim;
+}
+
+}  // namespace sraps

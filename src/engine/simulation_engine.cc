@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "common/log.h"
 
@@ -74,6 +76,135 @@ SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
   Initialize();
 }
 
+SimulationEngine::SimulationEngine(RestoreTag, SystemConfig config,
+                                   std::unique_ptr<Scheduler> scheduler,
+                                   EngineOptions options, EngineState state)
+    : config_(std::move(config)),
+      jobs_(std::move(state.jobs)),
+      scheduler_(std::move(scheduler)),
+      options_(std::move(options)),
+      rm_(std::move(*state.rm)),
+      power_model_(config_),
+      queue_(std::move(state.queue)),
+      stats_(std::move(state.stats)),
+      recorder_(std::move(state.recorder)),
+      accounts_(std::move(state.accounts)),
+      counters_(state.counters),
+      now_(state.now) {
+  // Validation happened in Restore(); this constructor only adopts the state
+  // and rebuilds what Initialize() derives deterministically from options.
+  tick_ = options_.tick > 0 ? options_.tick : config_.telemetry_interval;
+  if (options_.enable_cooling) {
+    cooling_ = std::make_unique<CoolingModel>(*state.cooling);
+  }
+  events_this_tick_ = state.events_this_tick;
+  submit_order_ = std::move(state.submit_order);
+  next_submit_ = state.next_submit;
+  BuildOutageSchedule();
+  next_outage_begin_ = state.next_outage_begin;
+  next_outage_end_ = state.next_outage_end;
+  running_ = std::move(state.running);
+  job_energy_j_ = std::move(state.job_energy_j);
+  completions_ = std::move(state.completions);
+  grid_cost_on_ = !options_.grid.price_usd_per_kwh.empty();
+  grid_co2_on_ = !options_.grid.carbon_kg_per_kwh.empty();
+  grid_events_ = options_.grid.BoundariesIn(options_.sim_start, options_.sim_end);
+  if (state.next_grid_event > grid_events_.size()) {
+    throw std::invalid_argument("SimulationEngine::Restore: grid-event cursor " +
+                                std::to_string(state.next_grid_event) +
+                                " outside the options' boundary schedule (" +
+                                std::to_string(grid_events_.size()) + " entries)");
+  }
+  next_grid_event_ = state.next_grid_event;
+  grid_cost_usd_ = state.grid_cost_usd;
+  grid_co2_kg_ = state.grid_co2_kg;
+  tick_wall_kwh_ = std::move(state.tick_wall_kwh);
+  ResolveHistoryChannels();
+  initialized_ = true;
+}
+
+std::unique_ptr<SimulationEngine> SimulationEngine::Restore(
+    SystemConfig config, std::unique_ptr<Scheduler> scheduler, EngineOptions options,
+    EngineState state) {
+  if (!scheduler) {
+    throw std::invalid_argument("SimulationEngine::Restore: null scheduler");
+  }
+  if (!state.rm) {
+    throw std::invalid_argument("SimulationEngine::Restore: state carries no "
+                                "resource-manager snapshot");
+  }
+  if (state.jobs.size() != state.job_energy_j.size()) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: job table (" + std::to_string(state.jobs.size()) +
+        ") and energy accumulators (" + std::to_string(state.job_energy_j.size()) +
+        ") disagree");
+  }
+  // The clock lands on tick boundaries, and the final one may overshoot
+  // sim_end when the window length is not a tick multiple (TicksToReach
+  // ceils) — an end-of-run snapshot legitimately carries that clock.
+  const SimDuration tick =
+      options.tick > 0 ? options.tick : config.telemetry_interval;
+  if (state.now < options.sim_start ||
+      (tick > 0 && state.now >= options.sim_end + tick)) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: snapshot clock " + std::to_string(state.now) +
+        " outside the window [" + std::to_string(options.sim_start) + ", " +
+        std::to_string(options.sim_end) + ") plus its final tick");
+  }
+  if (options.enable_cooling && !state.cooling) {
+    throw std::invalid_argument("SimulationEngine::Restore: cooling is enabled but "
+                                "the state carries no cooling-loop snapshot");
+  }
+  return std::unique_ptr<SimulationEngine>(new SimulationEngine(
+      RestoreTag{}, std::move(config), std::move(scheduler), std::move(options),
+      std::move(state)));
+}
+
+void SimulationEngine::BuildOutageSchedule() {
+  // Failure-injection schedule, sorted for cursor-based application.
+  for (const NodeOutage& o : options_.outages) {
+    outage_begins_.emplace_back(o.at, o.nodes);
+    if (o.recover_at > o.at) outage_ends_.emplace_back(o.recover_at, o.nodes);
+  }
+  std::stable_sort(outage_begins_.begin(), outage_begins_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::stable_sort(outage_ends_.begin(), outage_ends_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void SimulationEngine::ResolveHistoryChannels() {
+  if (!options_.record_history) return;
+  hist_.it_power = &recorder_.Mutable("it_power_kw");
+  hist_.loss = &recorder_.Mutable("loss_kw");
+  hist_.power = &recorder_.Mutable("power_kw");
+  hist_.utilization = &recorder_.Mutable("utilization");
+  hist_.queue_len = &recorder_.Mutable("queue_length");
+  hist_.running = &recorder_.Mutable("running_jobs");
+  if (options_.power_cap_w > 0.0 || !options_.grid.dr_windows.empty()) {
+    hist_.throttle = &recorder_.Mutable("throttle_factor");
+  }
+  if (grid_cost_on_) hist_.price = &recorder_.Mutable("price_usd_per_kwh");
+  if (grid_co2_on_) hist_.carbon = &recorder_.Mutable("carbon_kg_per_kwh");
+  if (options_.enable_cooling) {
+    hist_.pue = &recorder_.Mutable("pue");
+    hist_.tower = &recorder_.Mutable("tower_return_c");
+    hist_.supply = &recorder_.Mutable("supply_c");
+    hist_.cooling_kw = &recorder_.Mutable("cooling_kw");
+  }
+  // Every channel gets exactly one sample per tick; one upfront reserve
+  // keeps the hot-loop appends reallocation-free.
+  const auto total_ticks = static_cast<std::size_t>(
+      (options_.sim_end - options_.sim_start + tick_ - 1) / tick_);
+  for (Channel* ch : {hist_.it_power, hist_.loss, hist_.power, hist_.utilization,
+                      hist_.queue_len, hist_.running, hist_.throttle, hist_.price,
+                      hist_.carbon, hist_.pue, hist_.tower, hist_.supply,
+                      hist_.cooling_kw}) {
+    if (!ch) continue;
+    ch->times.reserve(total_ticks);
+    ch->values.reserve(total_ticks);
+  }
+}
+
 void SimulationEngine::Initialize() {
   now_ = options_.sim_start;
   job_energy_j_.assign(jobs_.size(), std::nan(""));
@@ -85,47 +216,8 @@ void SimulationEngine::Initialize() {
   // one marks the tick eventful so grid-reactive schedulers re-run.
   grid_events_ = options_.grid.BoundariesIn(options_.sim_start, options_.sim_end);
 
-  if (options_.record_history) {
-    hist_.it_power = &recorder_.Mutable("it_power_kw");
-    hist_.loss = &recorder_.Mutable("loss_kw");
-    hist_.power = &recorder_.Mutable("power_kw");
-    hist_.utilization = &recorder_.Mutable("utilization");
-    hist_.queue_len = &recorder_.Mutable("queue_length");
-    hist_.running = &recorder_.Mutable("running_jobs");
-    if (options_.power_cap_w > 0.0 || !options_.grid.dr_windows.empty()) {
-      hist_.throttle = &recorder_.Mutable("throttle_factor");
-    }
-    if (grid_cost_on_) hist_.price = &recorder_.Mutable("price_usd_per_kwh");
-    if (grid_co2_on_) hist_.carbon = &recorder_.Mutable("carbon_kg_per_kwh");
-    if (options_.enable_cooling) {
-      hist_.pue = &recorder_.Mutable("pue");
-      hist_.tower = &recorder_.Mutable("tower_return_c");
-      hist_.supply = &recorder_.Mutable("supply_c");
-      hist_.cooling_kw = &recorder_.Mutable("cooling_kw");
-    }
-    // Every channel gets exactly one sample per tick; one upfront reserve
-    // keeps the hot-loop appends reallocation-free.
-    const auto total_ticks = static_cast<std::size_t>(
-        (options_.sim_end - options_.sim_start + tick_ - 1) / tick_);
-    for (Channel* ch : {hist_.it_power, hist_.loss, hist_.power, hist_.utilization,
-                        hist_.queue_len, hist_.running, hist_.throttle, hist_.price,
-                        hist_.carbon, hist_.pue, hist_.tower, hist_.supply,
-                        hist_.cooling_kw}) {
-      if (!ch) continue;
-      ch->times.reserve(total_ticks);
-      ch->values.reserve(total_ticks);
-    }
-  }
-
-  // Failure-injection schedule, sorted for cursor-based application.
-  for (const NodeOutage& o : options_.outages) {
-    outage_begins_.emplace_back(o.at, o.nodes);
-    if (o.recover_at > o.at) outage_ends_.emplace_back(o.recover_at, o.nodes);
-  }
-  std::stable_sort(outage_begins_.begin(), outage_begins_.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::stable_sort(outage_ends_.begin(), outage_ends_.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ResolveHistoryChannels();
+  BuildOutageSchedule();
 
   // Window semantics (§3.2.2 / Fig. 3): dismiss jobs entirely outside the
   // simulated window, and jobs too large for the machine.
@@ -204,7 +296,7 @@ void SimulationEngine::Prepopulate() {
     job.state = JobState::kRunning;
     job_energy_j_[h] = 0.0;
     running_.push_back(h);
-    completions_.push({job.end, h});
+    PushCompletion(job.end, h);
     ++counters_.prepopulated;
     scheduler_->OnJobStarted(job);
   }
@@ -258,18 +350,28 @@ double SimulationEngine::EffectiveCapW() const {
   return options_.grid.EffectiveCapW(now_, options_.power_cap_w);
 }
 
+void SimulationEngine::PushCompletion(SimTime end, JobQueue::Handle h) {
+  completions_.emplace_back(end, h);
+  std::push_heap(completions_.begin(), completions_.end(), std::greater<>{});
+}
+
+void SimulationEngine::PopCompletion() {
+  std::pop_heap(completions_.begin(), completions_.end(), std::greater<>{});
+  completions_.pop_back();
+}
+
 SimTime SimulationEngine::NextCompletionTime() {
   while (!completions_.empty()) {
-    const auto [end, h] = completions_.top();
+    const auto [end, h] = completions_.front();
     if (jobs_[h].state != JobState::kRunning) {
-      completions_.pop();  // completed via an earlier sweep; entry is dead
+      PopCompletion();  // completed via an earlier sweep; entry is dead
       continue;
     }
     if (jobs_[h].end != end) {
       // Stale key: power-cap throttling dilated this job after the push.
       // Dilation only moves ends later, so re-keying on pop is safe.
-      completions_.pop();
-      completions_.push({jobs_[h].end, h});
+      PopCompletion();
+      PushCompletion(jobs_[h].end, h);
       continue;
     }
     return end;
@@ -396,7 +498,7 @@ void SimulationEngine::StartJob(JobQueue::Handle h, const Placement& placement) 
   job_energy_j_[h] = 0.0;
   queue_.Remove(h);
   running_.push_back(h);
-  completions_.push({job.end, h});
+  PushCompletion(job.end, h);
   ++counters_.started;
   scheduler_->OnJobStarted(job);
 }
@@ -526,13 +628,22 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
       grid_cost_on_ ? options_.grid.price_usd_per_kwh.At(now_) : 0.0;
   const double carbon_now =
       grid_co2_on_ ? options_.grid.carbon_kg_per_kwh.At(now_) : 0.0;
-  if (!cooling_ && (grid_cost_on_ || grid_co2_on_)) {
+  if (!cooling_ && (grid_cost_on_ || grid_co2_on_ || options_.capture_grid_basis)) {
     const double kwh_per_tick = power.wall_power_w * dt / 3.6e6;
+    // Replay basis: the exact per-tick kWh the integration below multiplies
+    // by the signal values, so ReplayGridAccounting can redo the same
+    // additions under re-scaled signals bit for bit.
+    if (options_.capture_grid_basis) {
+      tick_wall_kwh_.insert(tick_wall_kwh_.end(), static_cast<std::size_t>(n),
+                            kwh_per_tick);
+    }
     const double cost_inc = kwh_per_tick * price_now;
     const double co2_inc = kwh_per_tick * carbon_now;
-    for (SimDuration k = 0; k < n; ++k) {
-      grid_cost_usd_ += cost_inc;
-      grid_co2_kg_ += co2_inc;
+    if (grid_cost_on_ || grid_co2_on_) {
+      for (SimDuration k = 0; k < n; ++k) {
+        grid_cost_usd_ += cost_inc;
+        grid_co2_kg_ += co2_inc;
+      }
     }
   }
 
@@ -563,10 +674,13 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     for (SimDuration i = 0; i < n; ++i) {
       const CoolingSample cool = cooling_->Step(power.it_power_w, power.loss_w, dt);
       const double wall_w = power.wall_power_w + cool.cooling_power_w;
-      if (grid_cost_on_ || grid_co2_on_) {
+      if (grid_cost_on_ || grid_co2_on_ || options_.capture_grid_basis) {
         const double kwh = wall_w * dt / 3.6e6;
-        grid_cost_usd_ += kwh * price_now;
-        grid_co2_kg_ += kwh * carbon_now;
+        if (options_.capture_grid_basis) tick_wall_kwh_.push_back(kwh);
+        if (grid_cost_on_ || grid_co2_on_) {
+          grid_cost_usd_ += kwh * price_now;
+          grid_co2_kg_ += kwh * carbon_now;
+        }
       }
       if (options_.record_history) {
         const SimTime t = now_ + i * tick_;
@@ -611,6 +725,78 @@ void SimulationEngine::Run() {
   }
   // Final sweep so jobs ending exactly at sim_end are credited.
   ClearCompleted();
+}
+
+void SimulationEngine::RunUntil(SimTime t) {
+  while (now_ < t && StepOnce()) {
+  }
+}
+
+EngineState SimulationEngine::CaptureState() const {
+  EngineState s;
+  s.jobs = jobs_;
+  s.queue = queue_;
+  s.rm = rm_;
+  s.stats = stats_;
+  s.recorder = recorder_;
+  s.accounts = accounts_;
+  s.counters = counters_;
+  s.now = now_;
+  s.events_this_tick = events_this_tick_;
+  s.submit_order = submit_order_;
+  s.next_submit = next_submit_;
+  s.next_outage_begin = next_outage_begin_;
+  s.next_outage_end = next_outage_end_;
+  s.next_grid_event = next_grid_event_;
+  s.running = running_;
+  s.job_energy_j = job_energy_j_;
+  s.completions = completions_;
+  s.grid_cost_usd = grid_cost_usd_;
+  s.grid_co2_kg = grid_co2_kg_;
+  if (cooling_) s.cooling = *cooling_;
+  s.tick_wall_kwh = tick_wall_kwh_;
+  return s;
+}
+
+void SimulationEngine::ReplayGridAccounting() {
+  if (!options_.capture_grid_basis) {
+    throw std::logic_error("SimulationEngine::ReplayGridAccounting: the run was "
+                           "not captured with capture_grid_basis");
+  }
+  const auto elapsed =
+      static_cast<std::size_t>((now_ - options_.sim_start) / tick_);
+  if (tick_wall_kwh_.size() != elapsed) {
+    throw std::logic_error(
+        "SimulationEngine::ReplayGridAccounting: basis covers " +
+        std::to_string(tick_wall_kwh_.size()) + " ticks, clock has advanced " +
+        std::to_string(elapsed));
+  }
+  for (Channel* ch : {hist_.price, hist_.carbon}) {
+    if (ch && ch->values.size() != tick_wall_kwh_.size()) {
+      throw std::logic_error("SimulationEngine::ReplayGridAccounting: recorded "
+                             "signal channel and basis length disagree");
+    }
+  }
+  grid_cost_usd_ = 0.0;
+  grid_co2_kg_ = 0.0;
+  // Same per-tick additions as AdvanceTicks, in the same order: within a
+  // calendar span the stored kWh repeats and the signal value is constant
+  // (boundaries bound spans), so kwh*price reproduces the span's cost_inc bit
+  // for bit and the repeated additions match the batched loop's.
+  for (std::size_t k = 0; k < tick_wall_kwh_.size(); ++k) {
+    const SimTime t = options_.sim_start + static_cast<SimDuration>(k) * tick_;
+    const double price_now =
+        grid_cost_on_ ? options_.grid.price_usd_per_kwh.At(t) : 0.0;
+    const double carbon_now =
+        grid_co2_on_ ? options_.grid.carbon_kg_per_kwh.At(t) : 0.0;
+    grid_cost_usd_ += tick_wall_kwh_[k] * price_now;
+    grid_co2_kg_ += tick_wall_kwh_[k] * carbon_now;
+    if (hist_.price) hist_.price->values[k] = price_now;
+    if (hist_.carbon) hist_.carbon->values[k] = carbon_now;
+  }
+  if (grid_cost_on_ || grid_co2_on_) {
+    stats_.SetGridTotals(grid_cost_usd_, grid_co2_kg_);
+  }
 }
 
 }  // namespace sraps

@@ -23,7 +23,6 @@
 
 #include <memory>
 #include <optional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -51,14 +50,14 @@ struct NodeOutage {
 
 struct EngineOptions {
   SimTime sim_start = 0;
-  SimTime sim_end = 0;          ///< exclusive; must be > sim_start
-  SimDuration tick = 0;         ///< 0 = use the system's telemetry interval
-  bool enable_cooling = false;  ///< requires config.cooling.has_cooling_model
-  bool record_history = true;   ///< fill the TimeSeriesRecorder channels
-  bool prepopulate = true;      ///< place jobs already running at sim_start
+  SimTime sim_end = 0;                     ///< exclusive; must be > sim_start
+  SimDuration tick = 0;                    ///< 0 = use the system's telemetry interval
+  bool enable_cooling = false;             ///< requires config.cooling.has_cooling_model
+  bool record_history = true;              ///< fill the TimeSeriesRecorder channels
+  bool prepopulate = true;                 ///< place jobs already running at sim_start
   bool event_triggered_scheduling = true;  ///< skip scheduler on event-free ticks
-  bool track_accounts = false;  ///< accumulate per-account stats
-  std::vector<NodeOutage> outages;  ///< failure-injection schedule
+  bool track_accounts = false;             ///< accumulate per-account stats
+  std::vector<NodeOutage> outages;         ///< failure-injection schedule
   AllocationStrategy allocation = AllocationStrategy::kLowestFirst;
   /// System power cap (wall watts; 0 = uncapped).  When the instantaneous
   /// wall power would exceed the cap, all running jobs are throttled
@@ -77,20 +76,62 @@ struct EngineOptions {
   /// recorded history and energy integration — the skipped span is replayed
   /// in one batched step — so results are bit-identical to tick stepping.
   bool event_calendar = false;
+  /// Record the per-tick wall energy (kWh) alongside the run so grid cost and
+  /// emissions can be *replayed* after the fact against re-scaled price or
+  /// carbon signals (ReplayGridAccounting).  This is what lets a prefix-
+  /// sharing sweep run the trajectory once and fork per signal-scale variant
+  /// with bit-identical accounting.  Off by default: it costs 8 bytes per
+  /// simulated tick.
+  bool capture_grid_basis = false;
 };
 
 /// Aggregate counters available after (or during) a run.
 struct EngineCounters {
-  std::size_t submitted = 0;
-  std::size_t started = 0;
-  std::size_t completed = 0;
-  std::size_t dismissed = 0;
-  std::size_t prepopulated = 0;
-  std::size_t scheduler_invocations = 0;
-  std::size_t scheduler_skips = 0;
-  std::size_t calendar_steps = 0;  ///< event-calendar loop iterations
-  std::size_t batched_ticks = 0;   ///< ticks covered by batched spans (n > 1)
-  std::size_t grid_events = 0;     ///< grid signal/DR boundaries crossed
+  std::size_t submitted = 0;              ///< jobs that entered the queue
+  std::size_t started = 0;                ///< jobs placed by the scheduler
+  std::size_t completed = 0;              ///< jobs run to completion
+  std::size_t dismissed = 0;              ///< outside the window or oversize
+  std::size_t prepopulated = 0;           ///< running at sim start, placed directly
+  std::size_t scheduler_invocations = 0;  ///< Schedule() calls
+  std::size_t scheduler_skips = 0;        ///< event-free ticks skipped
+  std::size_t calendar_steps = 0;         ///< event-calendar loop iterations
+  std::size_t batched_ticks = 0;          ///< ticks covered by batched spans (n > 1)
+  std::size_t grid_events = 0;            ///< grid signal/DR boundaries crossed
+};
+
+/// Deep copy of every mutable field of a SimulationEngine between steps —
+/// the engine-level payload of a SimStateSnapshot (core/snapshot.h).  The
+/// immutable parts (system config, options, power model, tick width) are NOT
+/// here; SimulationEngine::Restore reconstructs them from the config and
+/// options it is given, which is what allows a fork to resume under a
+/// *compatible variant* of the original options (e.g. re-scaled grid
+/// signals).  The completion heap is stored as its exact underlying array so
+/// pop order — including tie order — survives the round trip bit for bit.
+struct EngineState {
+  std::vector<Job> jobs;              ///< full job table incl. realised state
+  JobQueue queue;                     ///< queued handles, in queue order
+  std::optional<ResourceManager> rm;  ///< node occupancy/outage state
+  SimulationStats stats;              ///< completion records + grid totals
+  TimeSeriesRecorder recorder;        ///< recorded history channels
+  AccountRegistry accounts;           ///< accumulating per-account stats
+  EngineCounters counters;
+  SimTime now = 0;                             ///< engine clock
+  bool events_this_tick = true;
+  std::vector<JobQueue::Handle> submit_order;  ///< pending jobs by submit time
+  std::size_t next_submit = 0;                 ///< cursor into submit_order
+  std::size_t next_outage_begin = 0;           ///< outage-schedule cursors
+  std::size_t next_outage_end = 0;
+  std::size_t next_grid_event = 0;        ///< grid-boundary cursor
+  std::vector<JobQueue::Handle> running;  ///< running handles, start order
+  std::vector<double> job_energy_j;       ///< per-job energy accumulators
+  /// Exact min-heap array of (candidate end, handle) completion entries.
+  std::vector<std::pair<SimTime, JobQueue::Handle>> completions;
+  double grid_cost_usd = 0.0;           ///< accumulated cost ($)
+  double grid_co2_kg = 0.0;             ///< accumulated emissions (kg)
+  std::optional<CoolingModel> cooling;  ///< thermal loop state, when coupled
+  /// Per-tick wall kWh from sim_start to `now` (empty unless the run was
+  /// started with EngineOptions::capture_grid_basis).
+  std::vector<double> tick_wall_kwh;
 };
 
 class SimulationEngine {
@@ -105,22 +146,58 @@ class SimulationEngine {
   /// Runs the loop to sim_end.
   void Run();
 
+  /// Steps until the clock reaches `t` (i.e. stops at the first step
+  /// boundary with now() >= t) or the window ends.  Unlike Run(), the final
+  /// end-of-window completion sweep is NOT performed, so a snapshot taken
+  /// here and resumed with Run() finishes exactly like an uninterrupted run.
+  void RunUntil(SimTime t);
+
+  /// Deep-copies the engine's entire mutable state (the scheduler is cloned
+  /// separately via Scheduler::Clone — see Simulation::Snapshot()).  Valid
+  /// between steps, i.e. any time Run/RunUntil/StepOnce is not executing.
+  EngineState CaptureState() const;
+
+  /// Builds an engine that resumes from `state` instead of initialising from
+  /// scratch.  `config` and `options` must describe the same simulation the
+  /// state was captured from — window, tick, outage schedule, and grid
+  /// boundary times are trusted, not re-derived — except that grid signal
+  /// *values* may differ when the caller replays accounting afterwards
+  /// (ReplayGridAccounting).  Throws std::invalid_argument on a null
+  /// scheduler or a state/options shape mismatch.
+  static std::unique_ptr<SimulationEngine> Restore(SystemConfig config,
+                                                   std::unique_ptr<Scheduler> scheduler,
+                                                   EngineOptions options,
+                                                   EngineState state);
+
+  /// Recomputes grid cost, emissions, and the recorded price/carbon history
+  /// channels from the captured per-tick energy basis against the *current*
+  /// options' grid signals, reproducing the incremental integration of an
+  /// uninterrupted run bit for bit (same per-tick additions, same order).
+  /// Requires the engine to have been run (or restored) with
+  /// capture_grid_basis; throws std::logic_error otherwise.
+  void ReplayGridAccounting();
+
   /// Advances one step — one tick, or one event-calendar hop (possibly many
   /// ticks) when event_calendar is set.  Returns false once the window is
   /// exhausted.
   bool StepOnce();
 
   // --- observers -----------------------------------------------------------
+  /// The engine clock.
   SimTime now() const { return now_; }
+  /// The options the engine was constructed (or restored) with.
+  const EngineOptions& options() const { return options_; }
   const EngineCounters& counters() const { return counters_; }
   const SimulationStats& stats() const { return stats_; }
   const TimeSeriesRecorder& recorder() const { return recorder_; }
   const AccountRegistry& accounts() const { return accounts_; }
+  /// The engine-owned job table, indexed by JobQueue::Handle.
   const std::vector<Job>& jobs() const { return jobs_; }
   const ResourceManager& resource_manager() const { return rm_; }
   const JobQueue& queue() const { return queue_; }
   const SystemConfig& config() const { return config_; }
   Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
   std::size_t running_count() const { return running_.size(); }
 
   /// Per-job simulated energy (J); indexed like jobs().  NaN until completed.
@@ -134,7 +211,19 @@ class SimulationEngine {
   double grid_co2_kg() const { return grid_co2_kg_; }
 
  private:
+  /// Restore path: adopts `state` wholesale, rebuilding only the derived
+  /// schedules (outage lists, grid boundaries, channel handles) from options.
+  struct RestoreTag {};
+  SimulationEngine(RestoreTag, SystemConfig config,
+                   std::unique_ptr<Scheduler> scheduler, EngineOptions options,
+                   EngineState state);
+
   void Initialize();
+  /// Builds the sorted outage begin/end schedules from options_.outages.
+  void BuildOutageSchedule();
+  /// Resolves the hot-loop channel handles into recorder_ (record_history
+  /// only) and reserves their full-run capacity.
+  void ResolveHistoryChannels();
   void Prepopulate();
   void ApplyOutages();
   /// Consumes grid boundaries (signal steps, DR window edges) that have
@@ -205,13 +294,21 @@ class SimulationEngine {
   std::size_t next_grid_event_ = 0;
 
   /// Min-heap of (candidate end, handle) — the event calendar's completion
-  /// track.  Keys go stale when power-cap throttling dilates running jobs
-  /// (ends only ever move later), so NextCompletionTime re-keys lazily on
-  /// pop instead of rebuilding the heap on every cap-boundary crossing.
-  std::priority_queue<std::pair<SimTime, JobQueue::Handle>,
-                      std::vector<std::pair<SimTime, JobQueue::Handle>>,
-                      std::greater<>>
-      completions_;
+  /// track, kept as a plain vector managed with std::push_heap/pop_heap
+  /// (exactly what std::priority_queue does underneath) so CaptureState can
+  /// copy the heap array verbatim and a restored engine pops in the same
+  /// order, ties included.  Keys go stale when power-cap throttling dilates
+  /// running jobs (ends only ever move later), so NextCompletionTime re-keys
+  /// lazily on pop instead of rebuilding the heap on every cap-boundary
+  /// crossing.
+  std::vector<std::pair<SimTime, JobQueue::Handle>> completions_;
+  void PushCompletion(SimTime end, JobQueue::Handle h);
+  void PopCompletion();
+
+  /// Per-tick wall kWh since sim_start (capture_grid_basis only): the exact
+  /// doubles the incremental cost/CO2 integration multiplied by the signal
+  /// values, so ReplayGridAccounting reproduces it bit for bit.
+  std::vector<double> tick_wall_kwh_;
 
   /// Compute() over an empty running set is a pure constant (idle draw of
   /// every node); cached so fully idle ticks skip the power model.

@@ -62,6 +62,39 @@ void ExperimentRunner::EnsureJobsLoaded() {
   jobs_loaded_ = true;
 }
 
+void ExtractScenarioMetrics(const Simulation& sim, ScenarioResult& r,
+                            bool capture_stats_json) {
+  const SimulationEngine& eng = sim.engine();
+  r.counters = eng.counters();
+  r.avg_wait_s = eng.stats().AvgWaitSeconds();
+  r.avg_turnaround_s = eng.stats().AvgTurnaroundSeconds();
+  if (!eng.stats().records().empty()) {
+    SimTime first_submit = eng.stats().records().front().submit;
+    SimTime last_end = eng.stats().records().front().end;
+    for (const JobRecord& rec : eng.stats().records()) {
+      first_submit = std::min(first_submit, rec.submit);
+      last_end = std::max(last_end, rec.end);
+    }
+    r.makespan_s = static_cast<double>(last_end - first_submit);
+  }
+  r.total_energy_j = eng.stats().TotalEnergyJ();
+  r.grid_cost_usd = eng.grid_cost_usd();
+  r.grid_co2_kg = eng.grid_co2_kg();
+  if (eng.recorder().Has("power_kw")) {
+    r.mean_power_kw = eng.recorder().MeanOf("power_kw");
+    r.max_power_kw = eng.recorder().MaxOf("power_kw");
+    r.mean_util_pct = eng.recorder().MeanOf("utilization");
+  }
+  if (eng.recorder().Has("pue")) {
+    r.mean_pue = eng.recorder().MeanOf("pue");
+  }
+  r.sim_start = sim.sim_start();
+  r.sim_end = sim.sim_end();
+  r.wall_seconds = sim.wall_seconds();
+  r.fingerprint = eng.stats().Fingerprint();
+  if (capture_stats_json) r.stats = eng.stats().ToJson();
+}
+
 ScenarioResult RunScenarioSpec(ScenarioSpec spec, const std::string& output_dir,
                                bool capture_stats_json) {
   ScenarioResult r;
@@ -70,35 +103,7 @@ ScenarioResult RunScenarioSpec(ScenarioSpec spec, const std::string& output_dir,
     auto sim = SimulationBuilder(std::move(spec)).Build();
     sim->Run();
     if (!output_dir.empty()) sim->SaveOutputs(output_dir + "/" + r.name);
-    const SimulationEngine& eng = sim->engine();
-    r.counters = eng.counters();
-    r.avg_wait_s = eng.stats().AvgWaitSeconds();
-    r.avg_turnaround_s = eng.stats().AvgTurnaroundSeconds();
-    if (!eng.stats().records().empty()) {
-      SimTime first_submit = eng.stats().records().front().submit;
-      SimTime last_end = eng.stats().records().front().end;
-      for (const JobRecord& rec : eng.stats().records()) {
-        first_submit = std::min(first_submit, rec.submit);
-        last_end = std::max(last_end, rec.end);
-      }
-      r.makespan_s = static_cast<double>(last_end - first_submit);
-    }
-    r.total_energy_j = eng.stats().TotalEnergyJ();
-    r.grid_cost_usd = eng.grid_cost_usd();
-    r.grid_co2_kg = eng.grid_co2_kg();
-    if (eng.recorder().Has("power_kw")) {
-      r.mean_power_kw = eng.recorder().MeanOf("power_kw");
-      r.max_power_kw = eng.recorder().MaxOf("power_kw");
-      r.mean_util_pct = eng.recorder().MeanOf("utilization");
-    }
-    if (eng.recorder().Has("pue")) {
-      r.mean_pue = eng.recorder().MeanOf("pue");
-    }
-    r.sim_start = sim->sim_start();
-    r.sim_end = sim->sim_end();
-    r.wall_seconds = sim->wall_seconds();
-    r.fingerprint = eng.stats().Fingerprint();
-    if (capture_stats_json) r.stats = eng.stats().ToJson();
+    ExtractScenarioMetrics(*sim, r, capture_stats_json);
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;

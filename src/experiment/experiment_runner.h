@@ -73,6 +73,17 @@ struct ScenarioResult {
 ScenarioResult RunScenarioSpec(ScenarioSpec spec, const std::string& output_dir,
                                bool capture_stats_json = true);
 
+class Simulation;
+
+/// Fills the metric fields of `r` (counters, waits, makespan, energy, grid
+/// cost/CO2, power/util/PUE means, fingerprint, window, wall seconds) from a
+/// finished simulation.  Shared by RunScenarioSpec and the prefix-sharing
+/// sweep's fork path, so a forked scenario's row is computed by the very
+/// same code — and therefore the very same floating-point operations — as a
+/// from-scratch run's.  Does not touch r.name/r.spec/r.ok/r.error.
+void ExtractScenarioMetrics(const Simulation& sim, ScenarioResult& r,
+                            bool capture_stats_json);
+
 struct ExperimentOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
   /// Clamped to the scenario count.

@@ -10,6 +10,17 @@ ExternalSchedulerBridge::ExternalSchedulerBridge(
   if (!external_) throw std::invalid_argument("ExternalSchedulerBridge: null external");
 }
 
+std::unique_ptr<Scheduler> ExternalSchedulerBridge::Clone(
+    const SchedulerCloneContext&) const {
+  std::unique_ptr<ExternalEventScheduler> external = external_->CloneExternal();
+  if (!external) return nullptr;  // external sim opted out of snapshotting
+  auto clone = std::make_unique<ExternalSchedulerBridge>(std::move(external));
+  clone->trigger_count_ = trigger_count_;
+  clone->last_seen_now_ = last_seen_now_;
+  clone->pending_events_ = pending_events_;
+  return clone;
+}
+
 void ExternalSchedulerBridge::OnJobSubmitted(const Job& job) {
   external_->OnSubmit(last_seen_now_, job);
   pending_events_ = true;

@@ -26,6 +26,14 @@ class ExternalEventScheduler {
 
   virtual std::string name() const = 0;
 
+  /// Deep copy of the external simulator's private state, so a forked twin
+  /// resumes the coupling bit-identically.  Default: not clonable (nullptr);
+  /// the bridge then reports itself unclonable and Simulation::Snapshot()
+  /// refuses.
+  virtual std::unique_ptr<ExternalEventScheduler> CloneExternal() const {
+    return nullptr;
+  }
+
   /// Event notifications (the magenta arrows of Fig. 3).
   virtual void OnSubmit(SimTime now, const Job& job) = 0;
   virtual void OnStart(SimTime now, const Job& job) = 0;
@@ -46,6 +54,9 @@ class ExternalSchedulerBridge : public Scheduler {
   /// External simulators hold reservations for future instants; the bridge
   /// must be polled every tick so those reservations are released on time.
   bool NeedsTimeTriggered() const override { return true; }
+  /// Clones the bridge (trigger bookkeeping included) around a deep copy of
+  /// the external simulator; nullptr when the external is not clonable.
+  std::unique_ptr<Scheduler> Clone(const SchedulerCloneContext& ctx) const override;
   void OnJobSubmitted(const Job& job) override;
   void OnJobStarted(const Job& job) override;
   void OnJobCompleted(const Job& job) override;

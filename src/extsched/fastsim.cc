@@ -196,6 +196,11 @@ FastSimScheduler::FastSimScheduler(std::unique_ptr<FastSim> sim)
   if (!sim_) throw std::invalid_argument("FastSimScheduler: null sim");
 }
 
+std::unique_ptr<Scheduler> FastSimScheduler::Clone(
+    const SchedulerCloneContext&) const {
+  return std::make_unique<FastSimScheduler>(std::make_unique<FastSim>(*sim_));
+}
+
 std::vector<Placement> FastSimScheduler::Schedule(const SchedulerContext& ctx) {
   // Plugin mode: ask FastSim for the system state at this time step; any job
   // FastSim reports as running that the twin still has queued is started.

@@ -110,6 +110,10 @@ class FastSimScheduler : public Scheduler {
   std::vector<Placement> Schedule(const SchedulerContext& ctx) override;
   /// FastSim's internal event clock may fire between engine events.
   bool NeedsTimeTriggered() const override { return true; }
+  /// FastSim is a value type (its DES state is all containers); a clone
+  /// copies the emulator mid-flight, so the fork's plugin-mode lock-step
+  /// resumes from the same internal event clock.
+  std::unique_ptr<Scheduler> Clone(const SchedulerCloneContext& ctx) const override;
 
  private:
   std::unique_ptr<FastSim> sim_;

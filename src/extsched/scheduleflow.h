@@ -23,6 +23,12 @@ class ScheduleFlowSim : public ExternalEventScheduler {
 
   std::string name() const override { return "scheduleflow"; }
 
+  /// All state is value-semantic (queues, reservations, counters): a plain
+  /// copy resumes the reservation plan bit-identically in a forked twin.
+  std::unique_ptr<ExternalEventScheduler> CloneExternal() const override {
+    return std::make_unique<ScheduleFlowSim>(*this);
+  }
+
   void OnSubmit(SimTime now, const Job& job) override;
   void OnStart(SimTime now, const Job& job) override;
   void OnComplete(SimTime now, const Job& job) override;

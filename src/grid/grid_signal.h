@@ -86,7 +86,9 @@ class GridSignal {
   /// at parse time.
   static GridSignal FromJson(const JsonValue& v);
 
+  /// Boundary times: absolute (non-periodic) or within [0, period()).
   const std::vector<SimTime>& times() const { return times_; }
+  /// Step values, unscaled (At() applies the scale).
   const std::vector<double>& values() const { return values_; }
 
  private:

@@ -23,6 +23,15 @@ BuiltinScheduler::BuiltinScheduler(Policy policy, BackfillMode backfill,
   }
 }
 
+std::unique_ptr<Scheduler> BuiltinScheduler::Clone(
+    const SchedulerCloneContext& ctx) const {
+  // Fall back to the original pointers for dependencies the fork did not
+  // re-own (e.g. a test-constructed scheduler with a standalone registry).
+  const AccountRegistry* accounts = ctx.accounts ? ctx.accounts : accounts_;
+  const GridEnvironment* grid = ctx.grid ? ctx.grid : grid_;
+  return std::make_unique<BuiltinScheduler>(policy_, backfill_, accounts, grid);
+}
+
 std::string BuiltinScheduler::name() const {
   return "builtin:" + ToString(policy_) + "+" + ToString(backfill_);
 }

@@ -28,6 +28,10 @@ class BuiltinScheduler : public Scheduler {
 
   std::vector<Placement> Schedule(const SchedulerContext& ctx) override;
 
+  /// The built-in scheduler keeps no mutable state; a clone is a fresh
+  /// instance with its pointers rebound to the fork's accounts/grid copies.
+  std::unique_ptr<Scheduler> Clone(const SchedulerCloneContext& ctx) const override;
+
   /// Replay must run every tick: jobs start when their recorded time
   /// arrives, which is not an engine event.
   bool NeedsTimeTriggered() const override { return policy_ == Policy::kReplay; }

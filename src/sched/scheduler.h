@@ -5,6 +5,7 @@
 // that separation is what makes external scheduler simulators pluggable.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,9 @@
 #include "workload/job_queue.h"
 
 namespace sraps {
+
+class AccountRegistry;
+struct GridEnvironment;
 
 /// One proposed job start.  `nodes` empty = the resource manager chooses
 /// (reschedule mode); non-empty = exact placement (replay mode / external
@@ -50,11 +54,31 @@ struct SchedulerContext {
   const Job& JobOf(JobQueue::Handle h) const { return (*jobs)[h]; }
 };
 
+/// Rebinding targets handed to Scheduler::Clone.  A forked simulation owns
+/// fresh copies of the account snapshot and grid environment; schedulers that
+/// hold non-owning pointers into their host must point the clone at the
+/// fork's copies, never at the original's (which may be destroyed first).
+struct SchedulerCloneContext {
+  const AccountRegistry* accounts = nullptr;  ///< fork's collection-phase accounts
+  const GridEnvironment* grid = nullptr;      ///< fork's grid environment
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   virtual std::string name() const = 0;
+
+  /// Deep-copies this scheduler *and its internal state* so a forked engine
+  /// resumes scheduling bit-identically to the original (the snapshot/fork
+  /// primitive of core/snapshot.h).  Pointer-holding schedulers rebind to the
+  /// fork-owned objects in `ctx`.  Returns nullptr when the scheduler cannot
+  /// be cloned — Simulation::Snapshot() then refuses with a clear error
+  /// rather than silently sharing state across forks.
+  virtual std::unique_ptr<Scheduler> Clone(const SchedulerCloneContext& ctx) const {
+    (void)ctx;
+    return nullptr;
+  }
 
   /// Computes this tick's placements.  Must be side-effect free with respect
   /// to engine state; may maintain internal scheduler state.

@@ -1,0 +1,164 @@
+#include "sweep/prefix_share.h"
+
+#include <algorithm>
+
+#include "core/simulation_builder.h"
+#include "grid/grid_environment.h"
+#include "sched/policies.h"
+
+namespace sraps {
+namespace {
+
+/// True when `policy` (a PolicyRegistry name) is known NOT to read grid
+/// signal values.  Unknown names count as reactive — conservative: an
+/// unregistered policy would fail at Build anyway, and a plugin policy we
+/// cannot introspect must not be assumed scale-invariant.
+bool PolicyIgnoresGridValues(const std::string& policy) {
+  EnsureBuiltinComponents();
+  if (!PolicyRegistry().Has(policy)) return false;
+  return !PolicyRegistry().Get(policy).needs_grid;
+}
+
+/// True for schedulers known not to read grid signal *values* outside the
+/// policy mechanism: the built-in scheduler (whose grid use is exactly the
+/// registered policies, judged separately) and the bundled external
+/// couplings (which never see the grid at all).  A plugin scheduler is NOT
+/// assumed safe — it receives a grid pointer through its factory context
+/// and could steer on prices, so sharing is disabled for it.
+bool SchedulerIgnoresGridValues(const std::string& scheduler) {
+  return scheduler == "default" || scheduler == "experimental" ||
+         scheduler == "scheduleflow" || scheduler == "fastsim";
+}
+
+/// Every value of the `key` axis, as strings — or `base_value` when the
+/// sweep has no such axis.
+std::vector<std::string> ValuesInPlay(const SweepSpec& spec, const std::string& key,
+                                      const std::string& base_value) {
+  for (const SweepAxis& axis : spec.axes) {
+    if (axis.key == key) {
+      std::vector<std::string> names;
+      names.reserve(axis.values.size());
+      for (const JsonValue& v : axis.values) {
+        names.push_back(v.is_string() ? v.AsString() : v.Dump(0));
+      }
+      return names;
+    }
+  }
+  return {base_value};
+}
+
+bool IsGridScaleKey(const std::string& key) {
+  return key == "grid.price.scale" || key == "grid.carbon.scale";
+}
+
+/// A positive finite scale keeps the signal a valid signal; anything else
+/// would be rejected at Build and must not be treated as shareable here.
+bool IsValidScale(const JsonValue& v) {
+  if (!v.is_number()) return false;
+  const double d = v.AsDouble();
+  return d > 0.0 && d < std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+SimTime FirstEffectTime(const ScenarioSpec& base, const std::string& key,
+                        const JsonValue& value) {
+  if (IsGridScaleKey(key)) {
+    if (!IsValidScale(value)) return 0;
+    // Scaling a whole price/carbon curve moves no boundary and triggers no
+    // event; it only changes what each tick's kWh is multiplied by.  That is
+    // accounting-only — unless a grid-reactive policy or scheduler compares
+    // the values.
+    return PolicyIgnoresGridValues(base.policy) &&
+                   SchedulerIgnoresGridValues(base.scheduler)
+               ? kTrajectoryNeutral
+               : 0;
+  }
+  if (key == "grid.dr_windows") {
+    // A demand-response schedule is inert until its earliest window opens:
+    // the effective cap before that edge equals the static cap regardless of
+    // the value swept in.
+    SimTime earliest = kTrajectoryNeutral;
+    if (!value.is_array()) return 0;
+    for (const JsonValue& w : value.AsArray()) {
+      try {
+        earliest = std::min(earliest, DrWindow::FromJson(w).start);
+      } catch (const std::exception&) {
+        return 0;
+      }
+    }
+    for (const DrWindow& w : base.grid.dr_windows) {
+      earliest = std::min(earliest, w.start);
+    }
+    return earliest == kTrajectoryNeutral ? 0 : earliest;
+  }
+  // power_cap_w (a static cap can bind on the first tick), policy, backfill,
+  // tick, workload knobs, ...: no prefix can be shared safely.
+  return 0;
+}
+
+SharePlan PlanPrefixSharing(const SweepSpec& spec) {
+  SharePlan plan;
+
+  // Grid scale axes are neutral only if EVERY policy AND scheduler this
+  // sweep can put in force ignores signal values (a "policy"/"scheduler"
+  // axis makes them vary between scenarios — play it safe across all
+  // values).
+  bool all_policies_ignore_grid = true;
+  for (const std::string& p : ValuesInPlay(spec, "policy", spec.base.policy)) {
+    if (!PolicyIgnoresGridValues(p)) {
+      all_policies_ignore_grid = false;
+      break;
+    }
+  }
+  for (const std::string& s :
+       ValuesInPlay(spec, "scheduler", spec.base.scheduler)) {
+    if (!SchedulerIgnoresGridValues(s)) {
+      all_policies_ignore_grid = false;
+      break;
+    }
+  }
+
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const SweepAxis& axis = spec.axes[a];
+    if (!IsGridScaleKey(axis.key) || !all_policies_ignore_grid) continue;
+    const bool all_neutral =
+        std::all_of(axis.values.begin(), axis.values.end(), IsValidScale);
+    if (all_neutral) plan.neutral_axes.push_back(a);
+  }
+
+  const std::size_t total = spec.ScenarioCount();
+  if (plan.neutral_axes.empty()) {
+    plan.groups.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) plan.groups.push_back({{i}});
+    return plan;
+  }
+
+  // Fold the row-major grid (last axis fastest) into groups keyed by the
+  // scenario index with every neutral digit zeroed.  Walking indices in
+  // ascending order makes group membership ascending and group order
+  // deterministic by representative.
+  std::vector<bool> neutral(spec.axes.size(), false);
+  for (std::size_t a : plan.neutral_axes) neutral[a] = true;
+  std::vector<std::size_t> group_of_key(total, total);  // keyed by zeroed index
+  for (std::size_t i = 0; i < total; ++i) {
+    std::size_t key = 0;
+    std::size_t stride = 1;
+    std::size_t rem = i;
+    for (std::size_t a = spec.axes.size(); a-- > 0;) {
+      const std::size_t extent = spec.axes[a].values.size();
+      const std::size_t digit = rem % extent;
+      rem /= extent;
+      if (!neutral[a]) key += digit * stride;
+      stride *= extent;
+    }
+    if (group_of_key[key] == total) {
+      group_of_key[key] = plan.groups.size();
+      plan.groups.push_back({});
+    }
+    plan.groups[group_of_key[key]].indices.push_back(i);
+  }
+  return plan;
+}
+
+}  // namespace sraps

@@ -1,0 +1,83 @@
+// Prefix-sharing analysis for sweeps: which axes can share one simulated
+// trajectory, and how the scenario grid folds into groups around them.
+//
+// Every sweep scenario re-simulates from t=0, even when thousands of
+// variants share an identical prefix — the same workload and schedule until
+// the swept knob first matters.  This module computes, per axis, a lower
+// bound on that "first-effect time":
+//
+//   * `grid.price.scale` / `grid.carbon.scale` — pure accounting knobs: the
+//     trajectory (schedule, power, energy, counters) is invariant, only the
+//     $ and CO2 integrations change.  First effect = never
+//     (kTrajectoryNeutral), PROVIDED no grid-reactive policy reads the
+//     signal values.  These axes are exploitable today: the SweepRunner runs
+//     the trajectory once per group with the per-tick energy basis captured,
+//     snapshots, and forks per variant with the accounting replayed
+//     (Simulation::ForkWithGrid) — bit-identical shards at a fraction of the
+//     work.
+//   * `grid.dr_windows` — a demand-response schedule cannot act before its
+//     earliest window start (its first NextBoundaryAfter-style edge): the
+//     returned time bounds how far a shared prefix could run before forking.
+//     Reported, not yet exploited (mid-run divergent forking is the next
+//     step on top of Simulation::ForkFrom).
+//   * `power_cap_w` and everything else — a static cap can bind on the very
+//     first tick, and a generic key swap (policy, backfill, tick, ...)
+//     changes the run from the start: first effect = sim start (no sharing).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "sweep/sweep_spec.h"
+
+namespace sraps {
+
+/// Sentinel for "this value can never diverge the trajectory" (accounting-
+/// only knobs).
+inline constexpr SimTime kTrajectoryNeutral = std::numeric_limits<SimTime>::max();
+
+/// Lower bound on the first simulated time at which running with `value`
+/// assigned to axis key `key` can differ from running the base spec —
+/// kTrajectoryNeutral when it provably never can.  `base` supplies context
+/// (the policy in force decides whether grid scale knobs stay accounting-
+/// only).  Conservative: returns base.fast_forward-relative time 0 (sim
+/// start, i.e. "no shared prefix") for anything it cannot bound.
+SimTime FirstEffectTime(const ScenarioSpec& base, const std::string& key,
+                        const JsonValue& value);
+
+/// The sharing structure of one sweep.
+struct SharePlan {
+  /// Axes (by index into spec.axes) that are trajectory-neutral across every
+  /// one of their values: scenarios differing only here share their entire
+  /// run.
+  std::vector<std::size_t> neutral_axes;
+  /// Scenario groups: each group's members differ only in neutral axes, in
+  /// ascending scenario-index order (the first member is the representative
+  /// whose trajectory is simulated).  Covers every scenario exactly once;
+  /// group order is deterministic (by representative index).
+  struct Group {
+    std::vector<std::size_t> indices;
+  };
+  std::vector<Group> groups;
+
+  /// True when sharing buys anything (some group has > 1 member).
+  bool worthwhile() const {
+    for (const Group& g : groups) {
+      if (g.indices.size() > 1) return true;
+    }
+    return false;
+  }
+};
+
+/// Classifies every axis of `spec` and folds the scenario grid into shared
+/// groups.  With no neutral axes the plan has one singleton group per
+/// scenario (the runner then uses the plain path).  Policy neutrality is
+/// judged against the base policy AND every value of any "policy" axis:
+/// one grid-reactive policy anywhere demotes the grid scale axes to
+/// immediate, because their values would steer that policy's decisions.
+SharePlan PlanPrefixSharing(const SweepSpec& spec);
+
+}  // namespace sraps

@@ -15,8 +15,11 @@
 
 #include "common/csv.h"
 #include "common/mathutil.h"
+#include "core/simulation.h"
 #include "core/simulation_builder.h"
+#include "core/snapshot.h"
 #include "dataloaders/dataloader.h"
+#include "sweep/prefix_share.h"
 
 namespace sraps {
 namespace {
@@ -390,19 +393,25 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
     return row;
   };
 
+  /// Applies the sweep's workload resolution to one expanded scenario (the
+  /// per-scenario synthetic generation, or the load-once shared set).
+  auto resolve_workload = [&](ExpandedScenario& expanded) {
+    if (expanded.synthetic) {
+      expanded.spec.dataset_path.clear();
+      expanded.spec.jobs_override = GenerateSyntheticWorkload(*expanded.synthetic);
+    } else if (expanded.spec.jobs_override.empty()) {
+      expanded.spec.dataset_path.clear();
+      expanded.spec.jobs_override = shared_jobs_;  // engine takes ownership
+    }
+  };
+
   // RunScenarioSpec captures simulation failures itself; the try here guards
   // expansion and workload generation, so a throw fails one row instead of
   // escaping the thread and terminating the process.
   auto run_one = [&](std::size_t i) {
     try {
       ExpandedScenario expanded = spec_.Expand(i);
-      if (expanded.synthetic) {
-        expanded.spec.dataset_path.clear();
-        expanded.spec.jobs_override = GenerateSyntheticWorkload(*expanded.synthetic);
-      } else if (expanded.spec.jobs_override.empty()) {
-        expanded.spec.dataset_path.clear();
-        expanded.spec.jobs_override = shared_jobs_;  // engine takes ownership
-      }
+      resolve_workload(expanded);
       // No per-scenario output directory and no stats JSON: the row is all
       // that survives this iteration.
       ScenarioResult result = RunScenarioSpec(std::move(expanded.spec), "", false);
@@ -412,49 +421,119 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
     }
   };
 
-  auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
-      SweepRow row = run_one(i);
-      std::vector<std::string> cells;
-      if (spill) cells = format_row(row);
-
-      // Under the mutex: fold + shard bookkeeping only.  Serialisation and
-      // the disk write happen after release so a flush never stalls the
-      // other workers.
-      std::vector<std::vector<std::string>> complete_rows;
-      std::size_t complete_shard = num_shards;  // sentinel: nothing to write
+  // Prefix sharing: one simulated trajectory per group, then one fork (deep
+  // state copy + accounting replay) per remaining member — never a second
+  // full run.  Rows come out of ExtractScenarioMetrics either way, so a
+  // forked row is computed by the same code, and the fold/shard machinery
+  // below cannot tell the difference: output files stay bit-identical to
+  // the plain path.  ANY failure in the shared phase (a scenario that would
+  // also fail plainly, but equally an unclonable plugin scheduler or a fork
+  // refusal) falls back to plain per-member runs, so turning sharing on can
+  // never change the results — only the wall clock.
+  auto run_group = [&](const SharePlan::Group& group) {
+    std::vector<SweepRow> rows;
+    rows.reserve(group.indices.size());
+    try {
+      ExpandedScenario rep = spec_.Expand(group.indices.front());
+      resolve_workload(rep);
+      // The shared trajectory records the per-tick energy basis the forks
+      // replay their cost/CO2 from.  The flag changes no simulated value.
+      rep.spec.capture_grid_basis = true;
+      auto shared = SimulationBuilder(std::move(rep.spec)).Build();
+      shared->Run();
+      const SimStateSnapshot snap = shared->Snapshot();
+      // The representative's metrics come straight off the shared run (its
+      // live accounting is what the forks' replay reproduces) — one fewer
+      // deep state copy per group.
       {
-        std::lock_guard<std::mutex> lock(mu);
-        aggregator.Fold(row);
-        if (!row.ok && summary.sample_errors.size() < 5) {
-          summary.sample_errors.push_back(row.name + ": " + row.error);
-        }
-        if (spill) {
-          const std::size_t s = i / shard_size;
-          ShardBuffer& shard = shards[s];
-          if (shard.rows.empty()) shard.rows.resize(rows_in_shard(s));
-          shard.rows[i - s * shard_size] = std::move(cells);
-          if (++shard.done == rows_in_shard(s)) {
-            complete_rows = std::move(shard.rows);
-            shard.rows = {};  // free the buffer
-            complete_shard = s;
-          }
+        ExpandedScenario member = spec_.Expand(group.indices.front());
+        ScenarioResult result;
+        result.name = member.spec.name;
+        ExtractScenarioMetrics(*shared, result, /*capture_stats_json=*/false);
+        result.ok = true;
+        rows.push_back(RowFromResult(result, group.indices.front(),
+                                     std::move(member.axis_values)));
+      }
+      shared.reset();  // the snapshot is self-contained
+      for (std::size_t m = 1; m < group.indices.size(); ++m) {
+        const std::size_t i = group.indices[m];
+        ExpandedScenario member = spec_.Expand(i);  // cheap: spec copy + patch
+        ScenarioResult result;
+        result.name = member.spec.name;
+        // The fork is already at sim_end (the shared run finished); only
+        // the grid accounting is recomputed for this member's signals.
+        auto fork = Simulation::ForkWithGrid(snap, member.spec.grid);
+        ExtractScenarioMetrics(*fork, result, /*capture_stats_json=*/false);
+        result.ok = true;
+        rows.push_back(RowFromResult(result, i, std::move(member.axis_values)));
+      }
+    } catch (const std::exception&) {
+      // Plain-path fallback: re-runs members individually, capturing any
+      // genuine per-scenario failure exactly as the non-sharing path would.
+      rows.clear();
+      for (const std::size_t i : group.indices) rows.push_back(run_one(i));
+    }
+    return rows;
+  };
+
+  auto fold_row = [&](SweepRow row) {
+    const std::size_t i = row.index;
+    std::vector<std::string> cells;
+    if (spill) cells = format_row(row);
+
+    // Under the mutex: fold + shard bookkeeping only.  Serialisation and
+    // the disk write happen after release so a flush never stalls the
+    // other workers.
+    std::vector<std::vector<std::string>> complete_rows;
+    std::size_t complete_shard = num_shards;  // sentinel: nothing to write
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      aggregator.Fold(row);
+      if (!row.ok && summary.sample_errors.size() < 5) {
+        summary.sample_errors.push_back(row.name + ": " + row.error);
+      }
+      if (spill) {
+        const std::size_t s = i / shard_size;
+        ShardBuffer& shard = shards[s];
+        if (shard.rows.empty()) shard.rows.resize(rows_in_shard(s));
+        shard.rows[i - s * shard_size] = std::move(cells);
+        if (++shard.done == rows_in_shard(s)) {
+          complete_rows = std::move(shard.rows);
+          shard.rows = {};  // free the buffer
+          complete_shard = s;
         }
       }
-      if (complete_shard != num_shards) {
-        CsvWriter writer(header);
-        for (std::vector<std::string>& r : complete_rows) writer.AddRow(std::move(r));
-        char name[32];
-        std::snprintf(name, sizeof name, "rows-%05zu.csv", complete_shard);
-        const std::string path = options.output_dir + "/" + name;
-        try {
-          writer.Save(path);
-          // Distinct slot per shard: no lock needed for the path record.
-          summary.shard_paths[complete_shard] = path;
-        } catch (const std::exception& e) {
-          std::lock_guard<std::mutex> lock(mu);
-          if (io_error.empty()) io_error = e.what();
-        }
+    }
+    if (complete_shard != num_shards) {
+      CsvWriter writer(header);
+      for (std::vector<std::string>& r : complete_rows) writer.AddRow(std::move(r));
+      char name[32];
+      std::snprintf(name, sizeof name, "rows-%05zu.csv", complete_shard);
+      const std::string path = options.output_dir + "/" + name;
+      try {
+        writer.Save(path);
+        // Distinct slot per shard: no lock needed for the path record.
+        summary.shard_paths[complete_shard] = path;
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (io_error.empty()) io_error = e.what();
+      }
+    }
+  };
+
+  SharePlan plan;
+  if (options.share_prefix) plan = PlanPrefixSharing(spec_);
+  const bool sharing = options.share_prefix && plan.worthwhile();
+  const std::size_t work_units = sharing ? plan.groups.size() : total;
+  summary.simulated_trajectories = work_units;
+  summary.forked_scenarios = sharing ? total - plan.groups.size() : 0;
+
+  auto worker = [&]() {
+    for (std::size_t u = next.fetch_add(1); u < work_units; u = next.fetch_add(1)) {
+      if (sharing) {
+        for (SweepRow& row : run_group(plan.groups[u])) fold_row(std::move(row));
+      } else {
+        fold_row(run_one(u));
       }
     }
   };
@@ -462,7 +541,7 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
   unsigned threads = options.threads != 0 ? options.threads
                                           : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
-  if (threads > total) threads = static_cast<unsigned>(total);
+  if (threads > work_units) threads = static_cast<unsigned>(work_units);
   if (threads <= 1) {
     worker();
   } else {

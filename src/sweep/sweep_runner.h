@@ -31,21 +31,21 @@ namespace sraps {
 
 /// The compact per-scenario record retained after the fold.
 struct SweepRow {
-  std::size_t index = 0;
-  std::string name;
+  std::size_t index = 0;               ///< scenario index within the sweep
+  std::string name;                    ///< "<sweep>-<zero-padded index>"
   std::vector<JsonValue> axis_values;  ///< in sweep-axis order
-  bool ok = false;
-  std::string error;
-  std::size_t completed = 0;
-  std::size_t dismissed = 0;
-  double avg_wait_s = 0.0;
-  double avg_turnaround_s = 0.0;
-  double makespan_s = 0.0;
-  double total_energy_j = 0.0;
-  double mean_power_kw = 0.0;
-  double max_power_kw = 0.0;
-  double mean_util_pct = 0.0;
-  double mean_pue = 0.0;
+  bool ok = false;                     ///< false: `error` carries the throw text
+  std::string error;                   ///< failure message (empty when ok)
+  std::size_t completed = 0;           ///< jobs completed
+  std::size_t dismissed = 0;           ///< jobs dismissed
+  double avg_wait_s = 0.0;             ///< mean queue wait
+  double avg_turnaround_s = 0.0;       ///< mean submit-to-end
+  double makespan_s = 0.0;             ///< completion span (see ScenarioResult)
+  double total_energy_j = 0.0;         ///< summed completed-job energy
+  double mean_power_kw = 0.0;          ///< 0 when history recording is off
+  double max_power_kw = 0.0;           ///< peak recorded wall power
+  double mean_util_pct = 0.0;          ///< mean node utilisation
+  double mean_pue = 0.0;               ///< 0 when cooling is off
   /// Grid-signal-integrated cost/emissions (0 without a "grid" block).
   double grid_cost_usd = 0.0;
   double grid_co2_kg = 0.0;
@@ -152,6 +152,15 @@ struct SweepOptions {
   std::string output_dir;
   /// Scenarios per CSV shard.
   std::size_t shard_size = 256;
+  /// Prefix sharing (`--sweep-share-prefix`): group scenarios that differ
+  /// only in trajectory-neutral axes (grid.price.scale / grid.carbon.scale
+  /// under a non-grid-reactive policy; see sweep/prefix_share.h), simulate
+  /// each group's trajectory ONCE with the per-tick energy basis captured,
+  /// snapshot, and fork per variant with cost/CO2 replayed
+  /// (Simulation::ForkWithGrid).  Every output file stays bit-identical to
+  /// the non-sharing path; only the wall clock changes.  Sweeps with no
+  /// neutral axis silently use the plain path.
+  bool share_prefix = false;
 };
 
 struct SweepSummary {
@@ -163,6 +172,11 @@ struct SweepSummary {
   double wall_seconds = 0.0;
   /// Up to five distinct failure messages, for operator triage.
   std::vector<std::string> sample_errors;
+  /// Prefix sharing: trajectories actually simulated (== total on the plain
+  /// path; == group count when sharing engaged) and scenarios that were
+  /// resolved by forking a shared snapshot instead of a full run.
+  std::size_t simulated_trajectories = 0;
+  std::size_t forked_scenarios = 0;
 };
 
 class SweepRunner {

@@ -79,9 +79,9 @@ struct ExpandedScenario {
 };
 
 struct SweepSpec {
-  std::string name = "sweep";
-  ScenarioSpec base;
-  std::vector<SweepAxis> axes;
+  std::string name = "sweep";   ///< labels scenarios ("<name>-<index>") and outputs
+  ScenarioSpec base;            ///< the scenario every axis patches
+  std::vector<SweepAxis> axes;  ///< cross-product dimensions (may be empty)
   /// Per-scenario generated workload (replaces base.dataset_path at run
   /// time).  Axis keys "synth.<knob>" patch this spec per scenario.
   std::optional<SyntheticWorkloadSpec> synthetic;

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 
 #include "core/simulation.h"
 #include "core/simulation_builder.h"
@@ -376,6 +379,74 @@ TEST(SimulationBuilderTest, PluginSchedulerResolvesThroughRegistry) {
   EXPECT_EQ(sim->engine().counters().completed, 0u);  // it really ran "null"
   EXPECT_EQ(sim->engine().counters().started, 0u);
 }
+
+// --- docs/SCENARIO_REFERENCE.md stays generated-checked ----------------------
+
+#ifdef SRAPS_SOURCE_DIR
+std::string ReadDoc(const std::string& rel) {
+  const fs::path path = fs::path(SRAPS_SOURCE_DIR) / rel;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// The backticked keys of the markdown table rows in `section` (up to the
+/// next "## " heading).
+std::vector<std::string> TableKeys(const std::string& doc,
+                                   const std::string& section) {
+  std::vector<std::string> keys;
+  std::size_t at = doc.find(section);
+  EXPECT_NE(at, std::string::npos) << section;
+  const std::size_t end = doc.find("\n## ", at);
+  std::istringstream lines(doc.substr(at, end - at));
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    const std::size_t close = line.find('`', 3);
+    if (close != std::string::npos) keys.push_back(line.substr(3, close - 3));
+  }
+  return keys;
+}
+
+TEST(ScenarioDocTest, TopLevelTableMatchesToJsonExactly) {
+  const std::string doc = ReadDoc("docs/SCENARIO_REFERENCE.md");
+  const JsonValue json = ScenarioSpec().ToJson();
+  std::set<std::string> real;
+  for (const auto& [key, value] : json.AsObject()) real.insert(key);
+
+  const std::vector<std::string> documented = TableKeys(doc, "## Top-level keys");
+  std::set<std::string> seen;
+  for (const std::string& key : documented) {
+    EXPECT_TRUE(real.count(key)) << "documented key '" << key
+                                 << "' is not a ScenarioSpec JSON key";
+    seen.insert(key);
+  }
+  for (const std::string& key : real) {
+    EXPECT_TRUE(seen.count(key)) << "ScenarioSpec key '" << key
+                                 << "' missing from docs/SCENARIO_REFERENCE.md";
+  }
+}
+
+TEST(ScenarioDocTest, GridAndOutageTablesCoverTheirKeys) {
+  const std::string doc = ReadDoc("docs/SCENARIO_REFERENCE.md");
+  GridEnvironment grid;
+  grid.price_usd_per_kwh = GridSignal::Diurnal(0.08);
+  grid.carbon_kg_per_kwh = GridSignal::Constant(0.4);
+  grid.dr_windows = {{0, 60, 1.0}};
+  grid.slack_s = 60;
+  const JsonValue grid_json = grid.ToJson();
+  for (const auto& [key, value] : grid_json.AsObject()) {
+    EXPECT_NE(doc.find("| `" + key + "` |"), std::string::npos)
+        << "grid key '" << key << "' missing from the grid-block table";
+  }
+  for (const char* key : {"at", "recover_at", "nodes"}) {
+    EXPECT_NE(doc.find(std::string("`") + key + "`"), std::string::npos)
+        << "outage key '" << key << "' missing from the outage table";
+  }
+}
+#endif  // SRAPS_SOURCE_DIR
 
 }  // namespace
 }  // namespace sraps

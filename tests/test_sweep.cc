@@ -12,6 +12,7 @@
 
 #include "config/system_config.h"
 #include "report/sweep_report.h"
+#include "sweep/prefix_share.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/sweep_spec.h"
 #include "workload/synthetic.h"
@@ -484,6 +485,239 @@ TEST(SweepReportTest, RendersAggregatesAndFrontier) {
   EXPECT_NE(html.find("power_cap_w"), std::string::npos);
   EXPECT_NE(html.find("Pareto"), std::string::npos);
   EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+// --- prefix sharing ---------------------------------------------------------
+
+/// A grid with a price/carbon context and a trajectory-neutral scale axis
+/// next to trajectory-relevant ones: 2 caps x 2 backfills x 3 scales = 12
+/// scenarios in 4 share groups of 3.
+SweepSpec ScaleGrid() {
+  SweepSpec sweep;
+  sweep.name = "scalegrid";
+  sweep.base = MiniBase();
+  sweep.base.grid.price_usd_per_kwh = GridSignal::Diurnal(0.08, 0.5, 1.4);
+  sweep.base.grid.carbon_kg_per_kwh = GridSignal::Diurnal(0.4, 0.6, 1.3);
+  sweep.axes.push_back(SweepAxis("power_cap_w", {JsonValue(1500.0), JsonValue(0.0)}));
+  sweep.axes.push_back(SweepAxis("backfill", {JsonValue(std::string("easy")),
+                                              JsonValue(std::string("none"))}));
+  sweep.axes.push_back(SweepAxis(
+      "grid.price.scale", {JsonValue(0.5), JsonValue(1.0), JsonValue(2.0)}));
+  return sweep;
+}
+
+TEST(PrefixShareTest, FirstEffectTimes) {
+  const ScenarioSpec base = MiniBase();
+  EXPECT_EQ(FirstEffectTime(base, "grid.price.scale", JsonValue(2.0)),
+            kTrajectoryNeutral);
+  EXPECT_EQ(FirstEffectTime(base, "grid.carbon.scale", JsonValue(0.5)),
+            kTrajectoryNeutral);
+  // A grid-reactive policy reads the values: nothing is neutral any more.
+  ScenarioSpec aware = base;
+  aware.policy = "grid_aware";
+  EXPECT_EQ(FirstEffectTime(aware, "grid.price.scale", JsonValue(2.0)), 0);
+  // A non-positive scale would be rejected at build; never shareable.
+  EXPECT_EQ(FirstEffectTime(base, "grid.price.scale", JsonValue(-1.0)), 0);
+  // A DR schedule is inert until its earliest window opens.
+  JsonArray windows;
+  JsonObject w;
+  w["start"] = JsonValue(static_cast<std::int64_t>(6 * kHour));
+  w["end"] = JsonValue(static_cast<std::int64_t>(8 * kHour));
+  w["cap_w"] = JsonValue(1500.0);
+  windows.emplace_back(std::move(w));
+  EXPECT_EQ(FirstEffectTime(base, "grid.dr_windows", JsonValue(std::move(windows))),
+            6 * kHour);
+  // A static cap can bind on the first tick: no shared prefix.
+  EXPECT_EQ(FirstEffectTime(base, "power_cap_w", JsonValue(1500.0)), 0);
+}
+
+TEST(PrefixShareTest, PlanGroupsByNonNeutralAxes) {
+  const SharePlan plan = PlanPrefixSharing(ScaleGrid());
+  ASSERT_EQ(plan.neutral_axes.size(), 1u);
+  EXPECT_EQ(plan.neutral_axes[0], 2u);  // the grid.price.scale axis
+  ASSERT_EQ(plan.groups.size(), 4u);    // 2 caps x 2 backfills
+  ASSERT_TRUE(plan.worthwhile());
+  // Last axis varies fastest: each group holds 3 consecutive indices.
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    ASSERT_EQ(plan.groups[g].indices.size(), 3u);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(plan.groups[g].indices[k], g * 3 + k);
+    }
+  }
+}
+
+TEST(PrefixShareTest, GridAwarePolicyDisablesSharing) {
+  SweepSpec sweep = ScaleGrid();
+  sweep.base.policy = "grid_aware";
+  sweep.base.grid.slack_s = kHour;
+  const SharePlan plan = PlanPrefixSharing(sweep);
+  EXPECT_TRUE(plan.neutral_axes.empty());
+  EXPECT_FALSE(plan.worthwhile());
+  EXPECT_EQ(plan.groups.size(), sweep.ScenarioCount());
+}
+
+TEST(PrefixShareTest, PolicyAxisWithGridAwareValueDisablesSharing) {
+  SweepSpec sweep = ScaleGrid();
+  sweep.base.grid.slack_s = kHour;
+  sweep.axes.push_back(SweepAxis(
+      "policy", {JsonValue(std::string("fcfs")),
+                 JsonValue(std::string("grid_aware"))}));
+  const SharePlan plan = PlanPrefixSharing(sweep);
+  EXPECT_TRUE(plan.neutral_axes.empty());
+}
+
+TEST(PrefixShareTest, NonWhitelistedSchedulerDisablesSharing) {
+  // A plugin scheduler receives a grid pointer through its factory context
+  // and may steer on signal values; only the bundled schedulers are known
+  // safe, so anything else demotes scale axes to immediate.
+  SweepSpec sweep = ScaleGrid();
+  sweep.base.scheduler = "my_plugin";
+  EXPECT_TRUE(PlanPrefixSharing(sweep).neutral_axes.empty());
+
+  SweepSpec axis_sweep = ScaleGrid();
+  axis_sweep.axes.push_back(
+      SweepAxis("scheduler", {JsonValue(std::string("default")),
+                              JsonValue(std::string("my_plugin"))}));
+  EXPECT_TRUE(PlanPrefixSharing(axis_sweep).neutral_axes.empty());
+
+  // The bundled external couplings never see the grid: still shareable.
+  SweepSpec external = ScaleGrid();
+  external.base.scheduler = "scheduleflow";
+  EXPECT_FALSE(PlanPrefixSharing(external).neutral_axes.empty());
+}
+
+TEST(SweepRunnerTest, SharePrefixWithExternalSchedulerMatchesPlain) {
+  // scheduleflow keeps private reservation state behind the bridge; sharing
+  // must clone it per fork and reproduce the plain path exactly.
+  SweepSpec sweep = ScaleGrid();
+  sweep.base.scheduler = "scheduleflow";
+  SweepOptions options;
+  options.threads = 2;
+  const SweepSummary plain = SweepRunner(sweep).Run(options);
+  options.share_prefix = true;
+  const SweepSummary shared = SweepRunner(sweep).Run(options);
+  EXPECT_EQ(shared.simulated_trajectories, 4u);
+  EXPECT_EQ(shared.ok_count, 12u);
+  EXPECT_EQ(plain.aggregates.ToJson().Dump(2), shared.aggregates.ToJson().Dump(2));
+}
+
+TEST(SweepRunnerTest, SharePrefixFailureRowsMatchPlainPath) {
+  // A scenario that fails at build time (negative cap) must produce the
+  // SAME failed rows with sharing on — the group falls back to plain
+  // per-member runs instead of inventing its own failure shape.
+  const std::string dir_plain = "test_share_fail_plain";
+  const std::string dir_share = "test_share_fail_on";
+  fs::remove_all(dir_plain);
+  fs::remove_all(dir_share);
+
+  SweepSpec sweep = ScaleGrid();
+  sweep.axes[0] = SweepAxis("power_cap_w", {JsonValue(0.0), JsonValue(-1.0)});
+
+  SweepOptions options;
+  options.threads = 2;
+  options.output_dir = dir_plain;
+  const SweepSummary plain = SweepRunner(sweep).Run(options);
+  options.output_dir = dir_share;
+  options.share_prefix = true;
+  const SweepSummary shared = SweepRunner(sweep).Run(options);
+
+  EXPECT_EQ(plain.failed_count, 6u);  // the -1 cap half of 2x2x3
+  EXPECT_EQ(shared.failed_count, 6u);
+  EXPECT_EQ(ReadFile(dir_plain + "/rows-00000.csv"),
+            ReadFile(dir_share + "/rows-00000.csv"));
+  EXPECT_EQ(ReadFile(dir_plain + "/aggregates.json"),
+            ReadFile(dir_share + "/aggregates.json"));
+
+  fs::remove_all(dir_plain);
+  fs::remove_all(dir_share);
+}
+
+TEST(SweepRunnerTest, SharePrefixOutputsBitIdenticalToPlainPath) {
+  const std::string dir_plain = "test_sweep_share_plain";
+  const std::string dir_share = "test_sweep_share_on";
+  fs::remove_all(dir_plain);
+  fs::remove_all(dir_share);
+
+  SweepOptions plain;
+  plain.threads = 2;
+  plain.output_dir = dir_plain;
+  plain.shard_size = 5;  // 12 scenarios -> 3 shards, one partial
+  const SweepSummary s_plain = SweepRunner(ScaleGrid()).Run(plain);
+
+  SweepOptions share = plain;
+  share.output_dir = dir_share;
+  share.share_prefix = true;
+  const SweepSummary s_share = SweepRunner(ScaleGrid()).Run(share);
+
+  EXPECT_EQ(s_plain.simulated_trajectories, 12u);
+  EXPECT_EQ(s_plain.forked_scenarios, 0u);
+  EXPECT_EQ(s_share.simulated_trajectories, 4u);  // one per share group
+  EXPECT_EQ(s_share.forked_scenarios, 8u);
+  EXPECT_EQ(s_share.ok_count, 12u);
+
+  for (const char* file : {"rows-00000.csv", "rows-00001.csv", "rows-00002.csv",
+                           "aggregates.json", "manifest.json"}) {
+    EXPECT_EQ(ReadFile(dir_plain + "/" + file), ReadFile(dir_share + "/" + file))
+        << file;
+  }
+
+  fs::remove_all(dir_plain);
+  fs::remove_all(dir_share);
+}
+
+TEST(SweepRunnerTest, SharePrefixBitIdenticalAcrossThreadCounts) {
+  SweepOptions one;
+  one.threads = 1;
+  one.share_prefix = true;
+  const SweepSummary s1 = SweepRunner(ScaleGrid()).Run(one);
+  SweepOptions four = one;
+  four.threads = 4;
+  const SweepSummary s4 = SweepRunner(ScaleGrid()).Run(four);
+  EXPECT_EQ(s1.aggregates.ToJson().Dump(2), s4.aggregates.ToJson().Dump(2));
+}
+
+TEST(SweepRunnerTest, SharePrefixFallsBackWithoutNeutralAxes) {
+  SweepSpec sweep = CapGrid();
+  SweepOptions options;
+  options.threads = 2;
+  options.share_prefix = true;
+  const SweepSummary shared = SweepRunner(sweep).Run(options);
+  EXPECT_EQ(shared.forked_scenarios, 0u);
+  EXPECT_EQ(shared.simulated_trajectories, sweep.ScenarioCount());
+  options.share_prefix = false;
+  const SweepSummary plain = SweepRunner(sweep).Run(options);
+  EXPECT_EQ(plain.aggregates.ToJson().Dump(2), shared.aggregates.ToJson().Dump(2));
+}
+
+TEST(SweepRunnerTest, SharePrefixWithEventCalendarAndSyntheticSeeds) {
+  // The nightly-grid shape in miniature: calendar engine, per-seed synthetic
+  // workloads, and a price-scale axis — sharing must reproduce the plain
+  // path exactly.
+  SweepSpec sweep;
+  sweep.name = "share-synth";
+  sweep.base = MiniBase();
+  sweep.base.jobs_override.clear();
+  sweep.base.event_calendar = true;
+  sweep.base.grid.price_usd_per_kwh = GridSignal::Diurnal(0.08, 0.5, 1.4);
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 4 * kHour;
+  wl.arrival_rate_per_hour = 8;
+  wl.max_nodes = 8;
+  wl.seed = 3;
+  sweep.synthetic = wl;
+  sweep.axes.push_back(
+      SweepAxis("synth.seed", {JsonValue(std::int64_t{1}), JsonValue(std::int64_t{2})}));
+  sweep.axes.push_back(SweepAxis(
+      "grid.price.scale", {JsonValue(0.5), JsonValue(1.0), JsonValue(2.0)}));
+
+  SweepOptions options;
+  options.threads = 2;
+  const SweepSummary plain = SweepRunner(sweep).Run(options);
+  options.share_prefix = true;
+  const SweepSummary shared = SweepRunner(sweep).Run(options);
+  EXPECT_EQ(shared.simulated_trajectories, 2u);
+  EXPECT_EQ(shared.forked_scenarios, 4u);
+  EXPECT_EQ(plain.aggregates.ToJson().Dump(2), shared.aggregates.ToJson().Dump(2));
 }
 
 }  // namespace
