@@ -1,0 +1,90 @@
+// Scenario-service what-if throughput: queries per wall second answered from
+// a warm snapshot cache, measured through the full service path (request
+// parse, patch validation, coalescing map, worker pool, ForkWithGrid,
+// metric extraction, JSON body) minus only the HTTP transport.  This is the
+// figure the serve_forks_per_sec baseline entry gates (bench_baseline.json)
+// and the floor tools/serve_loadtest.py asserts end to end in the CI
+// serve-smoke job: a warm service must clear ~1000 queries/s.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/scenario_service.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+/// Mirrors examples/serve_base.json + serve_workload.json: a mini-system day
+/// under diurnal price/carbon with a generated workload.
+ScenarioSpec ServeBenchSpec() {
+  ScenarioSpec s;
+  s.name = "serve-bench";
+  s.system = "mini";
+  s.policy = "fcfs";
+  s.backfill = "easy";
+  s.duration = 24 * kHour;
+  s.event_calendar = true;
+  s.capture_grid_basis = true;
+  s.grid.price_usd_per_kwh = GridSignal::Diurnal(0.12, 0.5, 1.6);
+  s.grid.carbon_kg_per_kwh = GridSignal::Diurnal(0.35, 0.4, 1.3);
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 24 * kHour;
+  wl.arrival_rate_per_hour = 30;
+  wl.max_nodes = 16;
+  wl.mean_nodes_log2 = 1.5;
+  wl.sd_nodes_log2 = 1.0;
+  wl.trace_interval = 60;
+  wl.seed = 20250808;
+  s.jobs_override = GenerateSyntheticWorkload(wl);
+  return s;
+}
+
+std::string ScaleQuery(double scale) {
+  JsonObject patch;
+  patch["grid.price.scale"] = scale;
+  JsonObject q;
+  q["base"] = "serve-bench";
+  q["patch"] = JsonValue(std::move(patch));
+  return JsonValue(std::move(q)).Dump(0);
+}
+
+/// One closed-loop client against one worker: the serial fork+extract+format
+/// cost per query.  Concurrency scaling is demonstrated end to end by
+/// tools/serve_loadtest.py; this bench pins the per-query work.
+void BM_ServeWhatIfFork(benchmark::State& state) {
+  ServeOptions options;
+  options.workers = 1;
+  ScenarioService service(options);
+  service.AddBase(ServeBenchSpec());
+  service.Warmup();
+
+  // 64 distinct tariffs, rotated: always a cache hit, never a coalesce.
+  std::vector<std::string> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(ScaleQuery(0.25 + 0.05 * i));
+
+  double answered = 0;
+  std::size_t i = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    ServeReply reply = service.WhatIf(queries[i++ % queries.size()]);
+    if (reply.status != 200) state.SkipWithError("what-if query failed");
+    benchmark::DoNotOptimize(reply.body.size());
+    answered += 1;
+  }
+  // Wall-clock rate: the fork runs on a pool thread, so a CPU-time rate
+  // (Counter::kIsRate) would overstate the bench thread's throughput.
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  state.counters["serve_forks_per_sec"] =
+      benchmark::Counter(wall_s > 0 ? answered / wall_s : 0);
+}
+
+BENCHMARK(BM_ServeWhatIfFork)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sraps

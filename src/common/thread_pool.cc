@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+namespace sraps {
+
+unsigned ResolveThreadCount(unsigned requested, std::size_t work_items) {
+  unsigned threads = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > work_items) threads = static_cast<unsigned>(work_items);
+  return threads;
+}
+
+void ParallelIndexFor(std::size_t total, unsigned threads,
+                      const std::function<void(std::size_t)>& body) {
+  if (total == 0) return;
+  const unsigned resolved = ResolveThreadCount(threads, total);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+      body(i);
+    }
+  };
+  if (resolved <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(resolved);
+  for (unsigned t = 0; t < resolved; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+BoundedThreadPool::BoundedThreadPool(unsigned threads, std::size_t max_queue)
+    : max_queue_(max_queue) {
+  unsigned resolved = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (resolved == 0) resolved = 1;
+  workers_.reserve(resolved);
+  for (unsigned t = 0; t < resolved; ++t) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+BoundedThreadPool::~BoundedThreadPool() { Shutdown(); }
+
+bool BoundedThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void BoundedThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::size_t BoundedThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void BoundedThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      // Drain before exiting: graceful shutdown completes queued work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace sraps

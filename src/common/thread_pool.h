@@ -1,0 +1,80 @@
+// Shared worker-pool primitives.
+//
+// ParallelIndexFor is the atomic-cursor pool that has always driven the
+// sweep and experiment runners (extracted here so every parallel tier uses
+// one implementation): workers pull indices from a shared atomic counter, so
+// work distribution is load-balanced without any per-item queueing, and —
+// because each index is claimed exactly once — a caller whose body writes
+// only to index-owned slots stays bit-identical at any thread count.
+//
+// BoundedThreadPool is the long-lived counterpart the scenario service
+// (src/serve/) runs on: a fixed set of workers draining a bounded FIFO task
+// queue.  TrySubmit never blocks — a full queue is reported to the caller
+// (who turns it into backpressure, e.g. HTTP 503) instead of growing without
+// bound.  Shutdown() drains every queued task before joining, which is what
+// makes graceful service shutdown ("finish in-flight queries, accept no new
+// ones") a one-liner.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sraps {
+
+/// Resolves a requested thread count: 0 means hardware concurrency (min 1),
+/// and the result is clamped to `work_items` so no thread starts idle.
+unsigned ResolveThreadCount(unsigned requested, std::size_t work_items);
+
+/// Runs body(i) for every i in [0, total) on `threads` workers pulling from
+/// one atomic cursor.  threads == 0 uses hardware concurrency; a resolved
+/// count of <= 1 runs inline on the calling thread (no spawn).  Exceptions
+/// must be handled inside `body`: a throw escaping a worker terminates the
+/// process, exactly as it would have in the pre-extraction runners.
+void ParallelIndexFor(std::size_t total, unsigned threads,
+                      const std::function<void(std::size_t)>& body);
+
+/// Fixed-size worker pool over a bounded FIFO queue.
+class BoundedThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, min 1).  At most
+  /// `max_queue` tasks may be queued (not counting those already executing);
+  /// max_queue == 0 means unbounded.
+  explicit BoundedThreadPool(unsigned threads, std::size_t max_queue = 0);
+
+  /// Drains and joins (Shutdown) if the caller has not already.
+  ~BoundedThreadPool();
+
+  BoundedThreadPool(const BoundedThreadPool&) = delete;
+  BoundedThreadPool& operator=(const BoundedThreadPool&) = delete;
+
+  /// Enqueues a task.  Returns false — without blocking or running the task
+  /// — when the queue is at capacity or the pool is shutting down; the
+  /// caller owns the backpressure response.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting tasks, lets the workers drain everything already
+  /// queued, then joins them.  Idempotent.
+  void Shutdown();
+
+  /// Tasks queued but not yet picked up by a worker.
+  std::size_t QueueDepth() const;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t max_queue_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sraps

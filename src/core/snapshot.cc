@@ -1,6 +1,7 @@
 #include "core/snapshot.h"
 
 #include <chrono>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -11,6 +12,35 @@
 
 namespace sraps {
 namespace {
+
+/// Incremental FNV-1a (64-bit) over raw bit patterns: doubles hash by their
+/// exact bits, so two states fingerprint equal iff the hashed fields are
+/// bit-identical — the same discipline as SimulationStats::Fingerprint.
+class Fnv64 {
+ public:
+  void Bytes(const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void U64(std::uint64_t v) { Bytes(&v, sizeof v); }
+  void I64(std::int64_t v) { Bytes(&v, sizeof v); }
+  void D(double v) { Bytes(&v, sizeof v); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+std::size_t TraceBytes(const TraceSeries& t) {
+  return t.offsets().size() * sizeof(SimDuration) + t.values().size() * sizeof(double);
+}
 
 bool SameDrWindows(const std::vector<DrWindow>& a, const std::vector<DrWindow>& b) {
   if (a.size() != b.size()) return false;
@@ -23,34 +53,67 @@ bool SameDrWindows(const std::vector<DrWindow>& a, const std::vector<DrWindow>& 
   return true;
 }
 
+/// Structured rejection string shared by every ForkWithGrid guard:
+///   ForkWithGrid rejected [guard=<which> key=<offending spec key>]: <how to fix>
+/// The bracketed fields are machine-greppable (the scenario service surfaces
+/// these verbatim as HTTP 400 bodies), the tail says what the caller must
+/// change.  Tests pin both parts (tests/test_serve.cc).
+std::string GuardError(const std::string& guard, const std::string& key,
+                       const std::string& detail) {
+  return "ForkWithGrid rejected [guard=" + guard + " key=" + key + "]: " + detail;
+}
+
 /// ForkWithGrid's compatibility contract: the replacement grid may change
 /// signal *values* (scale, step levels) but nothing that can alter the
 /// trajectory — signal presence (which channels/integrations exist), boundary
 /// times (which ticks are calendar events), DR windows (the dynamic cap), or
-/// slack.  Violations throw with the offending dimension named.
+/// slack.  Violations throw a GuardError naming the guard and offending key.
 void RequireGridCompatible(const GridEnvironment& have, const GridEnvironment& want,
                            SimTime sim_start, SimTime sim_end) {
-  if (have.price_usd_per_kwh.empty() != want.price_usd_per_kwh.empty() ||
-      have.carbon_kg_per_kwh.empty() != want.carbon_kg_per_kwh.empty()) {
-    throw std::invalid_argument(
-        "Simulation::ForkWithGrid: signal presence differs from the snapshot "
-        "(adding/removing a price or carbon signal changes which history "
-        "channels and integrations exist; run the variant from scratch)");
+  if (have.price_usd_per_kwh.empty() != want.price_usd_per_kwh.empty()) {
+    throw std::invalid_argument(GuardError(
+        "signal_presence", "grid.price",
+        have.price_usd_per_kwh.empty()
+            ? "the query adds a price signal the snapshot was run without; "
+              "adding a signal changes which history channels and integrations "
+              "exist — run the variant from scratch"
+            : "the query drops the snapshot's price signal; removing a signal "
+              "changes which history channels and integrations exist — run the "
+              "variant from scratch"));
+  }
+  if (have.carbon_kg_per_kwh.empty() != want.carbon_kg_per_kwh.empty()) {
+    throw std::invalid_argument(GuardError(
+        "signal_presence", "grid.carbon",
+        have.carbon_kg_per_kwh.empty()
+            ? "the query adds a carbon signal the snapshot was run without; "
+              "run the variant from scratch"
+            : "the query drops the snapshot's carbon signal; run the variant "
+              "from scratch"));
   }
   if (!SameDrWindows(have.dr_windows, want.dr_windows)) {
-    throw std::invalid_argument(
-        "Simulation::ForkWithGrid: demand-response windows differ from the "
-        "snapshot; DR caps change the trajectory, not just the accounting");
+    throw std::invalid_argument(GuardError(
+        "dr_windows", "grid.dr_windows",
+        "demand-response windows differ from the snapshot's (" +
+            std::to_string(want.dr_windows.size()) + " vs " +
+            std::to_string(have.dr_windows.size()) +
+            " windows, or an edge/cap changed); DR caps change the trajectory, "
+            "not just the accounting — run the variant from scratch"));
   }
   if (have.slack_s != want.slack_s) {
     throw std::invalid_argument(
-        "Simulation::ForkWithGrid: grid slack differs from the snapshot");
+        GuardError("slack", "grid.slack_s",
+                   "grid slack differs from the snapshot (" +
+                       std::to_string(want.slack_s) + " vs " +
+                       std::to_string(have.slack_s) +
+                       "); slack steers the grid_aware policy family, so it is "
+                       "part of the trajectory"));
   }
   if (have.BoundariesIn(sim_start, sim_end) != want.BoundariesIn(sim_start, sim_end)) {
-    throw std::invalid_argument(
-        "Simulation::ForkWithGrid: signal boundary times differ from the "
-        "snapshot (the event calendar batched spans against the original "
-        "boundaries); only signal values may change");
+    throw std::invalid_argument(GuardError(
+        "boundaries", "grid.price/grid.carbon",
+        "signal boundary times differ from the snapshot's (the event calendar "
+        "batched spans against the original boundaries); only signal values — "
+        "e.g. the \"scale\" field — may change"));
   }
 }
 
@@ -116,6 +179,96 @@ std::unique_ptr<Simulation> Simulation::Fork(const SimStateSnapshot& snap,
   return sim;
 }
 
+std::uint64_t SimStateSnapshot::Fingerprint() const {
+  Fnv64 h;
+  const EngineState& s = state_;
+  h.I64(s.now);
+  h.U64(s.events_this_tick ? 1 : 0);
+  h.U64(s.next_submit);
+  h.U64(s.next_outage_begin);
+  h.U64(s.next_outage_end);
+  h.U64(s.next_grid_event);
+  h.U64(s.counters.submitted);
+  h.U64(s.counters.started);
+  h.U64(s.counters.completed);
+  h.U64(s.counters.dismissed);
+  h.U64(s.counters.prepopulated);
+  h.U64(s.counters.scheduler_invocations);
+  h.U64(s.counters.scheduler_skips);
+  h.U64(s.counters.calendar_steps);
+  h.U64(s.counters.batched_ticks);
+  h.U64(s.counters.grid_events);
+  h.U64(s.queue.size());
+  for (const JobQueue::Handle handle : s.queue.handles()) h.U64(handle);
+  h.U64(s.running.size());
+  for (const JobQueue::Handle handle : s.running) h.U64(handle);
+  // The heap array in storage order: pop ties are part of the state.
+  h.U64(s.completions.size());
+  for (const auto& [end, handle] : s.completions) {
+    h.I64(end);
+    h.U64(handle);
+  }
+  h.U64(s.jobs.size());
+  for (const Job& job : s.jobs) {
+    h.U64(static_cast<std::uint64_t>(job.state));
+    h.I64(job.start);
+    h.I64(job.end);
+    h.U64(job.assigned_nodes.size());
+    for (const int node : job.assigned_nodes) h.I64(node);
+  }
+  for (const double e : s.job_energy_j) h.D(e);
+  h.D(s.grid_cost_usd);
+  h.D(s.grid_co2_kg);
+  h.U64(s.stats.Fingerprint());
+  h.U64(s.stats.records().size());
+  if (s.cooling) h.D(s.cooling->loop_temp_c());
+  h.U64(s.tick_wall_kwh.size());
+  if (!s.tick_wall_kwh.empty()) h.D(s.tick_wall_kwh.back());
+  // Telemetry: sizes + tail sample per channel, not the full arrays — the
+  // job/stats/heap fields above already pin the trajectory, so O(channels)
+  // here keeps Fingerprint cheap on history-heavy runs.
+  const std::vector<std::string> channels = s.recorder.ChannelNames();
+  h.U64(channels.size());
+  for (const std::string& name : channels) {
+    const Channel& ch = s.recorder.Get(name);
+    h.Str(name);
+    h.U64(ch.times.size());
+    if (!ch.times.empty()) {
+      h.I64(ch.times.back());
+      h.D(ch.values.back());
+    }
+  }
+  return h.hash();
+}
+
+std::size_t SimStateSnapshot::ApproxBytes() const {
+  const EngineState& s = state_;
+  std::size_t bytes = sizeof(SimStateSnapshot) + sizeof(EngineState);
+  for (const Job& job : s.jobs) {
+    bytes += sizeof(Job);
+    bytes += job.name.size() + job.user.size() + job.account.size();
+    bytes += TraceBytes(job.cpu_util) + TraceBytes(job.gpu_util) +
+             TraceBytes(job.node_power_w);
+    bytes += (job.recorded_nodes.size() + job.assigned_nodes.size()) * sizeof(int);
+  }
+  bytes += s.queue.size() * sizeof(JobQueue::Handle);
+  bytes += s.submit_order.size() * sizeof(JobQueue::Handle);
+  bytes += s.running.size() * sizeof(JobQueue::Handle);
+  bytes += s.completions.size() * sizeof(std::pair<SimTime, JobQueue::Handle>);
+  bytes += s.job_energy_j.size() * sizeof(double);
+  bytes += s.tick_wall_kwh.size() * sizeof(double);
+  if (s.rm) bytes += static_cast<std::size_t>(s.rm->total_nodes()) * 2;
+  for (const JobRecord& rec : s.stats.records()) {
+    bytes += sizeof(JobRecord) + rec.account.size() + rec.user.size();
+  }
+  for (const std::string& name : s.recorder.ChannelNames()) {
+    const Channel& ch = s.recorder.Get(name);
+    bytes += name.size() + ch.times.size() * sizeof(SimTime) +
+             ch.values.size() * sizeof(double);
+  }
+  return bytes;
+}
+
 std::unique_ptr<Simulation> Simulation::ForkFrom(const SimStateSnapshot& snap) {
   return Fork(snap, nullptr);
 }
@@ -124,15 +277,18 @@ std::unique_ptr<Simulation> Simulation::ForkWithGrid(const SimStateSnapshot& sna
                                                      GridEnvironment grid) {
   if (!snap.has_grid_basis()) {
     throw std::invalid_argument(
-        "Simulation::ForkWithGrid: the snapshot carries no per-tick energy "
-        "basis; run the source with capture_grid_basis = true");
+        GuardError("grid_basis", "capture_grid_basis",
+                   "the snapshot carries no per-tick energy basis; run the "
+                   "source with capture_grid_basis = true"));
   }
   EnsureBuiltinComponents();
   if (PolicyRegistry().Get(snap.spec().policy).needs_grid) {
     throw std::invalid_argument(
-        "Simulation::ForkWithGrid: policy '" + snap.spec().policy +
-        "' reacts to grid signal values, so its trajectory is not invariant "
-        "under re-scaling; run the variant from scratch");
+        GuardError("grid_reactive_policy", "policy",
+                   "policy '" + snap.spec().policy +
+                       "' reacts to grid signal values, so its trajectory is "
+                       "not invariant under re-scaling; run the variant from "
+                       "scratch"));
   }
   RequireGridCompatible(snap.spec().grid, grid, snap.sim_start(), snap.sim_end());
   std::unique_ptr<Simulation> sim = Fork(snap, &grid);

@@ -24,6 +24,8 @@
 // paper's core workflow.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "accounts/accounts.h"
@@ -57,6 +59,21 @@ class SimStateSnapshot {
   /// True when the source run recorded the per-tick energy basis
   /// (ScenarioSpec::capture_grid_basis), i.e. ForkWithGrid is available.
   bool has_grid_basis() const { return engine_options_.capture_grid_basis; }
+
+  /// Stable 64-bit digest of the captured mutable state: the engine clock,
+  /// cursors and counters, every job's realised schedule, the completion
+  /// heap (order included), per-job energy / grid cost / CO2 bit patterns,
+  /// the completion-record digest, and the cooling-loop temperature.  Two
+  /// snapshots of bit-identical state fingerprint equal; advancing the
+  /// source by even one tick changes the fingerprint.  This is the cache
+  /// key / determinism probe of the scenario service (src/serve/).
+  std::uint64_t Fingerprint() const;
+
+  /// Estimated resident size of the snapshot in bytes (job table with
+  /// traces, recorded telemetry, heap/cursor vectors, completion records,
+  /// grid basis).  An O(state) walk of vector sizes — an accounting figure
+  /// for cache eviction budgets, not an allocator-exact measurement.
+  std::size_t ApproxBytes() const;
 
  private:
   friend class Simulation;

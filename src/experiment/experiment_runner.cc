@@ -1,12 +1,11 @@
 #include "experiment/experiment_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "core/simulation.h"
 #include "core/simulation_builder.h"
 #include "dataloaders/dataloader.h"
@@ -140,30 +139,14 @@ std::vector<ScenarioResult> ExperimentRunner::RunAll(const ExperimentOptions& op
     }
   }
 
-  unsigned threads = options.threads != 0 ? options.threads
-                                          : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  if (threads > specs.size()) threads = static_cast<unsigned>(specs.size());
-
   std::vector<ScenarioResult> results(specs.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < specs.size(); i = next.fetch_add(1)) {
-      results[i] = RunOne(std::move(specs[i]), options.output_dir);
-      // Record the *pre-substitution* spec: it still names the dataset, so
-      // the JSON export describes a reproducible run instead of carrying
-      // (unserialisable) injected jobs.
-      results[i].spec = scenarios_[i];
-    }
-  };
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  ParallelIndexFor(specs.size(), options.threads, [&](std::size_t i) {
+    results[i] = RunOne(std::move(specs[i]), options.output_dir);
+    // Record the *pre-substitution* spec: it still names the dataset, so
+    // the JSON export describes a reproducible run instead of carrying
+    // (unserialisable) injected jobs.
+    results[i].spec = scenarios_[i];
+  });
   return results;
 }
 

@@ -1,0 +1,89 @@
+// Minimal HTTP/1.1 server on raw POSIX sockets — just enough protocol for the
+// scenario service: request line + headers + Content-Length bodies, keep-alive
+// connections, one thread per connection.  No third-party dependencies, no
+// TLS, no chunked encoding; clients are curl / python http.client / the
+// bundled loadtest, all of which speak this subset.
+//
+// Lifecycle: construct with a handler, Start() binds (port 0 picks an
+// ephemeral port, readable via port()) and spawns the accept loop, Stop()
+// shuts the listener down, half-closes every open connection so blocked
+// reads return, and waits for all connection threads to finish their
+// in-flight request — a graceful drain, not an abort.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace sraps {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< path only; any ?query is kept verbatim
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers appended verbatim (e.g. {"Retry-After", "1"}).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();  ///< calls Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds `bind_addr:port` (port 0 = ephemeral) and starts accepting.
+  /// Throws std::runtime_error on socket/bind/listen failure.
+  void Start(const std::string& bind_addr, int port);
+
+  /// The bound port (resolves an ephemeral request); 0 before Start().
+  int port() const { return port_; }
+
+  /// Graceful drain: stop accepting, half-close idle connections, wait for
+  /// every in-flight handler to finish and its response to be written.
+  /// Idempotent.
+  void Stop();
+
+  std::size_t connections_accepted() const { return connections_accepted_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Consumes one request from `buf` (reading more off `fd` as needed);
+  /// leftover bytes stay in `buf` for the next pipelined request.  False on
+  /// EOF/error/oversize.
+  bool ReadRequest(int fd, std::string* buf, HttpRequest* req);
+  bool WriteResponse(int fd, const HttpResponse& resp, bool keep_alive);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::atomic<std::size_t> connections_accepted_{0};
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::unordered_set<int> open_fds_;
+  std::size_t active_connections_ = 0;
+};
+
+}  // namespace sraps

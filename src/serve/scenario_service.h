@@ -1,0 +1,163 @@
+// ScenarioService: the long-lived what-if engine behind sraps_serve.
+//
+// The service loads base ScenarioSpecs once, runs each trajectory to the end
+// of its window, and keeps the resulting SimStateSnapshots warm in a
+// byte-budgeted LRU (serve/snapshot_cache.h).  A what-if query names a base
+// and a grid variation — either a full "grid" environment or a "patch" of
+// dotted scenario keys ("grid.price.scale": 2.0) applied through the strict
+// round-trip spec machinery — and is answered by Simulation::ForkWithGrid on
+// a bounded worker pool: one fork prices the captured trajectory under the
+// new tariff with accounting bit-identical to a full re-run.
+//
+// Operational guarantees:
+//   * Coalescing — identical queries in flight share one fork; late
+//     arrivals wait on the same future instead of duplicating work.
+//   * Backpressure — a full worker queue rejects with 503 + Retry-After
+//     instead of queueing unboundedly.
+//   * Determinism — a query's 200 body is a pure function of (base, grid):
+//     byte-identical at any worker count, any arrival order, hit or miss.
+//     Volatile numbers (latency, hit rate, queue depth) live only in /stats.
+//   * Graceful shutdown — Stop() drains queued and in-flight queries to
+//     completion; new queries get 503.
+//
+// The service is transport-free; RouteRequest() adapts it to the bundled
+// HTTP server (GET /healthz, GET /stats, POST /whatif).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/scenario.h"
+#include "core/snapshot.h"
+#include "grid/grid_environment.h"
+#include "serve/http_server.h"
+#include "serve/snapshot_cache.h"
+
+namespace sraps {
+
+struct ServeOptions {
+  unsigned workers = 0;          ///< fork workers; 0 = hardware concurrency
+  std::size_t max_queue = 256;   ///< pending forks before 503 (0 = unbounded)
+  std::size_t cache_bytes = 512ull << 20;  ///< snapshot LRU budget (0 = unbounded)
+  int retry_after_s = 1;         ///< Retry-After hint on 503
+};
+
+/// A transport-independent reply: RouteRequest turns it into an HttpResponse.
+struct ServeReply {
+  int status = 200;
+  std::string body;        ///< JSON, newline-terminated
+  int retry_after_s = 0;   ///< > 0 → emit a Retry-After header
+};
+
+/// Monotonic service counters (exported in /stats, asserted in tests).
+struct ServeCounters {
+  std::size_t queries = 0;        ///< WhatIf calls accepted for parsing
+  std::size_t coalesced = 0;      ///< joined an identical in-flight query
+  std::size_t forks = 0;          ///< ForkWithGrid executions
+  std::size_t simulations = 0;    ///< base trajectory runs (warmup + rebuilds)
+  std::size_t replies_200 = 0;
+  std::size_t replies_400 = 0;
+  std::size_t replies_404 = 0;
+  std::size_t replies_503 = 0;
+};
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServeOptions options = {});
+  ~ScenarioService();  ///< calls Stop()
+
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  /// Registers a base scenario.  capture_grid_basis is forced on (the whole
+  /// point is forking under new grids).  Throws std::invalid_argument on an
+  /// empty/duplicate name or a grid-reactive policy, which could never
+  /// answer a what-if from a warm snapshot.
+  void AddBase(ScenarioSpec spec);
+
+  /// Runs every base trajectory (in parallel) and fills the snapshot cache.
+  /// Optional — a cold base is simulated on first query — but a warmed
+  /// service answers its first query at fork latency.
+  void Warmup();
+
+  /// Answers one what-if request body:
+  ///   {"base": "<name>"}                                  — base metrics
+  ///   {"base": "<name>", "grid": {...}}                   — full environment
+  ///   {"base": "<name>", "patch": {"grid.price.scale": 2}} — dotted keys
+  /// 200 bodies are deterministic (see file comment); errors are 400 with
+  /// the offending guard/key named (ForkWithGrid guard text verbatim), 404
+  /// for an unknown base, 503 under backpressure or draining.
+  ServeReply WhatIf(const std::string& request_json);
+
+  /// {"status": "ok"|"draining", "bases": [...names...]}.
+  std::string HealthJson() const;
+
+  /// Cache stats, counters, queue depth, fork-latency percentiles.
+  std::string StatsJson() const;
+
+  ServeCounters Counters() const;
+  SnapshotCacheStats CacheStats() const { return cache_.Stats(); }
+  std::size_t QueueDepth() const { return pool_.QueueDepth(); }
+  unsigned workers() const { return pool_.thread_count(); }
+
+  /// Drains queued and in-flight queries, then rejects new ones with 503.
+  /// Idempotent.
+  void Stop();
+
+  /// Test hook: every fork sleeps this long first, making coalescing /
+  /// backpressure windows deterministic in tests.  Not for production use.
+  void SetForkDelayForTest(int millis) { fork_delay_ms_ = millis; }
+
+ private:
+  struct Base {
+    std::string name;
+    ScenarioSpec full_spec;   ///< original, jobs_override included — rebuild source
+    ScenarioSpec probe_spec;  ///< jobs stripped — cheap per-query copy for patching
+    std::string json_sans_grid;  ///< canonical spec JSON minus "grid" (patch guard)
+    std::uint64_t cache_key = 0;
+    std::mutex rebuild_mu;    ///< one rebuild per base after eviction
+  };
+  struct Pending {
+    std::promise<ServeReply> promise;
+    std::shared_future<ServeReply> future;
+  };
+
+  std::shared_ptr<const SimStateSnapshot> GetOrBuildSnapshot(Base& base);
+  std::shared_ptr<const SimStateSnapshot> SimulateBase(const Base& base);
+  ServeReply ComputeWhatIf(Base& base, const GridEnvironment& grid,
+                           const std::string& grid_json);
+  void RecordLatencyUs(double us);
+  void CountReply(int status);
+
+  const ServeOptions options_;
+  SnapshotCache cache_;
+  BoundedThreadPool pool_;
+
+  std::vector<std::unique_ptr<Base>> bases_;  ///< insertion order (stable JSON)
+  std::map<std::string, Base*> by_name_;
+
+  mutable std::mutex inflight_mu_;
+  std::map<std::string, std::shared_ptr<Pending>> inflight_;
+
+  mutable std::mutex stats_mu_;
+  ServeCounters counters_;
+  std::deque<double> fork_latency_us_;  ///< bounded sample window
+
+  std::atomic<bool> draining_{false};
+  std::atomic<int> fork_delay_ms_{0};
+};
+
+/// Maps the three endpoints onto a service; anything else is 404 (unknown
+/// path) or 405 (wrong method on a known path).
+HttpResponse RouteRequest(ScenarioService& service, const HttpRequest& req);
+
+}  // namespace sraps

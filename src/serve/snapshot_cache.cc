@@ -1,0 +1,72 @@
+#include "serve/snapshot_cache.h"
+
+#include <utility>
+
+namespace sraps {
+
+JsonValue SnapshotCacheStats::ToJson() const {
+  JsonObject o;
+  o["hits"] = JsonValue(static_cast<std::int64_t>(hits));
+  o["misses"] = JsonValue(static_cast<std::int64_t>(misses));
+  o["inserts"] = JsonValue(static_cast<std::int64_t>(inserts));
+  o["evictions"] = JsonValue(static_cast<std::int64_t>(evictions));
+  o["entries"] = JsonValue(static_cast<std::int64_t>(entries));
+  o["bytes"] = JsonValue(static_cast<std::int64_t>(bytes));
+  o["byte_budget"] = JsonValue(static_cast<std::int64_t>(byte_budget));
+  const std::size_t lookups = hits + misses;
+  o["hit_rate"] = lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  return JsonValue(std::move(o));
+}
+
+std::shared_ptr<const SimStateSnapshot> SnapshotCache::Get(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->snap;
+}
+
+void SnapshotCache::Put(std::uint64_t key,
+                        std::shared_ptr<const SimStateSnapshot> snap) {
+  const std::size_t bytes = snap->ApproxBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.bytes -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(snap), bytes});
+  index_[key] = lru_.begin();
+  stats_.bytes += bytes;
+  ++stats_.inserts;
+  EvictToBudgetLocked();
+  stats_.entries = lru_.size();
+}
+
+SnapshotCacheStats SnapshotCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SnapshotCacheStats s = stats_;
+  s.entries = lru_.size();
+  s.byte_budget = byte_budget_;
+  return s;
+}
+
+void SnapshotCache::EvictToBudgetLocked() {
+  if (byte_budget_ == 0) return;
+  // Never evict the entry just inserted (front): a snapshot bigger than the
+  // whole budget stays resident alone rather than thrashing forever.
+  while (stats_.bytes > byte_budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace sraps

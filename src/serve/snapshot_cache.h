@@ -1,0 +1,77 @@
+// Fingerprint-keyed LRU cache of SimStateSnapshots for the scenario service.
+//
+// The service answers what-if queries by forking a cached snapshot instead of
+// re-running the base trajectory; this cache decides which trajectories stay
+// resident.  Entries are keyed by a 64-bit digest of the base scenario (the
+// service computes it over the canonical spec JSON plus a workload digest) and
+// accounted in bytes via SimStateSnapshot::ApproxBytes().  Inserting past the
+// byte budget evicts least-recently-used entries until the new snapshot fits;
+// an evicted base is rebuilt on the next miss by re-running its trajectory.
+//
+// Snapshots are held as shared_ptr<const SimStateSnapshot>: Get() hands out a
+// reference that stays valid while a fork is in flight even if the entry is
+// evicted concurrently.  All operations are thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/json.h"
+#include "core/snapshot.h"
+
+namespace sraps {
+
+/// Counters exported on the service's /stats endpoint.
+struct SnapshotCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t inserts = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;      ///< resident snapshots right now
+  std::size_t bytes = 0;        ///< ApproxBytes sum of resident snapshots
+  std::size_t byte_budget = 0;  ///< configured ceiling (0 = unbounded)
+
+  /// Deterministic-key-order JSON (hit_rate included, computed).
+  JsonValue ToJson() const;
+};
+
+class SnapshotCache {
+ public:
+  /// `byte_budget` caps the ApproxBytes sum of resident entries; 0 means
+  /// unbounded.  A single snapshot larger than the whole budget is still
+  /// admitted (evicting everything else) — refusing it would make its base
+  /// permanently cold, which defeats the cache's purpose.
+  explicit SnapshotCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  /// Returns the cached snapshot and marks it most-recently-used, or nullptr
+  /// on a miss.  Counts a hit or miss.
+  std::shared_ptr<const SimStateSnapshot> Get(std::uint64_t key);
+
+  /// Inserts (or replaces) `snap` under `key`, then evicts LRU entries until
+  /// the byte budget holds again.  The returned pointer is the resident
+  /// entry; in-flight readers of evicted snapshots keep their references.
+  void Put(std::uint64_t key, std::shared_ptr<const SimStateSnapshot> snap);
+
+  SnapshotCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const SimStateSnapshot> snap;
+    std::size_t bytes = 0;
+  };
+
+  void EvictToBudgetLocked();
+
+  const std::size_t byte_budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  SnapshotCacheStats stats_;
+};
+
+}  // namespace sraps

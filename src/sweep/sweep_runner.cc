@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -10,11 +9,11 @@
 #include <fstream>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "common/csv.h"
 #include "common/mathutil.h"
+#include "common/thread_pool.h"
 #include "core/simulation.h"
 #include "core/simulation_builder.h"
 #include "core/snapshot.h"
@@ -354,7 +353,6 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
   summary.total = total;
   summary.shard_paths.resize(spill ? num_shards : 0);
   std::mutex mu;
-  std::atomic<std::size_t> next{0};
 
   auto format_row = [&](const SweepRow& row) {
     std::vector<std::string> cells;
@@ -528,28 +526,13 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
   summary.simulated_trajectories = work_units;
   summary.forked_scenarios = sharing ? total - plan.groups.size() : 0;
 
-  auto worker = [&]() {
-    for (std::size_t u = next.fetch_add(1); u < work_units; u = next.fetch_add(1)) {
-      if (sharing) {
-        for (SweepRow& row : run_group(plan.groups[u])) fold_row(std::move(row));
-      } else {
-        fold_row(run_one(u));
-      }
+  ParallelIndexFor(work_units, options.threads, [&](std::size_t u) {
+    if (sharing) {
+      for (SweepRow& row : run_group(plan.groups[u])) fold_row(std::move(row));
+    } else {
+      fold_row(run_one(u));
     }
-  };
-
-  unsigned threads = options.threads != 0 ? options.threads
-                                          : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  if (threads > work_units) threads = static_cast<unsigned>(work_units);
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  });
 
   if (!io_error.empty()) {
     throw std::runtime_error("SweepRunner '" + spec_.name +

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Closed-loop load test for sraps_serve (stdlib only).
+
+Opens N keep-alive connections, each driving POST /whatif queries back to
+back against a warm snapshot cache, and reports throughput and latency
+percentiles.  Exits non-zero when any query fails or when throughput falls
+below the target, so CI can gate on it:
+
+    # full target: >= 1000 queries/s sustained
+    python3 tools/serve_loadtest.py --port 8080
+
+    # CI smoke: shorter run, scaled-down target (see --quick)
+    python3 tools/serve_loadtest.py --port 8080 --quick
+
+    # byte-identity probe: same query on two fresh connections must match
+    python3 tools/serve_loadtest.py --port 8080 --check-determinism
+
+The full-mode throughput floor is --target (default 1000 qps, the repo's
+bench-baseline figure for serve_forks_per_sec).  --quick runs fewer
+connections for less time and asserts QUICK_TARGET_RATIO of the same
+target, keeping the ratio to the 1000 qps acceptance figure explicit.
+"""
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+
+# --quick asserts this fraction of --target: smoke runners are small and
+# shared, but a warm cache should still clear a quarter of the full floor.
+QUICK_TARGET_RATIO = 0.25
+
+
+def pick_base(host, port):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    conn.request("GET", "/healthz")
+    resp = conn.getresponse()
+    health = json.loads(resp.read())
+    conn.close()
+    if resp.status != 200 or not health.get("bases"):
+        raise SystemExit(f"healthz says no bases are loaded: {health}")
+    return health["bases"][0]
+
+
+def query_bodies(base, plain):
+    if plain:
+        return [json.dumps({"base": base})]
+    scales = [0.5, 0.8, 1.0, 1.25, 2.0]
+    return [
+        json.dumps({"base": base, "patch": {"grid.price.scale": s}})
+        for s in scales
+    ]
+
+
+def worker(host, port, bodies, deadline, out):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    latencies, statuses = [], {}
+    i = 0
+    while time.monotonic() < deadline:
+        body = bodies[i % len(bodies)]
+        i += 1
+        t0 = time.monotonic()
+        conn.request("POST", "/whatif", body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        resp.read()
+        latencies.append((time.monotonic() - t0) * 1000.0)
+        statuses[resp.status] = statuses.get(resp.status, 0) + 1
+    conn.close()
+    out.append((latencies, statuses))
+
+
+def run_load(args):
+    base = args.base or pick_base(args.host, args.port)
+    bodies = query_bodies(base, args.plain)
+    results = []
+    deadline = time.monotonic() + args.duration
+    t_start = time.monotonic()
+    threads = [
+        threading.Thread(target=worker,
+                         args=(args.host, args.port, bodies, deadline, results))
+        for _ in range(args.connections)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - t_start
+
+    latencies = [l for lat, _ in results for l in lat]
+    statuses = {}
+    for _, st in results:
+        for code, n in st.items():
+            statuses[code] = statuses.get(code, 0) + n
+    total = sum(statuses.values())
+    qps = total / elapsed if elapsed > 0 else 0.0
+    target = args.target * (QUICK_TARGET_RATIO if args.quick else 1.0)
+
+    summary = {
+        "base": base,
+        "connections": args.connections,
+        "duration_s": round(elapsed, 3),
+        "queries": total,
+        "queries_per_s": round(qps, 1),
+        "target_queries_per_s": target,
+        "quick_target_ratio": QUICK_TARGET_RATIO if args.quick else 1.0,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+    }
+    if latencies:
+        latencies.sort()
+        summary["latency_ms"] = {
+            "p50": round(statistics.median(latencies), 3),
+            "p99": round(latencies[int(0.99 * (len(latencies) - 1))], 3),
+            "max": round(latencies[-1], 3),
+        }
+    print(json.dumps(summary, indent=2))
+
+    failures = {k: v for k, v in statuses.items() if k != 200}
+    if failures:
+        print(f"FAIL: non-200 responses: {failures}", file=sys.stderr)
+        return 1
+    if total == 0:
+        print("FAIL: no queries completed", file=sys.stderr)
+        return 1
+    if qps < target:
+        print(
+            f"FAIL: {qps:.1f} queries/s is below the target of {target:.1f} "
+            f"({args.target} x {summary['quick_target_ratio']})",
+            file=sys.stderr)
+        return 1
+    print(f"PASS: {qps:.1f} queries/s >= {target:.1f}")
+    return 0
+
+
+def check_determinism(args):
+    """The issue's byte-identity guarantee, probed end to end: the same query
+    sent over two fresh connections must return byte-identical bodies."""
+    base = args.base or pick_base(args.host, args.port)
+    failures = 0
+    for body in query_bodies(base, args.plain) + [json.dumps({"base": base})]:
+        replies = []
+        for _ in range(2):
+            conn = http.client.HTTPConnection(args.host, args.port, timeout=30)
+            conn.request("POST", "/whatif", body=body,
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            replies.append((resp.status, resp.read()))
+            conn.close()
+        if replies[0] != replies[1]:
+            print(f"FAIL: non-deterministic reply for {body}", file=sys.stderr)
+            failures += 1
+        elif replies[0][0] != 200:
+            print(f"FAIL: status {replies[0][0]} for {body}", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 3
+    print("PASS: all queries returned byte-identical bodies across connections")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8080)
+    ap.add_argument("--base", default=None,
+                    help="base scenario name (default: first from /healthz)")
+    ap.add_argument("--connections", type=int, default=8)
+    ap.add_argument("--duration", type=float, default=10.0, help="seconds")
+    ap.add_argument("--target", type=float, default=1000.0,
+                    help="queries/s floor in full mode")
+    ap.add_argument("--quick", action="store_true",
+                    help=f"3 s x 4 connections, asserting "
+                         f"{QUICK_TARGET_RATIO} of --target")
+    ap.add_argument("--plain", action="store_true",
+                    help="query the base unmodified instead of scale patches")
+    ap.add_argument("--check-determinism", action="store_true",
+                    help="byte-compare identical queries instead of load")
+    args = ap.parse_args()
+    if args.quick:
+        args.connections = 4
+        args.duration = 3.0
+    if args.check_determinism:
+        sys.exit(check_determinism(args))
+    sys.exit(run_load(args))
+
+
+if __name__ == "__main__":
+    main()
