@@ -59,7 +59,8 @@ std::vector<Job> SparseWorkloadFor(const SystemConfig& config, SimDuration span)
 void RunEngineBench(benchmark::State& state, const SystemConfig& config,
                     const std::vector<Job>& jobs, SimDuration span,
                     bool event_calendar, bool record_history,
-                    const GridEnvironment* grid = nullptr) {
+                    const GridEnvironment* grid = nullptr,
+                    const char* policy = "fcfs") {
   double sim_seconds = 0;
   for (auto _ : state) {
     EngineOptions eo;
@@ -68,7 +69,7 @@ void RunEngineBench(benchmark::State& state, const SystemConfig& config,
     eo.record_history = record_history;
     eo.event_calendar = event_calendar;
     if (grid) eo.grid = *grid;
-    SimulationEngine engine(config, jobs, MakeBuiltinScheduler("fcfs", "easy"), eo);
+    SimulationEngine engine(config, jobs, MakeBuiltinScheduler(policy, "easy"), eo);
     engine.Run();
     sim_seconds += static_cast<double>(span);
     benchmark::DoNotOptimize(engine.counters().completed);
@@ -136,6 +137,33 @@ void BM_EngineGridSignals(benchmark::State& state) {
   }
   RunEngineBench(state, config, jobs, span, state.range(1) != 0,
                  /*record_history=*/false, &grid);
+}
+
+void BM_EnginePowerStates(benchmark::State& state) {
+  // P-state-heavy grid: the power-state policy family on the mini system
+  // (both classes ship DVFS ladders and C/S sleep states).  range(0) picks
+  // the policy — 0 = race_to_idle over the sparse 14-day workload (sleep/
+  // wake churn dominates), 1 = pace_to_cap over the dense 6 h workload under
+  // an evening DR schedule (rung walking dominates).  range(1): engine mode.
+  // Power planning forces single-tick spans around every demand change, so
+  // this grid guards the cost of the per-node power-state bookkeeping.
+  const SystemConfig config = MakeSystemConfig("mini");
+  const bool pace = state.range(0) != 0;
+  const SimDuration span = pace ? 6 * kHour : 14 * kDay;
+  const auto jobs =
+      pace ? WorkloadFor(config, span, 40) : SparseWorkloadFor(config, span);
+  GridEnvironment grid;
+  const double peak_w = config.PeakItPowerW();
+  for (SimTime day = 0; day * kDay + 21 * kHour <= span; ++day) {
+    grid.dr_windows.push_back(
+        {day * kDay + 18 * kHour, day * kDay + 21 * kHour, peak_w * 0.6});
+  }
+  if (grid.dr_windows.empty()) {
+    grid.dr_windows.push_back({2 * kHour, 4 * kHour, peak_w * 0.6});
+  }
+  RunEngineBench(state, config, jobs, span, state.range(1) != 0,
+                 /*record_history=*/false, &grid,
+                 pace ? "pace_to_cap" : "race_to_idle");
 }
 
 void BM_SchedulerInvocation(benchmark::State& state) {
@@ -206,6 +234,10 @@ BENCHMARK(BM_EngineSparseNoHistory)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineGridSignals)
     ->ArgNames({"sparse", "event"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EnginePowerStates)
+    ->ArgNames({"pace", "event"})
     ->ArgsProduct({{0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SchedulerInvocation)->Arg(100)->Arg(1000)->Arg(5000)

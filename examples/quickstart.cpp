@@ -71,9 +71,48 @@ int main() {
                         .Build();
   whatif_sim->Run();
 
+  // 3. Power-state what-if: the same workload on a heterogeneous system
+  // declared through the builder — a CPU partition that can nap (C-state)
+  // and a GPU partition with a DVFS ladder and deep sleep — scheduled with
+  // race_to_idle (run flat out, put free nodes to sleep).
+  MachineClassSpec cpu;
+  cpu.name = "cpu";
+  cpu.num_nodes = 12;
+  cpu.cores_per_node = 16;
+  cpu.c_state = {true, 40.0, 30};
+  MachineClassSpec gpu;
+  gpu.name = "gpu";
+  gpu.num_nodes = 4;
+  gpu.cores_per_node = 16;
+  gpu.node_power.gpus_per_node = 4;
+  gpu.node_power.gpu_max_w = 300.0;
+  gpu.s_state = {true, 12.0, 300};
+  auto race_sim = SimulationBuilder()
+                      .WithName("race-to-idle")
+                      .WithSystem("mini")
+                      .WithJobs(jobs)
+                      .WithMachineClass(cpu)
+                      .WithMachineClass(gpu)
+                      .WithPStateLadder("gpu", {{1.0, 1.0}, {0.8, 0.7}, {0.6, 0.45}})
+                      .WithPolicy("race_to_idle")
+                      .WithBackfill("easy")
+                      .Build();
+  race_sim->Run();
+
   std::printf("policy       | completed | power          | utilization | waits\n");
   Report("replay", *replay_sim);
   Report("fcfs-easy", *whatif_sim);
+  Report("race-idle", *race_sim);
+
+  const auto& race_eng = race_sim->engine();
+  std::printf("\nrace_to_idle slept nodes %zu times; per-class energy:",
+              race_eng.counters().nodes_slept);
+  const auto& classes = race_eng.config().machines;
+  const auto& energy = race_eng.class_energy_j();
+  for (size_t i = 0; i < classes.size() && i < energy.size(); ++i) {
+    std::printf(" %s %.1f kWh", classes[i].name.c_str(), energy[i] / 3.6e6);
+  }
+  std::printf("\n");
 
   const double dwait = replay_sim->engine().stats().AvgWaitSeconds() -
                        whatif_sim->engine().stats().AvgWaitSeconds();

@@ -73,6 +73,8 @@ void Usage() {
       "  --grid FILE          GridEnvironment JSON (price/carbon signals,\n"
       "                       demand-response cap windows, grid_aware slack)\n"
       "  --grid-csv FILE      load a time,value CSV as the $/kWh price signal\n"
+      "  --machines FILE      machine-class JSON array (replaces the system's\n"
+      "                       classes: node counts, P-state ladders, C/S states)\n"
       "  --validate           compare the realised schedule to the recorded one\n"
       "  --report             also write a self-contained report.html\n"
       "  -o, --output DIR     write history.csv/stats.out/job_history.csv"
@@ -278,6 +280,22 @@ int main(int argc, char** argv) {
         opts.grid = GridEnvironment::FromJson(JsonValue::Parse(text.str()));
       } catch (const std::exception& e) {
         std::fprintf(stderr, "bad grid file '%s': %s\n", v.c_str(), e.what());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--machines")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        std::ifstream in(v);
+        if (!in) throw std::runtime_error("cannot open '" + v + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        opts.machines.clear();
+        const JsonValue parsed = JsonValue::Parse(text.str());
+        for (const JsonValue& m : parsed.AsArray()) {
+          opts.machines.push_back(MachineClassSpec::FromJson(m));
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad machines file '%s': %s\n", v.c_str(), e.what());
         return 2;
       }
     } else if (!std::strcmp(a, "--grid-csv")) {

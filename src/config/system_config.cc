@@ -1,8 +1,25 @@
 #include "config/system_config.h"
 
+#include <cmath>
+#include <set>
 #include <stdexcept>
 
 namespace sraps {
+
+namespace {
+
+/// Strict-parse helper: every key consumed must be registered here first.
+void RejectUnknownKeys(const JsonValue& v, const std::set<std::string>& known,
+                       const std::string& what) {
+  for (const auto& [key, value] : v.AsObject()) {
+    (void)value;
+    if (!known.count(key)) {
+      throw std::invalid_argument(what + ": unknown key '" + key + "'");
+    }
+  }
+}
+
+}  // namespace
 
 double NodePowerSpec::PeakW() const {
   return idle_w + cpus_per_node * cpu_max_w + gpus_per_node * gpu_max_w + mem_w + nic_w;
@@ -12,37 +29,316 @@ double NodePowerSpec::IdleW() const {
   return idle_w + cpus_per_node * cpu_idle_w + gpus_per_node * gpu_idle_w + mem_w + nic_w;
 }
 
+JsonValue NodePowerSpec::ToJson() const {
+  JsonObject o;
+  o["idle_w"] = idle_w;
+  o["cpu_idle_w"] = cpu_idle_w;
+  o["cpu_max_w"] = cpu_max_w;
+  o["gpu_idle_w"] = gpu_idle_w;
+  o["gpu_max_w"] = gpu_max_w;
+  o["mem_w"] = mem_w;
+  o["nic_w"] = nic_w;
+  o["cpus_per_node"] = cpus_per_node;
+  o["gpus_per_node"] = gpus_per_node;
+  return JsonValue(std::move(o));
+}
+
+NodePowerSpec NodePowerSpec::FromJson(const JsonValue& v) {
+  RejectUnknownKeys(v,
+                    {"idle_w", "cpu_idle_w", "cpu_max_w", "gpu_idle_w",
+                     "gpu_max_w", "mem_w", "nic_w", "cpus_per_node",
+                     "gpus_per_node"},
+                    "NodePowerSpec");
+  NodePowerSpec s;
+  s.idle_w = v.GetDouble("idle_w", s.idle_w);
+  s.cpu_idle_w = v.GetDouble("cpu_idle_w", s.cpu_idle_w);
+  s.cpu_max_w = v.GetDouble("cpu_max_w", s.cpu_max_w);
+  s.gpu_idle_w = v.GetDouble("gpu_idle_w", s.gpu_idle_w);
+  s.gpu_max_w = v.GetDouble("gpu_max_w", s.gpu_max_w);
+  s.mem_w = v.GetDouble("mem_w", s.mem_w);
+  s.nic_w = v.GetDouble("nic_w", s.nic_w);
+  s.cpus_per_node = static_cast<int>(v.GetInt("cpus_per_node", s.cpus_per_node));
+  s.gpus_per_node = static_cast<int>(v.GetInt("gpus_per_node", s.gpus_per_node));
+  return s;
+}
+
+int MachineClassSpec::NumPStates() const {
+  return pstates.empty() ? 1 : static_cast<int>(pstates.size());
+}
+
+PState MachineClassSpec::PStateAt(int p) const {
+  if (p == 0) return PState{};  // P0 is always full clock, full power
+  if (p < 0 || p >= NumPStates()) {
+    throw std::out_of_range("MachineClassSpec '" + name + "': P-state " +
+                            std::to_string(p) + " outside ladder of depth " +
+                            std::to_string(NumPStates()));
+  }
+  return pstates[static_cast<std::size_t>(p)];
+}
+
+bool MachineClassSpec::HasPowerStates() const {
+  return NumPStates() > 1 || c_state.enabled || s_state.enabled;
+}
+
+double MachineClassSpec::ScaledBusyPowerW(int p, double busy_w) const {
+  if (p == 0) return busy_w;  // exact legacy path, no FP perturbation
+  const PState ps = PStateAt(p);
+  const double idle = node_power.IdleW();
+  return idle + ps.power_scale * (busy_w - idle);
+}
+
+double MachineClassSpec::SleepPowerW(bool deep) const {
+  const SleepStateSpec& s = deep ? s_state : c_state;
+  if (!s.enabled) {
+    throw std::logic_error("MachineClassSpec '" + name + "': " +
+                           (deep ? std::string("S") : std::string("C")) +
+                           "-state is not enabled");
+  }
+  return s.power_w;
+}
+
+SimDuration MachineClassSpec::WakeLatencyS(bool deep) const {
+  const SleepStateSpec& s = deep ? s_state : c_state;
+  if (!s.enabled) {
+    throw std::logic_error("MachineClassSpec '" + name + "': " +
+                           (deep ? std::string("S") : std::string("C")) +
+                           "-state is not enabled");
+  }
+  return s.wake_latency_s;
+}
+
+namespace {
+
+JsonValue SleepToJson(const SleepStateSpec& s) {
+  JsonObject o;
+  o["power_w"] = s.power_w;
+  o["wake_latency_s"] = static_cast<std::int64_t>(s.wake_latency_s);
+  return JsonValue(std::move(o));
+}
+
+SleepStateSpec SleepFromJson(const JsonValue& v, const char* what) {
+  RejectUnknownKeys(v, {"power_w", "wake_latency_s"}, what);
+  SleepStateSpec s;
+  s.enabled = true;  // presence of the block means the state exists
+  s.power_w = v.GetDouble("power_w", 0.0);
+  s.wake_latency_s = v.GetInt("wake_latency_s", 0);
+  return s;
+}
+
+}  // namespace
+
+JsonValue MachineClassSpec::ToJson() const {
+  JsonObject o;
+  o["name"] = name;
+  o["nodes"] = num_nodes;
+  o["cores"] = cores_per_node;
+  o["memory_gb"] = memory_gb;
+  o["power"] = node_power.ToJson();
+  if (!pstates.empty()) {
+    JsonArray ladder;
+    for (const PState& p : pstates) {
+      JsonObject rung;
+      rung["freq_scale"] = p.freq_scale;
+      rung["power_scale"] = p.power_scale;
+      ladder.push_back(JsonValue(std::move(rung)));
+    }
+    o["pstates"] = JsonValue(std::move(ladder));
+  }
+  if (c_state.enabled) o["c_state"] = SleepToJson(c_state);
+  if (s_state.enabled) o["s_state"] = SleepToJson(s_state);
+  return JsonValue(std::move(o));
+}
+
+MachineClassSpec MachineClassSpec::FromJson(const JsonValue& v) {
+  RejectUnknownKeys(v,
+                    {"name", "nodes", "cores", "memory_gb", "power", "pstates",
+                     "c_state", "s_state"},
+                    "machines entry");
+  MachineClassSpec c;
+  c.name = v.At("name").AsString();
+  c.num_nodes = static_cast<int>(v.GetInt("nodes", 0));
+  c.cores_per_node = static_cast<int>(v.GetInt("cores", 1));
+  c.memory_gb = v.GetDouble("memory_gb", 0.0);
+  const JsonObject& obj = v.AsObject();
+  if (obj.count("power")) c.node_power = NodePowerSpec::FromJson(v.At("power"));
+  if (obj.count("pstates")) {
+    for (const JsonValue& rung : v.At("pstates").AsArray()) {
+      RejectUnknownKeys(rung, {"freq_scale", "power_scale"}, "pstates rung");
+      PState p;
+      p.freq_scale = rung.GetDouble("freq_scale", 1.0);
+      p.power_scale = rung.GetDouble("power_scale", 1.0);
+      c.pstates.push_back(p);
+    }
+  }
+  if (obj.count("c_state")) c.c_state = SleepFromJson(v.At("c_state"), "c_state");
+  if (obj.count("s_state")) c.s_state = SleepFromJson(v.At("s_state"), "s_state");
+  return c;
+}
+
+void ValidateMachineClass(const MachineClassSpec& cls,
+                          const std::string& context) {
+  const std::string where = context + " machine class '" + cls.name + "'";
+  if (cls.name.empty()) {
+    throw std::invalid_argument(context +
+                                ": machine class needs a non-empty name");
+  }
+  if (cls.num_nodes < 0) {
+    throw std::invalid_argument(where + ": nodes must be >= 0, got " +
+                                std::to_string(cls.num_nodes));
+  }
+  if (cls.cores_per_node < 1) {
+    throw std::invalid_argument(where + ": cores must be >= 1, got " +
+                                std::to_string(cls.cores_per_node));
+  }
+  if (cls.memory_gb < 0.0) {
+    throw std::invalid_argument(where + ": memory_gb must be >= 0");
+  }
+  const NodePowerSpec& np = cls.node_power;
+  for (const auto& [label, value] :
+       {std::pair<const char*, double>{"idle_w", np.idle_w},
+        {"cpu_idle_w", np.cpu_idle_w},
+        {"gpu_idle_w", np.gpu_idle_w},
+        {"mem_w", np.mem_w},
+        {"nic_w", np.nic_w}}) {
+    if (value < 0.0 || !std::isfinite(value)) {
+      throw std::invalid_argument(where + ": power." + label +
+                                  " must be finite and >= 0");
+    }
+  }
+  if (np.cpu_max_w < np.cpu_idle_w || np.gpu_max_w < np.gpu_idle_w) {
+    throw std::invalid_argument(
+        where + ": max component power must be >= its idle power");
+  }
+  if (np.cpus_per_node < 0 || np.gpus_per_node < 0) {
+    throw std::invalid_argument(where +
+                                ": cpus/gpus per node must be >= 0");
+  }
+  if (!cls.pstates.empty()) {
+    const PState& p0 = cls.pstates.front();
+    if (p0.freq_scale != 1.0 || p0.power_scale != 1.0) {
+      throw std::invalid_argument(
+          where + ": pstates[0] must be exactly {freq_scale: 1.0, "
+                  "power_scale: 1.0} — P0 is the full-speed legacy model");
+    }
+    for (std::size_t i = 0; i < cls.pstates.size(); ++i) {
+      const PState& p = cls.pstates[i];
+      if (!(p.freq_scale > 0.0 && p.freq_scale <= 1.0) ||
+          !(p.power_scale > 0.0 && p.power_scale <= 1.0)) {
+        throw std::invalid_argument(
+            where + ": pstates[" + std::to_string(i) +
+            "] scales must lie in (0, 1]; deeper rungs slow down, they "
+            "never speed up");
+      }
+      if (i > 0) {
+        const PState& prev = cls.pstates[i - 1];
+        if (p.freq_scale >= prev.freq_scale ||
+            p.power_scale >= prev.power_scale) {
+          throw std::invalid_argument(
+              where + ": pstates[" + std::to_string(i) +
+              "] must strictly decrease both freq_scale and power_scale "
+              "relative to pstates[" + std::to_string(i - 1) +
+              "] (a rung that saves no power or costs no speed is "
+              "redundant)");
+        }
+      }
+    }
+  }
+  for (const auto& [label, state] :
+       {std::pair<const char*, const SleepStateSpec*>{"c_state", &cls.c_state},
+        {"s_state", &cls.s_state}}) {
+    if (!state->enabled) continue;
+    if (state->power_w < 0.0 || !std::isfinite(state->power_w)) {
+      throw std::invalid_argument(where + ": " + label +
+                                  ".power_w must be finite and >= 0");
+    }
+    if (state->power_w > np.IdleW()) {
+      throw std::invalid_argument(
+          where + ": " + label + ".power_w (" +
+          std::to_string(state->power_w) +
+          " W) exceeds the active idle draw (" + std::to_string(np.IdleW()) +
+          " W); sleeping must not cost more than idling");
+    }
+    if (state->wake_latency_s < 0) {
+      throw std::invalid_argument(where + ": " + label +
+                                  ".wake_latency_s must be >= 0");
+    }
+  }
+  if (cls.c_state.enabled && cls.s_state.enabled) {
+    if (cls.s_state.power_w > cls.c_state.power_w) {
+      throw std::invalid_argument(
+          where + ": s_state.power_w must be <= c_state.power_w (deep sleep "
+                  "draws less than shallow idle)");
+    }
+    if (cls.s_state.wake_latency_s < cls.c_state.wake_latency_s) {
+      throw std::invalid_argument(
+          where + ": s_state.wake_latency_s must be >= c_state"
+                  ".wake_latency_s (deep sleep wakes slower)");
+    }
+  }
+}
+
 int SystemConfig::TotalNodes() const {
   int n = 0;
-  for (const auto& p : partitions) n += p.num_nodes;
+  for (const auto& m : machines) n += m.num_nodes;
   return n;
 }
 
 double SystemConfig::PeakItPowerW() const {
   double w = 0.0;
-  for (const auto& p : partitions) w += p.num_nodes * p.node_power.PeakW();
+  for (const auto& m : machines) w += m.num_nodes * m.node_power.PeakW();
   return w;
 }
 
 double SystemConfig::IdleItPowerW() const {
   double w = 0.0;
-  for (const auto& p : partitions) w += p.num_nodes * p.node_power.IdleW();
+  for (const auto& m : machines) w += m.num_nodes * m.node_power.IdleW();
   return w;
 }
 
 const NodePowerSpec& SystemConfig::NodeSpec(int node_id) const {
-  return partitions[PartitionOf(node_id)].node_power;
+  return machines[ClassOf(node_id)].node_power;
 }
 
-std::size_t SystemConfig::PartitionOf(int node_id) const {
+std::size_t SystemConfig::ClassOf(int node_id) const {
   if (node_id < 0) throw std::out_of_range("SystemConfig: negative node id");
   int base = 0;
-  for (std::size_t i = 0; i < partitions.size(); ++i) {
-    base += partitions[i].num_nodes;
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    base += machines[i].num_nodes;
     if (node_id < base) return i;
   }
   throw std::out_of_range("SystemConfig: node id " + std::to_string(node_id) +
                           " >= " + std::to_string(base));
+}
+
+const MachineClassSpec& SystemConfig::MachineClassOf(int node_id) const {
+  return machines[ClassOf(node_id)];
+}
+
+const MachineClassSpec* SystemConfig::FindClass(const std::string& name) const {
+  for (const auto& m : machines) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MachineClassSpec* SystemConfig::FindClass(const std::string& name) {
+  for (auto& m : machines) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+int SystemConfig::MaxPStates() const {
+  int depth = 1;
+  for (const auto& m : machines) depth = std::max(depth, m.NumPStates());
+  return depth;
+}
+
+bool SystemConfig::HasPowerStates() const {
+  for (const auto& m : machines) {
+    if (m.HasPowerStates()) return true;
+  }
+  return false;
 }
 
 namespace {
@@ -54,9 +350,11 @@ SystemConfig Frontier() {
   c.name = "frontier";
   c.architecture = "HPE/Cray EX";
   c.scheduler_name = "Slurm";
-  Partition p;
+  MachineClassSpec p;
   p.name = "batch";
   p.num_nodes = 9600;
+  p.cores_per_node = 64;
+  p.memory_gb = 512.0;
   p.node_power.idle_w = 210.0;
   p.node_power.cpu_idle_w = 60.0;
   p.node_power.cpu_max_w = 280.0;
@@ -66,7 +364,12 @@ SystemConfig Frontier() {
   p.node_power.nic_w = 40.0;
   p.node_power.cpus_per_node = 1;
   p.node_power.gpus_per_node = 4;  // 4x MI250X (8 GCDs)
-  c.partitions.push_back(p);
+  // EPYC/MI250X DVFS ladder: nodes can shed ~half their dynamic draw at
+  // ~70% clock.  P0 is the exact legacy model.
+  p.pstates = {{1.0, 1.0}, {0.85, 0.72}, {0.7, 0.5}};
+  p.c_state = {true, 90.0, 60};
+  p.s_state = {true, 15.0, 600};
+  c.machines.push_back(p);
   c.conversion.idle_loss_w = 1500.0;
   c.conversion.linear_coeff = 0.028;
   c.conversion.quadratic_coeff = 3.0e-8;
@@ -94,9 +397,11 @@ SystemConfig Marconi100() {
   c.name = "marconi100";
   c.architecture = "IBM POWER9";
   c.scheduler_name = "Slurm";
-  Partition p;
+  MachineClassSpec p;
   p.name = "batch";
   p.num_nodes = 980;
+  p.cores_per_node = 32;
+  p.memory_gb = 256.0;
   p.node_power.idle_w = 240.0;
   p.node_power.cpu_idle_w = 70.0;
   p.node_power.cpu_max_w = 300.0;
@@ -106,7 +411,7 @@ SystemConfig Marconi100() {
   p.node_power.nic_w = 30.0;
   p.node_power.cpus_per_node = 2;
   p.node_power.gpus_per_node = 4;
-  c.partitions.push_back(p);
+  c.machines.push_back(p);
   c.conversion.idle_loss_w = 1800.0;
   c.conversion.linear_coeff = 0.035;
   c.conversion.quadratic_coeff = 5.0e-8;
@@ -123,9 +428,11 @@ SystemConfig Fugaku() {
   c.name = "fugaku";
   c.architecture = "Fujitsu A64FX";
   c.scheduler_name = "Fujitsu TCS";
-  Partition p;
+  MachineClassSpec p;
   p.name = "batch";
   p.num_nodes = 158976;
+  p.cores_per_node = 48;
+  p.memory_gb = 32.0;
   p.node_power.idle_w = 60.0;
   p.node_power.cpu_idle_w = 25.0;
   p.node_power.cpu_max_w = 165.0;  // A64FX package
@@ -135,7 +442,7 @@ SystemConfig Fugaku() {
   p.node_power.nic_w = 8.0;   // TofuD share
   p.node_power.cpus_per_node = 1;
   p.node_power.gpus_per_node = 0;
-  c.partitions.push_back(p);
+  c.machines.push_back(p);
   c.conversion.idle_loss_w = 800.0;
   c.conversion.linear_coeff = 0.03;
   c.conversion.quadratic_coeff = 2.0e-8;
@@ -152,9 +459,11 @@ SystemConfig Lassen() {
   c.name = "lassen";
   c.architecture = "IBM POWER9";
   c.scheduler_name = "LSF";
-  Partition p;
+  MachineClassSpec p;
   p.name = "batch";
   p.num_nodes = 792;
+  p.cores_per_node = 44;
+  p.memory_gb = 256.0;
   p.node_power.idle_w = 240.0;
   p.node_power.cpu_idle_w = 70.0;
   p.node_power.cpu_max_w = 300.0;
@@ -164,7 +473,7 @@ SystemConfig Lassen() {
   p.node_power.nic_w = 35.0;
   p.node_power.cpus_per_node = 2;
   p.node_power.gpus_per_node = 4;
-  c.partitions.push_back(p);
+  c.machines.push_back(p);
   c.conversion.idle_loss_w = 1700.0;
   c.conversion.linear_coeff = 0.034;
   c.conversion.quadratic_coeff = 5.0e-8;
@@ -181,9 +490,11 @@ SystemConfig Adastra() {
   c.name = "adastraMI250";
   c.architecture = "HPE/Cray EX";
   c.scheduler_name = "Slurm";
-  Partition p;
+  MachineClassSpec p;
   p.name = "mi250";
   p.num_nodes = 356;
+  p.cores_per_node = 64;
+  p.memory_gb = 256.0;
   p.node_power.idle_w = 210.0;
   p.node_power.cpu_idle_w = 60.0;
   p.node_power.cpu_max_w = 280.0;
@@ -193,7 +504,7 @@ SystemConfig Adastra() {
   p.node_power.nic_w = 40.0;
   p.node_power.cpus_per_node = 1;
   p.node_power.gpus_per_node = 4;
-  c.partitions.push_back(p);
+  c.machines.push_back(p);
   c.conversion.idle_loss_w = 1500.0;
   c.conversion.linear_coeff = 0.028;
   c.conversion.quadratic_coeff = 3.0e-8;
@@ -204,16 +515,20 @@ SystemConfig Adastra() {
   return c;
 }
 
-// A deliberately small two-partition machine for tests and the quickstart
-// example: fast to simulate, exercises the multi-partition code paths.
+// A deliberately small two-class machine for tests and the quickstart
+// example: fast to simulate, exercises the multi-class code paths.  Both
+// classes ship a P-state ladder and C/S sleep states so power-state
+// policies have something to work with out of the box.
 SystemConfig Mini() {
   SystemConfig c;
   c.name = "mini";
   c.architecture = "TestBox";
   c.scheduler_name = "builtin";
-  Partition cpu;
+  MachineClassSpec cpu;
   cpu.name = "cpu";
   cpu.num_nodes = 8;
+  cpu.cores_per_node = 16;
+  cpu.memory_gb = 64.0;
   cpu.node_power.idle_w = 100.0;
   cpu.node_power.cpu_idle_w = 20.0;
   cpu.node_power.cpu_max_w = 200.0;
@@ -221,14 +536,22 @@ SystemConfig Mini() {
   cpu.node_power.nic_w = 10.0;
   cpu.node_power.cpus_per_node = 2;
   cpu.node_power.gpus_per_node = 0;
-  Partition gpu;
+  cpu.pstates = {{1.0, 1.0}, {0.8, 0.7}, {0.6, 0.45}};
+  cpu.c_state = {true, 60.0, 30};
+  cpu.s_state = {true, 8.0, 300};
+  MachineClassSpec gpu;
   gpu.name = "gpu";
   gpu.num_nodes = 8;
+  gpu.cores_per_node = 16;
+  gpu.memory_gb = 128.0;
   gpu.node_power = cpu.node_power;
   gpu.node_power.gpus_per_node = 4;
   gpu.node_power.gpu_idle_w = 25.0;
   gpu.node_power.gpu_max_w = 300.0;
-  c.partitions = {cpu, gpu};
+  gpu.pstates = cpu.pstates;
+  gpu.c_state = cpu.c_state;
+  gpu.s_state = cpu.s_state;
+  c.machines = {cpu, gpu};
   c.conversion.idle_loss_w = 200.0;
   c.conversion.linear_coeff = 0.03;
   c.conversion.quadratic_coeff = 1.0e-7;

@@ -2,11 +2,20 @@
 // need to know about a machine.  One factory per system of Table 1 in the
 // paper (Frontier, Marconi100, Fugaku, Lassen, Adastra) plus a small generic
 // test system.
+//
+// A system is a list of named *machine classes* (MachineClassSpec): a block
+// of identical nodes with a per-node electrical model, an explicit P-state
+// ladder (frequency/power scaling rungs, P0 = full speed), and optional C/S
+// idle/sleep states with wake latencies.  Node ids are global across
+// classes; legacy single-model systems are one class with an implicit
+// single-rung ladder, which behaves bit-identically to the old scalar model.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/time.h"
 
 namespace sraps {
@@ -31,7 +40,81 @@ struct NodePowerSpec {
   double PeakW() const;
   /// Idle whole-node draw implied by the spec (idle + static shares).
   double IdleW() const;
+
+  JsonValue ToJson() const;
+  /// Strict parse: unknown keys throw std::runtime_error.
+  static NodePowerSpec FromJson(const JsonValue& v);
 };
+
+/// One rung of a P-state ladder.  P0 is always {1.0, 1.0}: full clock, full
+/// power.  Deeper rungs trade frequency for power; freq_scale dilates job
+/// runtimes exactly the way power-cap throttling does, power_scale shrinks
+/// the node's *dynamic* draw (the part above idle).
+struct PState {
+  double freq_scale = 1.0;   ///< relative clock, in (0, 1]
+  double power_scale = 1.0;  ///< relative dynamic power, in (0, 1]
+};
+
+/// An idle (C) or sleep (S) state: the node draws `power_w` instead of its
+/// idle wall draw, cannot run jobs, and takes `wake_latency_s` of simulated
+/// time to come back after WakeNode before it is allocatable again.
+struct SleepStateSpec {
+  bool enabled = false;
+  double power_w = 0.0;           ///< whole-node draw while in this state
+  SimDuration wake_latency_s = 0; ///< transition time back to active
+};
+
+/// A named block of identical nodes (e.g. Adastra's CPU and GPU partitions,
+/// or an x86 vs ARM split).  Node ids are global across classes, assigned in
+/// declaration order.
+struct MachineClassSpec {
+  std::string name;
+  int num_nodes = 0;
+  int cores_per_node = 1;
+  double memory_gb = 0.0;
+  NodePowerSpec node_power;
+  /// P-state ladder, rung 0 first.  Empty means the implicit single-rung
+  /// ladder {1.0, 1.0}; when non-empty, rung 0 must be exactly {1.0, 1.0}
+  /// and deeper rungs must be strictly decreasing in both scales.
+  std::vector<PState> pstates;
+  SleepStateSpec c_state;  ///< shallow idle (fast wake)
+  SleepStateSpec s_state;  ///< deep sleep (slow wake, lowest draw)
+
+  /// Ladder depth; at least 1 (the implicit P0) even when `pstates` is empty.
+  int NumPStates() const;
+  /// Rung `p` of the ladder; p==0 always returns {1.0, 1.0}.  Throws
+  /// std::out_of_range for p outside [0, NumPStates()).
+  PState PStateAt(int p) const;
+  /// True when the class has anything beyond the implicit always-on model:
+  /// a ladder deeper than P0, or an enabled C/S state.
+  bool HasPowerStates() const;
+  /// Busy node draw at rung `p` given the full-speed busy draw: idle wall
+  /// power is unaffected, the dynamic share scales by power_scale.  p==0
+  /// returns `busy_w` exactly unchanged (bit-identity with the legacy path).
+  double ScaledBusyPowerW(int p, double busy_w) const;
+  /// Draw in the C (deep=false) or S (deep=true) state; the state must be
+  /// enabled (throws std::logic_error otherwise).
+  double SleepPowerW(bool deep) const;
+  /// Wake latency of the C (deep=false) or S (deep=true) state.
+  SimDuration WakeLatencyS(bool deep) const;
+
+  /// Round-trips through the `"machines"` scenario block.  ToJson omits
+  /// `pstates` when empty and `c_state`/`s_state` when disabled; FromJson
+  /// treats presence of a sleep block as enabled.  Strict: unknown keys
+  /// throw std::invalid_argument.
+  JsonValue ToJson() const;
+  static MachineClassSpec FromJson(const JsonValue& v);
+};
+
+/// Backwards-compatible alias: pre-machine-class code called these
+/// "partitions".
+using Partition = MachineClassSpec;
+
+/// Validates one machine class; `context` prefixes error messages (e.g. the
+/// scenario key or builder call the class came from).  Throws
+/// std::invalid_argument with an actionable message on the first problem.
+void ValidateMachineClass(const MachineClassSpec& cls,
+                          const std::string& context);
 
 /// Power-conversion (rectifier + DC/DC) loss model per Wojda et al.:
 /// loss(P) = c0 + c1*P + c2*P^2 at the cabinet level, fit so that peak-load
@@ -58,34 +141,37 @@ struct CoolingSpec {
   double fan_rated_kw = 600.0;      ///< tower fans at design load
 };
 
-/// A named, contiguous block of identical nodes (e.g. Adastra's CPU and GPU
-/// partitions).  Node ids are global across partitions.
-struct Partition {
-  std::string name;
-  int num_nodes = 0;
-  NodePowerSpec node_power;
-};
-
 /// Everything the engine needs to instantiate a digital twin of one system.
 struct SystemConfig {
   std::string name;                ///< CLI `--system` identifier
   std::string architecture;        ///< e.g. "HPE/Cray EX"
   std::string scheduler_name;      ///< production scheduler (Slurm, LSF, TCS)
-  std::vector<Partition> partitions;
+  std::vector<MachineClassSpec> machines;
   ConversionSpec conversion;
   CoolingSpec cooling;
   SimDuration telemetry_interval = 20;  ///< trace sampling period (s)
   double pue_target = 1.1;         ///< reported average PUE (validation aid)
 
   int TotalNodes() const;
-  /// Peak IT power across all partitions, watts.
+  /// Peak IT power across all classes, watts (full clock, no sleep).
   double PeakItPowerW() const;
-  /// Idle IT power across all partitions, watts.
+  /// Idle IT power across all classes, watts (active idle, not C/S).
   double IdleItPowerW() const;
   /// The power spec governing a global node id; throws if out of range.
   const NodePowerSpec& NodeSpec(int node_id) const;
-  /// Partition index owning a global node id; throws if out of range.
-  std::size_t PartitionOf(int node_id) const;
+  /// Machine-class index owning a global node id; throws if out of range.
+  std::size_t ClassOf(int node_id) const;
+  /// Legacy name for ClassOf.
+  std::size_t PartitionOf(int node_id) const { return ClassOf(node_id); }
+  /// The machine class owning a global node id; throws if out of range.
+  const MachineClassSpec& MachineClassOf(int node_id) const;
+  /// The class with the given name, or nullptr when absent.
+  const MachineClassSpec* FindClass(const std::string& name) const;
+  MachineClassSpec* FindClass(const std::string& name);
+  /// Deepest ladder across all classes (>= 1).
+  int MaxPStates() const;
+  /// True when any class defines power states beyond always-on.
+  bool HasPowerStates() const;
 };
 
 /// Factory for the systems of Table 1 and a generic small test machine.

@@ -59,6 +59,10 @@ JsonValue ScenarioSpec::ToJson() const {
   obj["tick"] = JsonValue(static_cast<std::int64_t>(tick));
   obj["power_cap_w"] = power_cap_w;
   obj["html_report"] = html_report;
+  JsonArray machine_array;
+  machine_array.reserve(machines.size());
+  for (const MachineClassSpec& m : machines) machine_array.push_back(m.ToJson());
+  obj["machines"] = JsonValue(std::move(machine_array));
   JsonArray outage_array;
   outage_array.reserve(outages.size());
   for (const NodeOutage& o : outages) outage_array.push_back(OutageToJson(o));
@@ -108,6 +112,10 @@ ScenarioSpec ScenarioSpec::FromJson(const JsonValue& v) {
       spec.power_cap_w = value.AsDouble();
     } else if (key == "html_report") {
       spec.html_report = value.AsBool();
+    } else if (key == "machines") {
+      for (const JsonValue& m : value.AsArray()) {
+        spec.machines.push_back(MachineClassSpec::FromJson(m));
+      }
     } else if (key == "outages") {
       for (const JsonValue& o : value.AsArray()) {
         spec.outages.push_back(OutageFromJson(o));
@@ -151,6 +159,51 @@ JsonValue SetAtPath(const JsonValue& node, const std::string& path,
   if (segment.empty()) {
     throw std::invalid_argument("ApplyScenarioKey: empty segment in key '" + path +
                                 "'");
+  }
+  if (node.is_array()) {
+    // Array descent: a numeric segment indexes, anything else matches the
+    // elements' "name" field — "machines.gpu.nodes" addresses the class
+    // named gpu, "machines.0.nodes" the first class, "outages.0.at" the
+    // first outage.  Arrays cannot be extended through a patch, so both
+    // forms must land on an existing element.
+    JsonArray arr = node.AsArray();
+    std::size_t idx = arr.size();
+    const bool numeric =
+        segment.find_first_not_of("0123456789") == std::string::npos;
+    if (numeric) {
+      idx = static_cast<std::size_t>(std::stoull(segment));
+      if (idx >= arr.size()) {
+        throw std::invalid_argument("ApplyScenarioKey: key '" + path + "' index " +
+                                    segment + " outside the array (size " +
+                                    std::to_string(arr.size()) + ")");
+      }
+    } else {
+      std::string available;
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!arr[i].is_object()) continue;
+        const JsonObject& el = arr[i].AsObject();
+        const auto it = el.find("name");
+        if (it == el.end() || !it->second.is_string()) continue;
+        if (!available.empty()) available += ", ";
+        available += it->second.AsString();
+        if (it->second.AsString() == segment) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx >= arr.size()) {
+        throw std::invalid_argument(
+            "ApplyScenarioKey: key '" + path + "' names no array element '" +
+            segment + "' (available: " +
+            (available.empty() ? "none" : available) + ")");
+      }
+    }
+    if (dot == std::string::npos) {
+      arr[idx] = value;
+    } else {
+      arr[idx] = SetAtPath(arr[idx], path, dot + 1, value);
+    }
+    return JsonValue(std::move(arr));
   }
   if (!node.is_null() && !node.is_object()) {
     throw std::invalid_argument("ApplyScenarioKey: key '" + path +
@@ -219,6 +272,20 @@ void ValidateScenarioSpec(const ScenarioSpec& spec) {
         throw std::invalid_argument("ScenarioSpec '" + spec.name +
                                     "': outage node id " + std::to_string(n) +
                                     " is negative");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < spec.machines.size(); ++i) {
+    const MachineClassSpec& cls = spec.machines[i];
+    ValidateMachineClass(cls, "ScenarioSpec '" + spec.name + "' machines[" +
+                                  std::to_string(i) + "]");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.machines[j].name == cls.name) {
+        throw std::invalid_argument(
+            "ScenarioSpec '" + spec.name + "': duplicate machine class name '" +
+            cls.name + "' (machines[" + std::to_string(j) + "] and machines[" +
+            std::to_string(i) + "]); class names address sweep axes and "
+            "builder calls, so they must be unique");
       }
     }
   }

@@ -28,6 +28,11 @@ struct ScenarioSpec {
   // --- what to simulate -----------------------------------------------------
   std::string system = "mini";  ///< --system
   std::string dataset_path;     ///< -f; empty = use jobs_override
+  /// Machine-class override: when non-empty, replaces the named system's
+  /// class list wholesale (node counts, power specs, P-state ladders, C/S
+  /// sleep states) — the "machines" JSON block.  Empty = the system factory's
+  /// own classes, which is bit-identical to the pre-machines behaviour.
+  std::vector<MachineClassSpec> machines;
   /// Programmatic workload (tests/benches).  Consumed at Build: the engine
   /// takes ownership (engine().jobs()); the spec a Simulation retains has
   /// this field emptied.

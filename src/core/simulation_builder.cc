@@ -55,6 +55,43 @@ SimulationBuilder& SimulationBuilder::WithConfig(SystemConfig config) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::WithMachineClass(MachineClassSpec cls) {
+  ValidateMachineClass(cls, "SimulationBuilder::WithMachineClass");
+  for (const MachineClassSpec& existing : spec_.machines) {
+    if (existing.name == cls.name) {
+      throw std::invalid_argument(
+          "SimulationBuilder::WithMachineClass: class '" + cls.name +
+          "' is already declared; class names must be unique (use "
+          "WithPStateLadder to modify a declared class)");
+    }
+  }
+  spec_.machines.push_back(std::move(cls));
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithPStateLadder(
+    const std::string& class_name, std::vector<PState> ladder) {
+  MachineClassSpec* target = nullptr;
+  std::string declared;
+  for (MachineClassSpec& cls : spec_.machines) {
+    if (!declared.empty()) declared += ", ";
+    declared += cls.name;
+    if (cls.name == class_name) target = &cls;
+  }
+  if (!target) {
+    throw std::invalid_argument(
+        "SimulationBuilder::WithPStateLadder: no machine class '" + class_name +
+        "' declared (declared: " + (declared.empty() ? "none" : declared) +
+        "); call WithMachineClass first");
+  }
+  MachineClassSpec probe = *target;
+  probe.pstates = ladder;
+  ValidateMachineClass(probe, "SimulationBuilder::WithPStateLadder('" +
+                                  class_name + "')");
+  target->pstates = std::move(ladder);
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::WithScheduler(const std::string& scheduler) {
   EnsureBuiltinComponents();
   SchedulerRegistry().Get(scheduler);  // throws listing available names
@@ -219,6 +256,25 @@ void SimulationBuilder::Validate() const {
         "' delays jobs into cheap/clean windows; the scenario needs a \"grid\" "
         "block with a price or carbon signal");
   }
+  if (policy.needs_power_states) {
+    bool has_power_states = false;
+    if (!spec_.machines.empty()) {
+      for (const MachineClassSpec& cls : spec_.machines) {
+        has_power_states = has_power_states || cls.HasPowerStates();
+      }
+    } else if (spec_.config_override) {
+      has_power_states = spec_.config_override->HasPowerStates();
+    } else {
+      has_power_states = MakeSystemConfig(spec_.system).HasPowerStates();
+    }
+    if (!has_power_states) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name + "': policy '" + spec_.policy +
+          "' manages node power states, but no machine class of system '" +
+          spec_.system + "' defines any (a \"pstates\" ladder or a \"c_state\"/"
+          "\"s_state\" block in the \"machines\" array)");
+    }
+  }
   if (!spec_.backfill.empty()) BackfillRegistry().Get(spec_.backfill);
   if (spec_.dataset_path.empty() && spec_.jobs_override.empty()) {
     throw std::invalid_argument("ScenarioSpec '" + spec_.name +
@@ -241,9 +297,11 @@ void SimulationBuilder::BuildInto(Simulation& sim) const {
   sim.options_ = spec_;
   ScenarioSpec& spec = sim.options_;
 
-  // 1. System configuration (registry-selected by name, or injected).
+  // 1. System configuration (registry-selected by name, or injected), with
+  // the spec's machine classes replacing the system's list when declared.
   sim.config_ =
       spec.config_override ? *spec.config_override : MakeSystemConfig(spec.system);
+  if (!spec.machines.empty()) sim.config_.machines = spec.machines;
 
   // 2. Workload: dataset through the registered dataloader, or injected jobs.
   std::vector<Job> jobs;

@@ -39,6 +39,20 @@ class SimulationBuilder {
   SimulationBuilder& WithJobs(std::vector<Job> jobs);  ///< inject jobs directly
   SimulationBuilder& WithConfig(SystemConfig config);  ///< inject a custom system
 
+  // --- machine classes ------------------------------------------------------
+  /// Appends one machine class to the spec's "machines" override (which,
+  /// when non-empty, replaces the named system's class list wholesale).
+  /// Validated immediately: malformed classes (empty name, negative counts,
+  /// non-monotone P-state ladders, ...) and duplicate class names throw
+  /// std::invalid_argument with an actionable message.
+  SimulationBuilder& WithMachineClass(MachineClassSpec cls);
+  /// Replaces the P-state ladder of the already-declared class
+  /// `class_name`.  Throws std::invalid_argument when no such class exists
+  /// (listing the declared names) or the ladder is malformed (rung 0 not
+  /// {1.0, 1.0}, scales outside (0, 1], non-decreasing rungs).
+  SimulationBuilder& WithPStateLadder(const std::string& class_name,
+                                      std::vector<PState> ladder);
+
   // --- scheduling (validated against the registries) ------------------------
   SimulationBuilder& WithScheduler(const std::string& scheduler);  ///< registry name
   SimulationBuilder& WithPolicy(const std::string& policy);        ///< queue policy

@@ -198,6 +198,10 @@ std::uint64_t SimStateSnapshot::Fingerprint() const {
   h.U64(s.counters.calendar_steps);
   h.U64(s.counters.batched_ticks);
   h.U64(s.counters.grid_events);
+  h.U64(s.counters.power_plan_invocations);
+  h.U64(s.counters.pstate_changes);
+  h.U64(s.counters.nodes_slept);
+  h.U64(s.counters.nodes_woken);
   h.U64(s.queue.size());
   for (const JobQueue::Handle handle : s.queue.handles()) h.U64(handle);
   h.U64(s.running.size());
@@ -224,6 +228,21 @@ std::uint64_t SimStateSnapshot::Fingerprint() const {
   if (s.cooling) h.D(s.cooling->loop_temp_c());
   h.U64(s.tick_wall_kwh.size());
   if (!s.tick_wall_kwh.empty()) h.D(s.tick_wall_kwh.back());
+  // Per-node power state: rungs and modes are dense per-node bytes, wake
+  // events a heap array (storage order, like completions).
+  h.U64(s.node_pstate.size());
+  if (!s.node_pstate.empty()) h.Bytes(s.node_pstate.data(), s.node_pstate.size());
+  h.U64(s.node_mode.size());
+  for (const NodePowerMode m : s.node_mode) h.U64(static_cast<std::uint64_t>(m));
+  h.U64(s.wake_events.size());
+  for (const auto& [at, node] : s.wake_events) {
+    h.I64(at);
+    h.I64(node);
+  }
+  for (const double e : s.class_energy_j) h.D(e);
+  h.D(s.last_wall_power_w);
+  h.D(s.last_busy_power_w);
+  h.U64(s.power_event_pending ? 1 : 0);
   // Telemetry: sizes + tail sample per channel, not the full arrays — the
   // job/stats/heap fields above already pin the trajectory, so O(channels)
   // here keeps Fingerprint cheap on history-heavy runs.
@@ -257,6 +276,10 @@ std::size_t SimStateSnapshot::ApproxBytes() const {
   bytes += s.completions.size() * sizeof(std::pair<SimTime, JobQueue::Handle>);
   bytes += s.job_energy_j.size() * sizeof(double);
   bytes += s.tick_wall_kwh.size() * sizeof(double);
+  bytes += s.node_pstate.size() * sizeof(std::uint8_t);
+  bytes += s.node_mode.size() * sizeof(NodePowerMode);
+  bytes += s.wake_events.size() * sizeof(std::pair<SimTime, int>);
+  bytes += s.class_energy_j.size() * sizeof(double);
   if (s.rm) bytes += static_cast<std::size_t>(s.rm->total_nodes()) * 2;
   for (const JobRecord& rec : s.stats.records()) {
     bytes += sizeof(JobRecord) + rec.account.size() + rec.user.size();

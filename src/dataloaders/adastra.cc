@@ -77,7 +77,7 @@ std::vector<Job> GenerateAdastraDataset(const std::string& dir,
   std::vector<Job> jobs = GenerateSyntheticWorkload(wl);
 
   // Collapse traces to the dataset's per-job average component powers.
-  const NodePowerSpec& node = config.partitions[0].node_power;
+  const NodePowerSpec& node = config.machines[0].node_power;
   std::vector<std::array<double, 3>> component_powers;  // node, cpu, mem
   component_powers.reserve(jobs.size());
   for (Job& j : jobs) {

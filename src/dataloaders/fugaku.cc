@@ -58,7 +58,7 @@ const ArchetypeParams kArchetypes[] = {
 
 SystemConfig FugakuSliceConfig(int nodes) {
   SystemConfig c = MakeSystemConfig("fugaku");
-  c.partitions[0].num_nodes = nodes;
+  c.machines[0].num_nodes = nodes;
   c.cooling.design_it_load_kw *= static_cast<double>(nodes) / 158976.0;
   return c;
 }

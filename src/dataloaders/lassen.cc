@@ -77,7 +77,7 @@ std::vector<Job> GenerateLassenDataset(const std::string& dir,
 
   // LAST provides summaries only: collapse the generated traces to a
   // constant power level so the loader sees exactly what LAST offers.
-  const NodePowerSpec& node = config.partitions[0].node_power;
+  const NodePowerSpec& node = config.machines[0].node_power;
   for (Job& j : jobs) {
     const SimDuration runtime = j.recorded_end - j.recorded_start;
     const double cpu = j.cpu_util.empty() ? 0.5 : j.cpu_util.MeanOver(runtime);

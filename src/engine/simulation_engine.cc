@@ -119,6 +119,40 @@ SimulationEngine::SimulationEngine(RestoreTag, SystemConfig config,
   grid_cost_usd_ = state.grid_cost_usd;
   grid_co2_kg_ = state.grid_co2_kg;
   tick_wall_kwh_ = std::move(state.tick_wall_kwh);
+  // Power-state vectors: adopt, then rebuild the derived per-class counters.
+  node_pstate_ = std::move(state.node_pstate);
+  node_mode_ = std::move(state.node_mode);
+  wake_events_ = std::move(state.wake_events);
+  class_energy_j_ = std::move(state.class_energy_j);
+  if (node_pstate_.empty()) node_pstate_.assign(config_.TotalNodes(), 0);
+  if (node_mode_.empty()) {
+    node_mode_.assign(config_.TotalNodes(), NodePowerMode::kActive);
+  }
+  if (class_energy_j_.empty()) class_energy_j_.assign(config_.machines.size(), 0.0);
+  class_c_idle_.assign(config_.machines.size(), 0);
+  class_s_sleep_.assign(config_.machines.size(), 0);
+  nonzero_pstate_nodes_ = 0;
+  waking_nodes_ = 0;
+  for (int n = 0; n < config_.TotalNodes(); ++n) {
+    if (node_pstate_[n] != 0) ++nonzero_pstate_nodes_;
+    switch (node_mode_[n]) {
+      case NodePowerMode::kCIdle: ++class_c_idle_[config_.ClassOf(n)]; break;
+      case NodePowerMode::kSSleep: ++class_s_sleep_[config_.ClassOf(n)]; break;
+      case NodePowerMode::kWaking: ++waking_nodes_; break;
+      case NodePowerMode::kActive: break;
+    }
+  }
+  last_wall_power_w_ = state.last_wall_power_w;
+  last_busy_power_w_ = state.last_busy_power_w;
+  power_event_pending_ = state.power_event_pending;
+  class_energy_on_ = scheduler_->WantsPowerStates();
+  if (class_energy_on_ && !stats_.has_class_energy()) {
+    std::vector<std::string> names;
+    names.reserve(config_.machines.size());
+    for (const MachineClassSpec& m : config_.machines) names.push_back(m.name);
+    stats_.SetClassNames(std::move(names));
+    stats_.SetClassEnergy(class_energy_j_);
+  }
   ResolveHistoryChannels();
   initialized_ = true;
 }
@@ -154,6 +188,19 @@ std::unique_ptr<SimulationEngine> SimulationEngine::Restore(
   if (options.enable_cooling && !state.cooling) {
     throw std::invalid_argument("SimulationEngine::Restore: cooling is enabled but "
                                 "the state carries no cooling-loop snapshot");
+  }
+  const auto total = static_cast<std::size_t>(config.TotalNodes());
+  if (!state.node_pstate.empty() && state.node_pstate.size() != total) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: node_pstate covers " +
+        std::to_string(state.node_pstate.size()) + " nodes, system has " +
+        std::to_string(total));
+  }
+  if (!state.node_mode.empty() && state.node_mode.size() != total) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: node_mode covers " +
+        std::to_string(state.node_mode.size()) + " nodes, system has " +
+        std::to_string(total));
   }
   return std::unique_ptr<SimulationEngine>(new SimulationEngine(
       RestoreTag{}, std::move(config), std::move(scheduler), std::move(options),
@@ -191,6 +238,10 @@ void SimulationEngine::ResolveHistoryChannels() {
     hist_.supply = &recorder_.Mutable("supply_c");
     hist_.cooling_kw = &recorder_.Mutable("cooling_kw");
   }
+  if (scheduler_->WantsPowerStates()) {
+    hist_.nodes_asleep = &recorder_.Mutable("nodes_asleep");
+    hist_.avg_freq = &recorder_.Mutable("avg_freq_scale");
+  }
   // Every channel gets exactly one sample per tick; one upfront reserve
   // keeps the hot-loop appends reallocation-free.
   const auto total_ticks = static_cast<std::size_t>(
@@ -198,7 +249,7 @@ void SimulationEngine::ResolveHistoryChannels() {
   for (Channel* ch : {hist_.it_power, hist_.loss, hist_.power, hist_.utilization,
                       hist_.queue_len, hist_.running, hist_.throttle, hist_.price,
                       hist_.carbon, hist_.pue, hist_.tower, hist_.supply,
-                      hist_.cooling_kw}) {
+                      hist_.cooling_kw, hist_.nodes_asleep, hist_.avg_freq}) {
     if (!ch) continue;
     ch->times.reserve(total_ticks);
     ch->values.reserve(total_ticks);
@@ -208,6 +259,19 @@ void SimulationEngine::ResolveHistoryChannels() {
 void SimulationEngine::Initialize() {
   now_ = options_.sim_start;
   job_energy_j_.assign(jobs_.size(), std::nan(""));
+
+  node_pstate_.assign(config_.TotalNodes(), 0);
+  node_mode_.assign(config_.TotalNodes(), NodePowerMode::kActive);
+  class_c_idle_.assign(config_.machines.size(), 0);
+  class_s_sleep_.assign(config_.machines.size(), 0);
+  class_energy_j_.assign(config_.machines.size(), 0.0);
+  class_energy_on_ = scheduler_->WantsPowerStates();
+  if (class_energy_on_) {
+    std::vector<std::string> names;
+    names.reserve(config_.machines.size());
+    for (const MachineClassSpec& m : config_.machines) names.push_back(m.name);
+    stats_.SetClassNames(std::move(names));
+  }
 
   grid_cost_on_ = !options_.grid.price_usd_per_kwh.empty();
   grid_co2_on_ = !options_.grid.carbon_kg_per_kwh.empty();
@@ -317,6 +381,20 @@ SimDuration SimulationEngine::RealizedRuntime(const Job& job) const {
 void SimulationEngine::ApplyOutages() {
   while (next_outage_begin_ < outage_begins_.size() &&
          outage_begins_[next_outage_begin_].first <= now_) {
+    // A sleeping or mid-wake node hit by an outage is force-woken first so
+    // MarkDown sees a free node and takes it straight out of service (its
+    // pending wake event, if any, goes stale and is dropped lazily).
+    for (int n : outage_begins_[next_outage_begin_].second) {
+      if (!rm_.IsAsleep(n)) continue;
+      rm_.MarkAwake(n);
+      switch (node_mode_[n]) {
+        case NodePowerMode::kCIdle: --class_c_idle_[config_.ClassOf(n)]; break;
+        case NodePowerMode::kSSleep: --class_s_sleep_[config_.ClassOf(n)]; break;
+        case NodePowerMode::kWaking: --waking_nodes_; break;
+        case NodePowerMode::kActive: break;
+      }
+      node_mode_[n] = NodePowerMode::kActive;
+    }
     rm_.MarkDown(outage_begins_[next_outage_begin_].second);
     ++next_outage_begin_;
     events_this_tick_ = true;
@@ -348,6 +426,162 @@ void SimulationEngine::ApplyGridEvents() {
 
 double SimulationEngine::EffectiveCapW() const {
   return options_.grid.EffectiveCapW(now_, options_.power_cap_w);
+}
+
+bool SimulationEngine::SetNodePState(int node, int p) {
+  if (node < 0 || node >= config_.TotalNodes()) {
+    throw std::out_of_range("SimulationEngine::SetNodePState: node " +
+                            std::to_string(node) + " outside [0, " +
+                            std::to_string(config_.TotalNodes()) + ")");
+  }
+  const MachineClassSpec& cls = config_.MachineClassOf(node);
+  if (p < 0 || p >= cls.NumPStates()) return false;
+  if (node_mode_[node] != NodePowerMode::kActive) return false;
+  if (rm_.IsDown(node)) return false;
+  if (node_pstate_[node] == static_cast<std::uint8_t>(p)) return false;
+  const bool was_zero = node_pstate_[node] == 0;
+  node_pstate_[node] = static_cast<std::uint8_t>(p);
+  if (was_zero && p != 0) ++nonzero_pstate_nodes_;
+  if (!was_zero && p == 0) --nonzero_pstate_nodes_;
+  ++counters_.pstate_changes;
+  power_event_pending_ = true;
+  events_this_tick_ = true;
+  return true;
+}
+
+bool SimulationEngine::SleepNode(int node, bool deep) {
+  if (node < 0 || node >= config_.TotalNodes()) {
+    throw std::out_of_range("SimulationEngine::SleepNode: node " +
+                            std::to_string(node) + " outside [0, " +
+                            std::to_string(config_.TotalNodes()) + ")");
+  }
+  const MachineClassSpec& cls = config_.MachineClassOf(node);
+  const SleepStateSpec& state = deep ? cls.s_state : cls.c_state;
+  if (!state.enabled) return false;
+  if (node_mode_[node] != NodePowerMode::kActive) return false;
+  if (!rm_.IsFree(node) || rm_.IsDown(node)) return false;
+  rm_.MarkAsleep(node);
+  const std::size_t c = config_.ClassOf(node);
+  if (deep) {
+    node_mode_[node] = NodePowerMode::kSSleep;
+    ++class_s_sleep_[c];
+  } else {
+    node_mode_[node] = NodePowerMode::kCIdle;
+    ++class_c_idle_[c];
+  }
+  ++counters_.nodes_slept;
+  power_event_pending_ = true;
+  events_this_tick_ = true;
+  return true;
+}
+
+bool SimulationEngine::WakeNode(int node) {
+  if (node < 0 || node >= config_.TotalNodes()) {
+    throw std::out_of_range("SimulationEngine::WakeNode: node " +
+                            std::to_string(node) + " outside [0, " +
+                            std::to_string(config_.TotalNodes()) + ")");
+  }
+  const NodePowerMode mode = node_mode_[node];
+  if (mode != NodePowerMode::kCIdle && mode != NodePowerMode::kSSleep) return false;
+  const MachineClassSpec& cls = config_.MachineClassOf(node);
+  const bool deep = mode == NodePowerMode::kSSleep;
+  const std::size_t c = config_.ClassOf(node);
+  if (deep) {
+    --class_s_sleep_[c];
+  } else {
+    --class_c_idle_[c];
+  }
+  const SimDuration latency = cls.WakeLatencyS(deep);
+  if (latency <= 0) {
+    rm_.MarkAwake(node);
+    node_mode_[node] = NodePowerMode::kActive;
+    ++counters_.nodes_woken;
+  } else {
+    // During the transition the node draws active idle but stays
+    // unallocatable; the wake event completes it (a calendar event, so the
+    // batched path cannot hop across the latency).
+    node_mode_[node] = NodePowerMode::kWaking;
+    ++waking_nodes_;
+    wake_events_.emplace_back(now_ + latency, node);
+    std::push_heap(wake_events_.begin(), wake_events_.end(), std::greater<>{});
+  }
+  power_event_pending_ = true;
+  events_this_tick_ = true;
+  return true;
+}
+
+int SimulationEngine::NodePState(int node) const {
+  if (node < 0 || node >= config_.TotalNodes()) {
+    throw std::out_of_range("SimulationEngine::NodePState: node " +
+                            std::to_string(node) + " outside [0, " +
+                            std::to_string(config_.TotalNodes()) + ")");
+  }
+  return node_pstate_[node];
+}
+
+NodePowerMode SimulationEngine::NodeMode(int node) const {
+  if (node < 0 || node >= config_.TotalNodes()) {
+    throw std::out_of_range("SimulationEngine::NodeMode: node " +
+                            std::to_string(node) + " outside [0, " +
+                            std::to_string(config_.TotalNodes()) + ")");
+  }
+  return node_mode_[node];
+}
+
+int SimulationEngine::nodes_asleep() const {
+  int total = waking_nodes_;
+  for (int c : class_c_idle_) total += c;
+  for (int s : class_s_sleep_) total += s;
+  return total;
+}
+
+void SimulationEngine::ApplyWakeEvents() {
+  while (!wake_events_.empty() && wake_events_.front().first <= now_) {
+    const int node = wake_events_.front().second;
+    std::pop_heap(wake_events_.begin(), wake_events_.end(), std::greater<>{});
+    wake_events_.pop_back();
+    // Stale entries (the node was force-woken by an outage, or went down
+    // mid-wake) are simply dropped.
+    if (node_mode_[node] != NodePowerMode::kWaking) continue;
+    rm_.MarkAwake(node);
+    node_mode_[node] = NodePowerMode::kActive;
+    --waking_nodes_;
+    ++counters_.nodes_woken;
+    events_this_tick_ = true;
+  }
+}
+
+void SimulationEngine::FillPowerContext(SchedulerContext& ctx) {
+  ctx.config = &config_;
+  ctx.node_pstate = &node_pstate_;
+  ctx.node_mode = &node_mode_;
+  ctx.effective_cap_w = EffectiveCapW();
+  ctx.last_wall_power_w = last_wall_power_w_;
+  ctx.last_busy_power_w = last_busy_power_w_;
+}
+
+void SimulationEngine::CallPowerPlan() {
+  if (!scheduler_->WantsPowerStates()) return;
+  if (options_.event_triggered_scheduling && !events_this_tick_) return;
+  SchedulerContext ctx;
+  ctx.now = now_;
+  ctx.jobs = &jobs_;
+  ctx.queue = &queue_;
+  ctx.rm = &rm_;
+  ctx.had_events = events_this_tick_;
+  FillPowerContext(ctx);
+  ++counters_.power_plan_invocations;
+  const std::vector<PowerAction> actions = scheduler_->PlanPowerStates(ctx);
+  for (const PowerAction& a : actions) {
+    // Actions are proposals; anything stale (node went down, a job landed on
+    // it, rung out of range) is skipped via the bool returns.
+    if (a.node < 0 || a.node >= config_.TotalNodes()) continue;
+    switch (a.kind) {
+      case PowerAction::Kind::kSetPState: SetNodePState(a.node, a.pstate); break;
+      case PowerAction::Kind::kSleep: SleepNode(a.node, a.deep); break;
+      case PowerAction::Kind::kWake: WakeNode(a.node); break;
+    }
+  }
 }
 
 void SimulationEngine::PushCompletion(SimTime end, JobQueue::Handle h) {
@@ -456,6 +690,7 @@ void SimulationEngine::CallSchedule() {
   ctx.rm = &rm_;
   ctx.running = &running_view;
   ctx.had_events = events_this_tick_;
+  FillPowerContext(ctx);
   ++counters_.scheduler_invocations;
   const std::vector<Placement> placements = scheduler_->Schedule(ctx);
 
@@ -528,7 +763,15 @@ SimDuration SimulationEngine::SpanTicks() {
       (!options_.event_triggered_scheduling || scheduler_->NeedsTimeTriggered())) {
     return 1;
   }
+  if (scheduler_->WantsPowerStates()) {
+    // Without event triggering the power planner runs every tick, so the
+    // calendar may not batch at all; a just-applied action makes the next
+    // iteration eventful (re-plan), so it must be a single tick too.
+    if (!options_.event_triggered_scheduling) return 1;
+    if (power_event_pending_) return 1;
+  }
   SimTime next = NextCompletionTime();
+  if (!wake_events_.empty()) next = std::min(next, wake_events_.front().first);
   if (next_submit_ < submit_order_.size()) {
     next = std::min(next, jobs_[submit_order_[next_submit_]].submit_time);
   }
@@ -570,18 +813,44 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     // Ticks 2..n would each take CallSchedule's event-free skip branch.
     counters_.scheduler_skips += static_cast<std::size_t>(n - 1);
   }
+  // Power states are "active" only while some node is off P0 or in a C/S
+  // state; nodes mid-wake draw active idle, which the legacy arithmetic
+  // already models, so a waking-only machine stays on the fast path.
+  int sleeping_nodes = 0;
+  for (int c : class_c_idle_) sleeping_nodes += c;
+  for (int s : class_s_sleep_) sleeping_nodes += s;
+  const bool ps_active = nonzero_pstate_nodes_ > 0 || sleeping_nodes > 0;
+
   PowerSample power;
-  if (running_.empty()) {
+  const bool use_idle_cache = running_.empty() && !ps_active;
+  if (use_idle_cache) {
     // A fully idle machine draws a constant: every node at idle power.
-    if (!idle_sample_) idle_sample_ = power_model_.Compute({}, now_);
+    // P-states never stale the cache — they only scale busy dynamic power,
+    // and this branch requires every node active at P0.
+    if (!idle_sample_) {
+      idle_sample_ = power_model_.Compute(
+          {}, now_, nullptr, nullptr, nullptr,
+          class_energy_on_ ? &idle_class_w_ : nullptr);
+    }
     power = *idle_sample_;
     job_power_scratch_.clear();
   } else {
     running_scratch_.clear();
     running_scratch_.reserve(running_.size());
     for (JobQueue::Handle h : running_) running_scratch_.push_back(&jobs_[h]);
-    power = power_model_.Compute(running_scratch_, now_, &job_power_scratch_);
+    const PowerStateView psv{&node_pstate_, &class_c_idle_, &class_s_sleep_};
+    power = power_model_.Compute(running_scratch_, now_, &job_power_scratch_,
+                                 ps_active ? &psv : nullptr,
+                                 ps_active ? &job_freq_scratch_ : nullptr,
+                                 class_energy_on_ ? &class_w_scratch_ : nullptr);
   }
+
+  // The *demand* the machine sampled this span (pre-cap, post-P-state): what
+  // pace_to_cap reads to decide whether the ladder must step down to fit the
+  // effective cap — by the time uniform throttling has clipped the draw, the
+  // excess is invisible in the post-throttle wall power.
+  last_wall_power_w_ = power.wall_power_w;
+  last_busy_power_w_ = power.busy_power_w;
 
   // Facility power cap: throttle all running jobs uniformly so the wall
   // power meets the cap; runtimes dilate by the inverse factor.  The cap in
@@ -604,9 +873,26 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     // work, so each job's end recedes by the missing dt*(1 - throttle) per
     // tick (net progress per tick is then exactly throttle * dt).  The
     // completion heap is not touched here; its keys are re-built lazily.
-    const auto extension =
-        static_cast<SimDuration>(std::llround(dt * (1.0 - throttle)));
-    for (JobQueue::Handle h : running_) jobs_[h].end += extension * n;
+    if (!ps_active) {
+      const auto extension =
+          static_cast<SimDuration>(std::llround(dt * (1.0 - throttle)));
+      for (JobQueue::Handle h : running_) jobs_[h].end += extension * n;
+    }
+  }
+  if (ps_active) {
+    // With power states a job's net progress per tick is throttle * freq
+    // (the slowest rung across its nodes), so each job dilates by its own
+    // missing share.  A rung change is a power event bounding spans to one
+    // tick, so freq is constant across the span — same discipline as the
+    // cap.  freq == 1 and throttle == 1 reproduces the uncapped path
+    // exactly: no extension, ends untouched.
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      const double freq = i < job_freq_scratch_.size() ? job_freq_scratch_[i] : 1.0;
+      const double eff = throttle * freq;
+      if (eff >= 1.0) continue;
+      const auto ext = static_cast<SimDuration>(std::llround(dt * (1.0 - eff)));
+      jobs_[running_[i]].end += ext * n;
+    }
   }
 
   // Accumulate per-job energy over the span, reusing the draws Compute just
@@ -618,6 +904,21 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     double acc = job_energy_j_[running_[i]];
     for (SimDuration k = 0; k < n; ++k) acc += increment;
     job_energy_j_[running_[i]] = acc;
+  }
+
+  // Per-class IT energy breakdown (power-state schedulers only, so the
+  // legacy fast paths stay free of the O(classes) span work).  Sampled IT
+  // draw, pre-cap-throttle; repeated addition for tick/calendar identity.
+  if (class_energy_on_) {
+    const std::vector<double>& class_w =
+        use_idle_cache ? idle_class_w_ : class_w_scratch_;
+    for (std::size_t c = 0; c < class_energy_j_.size(); ++c) {
+      const double inc = class_w[c] * dt;
+      double acc = class_energy_j_[c];
+      for (SimDuration k = 0; k < n; ++k) acc += inc;
+      class_energy_j_[c] = acc;
+    }
+    stats_.SetClassEnergy(class_energy_j_);
   }
 
   // Grid accounting: wall energy priced at the signals in force now.  Signal
@@ -664,6 +965,15 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     }
     if (hist_.price) hist_.price->AppendSpan(now_, tick_, count, price_now);
     if (hist_.carbon) hist_.carbon->AppendSpan(now_, tick_, count, carbon_now);
+    if (hist_.nodes_asleep) {
+      hist_.nodes_asleep->AppendSpan(
+          now_, tick_, count, static_cast<double>(sleeping_nodes + waking_nodes_));
+    }
+    if (hist_.avg_freq) {
+      const double avg =
+          power.busy_nodes > 0 ? power.busy_freq_sum / power.busy_nodes : 1.0;
+      hist_.avg_freq->AppendSpan(now_, tick_, count, avg);
+    }
   }
 
   if (cooling_) {
@@ -704,11 +1014,30 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
 bool SimulationEngine::StepOnce() {
   if (!initialized_) throw std::logic_error("SimulationEngine: not initialised");
   if (now_ >= options_.sim_end) return false;
+  if (power_event_pending_) {
+    // A power action applied last iteration is an event for this one, so
+    // iterative planners (pace_to_cap's rung walk) observe its effect and
+    // re-plan — in tick and calendar mode alike.
+    events_this_tick_ = true;
+    power_event_pending_ = false;
+  }
+  const std::size_t started_before = counters_.started;
+  const std::size_t completed_before = counters_.completed;
   ClearCompleted();
   ApplyOutages();
+  ApplyWakeEvents();
   ApplyGridEvents();
   EnqueueEligible();
+  CallPowerPlan();
   CallSchedule();
+  if (class_energy_on_ && (counters_.started != started_before ||
+                           counters_.completed != completed_before)) {
+    // A start or completion moved the IT demand; make the next tick an event
+    // so the power planner re-plans against the post-change wall power (the
+    // same way an applied power action forces a re-plan).  Identical in tick
+    // and calendar mode: CallSchedule runs on the same ticks in both.
+    power_event_pending_ = true;
+  }
   if (options_.event_calendar) {
     const SimDuration n = SpanTicks();
     ++counters_.calendar_steps;
@@ -755,6 +1084,13 @@ EngineState SimulationEngine::CaptureState() const {
   s.grid_co2_kg = grid_co2_kg_;
   if (cooling_) s.cooling = *cooling_;
   s.tick_wall_kwh = tick_wall_kwh_;
+  s.node_pstate = node_pstate_;
+  s.node_mode = node_mode_;
+  s.wake_events = wake_events_;
+  s.class_energy_j = class_energy_j_;
+  s.last_wall_power_w = last_wall_power_w_;
+  s.last_busy_power_w = last_busy_power_w_;
+  s.power_event_pending = power_event_pending_;
   return s;
 }
 

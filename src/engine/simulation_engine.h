@@ -97,6 +97,10 @@ struct EngineCounters {
   std::size_t calendar_steps = 0;         ///< event-calendar loop iterations
   std::size_t batched_ticks = 0;          ///< ticks covered by batched spans (n > 1)
   std::size_t grid_events = 0;            ///< grid signal/DR boundaries crossed
+  std::size_t power_plan_invocations = 0; ///< PlanPowerStates() calls
+  std::size_t pstate_changes = 0;         ///< applied SetNodePState transitions
+  std::size_t nodes_slept = 0;            ///< applied C/S sleep transitions
+  std::size_t nodes_woken = 0;            ///< completed wake transitions
 };
 
 /// Deep copy of every mutable field of a SimulationEngine between steps —
@@ -132,6 +136,16 @@ struct EngineState {
   /// Per-tick wall kWh from sim_start to `now` (empty unless the run was
   /// started with EngineOptions::capture_grid_basis).
   std::vector<double> tick_wall_kwh;
+  // --- per-node power state (tentpole of the machine-class redesign) ---
+  std::vector<std::uint8_t> node_pstate;   ///< ladder rung per global node
+  std::vector<NodePowerMode> node_mode;    ///< active / C / S / waking
+  /// Exact min-heap array of (wake time, node) transition events, captured
+  /// verbatim like `completions` so a fork pops in the same order.
+  std::vector<std::pair<SimTime, int>> wake_events;
+  std::vector<double> class_energy_j;      ///< per-class IT energy accumulators
+  double last_wall_power_w = 0.0;          ///< previous tick's wall draw
+  double last_busy_power_w = 0.0;          ///< previous tick's busy share
+  bool power_event_pending = false;        ///< a power action fired last step
 };
 
 class SimulationEngine {
@@ -203,6 +217,32 @@ class SimulationEngine {
   /// Per-job simulated energy (J); indexed like jobs().  NaN until completed.
   const std::vector<double>& job_energy_j() const { return job_energy_j_; }
 
+  // --- per-node power states (scheduler-visible knobs) ---------------------
+  /// Clocks `node` to ladder rung `p` of its machine class.  Returns false
+  /// (without side effects) when the transition is invalid: rung outside the
+  /// class ladder, node down, asleep, or already at `p`.  Throws
+  /// std::out_of_range for a node id outside the machine.
+  bool SetNodePState(int node, int p);
+  /// Puts a free, active, in-service node into its class's C (deep=false) or
+  /// S (deep=true) state.  Returns false when the node is busy, down,
+  /// already asleep/waking, or its class lacks the requested state.  Throws
+  /// std::out_of_range for a bad node id.
+  bool SleepNode(int node, bool deep);
+  /// Starts the wake transition of a sleeping node; the node becomes
+  /// allocatable after its class's wake latency, modeled as an engine event
+  /// (zero latency wakes immediately).  Returns false when the node is not
+  /// in a C/S state.  Throws std::out_of_range for a bad node id.
+  bool WakeNode(int node);
+  /// The ladder rung `node` is clocked to (0 = full speed).
+  int NodePState(int node) const;
+  /// The power mode `node` is in.
+  NodePowerMode NodeMode(int node) const;
+  /// Nodes currently in a C/S state or mid-wake.
+  int nodes_asleep() const;
+  /// Per-class IT energy accumulators (J), indexed like config().machines.
+  /// All zero unless the scheduler manages power states.
+  const std::vector<double>& class_energy_j() const { return class_energy_j_; }
+
   /// Cumulative wall-energy cost ($) integrated against the grid price
   /// signal, and emissions (kg CO2) against the carbon-intensity signal.
   /// 0 when the corresponding signal is absent.  Bit-identical between the
@@ -235,6 +275,14 @@ class SimulationEngine {
   double EffectiveCapW() const;
   void ClearCompleted();
   void EnqueueEligible();
+  /// Completes wake transitions whose latency has elapsed (wake events are
+  /// calendar events, so the fast path stays bit-identical).
+  void ApplyWakeEvents();
+  /// Invokes Scheduler::PlanPowerStates on event-bearing iterations and
+  /// executes the returned actions defensively (stale actions are skipped).
+  void CallPowerPlan();
+  /// Fills the power-state fields of a SchedulerContext.
+  void FillPowerContext(SchedulerContext& ctx);
   void CallSchedule();
   /// Step (4) for `n` consecutive event-free ticks in one batched
   /// integration (n == 1 is the classic tick).  The caller guarantees the
@@ -311,10 +359,36 @@ class SimulationEngine {
   std::vector<double> tick_wall_kwh_;
 
   /// Compute() over an empty running set is a pure constant (idle draw of
-  /// every node); cached so fully idle ticks skip the power model.
+  /// every node); cached so fully idle ticks skip the power model.  Only
+  /// consulted while every node is active at P0, so power states never
+  /// stale it.
   std::optional<PowerSample> idle_sample_;
+  std::vector<double> idle_class_w_;         ///< per-class draw of the cache
   std::vector<const Job*> running_scratch_;  ///< reused per step, never shrinks
   std::vector<double> job_power_scratch_;    ///< per-job draw from Compute()
+  std::vector<double> job_freq_scratch_;     ///< per-job freq scale from Compute()
+  std::vector<double> class_w_scratch_;      ///< per-class draw from Compute()
+
+  // --- per-node power state ------------------------------------------------
+  std::vector<std::uint8_t> node_pstate_;  ///< ladder rung per global node
+  std::vector<NodePowerMode> node_mode_;   ///< active / C / S / waking
+  /// Min-heap of (wake time, node), managed like completions_ so CaptureState
+  /// copies the array verbatim and forks pop in the same order.
+  std::vector<std::pair<SimTime, int>> wake_events_;
+  std::vector<int> class_c_idle_;   ///< nodes in C per class (excl. waking)
+  std::vector<int> class_s_sleep_;  ///< nodes in S per class (excl. waking)
+  std::vector<double> class_energy_j_;  ///< per-class IT energy (J)
+  int nonzero_pstate_nodes_ = 0;    ///< nodes clocked below P0
+  int waking_nodes_ = 0;            ///< wake transitions in flight
+  double last_wall_power_w_ = 0.0;  ///< previous tick's wall draw
+  double last_busy_power_w_ = 0.0;  ///< previous tick's busy share
+  /// Set when a power action is applied; makes the *next* iteration
+  /// eventful so iterative policies (pace_to_cap's rung walk) re-plan, and
+  /// bounds the calendar span to one tick.  Cleared at the top of StepOnce.
+  bool power_event_pending_ = false;
+  /// Accumulate the per-class energy breakdown (power-state schedulers
+  /// only; keeps span batching O(1) for everything else).
+  bool class_energy_on_ = false;
 
   /// Hot-loop channel handles, resolved once at Initialize when
   /// record_history is on (cooling/throttle members only with their
@@ -333,6 +407,8 @@ class SimulationEngine {
     Channel* tower = nullptr;
     Channel* supply = nullptr;
     Channel* cooling_kw = nullptr;
+    Channel* nodes_asleep = nullptr;
+    Channel* avg_freq = nullptr;
   } hist_;
 };
 

@@ -13,15 +13,32 @@ double BusyNodePowerW(const NodePowerSpec& spec, const NodeUtilization& util) {
   return p;
 }
 
+double BusyNodePowerW(const NodePowerSpec& spec, const NodeUtilization& util,
+                      const PState& pstate) {
+  const double full = BusyNodePowerW(spec, util);
+  if (pstate.power_scale == 1.0) return full;
+  const double idle = spec.IdleW();
+  return idle + pstate.power_scale * (full - idle);
+}
+
 double IdleNodePowerW(const NodePowerSpec& spec) { return spec.IdleW(); }
 
 NodeUtilization UtilizationFromPowerW(const NodePowerSpec& spec, double node_power_w) {
+  return UtilizationFromPowerW(spec, node_power_w, PState{});
+}
+
+NodeUtilization UtilizationFromPowerW(const NodePowerSpec& spec,
+                                      double node_power_w,
+                                      const PState& pstate) {
   const double dynamic_cpu = spec.cpus_per_node * (spec.cpu_max_w - spec.cpu_idle_w);
   const double dynamic_gpu = spec.gpus_per_node * (spec.gpu_max_w - spec.gpu_idle_w);
   const double dynamic_total = dynamic_cpu + dynamic_gpu;
   NodeUtilization u;
   if (dynamic_total <= 0.0) return u;
-  const double excess = node_power_w - spec.IdleW();
+  if (pstate.power_scale <= 0.0) return u;
+  // Undo the P-state's dynamic-power compression before mapping onto the
+  // full-speed range; at power_scale == 1.0 the division is exact identity.
+  const double excess = (node_power_w - spec.IdleW()) / pstate.power_scale;
   const double fraction = Clamp(excess / dynamic_total, 0.0, 1.0);
   // Proportional split: both components run at the same fraction of their
   // dynamic range — the max-entropy assumption absent further telemetry.

@@ -19,6 +19,12 @@ struct NodeUtilization {
 /// Utilisation outside [0,1] is clamped.
 double BusyNodePowerW(const NodePowerSpec& spec, const NodeUtilization& util);
 
+/// P-state-aware variant: the dynamic share (everything above IdleW) scales
+/// by `pstate.power_scale`; the idle wall draw is unaffected.  At the
+/// identity rung {1.0, 1.0} this returns exactly the legacy value.
+double BusyNodePowerW(const NodePowerSpec& spec, const NodeUtilization& util,
+                      const PState& pstate);
+
 /// Power of one idle (unallocated) node in watts.
 double IdleNodePowerW(const NodePowerSpec& spec);
 
@@ -27,5 +33,16 @@ double IdleNodePowerW(const NodePowerSpec& spec);
 /// that provide power traces but no utilisation (PM100 node power).  Result
 /// components are clamped to [0,1].
 NodeUtilization UtilizationFromPowerW(const NodePowerSpec& spec, double node_power_w);
+
+/// P-state-aware inverse model: a node down-clocked to `pstate` draws
+/// idle + power_scale * dynamic, so the measured excess over idle must be
+/// divided by power_scale *before* mapping onto the full-speed dynamic range
+/// — the legacy inverse under-reported utilisation of down-clocked nodes.
+/// Clamping matches the forward model: the excess-over-idle fraction is
+/// clamped to [0,1] once, after the P-state correction.  A non-positive
+/// power_scale yields zero utilisation.
+NodeUtilization UtilizationFromPowerW(const NodePowerSpec& spec,
+                                      double node_power_w,
+                                      const PState& pstate);
 
 }  // namespace sraps

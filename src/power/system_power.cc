@@ -1,5 +1,6 @@
 #include "power/system_power.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "power/node_power.h"
@@ -8,10 +9,11 @@ namespace sraps {
 
 SystemPowerModel::SystemPowerModel(const SystemConfig& config)
     : config_(config), conversion_(config.conversion, config.TotalNodes()) {
-  for (const auto& p : config_.partitions) {
-    partition_idle_node_w_.push_back(p.node_power.IdleW());
-    partition_sizes_.push_back(p.num_nodes);
+  for (const auto& m : config_.machines) {
+    class_idle_node_w_.push_back(m.node_power.IdleW());
+    class_sizes_.push_back(m.num_nodes);
   }
+  max_pstates_ = config_.MaxPStates();
 }
 
 double SystemPowerModel::JobNodePowerW(const Job& job, SimDuration elapsed,
@@ -30,14 +32,28 @@ double SystemPowerModel::JobNodePowerW(const Job& job, SimDuration elapsed,
 
 PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
                                       SimTime now,
-                                      std::vector<double>* job_power_w) const {
+                                      std::vector<double>* job_power_w,
+                                      const PowerStateView* power_states,
+                                      std::vector<double>* job_freq_scale,
+                                      std::vector<double>* class_it_w) const {
   PowerSample s;
-  busy_scratch_.assign(config_.partitions.size(), 0);
-  std::vector<int>& busy_per_partition = busy_scratch_;
+  const std::size_t num_classes = config_.machines.size();
+  busy_scratch_.assign(num_classes, 0);
+  std::vector<int>& busy_per_class = busy_scratch_;
   if (job_power_w) {
     job_power_w->clear();
     job_power_w->reserve(running.size());
   }
+  if (job_freq_scale) {
+    job_freq_scale->clear();
+    job_freq_scale->reserve(running.size());
+  }
+  if (class_it_w) class_it_w->assign(num_classes, 0.0);
+  const bool ps = power_states != nullptr;
+  // The (class, rung) grouping scratch: rung-major within each class.  In
+  // legacy mode the stride collapses to the class index.
+  const std::size_t stride =
+      ps ? static_cast<std::size_t>(max_pstates_) : std::size_t{1};
   double busy_power = 0.0;
   for (const Job* job : running) {
     if (job->start < 0) {
@@ -47,35 +63,76 @@ PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
     if (job->assigned_nodes.empty()) {
       throw std::logic_error("SystemPowerModel: running job has no nodes");
     }
-    // Group the job's nodes by partition so heterogeneous allocations use
-    // the right per-node spec.
-    count_scratch_.assign(config_.partitions.size(), 0);
-    std::vector<int>& count_per_partition = count_scratch_;
+    // Group the job's nodes by class (and P-state rung, when active) so
+    // heterogeneous allocations use the right per-node spec.
+    count_scratch_.assign(num_classes * stride, 0);
+    std::vector<int>& count_per_group = count_scratch_;
+    double job_freq = 1.0;
     for (int node : job->assigned_nodes) {
-      ++count_per_partition[config_.PartitionOf(node)];
+      const std::size_t cls = config_.ClassOf(node);
+      std::size_t rung = 0;
+      if (ps) {
+        rung = (*power_states->node_pstate)[static_cast<std::size_t>(node)];
+        if (rung != 0) {
+          job_freq = std::min(
+              job_freq,
+              config_.machines[cls].PStateAt(static_cast<int>(rung)).freq_scale);
+        }
+      }
+      ++count_per_group[cls * stride + rung];
     }
     // The per-job subtotal keeps its own accumulator: consumers integrating
     // job energy must see the exact sum the engine historically computed.
     double job_power = 0.0;
-    for (std::size_t p = 0; p < count_per_partition.size(); ++p) {
-      const int n = count_per_partition[p];
-      if (n == 0) continue;
-      const double node_w =
-          JobNodePowerW(*job, elapsed, config_.partitions[p].node_power);
-      busy_per_partition[p] += n;
-      busy_power += n * node_w;
-      job_power += n * node_w;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      double cached_node_w = -1.0;
+      for (std::size_t r = 0; r < stride; ++r) {
+        const int n = count_per_group[c * stride + r];
+        if (n == 0) continue;
+        if (cached_node_w < 0.0) {
+          cached_node_w =
+              JobNodePowerW(*job, elapsed, config_.machines[c].node_power);
+        }
+        const double node_w =
+            r == 0 ? cached_node_w
+                   : config_.machines[c].ScaledBusyPowerW(static_cast<int>(r),
+                                                          cached_node_w);
+        busy_per_class[c] += n;
+        busy_power += n * node_w;
+        job_power += n * node_w;
+        if (class_it_w) (*class_it_w)[c] += n * node_w;
+        s.busy_freq_sum +=
+            n * (r == 0 ? 1.0
+                        : config_.machines[c].PStateAt(static_cast<int>(r))
+                              .freq_scale);
+      }
     }
     if (job_power_w) job_power_w->push_back(job_power);
+    if (job_freq_scale) job_freq_scale->push_back(job_freq);
     s.busy_nodes += static_cast<int>(job->assigned_nodes.size());
   }
   double idle_power = 0.0;
-  for (std::size_t p = 0; p < partition_sizes_.size(); ++p) {
-    const int idle_nodes = partition_sizes_[p] - busy_per_partition[p];
-    if (idle_nodes < 0) {
-      throw std::logic_error("SystemPowerModel: partition oversubscribed");
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    int asleep_c = 0;
+    int asleep_s = 0;
+    if (ps) {
+      if (power_states->class_c_idle) asleep_c = (*power_states->class_c_idle)[c];
+      if (power_states->class_s_sleep) asleep_s = (*power_states->class_s_sleep)[c];
     }
-    idle_power += idle_nodes * partition_idle_node_w_[p];
+    const int idle_nodes =
+        class_sizes_[c] - busy_per_class[c] - asleep_c - asleep_s;
+    if (idle_nodes < 0) {
+      throw std::logic_error("SystemPowerModel: machine class oversubscribed");
+    }
+    double class_power = idle_nodes * class_idle_node_w_[c];
+    if (asleep_c > 0) {
+      class_power += asleep_c * config_.machines[c].SleepPowerW(false);
+    }
+    if (asleep_s > 0) {
+      class_power += asleep_s * config_.machines[c].SleepPowerW(true);
+    }
+    idle_power += class_power;
+    if (class_it_w) (*class_it_w)[c] += class_power;
   }
   s.busy_power_w = busy_power;
   s.it_power_w = busy_power + idle_power;

@@ -1,8 +1,16 @@
 // System-level power aggregation: combines per-job telemetry-driven node
 // power with idle draw of unallocated nodes and conversion losses into the
 // full-system power the figures plot (Figs. 4-8, 10a).
+//
+// When the engine runs nodes in non-trivial power states it passes a
+// PowerStateView: busy nodes then draw their P-state-scaled power, sleeping
+// nodes draw their C/S state power instead of the active idle wall draw, and
+// the sample reports the frequency-weighted busy-node sum the engine uses to
+// dilate job runtimes.  Without a view the legacy always-on arithmetic runs
+// bit-identically to the pre-power-state model.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "config/system_config.h"
@@ -13,13 +21,28 @@ namespace sraps {
 
 /// One tick's electrical state.
 struct PowerSample {
-  double it_power_w = 0.0;    ///< sum of node draws (busy + idle)
+  double it_power_w = 0.0;    ///< sum of node draws (busy + idle + sleeping)
   double busy_power_w = 0.0;  ///< the job-attributable share of it_power_w
   double loss_w = 0.0;        ///< conversion loss
   double wall_power_w = 0.0;  ///< it + loss (cooling power is added by the
                               ///< cooling model when present)
   double node_utilization = 0.0;  ///< allocated nodes / total nodes
   int busy_nodes = 0;
+  /// Sum of the active freq_scale over all busy nodes; equals busy_nodes
+  /// when everything runs at P0.  busy_freq_sum / busy_nodes is the mean
+  /// clock the "avg_freq_scale" telemetry channel plots.
+  double busy_freq_sum = 0.0;
+};
+
+/// Read-only view of the engine's per-node power state, borrowed for the
+/// duration of one Compute call.  `node_pstate` maps global node id to its
+/// P-state rung; the per-class counters say how many nodes of each machine
+/// class currently sit in the C or S state (nodes mid-wake draw active idle
+/// and are in neither counter).
+struct PowerStateView {
+  const std::vector<std::uint8_t>* node_pstate = nullptr;
+  const std::vector<int>* class_c_idle = nullptr;
+  const std::vector<int>* class_s_sleep = nullptr;
 };
 
 class SystemPowerModel {
@@ -38,10 +61,22 @@ class SystemPowerModel {
   /// `assigned_nodes` and `start` must be set).  When `job_power_w` is
   /// non-null it receives each job's total draw (indexed like `running`) so
   /// the engine's energy integration can reuse the already-sampled values
-  /// instead of re-walking every trace.  Not thread-safe (reuses scratch
-  /// buffers); engines own their model, so this never crosses threads.
+  /// instead of re-walking every trace.
+  ///
+  /// `power_states`, when non-null, switches to power-state-aware
+  /// aggregation (see file comment).  `job_freq_scale`, when non-null,
+  /// receives each job's effective frequency scale — the minimum rung across
+  /// the nodes it runs on, 1.0 at P0 — for runtime dilation.  `class_it_w`,
+  /// when non-null, is resized to the class count and receives each class's
+  /// IT draw (busy + idle + sleeping; conversion loss is system-level and
+  /// excluded) for the per-class energy breakdown.  Not thread-safe (reuses
+  /// scratch buffers); engines own their model, so this never crosses
+  /// threads.
   PowerSample Compute(const std::vector<const Job*>& running, SimTime now,
-                      std::vector<double>* job_power_w = nullptr) const;
+                      std::vector<double>* job_power_w = nullptr,
+                      const PowerStateView* power_states = nullptr,
+                      std::vector<double>* job_freq_scale = nullptr,
+                      std::vector<double>* class_it_w = nullptr) const;
 
   const SystemConfig& config() const { return config_; }
   const ConversionLossModel& conversion() const { return conversion_; }
@@ -49,8 +84,9 @@ class SystemPowerModel {
  private:
   SystemConfig config_;
   ConversionLossModel conversion_;
-  std::vector<double> partition_idle_node_w_;  ///< idle W per node, per partition
-  std::vector<int> partition_sizes_;
+  std::vector<double> class_idle_node_w_;  ///< idle W per node, per class
+  std::vector<int> class_sizes_;
+  int max_pstates_ = 1;  ///< stride of the (class, rung) grouping scratch
   // Per-Compute scratch (why Compute is not thread-safe).
   mutable std::vector<int> busy_scratch_;
   mutable std::vector<int> count_scratch_;

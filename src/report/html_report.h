@@ -20,6 +20,7 @@ struct ReportOptions {
   /// Channels to chart, in order; missing channels are skipped silently.
   std::vector<std::string> channels = {"power_kw",  "it_power_kw", "utilization",
                                        "price_usd_per_kwh", "carbon_kg_per_kwh",
+                                       "nodes_asleep", "avg_freq_scale",
                                        "pue",       "tower_return_c",
                                        "queue_length", "running_jobs"};
   /// Render a combined power-vs-price timeline (both series min-max

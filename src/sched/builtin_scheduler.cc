@@ -63,8 +63,122 @@ double BuiltinScheduler::PriorityKey(const Job& job) const {
       return -accounts_->GetOrZero(job.account).AvgEdp();
     case Policy::kAcctFugakuPts:
       return accounts_->GetOrZero(job.account).fugaku_points;
+    case Policy::kRaceToIdle:
+    case Policy::kPaceToCap:
+      // FCFS job order; the power influence lives in PlanPowerStates.
+      return -static_cast<double>(job.submit_time);
   }
   return 0.0;
+}
+
+std::vector<PowerAction> BuiltinScheduler::PlanPowerStates(
+    const SchedulerContext& ctx) {
+  std::vector<PowerAction> actions;
+  if (!ctx.config || !ctx.node_pstate || !ctx.node_mode) return actions;
+  const SystemConfig& cfg = *ctx.config;
+  const std::vector<std::uint8_t>& pstate = *ctx.node_pstate;
+  const std::vector<NodePowerMode>& mode = *ctx.node_mode;
+  const int total = static_cast<int>(pstate.size());
+
+  if (policy_ == Policy::kRaceToIdle) {
+    // Full clock always: undo any down-clock left behind (e.g. by a fork
+    // from a pace_to_cap run).
+    for (int n = 0; n < total; ++n) {
+      if (pstate[n] != 0) {
+        actions.push_back({PowerAction::Kind::kSetPState, n, 0, false});
+      }
+    }
+    if (ctx.queue->empty()) {
+      // Idle machine: sleep every free node as deeply as its class allows.
+      for (int n = 0; n < total; ++n) {
+        if (mode[n] != NodePowerMode::kActive) continue;
+        if (!ctx.rm->IsFree(n) || ctx.rm->IsDown(n)) continue;
+        const MachineClassSpec& cls = cfg.MachineClassOf(n);
+        if (cls.s_state.enabled) {
+          actions.push_back({PowerAction::Kind::kSleep, n, 0, true});
+        } else if (cls.c_state.enabled) {
+          actions.push_back({PowerAction::Kind::kSleep, n, 0, false});
+        }
+      }
+      return actions;
+    }
+    // Queued demand: wake just enough sleepers to cover what free + already
+    // waking nodes cannot.  Shallow sleepers first (they wake sooner), then
+    // deep, lowest id first — a deterministic order so forks replan
+    // identically.
+    int demand = 0;
+    for (JobQueue::Handle h : ctx.queue->handles()) {
+      demand += ctx.JobOf(h).nodes_required;
+    }
+    int covered = ctx.rm->free_nodes();
+    for (int n = 0; n < total; ++n) {
+      if (mode[n] == NodePowerMode::kWaking) ++covered;
+    }
+    for (const NodePowerMode want :
+         {NodePowerMode::kCIdle, NodePowerMode::kSSleep}) {
+      for (int n = 0; n < total && covered < demand; ++n) {
+        if (mode[n] != want) continue;
+        actions.push_back({PowerAction::Kind::kWake, n, 0, false});
+        ++covered;
+      }
+    }
+    return actions;
+  }
+
+  // pace_to_cap: fit under the effective grid cap by down-clocking busy
+  // nodes instead of holding jobs.
+  const double cap = ctx.effective_cap_w;
+  auto busy_active = [&](int n) {
+    return mode[n] == NodePowerMode::kActive && !ctx.rm->IsFree(n) &&
+           !ctx.rm->IsDown(n) && !ctx.rm->IsAsleep(n);
+  };
+  if (cap <= 0.0) {
+    // Uncapped: run everything at full clock.
+    for (int n = 0; n < total; ++n) {
+      if (pstate[n] != 0) {
+        actions.push_back({PowerAction::Kind::kSetPState, n, 0, false});
+      }
+    }
+    return actions;
+  }
+  if (ctx.last_wall_power_w > cap) {
+    // Over the cap: one ladder rung down across the board.  Repeated ticks
+    // walk the whole ladder until the draw fits (or rungs run out and the
+    // engine's throttle fallback takes over).
+    for (int n = 0; n < total; ++n) {
+      if (!busy_active(n)) continue;
+      const MachineClassSpec& cls = cfg.MachineClassOf(n);
+      if (pstate[n] + 1 < cls.NumPStates()) {
+        actions.push_back(
+            {PowerAction::Kind::kSetPState, n, pstate[n] + 1, false});
+      }
+    }
+    return actions;
+  }
+  // Under the cap: consider stepping back up, but only when the *worst-case*
+  // one-rung step-up provably fits under 95% of the cap — stepping up and
+  // immediately back down every other tick would thrash job runtimes.
+  double max_ratio = 1.0;
+  bool any_down = false;
+  for (int n = 0; n < total; ++n) {
+    if (!busy_active(n) || pstate[n] == 0) continue;
+    any_down = true;
+    const MachineClassSpec& cls = cfg.MachineClassOf(n);
+    const double up = cls.PStateAt(pstate[n] - 1).power_scale;
+    const double here = cls.PStateAt(pstate[n]).power_scale;
+    if (here > 0.0) max_ratio = std::max(max_ratio, up / here);
+  }
+  if (!any_down) return actions;
+  const double idle_share = ctx.last_wall_power_w - ctx.last_busy_power_w;
+  const double projected = idle_share + ctx.last_busy_power_w * max_ratio;
+  if (projected <= 0.95 * cap) {
+    for (int n = 0; n < total; ++n) {
+      if (!busy_active(n) || pstate[n] == 0) continue;
+      actions.push_back(
+          {PowerAction::Kind::kSetPState, n, pstate[n] - 1, false});
+    }
+  }
+  return actions;
 }
 
 std::vector<Placement> BuiltinScheduler::Schedule(const SchedulerContext& ctx) {

@@ -36,6 +36,19 @@ class BuiltinScheduler : public Scheduler {
   /// arrives, which is not an engine event.
   bool NeedsTimeTriggered() const override { return policy_ == Policy::kReplay; }
 
+  /// race_to_idle and pace_to_cap manage node power states.
+  bool WantsPowerStates() const override { return IsPowerStatePolicy(policy_); }
+
+  /// race_to_idle: reset any down-clocked node to P0; with an empty queue,
+  /// sleep every free node (S-state when the class has one, else C-state);
+  /// with a non-empty queue, wake just enough sleepers — C before S, lowest
+  /// id first — to cover the queued demand.  pace_to_cap: while the previous
+  /// tick's wall draw exceeds the effective grid cap, step every busy node
+  /// one ladder rung down; once a one-rung step-up provably fits under 95%
+  /// of the cap, step back up.  Both are deterministic functions of the
+  /// context, so forks replan identically.
+  std::vector<PowerAction> PlanPowerStates(const SchedulerContext& ctx) override;
+
   Policy policy() const { return policy_; }
   BackfillMode backfill() const { return backfill_; }
 

@@ -9,7 +9,9 @@ void RegisterBuiltinPolicies(NamedRegistry<PolicyDef>& reg) {
   auto add = [&reg](const std::string& name, Policy id, bool needs_accounts,
                     std::string description) {
     const bool needs_grid = id == Policy::kGridAware;
-    reg.Register(name, PolicyDef{id, needs_accounts, needs_grid, ToString(id)},
+    reg.Register(name,
+                 PolicyDef{id, needs_accounts, needs_grid,
+                           IsPowerStatePolicy(id), ToString(id)},
                  std::move(description));
   };
   add("replay", Policy::kReplay, false, "re-enact the recorded schedule exactly");
@@ -27,6 +29,10 @@ void RegisterBuiltinPolicies(NamedRegistry<PolicyDef>& reg) {
   add("acct_edp", Policy::kAcctEdp, true, "ascending account energy-delay product");
   add("acct_fugaku_pts", Policy::kAcctFugakuPts, true,
       "descending Fugaku points (Solorzano et al.)");
+  add("race_to_idle", Policy::kRaceToIdle, false,
+      "FCFS at full clock; sleep free nodes when the queue is empty");
+  add("pace_to_cap", Policy::kPaceToCap, false,
+      "FCFS; down-clock busy nodes to fit the effective grid cap");
 }
 
 void RegisterBuiltinBackfills(NamedRegistry<BackfillDef>& reg) {
@@ -77,6 +83,8 @@ std::string ToString(Policy p) {
     case Policy::kAcctLowAvgPower: return "acct_low_avg_power";
     case Policy::kAcctEdp: return "acct_edp";
     case Policy::kAcctFugakuPts: return "acct_fugaku_pts";
+    case Policy::kRaceToIdle: return "race_to_idle";
+    case Policy::kPaceToCap: return "pace_to_cap";
   }
   return "?";
 }
@@ -108,6 +116,10 @@ bool IsAccountPolicy(Policy p) {
     default:
       return false;
   }
+}
+
+bool IsPowerStatePolicy(Policy p) {
+  return p == Policy::kRaceToIdle || p == Policy::kPaceToCap;
 }
 
 }  // namespace sraps

@@ -30,6 +30,14 @@ enum class Policy {
   kAcctLowAvgPower,  ///< ascending average power (low power favoured)
   kAcctEdp,          ///< ascending accumulated energy-delay product
   kAcctFugakuPts,    ///< descending Fugaku points (Solórzano et al.)
+  // Power-state policies: FCFS job order plus node power management through
+  // PlanPowerStates.  Require a system whose machine classes define power
+  // states (P-state ladder or C/S sleep states).
+  kRaceToIdle,  ///< run at full clock, sleep free nodes whenever the queue
+                ///< is empty — minimise energy by finishing early
+  kPaceToCap,   ///< down-clock busy nodes to fit under the effective grid
+                ///< cap instead of holding jobs — trade makespan for
+                ///< cap compliance
 };
 
 enum class BackfillMode {
@@ -47,6 +55,8 @@ struct PolicyDef {
   Policy id = Policy::kReplay;
   bool needs_accounts = false;  ///< requires a collection-phase AccountRegistry
   bool needs_grid = false;      ///< requires a GridEnvironment with signals
+  bool needs_power_states = false;  ///< requires machine classes with power
+                                    ///< states (ladder or C/S)
   std::string canonical_name;   ///< ToString(id); aliases map here
 };
 
@@ -76,5 +86,9 @@ std::string ToString(BackfillMode m);
 
 /// True for the policies that need an AccountRegistry snapshot.
 bool IsAccountPolicy(Policy p);
+
+/// True for the policies that manage node power states (race_to_idle,
+/// pace_to_cap).
+bool IsPowerStatePolicy(Policy p);
 
 }  // namespace sraps

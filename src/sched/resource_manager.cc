@@ -149,6 +149,30 @@ void ResourceManager::MarkUp(const std::vector<int>& nodes) {
   }
 }
 
+void ResourceManager::MarkAsleep(int node) {
+  if (node < 0 || node >= total_nodes_) {
+    throw std::runtime_error("ResourceManager: sleeping node " +
+                             std::to_string(node) + " out of range");
+  }
+  if (busy_[node]) {
+    throw std::runtime_error(
+        "ResourceManager: node " + std::to_string(node) +
+        " cannot sleep while busy, down, or already asleep");
+  }
+  busy_[node] = true;
+  free_.erase(node);
+  asleep_.insert(node);
+}
+
+void ResourceManager::MarkAwake(int node) {
+  if (!asleep_.erase(node)) {
+    throw std::runtime_error("ResourceManager: waking node " +
+                             std::to_string(node) + " that is not asleep");
+  }
+  busy_[node] = false;
+  free_.insert(node);
+}
+
 std::vector<int> ResourceManager::FreeList() const {
   return std::vector<int>(free_.begin(), free_.end());
 }

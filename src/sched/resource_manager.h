@@ -62,6 +62,19 @@ class ResourceManager {
   bool IsPendingDown(int node) const { return pending_down_.count(node) != 0; }
   int down_nodes() const { return static_cast<int>(down_.size()); }
 
+  /// Takes a free node out of the allocatable pool for a C/S sleep state.
+  /// Throws std::runtime_error if the node is busy, down, or already asleep
+  /// — only idle capacity may sleep.  The engine owns which sleep state the
+  /// node is in; the resource manager only tracks non-allocatability.
+  void MarkAsleep(int node);
+
+  /// Returns a sleeping node to the free pool (wake transition finished, or
+  /// an outage force-wakes it).  Throws std::runtime_error if not asleep.
+  void MarkAwake(int node);
+
+  bool IsAsleep(int node) const { return asleep_.count(node) != 0; }
+  int asleep_nodes() const { return static_cast<int>(asleep_.size()); }
+
   /// Sorted list of currently free node ids (copy).
   std::vector<int> FreeList() const;
 
@@ -74,9 +87,11 @@ class ResourceManager {
   int total_nodes_;
   AllocationStrategy strategy_;
   std::set<int> free_;
-  std::vector<bool> busy_;     ///< includes down nodes
+  std::vector<bool> busy_;     ///< includes down and asleep nodes
   std::set<int> down_;         ///< out of service (subset of busy)
   std::set<int> pending_down_; ///< drain requested while running a job
+  std::set<int> asleep_;       ///< in a C/S state (subset of busy, disjoint
+                               ///< from down)
 };
 
 }  // namespace sraps

@@ -5,11 +5,13 @@
 // that separation is what makes external scheduler simulators pluggable.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/time.h"
+#include "config/system_config.h"
 #include "sched/resource_manager.h"
 #include "workload/job.h"
 #include "workload/job_queue.h"
@@ -40,6 +42,31 @@ struct RunningJobView {
   SimTime estimated_end = 0;  ///< start + wall-time estimate
 };
 
+/// The engine-facing power-state modes of one node (engine/ owns the runtime
+/// vector; exposed here so power-aware schedulers can read it).
+enum class NodePowerMode : std::uint8_t {
+  kActive = 0,  ///< powered, allocatable (or busy with a job)
+  kCIdle = 1,   ///< shallow idle state: low draw, fast wake
+  kSSleep = 2,  ///< deep sleep state: lowest draw, slow wake
+  kWaking = 3,  ///< wake transition in flight; draws active idle, not
+                ///< allocatable until the wake event fires
+};
+
+/// One proposed power-state change, returned by PlanPowerStates.  Exactly one
+/// action per entry; the engine executes them in order and silently skips
+/// actions that are no longer valid (node went down, job landed on it, ...).
+struct PowerAction {
+  enum class Kind : std::uint8_t {
+    kSetPState,  ///< clock node to ladder rung `pstate`
+    kSleep,      ///< put a free node into C (deep=false) or S (deep=true)
+    kWake,       ///< start the wake transition of a sleeping node
+  };
+  Kind kind = Kind::kSetPState;
+  int node = -1;
+  int pstate = 0;     ///< for kSetPState
+  bool deep = false;  ///< for kSleep: S-state instead of C-state
+};
+
 /// Read-only view handed to Scheduler::Schedule each iteration.
 struct SchedulerContext {
   SimTime now = 0;
@@ -50,6 +77,14 @@ struct SchedulerContext {
   /// True when this tick saw submissions, completions, or frees; schedulers
   /// may skip recomputation otherwise (§3.2.4 trigger/skip decision).
   bool had_events = true;
+
+  // Power-state view (null / zero for engines without power states).
+  const SystemConfig* config = nullptr;
+  const std::vector<std::uint8_t>* node_pstate = nullptr;   ///< per-node rung
+  const std::vector<NodePowerMode>* node_mode = nullptr;    ///< per-node mode
+  double effective_cap_w = 0.0;      ///< static cap ∩ DR windows; 0 = uncapped
+  double last_wall_power_w = 0.0;    ///< wall draw of the previous tick
+  double last_busy_power_w = 0.0;    ///< busy share of the previous tick
 
   const Job& JobOf(JobQueue::Handle h) const { return (*jobs)[h]; }
 };
@@ -89,6 +124,20 @@ class Scheduler {
   /// future reservations).  The engine then invokes it every tick instead of
   /// only on event-bearing ticks.
   virtual bool NeedsTimeTriggered() const { return false; }
+
+  /// True when the scheduler manages node power states.  The engine then
+  /// calls PlanPowerStates before Schedule on event-bearing iterations and
+  /// records the power-state telemetry channels.
+  virtual bool WantsPowerStates() const { return false; }
+
+  /// Computes this iteration's power-state changes (down/up-clocks, sleeps,
+  /// wakes).  Like Schedule, must not mutate engine state — the engine
+  /// executes the returned actions through its own SetNodePState /
+  /// SleepNode / WakeNode entry points, skipping any that are stale.
+  virtual std::vector<PowerAction> PlanPowerStates(const SchedulerContext& ctx) {
+    (void)ctx;
+    return {};
+  }
 
   /// Notification hooks so event-based external schedulers can maintain
   /// their own state (§3.2.4: "implement the logic for triggering and

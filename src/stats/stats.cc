@@ -233,6 +233,14 @@ JsonValue SimulationStats::ToJson() const {
     o["grid_cost_usd"] = grid_cost_usd_;
     o["grid_co2_kg"] = grid_co2_kg_;
   }
+  if (!class_names_.empty()) {
+    JsonObject per_class;
+    for (std::size_t i = 0; i < class_names_.size(); ++i) {
+      const double j = i < class_energy_j_.size() ? class_energy_j_[i] : 0.0;
+      per_class[class_names_[i]] = j / kJoulePerKwh;
+    }
+    o["class_energy_kwh"] = JsonValue(std::move(per_class));
+  }
   JsonObject hist;
   for (std::size_t i = 0; i < size_hist_.num_buckets(); ++i) {
     hist[size_hist_.labels()[i]] = size_hist_.Count(i);

@@ -103,6 +103,21 @@ class SimulationStats {
   double grid_cost_usd() const { return grid_cost_usd_; }
   double grid_co2_kg() const { return grid_co2_kg_; }
 
+  /// Per-machine-class IT energy breakdown (power-state runs).  The engine
+  /// registers the class names once, then mirrors its running accumulators
+  /// here every step; ToJson emits "class_energy_kwh" only after names are
+  /// set, so legacy runs serialise unchanged.
+  void SetClassNames(std::vector<std::string> names) {
+    class_names_ = std::move(names);
+    class_energy_j_.resize(class_names_.size(), 0.0);
+  }
+  void SetClassEnergy(const std::vector<double>& joules) {
+    class_energy_j_ = joules;
+  }
+  bool has_class_energy() const { return !class_names_.empty(); }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  const std::vector<double>& class_energy_j() const { return class_energy_j_; }
+
   /// The 12 Fig. 10b objectives, in plot order.  All are lower-is-better
   /// (count-like metrics enter inverted, as the paper does).
   /// Order: avg wait, avg turnaround, avg node-hours, avg ED²P,
@@ -127,6 +142,8 @@ class SimulationStats {
   bool has_grid_ = false;
   double grid_cost_usd_ = 0.0;
   double grid_co2_kg_ = 0.0;
+  std::vector<std::string> class_names_;
+  std::vector<double> class_energy_j_;
 };
 
 /// L2-normalises a set of per-policy objective vectors (rows = policies),

@@ -354,8 +354,8 @@ TEST(PowerCapTest, ThrottlingDilatesRuntime) {
   // job overlap and spills jobs onto the hotter GPU partition, which is a
   // real placement effect but would mask the conservation check below.
   SystemConfig homogeneous = MakeSystemConfig("mini");
-  homogeneous.partitions[1].num_nodes = 0;
-  homogeneous.partitions[0].num_nodes = 16;
+  homogeneous.machines[1].num_nodes = 0;
+  homogeneous.machines[0].num_nodes = 16;
   ScenarioSpec uncapped;
   uncapped.system = "mini";
   uncapped.config_override = homogeneous;

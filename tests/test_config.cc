@@ -50,7 +50,7 @@ TEST(SystemConfigTest, FrontierPeakPowerIsExascaleClass) {
 
 TEST(SystemConfigTest, FugakuIsCpuOnly) {
   const SystemConfig c = MakeSystemConfig("fugaku");
-  EXPECT_EQ(c.partitions[0].node_power.gpus_per_node, 0);
+  EXPECT_EQ(c.machines[0].node_power.gpus_per_node, 0);
 }
 
 TEST(NodePowerSpecTest, PeakExceedsIdle) {
@@ -89,8 +89,112 @@ TEST(SystemConfigTest, NodeSpecFollowsPartition) {
 
 TEST(SystemConfigTest, MiniHasTwoPartitions) {
   const SystemConfig c = MakeSystemConfig("mini");
-  ASSERT_EQ(c.partitions.size(), 2u);
+  ASSERT_EQ(c.machines.size(), 2u);
   EXPECT_EQ(c.TotalNodes(), 16);
+}
+
+// --- machine classes with power states ------------------------------------------
+
+MachineClassSpec LadderClass() {
+  MachineClassSpec c;
+  c.name = "cpu";
+  c.num_nodes = 4;
+  c.cores_per_node = 8;
+  c.pstates = {{1.0, 1.0}, {0.8, 0.7}, {0.6, 0.45}};
+  c.c_state = {true, 40.0, 30};
+  c.s_state = {true, 6.0, 300};
+  return c;
+}
+
+TEST(MachineClassTest, ImplicitSingleRungLadder) {
+  MachineClassSpec c;
+  c.name = "plain";
+  c.num_nodes = 2;
+  EXPECT_EQ(c.NumPStates(), 1);
+  EXPECT_DOUBLE_EQ(c.PStateAt(0).freq_scale, 1.0);
+  EXPECT_DOUBLE_EQ(c.PStateAt(0).power_scale, 1.0);
+  EXPECT_FALSE(c.HasPowerStates());
+  EXPECT_THROW(c.PStateAt(1), std::out_of_range);
+  EXPECT_THROW(c.SleepPowerW(false), std::logic_error);
+}
+
+TEST(MachineClassTest, ScaledBusyPowerHandChecked) {
+  const MachineClassSpec c = LadderClass();
+  const double idle = c.node_power.IdleW();
+  const double busy = idle + 100.0;
+  // P0 returns the input bit-exactly (legacy-path identity).
+  EXPECT_EQ(c.ScaledBusyPowerW(0, busy), busy);
+  // Deeper rungs scale only the dynamic share: idle + power_scale * 100.
+  EXPECT_DOUBLE_EQ(c.ScaledBusyPowerW(1, busy), idle + 0.7 * 100.0);
+  EXPECT_DOUBLE_EQ(c.ScaledBusyPowerW(2, busy), idle + 0.45 * 100.0);
+}
+
+TEST(MachineClassTest, SleepStateAccessors) {
+  const MachineClassSpec c = LadderClass();
+  EXPECT_TRUE(c.HasPowerStates());
+  EXPECT_DOUBLE_EQ(c.SleepPowerW(false), 40.0);
+  EXPECT_DOUBLE_EQ(c.SleepPowerW(true), 6.0);
+  EXPECT_EQ(c.WakeLatencyS(false), 30);
+  EXPECT_EQ(c.WakeLatencyS(true), 300);
+}
+
+TEST(MachineClassTest, ValidationRejectsBadLadders) {
+  MachineClassSpec c = LadderClass();
+  c.pstates[0] = {0.9, 1.0};  // rung 0 must be exactly {1.0, 1.0}
+  EXPECT_THROW(ValidateMachineClass(c, "test"), std::invalid_argument);
+  c = LadderClass();
+  c.pstates[2] = {0.6, 0.8};  // power_scale not strictly decreasing
+  EXPECT_THROW(ValidateMachineClass(c, "test"), std::invalid_argument);
+  c = LadderClass();
+  c.pstates[1] = {1.2, 0.7};  // freq_scale outside (0, 1]
+  EXPECT_THROW(ValidateMachineClass(c, "test"), std::invalid_argument);
+  c = LadderClass();
+  c.name = "";
+  EXPECT_THROW(ValidateMachineClass(c, "test"), std::invalid_argument);
+  c = LadderClass();
+  c.num_nodes = -1;
+  EXPECT_THROW(ValidateMachineClass(c, "test"), std::invalid_argument);
+  EXPECT_NO_THROW(ValidateMachineClass(LadderClass(), "test"));
+}
+
+TEST(MachineClassTest, ValidationRejectsInconsistentSleepStates) {
+  MachineClassSpec c = LadderClass();
+  c.s_state.power_w = 80.0;  // deep sleep must draw <= the C state
+  EXPECT_THROW(ValidateMachineClass(c, "test"), std::invalid_argument);
+  c = LadderClass();
+  c.c_state.power_w = c.node_power.IdleW() + 1.0;  // above active idle
+  EXPECT_THROW(ValidateMachineClass(c, "test"), std::invalid_argument);
+}
+
+TEST(MachineClassTest, JsonRoundTripPreservesPowerStates) {
+  const MachineClassSpec c = LadderClass();
+  const MachineClassSpec back = MachineClassSpec::FromJson(c.ToJson());
+  EXPECT_EQ(back.ToJson().Dump(2), c.ToJson().Dump(2));
+  EXPECT_EQ(back.NumPStates(), 3);
+  EXPECT_DOUBLE_EQ(back.PStateAt(2).power_scale, 0.45);
+  EXPECT_TRUE(back.c_state.enabled);
+  EXPECT_TRUE(back.s_state.enabled);
+  EXPECT_EQ(back.WakeLatencyS(true), 300);
+}
+
+TEST(MachineClassTest, FactorySystemsWithPowerStatesValidate) {
+  // frontier and mini ship P-state ladders and sleep states; they must pass
+  // their own validation and report HasPowerStates.
+  for (const char* name : {"frontier", "mini"}) {
+    const SystemConfig c = MakeSystemConfig(name);
+    bool any = false;
+    for (const auto& cls : c.machines) {
+      ValidateMachineClass(cls, name);
+      any |= cls.HasPowerStates();
+    }
+    EXPECT_TRUE(any) << name;
+  }
+  // Legacy twins stay purely always-on: nothing to wake, nothing to clock.
+  for (const char* name : {"marconi100", "fugaku", "lassen", "adastraMI250"}) {
+    for (const auto& cls : MakeSystemConfig(name).machines) {
+      EXPECT_FALSE(cls.HasPowerStates()) << name;
+    }
+  }
 }
 
 // Sweep: every system's conversion-loss parameters produce a sane loss

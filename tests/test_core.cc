@@ -192,7 +192,7 @@ TEST(SimulationTest, CoolingToggle) {
 
 TEST(SimulationTest, ConfigOverride) {
   SystemConfig custom = MakeSystemConfig("mini");
-  custom.partitions[0].num_nodes = 100;
+  custom.machines[0].num_nodes = 100;
   ScenarioSpec opts;
   opts.system = "mini";
   opts.config_override = custom;

@@ -170,7 +170,7 @@ TEST(EngineTest, EnergyAccountingMatchesAnalyticValue) {
   std::vector<Job> jobs = {MakeJob(1, 0, 100, 2)};  // lands on cpu partition
   SimulationEngine e(c, std::move(jobs), Fcfs(), Opts(0, 500));
   e.Run();
-  const NodePowerSpec& spec = c.partitions[0].node_power;
+  const NodePowerSpec& spec = c.machines[0].node_power;
   const double node_w =
       spec.idle_w + spec.mem_w + spec.nic_w +
       spec.cpus_per_node * (spec.cpu_idle_w + 0.5 * (spec.cpu_max_w - spec.cpu_idle_w));

@@ -72,7 +72,14 @@ void ExpectEquivalent(const SimulationEngine& tick, const SimulationEngine& ev) 
   EXPECT_EQ(tick.counters().scheduler_invocations, ev.counters().scheduler_invocations);
   EXPECT_EQ(tick.counters().scheduler_skips, ev.counters().scheduler_skips);
   EXPECT_EQ(tick.counters().grid_events, ev.counters().grid_events);
+  EXPECT_EQ(tick.counters().power_plan_invocations, ev.counters().power_plan_invocations);
+  EXPECT_EQ(tick.counters().pstate_changes, ev.counters().pstate_changes);
+  EXPECT_EQ(tick.counters().nodes_slept, ev.counters().nodes_slept);
+  EXPECT_EQ(tick.counters().nodes_woken, ev.counters().nodes_woken);
   EXPECT_EQ(tick.now(), ev.now());
+
+  // Per-class energy split (populated only under power-state policies).
+  EXPECT_TRUE(BitIdentical(tick.class_energy_j(), ev.class_energy_j()));
 
   // Grid accounting: signal-integrated cost and emissions, bit for bit.
   EXPECT_TRUE(BitIdentical({tick.grid_cost_usd()}, {ev.grid_cost_usd()}));
@@ -373,6 +380,81 @@ TEST(EngineEventsTest, StepOnceHopsWholeSpans) {
   // First hop: straight to the submit at t=4h.
   EXPECT_EQ(e.now(), 4 * kHour);
   EXPECT_EQ(e.counters().calendar_steps, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Power-state transitions (P-state rungs, C/S sleep, wake latencies) are
+// engine events: every run below must be bit-identical between tick stepping
+// and the event calendar, including transitions that straddle outage and
+// DR-window edges and P-state changes that land mid-job.
+
+TEST(EngineEventsTest, RaceToIdleSleepWakeEquivalent) {
+  // The sparse workload leaves the machine mostly idle: race_to_idle puts
+  // free nodes to sleep between jobs and wakes them (through the per-class
+  // wake latency, an engine event) when demand returns.
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(SparseWorkload(), o, false, "race_to_idle");
+  const auto ev = RunEngine(SparseWorkload(), o, true, "race_to_idle");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(tick->counters().nodes_slept, 0u);
+  EXPECT_GT(tick->counters().nodes_woken, 0u);
+  EXPECT_EQ(tick->counters().completed, 4u);
+  // The per-class energy split must be live and non-trivial.
+  ASSERT_FALSE(tick->class_energy_j().empty());
+  EXPECT_GT(tick->class_energy_j()[0], 0.0);
+}
+
+TEST(EngineEventsTest, SleepWakeStraddlingOutageEdges) {
+  // Outages overlap the sleeping machine: nodes asleep (or mid-wake) when
+  // their outage arrives are force-woken into the outage, and the stale wake
+  // events must be dropped identically on both paths.
+  EngineOptions o = Opts(0, 24 * kHour);
+  o.outages = {{2 * kHour, 5 * kHour, {0, 1, 2, 3, 4, 5}},
+               {13 * kHour + 90, 16 * kHour, {6, 7, 8}},
+               {20 * kHour, 0, {14, 15}}};
+  const auto tick = RunEngine(SparseWorkload(), o, false, "race_to_idle");
+  const auto ev = RunEngine(SparseWorkload(), o, true, "race_to_idle");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(tick->counters().nodes_slept, 0u);
+}
+
+TEST(EngineEventsTest, SleepWakeStraddlingDrWindowEdges) {
+  // DR windows open and close while nodes sleep and wake; the window edges
+  // and the wake latencies interleave as calendar events.
+  EngineOptions o = Opts(0, 24 * kHour);
+  const double cap_w = MidCapW(SparseWorkload(), o);
+  o.grid.dr_windows = {{6 * kHour + 300, 7 * kHour, cap_w},
+                       {13 * kHour + 930, 15 * kHour, cap_w}};
+  const auto tick = RunEngine(SparseWorkload(), o, false, "race_to_idle");
+  const auto ev = RunEngine(SparseWorkload(), o, true, "race_to_idle");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(tick->counters().nodes_slept, 0u);
+  EXPECT_GT(tick->counters().grid_events, 0u);
+}
+
+TEST(EngineEventsTest, PaceToCapMidJobPStateChangesEquivalent) {
+  // A DR window opens while the big jobs run: pace_to_cap walks nodes down
+  // the ladder mid-job (runtimes dilate by 1/freq_scale) and back up when
+  // the window closes.  Every rung change is an engine event.
+  EngineOptions o = Opts(0, 24 * kHour);
+  const double cap_w = MidCapW(SparseWorkload(), o);
+  o.grid.dr_windows = {{6 * kHour + 600, 8 * kHour, cap_w}};
+  const auto tick = RunEngine(SparseWorkload(), o, false, "pace_to_cap");
+  const auto ev = RunEngine(SparseWorkload(), o, true, "pace_to_cap");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(tick->counters().pstate_changes, 0u);
+  EXPECT_EQ(tick->counters().completed, 4u);
+}
+
+TEST(EngineEventsTest, PaceToCapUnderStaticCapEquivalent) {
+  // A static cap that binds whenever the machine is busy: the pacer holds a
+  // deep rung for long stretches and re-plans tick by tick near the edge.
+  EngineOptions o = Opts(0, 24 * kHour);
+  o.power_cap_w = MidCapW(SparseWorkload(), o, 0.5);
+  const auto tick = RunEngine(SparseWorkload(), o, false, "pace_to_cap");
+  const auto ev = RunEngine(SparseWorkload(), o, true, "pace_to_cap");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(tick->counters().pstate_changes, 0u);
 }
 
 // Dataset-driven fig-style scenarios: the same loaders, systems, windows, and

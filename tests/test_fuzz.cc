@@ -275,6 +275,149 @@ TEST_P(GridJsonFuzz, ParseValidateRunOrReject) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GridJsonFuzz,
                          ::testing::Range<std::uint64_t>(100, 130));
 
+// --- machines JSON block fuzz ----------------------------------------------------
+
+/// Random "machines" JSON blocks — well-formed heterogeneous class lists and
+/// deliberately broken ones (duplicate names, bad ladder roots, non-monotone
+/// power scales, out-of-range scales, unknown keys, negative node counts).
+/// Valid blocks must run under fcfs and the power-state policy family with
+/// the engine invariants intact; broken ones must be rejected with
+/// std::invalid_argument at parse/validate time, never crash mid-run.
+class MachinesJsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MachinesJsonFuzz, ParseValidateRunOrReject) {
+  Rng rng(GetParam());
+  const int breakage = static_cast<int>(rng.UniformInt(0, 11));  // 0-5 break
+
+  auto make_class = [&](const char* name, int nodes) {
+    JsonObject c;
+    c["name"] = name;
+    c["nodes"] = JsonValue(static_cast<std::int64_t>(nodes));
+    c["cores"] = JsonValue(static_cast<std::int64_t>(rng.UniformInt(8, 32)));
+    if (rng.UniformInt(0, 1) == 0) c["memory_gb"] = rng.Uniform(64.0, 512.0);
+    // A random strictly-descending ladder rooted at {1.0, 1.0}.
+    JsonArray ladder;
+    double freq = 1.0, power = 1.0;
+    for (int r = 0, rungs = static_cast<int>(rng.UniformInt(2, 4)); r < rungs; ++r) {
+      JsonObject p;
+      p["freq_scale"] = freq;
+      p["power_scale"] = power;
+      ladder.emplace_back(std::move(p));
+      freq -= rng.Uniform(0.05, 0.2);
+      power -= rng.Uniform(0.05, 0.2);
+    }
+    c["pstates"] = JsonValue(std::move(ladder));
+    if (rng.UniformInt(0, 1) == 0) {
+      JsonObject cs;
+      cs["power_w"] = rng.Uniform(20.0, 80.0);
+      cs["wake_latency_s"] =
+          JsonValue(static_cast<std::int64_t>(rng.UniformInt(1, 120)));
+      c["c_state"] = JsonValue(std::move(cs));
+      if (rng.UniformInt(0, 1) == 0) {
+        JsonObject ss;
+        ss["power_w"] = rng.Uniform(1.0, 15.0);
+        ss["wake_latency_s"] =
+            JsonValue(static_cast<std::int64_t>(rng.UniformInt(120, 900)));
+        c["s_state"] = JsonValue(std::move(ss));
+      }
+    }
+    return c;
+  };
+
+  JsonObject cls = make_class("a", static_cast<int>(rng.UniformInt(8, 12)));
+  JsonArray machines;
+  switch (breakage) {
+    case 1: {  // ladder root must be exactly {1.0, 1.0}
+      JsonArray bad;
+      JsonObject p;
+      p["freq_scale"] = 0.9;
+      p["power_scale"] = 1.0;
+      bad.emplace_back(std::move(p));
+      cls["pstates"] = JsonValue(std::move(bad));
+      break;
+    }
+    case 2: {  // power_scale not strictly decreasing
+      JsonArray bad;
+      JsonObject p0, p1;
+      p0["freq_scale"] = 1.0;
+      p0["power_scale"] = 1.0;
+      p1["freq_scale"] = 0.8;
+      p1["power_scale"] = 1.0;
+      bad.emplace_back(std::move(p0));
+      bad.emplace_back(std::move(p1));
+      cls["pstates"] = JsonValue(std::move(bad));
+      break;
+    }
+    case 3: {  // freq_scale outside (0, 1]
+      JsonArray bad;
+      JsonObject p0, p1;
+      p0["freq_scale"] = 1.0;
+      p0["power_scale"] = 1.0;
+      p1["freq_scale"] = 1.5;
+      p1["power_scale"] = 0.7;
+      bad.emplace_back(std::move(p0));
+      bad.emplace_back(std::move(p1));
+      cls["pstates"] = JsonValue(std::move(bad));
+      break;
+    }
+    case 4:  // strict parsing: unknown keys throw
+      cls["typo_knob"] = JsonValue(static_cast<std::int64_t>(1));
+      break;
+    case 5:  // negative node count
+      cls["nodes"] = JsonValue(static_cast<std::int64_t>(-3));
+      break;
+    default:
+      break;
+  }
+  machines.emplace_back(std::move(cls));
+  if (breakage == 0) {
+    machines.emplace_back(make_class("a", 4));  // duplicate class name
+  } else if (rng.UniformInt(0, 1) == 0) {
+    machines.emplace_back(make_class("b", static_cast<int>(rng.UniformInt(2, 6))));
+  }
+  const bool expect_reject = breakage <= 5;
+
+  JsonObject spec_json;
+  spec_json["name"] = "machines-fuzz";
+  spec_json["system"] = "mini";
+  spec_json["duration"] = JsonValue(static_cast<std::int64_t>(6 * kHour));
+  static const char* const kPolicies[] = {"fcfs", "race_to_idle", "pace_to_cap"};
+  spec_json["policy"] = kPolicies[rng.UniformInt(0, 2)];
+  spec_json["backfill"] = "easy";
+  spec_json["machines"] = JsonValue(std::move(machines));
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 3 * kHour;
+  wl.arrival_rate_per_hour = 8;
+  wl.max_nodes = 8;  // always fits: class "a" declares >= 8 nodes
+  wl.seed = GetParam();
+
+  try {
+    ScenarioSpec opts = ScenarioSpec::FromJson(JsonValue(std::move(spec_json)));
+    opts.jobs_override = GenerateSyntheticWorkload(wl);
+    ValidateScenarioSpec(opts);
+    Simulation sim(opts);
+    sim.Run();
+    EXPECT_FALSE(expect_reject) << "broken machines block was accepted";
+    const auto& eng = sim.engine();
+    EXPECT_EQ(eng.counters().submitted, opts.jobs_override.size());
+    EXPECT_LE(eng.recorder().MaxOf("utilization"), 100.001);
+    EXPECT_GE(eng.recorder().MinOf("power_kw"), 0.0);
+    for (double j : eng.class_energy_j()) {
+      EXPECT_TRUE(std::isfinite(j));
+      EXPECT_GE(j, 0.0);
+    }
+    // The machines block round-trips through the spec JSON bit-exactly.
+    const ScenarioSpec back = ScenarioSpec::FromJson(opts.ToJson());
+    EXPECT_EQ(back.ToJson().Dump(2), opts.ToJson().Dump(2));
+  } catch (const std::invalid_argument& e) {
+    EXPECT_TRUE(expect_reject) << "valid machines block rejected: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachinesJsonFuzz,
+                         ::testing::Range<std::uint64_t>(300, 340));
+
 // --- per-CDU cooling -------------------------------------------------------------
 
 CoolingSpec FrontierSpec() { return MakeSystemConfig("frontier").cooling; }

@@ -138,8 +138,8 @@ TEST(IntegrationTest, EnergyConservedAcrossPolicies) {
   // legitimately break this — placement decides the node spec — so pin a
   // single-partition config.
   SystemConfig homogeneous = MakeSystemConfig("mini");
-  homogeneous.partitions[1].num_nodes = 0;
-  homogeneous.partitions[0].num_nodes = 16;
+  homogeneous.machines[1].num_nodes = 0;
+  homogeneous.machines[0].num_nodes = 16;
   const auto jobs = ContendedWorkload();
   ScenarioSpec a;
   a.system = "mini";

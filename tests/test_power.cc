@@ -75,6 +75,49 @@ TEST(NodePowerTest, InverseModelNoDynamicRange) {
   EXPECT_DOUBLE_EQ(u.cpu, 0.0);
 }
 
+TEST(NodePowerTest, PStateInverseModelRoundTrip) {
+  // Forward at rung p, invert at rung p: the utilisation must come back.
+  const auto s = GpuNodeSpec();
+  for (const PState ps : {PState{1.0, 1.0}, PState{0.8, 0.7}, PState{0.6, 0.45}}) {
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const double p = BusyNodePowerW(s, {frac, frac}, ps);
+      const NodeUtilization u = UtilizationFromPowerW(s, p, ps);
+      EXPECT_NEAR(u.cpu, frac, 1e-9) << "power_scale " << ps.power_scale;
+      EXPECT_NEAR(u.gpu, frac, 1e-9) << "power_scale " << ps.power_scale;
+    }
+  }
+}
+
+TEST(NodePowerTest, PStateInverseModelHandChecked) {
+  // Hand-computed case pinning the fix: the measured excess over idle must
+  // be divided by power_scale BEFORE mapping onto the full-speed dynamic
+  // range.  Spec: idle wall = 100 + 20 + 4*50 + 30 + 20 = 370 W, dynamic
+  // range = (120-20) + 4*(450-50) = 1700 W.  A node at 50 % utilisation
+  // down-clocked to power_scale 0.5 draws 370 + 0.5 * 0.5 * 1700 = 795 W.
+  const auto s = GpuNodeSpec();
+  ASSERT_DOUBLE_EQ(s.IdleW(), 370.0);
+  const PState half{0.7, 0.5};
+  ASSERT_DOUBLE_EQ(BusyNodePowerW(s, {0.5, 0.5}, half), 795.0);
+  const NodeUtilization u = UtilizationFromPowerW(s, 795.0, half);
+  EXPECT_NEAR(u.cpu, 0.5, 1e-12);
+  EXPECT_NEAR(u.gpu, 0.5, 1e-12);
+  // The legacy (P0) inverse under-reports the same measurement: it maps the
+  // 425 W excess directly onto the 1700 W range, reading 25 %.
+  const NodeUtilization legacy = UtilizationFromPowerW(s, 795.0);
+  EXPECT_NEAR(legacy.cpu, 0.25, 1e-12);
+}
+
+TEST(NodePowerTest, PStateInverseModelClamps) {
+  // Clamping matches the forward model: one clamp on the excess-over-idle
+  // fraction, applied after the P-state correction.
+  const auto s = GpuNodeSpec();
+  const PState deep{0.6, 0.45};
+  EXPECT_DOUBLE_EQ(UtilizationFromPowerW(s, 1e9, deep).cpu, 1.0);
+  EXPECT_DOUBLE_EQ(UtilizationFromPowerW(s, 0.0, deep).gpu, 0.0);
+  // A non-positive power_scale cannot be inverted: zero utilisation.
+  EXPECT_DOUBLE_EQ(UtilizationFromPowerW(s, 795.0, PState{0.5, 0.0}).cpu, 0.0);
+}
+
 // --- conversion -----------------------------------------------------------
 
 TEST(ConversionTest, LossPositiveAndGrowing) {
@@ -160,7 +203,7 @@ TEST(SystemPowerTest, DirectPowerTraceOverridesUtil) {
   SystemPowerModel m(c);
   Job j = RunningJob(1, {0, 1}, 0, 1.0, 1.0);
   j.node_power_w = TraceSeries::Constant(123.0);
-  const double p = m.JobNodePowerW(j, 50, c.partitions[0].node_power);
+  const double p = m.JobNodePowerW(j, 50, c.machines[0].node_power);
   EXPECT_DOUBLE_EQ(p, 123.0);
 }
 
@@ -169,9 +212,9 @@ TEST(SystemPowerTest, NoTelemetryFallsBackToNominal) {
   SystemPowerModel m(c);
   Job j;
   j.id = 1;
-  const double p = m.JobNodePowerW(j, 0, c.partitions[0].node_power);
-  EXPECT_GT(p, c.partitions[0].node_power.IdleW());
-  EXPECT_LE(p, c.partitions[0].node_power.PeakW());
+  const double p = m.JobNodePowerW(j, 0, c.machines[0].node_power);
+  EXPECT_GT(p, c.machines[0].node_power.IdleW());
+  EXPECT_LE(p, c.machines[0].node_power.PeakW());
 }
 
 TEST(SystemPowerTest, HeterogeneousAllocationUsesPerPartitionSpecs) {

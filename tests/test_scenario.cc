@@ -154,6 +154,82 @@ TEST(ScenarioSpecTest, ApplyScenarioKeyDottedPaths) {
                std::invalid_argument);
 }
 
+MachineClassSpec TestClass(const std::string& name, int nodes) {
+  MachineClassSpec c;
+  c.name = name;
+  c.num_nodes = nodes;
+  c.cores_per_node = 16;
+  c.pstates = {{1.0, 1.0}, {0.8, 0.7}};
+  c.c_state = {true, 40.0, 30};
+  return c;
+}
+
+TEST(ScenarioSpecTest, MachinesBlockRoundTrip) {
+  ScenarioSpec spec;
+  spec.machines = {TestClass("cpu", 12), TestClass("gpu", 4)};
+  const ScenarioSpec back = ScenarioSpec::FromJson(spec.ToJson());
+  ASSERT_EQ(back.machines.size(), 2u);
+  EXPECT_EQ(back.machines[0].name, "cpu");
+  EXPECT_EQ(back.machines[1].num_nodes, 4);
+  EXPECT_EQ(back.machines[0].NumPStates(), 2);
+  EXPECT_TRUE(back.machines[1].c_state.enabled);
+  EXPECT_EQ(back.ToJson().Dump(2), spec.ToJson().Dump(2));
+}
+
+TEST(ScenarioSpecTest, MachinesBlockStrictParsingAndValidation) {
+  // Unknown keys anywhere in a machines entry are rejected at parse time.
+  EXPECT_THROW(ScenarioSpec::FromJson(JsonValue::Parse(
+                   R"({"machines": [{"name": "a", "nodez": 4}]})")),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::FromJson(JsonValue::Parse(
+                   R"({"machines": [{"name": "a", "power": {"idle": 1}}]})")),
+               std::invalid_argument);
+  // Duplicate class names are a validation error with an actionable message.
+  ScenarioSpec spec;
+  spec.jobs_override = SmallWorkload();
+  spec.machines = {TestClass("dup", 8), TestClass("dup", 8)};
+  try {
+    ValidateScenarioSpec(spec);
+    FAIL() << "duplicate class names accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dup"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioSpecTest, ApplyScenarioKeyMachinesArrayPaths) {
+  ScenarioSpec spec;
+  spec.jobs_override = SmallWorkload();
+  spec.machines = {TestClass("cpu", 12), TestClass("gpu", 4)};
+
+  // Descend by element name: the segment matches the entry's "name" field.
+  ApplyScenarioKey(spec, "machines.gpu.nodes",
+                   JsonValue(static_cast<std::int64_t>(8)));
+  EXPECT_EQ(spec.machines[1].num_nodes, 8);
+  EXPECT_EQ(spec.machines[0].num_nodes, 12);  // sibling untouched
+
+  // Descend by numeric index, including into nested objects.
+  ApplyScenarioKey(spec, "machines.0.cores",
+                   JsonValue(static_cast<std::int64_t>(32)));
+  EXPECT_EQ(spec.machines[0].cores_per_node, 32);
+  ApplyScenarioKey(spec, "machines.cpu.power.idle_w", JsonValue(123.0));
+  EXPECT_DOUBLE_EQ(spec.machines[0].node_power.idle_w, 123.0);
+
+  // An unknown class name lists the available ones.
+  try {
+    ApplyScenarioKey(spec, "machines.tpu.nodes",
+                     JsonValue(static_cast<std::int64_t>(1)));
+    FAIL() << "unknown class name accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cpu"), std::string::npos) << what;
+    EXPECT_NE(what.find("gpu"), std::string::npos) << what;
+  }
+  // Out-of-range indices are range errors, not silent appends.
+  EXPECT_THROW(ApplyScenarioKey(spec, "machines.7.nodes",
+                                JsonValue(static_cast<std::int64_t>(1))),
+               std::invalid_argument);
+}
+
 TEST(ScenarioSpecTest, FileRoundTrip) {
   const fs::path path = fs::temp_directory_path() / "sraps_scenario_roundtrip.json";
   const ScenarioSpec spec = FullSpec();
@@ -322,6 +398,76 @@ TEST(SimulationBuilderTest, OutOfRangeOutageNodeRejectedAtBuild) {
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("99"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SimulationBuilderTest, WithMachineClassValidatesIncrementally) {
+  SimulationBuilder b;
+  b.WithSystem("mini").WithJobs(SmallWorkload());
+  MachineClassSpec bad;  // empty name
+  bad.num_nodes = 4;
+  EXPECT_THROW(b.WithMachineClass(bad), std::invalid_argument);
+
+  MachineClassSpec cpu;
+  cpu.name = "cpu";
+  cpu.num_nodes = 12;
+  cpu.cores_per_node = 16;
+  b.WithMachineClass(cpu);
+  // Duplicate class names are rejected with a pointer to WithPStateLadder.
+  try {
+    b.WithMachineClass(cpu);
+    FAIL() << "duplicate class name accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cpu"), std::string::npos) << e.what();
+  }
+  // A non-monotone ladder never reaches the spec.
+  MachineClassSpec gpu;
+  gpu.name = "gpu";
+  gpu.num_nodes = 4;
+  gpu.pstates = {{1.0, 1.0}, {0.9, 1.0}};
+  EXPECT_THROW(b.WithMachineClass(gpu), std::invalid_argument);
+  EXPECT_EQ(b.spec().machines.size(), 1u);
+}
+
+TEST(SimulationBuilderTest, WithPStateLadderTargetsDeclaredClasses) {
+  SimulationBuilder b;
+  b.WithSystem("mini").WithJobs(SmallWorkload());
+  MachineClassSpec cpu;
+  cpu.name = "cpu";
+  cpu.num_nodes = 16;
+  cpu.cores_per_node = 16;
+  b.WithMachineClass(cpu);
+
+  // An unknown class name lists the declared ones.
+  try {
+    b.WithPStateLadder("tpu", {{1.0, 1.0}, {0.8, 0.7}});
+    FAIL() << "unknown class accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cpu"), std::string::npos) << e.what();
+  }
+  // A malformed ladder is rejected without touching the declared class.
+  EXPECT_THROW(b.WithPStateLadder("cpu", {{0.9, 1.0}}), std::invalid_argument);
+  EXPECT_TRUE(b.spec().machines[0].pstates.empty());
+
+  b.WithPStateLadder("cpu", {{1.0, 1.0}, {0.8, 0.7}, {0.6, 0.45}});
+  EXPECT_EQ(b.spec().machines[0].NumPStates(), 3);
+
+  auto sim = b.WithPolicy("race_to_idle").WithBackfill("easy").Build();
+  sim->Run();
+  EXPECT_EQ(sim->engine().counters().completed, 10u);
+}
+
+TEST(SimulationBuilderTest, PowerStatePolicyRequiresPowerStates) {
+  // race_to_idle / pace_to_cap on a system whose classes have no ladder and
+  // no sleep states would silently do nothing; the builder names the
+  // missing pieces instead.
+  SimulationBuilder b;
+  b.WithSystem("marconi100").WithJobs(SmallWorkload()).WithPolicy("race_to_idle");
+  try {
+    b.Build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pstates"), std::string::npos) << e.what();
   }
 }
 

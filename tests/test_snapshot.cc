@@ -84,7 +84,12 @@ void ExpectEquivalent(const Simulation& straight, const Simulation& forked) {
   EXPECT_EQ(a.counters().scheduler_invocations, b.counters().scheduler_invocations);
   EXPECT_EQ(a.counters().scheduler_skips, b.counters().scheduler_skips);
   EXPECT_EQ(a.counters().grid_events, b.counters().grid_events);
+  EXPECT_EQ(a.counters().power_plan_invocations, b.counters().power_plan_invocations);
+  EXPECT_EQ(a.counters().pstate_changes, b.counters().pstate_changes);
+  EXPECT_EQ(a.counters().nodes_slept, b.counters().nodes_slept);
+  EXPECT_EQ(a.counters().nodes_woken, b.counters().nodes_woken);
   EXPECT_EQ(a.now(), b.now());
+  EXPECT_TRUE(BitIdentical(a.class_energy_j(), b.class_energy_j()));
 
   EXPECT_TRUE(BitIdentical({a.grid_cost_usd()}, {b.grid_cost_usd()}));
   EXPECT_TRUE(BitIdentical({a.grid_co2_kg()}, {b.grid_co2_kg()}));
@@ -187,6 +192,42 @@ TEST_P(SnapshotAB, ForkMidThrottleUnderDrCapMatches) {
   bool throttled = false;
   for (double v : th.values) throttled |= v < 1.0;
   ASSERT_TRUE(throttled) << "test setup: DR cap never throttled";
+  ExpectEquivalent(*straight, *ForkedAt(spec, 7 * kHour));
+}
+
+TEST_P(SnapshotAB, ForkMidWakeTransitionMatches) {
+  // race_to_idle sleeps the idle machine; the 6 h contention wave wakes it
+  // through the per-class wake latencies.  Fork while wake transitions are
+  // in flight: the snapshot must carry kWaking node modes and the pending
+  // wake-event heap verbatim so the fork pops them in the same order.
+  ScenarioSpec spec = BaseSpec(GetParam());
+  spec.policy = "race_to_idle";
+  const auto straight = Straight(spec);
+  ASSERT_GT(straight->engine().counters().nodes_slept, 0u);
+
+  auto source = SimulationBuilder(spec).Build();
+  source->RunUntil(6 * kHour + 60);
+  bool mid_transition = false;
+  for (int n = 0; n < 8; ++n) {
+    mid_transition |= source->engine().NodeMode(n) == NodePowerMode::kWaking;
+  }
+  ASSERT_TRUE(mid_transition || source->engine().nodes_asleep() > 0)
+      << "test setup: no sleep/wake state live at the fork point";
+  const SimStateSnapshot snap = source->Snapshot();
+  source.reset();
+  auto fork = Simulation::ForkFrom(snap);
+  fork->Run();
+  ExpectEquivalent(*straight, *fork);
+}
+
+TEST_P(SnapshotAB, ForkMidPStateRungMatches) {
+  // pace_to_cap holds deep rungs while the DR window bites; fork lands with
+  // non-zero per-node P-states and a pending power event in the snapshot.
+  ScenarioSpec spec = BaseSpec(GetParam());
+  spec.policy = "pace_to_cap";
+  spec.grid.dr_windows = {{6 * kHour, 10 * kHour, 1300.0}};
+  const auto straight = Straight(spec);
+  ASSERT_GT(straight->engine().counters().pstate_changes, 0u);
   ExpectEquivalent(*straight, *ForkedAt(spec, 7 * kHour));
 }
 

@@ -332,6 +332,66 @@ TEST(SweepRunnerTest, AggregatorRejectsMisuse) {
   EXPECT_EQ(result.failed_count, 1u);
 }
 
+TEST(SweepRunnerTest, MachinesClassMixAxisRunsEveryScenario) {
+  // A class-mix sweep: the machines.<class>.<key> dotted path dials the
+  // node split between two declared classes (the workload fits the smallest
+  // mix), plus a ladder-shape axis over the gpu class.
+  SweepSpec sweep;
+  sweep.name = "classmix";
+  sweep.base = MiniBase();
+  MachineClassSpec cpu;
+  cpu.name = "cpu";
+  cpu.num_nodes = 12;
+  cpu.cores_per_node = 16;
+  MachineClassSpec gpu;
+  gpu.name = "gpu";
+  gpu.num_nodes = 4;
+  gpu.cores_per_node = 16;
+  gpu.node_power.gpus_per_node = 4;
+  sweep.base.machines = {cpu, gpu};
+  sweep.axes.push_back(SweepAxis("machines.cpu.nodes",
+                                 {JsonValue(static_cast<std::int64_t>(12)),
+                                  JsonValue(static_cast<std::int64_t>(16)),
+                                  JsonValue(static_cast<std::int64_t>(20))}));
+  JsonArray shallow, deep;
+  for (auto [f, p] : {std::pair{1.0, 1.0}, {0.8, 0.7}}) {
+    JsonObject rung;
+    rung["freq_scale"] = f;
+    rung["power_scale"] = p;
+    shallow.emplace_back(std::move(rung));
+  }
+  for (auto [f, p] : {std::pair{1.0, 1.0}, {0.85, 0.72}, {0.6, 0.4}}) {
+    JsonObject rung;
+    rung["freq_scale"] = f;
+    rung["power_scale"] = p;
+    deep.emplace_back(std::move(rung));
+  }
+  sweep.axes.push_back(SweepAxis("machines.gpu.pstates",
+                                 {JsonValue(std::move(shallow)),
+                                  JsonValue(std::move(deep))}));
+  sweep.Validate();
+
+  // Expansion patches the right class: spot-check one scenario per mix.
+  for (std::size_t i = 0; i < sweep.ScenarioCount(); ++i) {
+    const ExpandedScenario ex = sweep.Expand(i);
+    EXPECT_EQ(ex.spec.machines[0].num_nodes, 12 + 4 * static_cast<int>(i / 2));
+    EXPECT_EQ(ex.spec.machines[1].num_nodes, 4);
+    EXPECT_EQ(ex.spec.machines[1].NumPStates(), i % 2 == 0 ? 2 : 3);
+  }
+
+  SweepOptions options;
+  options.threads = 2;
+  const SweepSummary summary = SweepRunner(sweep).Run(options);
+  EXPECT_EQ(summary.total, 6u);
+  EXPECT_EQ(summary.ok_count, 6u);
+
+  // A machines axis is never trajectory-neutral: no prefix sharing.
+  EXPECT_EQ(FirstEffectTime(sweep.base, "machines.cpu.nodes",
+                            JsonValue(static_cast<std::int64_t>(16))),
+            0);
+  EXPECT_TRUE(PlanPrefixSharing(sweep).neutral_axes.empty());
+}
+
 TEST(SweepRunnerTest, ParetoExcludesEmptyAndDominatedRuns) {
   SweepAggregator agg(3);
   SweepRow a;  // on frontier: cheapest
