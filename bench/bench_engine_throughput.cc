@@ -166,6 +166,29 @@ void BM_EnginePowerStates(benchmark::State& state) {
                  pace ? "pace_to_cap" : "race_to_idle");
 }
 
+void BM_EngineThermalPlacement(benchmark::State& state) {
+  // Thermal-aware placement on the mini system with a rack-layout
+  // heat-recirculation topology: per-span inlet matvec + scored allocation
+  // under the min_hr policy.  range(0): 0 = dense 6 h, 1 = sparse 14 d;
+  // range(1): engine mode.  Guards the cost of the thermal layer on both
+  // the busy path (matvec every span) and the idle path (the event
+  // calendar must keep its speedup despite inlet bookkeeping).
+  SystemConfig config = MakeSystemConfig("mini");
+  config.cooling.topology.racks = 4;
+  config.cooling.topology.nodes_per_rack = 4;
+  config.cooling.topology.hr_matrix.kind = "layout";
+  config.cooling.topology.hr_matrix.intra_rack = 0.04;
+  config.cooling.topology.hr_matrix.cross_rack = 0.01;
+  config.cooling.topology.airflow_w_per_k = 300.0;
+  config.cooling.topology.fan_leak_w_per_k = 2.0;
+  const bool sparse = state.range(0) != 0;
+  const SimDuration span = sparse ? 14 * kDay : 6 * kHour;
+  const auto jobs =
+      sparse ? SparseWorkloadFor(config, span) : WorkloadFor(config, span, 40);
+  RunEngineBench(state, config, jobs, span, state.range(1) != 0,
+                 /*record_history=*/false, nullptr, "min_hr");
+}
+
 void BM_SchedulerInvocation(benchmark::State& state) {
   // Cost of one full schedule recomputation with a deep queue.
   const int queue_depth = static_cast<int>(state.range(0));
@@ -238,6 +261,10 @@ BENCHMARK(BM_EngineGridSignals)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EnginePowerStates)
     ->ArgNames({"pace", "event"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineThermalPlacement)
+    ->ArgNames({"sparse", "event"})
     ->ArgsProduct({{0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SchedulerInvocation)->Arg(100)->Arg(1000)->Arg(5000)

@@ -30,6 +30,7 @@
 #include "dataloaders/fugaku.h"
 #include "dataloaders/lassen.h"
 #include "dataloaders/marconi.h"
+#include "dataloaders/mini.h"
 #include "grid/grid_environment.h"
 #include "report/html_report.h"
 #include "report/sweep_report.h"
@@ -55,7 +56,7 @@ void Usage() {
   std::printf(
       "sraps_cli — scheduled digital-twin simulator (S-RAPS reproduction)\n\n"
       "usage: sraps_cli [options]\n"
-      "  --system NAME        %s|mini\n"
+      "  --system NAME        %s\n"
       "  -f, --data PATH      dataset directory (jobs.csv [+ traces.csv])\n"
       "  --scenario FILE      load a ScenarioSpec JSON file (later flags override)\n"
       "  --save-scenario F    write the resolved ScenarioSpec to F and exit\n"
@@ -65,6 +66,9 @@ void Usage() {
       "  -ff DURATION         fast-forward into the dataset (e.g. 4h, 35d, 61000)\n"
       "  -t DURATION          simulation length (default: to dataset end)\n"
       "  -c, --cooling        couple the cooling model (frontier, mini)\n"
+      "  --cooling-topology F thermal topology JSON (racks, nodes_per_rack,\n"
+      "                       hr_matrix) enabling the thermal-aware policies\n"
+      "  --supply-temp C      override the facility supply setpoint (deg C)\n"
       "  --accounts           accumulate per-account statistics\n"
       "  --accounts-json P    reload a collection run's accounts.json\n"
       "  --tick SECONDS       override the engine tick\n"
@@ -124,6 +128,8 @@ int Generate(const std::string& system, const std::string& dir) {
     n = GenerateLassenDataset(dir).size();
   } else if (system == "adastraMI250") {
     n = GenerateAdastraDataset(dir).size();
+  } else if (system == "mini") {
+    n = GenerateMiniDataset(dir).size();
   } else {
     std::fprintf(stderr, "unknown generator '%s'\n", system.c_str());
     return 2;
@@ -296,6 +302,28 @@ int main(int argc, char** argv) {
         }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "bad machines file '%s': %s\n", v.c_str(), e.what());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--cooling-topology")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        std::ifstream in(v);
+        if (!in) throw std::runtime_error("cannot open '" + v + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        opts.cooling_topology =
+            ThermalTopologySpec::FromJson(JsonValue::Parse(text.str()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad cooling topology file '%s': %s\n", v.c_str(),
+                     e.what());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--supply-temp")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        opts.cooling_supply_temp_c = std::stod(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad supply temperature '%s'\n", v.c_str());
         return 2;
       }
     } else if (!std::strcmp(a, "--grid-csv")) {

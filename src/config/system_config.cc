@@ -277,6 +277,272 @@ void ValidateMachineClass(const MachineClassSpec& cls,
   }
 }
 
+JsonValue HrMatrixSpec::ToJson() const {
+  JsonObject o;
+  o["kind"] = kind;
+  if (kind == "dense") {
+    JsonArray outer;
+    for (const auto& row : rows) {
+      JsonArray inner;
+      for (const double d : row) inner.push_back(d);
+      outer.push_back(JsonValue(std::move(inner)));
+    }
+    o["rows"] = JsonValue(std::move(outer));
+  } else if (kind == "banded") {
+    o["coeff"] = coeff;
+    o["decay"] = decay;
+    o["width"] = width;
+  } else {
+    o["intra_rack"] = intra_rack;
+    o["cross_rack"] = cross_rack;
+  }
+  return JsonValue(std::move(o));
+}
+
+HrMatrixSpec HrMatrixSpec::FromJson(const JsonValue& v) {
+  RejectUnknownKeys(
+      v, {"kind", "rows", "coeff", "decay", "width", "intra_rack", "cross_rack"},
+      "cooling.topology.hr_matrix");
+  HrMatrixSpec m;
+  const JsonObject& obj = v.AsObject();
+  if (obj.count("kind")) m.kind = v.At("kind").AsString();
+  if (m.kind != "dense" && m.kind != "banded" && m.kind != "layout") {
+    throw std::invalid_argument(
+        "cooling.topology.hr_matrix: unknown kind '" + m.kind +
+        "' (expected dense, banded, or layout)");
+  }
+  if (obj.count("rows")) {
+    for (const JsonValue& row : v.At("rows").AsArray()) {
+      std::vector<double> r;
+      for (const JsonValue& d : row.AsArray()) r.push_back(d.AsDouble());
+      m.rows.push_back(std::move(r));
+    }
+  }
+  m.coeff = v.GetDouble("coeff", m.coeff);
+  m.decay = v.GetDouble("decay", m.decay);
+  m.width = static_cast<int>(v.GetInt("width", m.width));
+  m.intra_rack = v.GetDouble("intra_rack", m.intra_rack);
+  m.cross_rack = v.GetDouble("cross_rack", m.cross_rack);
+  return m;
+}
+
+JsonValue ThermalTopologySpec::ToJson() const {
+  JsonObject o;
+  o["racks"] = racks;
+  o["nodes_per_rack"] = nodes_per_rack;
+  o["hr_matrix"] = hr_matrix.ToJson();
+  o["airflow_w_per_k"] = airflow_w_per_k;
+  o["fan_leak_w_per_k"] = fan_leak_w_per_k;
+  return JsonValue(std::move(o));
+}
+
+ThermalTopologySpec ThermalTopologySpec::FromJson(const JsonValue& v) {
+  RejectUnknownKeys(v,
+                    {"racks", "nodes_per_rack", "hr_matrix", "airflow_w_per_k",
+                     "fan_leak_w_per_k"},
+                    "cooling.topology");
+  ThermalTopologySpec t;
+  t.racks = static_cast<int>(v.GetInt("racks", 0));
+  t.nodes_per_rack = static_cast<int>(v.GetInt("nodes_per_rack", 0));
+  if (v.AsObject().count("hr_matrix")) {
+    t.hr_matrix = HrMatrixSpec::FromJson(v.At("hr_matrix"));
+  }
+  t.airflow_w_per_k = v.GetDouble("airflow_w_per_k", t.airflow_w_per_k);
+  t.fan_leak_w_per_k = v.GetDouble("fan_leak_w_per_k", t.fan_leak_w_per_k);
+  return t;
+}
+
+JsonValue CoolingSpec::ToJson() const {
+  JsonObject o;
+  o["has_cooling_model"] = has_cooling_model;
+  o["num_cdus"] = num_cdus;
+  o["design_it_load_kw"] = design_it_load_kw;
+  o["supply_temp_c"] = supply_temp_c;
+  o["wetbulb_c"] = wetbulb_c;
+  o["tower_approach_c"] = tower_approach_c;
+  o["loop_flow_kg_s"] = loop_flow_kg_s;
+  o["cdu_effectiveness"] = cdu_effectiveness;
+  o["thermal_mass_j_per_k"] = thermal_mass_j_per_k;
+  o["pump_rated_kw"] = pump_rated_kw;
+  o["fan_rated_kw"] = fan_rated_kw;
+  if (topology.enabled()) o["topology"] = topology.ToJson();
+  return JsonValue(std::move(o));
+}
+
+CoolingSpec CoolingSpec::FromJson(const JsonValue& v) {
+  RejectUnknownKeys(v,
+                    {"has_cooling_model", "num_cdus", "design_it_load_kw",
+                     "supply_temp_c", "wetbulb_c", "tower_approach_c",
+                     "loop_flow_kg_s", "cdu_effectiveness",
+                     "thermal_mass_j_per_k", "pump_rated_kw", "fan_rated_kw",
+                     "topology"},
+                    "cooling");
+  CoolingSpec s;
+  if (v.AsObject().count("has_cooling_model")) {
+    s.has_cooling_model = v.At("has_cooling_model").AsBool();
+  }
+  s.num_cdus = static_cast<int>(v.GetInt("num_cdus", s.num_cdus));
+  s.design_it_load_kw = v.GetDouble("design_it_load_kw", s.design_it_load_kw);
+  s.supply_temp_c = v.GetDouble("supply_temp_c", s.supply_temp_c);
+  s.wetbulb_c = v.GetDouble("wetbulb_c", s.wetbulb_c);
+  s.tower_approach_c = v.GetDouble("tower_approach_c", s.tower_approach_c);
+  s.loop_flow_kg_s = v.GetDouble("loop_flow_kg_s", s.loop_flow_kg_s);
+  s.cdu_effectiveness = v.GetDouble("cdu_effectiveness", s.cdu_effectiveness);
+  s.thermal_mass_j_per_k =
+      v.GetDouble("thermal_mass_j_per_k", s.thermal_mass_j_per_k);
+  s.pump_rated_kw = v.GetDouble("pump_rated_kw", s.pump_rated_kw);
+  s.fan_rated_kw = v.GetDouble("fan_rated_kw", s.fan_rated_kw);
+  if (v.AsObject().count("topology")) {
+    s.topology = ThermalTopologySpec::FromJson(v.At("topology"));
+  }
+  return s;
+}
+
+namespace {
+
+/// The row-sum bound: recirculation fractions into one inlet must not exceed
+/// 1 (a node cannot ingest more than the machine exhausts).
+void ValidateHrMatrix(const HrMatrixSpec& m, const ThermalTopologySpec& t,
+                      int total_nodes, const std::string& where) {
+  if (m.kind == "dense") {
+    const std::size_t n = m.rows.size();
+    if (total_nodes >= 0 && n != static_cast<std::size_t>(total_nodes)) {
+      throw std::invalid_argument(
+          where + ": hr_matrix has " + std::to_string(n) + " rows but the " +
+          "machine has " + std::to_string(total_nodes) +
+          " nodes; a dense matrix must be N x N over global node ids");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (m.rows[i].size() != n) {
+        throw std::invalid_argument(
+            where + ": hr_matrix row " + std::to_string(i) + " has " +
+            std::to_string(m.rows[i].size()) + " entries, matrix is " +
+            std::to_string(n) + " x " + std::to_string(n) +
+            " — the matrix must be square");
+      }
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = m.rows[i][j];
+        if (!(d >= 0.0) || !std::isfinite(d)) {
+          throw std::invalid_argument(
+              where + ": hr_matrix[" + std::to_string(i) + "][" +
+              std::to_string(j) +
+              "] is negative or non-finite; recirculation fractions must "
+              "be >= 0");
+        }
+        sum += d;
+      }
+      if (sum > 1.0) {
+        throw std::invalid_argument(
+            where + ": hr_matrix row " + std::to_string(i) + " sums to " +
+            std::to_string(sum) +
+            "; recirculation fractions into one inlet must sum to <= 1");
+      }
+    }
+  } else if (m.kind == "banded") {
+    if (m.width < 1) {
+      throw std::invalid_argument(where + ": hr_matrix.width must be >= 1, got " +
+                                  std::to_string(m.width));
+    }
+    if (!(m.coeff >= 0.0) || !std::isfinite(m.coeff)) {
+      throw std::invalid_argument(where +
+                                  ": hr_matrix.coeff must be finite and >= 0");
+    }
+    if (!(m.decay > 0.0 && m.decay <= 1.0)) {
+      throw std::invalid_argument(where +
+                                  ": hr_matrix.decay must lie in (0, 1]");
+    }
+    double sum = 0.0;
+    for (int d = 1; d <= m.width; ++d) {
+      sum += 2.0 * m.coeff * std::pow(m.decay, d - 1);
+    }
+    if (sum > 1.0) {
+      throw std::invalid_argument(
+          where + ": banded hr_matrix worst-case row sum is " +
+          std::to_string(sum) +
+          " (2 * coeff * sum decay^k over the band); recirculation "
+          "fractions into one inlet must sum to <= 1");
+    }
+  } else {  // layout
+    if (!(m.intra_rack >= 0.0) || !std::isfinite(m.intra_rack) ||
+        !(m.cross_rack >= 0.0) || !std::isfinite(m.cross_rack)) {
+      throw std::invalid_argument(
+          where + ": hr_matrix intra_rack/cross_rack must be finite and >= 0");
+    }
+    const double sum = m.intra_rack * (t.nodes_per_rack - 1) +
+                       2.0 * m.cross_rack * t.nodes_per_rack;
+    if (sum > 1.0) {
+      throw std::invalid_argument(
+          where + ": layout hr_matrix worst-case row sum is " +
+          std::to_string(sum) +
+          " (intra_rack over the rack + cross_rack over both neighbour "
+          "racks); recirculation fractions into one inlet must sum to <= 1");
+    }
+  }
+}
+
+}  // namespace
+
+void ValidateCoolingSpec(const CoolingSpec& spec, int total_nodes,
+                         const std::string& context) {
+  const std::string where = context + " cooling";
+  if (spec.num_cdus < 1) {
+    throw std::invalid_argument(where + ": num_cdus must be >= 1, got " +
+                                std::to_string(spec.num_cdus));
+  }
+  for (const auto& [label, value] :
+       {std::pair<const char*, double>{"design_it_load_kw",
+                                       spec.design_it_load_kw},
+        {"loop_flow_kg_s", spec.loop_flow_kg_s},
+        {"cdu_effectiveness", spec.cdu_effectiveness},
+        {"thermal_mass_j_per_k", spec.thermal_mass_j_per_k}}) {
+    if (!(value > 0.0) || !std::isfinite(value)) {
+      throw std::invalid_argument(where + ": " + label +
+                                  " must be finite and > 0");
+    }
+  }
+  for (const auto& [label, value] :
+       {std::pair<const char*, double>{"pump_rated_kw", spec.pump_rated_kw},
+        {"fan_rated_kw", spec.fan_rated_kw},
+        {"tower_approach_c", spec.tower_approach_c}}) {
+    if (!(value >= 0.0) || !std::isfinite(value)) {
+      throw std::invalid_argument(where + ": " + label +
+                                  " must be finite and >= 0");
+    }
+  }
+  if (!std::isfinite(spec.supply_temp_c) || !std::isfinite(spec.wetbulb_c)) {
+    throw std::invalid_argument(where +
+                                ": supply_temp_c/wetbulb_c must be finite");
+  }
+  const ThermalTopologySpec& t = spec.topology;
+  if (!t.enabled()) {
+    if (t.racks < 0) {
+      throw std::invalid_argument(where + ".topology: racks must be >= 0");
+    }
+    return;
+  }
+  const std::string twhere = where + ".topology";
+  if (t.nodes_per_rack < 1) {
+    throw std::invalid_argument(twhere + ": nodes_per_rack must be >= 1, got " +
+                                std::to_string(t.nodes_per_rack));
+  }
+  if (total_nodes >= 0 && t.racks * t.nodes_per_rack != total_nodes) {
+    throw std::invalid_argument(
+        twhere + ": racks * nodes_per_rack = " +
+        std::to_string(t.racks * t.nodes_per_rack) +
+        " must equal the machine's node count " + std::to_string(total_nodes));
+  }
+  if (!(t.airflow_w_per_k > 0.0) || !std::isfinite(t.airflow_w_per_k)) {
+    throw std::invalid_argument(twhere +
+                                ": airflow_w_per_k must be finite and > 0");
+  }
+  if (!(t.fan_leak_w_per_k >= 0.0) || !std::isfinite(t.fan_leak_w_per_k)) {
+    throw std::invalid_argument(twhere +
+                                ": fan_leak_w_per_k must be finite and >= 0");
+  }
+  ValidateHrMatrix(t.hr_matrix, t, total_nodes, twhere);
+}
+
 int SystemConfig::TotalNodes() const {
   int n = 0;
   for (const auto& m : machines) n += m.num_nodes;

@@ -126,7 +126,55 @@ struct ConversionSpec {
   int nodes_per_cabinet = 64;
 };
 
-/// Cooling design parameters for the lumped transient model (cooling/).
+/// How the heat-recirculation matrix D of a thermal topology is specified.
+/// D is N×N (N = total nodes); entry D[i][j] is the fraction of node j's heat
+/// that recirculates into node i's inlet airstream.  Three kinds:
+///   "dense"  — `rows` holds the full matrix explicitly.
+///   "banded" — D[i][j] = coeff * decay^(|i-j|-1) for 1 <= |i-j| <= width,
+///              0 elsewhere (neighbours along the row ingest each other's
+///              exhaust, falling off geometrically).
+///   "layout" — generated from the rack layout: nodes in the same rack
+///              couple with `intra_rack`, nodes in adjacent racks with
+///              `cross_rack`, everything further is 0.
+struct HrMatrixSpec {
+  std::string kind = "layout";
+  std::vector<std::vector<double>> rows;  ///< dense: explicit N×N entries
+  double coeff = 0.05;       ///< banded: nearest-neighbour coupling
+  double decay = 0.5;        ///< banded: geometric falloff per hop
+  int width = 2;             ///< banded: half-bandwidth in node ids
+  double intra_rack = 0.04;  ///< layout: same-rack coupling
+  double cross_rack = 0.01;  ///< layout: adjacent-rack coupling
+
+  JsonValue ToJson() const;
+  /// Strict parse: unknown keys throw std::invalid_argument naming the key.
+  static HrMatrixSpec FromJson(const JsonValue& v);
+};
+
+/// Spatial thermal structure over the machine's global node ids: a rack/row
+/// layout plus a heat-recirculation matrix.  Per-node inlet temperatures are
+///   T_in[i] = supply_temp_c + Σ_j D[i][j] · q_j / airflow_w_per_k
+/// where q_j is node j's sampled electrical draw (all of it exhausts as
+/// heat).  Inlet elevation above the supply setpoint costs
+/// `fan_leak_w_per_k` extra watts of fan/leakage draw per node per kelvin.
+/// `racks == 0` (the default) means no topology: every legacy behaviour is
+/// bit-identical.  Node n lives in rack n / nodes_per_rack.
+struct ThermalTopologySpec {
+  int racks = 0;             ///< 0 = thermal topology off
+  int nodes_per_rack = 0;    ///< racks * nodes_per_rack must equal TotalNodes
+  HrMatrixSpec hr_matrix;
+  double airflow_w_per_k = 1500.0;  ///< per-node airstream heat capacity
+  double fan_leak_w_per_k = 2.0;    ///< extra node draw per K inlet elevation
+
+  bool enabled() const { return racks > 0; }
+
+  JsonValue ToJson() const;
+  /// Strict parse: unknown keys throw std::invalid_argument naming the key.
+  static ThermalTopologySpec FromJson(const JsonValue& v);
+};
+
+/// Cooling design parameters for the lumped transient model (cooling/) and,
+/// when `topology` is configured, the thermal-placement layer (per-node
+/// inlet temperatures + placement-dependent multi-CDU heat split).
 struct CoolingSpec {
   bool has_cooling_model = false;   ///< only Frontier ships a cooling model in the paper
   int num_cdus = 25;                ///< cooling distribution units
@@ -139,7 +187,25 @@ struct CoolingSpec {
   double thermal_mass_j_per_k = 5.0e8;  ///< lumped loop thermal mass
   double pump_rated_kw = 400.0;     ///< facility pumps at design flow
   double fan_rated_kw = 600.0;      ///< tower fans at design load
+  ThermalTopologySpec topology;     ///< spatial layer; racks == 0 = absent
+
+  /// Round-trips through the scenario's `cooling` block.  ToJson omits
+  /// `topology` when racks == 0, so legacy flat cooling blocks serialise
+  /// unchanged.
+  JsonValue ToJson() const;
+  /// Strict parse: unknown keys throw std::invalid_argument naming the key.
+  /// Scalar fields keep their defaults when absent.
+  static CoolingSpec FromJson(const JsonValue& v);
 };
+
+/// Validates a cooling spec (parse-time, so a bad block fails before the run
+/// starts instead of mid-run inside a model constructor): num_cdus >= 1,
+/// positive thermal parameters, and — when a topology is configured — a
+/// square non-negative hr_matrix with row sums <= 1 and a rack grid matching
+/// `total_nodes` (pass total_nodes < 0 to skip the node-count check when the
+/// machine size is not known yet).  `context` prefixes every message.
+void ValidateCoolingSpec(const CoolingSpec& spec, int total_nodes,
+                         const std::string& context);
 
 /// Everything the engine needs to instantiate a digital twin of one system.
 struct SystemConfig {

@@ -1,0 +1,134 @@
+#include "cooling/heat_recirculation.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sraps {
+
+HeatRecirculationMatrix::HeatRecirculationMatrix(
+    const ThermalTopologySpec& topology, int total_nodes)
+    : n_(total_nodes),
+      racks_(topology.racks),
+      nodes_per_rack_(topology.nodes_per_rack),
+      airflow_w_per_k_(topology.airflow_w_per_k) {
+  if (n_ <= 0 || racks_ <= 0 || nodes_per_rack_ <= 0 ||
+      racks_ * nodes_per_rack_ != n_) {
+    throw std::invalid_argument(
+        "HeatRecirculationMatrix: rack grid " + std::to_string(racks_) + " x " +
+        std::to_string(nodes_per_rack_) + " does not cover " +
+        std::to_string(n_) + " nodes");
+  }
+  const HrMatrixSpec& m = topology.hr_matrix;
+  col_sum_.assign(static_cast<std::size_t>(n_), 0.0);
+  if (m.kind == "banded") {
+    banded_ = true;
+    coeff_by_offset_.resize(static_cast<std::size_t>(m.width));
+    for (int d = 1; d <= m.width; ++d) {
+      coeff_by_offset_[static_cast<std::size_t>(d - 1)] =
+          m.coeff * std::pow(m.decay, d - 1);
+    }
+    for (int j = 0; j < n_; ++j) {
+      double sum = 0.0;
+      for (int d = 1; d <= m.width; ++d) {
+        if (j - d >= 0) sum += coeff_by_offset_[static_cast<std::size_t>(d - 1)];
+        if (j + d < n_) sum += coeff_by_offset_[static_cast<std::size_t>(d - 1)];
+      }
+      col_sum_[static_cast<std::size_t>(j)] = sum;
+    }
+    return;
+  }
+  dense_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                0.0);
+  if (m.kind == "dense") {
+    if (m.rows.size() != static_cast<std::size_t>(n_)) {
+      throw std::invalid_argument(
+          "HeatRecirculationMatrix: dense matrix has " +
+          std::to_string(m.rows.size()) + " rows for " + std::to_string(n_) +
+          " nodes");
+    }
+    for (int i = 0; i < n_; ++i) {
+      const auto& row = m.rows[static_cast<std::size_t>(i)];
+      if (row.size() != static_cast<std::size_t>(n_)) {
+        throw std::invalid_argument(
+            "HeatRecirculationMatrix: dense matrix row " + std::to_string(i) +
+            " is not length " + std::to_string(n_));
+      }
+      for (int j = 0; j < n_; ++j) {
+        dense_[static_cast<std::size_t>(i) * n_ + j] =
+            row[static_cast<std::size_t>(j)];
+      }
+    }
+  } else if (m.kind == "layout") {
+    for (int i = 0; i < n_; ++i) {
+      const int ri = i / nodes_per_rack_;
+      for (int j = 0; j < n_; ++j) {
+        if (i == j) continue;
+        const int rj = j / nodes_per_rack_;
+        if (ri == rj) {
+          dense_[static_cast<std::size_t>(i) * n_ + j] = m.intra_rack;
+        } else if (std::abs(ri - rj) == 1) {
+          dense_[static_cast<std::size_t>(i) * n_ + j] = m.cross_rack;
+        }
+      }
+    }
+  } else {
+    throw std::invalid_argument("HeatRecirculationMatrix: unknown kind '" +
+                                m.kind + "'");
+  }
+  for (int j = 0; j < n_; ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < n_; ++i) {
+      sum += dense_[static_cast<std::size_t>(i) * n_ + j];
+    }
+    col_sum_[static_cast<std::size_t>(j)] = sum;
+  }
+}
+
+double HeatRecirculationMatrix::At(int i, int j) const {
+  if (i < 0 || i >= n_ || j < 0 || j >= n_) {
+    throw std::out_of_range("HeatRecirculationMatrix::At: index outside " +
+                            std::to_string(n_) + " nodes");
+  }
+  if (banded_) {
+    const int d = std::abs(i - j);
+    if (d < 1 || d > static_cast<int>(coeff_by_offset_.size())) return 0.0;
+    return coeff_by_offset_[static_cast<std::size_t>(d - 1)];
+  }
+  return dense_[static_cast<std::size_t>(i) * n_ + j];
+}
+
+void HeatRecirculationMatrix::InletTemps(const std::vector<double>& node_heat_w,
+                                         double supply_c,
+                                         std::vector<double>* out) const {
+  if (node_heat_w.size() != static_cast<std::size_t>(n_)) {
+    throw std::invalid_argument(
+        "HeatRecirculationMatrix::InletTemps: expected " + std::to_string(n_) +
+        " node heats, got " + std::to_string(node_heat_w.size()));
+  }
+  out->resize(static_cast<std::size_t>(n_));
+  if (banded_) {
+    const int width = static_cast<int>(coeff_by_offset_.size());
+    for (int i = 0; i < n_; ++i) {
+      double ingested = 0.0;
+      for (int d = 1; d <= width; ++d) {
+        const double c = coeff_by_offset_[static_cast<std::size_t>(d - 1)];
+        if (i - d >= 0) ingested += c * node_heat_w[static_cast<std::size_t>(i - d)];
+        if (i + d < n_) ingested += c * node_heat_w[static_cast<std::size_t>(i + d)];
+      }
+      (*out)[static_cast<std::size_t>(i)] = supply_c + ingested / airflow_w_per_k_;
+    }
+    return;
+  }
+  for (int i = 0; i < n_; ++i) {
+    double ingested = 0.0;
+    const double* row = &dense_[static_cast<std::size_t>(i) * n_];
+    for (int j = 0; j < n_; ++j) {
+      ingested += row[j] * node_heat_w[static_cast<std::size_t>(j)];
+    }
+    (*out)[static_cast<std::size_t>(i)] = supply_c + ingested / airflow_w_per_k_;
+  }
+}
+
+}  // namespace sraps

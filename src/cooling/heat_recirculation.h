@@ -1,0 +1,63 @@
+// Heat-recirculation view of a thermal topology (config/system_config.h):
+// the N×N matrix D with D[i][j] = fraction of node j's exhaust heat that
+// re-enters node i's inlet airstream, plus the rack layout over global node
+// ids.  Per-node inlet temperatures follow the classic TASP model
+//
+//   T_in[i] = T_supply + Σ_j D[i][j] · q_j / airflow_w_per_k
+//
+// where q_j is node j's electrical draw in watts (all of it exhausts as
+// heat).  The engine evaluates this once per batched span — q is
+// span-constant, so T_in is too, which is what keeps event-calendar runs
+// bit-identical to tick stepping (see DESIGN.md).
+//
+// Banded matrices are never materialised: InletTemps walks the band in
+// O(N·width), so machine-scale topologies stay cheap.  Dense and layout
+// kinds store the full matrix.
+#pragma once
+
+#include <vector>
+
+#include "config/system_config.h"
+
+namespace sraps {
+
+class HeatRecirculationMatrix {
+ public:
+  /// Builds the matrix from a validated topology (ValidateCoolingSpec must
+  /// have accepted it against the same `total_nodes`).  Throws
+  /// std::invalid_argument on an unknown kind or size mismatch.
+  HeatRecirculationMatrix(const ThermalTopologySpec& topology, int total_nodes);
+
+  int size() const { return n_; }
+  /// D[i][j]; both indices must lie in [0, size()).
+  double At(int i, int j) const;
+
+  /// T_in[i] for every node: out is resized to size().  `node_heat_w` must
+  /// hold size() per-node draws in watts.
+  void InletTemps(const std::vector<double>& node_heat_w, double supply_c,
+                  std::vector<double>* out) const;
+
+  /// Σ_i D[i][j]: the total fraction of node j's heat that recirculates
+  /// into *any* inlet — the min_hr placement score (lower = the node's
+  /// exhaust escapes to the cooling loop instead of reheating neighbours).
+  double ColumnSum(int j) const { return col_sum_[static_cast<std::size_t>(j)]; }
+
+  /// The rack owning a global node id.
+  int RackOf(int node) const { return node / nodes_per_rack_; }
+  int racks() const { return racks_; }
+  int nodes_per_rack() const { return nodes_per_rack_; }
+
+ private:
+  int n_ = 0;
+  int racks_ = 0;
+  int nodes_per_rack_ = 1;
+  double airflow_w_per_k_ = 1.0;
+  // Banded storage: coeff_by_offset_[d-1] = coupling at |i-j| == d.
+  bool banded_ = false;
+  std::vector<double> coeff_by_offset_;
+  // Dense storage (dense and layout kinds), row-major n_ x n_.
+  std::vector<double> dense_;
+  std::vector<double> col_sum_;
+};
+
+}  // namespace sraps

@@ -48,6 +48,10 @@ class MultiCduCoolingModel {
 
   int num_cdus() const { return static_cast<int>(cdus_.size()); }
   const CoolingSpec& spec() const { return facility_.spec(); }
+  /// The shared facility loop (snapshot fingerprints hash its thermal state).
+  const CoolingModel& facility() const { return facility_; }
+  /// Current per-CDU secondary-loop states.
+  const std::vector<CduState>& cdu_states() const { return cdus_; }
 
  private:
   CoolingModel facility_;

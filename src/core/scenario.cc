@@ -1,5 +1,6 @@
 #include "core/scenario.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -48,7 +49,11 @@ JsonValue ScenarioSpec::ToJson() const {
   obj["backfill"] = backfill;
   obj["fast_forward"] = JsonValue(static_cast<std::int64_t>(fast_forward));
   obj["duration"] = JsonValue(static_cast<std::int64_t>(duration));
-  obj["cooling"] = cooling;
+  JsonObject cool;
+  cool["enabled"] = cooling;
+  if (cooling_supply_temp_c) cool["supply_temp_c"] = *cooling_supply_temp_c;
+  if (cooling_topology.enabled()) cool["topology"] = cooling_topology.ToJson();
+  obj["cooling"] = JsonValue(std::move(cool));
   obj["accounts"] = accounts;
   obj["accounts_json"] = accounts_json;
   obj["record_history"] = record_history;
@@ -91,7 +96,23 @@ ScenarioSpec ScenarioSpec::FromJson(const JsonValue& v) {
     } else if (key == "duration") {
       spec.duration = value.AsInt();
     } else if (key == "cooling") {
-      spec.cooling = value.AsBool();
+      if (value.is_bool()) {
+        // Legacy flat form: "cooling": true/false.
+        spec.cooling = value.AsBool();
+      } else {
+        for (const auto& [ckey, cvalue] : value.AsObject()) {
+          if (ckey == "enabled") {
+            spec.cooling = cvalue.AsBool();
+          } else if (ckey == "supply_temp_c") {
+            spec.cooling_supply_temp_c = cvalue.AsDouble();
+          } else if (ckey == "topology") {
+            spec.cooling_topology = ThermalTopologySpec::FromJson(cvalue);
+          } else {
+            throw std::invalid_argument("ScenarioSpec: unknown cooling key '" +
+                                        ckey + "'");
+          }
+        }
+      }
     } else if (key == "accounts") {
       spec.accounts = value.AsBool();
     } else if (key == "accounts_json") {
@@ -260,6 +281,16 @@ void ValidateScenarioSpec(const ScenarioSpec& spec) {
     throw std::invalid_argument("ScenarioSpec '" + spec.name +
                                 "': power_cap_w must be >= 0 (0 = uncapped), got " +
                                 std::to_string(spec.power_cap_w));
+  }
+  if (spec.cooling_supply_temp_c && !std::isfinite(*spec.cooling_supply_temp_c)) {
+    throw std::invalid_argument("ScenarioSpec '" + spec.name +
+                                "': cooling.supply_temp_c must be finite");
+  }
+  if (spec.cooling_topology.racks != 0) {
+    // Node-count fit is checked by the builder once the system is resolved.
+    CoolingSpec cooling_probe;
+    cooling_probe.topology = spec.cooling_topology;
+    ValidateCoolingSpec(cooling_probe, -1, "ScenarioSpec '" + spec.name + "'");
   }
   for (const NodeOutage& o : spec.outages) {
     if (o.nodes.empty()) {

@@ -49,7 +49,20 @@ struct ScenarioSpec {
   SimDuration duration = 0;      ///< -t: 0 = run to the dataset's end
 
   // --- toggles --------------------------------------------------------------
+  /// The "cooling" JSON block.  Serialised as an object
+  ///   {"enabled": bool, "supply_temp_c": C, "topology": {...}}
+  /// (optional keys omitted when unset); a legacy bare bool parses as
+  /// `enabled` bit-identically.  `enabled` couples the transient cooling
+  /// model (-c); `supply_temp_c`/`topology` override the resolved system's
+  /// CoolingSpec, giving sweeps dotted axes ("cooling.supply_temp_c",
+  /// "cooling.topology.hr_matrix.coeff", ...).
   bool cooling = false;                    ///< -c: couple the cooling model
+  /// Supply-setpoint override onto the resolved system config; unset = the
+  /// system factory's value.
+  std::optional<double> cooling_supply_temp_c;
+  /// Thermal-topology override onto the resolved system config; racks == 0
+  /// (the default) = none configured.
+  ThermalTopologySpec cooling_topology;
   bool accounts = false;                   ///< --accounts: accumulate account stats
   std::string accounts_json;               ///< --accounts-json: reload a collection run
   bool record_history = true;              ///< fill the telemetry channels (history.csv)

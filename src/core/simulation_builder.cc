@@ -1,5 +1,6 @@
 #include "core/simulation_builder.h"
 
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -146,6 +147,40 @@ SimulationBuilder& SimulationBuilder::WithCooling(bool on) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::WithCoolingTopology(
+    ThermalTopologySpec topology) {
+  CoolingSpec probe;
+  probe.topology = topology;
+  ValidateCoolingSpec(probe, -1, "SimulationBuilder::WithCoolingTopology");
+  spec_.cooling_topology = std::move(topology);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithHeatRecirculation(HrMatrixSpec matrix) {
+  if (!spec_.cooling_topology.enabled()) {
+    throw std::invalid_argument(
+        "SimulationBuilder::WithHeatRecirculation: no thermal topology "
+        "declared; call WithCoolingTopology first");
+  }
+  ThermalTopologySpec probe = spec_.cooling_topology;
+  probe.hr_matrix = matrix;
+  CoolingSpec cooling_probe;
+  cooling_probe.topology = probe;
+  ValidateCoolingSpec(cooling_probe, -1,
+                      "SimulationBuilder::WithHeatRecirculation");
+  spec_.cooling_topology.hr_matrix = std::move(matrix);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::WithCoolingSupplyTemp(double supply_c) {
+  if (!std::isfinite(supply_c)) {
+    throw std::invalid_argument(
+        "SimulationBuilder: cooling supply temperature must be finite");
+  }
+  spec_.cooling_supply_temp_c = supply_c;
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::WithAccounts(bool on) {
   spec_.accounts = on;
   return *this;
@@ -275,6 +310,23 @@ void SimulationBuilder::Validate() const {
           "\"s_state\" block in the \"machines\" array)");
     }
   }
+  if (policy.needs_thermal) {
+    ThermalTopologySpec topology = spec_.cooling_topology;
+    if (!topology.enabled()) {
+      if (spec_.config_override) {
+        topology = spec_.config_override->cooling.topology;
+      } else {
+        topology = MakeSystemConfig(spec_.system).cooling.topology;
+      }
+    }
+    if (!topology.enabled()) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name + "': policy '" + spec_.policy +
+          "' places jobs by inlet temperature, but system '" + spec_.system +
+          "' declares no thermal topology (set a \"cooling\": {\"topology\": "
+          "{...}} block with racks/nodes_per_rack and an hr_matrix)");
+    }
+  }
   if (!spec_.backfill.empty()) BackfillRegistry().Get(spec_.backfill);
   if (spec_.dataset_path.empty() && spec_.jobs_override.empty()) {
     throw std::invalid_argument("ScenarioSpec '" + spec_.name +
@@ -302,6 +354,19 @@ void SimulationBuilder::BuildInto(Simulation& sim) const {
   sim.config_ =
       spec.config_override ? *spec.config_override : MakeSystemConfig(spec.system);
   if (!spec.machines.empty()) sim.config_.machines = spec.machines;
+  if (spec.cooling_supply_temp_c) {
+    sim.config_.cooling.supply_temp_c = *spec.cooling_supply_temp_c;
+  }
+  if (spec.cooling_topology.enabled()) {
+    sim.config_.cooling.topology = spec.cooling_topology;
+  }
+  // The merged cooling spec is validated against the real machine size
+  // whenever it will be exercised (cooling coupled or a topology present);
+  // this is where a rack grid that doesn't cover the node count is caught.
+  if (spec.cooling || sim.config_.cooling.topology.enabled()) {
+    ValidateCoolingSpec(sim.config_.cooling, sim.config_.TotalNodes(),
+                        "ScenarioSpec '" + spec.name + "'");
+  }
 
   // 2. Workload: dataset through the registered dataloader, or injected jobs.
   std::vector<Job> jobs;

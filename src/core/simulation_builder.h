@@ -65,6 +65,19 @@ class SimulationBuilder {
 
   // --- what-if knobs --------------------------------------------------------
   SimulationBuilder& WithCooling(bool on = true);         ///< couple the cooling model
+  /// Declares the thermal topology (rack layout + heat-recirculation matrix)
+  /// overriding the resolved system's cooling.topology.  Validated
+  /// immediately: non-square or negative matrices, row sums > 1, and
+  /// malformed rack grids throw std::invalid_argument naming the defect
+  /// (the rack-grid-vs-node-count fit is rechecked at Build, when the
+  /// machine size is known).
+  SimulationBuilder& WithCoolingTopology(ThermalTopologySpec topology);
+  /// Replaces the heat-recirculation matrix of the already-declared
+  /// topology.  Throws std::invalid_argument when no topology was declared
+  /// (call WithCoolingTopology first) or the matrix is malformed.
+  SimulationBuilder& WithHeatRecirculation(HrMatrixSpec matrix);
+  /// Overrides the facility supply setpoint (°C) of the resolved system.
+  SimulationBuilder& WithCoolingSupplyTemp(double supply_c);
   SimulationBuilder& WithAccounts(bool on = true);        ///< accumulate account stats
   SimulationBuilder& WithAccountsJson(std::string path);  ///< reload a collection run
   SimulationBuilder& WithPowerCapW(double watts);         ///< static facility cap

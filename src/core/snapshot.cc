@@ -226,6 +226,18 @@ std::uint64_t SimStateSnapshot::Fingerprint() const {
   h.U64(s.stats.Fingerprint());
   h.U64(s.stats.records().size());
   if (s.cooling) h.D(s.cooling->loop_temp_c());
+  if (s.multi_cooling) {
+    h.D(s.multi_cooling->facility().loop_temp_c());
+    h.U64(s.multi_cooling->cdu_states().size());
+    for (const CduState& cdu : s.multi_cooling->cdu_states()) {
+      h.D(cdu.return_temp_c);
+      h.D(cdu.heat_w);
+    }
+  }
+  h.U64(s.node_inlet_c.size());
+  for (const double t : s.node_inlet_c) h.D(t);
+  h.D(s.thermal_leak_j);
+  h.D(s.peak_inlet_c);
   h.U64(s.tick_wall_kwh.size());
   if (!s.tick_wall_kwh.empty()) h.D(s.tick_wall_kwh.back());
   // Per-node power state: rungs and modes are dense per-node bytes, wake

@@ -7,6 +7,7 @@
 #include "dataloaders/fugaku.h"
 #include "dataloaders/lassen.h"
 #include "dataloaders/marconi.h"
+#include "dataloaders/mini.h"
 
 namespace sraps {
 
@@ -39,6 +40,7 @@ void RegisterBuiltinDataloaders() {
   reg.Register(std::make_unique<FugakuLoader>());
   reg.Register(std::make_unique<LassenLoader>());
   reg.Register(std::make_unique<AdastraLoader>());
+  reg.Register(std::make_unique<MiniLoader>());
 }
 
 namespace loader_detail {

@@ -1,0 +1,56 @@
+#include "dataloaders/mini.h"
+
+#include <filesystem>
+
+#include "config/system_config.h"
+#include "dataloaders/jobs_io.h"
+#include "dataloaders/replay_synth.h"
+#include "dataloaders/trace_table.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace fs = std::filesystem;
+
+std::vector<Job> MiniLoader::Load(const std::string& path) const {
+  fs::path root(path);
+  fs::path jobs_csv = fs::is_directory(root) ? root / "jobs.csv" : root;
+  std::vector<Job> jobs = ReadJobsCsv(jobs_csv.string());
+  const fs::path traces_csv = jobs_csv.parent_path() / "traces.csv";
+  if (fs::exists(traces_csv)) {
+    AttachTraces(jobs, LoadTraceTable(traces_csv.string()));
+  }
+  return jobs;
+}
+
+std::vector<Job> GenerateMiniDataset(const std::string& dir,
+                                     const MiniDatasetSpec& spec) {
+  const SystemConfig config = MakeSystemConfig("mini");
+
+  SyntheticWorkloadSpec wl;
+  wl.first_submit = 0;
+  wl.horizon = spec.span;
+  wl.arrival_rate_per_hour = spec.arrival_rate_per_hour;
+  wl.max_nodes = config.TotalNodes() / 2;
+  wl.mean_nodes_log2 = 1.5;
+  wl.runtime_mu = 8.0;
+  wl.runtime_sigma = 1.0;
+  wl.gpu_jobs = true;  // half the mini nodes are the "gpu" class
+  wl.trace_interval = config.telemetry_interval;
+  wl.num_accounts = 4;
+  wl.seed = spec.seed;
+  std::vector<Job> jobs = GenerateSyntheticWorkload(wl);
+
+  ReplaySynthesisOptions rs;
+  rs.total_nodes = config.TotalNodes();
+  rs.utilization_cap = spec.utilization_cap;
+  rs.seed = spec.seed + 1;
+  rs.assign_node_lists = true;
+  SynthesizeRecordedSchedule(jobs, rs);
+
+  fs::create_directories(dir);
+  WriteJobsCsv((fs::path(dir) / "jobs.csv").string(), jobs);
+  SaveTraceTable((fs::path(dir) / "traces.csv").string(), jobs);
+  return jobs;
+}
+
+}  // namespace sraps

@@ -66,12 +66,22 @@ SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
   }
   tick_ = options_.tick > 0 ? options_.tick : config_.telemetry_interval;
   if (tick_ <= 0) throw std::invalid_argument("SimulationEngine: tick must be > 0");
+  if (config_.cooling.topology.enabled()) {
+    hr_matrix_ = std::make_unique<HeatRecirculationMatrix>(config_.cooling.topology,
+                                                           config_.TotalNodes());
+  }
   if (options_.enable_cooling) {
     if (!config_.cooling.has_cooling_model) {
       throw std::invalid_argument("SimulationEngine: system '" + config_.name +
                                   "' has no cooling model");
     }
-    cooling_ = std::make_unique<CoolingModel>(config_.cooling);
+    if (hr_matrix_) {
+      // With a thermal topology the placement determines where heat lands;
+      // the per-CDU model is the loop that can see that split.
+      multi_cooling_ = std::make_unique<MultiCduCoolingModel>(config_.cooling);
+    } else {
+      cooling_ = std::make_unique<CoolingModel>(config_.cooling);
+    }
   }
   Initialize();
 }
@@ -94,8 +104,30 @@ SimulationEngine::SimulationEngine(RestoreTag, SystemConfig config,
   // Validation happened in Restore(); this constructor only adopts the state
   // and rebuilds what Initialize() derives deterministically from options.
   tick_ = options_.tick > 0 ? options_.tick : config_.telemetry_interval;
+  if (config_.cooling.topology.enabled()) {
+    hr_matrix_ = std::make_unique<HeatRecirculationMatrix>(config_.cooling.topology,
+                                                           config_.TotalNodes());
+  }
   if (options_.enable_cooling) {
-    cooling_ = std::make_unique<CoolingModel>(*state.cooling);
+    if (hr_matrix_) {
+      multi_cooling_ = std::make_unique<MultiCduCoolingModel>(*state.multi_cooling);
+    } else {
+      cooling_ = std::make_unique<CoolingModel>(*state.cooling);
+    }
+  }
+  node_inlet_c_ = std::move(state.node_inlet_c);
+  thermal_leak_j_ = state.thermal_leak_j;
+  peak_inlet_c_ = state.peak_inlet_c;
+  if (hr_matrix_) {
+    if (node_inlet_c_.empty()) {
+      // Pre-thermal snapshot restored onto a thermal config: start from the
+      // supply setpoint, exactly like a fresh engine.
+      node_inlet_c_.assign(config_.TotalNodes(), config_.cooling.supply_temp_c);
+    }
+    class_idle_heat_w_.clear();
+    for (const MachineClassSpec& m : config_.machines) {
+      class_idle_heat_w_.push_back(m.node_power.IdleW());
+    }
   }
   events_this_tick_ = state.events_this_tick;
   submit_order_ = std::move(state.submit_order);
@@ -185,9 +217,22 @@ std::unique_ptr<SimulationEngine> SimulationEngine::Restore(
         " outside the window [" + std::to_string(options.sim_start) + ", " +
         std::to_string(options.sim_end) + ") plus its final tick");
   }
-  if (options.enable_cooling && !state.cooling) {
+  const bool thermal_topology = config.cooling.topology.enabled();
+  if (options.enable_cooling && !thermal_topology && !state.cooling) {
     throw std::invalid_argument("SimulationEngine::Restore: cooling is enabled but "
                                 "the state carries no cooling-loop snapshot");
+  }
+  if (options.enable_cooling && thermal_topology && !state.multi_cooling) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: cooling is enabled on a thermal topology "
+        "but the state carries no per-CDU cooling snapshot");
+  }
+  if (!state.node_inlet_c.empty() &&
+      state.node_inlet_c.size() != static_cast<std::size_t>(config.TotalNodes())) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: node_inlet_c covers " +
+        std::to_string(state.node_inlet_c.size()) + " nodes, system has " +
+        std::to_string(config.TotalNodes()));
   }
   const auto total = static_cast<std::size_t>(config.TotalNodes());
   if (!state.node_pstate.empty() && state.node_pstate.size() != total) {
@@ -242,6 +287,16 @@ void SimulationEngine::ResolveHistoryChannels() {
     hist_.nodes_asleep = &recorder_.Mutable("nodes_asleep");
     hist_.avg_freq = &recorder_.Mutable("avg_freq_scale");
   }
+  if (hr_matrix_) {
+    hist_.max_inlet = &recorder_.Mutable("max_inlet_c");
+    hist_.thermal_leak = &recorder_.Mutable("thermal_leak_kw");
+    hist_.rack_inlet.clear();
+    for (int r = 0; r < hr_matrix_->racks(); ++r) {
+      hist_.rack_inlet.push_back(
+          &recorder_.Mutable("rack" + std::to_string(r) + "_inlet_c"));
+    }
+    if (multi_cooling_) hist_.cdu_spread = &recorder_.Mutable("cdu_spread_c");
+  }
   // Every channel gets exactly one sample per tick; one upfront reserve
   // keeps the hot-loop appends reallocation-free.
   const auto total_ticks = static_cast<std::size_t>(
@@ -249,8 +304,13 @@ void SimulationEngine::ResolveHistoryChannels() {
   for (Channel* ch : {hist_.it_power, hist_.loss, hist_.power, hist_.utilization,
                       hist_.queue_len, hist_.running, hist_.throttle, hist_.price,
                       hist_.carbon, hist_.pue, hist_.tower, hist_.supply,
-                      hist_.cooling_kw, hist_.nodes_asleep, hist_.avg_freq}) {
+                      hist_.cooling_kw, hist_.nodes_asleep, hist_.avg_freq,
+                      hist_.max_inlet, hist_.thermal_leak, hist_.cdu_spread}) {
     if (!ch) continue;
+    ch->times.reserve(total_ticks);
+    ch->values.reserve(total_ticks);
+  }
+  for (Channel* ch : hist_.rack_inlet) {
     ch->times.reserve(total_ticks);
     ch->values.reserve(total_ticks);
   }
@@ -259,6 +319,16 @@ void SimulationEngine::ResolveHistoryChannels() {
 void SimulationEngine::Initialize() {
   now_ = options_.sim_start;
   job_energy_j_.assign(jobs_.size(), std::nan(""));
+
+  if (hr_matrix_) {
+    // No heat has been integrated yet: every inlet sits at the supply
+    // setpoint until the first span publishes real temperatures.
+    node_inlet_c_.assign(config_.TotalNodes(), config_.cooling.supply_temp_c);
+    class_idle_heat_w_.clear();
+    for (const MachineClassSpec& m : config_.machines) {
+      class_idle_heat_w_.push_back(m.node_power.IdleW());
+    }
+  }
 
   node_pstate_.assign(config_.TotalNodes(), 0);
   node_mode_.assign(config_.TotalNodes(), NodePowerMode::kActive);
@@ -558,6 +628,11 @@ void SimulationEngine::FillPowerContext(SchedulerContext& ctx) {
   ctx.effective_cap_w = EffectiveCapW();
   ctx.last_wall_power_w = last_wall_power_w_;
   ctx.last_busy_power_w = last_busy_power_w_;
+  if (hr_matrix_) {
+    ctx.hr_matrix = hr_matrix_.get();
+    ctx.node_inlet_c = &node_inlet_c_;
+    ctx.supply_temp_c = config_.cooling.supply_temp_c;
+  }
 }
 
 void SimulationEngine::CallPowerPlan() {
@@ -719,6 +794,8 @@ void SimulationEngine::StartJob(JobQueue::Handle h, const Placement& placement) 
     }
     rm_.AllocateExact(exact_nodes);  // throws if the scheduler double-booked
     nodes = exact_nodes;
+  } else if (placement.score) {
+    nodes = rm_.AllocateScored(job.nodes_required, placement.score);
   } else {
     nodes = rm_.Allocate(job.nodes_required);
   }
@@ -804,6 +881,64 @@ SimDuration SimulationEngine::SpanTicks() {
   return std::max<SimDuration>(1, n);
 }
 
+void SimulationEngine::ApplyThermalLayer(PowerSample& power, bool machine_idle) {
+  if (!hr_matrix_) return;
+  const double supply = config_.cooling.supply_temp_c;
+  const double fan_leak = config_.cooling.topology.fan_leak_w_per_k;
+  const auto total = static_cast<std::size_t>(config_.TotalNodes());
+  if (machine_idle) {
+    // Fully idle machine (every node active at P0, including down nodes,
+    // which draw idle in the electrical model too): heat is the per-class
+    // idle draw, so the inlet temperatures and the leak are pure constants.
+    // The matvec result is cached like idle_sample_; the O(N) heat fill
+    // still runs because the multi-CDU split below reads node_heat_w_.
+    node_heat_w_.resize(total);
+    for (std::size_t n = 0; n < total; ++n) {
+      node_heat_w_[n] = class_idle_heat_w_[config_.ClassOf(static_cast<int>(n))];
+    }
+    if (idle_leak_w_ < 0.0) {
+      hr_matrix_->InletTemps(node_heat_w_, supply, &idle_inlet_c_);
+      idle_leak_w_ = 0.0;
+      for (double t : idle_inlet_c_) idle_leak_w_ += std::max(0.0, t - supply);
+      idle_leak_w_ *= fan_leak;
+    }
+    inlet_scratch_ = idle_inlet_c_;
+    thermal_leak_w_ = idle_leak_w_;
+  } else {
+    node_heat_w_.resize(total);
+    for (std::size_t n = 0; n < total; ++n) {
+      const double busy_w = node_busy_w_scratch_[n];
+      if (busy_w >= 0.0) {
+        node_heat_w_[n] = busy_w;
+        continue;
+      }
+      const int node = static_cast<int>(n);
+      const MachineClassSpec& cls = config_.MachineClassOf(node);
+      switch (node_mode_[n]) {
+        case NodePowerMode::kCIdle:
+          node_heat_w_[n] = cls.SleepPowerW(false);
+          break;
+        case NodePowerMode::kSSleep:
+          node_heat_w_[n] = cls.SleepPowerW(true);
+          break;
+        default:
+          node_heat_w_[n] = class_idle_heat_w_[config_.ClassOf(node)];
+          break;
+      }
+    }
+    hr_matrix_->InletTemps(node_heat_w_, supply, &inlet_scratch_);
+    double excess_k = 0.0;
+    for (double t : inlet_scratch_) excess_k += std::max(0.0, t - supply);
+    thermal_leak_w_ = fan_leak * excess_k;
+  }
+  // The leak is rack-fan overhead, not job power: it joins the idle share of
+  // the IT draw, so cap throttling still sheds only job power and the
+  // per-job energy integration below stays untouched.
+  power.it_power_w += thermal_leak_w_;
+  power.loss_w = power_model_.conversion().LossW(power.it_power_w);
+  power.wall_power_w = power.it_power_w + power.loss_w;
+}
+
 void SimulationEngine::AdvanceTicks(SimDuration n) {
   // Step (4), batched: the caller guarantees ticks 2..n are event-free with
   // the same sampled power as tick 1, so one power/throttle computation
@@ -842,8 +977,16 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     power = power_model_.Compute(running_scratch_, now_, &job_power_scratch_,
                                  ps_active ? &psv : nullptr,
                                  ps_active ? &job_freq_scratch_ : nullptr,
-                                 class_energy_on_ ? &class_w_scratch_ : nullptr);
+                                 class_energy_on_ ? &class_w_scratch_ : nullptr,
+                                 hr_matrix_ ? &node_busy_w_scratch_ : nullptr);
   }
+
+  // Thermal topology: fold the span's per-node heat through the
+  // recirculation matrix and add the temperature-dependent fan/leakage
+  // overhead before the cap reads the wall power.  Inputs are exactly the
+  // span-constant sampled draws, so the result is span-constant too and the
+  // calendar stays bit-identical to tick stepping.
+  ApplyThermalLayer(power, use_idle_cache);
 
   // The *demand* the machine sampled this span (pre-cap, post-P-state): what
   // pace_to_cap reads to decide whether the ladder must step down to fit the
@@ -929,7 +1072,8 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
       grid_cost_on_ ? options_.grid.price_usd_per_kwh.At(now_) : 0.0;
   const double carbon_now =
       grid_co2_on_ ? options_.grid.carbon_kg_per_kwh.At(now_) : 0.0;
-  if (!cooling_ && (grid_cost_on_ || grid_co2_on_ || options_.capture_grid_basis)) {
+  if (!cooling_ && !multi_cooling_ &&
+      (grid_cost_on_ || grid_co2_on_ || options_.capture_grid_basis)) {
     const double kwh_per_tick = power.wall_power_w * dt / 3.6e6;
     // Replay basis: the exact per-tick kWh the integration below multiplies
     // by the signal values, so ReplayGridAccounting can redo the same
@@ -952,7 +1096,7 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     const auto count = static_cast<std::size_t>(n);
     hist_.it_power->AppendSpan(now_, tick_, count, power.it_power_w / 1000.0);
     hist_.loss->AppendSpan(now_, tick_, count, power.loss_w / 1000.0);
-    if (!cooling_) {
+    if (!cooling_ && !multi_cooling_) {
       hist_.power->AppendSpan(now_, tick_, count, power.wall_power_w / 1000.0);
     }
     hist_.utilization->AppendSpan(now_, tick_, count, power.node_utilization * 100.0);
@@ -973,6 +1117,25 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
       const double avg =
           power.busy_nodes > 0 ? power.busy_freq_sum / power.busy_nodes : 1.0;
       hist_.avg_freq->AppendSpan(now_, tick_, count, avg);
+    }
+    if (hist_.max_inlet) {
+      // Inlet temperatures are span-constant (they are a pure function of
+      // the span's sampled heat), so the per-rack heatmap channels batch
+      // like every other electrical channel.
+      double max_inlet = config_.cooling.supply_temp_c;
+      for (double t : inlet_scratch_) max_inlet = std::max(max_inlet, t);
+      hist_.max_inlet->AppendSpan(now_, tick_, count, max_inlet);
+      hist_.thermal_leak->AppendSpan(now_, tick_, count,
+                                     thermal_leak_w_ / 1000.0);
+      const int per_rack = hr_matrix_->nodes_per_rack();
+      for (int r = 0; r < hr_matrix_->racks(); ++r) {
+        double sum = 0.0;
+        for (int k = 0; k < per_rack; ++k) {
+          sum += inlet_scratch_[static_cast<std::size_t>(r * per_rack + k)];
+        }
+        hist_.rack_inlet[static_cast<std::size_t>(r)]->AppendSpan(
+            now_, tick_, count, sum / per_rack);
+      }
     }
   }
 
@@ -1003,9 +1166,70 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     }
   }
 
+  if (multi_cooling_) {
+    // Placement-dependent heat split: each node's throttled draw plus its
+    // fan-leak share lands on its rack's CDU (rack r feeds CDU r % num_cdus).
+    // The split is a pure function of span-constant quantities, so it is
+    // computed once and the per-tick loop below only advances the loops'
+    // first-order lags — mirroring the lumped-cooling branch above.
+    const int num_cdus = multi_cooling_->num_cdus();
+    per_cdu_heat_scratch_.assign(static_cast<std::size_t>(num_cdus), 0.0);
+    const double supply = config_.cooling.supply_temp_c;
+    const double fan_leak = config_.cooling.topology.fan_leak_w_per_k;
+    for (std::size_t node = 0; node < node_heat_w_.size(); ++node) {
+      const bool busy =
+          !use_idle_cache && node_busy_w_scratch_[node] >= 0.0;
+      const double leak_share =
+          fan_leak * std::max(0.0, inlet_scratch_[node] - supply);
+      const double q =
+          node_heat_w_[node] * (busy ? throttle : 1.0) + leak_share;
+      const int cdu = hr_matrix_->RackOf(static_cast<int>(node)) % num_cdus;
+      per_cdu_heat_scratch_[static_cast<std::size_t>(cdu)] += q;
+    }
+    for (SimDuration i = 0; i < n; ++i) {
+      const MultiCduSample mc =
+          multi_cooling_->Step(per_cdu_heat_scratch_, power.loss_w, dt);
+      const double wall_w = power.wall_power_w + mc.facility.cooling_power_w;
+      if (grid_cost_on_ || grid_co2_on_ || options_.capture_grid_basis) {
+        const double kwh = wall_w * dt / 3.6e6;
+        if (options_.capture_grid_basis) tick_wall_kwh_.push_back(kwh);
+        if (grid_cost_on_ || grid_co2_on_) {
+          grid_cost_usd_ += kwh * price_now;
+          grid_co2_kg_ += kwh * carbon_now;
+        }
+      }
+      if (options_.record_history) {
+        const SimTime t = now_ + i * tick_;
+        hist_.power->Append(t, wall_w / 1000.0);
+        hist_.pue->Append(t, mc.facility.pue);
+        hist_.tower->Append(t, mc.facility.tower_return_temp_c);
+        hist_.supply->Append(t, mc.facility.supply_temp_c);
+        hist_.cooling_kw->Append(t, mc.facility.cooling_power_w / 1000.0);
+        hist_.cdu_spread->Append(t, mc.spread_c);
+      }
+    }
+  }
+
   if (grid_cost_on_ || grid_co2_on_) {
     stats_.SetGridTotals(grid_cost_usd_, grid_co2_kg_);
   }
+
+  if (hr_matrix_) {
+    // Thermal stats: leak energy by repeated addition (tick/calendar
+    // identity, like every other accumulator) and the run-wide hottest
+    // inlet any node saw.
+    const double leak_inc = thermal_leak_w_ * dt;
+    for (SimDuration k = 0; k < n; ++k) thermal_leak_j_ += leak_inc;
+    for (const double t : inlet_scratch_) {
+      peak_inlet_c_ = std::max(peak_inlet_c_, t);
+    }
+    stats_.SetThermalTotals(thermal_leak_j_, peak_inlet_c_);
+  }
+
+  // Publish this span's inlet temperatures for the next scheduling pass.
+  // Scheduling only happens on event-bearing ticks, which bound calendar
+  // spans, so tick and calendar modes publish (and read) the same values.
+  if (hr_matrix_) node_inlet_c_.swap(inlet_scratch_);
 
   now_ += n * tick_;
   events_this_tick_ = false;
@@ -1091,6 +1315,10 @@ EngineState SimulationEngine::CaptureState() const {
   s.last_wall_power_w = last_wall_power_w_;
   s.last_busy_power_w = last_busy_power_w_;
   s.power_event_pending = power_event_pending_;
+  s.node_inlet_c = node_inlet_c_;
+  if (multi_cooling_) s.multi_cooling = *multi_cooling_;
+  s.thermal_leak_j = thermal_leak_j_;
+  s.peak_inlet_c = peak_inlet_c_;
   return s;
 }
 

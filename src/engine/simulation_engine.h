@@ -29,6 +29,8 @@
 #include "accounts/accounts.h"
 #include "config/system_config.h"
 #include "cooling/cooling_model.h"
+#include "cooling/heat_recirculation.h"
+#include "cooling/multi_cdu.h"
 #include "grid/grid_environment.h"
 #include "power/system_power.h"
 #include "sched/scheduler.h"
@@ -146,6 +148,18 @@ struct EngineState {
   double last_wall_power_w = 0.0;          ///< previous tick's wall draw
   double last_busy_power_w = 0.0;          ///< previous tick's busy share
   bool power_event_pending = false;        ///< a power action fired last step
+  // --- thermal topology (tentpole of the thermal-placement redesign) ---
+  /// Per-node inlet temperatures of the last integrated span — scheduler-
+  /// visible state, so a fork must resume from the same values.  Empty when
+  /// no thermal topology is configured (Restore re-initialises to the
+  /// supply setpoint if the config declares one).
+  std::vector<double> node_inlet_c;
+  /// Per-CDU cooling-loop state, present when cooling is coupled on a
+  /// system with a thermal topology (replaces the lumped `cooling` state).
+  std::optional<MultiCduCoolingModel> multi_cooling;
+  /// Running fan/leakage energy and peak inlet temperature (thermal stats).
+  double thermal_leak_j = 0.0;
+  double peak_inlet_c = 0.0;
 };
 
 class SimulationEngine {
@@ -250,6 +264,16 @@ class SimulationEngine {
   double grid_cost_usd() const { return grid_cost_usd_; }
   double grid_co2_kg() const { return grid_co2_kg_; }
 
+  // --- thermal topology (scheduler-visible placement context) --------------
+  /// The heat-recirculation matrix, or null when the system's cooling spec
+  /// declares no thermal topology.
+  const HeatRecirculationMatrix* hr_matrix() const { return hr_matrix_.get(); }
+  /// Per-node inlet temperatures of the last integrated span (empty without
+  /// a topology).  What the thermal placement policies score against.
+  const std::vector<double>& node_inlet_c() const { return node_inlet_c_; }
+  /// Fan/leakage overhead (W) the last span added to the IT draw.
+  double thermal_leak_w() const { return thermal_leak_w_; }
+
  private:
   /// Restore path: adopts `state` wholesale, rebuilding only the derived
   /// schedules (outage lists, grid boundaries, channel handles) from options.
@@ -311,6 +335,11 @@ class SimulationEngine {
   ResourceManager rm_;
   SystemPowerModel power_model_;
   std::unique_ptr<CoolingModel> cooling_;
+  /// Per-CDU cooling loops, used instead of the lumped cooling_ when the
+  /// system declares a thermal topology: the placement-dependent heat split
+  /// is exactly what the multi-CDU model exists to observe.
+  std::unique_ptr<MultiCduCoolingModel> multi_cooling_;
+  std::unique_ptr<HeatRecirculationMatrix> hr_matrix_;
   JobQueue queue_;
   SimulationStats stats_;
   TimeSeriesRecorder recorder_;
@@ -369,6 +398,27 @@ class SimulationEngine {
   std::vector<double> job_freq_scratch_;     ///< per-job freq scale from Compute()
   std::vector<double> class_w_scratch_;      ///< per-class draw from Compute()
 
+  // --- thermal topology ----------------------------------------------------
+  /// Applies the thermal layer to the span's sampled power: fills
+  /// node_heat_w_ (busy draw or idle/sleep draw per node), folds it through
+  /// the recirculation matrix into inlet_scratch_, and adds the
+  /// temperature-dependent fan/leakage overhead to power's IT draw (idle
+  /// share, so cap throttling still sheds only job power).  The fully idle
+  /// machine's inlets and leak are a pure constant and are cached like
+  /// idle_sample_.  No-op unless hr_matrix_ is set.
+  void ApplyThermalLayer(PowerSample& power, bool machine_idle);
+  std::vector<double> node_busy_w_scratch_;  ///< per-node busy draw from Compute()
+  std::vector<double> node_heat_w_;          ///< per-node heat of this span
+  std::vector<double> inlet_scratch_;        ///< this span's inlet temps
+  std::vector<double> node_inlet_c_;   ///< published inlet temps (last span)
+  std::vector<double> class_idle_heat_w_;  ///< idle draw per machine class
+  std::vector<double> idle_inlet_c_;   ///< inlet temps of the fully idle machine
+  double idle_leak_w_ = -1.0;          ///< leak of the fully idle machine (<0 = unset)
+  double thermal_leak_w_ = 0.0;        ///< last span's leak (observer/history)
+  double thermal_leak_j_ = 0.0;        ///< running leak energy (stats mirror)
+  double peak_inlet_c_ = 0.0;          ///< run-wide hottest inlet (stats mirror)
+  std::vector<double> per_cdu_heat_scratch_;  ///< heat split for multi_cooling_
+
   // --- per-node power state ------------------------------------------------
   std::vector<std::uint8_t> node_pstate_;  ///< ladder rung per global node
   std::vector<NodePowerMode> node_mode_;   ///< active / C / S / waking
@@ -409,6 +459,10 @@ class SimulationEngine {
     Channel* cooling_kw = nullptr;
     Channel* nodes_asleep = nullptr;
     Channel* avg_freq = nullptr;
+    Channel* max_inlet = nullptr;     ///< hottest node inlet (thermal only)
+    Channel* thermal_leak = nullptr;  ///< fan/leakage overhead kW (thermal only)
+    Channel* cdu_spread = nullptr;    ///< hottest - coldest CDU (multi-CDU only)
+    std::vector<Channel*> rack_inlet;  ///< mean inlet per rack (thermal only)
   } hist_;
 };
 

@@ -35,9 +35,13 @@ PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
                                       std::vector<double>* job_power_w,
                                       const PowerStateView* power_states,
                                       std::vector<double>* job_freq_scale,
-                                      std::vector<double>* class_it_w) const {
+                                      std::vector<double>* class_it_w,
+                                      std::vector<double>* node_busy_w) const {
   PowerSample s;
   const std::size_t num_classes = config_.machines.size();
+  if (node_busy_w) {
+    node_busy_w->assign(static_cast<std::size_t>(config_.TotalNodes()), -1.0);
+  }
   busy_scratch_.assign(num_classes, 0);
   std::vector<int>& busy_per_class = busy_scratch_;
   if (job_power_w) {
@@ -84,6 +88,7 @@ PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
     // The per-job subtotal keeps its own accumulator: consumers integrating
     // job energy must see the exact sum the engine historically computed.
     double job_power = 0.0;
+    if (node_busy_w) class_node_w_scratch_.assign(num_classes, -1.0);
     for (std::size_t c = 0; c < num_classes; ++c) {
       double cached_node_w = -1.0;
       for (std::size_t r = 0; r < stride; ++r) {
@@ -92,6 +97,7 @@ PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
         if (cached_node_w < 0.0) {
           cached_node_w =
               JobNodePowerW(*job, elapsed, config_.machines[c].node_power);
+          if (node_busy_w) class_node_w_scratch_[c] = cached_node_w;
         }
         const double node_w =
             r == 0 ? cached_node_w
@@ -109,6 +115,22 @@ PowerSample SystemPowerModel::Compute(const std::vector<const Job*>& running,
     }
     if (job_power_w) job_power_w->push_back(job_power);
     if (job_freq_scale) job_freq_scale->push_back(job_freq);
+    if (node_busy_w) {
+      // Second pass over the job's nodes, reusing the per-class base draw
+      // the grouped accumulation above already sampled.
+      for (int node : job->assigned_nodes) {
+        const std::size_t cls = config_.ClassOf(node);
+        std::size_t rung = 0;
+        if (ps) {
+          rung = (*power_states->node_pstate)[static_cast<std::size_t>(node)];
+        }
+        const double base = class_node_w_scratch_[cls];
+        (*node_busy_w)[static_cast<std::size_t>(node)] =
+            rung == 0 ? base
+                      : config_.machines[cls].ScaledBusyPowerW(
+                            static_cast<int>(rung), base);
+      }
+    }
     s.busy_nodes += static_cast<int>(job->assigned_nodes.size());
   }
   double idle_power = 0.0;

@@ -72,11 +72,17 @@ class SystemPowerModel {
   /// excluded) for the per-class energy breakdown.  Not thread-safe (reuses
   /// scratch buffers); engines own their model, so this never crosses
   /// threads.
+  /// `node_busy_w`, when non-null, is resized to the total node count and
+  /// receives each busy node's draw (P-state-scaled when a view is active);
+  /// non-busy nodes are marked -1.0 so the caller can substitute the
+  /// idle/sleep draw — this is the per-node heat source the thermal
+  /// topology folds into inlet temperatures.
   PowerSample Compute(const std::vector<const Job*>& running, SimTime now,
                       std::vector<double>* job_power_w = nullptr,
                       const PowerStateView* power_states = nullptr,
                       std::vector<double>* job_freq_scale = nullptr,
-                      std::vector<double>* class_it_w = nullptr) const;
+                      std::vector<double>* class_it_w = nullptr,
+                      std::vector<double>* node_busy_w = nullptr) const;
 
   const SystemConfig& config() const { return config_; }
   const ConversionLossModel& conversion() const { return conversion_; }
@@ -90,6 +96,7 @@ class SystemPowerModel {
   // Per-Compute scratch (why Compute is not thread-safe).
   mutable std::vector<int> busy_scratch_;
   mutable std::vector<int> count_scratch_;
+  mutable std::vector<double> class_node_w_scratch_;
 };
 
 }  // namespace sraps

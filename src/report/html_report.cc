@@ -198,6 +198,87 @@ NamedSeries NormalisedSeries(const std::string& label, const Channel& ch) {
 
 }  // namespace
 
+std::string RenderRackInletHeatmap(const TimeSeriesRecorder& recorder, int width,
+                                   int height) {
+  // Collect the contiguous rack channels the engine records for a thermal
+  // topology ("rack0_inlet_c", "rack1_inlet_c", ...).
+  std::vector<const Channel*> racks;
+  for (int r = 0;; ++r) {
+    const std::string name = "rack" + std::to_string(r) + "_inlet_c";
+    if (!recorder.Has(name)) break;
+    racks.push_back(&recorder.Get(name));
+  }
+  if (racks.empty() || racks.front()->values.empty()) return "";
+  if (width < 100 || height < 80) {
+    throw std::invalid_argument("RenderRackInletHeatmap: chart too small");
+  }
+
+  // Value range across every rack, for one shared colour scale.
+  double lo = racks.front()->values.front(), hi = lo;
+  for (const Channel* ch : racks) {
+    for (double v : ch->values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi == lo) hi = lo + 1.0;
+
+  // Bin samples along time so machine-scale runs stay a bounded SVG: each
+  // cell is the mean of its bin (all rack channels share one time base).
+  const std::size_t samples = racks.front()->values.size();
+  const std::size_t cols = std::min<std::size_t>(samples, 160);
+  const int ml = 64, mr = 96, mt = 28, mb = 34;
+  const double pw = width - ml - mr;
+  const double ph = height - mt - mb;
+  const double cell_w = pw / static_cast<double>(cols);
+  const double cell_h = ph / static_cast<double>(racks.size());
+
+  // Cool inlets render blue (#2166AC), hot ones red (#B2182B).
+  auto colour = [&](double v) {
+    const double f = (v - lo) / (hi - lo);
+    const int r = static_cast<int>(0x21 + f * (0xB2 - 0x21));
+    const int g = static_cast<int>(0x66 + f * (0x18 - 0x66));
+    const int b = static_cast<int>(0xAC + f * (0x2B - 0xAC));
+    std::ostringstream c;
+    c << "#" << std::hex;
+    for (int x : {r, g, b}) c << (x < 16 ? "0" : "") << x;
+    return c.str();
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width << "' height='"
+      << height << "' font-family='sans-serif' font-size='11'>\n";
+  svg << "<text x='" << ml << "' y='16' font-size='13' font-weight='bold'>"
+      << "per-rack inlet temperature (&#176;C)</text>\n";
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    const std::vector<double>& values = racks[r]->values;
+    const double y = mt + cell_h * static_cast<double>(r);
+    svg << "<text x='" << (ml - 6) << "' y='" << (y + cell_h / 2 + 4)
+        << "' text-anchor='end'>r" << r << "</text>\n";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t begin = c * samples / cols;
+      const std::size_t end = std::max(begin + 1, (c + 1) * samples / cols);
+      double sum = 0.0;
+      for (std::size_t i = begin; i < end && i < values.size(); ++i) sum += values[i];
+      const double mean = sum / static_cast<double>(end - begin);
+      svg << "<rect x='" << Round(ml + cell_w * static_cast<double>(c), 1) << "' y='"
+          << Round(y, 1) << "' width='" << Round(cell_w + 0.5, 1) << "' height='"
+          << Round(cell_h + 0.5, 1) << "' fill='" << colour(mean) << "'/>\n";
+    }
+  }
+  // Colour-scale legend: the range endpoints.
+  svg << "<rect x='" << (ml + pw + 8) << "' y='" << mt
+      << "' width='14' height='14' fill='" << colour(hi) << "'/>\n";
+  svg << "<text x='" << (ml + pw + 26) << "' y='" << (mt + 11) << "'>"
+      << Round(hi, 1) << "</text>\n";
+  svg << "<rect x='" << (ml + pw + 8) << "' y='" << (mt + ph - 14)
+      << "' width='14' height='14' fill='" << colour(lo) << "'/>\n";
+  svg << "<text x='" << (ml + pw + 26) << "' y='" << (mt + ph - 3) << "'>"
+      << Round(lo, 1) << "</text>\n";
+  svg << "</svg>\n";
+  return svg.str();
+}
+
 std::string RenderHtmlReport(const TimeSeriesRecorder& recorder,
                              const SimulationStats& stats,
                              const ReportOptions& options) {
@@ -217,6 +298,9 @@ std::string RenderHtmlReport(const TimeSeriesRecorder& recorder,
     html << RenderSvgChart(overlay, "power vs grid price (normalised)",
                            options.chart_width, options.chart_height);
   }
+  const std::string heatmap =
+      RenderRackInletHeatmap(recorder, options.chart_width, options.chart_height);
+  if (!heatmap.empty()) html << heatmap;
   html << "<h2>systems accounting</h2>\n" << StatsTable(stats);
   html << "</body></html>\n";
   return html.str();

@@ -22,6 +22,8 @@ struct ReportOptions {
                                        "price_usd_per_kwh", "carbon_kg_per_kwh",
                                        "nodes_asleep", "avg_freq_scale",
                                        "pue",       "tower_return_c",
+                                       "max_inlet_c", "thermal_leak_kw",
+                                       "cdu_spread_c",
                                        "queue_length", "running_jobs"};
   /// Render a combined power-vs-price timeline (both series min-max
   /// normalised onto one axis) when the run recorded a price signal — shows
@@ -41,7 +43,16 @@ struct NamedSeries {
 std::string RenderSvgChart(const std::vector<NamedSeries>& series,
                            const std::string& title, int width, int height);
 
+/// Renders the per-rack inlet-temperature heatmap of a thermal-topology run:
+/// one row per `rack<r>_inlet_c` channel (rack 0 at the top), time along x,
+/// colour from coolest (blue) to hottest (red) across the run's range.
+/// Returns an empty string when the recorder holds no rack channels, so
+/// callers can splice it in unconditionally.  Exposed for tests.
+std::string RenderRackInletHeatmap(const TimeSeriesRecorder& recorder,
+                                   int width = 900, int height = 220);
+
 /// Full single-run report: charts for the configured channels + stats table.
+/// Thermal-topology runs additionally get the per-rack inlet heatmap.
 std::string RenderHtmlReport(const TimeSeriesRecorder& recorder,
                              const SimulationStats& stats,
                              const ReportOptions& options = {});

@@ -1,9 +1,11 @@
 #include "sched/builtin_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 
+#include "cooling/heat_recirculation.h"
 #include "sched/availability_profile.h"
 
 namespace sraps {
@@ -66,6 +68,13 @@ double BuiltinScheduler::PriorityKey(const Job& job) const {
     case Policy::kRaceToIdle:
     case Policy::kPaceToCap:
       // FCFS job order; the power influence lives in PlanPowerStates.
+      return -static_cast<double>(job.submit_time);
+    case Policy::kLowTempFirst:
+    case Policy::kMinHr:
+    case Policy::kCenterRackFirst:
+    case Policy::kBestEdp:
+      // FCFS job order; the thermal influence is *where* a job lands
+      // (ThermalScorer), not when it starts.
       return -static_cast<double>(job.submit_time);
   }
   return 0.0;
@@ -184,7 +193,15 @@ std::vector<PowerAction> BuiltinScheduler::PlanPowerStates(
 std::vector<Placement> BuiltinScheduler::Schedule(const SchedulerContext& ctx) {
   if (policy_ == Policy::kReplay) return ScheduleReplay(ctx);
   if (!ctx.had_events) return {};  // nothing changed: keep the previous schedule
-  return ScheduleOrdered(ctx);
+  std::vector<Placement> placements = ScheduleOrdered(ctx);
+  if (const std::function<double(int)> score = ThermalScorer(ctx)) {
+    // Thermal policies keep the FCFS admission decision and steer only the
+    // node choice: every count-based placement gets the scorer attached.
+    for (Placement& p : placements) {
+      if (p.nodes.empty()) p.score = score;
+    }
+  }
+  return placements;
 }
 
 std::vector<Placement> BuiltinScheduler::ScheduleReplay(
@@ -242,6 +259,41 @@ bool BuiltinScheduler::HoldForCheaperWindow(const Job& job, SimTime now) const {
     if (sig.At(b) < here) return true;
   }
   return false;
+}
+
+std::function<double(int)> BuiltinScheduler::ThermalScorer(
+    const SchedulerContext& ctx) const {
+  if (!IsThermalPolicy(policy_)) return nullptr;
+  if (ctx.hr_matrix == nullptr || ctx.node_inlet_c == nullptr) return nullptr;
+  const HeatRecirculationMatrix* hr = ctx.hr_matrix;
+  const std::vector<double>* inlet = ctx.node_inlet_c;
+  const double supply = ctx.supply_temp_c;
+  switch (policy_) {
+    case Policy::kLowTempFirst:
+      // Coolest inlets first: jobs land where the air arriving at the node
+      // is closest to the supply setpoint.
+      return [inlet](int n) { return (*inlet)[static_cast<std::size_t>(n)]; };
+    case Policy::kMinHr:
+      // Least-recirculating exhaust first: Σ_i D[i][n] is the fraction of
+      // node n's heat that reheats *any* inlet instead of leaving through
+      // the cooling loop.
+      return [hr](int n) { return hr->ColumnSum(n); };
+    case Policy::kCenterRackFirst: {
+      // Fill the centre of the row outward — the classic layout heuristic
+      // when edge racks sit closest to the CRAC supply.
+      const double centre = (hr->racks() - 1) / 2.0;
+      return [hr, centre](int n) { return std::fabs(hr->RackOf(n) - centre); };
+    }
+    case Policy::kBestEdp:
+      // Combined score: current inlet rise over supply (how pre-heated the
+      // node's air already is) plus its recirculation column sum (how much
+      // the new load will pre-heat everyone else).
+      return [hr, inlet, supply](int n) {
+        return ((*inlet)[static_cast<std::size_t>(n)] - supply) + hr->ColumnSum(n);
+      };
+    default:
+      return nullptr;
+  }
 }
 
 std::vector<Placement> BuiltinScheduler::ScheduleOrdered(

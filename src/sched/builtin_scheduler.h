@@ -64,6 +64,11 @@ class BuiltinScheduler : public Scheduler {
  private:
   std::vector<Placement> ScheduleReplay(const SchedulerContext& ctx) const;
   std::vector<Placement> ScheduleOrdered(const SchedulerContext& ctx) const;
+  /// The node scorer of a thermal policy (lower = better), built over the
+  /// context's inlet-temperature/recirculation view.  Null when the context
+  /// carries no thermal topology — placements then fall back to the
+  /// lowest-first allocation every non-thermal policy uses.
+  std::function<double(int)> ThermalScorer(const SchedulerContext& ctx) const;
 
   Policy policy_;
   BackfillMode backfill_;

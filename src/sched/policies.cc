@@ -11,7 +11,8 @@ void RegisterBuiltinPolicies(NamedRegistry<PolicyDef>& reg) {
     const bool needs_grid = id == Policy::kGridAware;
     reg.Register(name,
                  PolicyDef{id, needs_accounts, needs_grid,
-                           IsPowerStatePolicy(id), ToString(id)},
+                           IsPowerStatePolicy(id), IsThermalPolicy(id),
+                           ToString(id)},
                  std::move(description));
   };
   add("replay", Policy::kReplay, false, "re-enact the recorded schedule exactly");
@@ -33,6 +34,14 @@ void RegisterBuiltinPolicies(NamedRegistry<PolicyDef>& reg) {
       "FCFS at full clock; sleep free nodes when the queue is empty");
   add("pace_to_cap", Policy::kPaceToCap, false,
       "FCFS; down-clock busy nodes to fit the effective grid cap");
+  add("low_temp_first", Policy::kLowTempFirst, false,
+      "FCFS; place jobs on the coolest node inlets");
+  add("min_hr", Policy::kMinHr, false,
+      "FCFS; place jobs where exhaust recirculates least");
+  add("center_rack_first", Policy::kCenterRackFirst, false,
+      "FCFS; fill centre racks first");
+  add("best_edp", Policy::kBestEdp, false,
+      "FCFS; combined inlet-rise + recirculation placement score");
 }
 
 void RegisterBuiltinBackfills(NamedRegistry<BackfillDef>& reg) {
@@ -85,6 +94,10 @@ std::string ToString(Policy p) {
     case Policy::kAcctFugakuPts: return "acct_fugaku_pts";
     case Policy::kRaceToIdle: return "race_to_idle";
     case Policy::kPaceToCap: return "pace_to_cap";
+    case Policy::kLowTempFirst: return "low_temp_first";
+    case Policy::kMinHr: return "min_hr";
+    case Policy::kCenterRackFirst: return "center_rack_first";
+    case Policy::kBestEdp: return "best_edp";
   }
   return "?";
 }
@@ -120,6 +133,18 @@ bool IsAccountPolicy(Policy p) {
 
 bool IsPowerStatePolicy(Policy p) {
   return p == Policy::kRaceToIdle || p == Policy::kPaceToCap;
+}
+
+bool IsThermalPolicy(Policy p) {
+  switch (p) {
+    case Policy::kLowTempFirst:
+    case Policy::kMinHr:
+    case Policy::kCenterRackFirst:
+    case Policy::kBestEdp:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace sraps

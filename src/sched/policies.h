@@ -38,6 +38,14 @@ enum class Policy {
   kPaceToCap,   ///< down-clock busy nodes to fit under the effective grid
                 ///< cap instead of holding jobs — trade makespan for
                 ///< cap compliance
+  // Thermal-aware placement policies: FCFS job order, but each job's nodes
+  // are chosen by a thermal score over the heat-recirculation topology
+  // instead of lowest-id-first.  Require a system whose cooling spec
+  // declares a thermal topology.
+  kLowTempFirst,     ///< place on the coolest inlets right now
+  kMinHr,            ///< place on nodes whose exhaust recirculates least
+  kCenterRackFirst,  ///< fill centre racks first (CDU-sharing heuristic)
+  kBestEdp,          ///< combined inlet-rise + recirculation score
 };
 
 enum class BackfillMode {
@@ -57,6 +65,8 @@ struct PolicyDef {
   bool needs_grid = false;      ///< requires a GridEnvironment with signals
   bool needs_power_states = false;  ///< requires machine classes with power
                                     ///< states (ladder or C/S)
+  bool needs_thermal = false;  ///< requires a cooling spec with a thermal
+                               ///< topology (racks + hr_matrix)
   std::string canonical_name;   ///< ToString(id); aliases map here
 };
 
@@ -90,5 +100,9 @@ bool IsAccountPolicy(Policy p);
 /// True for the policies that manage node power states (race_to_idle,
 /// pace_to_cap).
 bool IsPowerStatePolicy(Policy p);
+
+/// True for the policies that place jobs by thermal score (low_temp_first,
+/// min_hr, center_rack_first, best_edp).
+bool IsThermalPolicy(Policy p);
 
 }  // namespace sraps

@@ -1,7 +1,9 @@
 #include "sched/resource_manager.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace sraps {
 
@@ -66,6 +68,37 @@ std::vector<int> ResourceManager::Allocate(int count) {
   std::vector<int> nodes = strategy_ == AllocationStrategy::kBestFitContiguous
                                ? PickBestFitContiguous(count)
                                : PickLowestFirst(count);
+  for (int n : nodes) {
+    busy_[n] = true;
+    free_.erase(n);
+  }
+  return nodes;
+}
+
+std::vector<int> ResourceManager::AllocateScored(
+    int count, const std::function<double(int)>& score) {
+  if (!score) {
+    throw std::invalid_argument("ResourceManager: AllocateScored needs a scorer");
+  }
+  if (count <= 0) {
+    throw std::invalid_argument("ResourceManager: allocate " +
+                                std::to_string(count) + " nodes");
+  }
+  if (count > free_nodes()) {
+    throw std::runtime_error("ResourceManager: requested " + std::to_string(count) +
+                             " nodes, " + std::to_string(free_nodes()) + " free");
+  }
+  // (score, id) pairs over the free set: ids are unique, so the pairs form
+  // a strict total order and nth_element deterministically partitions the
+  // `count` smallest — equal scores break toward the lower node id.
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(free_.size());
+  for (int n : free_) scored.emplace_back(score(n), n);
+  std::nth_element(scored.begin(), scored.begin() + (count - 1), scored.end());
+  std::vector<int> nodes;
+  nodes.reserve(count);
+  for (int i = 0; i < count; ++i) nodes.push_back(scored[i].second);
+  std::sort(nodes.begin(), nodes.end());
   for (int n : nodes) {
     busy_[n] = true;
     free_.erase(n);

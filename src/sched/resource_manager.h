@@ -6,6 +6,7 @@
 // double-allocated (completions must be released before placements).
 #pragma once
 
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -36,6 +37,16 @@ class ResourceManager {
   /// Allocates `count` lowest-numbered free nodes.  Throws
   /// std::runtime_error if not enough nodes are free.
   std::vector<int> Allocate(int count);
+
+  /// Allocates the `count` free nodes minimising (score(node), node id) —
+  /// the scored-placement path of the thermal-aware policies.  Ties break
+  /// on the lower node id, and the returned list is sorted ascending by id
+  /// so downstream order-sensitive arithmetic (per-job power summation)
+  /// matches every other allocation path.  Throws std::invalid_argument on
+  /// a null scorer or non-positive count, std::runtime_error when fewer
+  /// than `count` nodes are free.
+  std::vector<int> AllocateScored(int count,
+                                  const std::function<double(int)>& score);
 
   /// Allocates exactly the given nodes (replay mode: the telemetry's
   /// placement is enforced).  Throws std::runtime_error naming the first

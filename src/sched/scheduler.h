@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 namespace sraps {
 
 class AccountRegistry;
+class HeatRecirculationMatrix;
 struct GridEnvironment;
 
 /// One proposed job start.  `nodes` empty = the resource manager chooses
@@ -31,6 +33,15 @@ struct Placement {
   /// start + duration, so tick quantisation of the start cannot cascade
   /// through the rest of the recorded schedule.
   bool anchor_recorded_end = false;
+  /// Scored placement (the thermal-aware middle ground between "engine
+  /// chooses" and "exact nodes"): when set and `nodes` is empty, the engine
+  /// allocates the free nodes minimising (score(node), node id) via
+  /// ResourceManager::AllocateScored.  The callback must be a pure function
+  /// of the SchedulerContext it was built from — it is invoked after the
+  /// scheduler returns, against the same resource state.  Last member so the
+  /// established {handle, nodes, anchor} aggregate initialisations compile
+  /// unchanged.
+  std::function<double(int)> score = nullptr;
 };
 
 /// What the scheduler may know about a running job — enough for EASY's
@@ -85,6 +96,15 @@ struct SchedulerContext {
   double effective_cap_w = 0.0;      ///< static cap ∩ DR windows; 0 = uncapped
   double last_wall_power_w = 0.0;    ///< wall draw of the previous tick
   double last_busy_power_w = 0.0;    ///< busy share of the previous tick
+
+  // Thermal-placement view (null / zero without a thermal topology).
+  /// Per-node inlet temperatures of the previous integrated span (°C).
+  const std::vector<double>* node_inlet_c = nullptr;
+  /// The heat-recirculation topology, for score functions that weigh how
+  /// much of a node's exhaust re-enters other inlets (ColumnSum) or where a
+  /// node sits in the rack grid (RackOf).
+  const HeatRecirculationMatrix* hr_matrix = nullptr;
+  double supply_temp_c = 0.0;  ///< facility supply setpoint (°C)
 
   const Job& JobOf(JobQueue::Handle h) const { return (*jobs)[h]; }
 };

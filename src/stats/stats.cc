@@ -233,6 +233,10 @@ JsonValue SimulationStats::ToJson() const {
     o["grid_cost_usd"] = grid_cost_usd_;
     o["grid_co2_kg"] = grid_co2_kg_;
   }
+  if (has_thermal_) {
+    o["thermal_leak_kwh"] = thermal_leak_j_ / kJoulePerKwh;
+    o["peak_inlet_c"] = peak_inlet_c_;
+  }
   if (!class_names_.empty()) {
     JsonObject per_class;
     for (std::size_t i = 0; i < class_names_.size(); ++i) {

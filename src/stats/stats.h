@@ -103,6 +103,20 @@ class SimulationStats {
   double grid_cost_usd() const { return grid_cost_usd_; }
   double grid_co2_kg() const { return grid_co2_kg_; }
 
+  /// Thermal-placement totals: the engine mirrors its running fan/leakage
+  /// energy and the peak node-inlet temperature here whenever a thermal
+  /// topology is active.  has_thermal() is false (and the ToJson keys
+  /// absent) when the system declares no topology, so legacy stats blobs
+  /// serialise unchanged.
+  void SetThermalTotals(double leak_energy_j, double peak_inlet_c) {
+    has_thermal_ = true;
+    thermal_leak_j_ = leak_energy_j;
+    peak_inlet_c_ = peak_inlet_c;
+  }
+  bool has_thermal() const { return has_thermal_; }
+  double thermal_leak_j() const { return thermal_leak_j_; }
+  double peak_inlet_c() const { return peak_inlet_c_; }
+
   /// Per-machine-class IT energy breakdown (power-state runs).  The engine
   /// registers the class names once, then mirrors its running accumulators
   /// here every step; ToJson emits "class_energy_kwh" only after names are
@@ -142,6 +156,9 @@ class SimulationStats {
   bool has_grid_ = false;
   double grid_cost_usd_ = 0.0;
   double grid_co2_kg_ = 0.0;
+  bool has_thermal_ = false;
+  double thermal_leak_j_ = 0.0;
+  double peak_inlet_c_ = 0.0;
   std::vector<std::string> class_names_;
   std::vector<double> class_energy_j_;
 };

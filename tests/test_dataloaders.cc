@@ -1,5 +1,5 @@
 // Unit tests for the dataloaders: registry plumbing, CSV round trips for all
-// five systems, the feasible-replay synthesiser, and the Fig. 6 scenario.
+// six systems, the feasible-replay synthesiser, and the Fig. 6 scenario.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -13,6 +13,7 @@
 #include "dataloaders/jobs_io.h"
 #include "dataloaders/lassen.h"
 #include "dataloaders/marconi.h"
+#include "dataloaders/mini.h"
 #include "dataloaders/replay_synth.h"
 #include "dataloaders/trace_table.h"
 #include "workload/synthetic.h"
@@ -58,7 +59,7 @@ TEST(RegistryTest, BuiltinLoadersRegistered) {
   RegisterBuiltinDataloaders();
   auto& reg = DataloaderRegistry::Instance();
   for (const char* name :
-       {"frontier", "marconi100", "fugaku", "lassen", "adastraMI250"}) {
+       {"frontier", "marconi100", "fugaku", "lassen", "adastraMI250", "mini"}) {
     EXPECT_TRUE(reg.Has(name)) << name;
     EXPECT_EQ(reg.Get(name).system_name(), name);
   }
@@ -266,6 +267,23 @@ TEST(AdastraTest, GenerateLoadRoundTrip) {
   const auto loaded = AdastraLoader().Load(dir.string());
   ASSERT_EQ(loaded.size(), generated.size());
   ExpectFeasibleSchedule(loaded, 356);
+  fs::remove_all(dir);
+}
+
+TEST(MiniTest, GenerateLoadRoundTrip) {
+  const fs::path dir = TempDir("mini");
+  MiniDatasetSpec spec;
+  spec.span = 12 * kHour;
+  const auto generated = GenerateMiniDataset(dir.string(), spec);
+  ASSERT_FALSE(generated.empty());
+  const auto loaded = MiniLoader().Load(dir.string());
+  ASSERT_EQ(loaded.size(), generated.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, generated[i].id);
+    EXPECT_EQ(loaded[i].nodes_required, generated[i].nodes_required);
+    EXPECT_EQ(loaded[i].recorded_nodes, generated[i].recorded_nodes);
+  }
+  ExpectFeasibleSchedule(loaded, 16);
   fs::remove_all(dir);
 }
 

@@ -418,6 +418,155 @@ TEST_P(MachinesJsonFuzz, ParseValidateRunOrReject) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MachinesJsonFuzz,
                          ::testing::Range<std::uint64_t>(300, 340));
 
+// --- cooling JSON block fuzz -----------------------------------------------------
+
+/// Random scenario-level "cooling" blocks — supply setpoints and thermal
+/// topologies over the mini machine (dense / banded / layout recirculation
+/// matrices), plus deliberately broken draws (rack grid that does not tile the
+/// machine, row sums above 1, non-square dense matrices, decay outside (0,1],
+/// unknown keys, negative airflow, unknown matrix kinds).  Valid blocks must
+/// run under a thermal placement policy with the engine invariants intact and
+/// round-trip through the spec JSON bit-exactly; broken ones must be rejected
+/// with std::invalid_argument at parse/validate/build time, never crash
+/// mid-run.
+class CoolingJsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoolingJsonFuzz, ParseValidateRunOrReject) {
+  Rng rng(GetParam());
+  const int breakage = static_cast<int>(rng.UniformInt(0, 13));  // 0-6 break
+
+  // The mini machine has 16 nodes; a valid grid must tile it exactly.
+  JsonObject topo;
+  topo["racks"] = JsonValue(static_cast<std::int64_t>(4));
+  topo["nodes_per_rack"] = JsonValue(static_cast<std::int64_t>(4));
+  topo["airflow_w_per_k"] = rng.Uniform(150.0, 2000.0);
+  topo["fan_leak_w_per_k"] = rng.Uniform(0.0, 5.0);
+
+  JsonObject hr;
+  switch (static_cast<int>(rng.UniformInt(0, 2))) {
+    case 0: {  // dense 16x16, zero diagonal, row sums well under 1
+      hr["kind"] = "dense";
+      JsonArray rows;
+      for (int i = 0; i < 16; ++i) {
+        JsonArray row;
+        for (int j = 0; j < 16; ++j) {
+          row.emplace_back(i == j ? 0.0 : rng.Uniform(0.0, 0.05));
+        }
+        rows.emplace_back(std::move(row));
+      }
+      hr["rows"] = JsonValue(std::move(rows));
+      break;
+    }
+    case 1:
+      hr["kind"] = "banded";
+      hr["coeff"] = rng.Uniform(0.01, 0.1);
+      hr["decay"] = rng.Uniform(0.2, 0.9);
+      hr["width"] = JsonValue(static_cast<std::int64_t>(rng.UniformInt(1, 4)));
+      break;
+    default:
+      hr["kind"] = "layout";
+      hr["intra_rack"] = rng.Uniform(0.0, 0.1);
+      hr["cross_rack"] = rng.Uniform(0.0, 0.05);
+      break;
+  }
+
+  switch (breakage) {
+    case 0:  // 3 x 4 = 12 racks-grid does not tile the 16-node machine
+      topo["racks"] = JsonValue(static_cast<std::int64_t>(3));
+      break;
+    case 1: {  // dense row sums above 1
+      hr["kind"] = "dense";
+      hr.erase("rows");
+      JsonArray rows;
+      for (int i = 0; i < 16; ++i) {
+        JsonArray row;
+        for (int j = 0; j < 16; ++j) row.emplace_back(0.2);
+        rows.emplace_back(std::move(row));
+      }
+      hr["rows"] = JsonValue(std::move(rows));
+      break;
+    }
+    case 2: {  // dense matrix not square
+      hr["kind"] = "dense";
+      hr.erase("rows");
+      JsonArray rows;
+      for (int i = 0; i < 16; ++i) {
+        JsonArray row;
+        for (int j = 0; j < (i == 7 ? 3 : 16); ++j) row.emplace_back(0.0);
+        rows.emplace_back(std::move(row));
+      }
+      hr["rows"] = JsonValue(std::move(rows));
+      break;
+    }
+    case 3:  // banded decay outside (0, 1]
+      hr["kind"] = "banded";
+      hr["coeff"] = 0.05;
+      hr["decay"] = 1.5;
+      hr["width"] = JsonValue(static_cast<std::int64_t>(2));
+      break;
+    case 4:  // strict parsing: unknown topology key throws
+      topo["typo_knob"] = JsonValue(static_cast<std::int64_t>(1));
+      break;
+    case 5:  // airflow must be > 0
+      topo["airflow_w_per_k"] = -3.0;
+      break;
+    case 6:  // unknown matrix kind
+      hr["kind"] = "helical";
+      break;
+    default:
+      break;
+  }
+  topo["hr_matrix"] = JsonValue(std::move(hr));
+  const bool expect_reject = breakage <= 6;
+
+  JsonObject cool;
+  cool["enabled"] = rng.UniformInt(0, 1) == 0;
+  if (rng.UniformInt(0, 1) == 0) cool["supply_temp_c"] = rng.Uniform(18.0, 30.0);
+  cool["topology"] = JsonValue(std::move(topo));
+
+  JsonObject spec_json;
+  spec_json["name"] = "cooling-fuzz";
+  spec_json["system"] = "mini";
+  spec_json["duration"] = JsonValue(static_cast<std::int64_t>(6 * kHour));
+  static const char* const kPolicies[] = {"fcfs", "low_temp_first", "min_hr",
+                                          "center_rack_first", "best_edp"};
+  spec_json["policy"] = kPolicies[rng.UniformInt(0, 4)];
+  spec_json["backfill"] = "easy";
+  spec_json["cooling"] = JsonValue(std::move(cool));
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 3 * kHour;
+  wl.arrival_rate_per_hour = 8;
+  wl.max_nodes = 8;
+  wl.seed = GetParam();
+
+  try {
+    ScenarioSpec opts = ScenarioSpec::FromJson(JsonValue(std::move(spec_json)));
+    opts.jobs_override = GenerateSyntheticWorkload(wl);
+    ValidateScenarioSpec(opts);
+    Simulation sim(opts);
+    sim.Run();
+    EXPECT_FALSE(expect_reject) << "broken cooling block was accepted";
+    const auto& eng = sim.engine();
+    EXPECT_EQ(eng.counters().submitted, opts.jobs_override.size());
+    EXPECT_LE(eng.recorder().MaxOf("utilization"), 100.001);
+    EXPECT_GE(eng.recorder().MinOf("power_kw"), 0.0);
+    // Inlet temperatures never drop below the supply setpoint.
+    EXPECT_GE(eng.recorder().MinOf("max_inlet_c"),
+              opts.cooling_supply_temp_c.value_or(
+                  MakeSystemConfig("mini").cooling.supply_temp_c) -
+                  1e-9);
+    // The cooling block round-trips through the spec JSON bit-exactly.
+    const ScenarioSpec back = ScenarioSpec::FromJson(opts.ToJson());
+    EXPECT_EQ(back.ToJson().Dump(2), opts.ToJson().Dump(2));
+  } catch (const std::invalid_argument& e) {
+    EXPECT_TRUE(expect_reject) << "valid cooling block rejected: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoolingJsonFuzz,
+                         ::testing::Range<std::uint64_t>(500, 540));
+
 // --- per-CDU cooling -------------------------------------------------------------
 
 CoolingSpec FrontierSpec() { return MakeSystemConfig("frontier").cooling; }

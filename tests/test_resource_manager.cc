@@ -2,6 +2,8 @@
 // discipline, and down-node handling.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sched/resource_manager.h"
 
 namespace sraps {
@@ -117,6 +119,39 @@ TEST(ResourceManagerTest, FreeListSorted) {
   ResourceManager rm(6);
   rm.AllocateExact({1, 3});
   EXPECT_EQ(rm.FreeList(), (std::vector<int>{0, 2, 4, 5}));
+}
+
+TEST(ResourceManagerTest, AllocateScoredPicksMinimalScores) {
+  ResourceManager rm(8);
+  // Score favours high ids: 8 - n.  The three cheapest are 7, 6, 5; the
+  // result comes back sorted ascending regardless of score order.
+  const auto nodes = rm.AllocateScored(3, [](int n) { return 8.0 - n; });
+  EXPECT_EQ(nodes, (std::vector<int>{5, 6, 7}));
+  EXPECT_EQ(rm.free_nodes(), 5);
+  for (int n : nodes) EXPECT_FALSE(rm.IsFree(n));
+}
+
+TEST(ResourceManagerTest, AllocateScoredTiesBreakTowardLowerIds) {
+  ResourceManager rm(8);
+  // Constant score: pure tie — must behave exactly like lowest-first.
+  EXPECT_EQ(rm.AllocateScored(4, [](int) { return 1.0; }),
+            (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ResourceManagerTest, AllocateScoredSkipsBusyNodes) {
+  ResourceManager rm(8);
+  rm.AllocateExact({6, 7});  // the cheapest under the score below
+  const auto nodes = rm.AllocateScored(2, [](int n) { return 8.0 - n; });
+  EXPECT_EQ(nodes, (std::vector<int>{4, 5}));
+}
+
+TEST(ResourceManagerTest, AllocateScoredValidatesArguments) {
+  ResourceManager rm(4);
+  EXPECT_THROW(rm.AllocateScored(2, nullptr), std::invalid_argument);
+  EXPECT_THROW(rm.AllocateScored(0, [](int) { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(rm.AllocateScored(5, [](int) { return 0.0; }),
+               std::runtime_error);
 }
 
 TEST(ResourceManagerTest, ChurnConservesNodeCount) {

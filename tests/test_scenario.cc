@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -152,6 +153,88 @@ TEST(ScenarioSpecTest, ApplyScenarioKeyDottedPaths) {
                std::invalid_argument);
   EXPECT_THROW(ApplyScenarioKey(plain, "grid..scale", JsonValue(1)),
                std::invalid_argument);
+}
+
+ThermalTopologySpec TestTopology() {
+  ThermalTopologySpec t;
+  t.racks = 4;
+  t.nodes_per_rack = 4;
+  t.hr_matrix.kind = "layout";
+  t.hr_matrix.intra_rack = 0.05;
+  t.hr_matrix.cross_rack = 0.01;
+  t.airflow_w_per_k = 400.0;
+  t.fan_leak_w_per_k = 1.5;
+  return t;
+}
+
+TEST(ScenarioSpecTest, CoolingBlockRoundTrip) {
+  ScenarioSpec spec = FullSpec();
+  spec.cooling_supply_temp_c = 24.5;
+  spec.cooling_topology = TestTopology();
+  const ScenarioSpec back = ScenarioSpec::FromJson(spec.ToJson());
+  EXPECT_EQ(back.cooling, spec.cooling);
+  ASSERT_TRUE(back.cooling_supply_temp_c.has_value());
+  EXPECT_DOUBLE_EQ(*back.cooling_supply_temp_c, 24.5);
+  EXPECT_EQ(back.cooling_topology.racks, 4);
+  EXPECT_EQ(back.cooling_topology.nodes_per_rack, 4);
+  EXPECT_EQ(back.cooling_topology.hr_matrix.kind, "layout");
+  EXPECT_DOUBLE_EQ(back.cooling_topology.hr_matrix.intra_rack, 0.05);
+  EXPECT_DOUBLE_EQ(back.cooling_topology.hr_matrix.cross_rack, 0.01);
+  EXPECT_DOUBLE_EQ(back.cooling_topology.airflow_w_per_k, 400.0);
+  EXPECT_DOUBLE_EQ(back.cooling_topology.fan_leak_w_per_k, 1.5);
+  EXPECT_EQ(spec.ToJson().Dump(2), back.ToJson().Dump(2));
+
+  // The legacy flat form "cooling": true still parses (shim), and a spec
+  // without a topology keeps the sub-object out of its JSON entirely.
+  JsonObject flat;
+  flat["name"] = "legacy";
+  flat["system"] = "mini";
+  flat["cooling"] = true;
+  const ScenarioSpec legacy = ScenarioSpec::FromJson(JsonValue(std::move(flat)));
+  EXPECT_TRUE(legacy.cooling);
+  EXPECT_FALSE(legacy.cooling_supply_temp_c.has_value());
+  EXPECT_FALSE(legacy.cooling_topology.enabled());
+  EXPECT_EQ(legacy.ToJson().At("cooling").AsObject().count("topology"), 0u);
+}
+
+TEST(ScenarioSpecTest, CoolingBlockStrictParsing) {
+  JsonObject cool;
+  cool["enabled"] = true;
+  cool["typo_key"] = 1.0;
+  JsonObject spec_json;
+  spec_json["name"] = "x";
+  spec_json["system"] = "mini";
+  spec_json["cooling"] = JsonValue(std::move(cool));
+  EXPECT_THROW(ScenarioSpec::FromJson(JsonValue(std::move(spec_json))),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ApplyScenarioKeyCoolingDottedPaths) {
+  ScenarioSpec spec = FullSpec();
+  spec.cooling_topology = TestTopology();
+
+  // The sweep axes ride exactly these dotted paths — no sweep-side support
+  // code, just the generic patch machinery.
+  ApplyScenarioKey(spec, "cooling.supply_temp_c", JsonValue(27.0));
+  ASSERT_TRUE(spec.cooling_supply_temp_c.has_value());
+  EXPECT_DOUBLE_EQ(*spec.cooling_supply_temp_c, 27.0);
+
+  ApplyScenarioKey(spec, "cooling.topology.hr_matrix.coeff", JsonValue(0.08));
+  EXPECT_DOUBLE_EQ(spec.cooling_topology.hr_matrix.coeff, 0.08);
+  // Untouched siblings survive the nested patch.
+  EXPECT_EQ(spec.cooling_topology.racks, 4);
+  EXPECT_DOUBLE_EQ(spec.cooling_topology.hr_matrix.intra_rack, 0.05);
+  EXPECT_TRUE(spec.cooling);
+
+  ApplyScenarioKey(spec, "cooling.topology.airflow_w_per_k", JsonValue(900.0));
+  EXPECT_DOUBLE_EQ(spec.cooling_topology.airflow_w_per_k, 900.0);
+  ApplyScenarioKey(spec, "cooling.enabled", JsonValue(false));
+  EXPECT_FALSE(spec.cooling);
+
+  // An unknown cooling key fails strict parsing and leaves the spec intact.
+  EXPECT_THROW(ApplyScenarioKey(spec, "cooling.typo", JsonValue(1.0)),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(spec.cooling_topology.airflow_w_per_k, 900.0);
 }
 
 MachineClassSpec TestClass(const std::string& name, int nodes) {
@@ -401,6 +484,54 @@ TEST(SimulationBuilderTest, OutOfRangeOutageNodeRejectedAtBuild) {
   }
 }
 
+TEST(SimulationBuilderTest, CoolingSettersValidateIncrementally) {
+  SimulationBuilder b;
+  // The matrix has nowhere to live before a topology is declared.
+  EXPECT_THROW(b.WithHeatRecirculation(HrMatrixSpec{}), std::invalid_argument);
+  // A malformed topology is rejected at the setter, not at Build().
+  ThermalTopologySpec bad = TestTopology();
+  bad.airflow_w_per_k = 0.0;
+  EXPECT_THROW(b.WithCoolingTopology(bad), std::invalid_argument);
+  EXPECT_THROW(b.WithCoolingSupplyTemp(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_FALSE(b.spec().cooling_topology.enabled());
+
+  b.WithCoolingTopology(TestTopology());
+  // A matrix whose worst-case row sum exceeds 1 is rejected, leaving the
+  // topology's original matrix in place.
+  HrMatrixSpec hot;
+  hot.kind = "layout";
+  hot.intra_rack = 0.5;
+  hot.cross_rack = 0.2;
+  EXPECT_THROW(b.WithHeatRecirculation(hot), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(b.spec().cooling_topology.hr_matrix.intra_rack, 0.05);
+  HrMatrixSpec banded;
+  banded.kind = "banded";
+  banded.coeff = 0.03;
+  banded.decay = 0.5;
+  banded.width = 2;
+  b.WithHeatRecirculation(banded);
+  EXPECT_EQ(b.spec().cooling_topology.hr_matrix.kind, "banded");
+}
+
+TEST(SimulationBuilderTest, ThermalPolicyRequiresTopology) {
+  // The mini system declares no thermal topology; placing by inlet
+  // temperature would silently degenerate to lowest-first.
+  SimulationBuilder b;
+  b.WithSystem("mini").WithJobs(SmallWorkload()).WithPolicy("min_hr");
+  try {
+    b.Build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("topology"), std::string::npos)
+        << e.what();
+  }
+  // Declaring the topology unblocks the build.
+  b.WithCoolingTopology(TestTopology());
+  EXPECT_NO_THROW(b.Build()->Run());
+}
+
 TEST(SimulationBuilderTest, WithMachineClassValidatesIncrementally) {
   SimulationBuilder b;
   b.WithSystem("mini").WithJobs(SmallWorkload());
@@ -572,6 +703,36 @@ TEST(ScenarioDocTest, TopLevelTableMatchesToJsonExactly) {
   for (const std::string& key : real) {
     EXPECT_TRUE(seen.count(key)) << "ScenarioSpec key '" << key
                                  << "' missing from docs/SCENARIO_REFERENCE.md";
+  }
+}
+
+TEST(ScenarioDocTest, CoolingTablesCoverTheirKeys) {
+  const std::string doc = ReadDoc("docs/SCENARIO_REFERENCE.md");
+  // Scenario-level cooling block keys, taken from a real spec's JSON so the
+  // table can never drift from the parser.
+  ScenarioSpec spec;
+  spec.cooling_supply_temp_c = 24.0;
+  spec.cooling_topology = TestTopology();
+  const JsonValue spec_json = spec.ToJson();
+  for (const auto& [key, value] : spec_json.At("cooling").AsObject()) {
+    EXPECT_NE(doc.find("| `" + key + "` |"), std::string::npos)
+        << "cooling key '" << key << "' missing from the cooling-block table";
+  }
+  const JsonValue topo_json = spec.cooling_topology.ToJson();
+  for (const auto& [key, value] : topo_json.AsObject()) {
+    EXPECT_NE(doc.find("| `" + key + "` |"), std::string::npos)
+        << "topology key '" << key << "' missing from the topology table";
+  }
+  // hr_matrix keys are kind-dependent; enumerate all three kinds.
+  for (const char* kind : {"dense", "banded", "layout"}) {
+    HrMatrixSpec m;
+    m.kind = kind;
+    if (m.kind == "dense") m.rows = {{0.0}};
+    const JsonValue matrix_json = m.ToJson();
+    for (const auto& [key, value] : matrix_json.AsObject()) {
+      EXPECT_NE(doc.find("| `" + key + "` |"), std::string::npos)
+          << "hr_matrix key '" << key << "' missing from the hr_matrix table";
+    }
   }
 }
 

@@ -257,6 +257,58 @@ TEST_P(SnapshotAB, ExternalSchedulerForkMatches) {
   ExpectEquivalent(*Straight(spec), *ForkedAt(spec, 6 * kHour + 600));
 }
 
+ScenarioSpec ThermalSpec(bool event_calendar) {
+  // The snapshot workload on a 4x4 thermal layout, placed by inlet
+  // temperature — the scheduler reads previous-span state (node_inlet_c), so
+  // the fork must restore it verbatim or its first placement diverges.
+  ScenarioSpec spec = BaseSpec(event_calendar);
+  spec.policy = "low_temp_first";
+  spec.cooling_topology.racks = 4;
+  spec.cooling_topology.nodes_per_rack = 4;
+  spec.cooling_topology.hr_matrix.kind = "layout";
+  spec.cooling_topology.hr_matrix.intra_rack = 0.1;
+  spec.cooling_topology.hr_matrix.cross_rack = 0.02;
+  spec.cooling_topology.airflow_w_per_k = 200.0;
+  return spec;
+}
+
+TEST_P(SnapshotAB, ThermalPlacementForkMatches) {
+  // Fork during the 6 h contention wave: jobs are queued and the next
+  // scored placement depends on the captured inlet temperatures.
+  const ScenarioSpec spec = ThermalSpec(GetParam());
+  ExpectEquivalent(*Straight(spec), *ForkedAt(spec, 6 * kHour + 400));
+}
+
+TEST_P(SnapshotAB, ThermalMultiCduCoolingForkMatches) {
+  // Cooling coupled on a topology: the snapshot carries the per-CDU loop
+  // states instead of the lumped cooling model.
+  ScenarioSpec spec = ThermalSpec(GetParam());
+  spec.cooling = true;
+  ExpectEquivalent(*Straight(spec), *ForkedAt(spec, 7 * kHour));
+}
+
+TEST_P(SnapshotAB, ThermalForkMidOutageUnderDrCapMatches) {
+  // The full stack at the fork point: thermal placement, an active outage,
+  // and a biting DR cap with dilated completions in flight.
+  ScenarioSpec spec = ThermalSpec(GetParam());
+  spec.outages.push_back({1 * kHour, 8 * kHour, {0, 1, 2}});
+  spec.grid.dr_windows = {{6 * kHour, 10 * kHour, 1300.0}};
+  ExpectEquivalent(*Straight(spec), *ForkedAt(spec, 7 * kHour));
+}
+
+TEST(SnapshotTest, ThermalStateChangesTheFingerprint) {
+  // Two snapshots whose only difference is thermal history must not collide:
+  // node_inlet_c is part of the captured state.
+  const ScenarioSpec cold = ThermalSpec(true);
+  ScenarioSpec hot = cold;
+  hot.cooling_topology.airflow_w_per_k = 120.0;  // hotter inlets, same schedule
+  auto a = SimulationBuilder(cold).Build();
+  auto b = SimulationBuilder(hot).Build();
+  a->RunUntil(2 * kHour);
+  b->RunUntil(2 * kHour);
+  EXPECT_NE(a->Snapshot().Fingerprint(), b->Snapshot().Fingerprint());
+}
+
 TEST(SnapshotTest, DoubleForkFromOneSnapshotIsIndependent) {
   ScenarioSpec spec = BaseSpec(true);
   spec.grid.price_usd_per_kwh = GridSignal::Diurnal(0.08, 0.5, 1.4);

@@ -179,6 +179,45 @@ TEST(SweepSpecTest, CrossProductLastAxisFastest) {
             sweep.base.jobs_override.size());
 }
 
+TEST(SweepSpecTest, CoolingAxesExpandThroughDottedPaths) {
+  // The thermal knobs sweep through the same dotted-path machinery as every
+  // other key: a supply-setpoint axis and a recirculation-intensity axis
+  // need zero sweep-side support code.
+  SweepSpec sweep;
+  sweep.name = "thermal";
+  sweep.base = MiniBase();
+  sweep.base.policy = "min_hr";
+  sweep.base.cooling_topology.racks = 4;
+  sweep.base.cooling_topology.nodes_per_rack = 4;
+  sweep.base.cooling_topology.hr_matrix.kind = "layout";
+  sweep.base.cooling_topology.hr_matrix.intra_rack = 0.04;
+  sweep.base.cooling_topology.hr_matrix.cross_rack = 0.01;
+  sweep.base.cooling_topology.airflow_w_per_k = 300.0;
+  sweep.axes.push_back(SweepAxis("cooling.supply_temp_c",
+                                 {JsonValue(20.0), JsonValue(27.0)}));
+  sweep.axes.push_back(SweepAxis("cooling.topology.hr_matrix.intra_rack",
+                                 {JsonValue(0.02), JsonValue(0.08)}));
+  EXPECT_NO_THROW(sweep.Validate());
+  ASSERT_EQ(sweep.ScenarioCount(), 4u);
+
+  const ScenarioSpec hot = sweep.Expand(3).spec;  // (27.0, 0.08)
+  ASSERT_TRUE(hot.cooling_supply_temp_c.has_value());
+  EXPECT_DOUBLE_EQ(*hot.cooling_supply_temp_c, 27.0);
+  EXPECT_DOUBLE_EQ(hot.cooling_topology.hr_matrix.intra_rack, 0.08);
+  // Untouched topology fields ride along into every expansion.
+  EXPECT_EQ(hot.cooling_topology.racks, 4);
+  EXPECT_DOUBLE_EQ(hot.cooling_topology.airflow_w_per_k, 300.0);
+  const ScenarioSpec cold = sweep.Expand(0).spec;  // (20.0, 0.02)
+  EXPECT_DOUBLE_EQ(*cold.cooling_supply_temp_c, 20.0);
+  EXPECT_DOUBLE_EQ(cold.cooling_topology.hr_matrix.intra_rack, 0.02);
+
+  // A value the cooling parser rejects is caught at validation time (the
+  // probe-apply), not mid-sweep.
+  sweep.axes.push_back(
+      SweepAxis("cooling.topology.hr_matrix.kind", {JsonValue("helical")}));
+  EXPECT_THROW(sweep.Validate(), std::invalid_argument);
+}
+
 TEST(SweepSpecTest, ValidateRejectsBadAxes) {
   SweepSpec sweep;
   sweep.name = "bad";

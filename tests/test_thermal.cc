@@ -1,0 +1,339 @@
+// Thermal-aware placement: the heat-recirculation topology, per-node inlet
+// temperatures, thermal placement policies, and — above all — the
+// bit-identity contract: with a topology configured, event-calendar stepping
+// must stay indistinguishable from the tick loop (inlet temperatures are a
+// pure function of the span's sampled heat, so they are span-constant), and
+// legacy systems without a topology must reproduce pre-thermal results
+// bit for bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <numeric>
+
+#include "cooling/heat_recirculation.h"
+#include "engine/simulation_engine.h"
+#include "sched/builtin_scheduler.h"
+
+namespace sraps {
+namespace {
+
+Job MakeJob(JobId id, SimTime submit, SimDuration runtime, int nodes,
+            double cpu = 0.5) {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.recorded_start = submit;
+  j.recorded_end = submit + runtime;
+  j.time_limit = runtime * 2;
+  j.nodes_required = nodes;
+  j.account = "acct";
+  j.user = "u";
+  j.cpu_util = TraceSeries::Constant(cpu);
+  return j;
+}
+
+/// The mini system with a 4x4 rack layout over its 16 nodes.  The layout
+/// kind couples same-rack nodes strongly and adjacent racks weakly, so the
+/// centre racks (1, 2) recirculate more than the edges (0, 3).
+SystemConfig ThermalMini() {
+  SystemConfig c = MakeSystemConfig("mini");
+  c.cooling.topology.racks = 4;
+  c.cooling.topology.nodes_per_rack = 4;
+  c.cooling.topology.hr_matrix.kind = "layout";
+  c.cooling.topology.hr_matrix.intra_rack = 0.04;
+  c.cooling.topology.hr_matrix.cross_rack = 0.01;
+  c.cooling.topology.airflow_w_per_k = 200.0;  // small airflow: visible temps
+  c.cooling.topology.fan_leak_w_per_k = 2.0;
+  return c;
+}
+
+std::vector<Job> SparseWorkload() {
+  std::vector<Job> jobs;
+  jobs.push_back(MakeJob(1, 0, 600, 4));
+  jobs.push_back(MakeJob(2, 6 * kHour, 900, 8));
+  jobs.push_back(MakeJob(3, 14 * kHour, 300, 2));
+  jobs.push_back(MakeJob(4, 23 * kHour, 1200, 12));
+  return jobs;
+}
+
+EngineOptions Opts(SimTime start, SimTime end) {
+  EngineOptions o;
+  o.sim_start = start;
+  o.sim_end = end;
+  return o;
+}
+
+std::unique_ptr<SimulationEngine> RunThermal(const SystemConfig& config,
+                                             std::vector<Job> jobs,
+                                             EngineOptions o, bool event_calendar,
+                                             const std::string& policy = "low_temp_first",
+                                             const std::string& backfill = "easy") {
+  o.event_calendar = event_calendar;
+  auto e = std::make_unique<SimulationEngine>(
+      config, std::move(jobs), MakeBuiltinScheduler(policy, backfill), o);
+  e->Run();
+  return e;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void ExpectEquivalent(const SimulationEngine& tick, const SimulationEngine& ev) {
+  EXPECT_EQ(tick.counters().submitted, ev.counters().submitted);
+  EXPECT_EQ(tick.counters().started, ev.counters().started);
+  EXPECT_EQ(tick.counters().completed, ev.counters().completed);
+  EXPECT_EQ(tick.counters().scheduler_invocations,
+            ev.counters().scheduler_invocations);
+  EXPECT_EQ(tick.counters().scheduler_skips, ev.counters().scheduler_skips);
+  EXPECT_EQ(tick.now(), ev.now());
+  EXPECT_EQ(tick.stats().Fingerprint(), ev.stats().Fingerprint());
+  ASSERT_EQ(tick.jobs().size(), ev.jobs().size());
+  for (std::size_t i = 0; i < tick.jobs().size(); ++i) {
+    const Job& a = tick.jobs()[i];
+    const Job& b = ev.jobs()[i];
+    EXPECT_EQ(a.state, b.state) << "job " << a.id;
+    EXPECT_EQ(a.start, b.start) << "job " << a.id;
+    EXPECT_EQ(a.end, b.end) << "job " << a.id;
+    EXPECT_EQ(a.assigned_nodes, b.assigned_nodes) << "job " << a.id;
+  }
+  EXPECT_TRUE(BitIdentical(tick.job_energy_j(), ev.job_energy_j()));
+  EXPECT_TRUE(BitIdentical({tick.grid_cost_usd()}, {ev.grid_cost_usd()}));
+  // Thermal state itself: published inlets and leak, bit for bit.
+  EXPECT_TRUE(BitIdentical(tick.node_inlet_c(), ev.node_inlet_c()));
+  EXPECT_TRUE(BitIdentical({tick.thermal_leak_w()}, {ev.thermal_leak_w()}));
+  ASSERT_EQ(tick.recorder().ChannelNames(), ev.recorder().ChannelNames());
+  for (const std::string& name : tick.recorder().ChannelNames()) {
+    const Channel& a = tick.recorder().Get(name);
+    const Channel& b = ev.recorder().Get(name);
+    EXPECT_EQ(a.times, b.times) << "channel " << name;
+    EXPECT_TRUE(BitIdentical(a.values, b.values)) << "channel " << name;
+  }
+}
+
+// --- the hand-checked inlet-temperature model -------------------------------
+
+TEST(HeatRecirculationTest, ThreeNodeDenseInletTempsMatchHandComputation) {
+  // 3 nodes, supply 20 C, airflow 100 W/K, heat q = {100, 200, 300} W.
+  //   D = | 0    0.1  0.2 |        T_in[0] = 20 + (0.1*200 + 0.2*300)/100 = 20.8
+  //       | 0.3  0    0.1 |        T_in[1] = 20 + (0.3*100 + 0.1*300)/100 = 20.6
+  //       | 0.05 0.15 0   |        T_in[2] = 20 + (0.05*100 + 0.15*200)/100 = 20.35
+  ThermalTopologySpec topo;
+  topo.racks = 1;
+  topo.nodes_per_rack = 3;
+  topo.airflow_w_per_k = 100.0;
+  topo.hr_matrix.kind = "dense";
+  topo.hr_matrix.rows = {{0.0, 0.1, 0.2}, {0.3, 0.0, 0.1}, {0.05, 0.15, 0.0}};
+  const HeatRecirculationMatrix m(topo, 3);
+  std::vector<double> out;
+  m.InletTemps({100.0, 200.0, 300.0}, 20.0, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 20.8);
+  EXPECT_DOUBLE_EQ(out[1], 20.6);
+  EXPECT_DOUBLE_EQ(out[2], 20.35);
+  // Column sums: D is stored column-summed for the min_hr score.
+  EXPECT_DOUBLE_EQ(m.ColumnSum(0), 0.35);
+  EXPECT_DOUBLE_EQ(m.ColumnSum(1), 0.25);
+  EXPECT_NEAR(m.ColumnSum(2), 0.3, 1e-12);
+}
+
+TEST(HeatRecirculationTest, EngineIdleInletsMatchIndependentMatvec) {
+  // A fully idle thermal machine: inlets must equal supply + D.q_idle/airflow
+  // with q the per-class active-idle draw — recomputed here independently
+  // with scalar arithmetic over At().
+  const SystemConfig config = ThermalMini();
+  EngineOptions o = Opts(0, 2 * kHour);
+  const auto e = RunThermal(config, {}, o, false, "fcfs");
+  const HeatRecirculationMatrix* m = e->hr_matrix();
+  ASSERT_NE(m, nullptr);
+  const std::vector<double>& inlet = e->node_inlet_c();
+  ASSERT_EQ(inlet.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    double rise = 0.0;
+    for (int j = 0; j < 16; ++j) {
+      const double q_j = config.machines[config.ClassOf(j)].node_power.IdleW();
+      rise += m->At(i, j) * q_j;
+    }
+    const double expected =
+        config.cooling.supply_temp_c + rise / config.cooling.topology.airflow_w_per_k;
+    EXPECT_NEAR(inlet[i], expected, 1e-9) << "node " << i;
+  }
+}
+
+// --- A/B equivalence with thermal placement ---------------------------------
+
+TEST(ThermalEventsTest, ThermalPlacementSparseEquivalent) {
+  const SystemConfig config = ThermalMini();
+  const EngineOptions o = Opts(0, 24 * kHour);
+  for (const char* policy :
+       {"low_temp_first", "min_hr", "center_rack_first", "best_edp"}) {
+    const auto tick = RunThermal(config, SparseWorkload(), o, false, policy);
+    const auto ev = RunThermal(config, SparseWorkload(), o, true, policy);
+    ExpectEquivalent(*tick, *ev);
+    EXPECT_EQ(ev->counters().completed, 4u) << policy;
+    // The fast path must still fast-path with the thermal layer active.
+    EXPECT_GT(ev->counters().batched_ticks, 8000u) << policy;
+    EXPECT_TRUE(ev->recorder().Has("max_inlet_c")) << policy;
+    EXPECT_TRUE(ev->recorder().Has("rack0_inlet_c")) << policy;
+  }
+}
+
+TEST(ThermalEventsTest, ThermalPlacementMidOutageEquivalent) {
+  const SystemConfig config = ThermalMini();
+  EngineOptions o = Opts(0, 24 * kHour);
+  // One outage cuts idle nodes, one drains a running job's nodes — the freed
+  // set the scorer ranks changes mid-run in both stepping modes.
+  o.outages = {{2 * kHour, 4 * kHour, {0, 1, 2, 3}},
+               {6 * kHour + 300, 7 * kHour, {4, 5}}};
+  const auto tick = RunThermal(config, SparseWorkload(), o, false, "min_hr");
+  const auto ev = RunThermal(config, SparseWorkload(), o, true, "min_hr");
+  ExpectEquivalent(*tick, *ev);
+}
+
+TEST(ThermalEventsTest, ThermalPlacementUnderDrCapEquivalent) {
+  const SystemConfig config = ThermalMini();
+  EngineOptions o = Opts(0, 24 * kHour);
+  // Derive a biting cap from an uncapped probe (leak included in the wall
+  // draw, so the threshold self-adjusts if thermal parameters are retuned).
+  const auto probe = RunThermal(config, SparseWorkload(), o, false);
+  const double idle_w = probe->recorder().MinOf("power_kw") * 1000.0;
+  const double peak_w = probe->recorder().MaxOf("power_kw") * 1000.0;
+  ASSERT_GT(peak_w, idle_w);
+  o.grid.dr_windows = {{6 * kHour, 7 * kHour, idle_w + 0.4 * (peak_w - idle_w)}};
+  const auto tick = RunThermal(config, SparseWorkload(), o, false, "best_edp");
+  const auto ev = RunThermal(config, SparseWorkload(), o, true, "best_edp");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_LT(tick->recorder().MinOf("throttle_factor"), 1.0);
+}
+
+TEST(ThermalEventsTest, MultiCduCoolingCoupledEquivalent) {
+  SystemConfig config = ThermalMini();
+  config.cooling.num_cdus = 2;  // racks 0/2 on CDU 0, racks 1/3 on CDU 1
+  EngineOptions o = Opts(0, 12 * kHour);
+  o.enable_cooling = true;
+  const auto tick = RunThermal(config, SparseWorkload(), o, false, "low_temp_first");
+  const auto ev = RunThermal(config, SparseWorkload(), o, true, "low_temp_first");
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_TRUE(ev->recorder().Has("pue"));
+  EXPECT_TRUE(ev->recorder().Has("cdu_spread_c"));
+  EXPECT_GT(ev->recorder().MaxOf("cdu_spread_c"), 0.0);
+}
+
+TEST(ThermalEventsTest, BandedMatrixKindEquivalent) {
+  SystemConfig config = ThermalMini();
+  config.cooling.topology.hr_matrix.kind = "banded";
+  config.cooling.topology.hr_matrix.coeff = 0.05;
+  config.cooling.topology.hr_matrix.decay = 0.5;
+  config.cooling.topology.hr_matrix.width = 3;
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunThermal(config, SparseWorkload(), o, false, "min_hr");
+  const auto ev = RunThermal(config, SparseWorkload(), o, true, "min_hr");
+  ExpectEquivalent(*tick, *ev);
+}
+
+TEST(ThermalEventsTest, NoTopologyReproducesLegacyRunBitForBit) {
+  // The thermal layer must be inert without a topology: an engine built from
+  // the unmodified mini system behaves exactly as before the thermal code
+  // existed (no extra channels, untouched power arithmetic).
+  const SystemConfig legacy = MakeSystemConfig("mini");
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto a = RunThermal(legacy, SparseWorkload(), o, false, "fcfs");
+  EXPECT_EQ(a->hr_matrix(), nullptr);
+  EXPECT_TRUE(a->node_inlet_c().empty());
+  EXPECT_FALSE(a->recorder().Has("max_inlet_c"));
+  EXPECT_FALSE(a->recorder().Has("rack0_inlet_c"));
+  EXPECT_FALSE(a->stats().has_thermal());
+}
+
+// --- placement behaviour ----------------------------------------------------
+
+TEST(ThermalPlacementTest, MinHrAvoidsCentreRacks) {
+  // On the 4-rack layout the edge racks (0, 3) recirculate least; an 8-node
+  // job under min_hr must land on them, where fcfs would take racks 0 and 1.
+  const SystemConfig config = ThermalMini();
+  const EngineOptions o = Opts(0, 2 * kHour);
+  std::vector<Job> jobs = {MakeJob(1, 0, kHour, 8)};
+  const auto fcfs = RunThermal(config, jobs, o, true, "fcfs");
+  const auto min_hr = RunThermal(config, jobs, o, true, "min_hr");
+  const std::vector<int> lowest = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<int> edges = {0, 1, 2, 3, 12, 13, 14, 15};
+  EXPECT_EQ(fcfs->jobs()[0].assigned_nodes, lowest);
+  EXPECT_EQ(min_hr->jobs()[0].assigned_nodes, edges);
+}
+
+TEST(ThermalPlacementTest, CenterRackFirstFillsCentreOutward) {
+  const SystemConfig config = ThermalMini();
+  const EngineOptions o = Opts(0, 2 * kHour);
+  std::vector<Job> jobs = {MakeJob(1, 0, kHour, 8)};
+  const auto run = RunThermal(config, jobs, o, true, "center_rack_first");
+  // Racks 1 and 2 tie on |rack - 1.5|; ties break toward lower node ids.
+  const std::vector<int> centre = {4, 5, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(run->jobs()[0].assigned_nodes, centre);
+}
+
+TEST(ThermalPlacementTest, LowTempFirstTracksInletState) {
+  // Run one hot job on rack 0, then submit a second while the first still
+  // runs: low_temp_first must steer it away from rack 0's heated inlets.
+  SystemConfig config = ThermalMini();
+  // Strong intra-rack recirculation so the running job visibly heats its rack.
+  config.cooling.topology.hr_matrix.intra_rack = 0.2;
+  const EngineOptions o = Opts(0, 4 * kHour);
+  std::vector<Job> jobs = {MakeJob(1, 0, 2 * kHour, 4, 1.0),
+                           MakeJob(2, kHour, kHour, 4, 1.0)};
+  const auto run = RunThermal(config, jobs, o, true, "low_temp_first");
+  const std::vector<int>& second = run->jobs()[1].assigned_nodes;
+  ASSERT_EQ(second.size(), 4u);
+  for (int n : second) {
+    EXPECT_GE(n, 4) << "second job landed on the hot rack";
+  }
+}
+
+TEST(ThermalPlacementTest, MinHrCutsCoolingEnergyAtEqualMakespan) {
+  // The acceptance scenario: on a recirculation-heavy layout, min_hr must
+  // strictly reduce cooling energy (and fan/leak overhead) against fcfs
+  // while realising the identical schedule timing.
+  SystemConfig config = ThermalMini();
+  config.cooling.topology.hr_matrix.intra_rack = 0.12;
+  config.cooling.topology.hr_matrix.cross_rack = 0.04;
+  config.cooling.num_cdus = 2;
+  EngineOptions o = Opts(0, 8 * kHour);
+  o.enable_cooling = true;
+  std::vector<Job> jobs = {MakeJob(1, 0, 2 * kHour, 8, 1.0),
+                           MakeJob(2, 3 * kHour, 2 * kHour, 8, 1.0)};
+  const auto fcfs = RunThermal(config, jobs, o, true, "fcfs");
+  const auto min_hr = RunThermal(config, jobs, o, true, "min_hr");
+  // Equal makespan: starts and ends coincide job for job.
+  ASSERT_EQ(fcfs->jobs().size(), min_hr->jobs().size());
+  for (std::size_t i = 0; i < fcfs->jobs().size(); ++i) {
+    EXPECT_EQ(fcfs->jobs()[i].start, min_hr->jobs()[i].start);
+    EXPECT_EQ(fcfs->jobs()[i].end, min_hr->jobs()[i].end);
+  }
+  // Strictly less recirculation -> cooler inlets -> less fan/leak energy and
+  // less heat through the cooling loop.
+  const auto cooling_kwh = [](const SimulationEngine& e) {
+    const Channel& ch = e.recorder().Get("cooling_kw");
+    return std::accumulate(ch.values.begin(), ch.values.end(), 0.0);
+  };
+  ASSERT_TRUE(fcfs->stats().has_thermal());
+  ASSERT_TRUE(min_hr->stats().has_thermal());
+  EXPECT_LT(min_hr->stats().thermal_leak_j(), fcfs->stats().thermal_leak_j());
+  EXPECT_LT(min_hr->stats().peak_inlet_c(), fcfs->stats().peak_inlet_c());
+  EXPECT_LT(cooling_kwh(*min_hr), cooling_kwh(*fcfs));
+}
+
+TEST(ThermalPlacementTest, ThermalStatsSurfaceInJson) {
+  const SystemConfig config = ThermalMini();
+  const EngineOptions o = Opts(0, 6 * kHour);
+  const auto run = RunThermal(config, SparseWorkload(), o, true);
+  ASSERT_TRUE(run->stats().has_thermal());
+  const JsonValue j = run->stats().ToJson();
+  EXPECT_GT(j.At("thermal_leak_kwh").AsDouble(), 0.0);
+  EXPECT_GT(j.At("peak_inlet_c").AsDouble(), config.cooling.supply_temp_c);
+}
+
+}  // namespace
+}  // namespace sraps
