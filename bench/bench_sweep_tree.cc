@@ -1,0 +1,88 @@
+// Snapshot-tree sweeps: scenarios per wall second with and without
+// `--sweep-tree` over a two-axis cap x demand-response grid whose first
+// effects land late in the horizon — the tree shares one trajectory until
+// the earliest divergence (the cap probe's trip or the first DR window
+// start), forks there, and only simulates the post-fork tail per scenario.
+// The CI gate enforces a conservative floor on the ratio
+// (bench_baseline.json: sweep_tree_speedup).  Shard/aggregate bit-identity
+// between the two paths is asserted by tests/test_sweep_tree.cc and the CI
+// sweep-smoke diff — this bench only measures the wall-clock win.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
+#include "workload/synthetic.h"
+
+namespace sraps {
+namespace {
+
+JsonValue Window(std::int64_t start, std::int64_t end, double cap_w) {
+  JsonObject w;
+  w["start"] = start;
+  w["end"] = end;
+  w["cap_w"] = cap_w;
+  return JsonValue(JsonArray{JsonValue(std::move(w))});
+}
+
+/// 2 caps x 4 DR schedules = 8 scenarios.  The earliest DR window opens at
+/// hour 40 of 48, so >80% of every trajectory is shared prefix.
+SweepSpec TreeGrid() {
+  SweepSpec sweep;
+  sweep.name = "bench-sweep-tree";
+  sweep.base.name = "base";
+  sweep.base.system = "mini";
+  sweep.base.policy = "fcfs";
+  sweep.base.backfill = "easy";
+  sweep.base.record_history = false;
+  sweep.base.event_calendar = true;
+  sweep.base.duration = 48 * kHour;
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 48 * kHour;
+  wl.arrival_rate_per_hour = 6;
+  wl.max_nodes = 8;
+  wl.mean_nodes_log2 = 1.5;
+  wl.seed = 29;
+  sweep.synthetic = wl;
+
+  sweep.axes.push_back(
+      SweepAxis("power_cap_w", {JsonValue(4500.0), JsonValue(0.0)}));
+  sweep.axes.push_back(SweepAxis(
+      "grid.dr_windows",
+      {JsonValue(JsonArray{}), Window(40 * kHour, 46 * kHour, 2000.0),
+       Window(43 * kHour, 46 * kHour, 2000.0),
+       Window(43 * kHour, 46 * kHour, 1500.0)}));
+  return sweep;
+}
+
+void RunSweepBench(benchmark::State& state, bool tree) {
+  const SweepSpec sweep = TreeGrid();
+  double scenarios = 0;
+  std::size_t trajectories = 0;
+  for (auto _ : state) {
+    SweepOptions options;
+    options.threads = 1;  // measure work, not the pool
+    options.tree = tree;
+    SweepRunner runner(sweep);
+    const SweepSummary summary = runner.Run(options);
+    if (summary.failed_count != 0) state.SkipWithError("sweep scenarios failed");
+    if (tree && !summary.tree_used) state.SkipWithError("tree did not engage");
+    scenarios += static_cast<double>(summary.total);
+    trajectories = summary.simulated_trajectories;
+    benchmark::DoNotOptimize(summary.aggregates.ok_count);
+  }
+  state.counters["scenarios_per_s"] =
+      benchmark::Counter(scenarios, benchmark::Counter::kIsRate);
+  state.counters["trajectories"] =
+      benchmark::Counter(static_cast<double>(trajectories));
+}
+
+void BM_SweepTreePlain(benchmark::State& state) { RunSweepBench(state, false); }
+void BM_SweepTree(benchmark::State& state) { RunSweepBench(state, true); }
+
+BENCHMARK(BM_SweepTreePlain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepTree)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sraps

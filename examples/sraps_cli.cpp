@@ -36,6 +36,7 @@
 #include "report/sweep_report.h"
 #include "sched/policies.h"
 #include "sched/scheduler_registry.h"
+#include "dist/coordinator.h"
 #include "sweep/sweep_runner.h"
 
 using namespace sraps;
@@ -92,6 +93,19 @@ void Usage() {
       "                       only in grid.*.scale axes: run once per group,\n"
       "                       fork + replay accounting per variant; outputs\n"
       "                       stay bit-identical to the non-sharing path\n"
+      "  --sweep-tree         snapshot-tree execution: classify axes by\n"
+      "                       first-effect time, share the trajectory up to\n"
+      "                       each divergence and fork branches there; outputs\n"
+      "                       stay bit-identical to the plain path\n"
+      "  --sweep-distributed N  run the sweep across N sraps_sweep_worker\n"
+      "                       processes via a filesystem work queue, then\n"
+      "                       merge byte-identical artifacts (needs --sweep-out)\n"
+      "  --sweep-workdir DIR  work-queue directory for --sweep-distributed\n"
+      "                       (default: <sweep-out>.work; must not pre-exist)\n"
+      "  --sweep-kill-worker  fault injection: SIGKILL one worker mid-sweep\n"
+      "                       (CI uses this to prove crash recovery)\n"
+      "  --sweep-steal-timeout S  reclaim a worker's claimed items after S\n"
+      "                       seconds without completion (default 30)\n"
       "  --generate SYSTEM    generate a synthetic dataset into --data and exit\n"
       "                       (also: frontier-fig6 for the hero-run scenario)\n"
       "  -v                   verbose logging\n",
@@ -150,7 +164,16 @@ int RunSweep(const std::string& spec_path, const SweepOptions& options,
               summary.wall_seconds > 0
                   ? static_cast<double>(summary.total) / summary.wall_seconds
                   : 0.0);
-  if (summary.forked_scenarios > 0) {
+  if (summary.tree_used) {
+    std::printf(
+        "snapshot tree: %zu scenarios from %zu trajectories "
+        "(%zu roots, %zu forks, %zu probes, %zu fallback), "
+        "%.0f%% of plain sim-time saved\n",
+        summary.tree_stats.scenarios, summary.simulated_trajectories,
+        summary.tree_stats.roots, summary.tree_stats.forks,
+        summary.tree_stats.probe_runs, summary.tree_stats.fallback_scenarios,
+        100.0 * summary.tree_stats.SavedFraction());
+  } else if (summary.forked_scenarios > 0) {
     std::printf("prefix sharing: %zu trajectories simulated, %zu scenarios forked\n",
                 summary.simulated_trajectories, summary.forked_scenarios);
   }
@@ -167,13 +190,49 @@ int RunSweep(const std::string& spec_path, const SweepOptions& options,
                 summary.shard_paths.size(), options.output_dir.c_str());
     if (html_report) {
       const std::string path = options.output_dir + "/sweep_report.html";
-      WriteReportFile(path,
-                      RenderSweepReport(runner.spec(), summary.aggregates));
+      WriteReportFile(
+          path, RenderSweepReport(runner.spec(), summary.aggregates,
+                                  summary.tree_used ? &summary.tree_stats
+                                                    : nullptr));
       std::printf("report written to %s\n", path.c_str());
     }
   }
   // Any failed scenario is a nonzero exit: the sweep-smoke and nightly CI
   // lanes gate on this, so a half-broken grid cannot pass green.
+  return summary.failed_count == 0 ? 0 : 1;
+}
+
+int RunSweepDistributed(const std::string& spec_path,
+                        const SweepOptions& options, unsigned workers,
+                        std::string work_dir, bool kill_worker,
+                        double steal_timeout_s) {
+  if (options.output_dir.empty()) {
+    std::fprintf(stderr, "--sweep-distributed needs --sweep-out DIR\n");
+    return 2;
+  }
+  if (work_dir.empty()) work_dir = options.output_dir + ".work";
+  DistributedSweepOptions dist;
+  dist.workers = workers;
+  dist.threads_per_worker = options.threads;
+  dist.tree = options.tree;
+  dist.shard_size = options.shard_size;
+  dist.kill_first_worker = kill_worker;
+  dist.straggler_timeout_s = steal_timeout_s;
+  const SweepSpec spec = SweepSpec::LoadFile(spec_path);
+  std::printf("sweep '%s': %zu scenarios over %zu axes, %u worker process(es)\n",
+              spec.name.c_str(), spec.ScenarioCount(), spec.axes.size(),
+              workers);
+  const DistributedSweepSummary summary =
+      RunDistributedSweep(spec, work_dir, options.output_dir, dist);
+  std::printf(
+      "%zu ok, %zu failed in %.2f s; %zu item(s): %zu reclaimed, %zu drained "
+      "inline, %zu worker(s) killed\n",
+      summary.ok_count, summary.failed_count, summary.wall_seconds,
+      summary.items_total, summary.items_reclaimed, summary.items_inline,
+      summary.workers_killed);
+  std::printf("%s\n", summary.aggregates.ToJson().Dump(2).c_str());
+  std::printf("%zu merged shard(s) + aggregates.json written to %s/\n",
+              summary.shard_paths.size(), options.output_dir.c_str());
   return summary.failed_count == 0 ? 0 : 1;
 }
 
@@ -187,6 +246,10 @@ int main(int argc, char** argv) {
   std::string save_scenario;
   std::string sweep_spec;
   SweepOptions sweep_options;
+  unsigned dist_workers = 0;
+  std::string dist_workdir;
+  bool dist_kill_worker = false;
+  double dist_steal_timeout = 30.0;
   bool validate = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -267,6 +330,31 @@ int main(int argc, char** argv) {
       }
     } else if (!std::strcmp(a, "--sweep-share-prefix")) {
       sweep_options.share_prefix = true;
+    } else if (!std::strcmp(a, "--sweep-tree")) {
+      sweep_options.tree = true;
+    } else if (!std::strcmp(a, "--sweep-distributed")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        if (v.find('-') != std::string::npos) throw std::invalid_argument(v);
+        dist_workers = static_cast<unsigned>(std::stoul(v));
+        if (dist_workers == 0) throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad worker count '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--sweep-workdir")) {
+      if (!NextArg(argc, argv, i, dist_workdir)) return 2;
+    } else if (!std::strcmp(a, "--sweep-kill-worker")) {
+      dist_kill_worker = true;
+    } else if (!std::strcmp(a, "--sweep-steal-timeout")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        dist_steal_timeout = std::stod(v);
+        if (dist_steal_timeout <= 0) throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad steal timeout '%s'\n", v.c_str());
+        return 2;
+      }
     } else if (!std::strcmp(a, "--sweep-shard")) {
       if (!NextArg(argc, argv, i, v)) return 2;
       try {
@@ -356,7 +444,14 @@ int main(int argc, char** argv) {
 
   try {
     if (!generate_system.empty()) return Generate(generate_system, opts.dataset_path);
-    if (!sweep_spec.empty()) return RunSweep(sweep_spec, sweep_options, opts.html_report);
+    if (!sweep_spec.empty()) {
+      if (dist_workers > 0) {
+        return RunSweepDistributed(sweep_spec, sweep_options, dist_workers,
+                                   dist_workdir, dist_kill_worker,
+                                   dist_steal_timeout);
+      }
+      return RunSweep(sweep_spec, sweep_options, opts.html_report);
+    }
     if (!save_scenario.empty()) {
       opts.SaveFile(save_scenario);
       std::printf("scenario written to %s\n", save_scenario.c_str());

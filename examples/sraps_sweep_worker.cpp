@@ -1,0 +1,78 @@
+// Distributed sweep worker: attaches to a coordinator's work directory
+// (created by `sraps_cli --sweep-distributed` or dist/coordinator.h), claims
+// shard-aligned scenario subranges by atomic rename, runs them, and
+// publishes byte-identical rows-*.csv shards.  Any number of workers — on
+// one machine or across a shared filesystem — can drain the same directory.
+//
+//   ./sraps_sweep_worker WORKDIR [--id NAME] [--threads N]
+//                        [--steal-timeout SECONDS] [--poll-ms MS]
+//                        [--max-items K] [--verbose]
+//
+//   --id NAME             worker label in staging paths/logs (default: w<pid>)
+//   --threads N           threads per claimed item (default: hardware)
+//   --steal-timeout S     reclaim claimed items older than S seconds
+//                         (default 0: never steal; the coordinator steals)
+//   --poll-ms MS          sleep between empty polls (default 200)
+//   --max-items K         exit after K items (default 0: run until drained)
+//   --verbose             one progress line per completed item
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "dist/sweep_worker.h"
+
+int main(int argc, char** argv) {
+  std::string work_dir;
+  sraps::SweepWorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sraps_sweep_worker: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--id") {
+      options.worker_id = value();
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--steal-timeout") {
+      options.straggler_timeout_s = std::strtod(value(), nullptr);
+    } else if (arg == "--poll-ms") {
+      options.poll_seconds = std::strtod(value(), nullptr) / 1000.0;
+    } else if (arg == "--max-items") {
+      options.max_items = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "sraps_sweep_worker: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (work_dir.empty()) {
+      work_dir = arg;
+    } else {
+      std::fprintf(stderr, "sraps_sweep_worker: extra argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (work_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: sraps_sweep_worker WORKDIR [--id NAME] [--threads N]\n"
+                 "       [--steal-timeout S] [--poll-ms MS] [--max-items K]\n"
+                 "       [--verbose]\n");
+    return 2;
+  }
+  try {
+    const sraps::SweepWorkerReport report =
+        sraps::RunSweepWorker(work_dir, options);
+    std::printf("sraps_sweep_worker: %zu item(s), %zu scenario(s), %zu shard(s)\n",
+                report.items_completed, report.scenarios_run,
+                report.shards_written);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sraps_sweep_worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

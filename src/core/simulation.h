@@ -46,6 +46,13 @@ class Simulation {
   /// window exactly like an uninterrupted run would have.
   void RunUntil(SimTime t);
 
+  /// RunUntil, but the clock lands exactly on the first tick boundary at or
+  /// past `t` instead of overshooting a batched span (the span straddling
+  /// `t` is split — bit-identical for results, see
+  /// SimulationEngine::RunUntilExact).  This is the stop used to snapshot at
+  /// a first-effect bound.
+  void RunUntilExact(SimTime t);
+
   /// Deep-copies the complete simulation state into a self-contained
   /// snapshot (core/snapshot.h).  Valid between steps — i.e. whenever no
   /// Run/RunUntil call is executing.  Throws std::runtime_error when the
@@ -68,6 +75,30 @@ class Simulation {
   /// (whose trajectory could depend on the signal values).
   static std::unique_ptr<Simulation> ForkWithGrid(const SimStateSnapshot& snap,
                                                   GridEnvironment grid);
+
+  /// Fork with one scenario key patched to a new value — the snapshot-tree
+  /// sweep's branch point.  Supported keys and their preconditions:
+  ///   - "power_cap_w": any cap; sound when the snapshot predates the first
+  ///     step whose pre-cap demand exceeds the tightest cap in play
+  ///     (SimulationEngine::SetPowerWatch finds that bound).
+  ///   - "grid.dr_windows": every patched window must start at or after the
+  ///     snapshot time (the fork rebuilds the grid-event schedule and remaps
+  ///     the consumed-boundary cursor).
+  ///   - "cooling.supply_temp_c": sound when cooling is not coupled and the
+  ///     snapshot predates the next scored allocation by at least one tick
+  ///     (the next integrated span republishes inlets under the new supply).
+  ///   - "policy" / "backfill" / "scheduler": a fresh scheduler is built from
+  ///     the registries against the fork's own state; sound when the snapshot
+  ///     predates the first Schedule() invocation and both sides use the
+  ///     stateless built-in scheduler family.
+  /// Violations of the statically checkable preconditions throw
+  /// std::invalid_argument shaped like the ForkWithGrid guards:
+  ///   "ForkWithPatch rejected [guard=<which> key=<key>]: <detail>".
+  /// The *timing* preconditions are the caller's contract (sweep/tree
+  /// computes conservative first-effect bounds; tests pin them per axis).
+  static std::unique_ptr<Simulation> ForkWithPatch(const SimStateSnapshot& snap,
+                                                   const std::string& key,
+                                                   const JsonValue& value);
 
   /// The engine carrying all run state (jobs, stats, recorder, counters).
   const SimulationEngine& engine() const { return *engine_; }

@@ -9,6 +9,7 @@
 #include "core/simulation_builder.h"
 #include "sched/policies.h"
 #include "sched/scheduler.h"
+#include "sched/scheduler_registry.h"
 
 namespace sraps {
 namespace {
@@ -122,6 +123,13 @@ void RequireGridCompatible(const GridEnvironment& have, const GridEnvironment& w
 void Simulation::RunUntil(SimTime t) {
   const auto t0 = std::chrono::steady_clock::now();
   engine_->RunUntil(t);
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+}
+
+void Simulation::RunUntilExact(SimTime t) {
+  const auto t0 = std::chrono::steady_clock::now();
+  engine_->RunUntilExact(t);
   const auto t1 = std::chrono::steady_clock::now();
   wall_seconds_ += std::chrono::duration<double>(t1 - t0).count();
 }
@@ -306,6 +314,224 @@ std::size_t SimStateSnapshot::ApproxBytes() const {
 
 std::unique_ptr<Simulation> Simulation::ForkFrom(const SimStateSnapshot& snap) {
   return Fork(snap, nullptr);
+}
+
+namespace {
+
+/// ForkWithPatch's rejection string, same shape as the ForkWithGrid guards so
+/// callers can grep one format:
+///   ForkWithPatch rejected [guard=<which> key=<key>]: <how to fix>
+std::string PatchGuardError(const std::string& guard, const std::string& key,
+                            const std::string& detail) {
+  return "ForkWithPatch rejected [guard=" + guard + " key=" + key + "]: " + detail;
+}
+
+/// The stateless built-in scheduler family: a fresh registry build is
+/// behaviourally identical to a clone, which is what lets a branch swap
+/// policy/backfill/scheduler at its first-effect bound.  External couplings
+/// (scheduleflow, fastsim) carry cross-step state and may read options the
+/// patch changes, so they are outside the forkable set.
+bool PatchableScheduler(const std::string& name) {
+  return name == "default" || name == "experimental";
+}
+
+bool IsSchedulerSwapKey(const std::string& key) {
+  return key == "policy" || key == "backfill" || key == "scheduler";
+}
+
+}  // namespace
+
+std::unique_ptr<Simulation> Simulation::ForkWithPatch(const SimStateSnapshot& snap,
+                                                      const std::string& key,
+                                                      const JsonValue& value) {
+  EnsureBuiltinComponents();
+  const ScenarioSpec& base = snap.spec();
+  if (base.record_history) {
+    throw std::invalid_argument(PatchGuardError(
+        "record_history", key,
+        "recorded history channels depend on the patched options (throttle, "
+        "max_inlet), so the captured prefix cannot match a straight run's; "
+        "run with record_history = false or run the variant from scratch"));
+  }
+  if (!PatchableScheduler(base.scheduler)) {
+    throw std::invalid_argument(PatchGuardError(
+        "scheduler", key,
+        "scheduler '" + base.scheduler +
+            "' is an external coupling whose state may depend on the patched "
+            "option; only the built-in family (default/experimental) forks"));
+  }
+  const PolicyDef& base_policy = PolicyRegistry().Get(base.policy);
+  if (base_policy.needs_power_states) {
+    throw std::invalid_argument(PatchGuardError(
+        "power_state_policy", key,
+        "policy '" + base.policy +
+            "' plans node power states against the live wall power and the "
+            "effective cap, so its trajectory is not invariant under the "
+            "patch; run the variant from scratch"));
+  }
+
+  ScenarioSpec patched = base;
+  ApplyScenarioKey(patched, key, value);  // strict parse; throws on bad input
+  // The same value-level validation a from-scratch Build would run, so a
+  // branch the plain path rejects (negative cap, malformed window, ...)
+  // throws here too and the sweep tree falls back to plain runs — which
+  // reproduce the plain path's failure rows exactly.
+  ValidateScenarioSpec(patched);
+
+  std::unique_ptr<Simulation> sim(new Simulation());
+  sim->options_ = patched;
+  sim->config_ = snap.config_;
+  sim->policy_accounts_ = snap.policy_accounts_;
+  sim->sim_start_ = snap.sim_start_;
+  sim->sim_end_ = snap.sim_end_;
+  EngineOptions eo = snap.engine_options_;
+  EngineState state = snap.state_;
+
+  if (key == "power_cap_w") {
+    // Sound while pre-cap demand never exceeded the new cap (the caller's
+    // first-effect bound): the throttle below the bound is provably 1.0
+    // either way, so the shared uncapped prefix is the capped prefix.
+    eo.power_cap_w = patched.power_cap_w;
+  } else if (key == "grid.dr_windows") {
+    if (base_policy.needs_grid) {
+      throw std::invalid_argument(PatchGuardError(
+          "grid_reactive_policy", key,
+          "policy '" + base.policy +
+              "' schedules against grid boundaries, which the patched windows "
+              "change; run the variant from scratch"));
+    }
+    for (const DrWindow& w : patched.grid.dr_windows) {
+      if (w.start < snap.captured_at()) {
+        throw std::invalid_argument(PatchGuardError(
+            "window_start", key,
+            "patched window starts at " + std::to_string(w.start) +
+                ", before the snapshot time " + std::to_string(snap.captured_at()) +
+                "; a window already in force changes the captured prefix — "
+                "snapshot earlier or run the variant from scratch"));
+      }
+      // Same check the from-scratch engine applies, so a branch the plain
+      // path rejects fails here too (the sweep tree then falls back).
+      RequireWindowIntersects("SimulationEngine: demand-response window", w.start,
+                              w.end, eo.sim_start, eo.sim_end);
+    }
+    // Rebuild the boundary schedule under the patched windows and remap the
+    // consumed-boundary cursor.  Every boundary the prefix consumed is <= M
+    // (the last consumed time); every patched window edge starts at or after
+    // the snapshot, hence after every consumed boundary, so counting new
+    // boundaries <= M reproduces the straight run's cursor exactly.
+    const std::vector<SimTime> old_events =
+        snap.engine_options_.grid.BoundariesIn(eo.sim_start, eo.sim_end);
+    if (state.next_grid_event > old_events.size()) {
+      throw std::logic_error("ForkWithPatch: snapshot grid cursor outside its "
+                             "own boundary schedule");
+    }
+    eo.grid = patched.grid;
+    if (state.next_grid_event > 0) {
+      const SimTime last_consumed = old_events[state.next_grid_event - 1];
+      const std::vector<SimTime> new_events =
+          patched.grid.BoundariesIn(eo.sim_start, eo.sim_end);
+      std::size_t cursor = 0;
+      while (cursor < new_events.size() && new_events[cursor] <= last_consumed) {
+        ++cursor;
+      }
+      state.next_grid_event = cursor;
+    }
+  } else if (key == "cooling.supply_temp_c") {
+    if (base.cooling) {
+      throw std::invalid_argument(PatchGuardError(
+          "cooling_coupled", key,
+          "the cooling loop reads the supply setpoint from the first tick, so "
+          "the patch changes the trajectory immediately; run the variant from "
+          "scratch"));
+    }
+    if (patched.cooling_supply_temp_c) {
+      sim->config_.cooling.supply_temp_c = *patched.cooling_supply_temp_c;
+    }
+    // Mirror BuildInto's merged-cooling validation so a setpoint the plain
+    // path rejects fails the fork too (the sweep tree then falls back).
+    if (sim->config_.cooling.topology.enabled()) {
+      ValidateCoolingSpec(sim->config_.cooling, sim->config_.TotalNodes(),
+                          "ScenarioSpec '" + patched.name + "'");
+    }
+    // The resumed engine's next integrated span recomputes and republishes
+    // the inlet temperatures under the new supply, so a snapshot at least
+    // one tick before the next scored allocation is schedule-equivalent to a
+    // straight run (the inlet *differences* the policies score are
+    // supply-independent by the linear recirculation model).
+  } else if (IsSchedulerSwapKey(key)) {
+    if (!PatchableScheduler(patched.scheduler)) {
+      throw std::invalid_argument(PatchGuardError(
+          "scheduler", key,
+          "scheduler '" + patched.scheduler +
+              "' is an external coupling; only the built-in family "
+              "(default/experimental) forks"));
+    }
+    const PolicyDef& new_policy = PolicyRegistry().Get(patched.policy);
+    if (new_policy.needs_power_states) {
+      throw std::invalid_argument(PatchGuardError(
+          "power_state_policy", key,
+          "policy '" + patched.policy +
+              "' manages node power states from the first tick; run the "
+              "variant from scratch"));
+    }
+    if (base_policy.id == Policy::kReplay || new_policy.id == Policy::kReplay) {
+      throw std::invalid_argument(PatchGuardError(
+          "replay_policy", key,
+          "replay anchors placements to recorded timestamps, so a mid-run "
+          "scheduler swap is not equivalent to a straight run; run the "
+          "variant from scratch"));
+    }
+    // Mirror the builder's policy prerequisites so a branch the plain path
+    // rejects at Build() fails here too instead of silently diverging.
+    if (!patched.backfill.empty()) BackfillRegistry().Get(patched.backfill);
+    if (new_policy.needs_accounts && patched.accounts_json.empty()) {
+      throw std::invalid_argument(PatchGuardError(
+          "policy_prereq", key,
+          "policy '" + patched.policy + "' needs an accounts_json snapshot"));
+    }
+    if (new_policy.needs_grid && !patched.grid.HasSignals()) {
+      throw std::invalid_argument(PatchGuardError(
+          "policy_prereq", key,
+          "policy '" + patched.policy + "' needs a grid signal"));
+    }
+    if (new_policy.needs_thermal && !sim->config_.cooling.topology.enabled()) {
+      throw std::invalid_argument(PatchGuardError(
+          "policy_prereq", key,
+          "policy '" + patched.policy + "' needs a thermal topology"));
+    }
+  } else {
+    throw std::invalid_argument(PatchGuardError(
+        "unsupported_key", key,
+        "only power_cap_w, grid.dr_windows, cooling.supply_temp_c, policy, "
+        "backfill, and scheduler support first-effect forking; run the "
+        "variant from scratch"));
+  }
+
+  std::unique_ptr<Scheduler> sched;
+  if (IsSchedulerSwapKey(key)) {
+    // A fresh build, exactly as SimulationBuilder would: the built-in family
+    // is stateless, and before the first Schedule() invocation (the caller's
+    // bound) it has observed no callbacks, so fresh == cloned-with-history.
+    SchedulerFactoryContext fctx;
+    fctx.config = &sim->config_;
+    fctx.policy = patched.policy;
+    fctx.backfill = patched.backfill;
+    fctx.accounts = &sim->policy_accounts_;
+    fctx.grid = &sim->options_.grid;
+    sched = SchedulerRegistry().Get(patched.scheduler)(fctx);
+  } else {
+    SchedulerCloneContext cctx;
+    cctx.accounts = &sim->policy_accounts_;
+    cctx.grid = &sim->options_.grid;
+    sched = snap.scheduler_->Clone(cctx);
+    if (!sched) {
+      throw std::runtime_error("Simulation::ForkWithPatch: snapshot scheduler '" +
+                               snap.scheduler_->name() + "' refused to clone");
+    }
+  }
+  sim->engine_ = SimulationEngine::Restore(sim->config_, std::move(sched),
+                                           std::move(eo), std::move(state));
+  return sim;
 }
 
 std::unique_ptr<Simulation> Simulation::ForkWithGrid(const SimStateSnapshot& snap,

@@ -1,0 +1,122 @@
+#include "dist/sweep_worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "dist/work_queue.h"
+#include "sweep/sweep_runner.h"
+
+namespace sraps {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Re-stamps the claimed item's mtime every `interval` while an item runs,
+/// so a coordinator's straggler timeout only ever fires on workers that
+/// actually stopped beating (died), not on live workers with long items.
+class ClaimHeartbeat {
+ public:
+  ClaimHeartbeat(SweepWorkQueue& queue, const WorkItem& item, double interval)
+      : thread_([this, &queue, item, interval] {
+          std::unique_lock<std::mutex> lock(mu_);
+          while (!stop_) {
+            queue.Heartbeat(item);
+            cv_.wait_for(lock, std::chrono::duration<double>(interval),
+                         [this] { return stop_; });
+          }
+        }) {}
+
+  ~ClaimHeartbeat() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+SweepWorkerReport RunSweepWorker(const std::string& work_dir,
+                                 const SweepWorkerOptions& options) {
+  SweepWorkQueue queue = SweepWorkQueue::Open(work_dir);
+  std::string worker_id = options.worker_id;
+  if (worker_id.empty()) worker_id = "w" + std::to_string(getpid());
+
+  // One runner for the whole drain: the workload is resolved (dataset loaded
+  // / already-fitted synthetic regenerated) once per process, not per item.
+  SweepRunner runner(queue.LoadSpec());
+  runner.ResolveWorkload();
+
+  SweepWorkerReport report;
+  while (options.max_items == 0 || report.items_completed < options.max_items) {
+    if (options.straggler_timeout_s > 0) {
+      queue.ReclaimStale(options.straggler_timeout_s);
+    }
+    std::optional<WorkItem> item = queue.Claim();
+    if (!item) {
+      // Nothing to claim.  If nothing is in flight either, the sweep is
+      // drained; otherwise a straggler may die and its item reappear.
+      if (queue.ClaimedCount() == 0) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.poll_seconds));
+      continue;
+    }
+
+    const std::string staging = queue.StagingDir(worker_id, item->id);
+    SweepOptions run_options;
+    run_options.threads = options.threads;
+    run_options.output_dir = staging;
+    run_options.shard_size = queue.config().shard_size;
+    run_options.tree = queue.config().tree;
+    run_options.scenario_begin = item->begin;
+    run_options.scenario_end = item->end;
+    run_options.write_aggregates = false;
+    SweepSummary summary;
+    {
+      // An item can take arbitrarily long; without the beat, any straggler
+      // timeout shorter than an item would steal work from live workers.
+      ClaimHeartbeat beat(queue, *item, options.poll_seconds);
+      summary = runner.Run(run_options);
+    }
+    report.scenarios_run += item->end - item->begin;
+
+    // Publish: rename each complete shard into shards/.  rename(2) replaces
+    // an existing destination atomically, and a duplicate (stolen item run
+    // twice) writes byte-identical content, so overwriting is safe.
+    std::size_t shards_this_item = 0;
+    for (const std::string& shard : summary.shard_paths) {
+      if (shard.empty()) continue;  // slots for shards outside this subrange
+      const fs::path from(shard);
+      fs::rename(from, fs::path(queue.ShardsDir()) / from.filename());
+      ++shards_this_item;
+    }
+    report.shards_written += shards_this_item;
+    fs::remove_all(staging);
+    queue.Complete(*item);
+    ++report.items_completed;
+    if (options.verbose) {
+      std::fprintf(stderr, "[%s] item %05zu: scenarios [%zu, %zu) -> %zu shard(s)\n",
+                   worker_id.c_str(), item->id, item->begin, item->end,
+                   shards_this_item);
+    }
+  }
+  return report;
+}
+
+}  // namespace sraps

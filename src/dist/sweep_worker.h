@@ -1,0 +1,47 @@
+// The worker side of a distributed sweep: attach to a work directory
+// (dist/work_queue.h), claim shard-aligned scenario subranges, run each with
+// the subrange SweepRunner path (write_aggregates=false), and publish the
+// resulting rows-*.csv shards by atomic rename into shards/.  Because every
+// shard is byte-identical no matter which worker (or how many threads)
+// produced it, workers need no coordination beyond the claim rename, and a
+// stolen-and-duplicated item just overwrites equal bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sraps {
+
+struct SweepWorkerOptions {
+  /// Identifies this worker in staging paths and log lines; defaults to
+  /// "w<pid>" when empty.
+  std::string worker_id;
+  /// Threads per claimed item (SweepOptions::threads); 0 = hardware.
+  unsigned threads = 0;
+  /// Sleep between empty polls while claimed/ is still non-empty (another
+  /// worker may die and its items reappear in todo/).
+  double poll_seconds = 0.2;
+  /// When > 0, this worker also reclaims claimed items older than the
+  /// timeout before each poll — workers steal from stragglers even without
+  /// a live coordinator.
+  double straggler_timeout_s = 0.0;
+  /// Exit after completing this many items (0 = run until drained).  Lets
+  /// tests and nightly kill-injection bound a worker's life deterministically.
+  std::size_t max_items = 0;
+  /// Print a one-line progress note per completed item to stderr.
+  bool verbose = false;
+};
+
+struct SweepWorkerReport {
+  std::size_t items_completed = 0;
+  std::size_t scenarios_run = 0;
+  std::size_t shards_written = 0;
+};
+
+/// Drains `work_dir` (or up to options.max_items) and returns what this
+/// worker contributed.  Throws on a malformed work directory; per-scenario
+/// failures become failed rows in the shards, exactly as in-process sweeps.
+SweepWorkerReport RunSweepWorker(const std::string& work_dir,
+                                 const SweepWorkerOptions& options = {});
+
+}  // namespace sraps

@@ -1,0 +1,239 @@
+#include "dist/work_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace sraps {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void Spill(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << text;
+}
+
+std::string ItemFileName(std::size_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "item-%05zu.json", id);
+  return buf;
+}
+
+JsonValue ItemToJson(const WorkItem& item) {
+  JsonObject o;
+  o["id"] = static_cast<std::int64_t>(item.id);
+  o["begin"] = static_cast<std::int64_t>(item.begin);
+  o["end"] = static_cast<std::int64_t>(item.end);
+  return JsonValue(std::move(o));
+}
+
+WorkItem ItemFromJson(const JsonValue& v) {
+  WorkItem item;
+  item.id = static_cast<std::size_t>(v.At("id").AsInt());
+  item.begin = static_cast<std::size_t>(v.At("begin").AsInt());
+  item.end = static_cast<std::size_t>(v.At("end").AsInt());
+  return item;
+}
+
+/// rename(2) semantics without exceptions: true when the rename happened,
+/// false when the source vanished first (another worker won the race).
+/// Any other failure (permissions, cross-device) still throws.
+bool TryRename(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (!ec) return true;
+  if (ec == std::errc::no_such_file_or_directory) return false;
+  throw fs::filesystem_error("work-queue rename", from, to, ec);
+}
+
+std::size_t CountFiles(const fs::path& dir) {
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+JsonValue QueueConfig::ToJson() const {
+  JsonObject o;
+  o["scenario_count"] = static_cast<std::int64_t>(scenario_count);
+  o["shard_size"] = static_cast<std::int64_t>(shard_size);
+  o["tree"] = tree;
+  return JsonValue(std::move(o));
+}
+
+QueueConfig QueueConfig::FromJson(const JsonValue& v) {
+  QueueConfig config;
+  config.scenario_count = static_cast<std::size_t>(v.At("scenario_count").AsInt());
+  config.shard_size = static_cast<std::size_t>(v.At("shard_size").AsInt());
+  config.tree = v.At("tree").AsBool();
+  return config;
+}
+
+SweepWorkQueue::SweepWorkQueue(std::string dir) : dir_(std::move(dir)) {}
+
+SweepWorkQueue SweepWorkQueue::Create(const std::string& dir,
+                                      const SweepSpec& spec,
+                                      const QueueConfig& config,
+                                      std::size_t shards_per_item) {
+  if (config.scenario_count == 0) {
+    throw std::invalid_argument("work queue needs scenario_count > 0");
+  }
+  if (config.shard_size == 0) {
+    throw std::invalid_argument("work queue needs shard_size > 0");
+  }
+  if (shards_per_item == 0) {
+    throw std::invalid_argument("work queue needs shards_per_item > 0");
+  }
+  if (fs::exists(fs::path(dir) / "queue.json")) {
+    throw std::invalid_argument("work queue already exists in " + dir);
+  }
+  // The manifest must reproduce the workload from the file alone; the
+  // programmatic-only fields silently vanish through ToJson, which would
+  // hand workers a jobless grid.
+  if (!spec.base.jobs_override.empty() || spec.base.config_override) {
+    throw std::invalid_argument(
+        "work queue: spec '" + spec.name +
+        "' uses jobs_override/config_override, which are not "
+        "file-representable; distribute a dataset_path or synthetic sweep");
+  }
+  fs::create_directories(dir);
+  for (const char* sub : {"todo", "claimed", "done", "shards", "staging"}) {
+    fs::create_directories(fs::path(dir) / sub);
+  }
+  Spill(dir + "/spec.json", spec.ToJson().Dump(2) + "\n");
+  Spill(dir + "/queue.json", config.ToJson().Dump(2) + "\n");
+
+  const std::size_t item_span = config.shard_size * shards_per_item;
+  std::size_t item_id = 0;
+  for (std::size_t begin = 0; begin < config.scenario_count;
+       begin += item_span, ++item_id) {
+    WorkItem item;
+    item.id = item_id;
+    item.begin = begin;
+    item.end = std::min(begin + item_span, config.scenario_count);
+    Spill((fs::path(dir) / "todo" / ItemFileName(item.id)).string(),
+          ItemToJson(item).Dump(2) + "\n");
+  }
+
+  SweepWorkQueue queue(dir);
+  queue.config_ = config;
+  return queue;
+}
+
+SweepWorkQueue SweepWorkQueue::Open(const std::string& dir) {
+  SweepWorkQueue queue(dir);
+  queue.config_ = QueueConfig::FromJson(JsonValue::Parse(Slurp(dir + "/queue.json")));
+  return queue;
+}
+
+SweepSpec SweepWorkQueue::LoadSpec() const {
+  return SweepSpec::FromJson(JsonValue::Parse(Slurp(dir_ + "/spec.json")));
+}
+
+std::optional<WorkItem> SweepWorkQueue::Claim() {
+  // Walk todo/ in name order (deterministic claim order under one worker;
+  // under several the rename race decides) and take the first rename we win.
+  std::vector<fs::path> candidates;
+  for (const auto& entry : fs::directory_iterator(fs::path(dir_) / "todo")) {
+    if (entry.is_regular_file()) candidates.push_back(entry.path());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& path : candidates) {
+    const fs::path claimed = fs::path(dir_) / "claimed" / path.filename();
+    if (!TryRename(path, claimed)) continue;  // lost the race; next item
+    // rename(2) preserves mtime, so a claim would otherwise inherit the
+    // file's CREATION time and look stale the instant the straggler timeout
+    // elapses queue-wide.  Stamp the claim time; Heartbeat keeps it fresh.
+    std::error_code ec;
+    fs::last_write_time(claimed, fs::file_time_type::clock::now(), ec);
+    try {
+      return ItemFromJson(JsonValue::Parse(Slurp(claimed.string())));
+    } catch (const std::exception&) {
+      // Stolen between our rename and our read (a reclaimer judged the
+      // pre-stamp mtime stale).  Someone else owns it now; keep looking.
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SweepWorkQueue::Heartbeat(const WorkItem& item) {
+  std::error_code ec;
+  fs::last_write_time(fs::path(dir_) / "claimed" / ItemFileName(item.id),
+                      fs::file_time_type::clock::now(), ec);
+  return !ec;  // false: completed or stolen — the run continues either way
+}
+
+void SweepWorkQueue::Complete(const WorkItem& item) {
+  const std::string name = ItemFileName(item.id);
+  // The item may have been reclaimed (we looked like a straggler) and even
+  // completed by another worker; its shards are byte-identical to ours, so a
+  // vanished source is success, not an error.
+  TryRename(fs::path(dir_) / "claimed" / name, fs::path(dir_) / "done" / name);
+}
+
+std::size_t SweepWorkQueue::ReclaimStale(double age_seconds) {
+  const auto now = fs::file_time_type::clock::now();
+  std::size_t reclaimed = 0;
+  for (const auto& entry : fs::directory_iterator(fs::path(dir_) / "claimed")) {
+    if (!entry.is_regular_file()) continue;
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(entry.path(), ec);
+    if (ec) continue;  // vanished under us (completed or already reclaimed)
+    const double age =
+        std::chrono::duration<double>(now - mtime).count();
+    if (age < age_seconds) continue;
+    if (TryRename(entry.path(),
+                  fs::path(dir_) / "todo" / entry.path().filename())) {
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+bool SweepWorkQueue::Drained() const {
+  return TodoCount() == 0 && ClaimedCount() == 0;
+}
+
+std::size_t SweepWorkQueue::TodoCount() const {
+  return CountFiles(fs::path(dir_) / "todo");
+}
+
+std::size_t SweepWorkQueue::ClaimedCount() const {
+  return CountFiles(fs::path(dir_) / "claimed");
+}
+
+std::size_t SweepWorkQueue::DoneCount() const {
+  return CountFiles(fs::path(dir_) / "done");
+}
+
+std::string SweepWorkQueue::StagingDir(const std::string& worker_id,
+                                       std::size_t item_id) const {
+  char item[32];
+  std::snprintf(item, sizeof(item), "item-%05zu", item_id);
+  const fs::path staging =
+      fs::path(dir_) / "staging" / (worker_id + "-" + item);
+  fs::create_directories(staging);
+  return staging.string();
+}
+
+}  // namespace sraps

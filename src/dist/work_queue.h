@@ -1,0 +1,118 @@
+// Filesystem work queue for distributed sweeps: a manifest directory whose
+// work items are claimed by atomic rename, so any number of worker
+// PROCESSES (same machine or a shared filesystem) can drain one sweep with
+// no coordinator connection, no locks, and no state beyond the directory
+// itself.
+//
+// Layout of a work directory:
+//
+//   spec.json    the sweep spec as executed (workload already resolved /
+//                synthetic already fitted by the coordinator, so every
+//                worker replays the identical grid)
+//   queue.json   {scenario_count, shard_size, tree} — the execution contract
+//   todo/        item-NNNNN.json work items, one per output shard
+//   claimed/     items some worker is (or was) running
+//   done/        items whose shards are fully written
+//   shards/      completed rows-NNNNN.csv shards, byte-identical to a
+//                single-process run's
+//   staging/     per-worker scratch; shards are renamed out of here into
+//                shards/ so a reader never sees a half-written shard
+//
+// Claim()   = rename(todo/X, claimed/X): exactly one renamer wins, losers
+//             get ENOENT and move on — that is the whole concurrency story.
+//             The winner re-stamps the file's mtime (rename preserves it,
+//             and staleness is judged by mtime).
+// Heartbeat()= re-stamp a claimed item's mtime while it runs, so a LIVE
+//             worker on a long item is never mistaken for a dead one.
+// Complete()= rename(claimed/X, done/X) after the item's shards landed.
+// ReclaimStale() = rename(claimed/X, todo/X) for items whose mtime — i.e.
+//             last claim or heartbeat — is older than a straggler timeout.
+//             A reclaimed item may still be finished by its original
+//             (slow, not dead) worker; that is benign by construction,
+//             because both workers write byte-identical shards and the
+//             rename into shards/ just overwrites equal bytes.
+//             Determinism makes work stealing free.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.h"
+
+namespace sraps {
+
+/// One unit of distributed work: a shard-aligned scenario subrange.
+struct WorkItem {
+  std::size_t id = 0;     ///< == first shard index covered
+  std::size_t begin = 0;  ///< scenario subrange, shard-aligned
+  std::size_t end = 0;
+};
+
+/// The execution contract shared by every worker of one sweep.
+struct QueueConfig {
+  std::size_t scenario_count = 0;
+  std::size_t shard_size = 256;
+  bool tree = false;  ///< workers run with SweepOptions::tree
+  JsonValue ToJson() const;
+  static QueueConfig FromJson(const JsonValue& v);
+};
+
+class SweepWorkQueue {
+ public:
+  /// Creates the directory layout and one todo item per `shards_per_item`
+  /// output shards.  Throws if `dir` already contains a queue.
+  static SweepWorkQueue Create(const std::string& dir, const SweepSpec& spec,
+                               const QueueConfig& config,
+                               std::size_t shards_per_item = 1);
+
+  /// Opens an existing queue (a worker attaching to a coordinator's dir).
+  static SweepWorkQueue Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  const QueueConfig& config() const { return config_; }
+
+  /// Re-reads spec.json (workers parse it once and keep their own copy).
+  SweepSpec LoadSpec() const;
+
+  /// Atomically claims one pending item; nullopt when todo/ is empty.
+  /// Races between workers are settled by rename: the loser just retries
+  /// the next directory entry.  The claim re-stamps the item's mtime so
+  /// staleness is measured from the claim, not the queue's creation.
+  std::optional<WorkItem> Claim();
+
+  /// Re-stamps a claimed item's mtime so ReclaimStale keeps counting from
+  /// "now".  Returns false when the file is gone (completed or stolen) —
+  /// harmless, the caller keeps running either way.
+  bool Heartbeat(const WorkItem& item);
+
+  /// Marks a claimed item done.  Tolerates the item having been stolen
+  /// (reclaimed and finished by someone else) — the shards are identical
+  /// either way.
+  void Complete(const WorkItem& item);
+
+  /// Returns claimed items older than `age_seconds` to todo/ and reports
+  /// how many were reclaimed.  age 0 reclaims every claimed item (used
+  /// after all workers exited: anything still claimed belongs to a dead
+  /// worker).
+  std::size_t ReclaimStale(double age_seconds);
+
+  /// True when todo/ and claimed/ are both empty: every item is done.
+  bool Drained() const;
+
+  std::size_t TodoCount() const;
+  std::size_t ClaimedCount() const;
+  std::size_t DoneCount() const;
+
+  /// The staging directory for one (worker, item) pair, created on demand.
+  std::string StagingDir(const std::string& worker_id, std::size_t item_id) const;
+  std::string ShardsDir() const { return dir_ + "/shards"; }
+
+ private:
+  explicit SweepWorkQueue(std::string dir);
+  std::string dir_;
+  QueueConfig config_;
+};
+
+}  // namespace sraps

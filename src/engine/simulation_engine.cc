@@ -863,6 +863,10 @@ SimDuration SimulationEngine::SpanTicks() {
     // are provably constant on every tick short of the next one.
     next = std::min(next, grid_events_[next_grid_event_]);
   }
+  // RunUntilExact's limit: stop the hop exactly at the requested boundary.
+  // Splitting the span is bit-identical for everything but the
+  // calendar_steps/batched_ticks diagnostics (see RunUntilExact).
+  if (span_limit_ < options_.sim_end) next = std::min(next, span_limit_);
   // Every pending event lies strictly ahead (<= now_ was processed this
   // step), and throttle dilation only moves completions later, so hopping to
   // the first tick at or past `next` can never skip over an event.
@@ -994,6 +998,17 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
   // excess is invisible in the post-throttle wall power.
   last_wall_power_w_ = power.wall_power_w;
   last_busy_power_w_ = power.busy_power_w;
+
+  // Demand watch (SetPowerWatch): record the first step whose pre-cap demand
+  // would make a cap of threshold_w (or tighter) bind — the same comparison
+  // the throttle below performs against its cap.  Demand is span-constant
+  // (trace boundaries bound spans), so the span start is the exact first
+  // tick, in tick and calendar mode alike.
+  if (power_watch_threshold_w_ > 0.0 &&
+      power_watch_tripped_at_ == std::numeric_limits<SimTime>::max() &&
+      power.wall_power_w > power_watch_threshold_w_ && power.busy_power_w > 0.0) {
+    power_watch_tripped_at_ = now_;
+  }
 
   // Facility power cap: throttle all running jobs uniformly so the wall
   // power meets the cap; runtimes dilate by the inverse factor.  The cap in
@@ -1283,6 +1298,18 @@ void SimulationEngine::Run() {
 void SimulationEngine::RunUntil(SimTime t) {
   while (now_ < t && StepOnce()) {
   }
+}
+
+void SimulationEngine::RunUntilExact(SimTime t) {
+  span_limit_ = t;
+  while (now_ < t && StepOnce()) {
+  }
+  span_limit_ = std::numeric_limits<SimTime>::max();
+}
+
+void SimulationEngine::SetPowerWatch(double threshold_w) {
+  power_watch_threshold_w_ = threshold_w;
+  power_watch_tripped_at_ = std::numeric_limits<SimTime>::max();
 }
 
 EngineState SimulationEngine::CaptureState() const {

@@ -21,6 +21,7 @@
 // (§3.2.3 footnote 2).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -179,6 +180,32 @@ class SimulationEngine {
   /// end-of-window completion sweep is NOT performed, so a snapshot taken
   /// here and resumed with Run() finishes exactly like an uninterrupted run.
   void RunUntil(SimTime t);
+
+  /// RunUntil, but the clock lands *exactly* on the first tick boundary at
+  /// or past `t` instead of overshooting to the end of a batched span: the
+  /// limit bounds SpanTicks, splitting the span that would straddle it.
+  /// Splitting is bit-identical for jobs, stats, history, and accounting —
+  /// every per-tick quantity accumulates by repeated addition, so a span of
+  /// n ticks equals a+b ticks operation for operation — and only the
+  /// calendar_steps/batched_ticks counters (diagnostics, not results)
+  /// differ.  This is what lets a snapshot-tree sweep stop at an arbitrary
+  /// first-effect bound and fork there (sweep/tree).
+  void RunUntilExact(SimTime t);
+
+  // --- power watch (first-effect probe for power_cap_w sweeps) -------------
+  /// Arms a demand watch: the engine records the first step whose *pre-cap*
+  /// sampled wall demand exceeds `threshold_w` while jobs draw busy power —
+  /// exactly the condition under which a run capped at `threshold_w` (or any
+  /// tighter cap) would first throttle and diverge from this one.  Purely
+  /// observational: the trajectory is untouched.  0 disarms.
+  void SetPowerWatch(double threshold_w);
+  /// The step-start time at which the armed watch first tripped, or
+  /// SimTime max while it has not.
+  SimTime power_watch_tripped_at() const { return power_watch_tripped_at_; }
+
+  /// The resolved tick width (options tick, or the system's telemetry
+  /// interval when that was 0).
+  SimDuration tick() const { return tick_; }
 
   /// Deep-copies the engine's entire mutable state (the scheduler is cloned
   /// separately via Scheduler::Clone — see Simulation::Snapshot()).  Valid
@@ -436,6 +463,13 @@ class SimulationEngine {
   /// eventful so iterative policies (pace_to_cap's rung walk) re-plan, and
   /// bounds the calendar span to one tick.  Cleared at the top of StepOnce.
   bool power_event_pending_ = false;
+  /// Demand watch (SetPowerWatch): threshold (0 = disarmed) and the step
+  /// start at which pre-cap demand first exceeded it.
+  double power_watch_threshold_w_ = 0.0;
+  SimTime power_watch_tripped_at_ = std::numeric_limits<SimTime>::max();
+  /// RunUntilExact's span limit: SpanTicks never hops past it.  SimTime max
+  /// outside RunUntilExact.
+  SimTime span_limit_ = std::numeric_limits<SimTime>::max();
   /// Accumulate the per-class energy breakdown (power-state schedulers
   /// only; keeps span batching O(1) for everything else).
   bool class_energy_on_ = false;

@@ -119,7 +119,8 @@ std::string RenderParetoScatter(const SweepAggregates& agg, int width, int heigh
 
 }  // namespace
 
-std::string RenderSweepReport(const SweepSpec& spec, const SweepAggregates& agg) {
+std::string RenderSweepReport(const SweepSpec& spec, const SweepAggregates& agg,
+                              const TreeStats* tree) {
   std::ostringstream html;
   html << "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>\n<title>"
        << Escape(spec.name) << " — sweep report</title>\n<style>\n"
@@ -156,6 +157,22 @@ std::string RenderSweepReport(const SweepSpec& spec, const SweepAggregates& agg)
          << "</td></tr>\n";
   }
   html << "</table>\n";
+
+  if (tree != nullptr) {
+    html << "<h2>Snapshot-tree execution</h2>\n"
+         << "<p>" << tree->scenarios << " scenarios answered by "
+         << tree->roots << " shared trajectories (+" << tree->probe_runs
+         << " cap probes); " << tree->forks << " forks, max depth "
+         << tree->max_depth << ", max fan-out " << tree->max_fanout << ".";
+    if (tree->fallback_scenarios > 0) {
+      html << " " << tree->fallback_scenarios
+           << " scenarios fell back to plain runs.";
+    }
+    html << "</p>\n<p>Simulated " << Round(tree->sim_seconds_stepped / 3600.0, 1)
+         << " h of machine time vs " << Round(tree->sim_seconds_plain / 3600.0, 1)
+         << " h for plain execution — <b>" << Round(100.0 * tree->SavedFraction(), 1)
+         << "%</b> saved. Results are bit-identical to the plain path.</p>\n";
+  }
 
   html << "<h2>Pareto frontier</h2>\n" << RenderParetoScatter(agg, 760, 420) << "\n";
   html << "<table><tr><th>scenario</th><th>energy [MWh]</th><th>makespan [h]</th></tr>\n";

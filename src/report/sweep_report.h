@@ -9,11 +9,17 @@
 
 #include "sweep/sweep_runner.h"
 #include "sweep/sweep_spec.h"
+#include "sweep/tree/tree_stats.h"
 
 namespace sraps {
 
 /// Renders the report from the spec (axis table) and the finalized
-/// aggregates (metric summaries, Pareto frontier, scatter points).
-std::string RenderSweepReport(const SweepSpec& spec, const SweepAggregates& agg);
+/// aggregates (metric summaries, Pareto frontier, scatter points).  When
+/// `tree` is non-null (the sweep ran with --sweep-tree and the tree
+/// engaged), an execution section reports the fork structure and the
+/// simulated-time saving; the scientific sections are unaffected — tree
+/// execution never changes results, only how they were computed.
+std::string RenderSweepReport(const SweepSpec& spec, const SweepAggregates& agg,
+                              const TreeStats* tree = nullptr);
 
 }  // namespace sraps

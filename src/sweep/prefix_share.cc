@@ -7,33 +7,21 @@
 #include "sched/policies.h"
 
 namespace sraps {
-namespace {
 
-/// True when `policy` (a PolicyRegistry name) is known NOT to read grid
-/// signal values.  Unknown names count as reactive — conservative: an
-/// unregistered policy would fail at Build anyway, and a plugin policy we
-/// cannot introspect must not be assumed scale-invariant.
 bool PolicyIgnoresGridValues(const std::string& policy) {
   EnsureBuiltinComponents();
   if (!PolicyRegistry().Has(policy)) return false;
   return !PolicyRegistry().Get(policy).needs_grid;
 }
 
-/// True for schedulers known not to read grid signal *values* outside the
-/// policy mechanism: the built-in scheduler (whose grid use is exactly the
-/// registered policies, judged separately) and the bundled external
-/// couplings (which never see the grid at all).  A plugin scheduler is NOT
-/// assumed safe — it receives a grid pointer through its factory context
-/// and could steer on prices, so sharing is disabled for it.
 bool SchedulerIgnoresGridValues(const std::string& scheduler) {
   return scheduler == "default" || scheduler == "experimental" ||
          scheduler == "scheduleflow" || scheduler == "fastsim";
 }
 
-/// Every value of the `key` axis, as strings — or `base_value` when the
-/// sweep has no such axis.
-std::vector<std::string> ValuesInPlay(const SweepSpec& spec, const std::string& key,
-                                      const std::string& base_value) {
+std::vector<std::string> AxisValuesInPlay(const SweepSpec& spec,
+                                          const std::string& key,
+                                          const std::string& base_value) {
   for (const SweepAxis& axis : spec.axes) {
     if (axis.key == key) {
       std::vector<std::string> names;
@@ -46,6 +34,8 @@ std::vector<std::string> ValuesInPlay(const SweepSpec& spec, const std::string& 
   }
   return {base_value};
 }
+
+namespace {
 
 bool IsGridScaleKey(const std::string& key) {
   return key == "grid.price.scale" || key == "grid.carbon.scale";
@@ -105,14 +95,14 @@ SharePlan PlanPrefixSharing(const SweepSpec& spec) {
   // axis makes them vary between scenarios — play it safe across all
   // values).
   bool all_policies_ignore_grid = true;
-  for (const std::string& p : ValuesInPlay(spec, "policy", spec.base.policy)) {
+  for (const std::string& p : AxisValuesInPlay(spec, "policy", spec.base.policy)) {
     if (!PolicyIgnoresGridValues(p)) {
       all_policies_ignore_grid = false;
       break;
     }
   }
   for (const std::string& s :
-       ValuesInPlay(spec, "scheduler", spec.base.scheduler)) {
+       AxisValuesInPlay(spec, "scheduler", spec.base.scheduler)) {
     if (!SchedulerIgnoresGridValues(s)) {
       all_policies_ignore_grid = false;
       break;

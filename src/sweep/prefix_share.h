@@ -4,13 +4,16 @@
 // Every sweep scenario re-simulates from t=0, even when thousands of
 // variants share an identical prefix — the same workload and schedule until
 // the swept knob first matters.  This module computes, per axis, a lower
-// bound on that "first-effect time":
+// bound on that "first-effect time".  The single-value FirstEffectTime here
+// covers the first-generation classes (the generalized per-axis classifier,
+// which adds power-cap demand probes and schedule/placement bounds, lives in
+// sweep/tree/first_effect.h):
 //
 //   * `grid.price.scale` / `grid.carbon.scale` — pure accounting knobs: the
 //     trajectory (schedule, power, energy, counters) is invariant, only the
 //     $ and CO2 integrations change.  First effect = never
 //     (kTrajectoryNeutral), PROVIDED no grid-reactive policy reads the
-//     signal values.  These axes are exploitable today: the SweepRunner runs
+//     signal values.  These axes are exploitable here: the SweepRunner runs
 //     the trajectory once per group with the per-tick energy basis captured,
 //     snapshots, and forks per variant with the accounting replayed
 //     (Simulation::ForkWithGrid) — bit-identical shards at a fraction of the
@@ -18,11 +21,15 @@
 //   * `grid.dr_windows` — a demand-response schedule cannot act before its
 //     earliest window start (its first NextBoundaryAfter-style edge): the
 //     returned time bounds how far a shared prefix could run before forking.
-//     Reported, not yet exploited (mid-run divergent forking is the next
-//     step on top of Simulation::ForkFrom).
-//   * `power_cap_w` and everything else — a static cap can bind on the very
-//     first tick, and a generic key swap (policy, backfill, tick, ...)
-//     changes the run from the start: first effect = sim start (no sharing).
+//     Exploited by the snapshot-tree runner (sweep/tree/tree_runner.h),
+//     which runs the shared prefix to that bound, snapshots, and forks one
+//     branch per window schedule (Simulation::ForkWithPatch).
+//   * `power_cap_w` and everything else — STATICALLY a cap can bind on the
+//     very first tick, so this function returns sim start; the tree runner
+//     tightens the cap bound at run time with a demand probe
+//     (SimulationEngine::SetPowerWatch), and bounds policy/backfill/
+//     scheduler swaps by the first schedule invocation.  A generic key swap
+//     (tick, workload knobs, ...) stays first-effect-at-start: no sharing.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +45,29 @@ namespace sraps {
 /// Sentinel for "this value can never diverge the trajectory" (accounting-
 /// only knobs).
 inline constexpr SimTime kTrajectoryNeutral = std::numeric_limits<SimTime>::max();
+
+/// True when `policy` (a PolicyRegistry name) is known NOT to read grid
+/// signal values.  Unknown names count as reactive — conservative: an
+/// unregistered policy would fail at Build anyway, and a plugin policy we
+/// cannot introspect must not be assumed scale-invariant.  Shared by the
+/// neutral-axis planner here and the snapshot-tree classifier
+/// (sweep/tree/first_effect.h).
+bool PolicyIgnoresGridValues(const std::string& policy);
+
+/// True for schedulers known not to read grid signal *values* outside the
+/// policy mechanism: the built-in scheduler (whose grid use is exactly the
+/// registered policies, judged separately) and the bundled external
+/// couplings (which never see the grid at all).  A plugin scheduler is NOT
+/// assumed safe — it receives a grid pointer through its factory context
+/// and could steer on prices, so sharing is disabled for it.
+bool SchedulerIgnoresGridValues(const std::string& scheduler);
+
+/// Every value of the `key` axis of `spec`, as strings — or `base_value`
+/// when the sweep has no such axis.  The classifier's way of asking "which
+/// policies/schedulers can this sweep put in force?".
+std::vector<std::string> AxisValuesInPlay(const SweepSpec& spec,
+                                          const std::string& key,
+                                          const std::string& base_value);
 
 /// Lower bound on the first simulated time at which running with `value`
 /// assigned to axis key `key` can differ from running the base spec —

@@ -19,6 +19,7 @@
 #include "core/snapshot.h"
 #include "dataloaders/dataloader.h"
 #include "sweep/prefix_share.h"
+#include "sweep/tree/tree_runner.h"
 
 namespace sraps {
 namespace {
@@ -275,6 +276,42 @@ SweepAggregates SweepAggregator::Finalize() const {
   return agg;
 }
 
+void WriteSweepArtifacts(const std::string& output_dir, const SweepSpec& spec,
+                         const SweepAggregates& aggregates,
+                         std::size_t shard_size) {
+  namespace fs = std::filesystem;
+  fs::create_directories(output_dir);
+  const std::size_t total = spec.ScenarioCount();
+  shard_size = std::max<std::size_t>(1, shard_size);
+  const std::size_t num_shards = (total + shard_size - 1) / shard_size;
+  {
+    std::ofstream out(output_dir + "/aggregates.json");
+    out << aggregates.ToJson().Dump(2) << "\n";
+    if (!out) {
+      throw std::runtime_error("WriteSweepArtifacts: cannot write " +
+                               output_dir + "/aggregates.json");
+    }
+  }
+  JsonObject manifest;
+  manifest["name"] = spec.name;
+  manifest["scenario_count"] = JsonValue(static_cast<std::int64_t>(total));
+  manifest["shard_size"] = JsonValue(static_cast<std::int64_t>(shard_size));
+  JsonArray shard_names;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    char name[32];
+    std::snprintf(name, sizeof name, "rows-%05zu.csv", s);
+    shard_names.emplace_back(std::string(name));
+  }
+  manifest["shards"] = JsonValue(std::move(shard_names));
+  manifest["spec"] = spec.ToJson();
+  std::ofstream out(output_dir + "/manifest.json");
+  out << JsonValue(std::move(manifest)).Dump(2) << "\n";
+  if (!out) {
+    throw std::runtime_error("WriteSweepArtifacts: cannot write " + output_dir +
+                             "/manifest.json");
+  }
+}
+
 SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
   spec_.Validate();
 }
@@ -328,6 +365,32 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
   const std::size_t shard_size = std::max<std::size_t>(1, options.shard_size);
   const std::size_t num_shards = (total + shard_size - 1) / shard_size;
   const bool spill = !options.output_dir.empty();
+
+  // Scenario subrange (the distributed tier's work unit).  With shards on
+  // disk both ends must fall on shard boundaries, so every shard this run
+  // produces is complete — and therefore byte-identical to the same shard
+  // of a whole-grid run.
+  const std::size_t begin = options.scenario_begin;
+  const std::size_t end = std::min(options.scenario_end, total);
+  if (begin > end) {
+    throw std::invalid_argument(
+        "SweepRunner '" + spec_.name + "': scenario_begin " +
+        std::to_string(begin) + " > scenario_end " + std::to_string(end));
+  }
+  const bool full_range = begin == 0 && end == total;
+  if (spill && !full_range &&
+      (begin % shard_size != 0 || (end != total && end % shard_size != 0))) {
+    throw std::invalid_argument(
+        "SweepRunner '" + spec_.name + "': scenario range [" +
+        std::to_string(begin) + ", " + std::to_string(end) +
+        ") is not aligned to shard_size " + std::to_string(shard_size));
+  }
+  if (spill && !full_range && options.write_aggregates) {
+    throw std::invalid_argument(
+        "SweepRunner '" + spec_.name +
+        "': a subrange run writes partial shards only; set write_aggregates "
+        "= false (the merge step writes the whole-grid artifacts)");
+  }
   const auto rows_in_shard = [&](std::size_t s) {
     return std::min(shard_size, total - s * shard_size);
   };
@@ -350,7 +413,7 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
 
   SweepAggregator aggregator(total);
   SweepSummary summary;
-  summary.total = total;
+  summary.total = end - begin;
   summary.shard_paths.resize(spill ? num_shards : 0);
   std::mutex mu;
 
@@ -487,6 +550,14 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
     {
       std::lock_guard<std::mutex> lock(mu);
       aggregator.Fold(row);
+      // Counted here rather than from Finalize() so a subrange run (which
+      // never finalizes the whole-grid aggregator) still reports its own
+      // ok/failed split.
+      if (row.ok) {
+        ++summary.ok_count;
+      } else {
+        ++summary.failed_count;
+      }
       if (!row.ok && summary.sample_errors.size() < 5) {
         summary.sample_errors.push_back(row.name + ": " + row.error);
       }
@@ -519,57 +590,77 @@ SweepSummary SweepRunner::Run(const SweepOptions& options) {
     }
   };
 
-  SharePlan plan;
-  if (options.share_prefix) plan = PlanPrefixSharing(spec_);
-  const bool sharing = options.share_prefix && plan.worthwhile();
-  const std::size_t work_units = sharing ? plan.groups.size() : total;
-  summary.simulated_trajectories = work_units;
-  summary.forked_scenarios = sharing ? total - plan.groups.size() : 0;
-
-  ParallelIndexFor(work_units, options.threads, [&](std::size_t u) {
-    if (sharing) {
-      for (SweepRow& row : run_group(plan.groups[u])) fold_row(std::move(row));
-    } else {
-      fold_row(run_one(u));
+  // Execution path: the snapshot tree when requested and at least one axis
+  // is bounded (it subsumes prefix sharing — neutral axes resolve through
+  // the same accounting replay at its leaves); else prefix sharing when
+  // requested and worthwhile; else one plain run per scenario.  All three
+  // produce bit-identical rows, shards, and aggregates.
+  if (options.tree) {
+    SnapshotTreeRunner tree(spec_, resolve_workload, run_one);
+    if (tree.worthwhile()) {
+      summary.tree_used = true;
+      summary.tree_stats = tree.Run(begin, end, options.threads,
+                                    [&](SweepRow row) { fold_row(std::move(row)); });
+      summary.simulated_trajectories = summary.tree_stats.roots +
+                                       summary.tree_stats.probe_runs +
+                                       summary.tree_stats.fallback_scenarios;
+      summary.forked_scenarios = summary.tree_stats.forks;
     }
-  });
+  }
+  if (!summary.tree_used) {
+    SharePlan plan;
+    if (options.share_prefix) {
+      plan = PlanPrefixSharing(spec_);
+      if (!full_range) {
+        // Keep only in-range members; a group whose members all fall
+        // outside the range disappears.
+        for (SharePlan::Group& g : plan.groups) {
+          g.indices.erase(std::remove_if(g.indices.begin(), g.indices.end(),
+                                         [&](std::size_t i) {
+                                           return i < begin || i >= end;
+                                         }),
+                          g.indices.end());
+        }
+        plan.groups.erase(std::remove_if(plan.groups.begin(), plan.groups.end(),
+                                         [](const SharePlan::Group& g) {
+                                           return g.indices.empty();
+                                         }),
+                          plan.groups.end());
+      }
+    }
+    const bool sharing = options.share_prefix && plan.worthwhile();
+    const std::size_t work_units = sharing ? plan.groups.size() : end - begin;
+    summary.simulated_trajectories = work_units;
+    summary.forked_scenarios = sharing ? (end - begin) - plan.groups.size() : 0;
+
+    ParallelIndexFor(work_units, options.threads, [&](std::size_t u) {
+      if (sharing) {
+        for (SweepRow& row : run_group(plan.groups[u])) fold_row(std::move(row));
+      } else {
+        fold_row(run_one(begin + u));
+      }
+    });
+  }
 
   if (!io_error.empty()) {
     throw std::runtime_error("SweepRunner '" + spec_.name +
                              "': shard write failed: " + io_error);
   }
-  summary.aggregates = aggregator.Finalize();
-  summary.ok_count = summary.aggregates.ok_count;
-  summary.failed_count = summary.aggregates.failed_count;
+  // Whole-grid aggregates only make sense when the whole grid ran; a
+  // subrange run leaves them empty (the merge step finalizes its own
+  // aggregator over every shard).
+  if (full_range) summary.aggregates = aggregator.Finalize();
 
-  if (spill) {
-    namespace fs = std::filesystem;
-    fs::create_directories(options.output_dir);
-    {
-      std::ofstream out(options.output_dir + "/aggregates.json");
-      out << summary.aggregates.ToJson().Dump(2) << "\n";
+  if (spill && full_range && options.write_aggregates) {
+    WriteSweepArtifacts(options.output_dir, spec_, summary.aggregates,
+                        shard_size);
+    if (summary.tree_used) {
+      std::ofstream out(options.output_dir + "/tree_stats.json");
+      out << summary.tree_stats.ToJson().Dump(2) << "\n";
       if (!out) {
         throw std::runtime_error("SweepRunner: cannot write " +
-                                 options.output_dir + "/aggregates.json");
+                                 options.output_dir + "/tree_stats.json");
       }
-    }
-    JsonObject manifest;
-    manifest["name"] = spec_.name;
-    manifest["scenario_count"] = JsonValue(static_cast<std::int64_t>(total));
-    manifest["shard_size"] = JsonValue(static_cast<std::int64_t>(shard_size));
-    JsonArray shard_names;
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      char name[32];
-      std::snprintf(name, sizeof name, "rows-%05zu.csv", s);
-      shard_names.emplace_back(std::string(name));
-    }
-    manifest["shards"] = JsonValue(std::move(shard_names));
-    manifest["spec"] = spec_.ToJson();
-    std::ofstream out(options.output_dir + "/manifest.json");
-    out << JsonValue(std::move(manifest)).Dump(2) << "\n";
-    if (!out) {
-      throw std::runtime_error("SweepRunner: cannot write " + options.output_dir +
-                               "/manifest.json");
     }
   }
 

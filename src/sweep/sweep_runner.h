@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "common/json.h"
 #include "experiment/experiment_runner.h"
 #include "sweep/sweep_spec.h"
+#include "sweep/tree/tree_stats.h"
 
 namespace sraps {
 
@@ -161,7 +163,36 @@ struct SweepOptions {
   /// the non-sharing path; only the wall clock changes.  Sweeps with no
   /// neutral axis silently use the plain path.
   bool share_prefix = false;
+  /// Snapshot-tree execution (`--sweep-tree`): classify every axis by its
+  /// first-effect time (sweep/tree/first_effect.h), run one shared
+  /// trajectory per immediate-axis combination, and fork branches at each
+  /// bounded axis's bound (sweep/tree/tree_runner.h).  Subsumes
+  /// share_prefix (trajectory-neutral axes resolve through the same
+  /// accounting replay at the leaves), so when both are set the tree wins.
+  /// Every output file stays bit-identical to the plain path; sweeps where
+  /// no axis is bounded silently use the plain path.
+  bool tree = false;
+  /// Half-open scenario subrange to execute — the distributed tier's work
+  /// unit (src/dist).  Defaults cover the whole grid.  When output_dir is
+  /// set, both ends must be shard-aligned (begin % shard_size == 0; end
+  /// likewise or == ScenarioCount()) so every produced shard is complete
+  /// and byte-identical to the full run's shard.
+  std::size_t scenario_begin = 0;
+  std::size_t scenario_end = std::numeric_limits<std::size_t>::max();
+  /// When false, only row shards are written to output_dir —
+  /// aggregates.json / manifest.json / tree_stats.json are skipped.
+  /// Workers running a subrange set this; the coordinator writes the merged
+  /// artifacts itself (byte-identical, via WriteSweepArtifacts).
+  bool write_aggregates = true;
 };
+
+/// Writes aggregates.json and manifest.json into `output_dir` exactly as a
+/// full in-process SweepRunner::Run would — shared with the distributed
+/// coordinator so a merged multi-worker sweep's artifacts are byte-identical
+/// to a single-process run's.
+void WriteSweepArtifacts(const std::string& output_dir, const SweepSpec& spec,
+                         const SweepAggregates& aggregates,
+                         std::size_t shard_size);
 
 struct SweepSummary {
   std::size_t total = 0;
@@ -173,10 +204,17 @@ struct SweepSummary {
   /// Up to five distinct failure messages, for operator triage.
   std::vector<std::string> sample_errors;
   /// Prefix sharing: trajectories actually simulated (== total on the plain
-  /// path; == group count when sharing engaged) and scenarios that were
-  /// resolved by forking a shared snapshot instead of a full run.
+  /// path; == group count when sharing engaged; == roots + probes +
+  /// fallback reruns on the tree path) and scenarios that were resolved by
+  /// forking a shared snapshot instead of a full run.
   std::size_t simulated_trajectories = 0;
   std::size_t forked_scenarios = 0;
+  /// Snapshot-tree execution: whether the tree actually engaged (tree
+  /// requested AND at least one bounded multi-value axis), and its shape /
+  /// savings.  Also written to tree_stats.json next to the shards — never
+  /// into aggregates.json, which must hash identically to the plain path.
+  bool tree_used = false;
+  TreeStats tree_stats;
 };
 
 class SweepRunner {
@@ -196,9 +234,13 @@ class SweepRunner {
   /// without refitting.
   const SweepSpec& spec() const { return spec_; }
 
- private:
+  /// Resolves the workload eagerly (idempotent; Run calls it too).  The
+  /// distributed coordinator resolves BEFORE writing the manifest spec, so
+  /// a calibrating sweep is fitted exactly once and every worker replays
+  /// the already-fitted spec.
   void ResolveWorkload();
 
+ private:
   SweepSpec spec_;
   std::vector<Job> shared_jobs_;  ///< load-once dataset workload (non-synthetic)
   bool resolved_ = false;

@@ -584,6 +584,22 @@ TEST(SweepReportTest, RendersAggregatesAndFrontier) {
   EXPECT_NE(html.find("power_cap_w"), std::string::npos);
   EXPECT_NE(html.find("Pareto"), std::string::npos);
   EXPECT_NE(html.find("<svg"), std::string::npos);
+  // No execution section unless tree stats are handed in.
+  EXPECT_EQ(html.find("Snapshot-tree"), std::string::npos);
+}
+
+TEST(SweepReportTest, RendersTreeExecutionSectionWhenStatsProvided) {
+  SweepSpec sweep = CapGrid();
+  SweepOptions options;
+  options.threads = 2;
+  options.tree = true;
+  const SweepSummary summary = SweepRunner(sweep).Run(options);
+  ASSERT_TRUE(summary.tree_used);
+  const std::string html =
+      RenderSweepReport(sweep, summary.aggregates, &summary.tree_stats);
+  EXPECT_NE(html.find("Snapshot-tree execution"), std::string::npos);
+  EXPECT_NE(html.find("shared trajectories"), std::string::npos);
+  EXPECT_NE(html.find("bit-identical"), std::string::npos);
 }
 
 // --- prefix sharing ---------------------------------------------------------
