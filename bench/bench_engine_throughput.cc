@@ -189,6 +189,36 @@ void BM_EngineThermalPlacement(benchmark::State& state) {
                  /*record_history=*/false, nullptr, "min_hr");
 }
 
+void BM_EngineThermalTransient(benchmark::State& state) {
+  // Transient rack thermal mass + CRAC supply control on top of the
+  // thermal-placement setup: per-tick RC relaxation inside batched spans
+  // plus the slew-limited supply loop.  No thermal trips are configured,
+  // so calendar spans stay unbounded and the sparse event-mode speedup
+  // must survive the per-tick state iteration.  range(0): 0 = dense 6 h,
+  // 1 = sparse 14 d; range(1): engine mode.
+  SystemConfig config = MakeSystemConfig("mini");
+  config.cooling.topology.racks = 4;
+  config.cooling.topology.nodes_per_rack = 4;
+  config.cooling.topology.hr_matrix.kind = "layout";
+  config.cooling.topology.hr_matrix.intra_rack = 0.04;
+  config.cooling.topology.hr_matrix.cross_rack = 0.01;
+  config.cooling.topology.airflow_w_per_k = 300.0;
+  config.cooling.topology.fan_leak_w_per_k = 2.0;
+  config.cooling.transient.enabled = true;
+  config.cooling.transient.rack_tau_s = 900.0;
+  config.cooling.transient.crac_target_max_inlet_c =
+      config.cooling.supply_temp_c + 1.0;
+  config.cooling.transient.crac_slew_c_per_s = 0.002;
+  config.cooling.transient.crac_min_supply_c =
+      config.cooling.supply_temp_c - 6.0;
+  const bool sparse = state.range(0) != 0;
+  const SimDuration span = sparse ? 14 * kDay : 6 * kHour;
+  const auto jobs =
+      sparse ? SparseWorkloadFor(config, span) : WorkloadFor(config, span, 40);
+  RunEngineBench(state, config, jobs, span, state.range(1) != 0,
+                 /*record_history=*/false, nullptr, "min_hr");
+}
+
 void BM_SchedulerInvocation(benchmark::State& state) {
   // Cost of one full schedule recomputation with a deep queue.
   const int queue_depth = static_cast<int>(state.range(0));
@@ -264,6 +294,10 @@ BENCHMARK(BM_EnginePowerStates)
     ->ArgsProduct({{0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineThermalPlacement)
+    ->ArgNames({"sparse", "event"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineThermalTransient)
     ->ArgNames({"sparse", "event"})
     ->ArgsProduct({{0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);

@@ -70,6 +70,9 @@ void Usage() {
       "  --cooling-topology F thermal topology JSON (racks, nodes_per_rack,\n"
       "                       hr_matrix) enabling the thermal-aware policies\n"
       "  --supply-temp C      override the facility supply setpoint (deg C)\n"
+      "  --thermal-transient F  transient-thermal JSON (rack_tau_s, CRAC loop,\n"
+      "                       trip_inlet_c; needs --cooling-topology or a\n"
+      "                       system that declares one)\n"
       "  --accounts           accumulate per-account statistics\n"
       "  --accounts-json P    reload a collection run's accounts.json\n"
       "  --tick SECONDS       override the engine tick\n"
@@ -403,6 +406,20 @@ int main(int argc, char** argv) {
             ThermalTopologySpec::FromJson(JsonValue::Parse(text.str()));
       } catch (const std::exception& e) {
         std::fprintf(stderr, "bad cooling topology file '%s': %s\n", v.c_str(),
+                     e.what());
+        return 2;
+      }
+    } else if (!std::strcmp(a, "--thermal-transient")) {
+      if (!NextArg(argc, argv, i, v)) return 2;
+      try {
+        std::ifstream in(v);
+        if (!in) throw std::runtime_error("cannot open '" + v + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        opts.cooling_transient =
+            TransientThermalSpec::FromJson(JsonValue::Parse(text.str()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad transient thermal file '%s': %s\n", v.c_str(),
                      e.what());
         return 2;
       }

@@ -146,13 +146,14 @@ JsonValue MachineClassSpec::ToJson() const {
   }
   if (c_state.enabled) o["c_state"] = SleepToJson(c_state);
   if (s_state.enabled) o["s_state"] = SleepToJson(s_state);
+  if (thermal_trip_c > 0.0) o["thermal_trip_c"] = thermal_trip_c;
   return JsonValue(std::move(o));
 }
 
 MachineClassSpec MachineClassSpec::FromJson(const JsonValue& v) {
   RejectUnknownKeys(v,
                     {"name", "nodes", "cores", "memory_gb", "power", "pstates",
-                     "c_state", "s_state"},
+                     "c_state", "s_state", "thermal_trip_c"},
                     "machines entry");
   MachineClassSpec c;
   c.name = v.At("name").AsString();
@@ -172,6 +173,7 @@ MachineClassSpec MachineClassSpec::FromJson(const JsonValue& v) {
   }
   if (obj.count("c_state")) c.c_state = SleepFromJson(v.At("c_state"), "c_state");
   if (obj.count("s_state")) c.s_state = SleepFromJson(v.At("s_state"), "s_state");
+  c.thermal_trip_c = v.GetDouble("thermal_trip_c", 0.0);
   return c;
 }
 
@@ -262,6 +264,11 @@ void ValidateMachineClass(const MachineClassSpec& cls,
       throw std::invalid_argument(where + ": " + label +
                                   ".wake_latency_s must be >= 0");
     }
+  }
+  if (cls.thermal_trip_c < 0.0 || !std::isfinite(cls.thermal_trip_c)) {
+    throw std::invalid_argument(where +
+                                ": thermal_trip_c must be finite and >= 0 "
+                                "(0 inherits cooling.transient.trip_inlet_c)");
   }
   if (cls.c_state.enabled && cls.s_state.enabled) {
     if (cls.s_state.power_w > cls.c_state.power_w) {
@@ -366,6 +373,7 @@ JsonValue CoolingSpec::ToJson() const {
   o["pump_rated_kw"] = pump_rated_kw;
   o["fan_rated_kw"] = fan_rated_kw;
   if (topology.enabled()) o["topology"] = topology.ToJson();
+  if (transient.enabled) o["transient"] = transient.ToJson();
   return JsonValue(std::move(o));
 }
 
@@ -375,7 +383,7 @@ CoolingSpec CoolingSpec::FromJson(const JsonValue& v) {
                      "supply_temp_c", "wetbulb_c", "tower_approach_c",
                      "loop_flow_kg_s", "cdu_effectiveness",
                      "thermal_mass_j_per_k", "pump_rated_kw", "fan_rated_kw",
-                     "topology"},
+                     "topology", "transient"},
                     "cooling");
   CoolingSpec s;
   if (v.AsObject().count("has_cooling_model")) {
@@ -394,6 +402,9 @@ CoolingSpec CoolingSpec::FromJson(const JsonValue& v) {
   s.fan_rated_kw = v.GetDouble("fan_rated_kw", s.fan_rated_kw);
   if (v.AsObject().count("topology")) {
     s.topology = ThermalTopologySpec::FromJson(v.At("topology"));
+  }
+  if (v.AsObject().count("transient")) {
+    s.transient = TransientThermalSpec::FromJson(v.At("transient"));
   }
   return s;
 }
@@ -513,6 +524,20 @@ void ValidateCoolingSpec(const CoolingSpec& spec, int total_nodes,
   if (!std::isfinite(spec.supply_temp_c) || !std::isfinite(spec.wetbulb_c)) {
     throw std::invalid_argument(where +
                                 ": supply_temp_c/wetbulb_c must be finite");
+  }
+  ValidateTransientThermal(spec.transient, context);
+  if (spec.transient.enabled && !spec.topology.enabled()) {
+    throw std::invalid_argument(
+        where + ".transient: enabled requires a cooling topology (racks > 0); "
+                "rack thermal mass needs racks to attach state to");
+  }
+  if (spec.transient.CracEnabled() &&
+      spec.transient.crac_min_supply_c > spec.supply_temp_c) {
+    throw std::invalid_argument(
+        where + ".transient: crac_min_supply_c (" +
+        std::to_string(spec.transient.crac_min_supply_c) +
+        ") must be <= supply_temp_c (" + std::to_string(spec.supply_temp_c) +
+        "); the CRAC loop only ever lowers the supply below its base");
   }
   const ThermalTopologySpec& t = spec.topology;
   if (!t.enabled()) {

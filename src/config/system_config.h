@@ -17,6 +17,7 @@
 
 #include "common/json.h"
 #include "common/time.h"
+#include "cooling/transient_thermal.h"
 
 namespace sraps {
 
@@ -79,6 +80,12 @@ struct MachineClassSpec {
   std::vector<PState> pstates;
   SleepStateSpec c_state;  ///< shallow idle (fast wake)
   SleepStateSpec s_state;  ///< deep sleep (slow wake, lowest draw)
+  /// Per-class thermal-trip override for the transient cooling layer
+  /// (cooling.transient): nodes of this class throttle once their rack's
+  /// transient inlet exceeds this temperature.  0 (the default) inherits the
+  /// global cooling.transient.trip_inlet_c; a class-specific value lets e.g.
+  /// a GPU partition trip earlier than its CPU neighbours.
+  double thermal_trip_c = 0.0;
 
   /// Ladder depth; at least 1 (the implicit P0) even when `pstates` is empty.
   int NumPStates() const;
@@ -188,10 +195,11 @@ struct CoolingSpec {
   double pump_rated_kw = 400.0;     ///< facility pumps at design flow
   double fan_rated_kw = 600.0;      ///< tower fans at design load
   ThermalTopologySpec topology;     ///< spatial layer; racks == 0 = absent
+  TransientThermalSpec transient;   ///< rack thermal mass / CRAC / trips
 
   /// Round-trips through the scenario's `cooling` block.  ToJson omits
-  /// `topology` when racks == 0, so legacy flat cooling blocks serialise
-  /// unchanged.
+  /// `topology` when racks == 0 and `transient` when disabled, so legacy
+  /// flat cooling blocks serialise unchanged.
   JsonValue ToJson() const;
   /// Strict parse: unknown keys throw std::invalid_argument naming the key.
   /// Scalar fields keep their defaults when absent.

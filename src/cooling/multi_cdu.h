@@ -3,9 +3,14 @@
 // CoolingModel collapses all CDUs into one loop, which is exact when heat is
 // uniform but hides hot-spot CDUs under skewed placement.  This extension
 // tracks one secondary loop per CDU — each with its own thermal state and
-// heat share — feeding the shared facility loop/tower model, so what-if
-// studies can observe per-CDU return temperatures (e.g. a full-system job
-// concentrated on half the cabinets).
+// heat share — feeding the shared facility loop/tower model.  The engine
+// selects it automatically whenever a thermal topology is configured: the
+// placement then determines where heat lands (rack r feeds CDU
+// r % num_cdus), so what-if studies observe per-CDU return temperatures
+// (e.g. a full-system job concentrated on half the cabinets).  The
+// rack-level transient layer (cooling/transient_thermal.h) sits above this
+// loop model: it lags the topology's quasi-static inlets, it does not feed
+// back into the CDU heat split.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,77 @@
+#include "cooling/transient_thermal.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace sraps {
+
+JsonValue TransientThermalSpec::ToJson() const {
+  JsonObject o;
+  o["enabled"] = enabled;
+  o["rack_tau_s"] = rack_tau_s;
+  o["crac_target_max_inlet_c"] = crac_target_max_inlet_c;
+  o["crac_slew_c_per_s"] = crac_slew_c_per_s;
+  o["crac_min_supply_c"] = crac_min_supply_c;
+  o["trip_inlet_c"] = trip_inlet_c;
+  o["trip_throttle"] = trip_throttle;
+  o["clear_margin_c"] = clear_margin_c;
+  return JsonValue(std::move(o));
+}
+
+TransientThermalSpec TransientThermalSpec::FromJson(const JsonValue& v) {
+  static const std::set<std::string> known = {
+      "enabled",          "rack_tau_s",        "crac_target_max_inlet_c",
+      "crac_slew_c_per_s", "crac_min_supply_c", "trip_inlet_c",
+      "trip_throttle",    "clear_margin_c"};
+  for (const auto& [key, value] : v.AsObject()) {
+    (void)value;
+    if (!known.count(key)) {
+      throw std::invalid_argument("cooling.transient: unknown key '" + key +
+                                  "'");
+    }
+  }
+  TransientThermalSpec s;
+  if (v.AsObject().count("enabled")) s.enabled = v.At("enabled").AsBool();
+  s.rack_tau_s = v.GetDouble("rack_tau_s", s.rack_tau_s);
+  s.crac_target_max_inlet_c =
+      v.GetDouble("crac_target_max_inlet_c", s.crac_target_max_inlet_c);
+  s.crac_slew_c_per_s = v.GetDouble("crac_slew_c_per_s", s.crac_slew_c_per_s);
+  s.crac_min_supply_c = v.GetDouble("crac_min_supply_c", s.crac_min_supply_c);
+  s.trip_inlet_c = v.GetDouble("trip_inlet_c", s.trip_inlet_c);
+  s.trip_throttle = v.GetDouble("trip_throttle", s.trip_throttle);
+  s.clear_margin_c = v.GetDouble("clear_margin_c", s.clear_margin_c);
+  return s;
+}
+
+void ValidateTransientThermal(const TransientThermalSpec& spec,
+                              const std::string& context) {
+  const std::string where = context + " cooling.transient";
+  for (const auto& [label, value] :
+       {std::pair<const char*, double>{"rack_tau_s", spec.rack_tau_s},
+        {"crac_slew_c_per_s", spec.crac_slew_c_per_s},
+        {"trip_inlet_c", spec.trip_inlet_c},
+        {"clear_margin_c", spec.clear_margin_c}}) {
+    if (!(value >= 0.0) || !std::isfinite(value)) {
+      throw std::invalid_argument(where + ": " + label +
+                                  " must be finite and >= 0");
+    }
+  }
+  if (!std::isfinite(spec.crac_target_max_inlet_c) ||
+      !std::isfinite(spec.crac_min_supply_c)) {
+    throw std::invalid_argument(
+        where + ": crac_target_max_inlet_c/crac_min_supply_c must be finite");
+  }
+  if (spec.crac_slew_c_per_s > 0.0 && !(spec.crac_target_max_inlet_c > 0.0)) {
+    throw std::invalid_argument(
+        where + ": crac_target_max_inlet_c must be > 0 when the CRAC loop "
+                "is enabled (crac_slew_c_per_s > 0)");
+  }
+  if (!(spec.trip_throttle > 0.0 && spec.trip_throttle <= 1.0)) {
+    throw std::invalid_argument(
+        where + ": trip_throttle must lie in (0, 1]; a tripped node slows "
+                "down, it never speeds up");
+  }
+}
+
+}  // namespace sraps

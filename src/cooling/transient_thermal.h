@@ -1,0 +1,75 @@
+// Transient extension of the heat-recirculation thermal layer: per-rack
+// thermal mass, a CRAC supply-temperature control loop, and thermal-trip
+// throttling.  PR 8's per-node inlets are quasi-static — span-constant heat
+// maps algebraically to inlet temperatures — so inlets jump the instant load
+// moves.  With this block enabled, each rack's inlet becomes first-order RC
+// state that lags toward the quasi-static target (the same backward-Euler
+// discipline as the CDU facility-loop integrator in cooling/cooling_model.cc),
+// the CRAC supply setpoint tracks the hottest rack inlet under a slew limit,
+// and racks whose transient inlet exceeds a per-class trip temperature dilate
+// their nodes' runtimes exactly like cap throttling.
+//
+// This header is deliberately self-contained (json only): cooling/ already
+// depends on config/system_config.h, and it is system_config.h that embeds a
+// TransientThermalSpec inside CoolingSpec — including config headers here
+// would close an include cycle.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+
+namespace sraps {
+
+/// The scenario's `cooling.transient` block.  All temperatures in deg C,
+/// times in seconds.  Defaults are inert: `enabled == false` keeps every
+/// PR 8 quasi-static behaviour bit-identical.
+struct TransientThermalSpec {
+  bool enabled = false;
+
+  /// RC time constant of one rack's air volume, seconds.  Integrated per
+  /// tick with backward Euler (alpha = dt / (tau + dt), unconditionally
+  /// stable); tau == 0 means zero thermal mass — transient inlets equal the
+  /// quasi-static targets bit-for-bit.
+  double rack_tau_s = 0.0;
+
+  /// CRAC supply control loop, active when crac_slew_c_per_s > 0: each tick
+  /// the supply setpoint moves toward (supply - (max rack inlet - target)),
+  /// at most slew * dt per tick, never below crac_min_supply_c and never
+  /// above the configured base supply_temp_c.  The loop acts on the
+  /// transient layer only (trip decisions and recorded rack temperatures);
+  /// quasi-static placement inlets stay anchored to the base supply so the
+  /// fan-leak power term remains span-constant.
+  double crac_target_max_inlet_c = 0.0;
+  double crac_slew_c_per_s = 0.0;
+  double crac_min_supply_c = 10.0;
+
+  /// Thermal throttling, active when a trip temperature resolves > 0: a
+  /// (rack, class) pair whose transient rack inlet exceeds the trip
+  /// temperature dilates its nodes' job runtimes by the trip_throttle
+  /// factor (duty-cycle semantics — draw is unchanged, work slows), and
+  /// clears once the inlet falls below trip - clear_margin_c.  A machine
+  /// class may override the trip point with its `thermal_trip_c` field;
+  /// trip_inlet_c == 0 with no class override means throttling is off.
+  double trip_inlet_c = 0.0;
+  double trip_throttle = 0.7;
+  double clear_margin_c = 1.0;
+
+  /// True when the CRAC supply control loop runs.
+  bool CracEnabled() const { return enabled && crac_slew_c_per_s > 0.0; }
+
+  JsonValue ToJson() const;
+  /// Strict parse: unknown keys throw std::invalid_argument naming the key.
+  static TransientThermalSpec FromJson(const JsonValue& v);
+};
+
+/// Value-range validation (finite taus, throttle in (0, 1], CRAC target set
+/// when the slew is); `context` prefixes every message.  Ranges are checked
+/// even when `enabled` is false so a typo fails at parse time, not when the
+/// block is later switched on.  The requirement that an enabled block has a
+/// cooling topology is checked where the merged SystemConfig is known
+/// (ValidateCoolingSpec / the engine constructor), not here.
+void ValidateTransientThermal(const TransientThermalSpec& spec,
+                              const std::string& context);
+
+}  // namespace sraps

@@ -53,6 +53,7 @@ JsonValue ScenarioSpec::ToJson() const {
   cool["enabled"] = cooling;
   if (cooling_supply_temp_c) cool["supply_temp_c"] = *cooling_supply_temp_c;
   if (cooling_topology.enabled()) cool["topology"] = cooling_topology.ToJson();
+  if (cooling_transient) cool["transient"] = cooling_transient->ToJson();
   obj["cooling"] = JsonValue(std::move(cool));
   obj["accounts"] = accounts;
   obj["accounts_json"] = accounts_json;
@@ -107,6 +108,8 @@ ScenarioSpec ScenarioSpec::FromJson(const JsonValue& v) {
             spec.cooling_supply_temp_c = cvalue.AsDouble();
           } else if (ckey == "topology") {
             spec.cooling_topology = ThermalTopologySpec::FromJson(cvalue);
+          } else if (ckey == "transient") {
+            spec.cooling_transient = TransientThermalSpec::FromJson(cvalue);
           } else {
             throw std::invalid_argument("ScenarioSpec: unknown cooling key '" +
                                         ckey + "'");
@@ -291,6 +294,12 @@ void ValidateScenarioSpec(const ScenarioSpec& spec) {
     CoolingSpec cooling_probe;
     cooling_probe.topology = spec.cooling_topology;
     ValidateCoolingSpec(cooling_probe, -1, "ScenarioSpec '" + spec.name + "'");
+  }
+  if (spec.cooling_transient) {
+    // Value ranges only; the topology-required and crac_min-vs-supply checks
+    // run in the builder once the merged system CoolingSpec is known.
+    ValidateTransientThermal(*spec.cooling_transient,
+                             "ScenarioSpec '" + spec.name + "'");
   }
   for (const NodeOutage& o : spec.outages) {
     if (o.nodes.empty()) {

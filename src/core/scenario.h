@@ -63,6 +63,11 @@ struct ScenarioSpec {
   /// Thermal-topology override onto the resolved system config; racks == 0
   /// (the default) = none configured.
   ThermalTopologySpec cooling_topology;
+  /// Transient-thermal override ("cooling.transient" block) onto the
+  /// resolved system config: rack thermal mass, CRAC supply control, and
+  /// thermal-trip throttling.  Unset = the system factory's value (inert by
+  /// default).  Sweepable via dotted "cooling.transient.*" axes.
+  std::optional<TransientThermalSpec> cooling_transient;
   bool accounts = false;                   ///< --accounts: accumulate account stats
   std::string accounts_json;               ///< --accounts-json: reload a collection run
   bool record_history = true;              ///< fill the telemetry channels (history.csv)

@@ -83,10 +83,13 @@ class Simulation {
   ///     (SimulationEngine::SetPowerWatch finds that bound).
   ///   - "grid.dr_windows": every patched window must start at or after the
   ///     snapshot time (the fork rebuilds the grid-event schedule and remaps
-  ///     the consumed-boundary cursor).
+  ///     the consumed-boundary cursor); refused when thermal-trip throttling
+  ///     is configured (cap edges move the heat trajectory, hence trip edges).
   ///   - "cooling.supply_temp_c": sound when cooling is not coupled and the
   ///     snapshot predates the next scored allocation by at least one tick
-  ///     (the next integrated span republishes inlets under the new supply).
+  ///     (the next integrated span republishes inlets under the new supply);
+  ///     refused when the transient-thermal layer is enabled (rack RC state
+  ///     reads the setpoint from tick 0).
   ///   - "policy" / "backfill" / "scheduler": a fresh scheduler is built from
   ///     the registries against the fork's own state; sound when the snapshot
   ///     predates the first Schedule() invocation and both sides use the

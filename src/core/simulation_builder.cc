@@ -181,6 +181,13 @@ SimulationBuilder& SimulationBuilder::WithCoolingSupplyTemp(double supply_c) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::WithTransientThermal(
+    TransientThermalSpec transient) {
+  ValidateTransientThermal(transient, "SimulationBuilder::WithTransientThermal");
+  spec_.cooling_transient = std::move(transient);
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::WithAccounts(bool on) {
   spec_.accounts = on;
   return *this;
@@ -360,10 +367,16 @@ void SimulationBuilder::BuildInto(Simulation& sim) const {
   if (spec.cooling_topology.enabled()) {
     sim.config_.cooling.topology = spec.cooling_topology;
   }
+  if (spec.cooling_transient) {
+    sim.config_.cooling.transient = *spec.cooling_transient;
+  }
   // The merged cooling spec is validated against the real machine size
-  // whenever it will be exercised (cooling coupled or a topology present);
-  // this is where a rack grid that doesn't cover the node count is caught.
-  if (spec.cooling || sim.config_.cooling.topology.enabled()) {
+  // whenever it will be exercised (cooling coupled, a topology present, or
+  // the transient layer enabled); this is where a rack grid that doesn't
+  // cover the node count — or a transient block without a topology — is
+  // caught.
+  if (spec.cooling || sim.config_.cooling.topology.enabled() ||
+      sim.config_.cooling.transient.enabled) {
     ValidateCoolingSpec(sim.config_.cooling, sim.config_.TotalNodes(),
                         "ScenarioSpec '" + spec.name + "'");
   }

@@ -78,6 +78,12 @@ class SimulationBuilder {
   SimulationBuilder& WithHeatRecirculation(HrMatrixSpec matrix);
   /// Overrides the facility supply setpoint (°C) of the resolved system.
   SimulationBuilder& WithCoolingSupplyTemp(double supply_c);
+  /// Declares the transient thermal layer (rack thermal mass, CRAC supply
+  /// control, thermal-trip throttling) overriding the resolved system's
+  /// cooling.transient.  Value ranges are validated immediately; the
+  /// requirement that an enabled block has a cooling topology is rechecked
+  /// at Build, when the merged system config is known.
+  SimulationBuilder& WithTransientThermal(TransientThermalSpec transient);
   SimulationBuilder& WithAccounts(bool on = true);        ///< accumulate account stats
   SimulationBuilder& WithAccountsJson(std::string path);  ///< reload a collection run
   SimulationBuilder& WithPowerCapW(double watts);         ///< static facility cap

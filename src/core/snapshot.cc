@@ -246,6 +246,16 @@ std::uint64_t SimStateSnapshot::Fingerprint() const {
   for (const double t : s.node_inlet_c) h.D(t);
   h.D(s.thermal_leak_j);
   h.D(s.peak_inlet_c);
+  // Transient-thermal state: rack RC temperatures, the CRAC supply, and the
+  // per-(rack, class) trip flags are trajectory state like the loop temps.
+  h.U64(s.rack_temp_c.size());
+  for (const double t : s.rack_temp_c) h.D(t);
+  h.D(s.crac_supply_c);
+  h.U64(s.rack_class_tripped.size());
+  if (!s.rack_class_tripped.empty()) {
+    h.Bytes(s.rack_class_tripped.data(), s.rack_class_tripped.size());
+  }
+  h.U64(s.thermal_event_pending ? 1 : 0);
   h.U64(s.tick_wall_kwh.size());
   if (!s.tick_wall_kwh.empty()) h.D(s.tick_wall_kwh.back());
   // Per-node power state: rungs and modes are dense per-node bytes, wake
@@ -300,6 +310,8 @@ std::size_t SimStateSnapshot::ApproxBytes() const {
   bytes += s.node_mode.size() * sizeof(NodePowerMode);
   bytes += s.wake_events.size() * sizeof(std::pair<SimTime, int>);
   bytes += s.class_energy_j.size() * sizeof(double);
+  bytes += s.rack_temp_c.size() * sizeof(double);
+  bytes += s.rack_class_tripped.size() * sizeof(std::uint8_t);
   if (s.rm) bytes += static_cast<std::size_t>(s.rm->total_nodes()) * 2;
   for (const JobRecord& rec : s.stats.records()) {
     bytes += sizeof(JobRecord) + rec.account.size() + rec.user.size();
@@ -337,6 +349,19 @@ bool PatchableScheduler(const std::string& name) {
 
 bool IsSchedulerSwapKey(const std::string& key) {
   return key == "policy" || key == "backfill" || key == "scheduler";
+}
+
+/// Whether the merged config can ever throttle a node thermally: the
+/// transient layer is on and some trip temperature (global or per-class) is
+/// configured.  Trip edges dilate runtimes, so any patch that can move the
+/// heat trajectory moves the schedule too.
+bool TransientTripConfigured(const SystemConfig& config) {
+  if (!config.cooling.transient.enabled) return false;
+  if (config.cooling.transient.trip_inlet_c > 0.0) return true;
+  for (const MachineClassSpec& m : config.machines) {
+    if (m.thermal_trip_c > 0.0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -400,6 +425,14 @@ std::unique_ptr<Simulation> Simulation::ForkWithPatch(const SimStateSnapshot& sn
               "' schedules against grid boundaries, which the patched windows "
               "change; run the variant from scratch"));
     }
+    if (TransientTripConfigured(snap.config_)) {
+      throw std::invalid_argument(PatchGuardError(
+          "transient_thermal", key,
+          "thermal-trip throttling is configured: a DR cap edge moves the "
+          "heat trajectory, which can move trip/clear edges through the "
+          "hysteresis band, so the window start is not a sound first-effect "
+          "bound; run the variant from scratch"));
+    }
     for (const DrWindow& w : patched.grid.dr_windows) {
       if (w.start < snap.captured_at()) {
         throw std::invalid_argument(PatchGuardError(
@@ -437,6 +470,14 @@ std::unique_ptr<Simulation> Simulation::ForkWithPatch(const SimStateSnapshot& sn
       state.next_grid_event = cursor;
     }
   } else if (key == "cooling.supply_temp_c") {
+    if (snap.config_.cooling.transient.enabled) {
+      throw std::invalid_argument(PatchGuardError(
+          "transient_thermal", key,
+          "rack inlets carry first-order thermal state seeded from (and "
+          "relaxing toward targets anchored at) the supply setpoint from tick "
+          "0, so the patch changes the trajectory immediately; run the "
+          "variant from scratch"));
+    }
     if (base.cooling) {
       throw std::invalid_argument(PatchGuardError(
           "cooling_coupled", key,

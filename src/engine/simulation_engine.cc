@@ -83,6 +83,7 @@ SimulationEngine::SimulationEngine(SystemConfig config, std::vector<Job> jobs,
       cooling_ = std::make_unique<CoolingModel>(config_.cooling);
     }
   }
+  SetupTransientThermal();
   Initialize();
 }
 
@@ -127,6 +128,27 @@ SimulationEngine::SimulationEngine(RestoreTag, SystemConfig config,
     class_idle_heat_w_.clear();
     for (const MachineClassSpec& m : config_.machines) {
       class_idle_heat_w_.push_back(m.node_power.IdleW());
+    }
+  }
+  SetupTransientThermal();
+  if (transient_on_) {
+    rack_temp_c_ = std::move(state.rack_temp_c);
+    rack_class_tripped_ = std::move(state.rack_class_tripped);
+    crac_supply_c_ = state.crac_supply_c;
+    thermal_event_pending_ = state.thermal_event_pending;
+    const auto racks = static_cast<std::size_t>(hr_matrix_->racks());
+    const std::size_t classes = config_.machines.size();
+    if (rack_temp_c_.empty()) {
+      // Pre-transient snapshot restored onto a transient config: start from
+      // the base supply, exactly like a fresh engine.
+      rack_temp_c_.assign(racks, supply_base_c_);
+      crac_supply_c_ = supply_base_c_;
+    }
+    if (rack_class_tripped_.empty()) rack_class_tripped_.assign(racks * classes, 0);
+    // The tripped-node total is derived; rebuild it from the flags.
+    tripped_node_count_ = 0;
+    for (std::size_t i = 0; i < rack_class_tripped_.size(); ++i) {
+      if (rack_class_tripped_[i]) tripped_node_count_ += rack_class_nodes_[i];
     }
   }
   events_this_tick_ = state.events_this_tick;
@@ -247,6 +269,21 @@ std::unique_ptr<SimulationEngine> SimulationEngine::Restore(
         std::to_string(state.node_mode.size()) + " nodes, system has " +
         std::to_string(total));
   }
+  const auto racks = static_cast<std::size_t>(config.cooling.topology.racks);
+  if (!state.rack_temp_c.empty() && state.rack_temp_c.size() != racks) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: rack_temp_c covers " +
+        std::to_string(state.rack_temp_c.size()) + " racks, topology has " +
+        std::to_string(racks));
+  }
+  if (!state.rack_class_tripped.empty() &&
+      state.rack_class_tripped.size() != racks * config.machines.size()) {
+    throw std::invalid_argument(
+        "SimulationEngine::Restore: rack_class_tripped covers " +
+        std::to_string(state.rack_class_tripped.size()) +
+        " (rack, class) pairs, system has " +
+        std::to_string(racks * config.machines.size()));
+  }
   return std::unique_ptr<SimulationEngine>(new SimulationEngine(
       RestoreTag{}, std::move(config), std::move(scheduler), std::move(options),
       std::move(state)));
@@ -297,6 +334,15 @@ void SimulationEngine::ResolveHistoryChannels() {
     }
     if (multi_cooling_) hist_.cdu_spread = &recorder_.Mutable("cdu_spread_c");
   }
+  if (transient_on_) {
+    hist_.rack_transient.clear();
+    for (int r = 0; r < hr_matrix_->racks(); ++r) {
+      hist_.rack_transient.push_back(
+          &recorder_.Mutable("rack" + std::to_string(r) + "_transient_c"));
+    }
+    if (crac_on_) hist_.crac_supply = &recorder_.Mutable("crac_supply_c");
+    if (trip_on_) hist_.tripped_nodes = &recorder_.Mutable("tripped_nodes");
+  }
   // Every channel gets exactly one sample per tick; one upfront reserve
   // keeps the hot-loop appends reallocation-free.
   const auto total_ticks = static_cast<std::size_t>(
@@ -305,7 +351,8 @@ void SimulationEngine::ResolveHistoryChannels() {
                       hist_.queue_len, hist_.running, hist_.throttle, hist_.price,
                       hist_.carbon, hist_.pue, hist_.tower, hist_.supply,
                       hist_.cooling_kw, hist_.nodes_asleep, hist_.avg_freq,
-                      hist_.max_inlet, hist_.thermal_leak, hist_.cdu_spread}) {
+                      hist_.max_inlet, hist_.thermal_leak, hist_.cdu_spread,
+                      hist_.crac_supply, hist_.tripped_nodes}) {
     if (!ch) continue;
     ch->times.reserve(total_ticks);
     ch->values.reserve(total_ticks);
@@ -314,6 +361,47 @@ void SimulationEngine::ResolveHistoryChannels() {
     ch->times.reserve(total_ticks);
     ch->values.reserve(total_ticks);
   }
+  for (Channel* ch : hist_.rack_transient) {
+    ch->times.reserve(total_ticks);
+    ch->values.reserve(total_ticks);
+  }
+}
+
+void SimulationEngine::SetupTransientThermal() {
+  const TransientThermalSpec& ts = config_.cooling.transient;
+  if (!ts.enabled) return;
+  if (!hr_matrix_) {
+    throw std::invalid_argument(
+        "SimulationEngine: cooling.transient is enabled but system '" +
+        config_.name + "' declares no thermal topology (cooling.topology)");
+  }
+  transient_on_ = true;
+  supply_base_c_ = config_.cooling.supply_temp_c;
+  crac_on_ = ts.CracEnabled();
+  if (crac_on_ && ts.crac_min_supply_c > supply_base_c_) {
+    throw std::invalid_argument(
+        "SimulationEngine: cooling.transient.crac_min_supply_c (" +
+        std::to_string(ts.crac_min_supply_c) +
+        ") exceeds cooling.supply_temp_c (" + std::to_string(supply_base_c_) +
+        "); the CRAC loop only ever lowers the supply below its base");
+  }
+  const std::size_t classes = config_.machines.size();
+  class_trip_c_.assign(classes, 0.0);
+  trip_on_ = false;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const MachineClassSpec& cls = config_.machines[c];
+    // A class-level trip temperature overrides the global one; <= 0 on both
+    // levels means nodes of this class never trip.
+    class_trip_c_[c] = cls.thermal_trip_c > 0.0 ? cls.thermal_trip_c : ts.trip_inlet_c;
+    trip_on_ = trip_on_ || class_trip_c_[c] > 0.0;
+  }
+  const auto racks = static_cast<std::size_t>(hr_matrix_->racks());
+  rack_class_nodes_.assign(racks * classes, 0);
+  for (int n = 0; n < config_.TotalNodes(); ++n) {
+    const auto r = static_cast<std::size_t>(hr_matrix_->RackOf(n));
+    rack_class_nodes_[r * classes + static_cast<std::size_t>(config_.ClassOf(n))] += 1;
+  }
+  rack_mean_c_.assign(racks, supply_base_c_);
 }
 
 void SimulationEngine::Initialize() {
@@ -328,6 +416,14 @@ void SimulationEngine::Initialize() {
     for (const MachineClassSpec& m : config_.machines) {
       class_idle_heat_w_.push_back(m.node_power.IdleW());
     }
+  }
+  if (transient_on_) {
+    const auto racks = static_cast<std::size_t>(hr_matrix_->racks());
+    rack_temp_c_.assign(racks, supply_base_c_);
+    crac_supply_c_ = supply_base_c_;
+    rack_class_tripped_.assign(racks * config_.machines.size(), 0);
+    tripped_node_count_ = 0;
+    thermal_event_pending_ = false;
   }
 
   node_pstate_.assign(config_.TotalNodes(), 0);
@@ -943,15 +1039,114 @@ void SimulationEngine::ApplyThermalLayer(PowerSample& power, bool machine_idle) 
   power.wall_power_w = power.it_power_w + power.loss_w;
 }
 
-void SimulationEngine::AdvanceTicks(SimDuration n) {
+void SimulationEngine::TransientPhysicsTick(double& supply_c,
+                                            std::vector<double>& rack_c) const {
+  const TransientThermalSpec& ts = config_.cooling.transient;
+  const double dt = static_cast<double>(tick_);
+  if (crac_on_) {
+    // CRAC supply control: track the hottest rack inlet toward the target by
+    // adjusting the supply, slew-limited, floored at crac_min and never above
+    // the base setpoint (the loop only ever removes heat).
+    double hottest = rack_c.empty() ? supply_c : rack_c[0];
+    for (const double t : rack_c) hottest = std::max(hottest, t);
+    double desired = supply_c - (hottest - ts.crac_target_max_inlet_c);
+    // Manual max-then-min instead of std::clamp: SetupTransientThermal only
+    // guarantees crac_min <= base, so the two bounds are applied in a fixed
+    // order rather than assumed consistent per call.
+    desired = std::max(desired, ts.crac_min_supply_c);
+    desired = std::min(desired, supply_base_c_);
+    double delta = desired - supply_c;
+    const double max_step = ts.crac_slew_c_per_s * dt;
+    delta = std::max(-max_step, std::min(max_step, delta));
+    supply_c += delta;
+  }
+  // First-order rack lag toward the quasi-static target.  When the CRAC has
+  // not moved the supply, the target IS the quasi-static rack mean, bitwise —
+  // that equality is what makes the zero-mass degenerate case reproduce the
+  // pre-transient channels exactly.
+  const double alpha =
+      ts.rack_tau_s <= 0.0 ? 1.0 : dt / (ts.rack_tau_s + dt);
+  for (std::size_t r = 0; r < rack_c.size(); ++r) {
+    const double target = supply_c == supply_base_c_
+                              ? rack_mean_c_[r]
+                              : supply_c + (rack_mean_c_[r] - supply_base_c_);
+    if (alpha >= 1.0) {
+      rack_c[r] = target;  // zero thermal mass: assignment, not arithmetic
+    } else {
+      rack_c[r] += alpha * (target - rack_c[r]);
+    }
+  }
+}
+
+SimDuration SimulationEngine::TransientSpanBound(SimDuration n) {
+  // Trip/clear edges must land on step boundaries: simulate the span's
+  // transient trajectory on scratch copies and stop at the first tick whose
+  // temperatures would flip any (rack, class) trip flag.  The executor then
+  // repeats the identical arithmetic on the real state, so prediction and
+  // execution agree bit for bit.
+  if (n <= 1) return n;
+  const TransientThermalSpec& ts = config_.cooling.transient;
+  pred_rack_c_ = rack_temp_c_;
+  double supply = crac_supply_c_;
+  const std::size_t classes = config_.machines.size();
+  for (SimDuration k = 1; k <= n; ++k) {
+    TransientPhysicsTick(supply, pred_rack_c_);
+    for (std::size_t r = 0; r < pred_rack_c_.size(); ++r) {
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double trip_c = class_trip_c_[c];
+        if (trip_c <= 0.0 || rack_class_nodes_[r * classes + c] == 0) continue;
+        const bool tripped = rack_class_tripped_[r * classes + c] != 0;
+        if (!tripped && pred_rack_c_[r] > trip_c) return k;
+        if (tripped && pred_rack_c_[r] < trip_c - ts.clear_margin_c) return k;
+      }
+    }
+  }
+  return n;
+}
+
+bool SimulationEngine::ApplyThermalFlips() {
+  const TransientThermalSpec& ts = config_.cooling.transient;
+  const std::size_t classes = config_.machines.size();
+  bool flipped = false;
+  for (std::size_t r = 0; r < rack_temp_c_.size(); ++r) {
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double trip_c = class_trip_c_[c];
+      const std::size_t idx = r * classes + c;
+      if (trip_c <= 0.0 || rack_class_nodes_[idx] == 0) continue;
+      if (!rack_class_tripped_[idx] && rack_temp_c_[r] > trip_c) {
+        rack_class_tripped_[idx] = 1;
+        tripped_node_count_ += rack_class_nodes_[idx];
+        ++counters_.thermal_trips;
+        flipped = true;
+      } else if (rack_class_tripped_[idx] &&
+                 rack_temp_c_[r] < trip_c - ts.clear_margin_c) {
+        rack_class_tripped_[idx] = 0;
+        tripped_node_count_ -= rack_class_nodes_[idx];
+        ++counters_.thermal_clears;
+        flipped = true;
+      }
+    }
+  }
+  return flipped;
+}
+
+double SimulationEngine::JobTripFactor(const Job& job) const {
+  const std::size_t classes = config_.machines.size();
+  for (const int node : job.assigned_nodes) {
+    const auto r = static_cast<std::size_t>(hr_matrix_->RackOf(node));
+    if (rack_class_tripped_[r * classes +
+                            static_cast<std::size_t>(config_.ClassOf(node))]) {
+      return config_.cooling.transient.trip_throttle;
+    }
+  }
+  return 1.0;
+}
+
+SimDuration SimulationEngine::AdvanceTicks(SimDuration n) {
   // Step (4), batched: the caller guarantees ticks 2..n are event-free with
   // the same sampled power as tick 1, so one power/throttle computation
   // covers the whole span and every per-tick arithmetic below repeats the
   // tick-by-tick loop operation for operation.
-  if (n > 1 && !queue_.empty()) {
-    // Ticks 2..n would each take CallSchedule's event-free skip branch.
-    counters_.scheduler_skips += static_cast<std::size_t>(n - 1);
-  }
   // Power states are "active" only while some node is off P0 or in a C/S
   // state; nodes mid-wake draw active idle, which the legacy arithmetic
   // already models, so a waking-only machine stays on the fast path.
@@ -959,6 +1154,10 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
   for (int c : class_c_idle_) sleeping_nodes += c;
   for (int s : class_s_sleep_) sleeping_nodes += s;
   const bool ps_active = nonzero_pstate_nodes_ > 0 || sleeping_nodes > 0;
+  // Thermal-trip dilation state entering the span.  Flips can only happen at
+  // the span's last tick (TransientSpanBound truncates to guarantee it), so
+  // the flags are span-constant for the dilation arithmetic below.
+  const bool trips_active = trip_on_ && tripped_node_count_ > 0;
 
   PowerSample power;
   const bool use_idle_cache = running_.empty() && !ps_active;
@@ -991,6 +1190,33 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
   // span-constant sampled draws, so the result is span-constant too and the
   // calendar stays bit-identical to tick stepping.
   ApplyThermalLayer(power, use_idle_cache);
+
+  // Per-rack mean quasi-static inlets, shared by the transient-thermal
+  // targets and the rack history channels below.  Summation order matches
+  // the original per-rack channel fill exactly, so the zero-mass degenerate
+  // case reproduces the quasi-static values bit for bit.
+  if (hr_matrix_ && (transient_on_ || hist_.max_inlet)) {
+    const int per_rack = hr_matrix_->nodes_per_rack();
+    const auto racks = static_cast<std::size_t>(hr_matrix_->racks());
+    rack_mean_c_.resize(racks);
+    for (int r = 0; r < static_cast<int>(racks); ++r) {
+      double sum = 0.0;
+      for (int k = 0; k < per_rack; ++k) {
+        sum += inlet_scratch_[static_cast<std::size_t>(r * per_rack + k)];
+      }
+      rack_mean_c_[static_cast<std::size_t>(r)] = sum / per_rack;
+    }
+  }
+
+  // Thermal-trip edges must land on step boundaries in both stepping modes:
+  // truncate the span at the first tick whose transient temperatures would
+  // flip a trip flag.  RC/CRAC state alone generates no events, so spans
+  // stay unbounded when no trip temperature is configured.
+  if (trip_on_) n = TransientSpanBound(n);
+  if (n > 1 && !queue_.empty()) {
+    // Ticks 2..n would each take CallSchedule's event-free skip branch.
+    counters_.scheduler_skips += static_cast<std::size_t>(n - 1);
+  }
 
   // The *demand* the machine sampled this span (pre-cap, post-P-state): what
   // pace_to_cap reads to decide whether the ladder must step down to fit the
@@ -1031,13 +1257,13 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     // work, so each job's end recedes by the missing dt*(1 - throttle) per
     // tick (net progress per tick is then exactly throttle * dt).  The
     // completion heap is not touched here; its keys are re-built lazily.
-    if (!ps_active) {
+    if (!ps_active && !trips_active) {
       const auto extension =
           static_cast<SimDuration>(std::llround(dt * (1.0 - throttle)));
       for (JobQueue::Handle h : running_) jobs_[h].end += extension * n;
     }
   }
-  if (ps_active) {
+  if (ps_active && !trips_active) {
     // With power states a job's net progress per tick is throttle * freq
     // (the slowest rung across its nodes), so each job dilates by its own
     // missing share.  A rung change is a power event bounding spans to one
@@ -1047,6 +1273,23 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     for (std::size_t i = 0; i < running_.size(); ++i) {
       const double freq = i < job_freq_scratch_.size() ? job_freq_scratch_[i] : 1.0;
       const double eff = throttle * freq;
+      if (eff >= 1.0) continue;
+      const auto ext = static_cast<SimDuration>(std::llround(dt * (1.0 - eff)));
+      jobs_[running_[i]].end += ext * n;
+    }
+  }
+  if (trips_active) {
+    // Thermal-trip dilation composes multiplicatively with the cap and
+    // P-state factors, exactly like freq composes with throttle above.
+    // Dilation only (duty-cycle semantics): a throttled node keeps its
+    // sampled draw while its work slows, so wall power stays span-constant
+    // and the cap / demand-watch reasoning above is untouched.  Ends only
+    // move later, preserving the completion heap's lazy re-key invariant.
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      const double freq = ps_active && i < job_freq_scratch_.size()
+                              ? job_freq_scratch_[i]
+                              : 1.0;
+      const double eff = throttle * freq * JobTripFactor(jobs_[running_[i]]);
       if (eff >= 1.0) continue;
       const auto ext = static_cast<SimDuration>(std::llround(dt * (1.0 - eff)));
       jobs_[running_[i]].end += ext * n;
@@ -1142,14 +1385,8 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
       hist_.max_inlet->AppendSpan(now_, tick_, count, max_inlet);
       hist_.thermal_leak->AppendSpan(now_, tick_, count,
                                      thermal_leak_w_ / 1000.0);
-      const int per_rack = hr_matrix_->nodes_per_rack();
-      for (int r = 0; r < hr_matrix_->racks(); ++r) {
-        double sum = 0.0;
-        for (int k = 0; k < per_rack; ++k) {
-          sum += inlet_scratch_[static_cast<std::size_t>(r * per_rack + k)];
-        }
-        hist_.rack_inlet[static_cast<std::size_t>(r)]->AppendSpan(
-            now_, tick_, count, sum / per_rack);
+      for (std::size_t r = 0; r < hist_.rack_inlet.size(); ++r) {
+        hist_.rack_inlet[r]->AppendSpan(now_, tick_, count, rack_mean_c_[r]);
       }
     }
   }
@@ -1225,6 +1462,29 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
     }
   }
 
+  if (transient_on_) {
+    // Rack RC state and the CRAC loop evolve tick by tick within the span —
+    // per-tick repeated iteration, not a closed-form exponential: iteration
+    // is what keeps RunUntilExact's span splits bit-identical (see DESIGN.md).
+    // The span bound above guarantees trip flips can only occur at the last
+    // tick, so applying flips after each tick's physics reproduces the
+    // tick-stepped order exactly.
+    for (SimDuration i = 0; i < n; ++i) {
+      TransientPhysicsTick(crac_supply_c_, rack_temp_c_);
+      if (trip_on_ && ApplyThermalFlips()) thermal_event_pending_ = true;
+      if (options_.record_history) {
+        const SimTime t = now_ + i * tick_;
+        for (std::size_t r = 0; r < rack_temp_c_.size(); ++r) {
+          hist_.rack_transient[r]->Append(t, rack_temp_c_[r]);
+        }
+        if (hist_.crac_supply) hist_.crac_supply->Append(t, crac_supply_c_);
+        if (hist_.tripped_nodes) {
+          hist_.tripped_nodes->Append(t, static_cast<double>(tripped_node_count_));
+        }
+      }
+    }
+  }
+
   if (grid_cost_on_ || grid_co2_on_) {
     stats_.SetGridTotals(grid_cost_usd_, grid_co2_kg_);
   }
@@ -1248,6 +1508,7 @@ void SimulationEngine::AdvanceTicks(SimDuration n) {
 
   now_ += n * tick_;
   events_this_tick_ = false;
+  return n;
 }
 
 bool SimulationEngine::StepOnce() {
@@ -1259,6 +1520,13 @@ bool SimulationEngine::StepOnce() {
     // re-plan — in tick and calendar mode alike.
     events_this_tick_ = true;
     power_event_pending_ = false;
+  }
+  if (thermal_event_pending_) {
+    // A trip/clear edge at the end of the last span is an event for this
+    // step: the scheduler observes the throttled (or recovered) nodes at the
+    // same sim time in tick and calendar mode.
+    events_this_tick_ = true;
+    thermal_event_pending_ = false;
   }
   const std::size_t started_before = counters_.started;
   const std::size_t completed_before = counters_.completed;
@@ -1280,8 +1548,10 @@ bool SimulationEngine::StepOnce() {
   if (options_.event_calendar) {
     const SimDuration n = SpanTicks();
     ++counters_.calendar_steps;
-    if (n > 1) counters_.batched_ticks += static_cast<std::size_t>(n);
-    AdvanceTicks(n);
+    // AdvanceTicks may truncate the span (thermal-trip edges), so the
+    // batching diagnostics count the ticks actually advanced.
+    const SimDuration advanced = AdvanceTicks(n);
+    if (advanced > 1) counters_.batched_ticks += static_cast<std::size_t>(advanced);
   } else {
     AdvanceTicks(1);
   }
@@ -1346,6 +1616,10 @@ EngineState SimulationEngine::CaptureState() const {
   if (multi_cooling_) s.multi_cooling = *multi_cooling_;
   s.thermal_leak_j = thermal_leak_j_;
   s.peak_inlet_c = peak_inlet_c_;
+  s.rack_temp_c = rack_temp_c_;
+  s.crac_supply_c = crac_supply_c_;
+  s.rack_class_tripped = rack_class_tripped_;
+  s.thermal_event_pending = thermal_event_pending_;
   return s;
 }
 

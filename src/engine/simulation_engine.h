@@ -104,6 +104,8 @@ struct EngineCounters {
   std::size_t pstate_changes = 0;         ///< applied SetNodePState transitions
   std::size_t nodes_slept = 0;            ///< applied C/S sleep transitions
   std::size_t nodes_woken = 0;            ///< completed wake transitions
+  std::size_t thermal_trips = 0;          ///< (rack, class) thermal-trip edges
+  std::size_t thermal_clears = 0;         ///< (rack, class) trip-clear edges
 };
 
 /// Deep copy of every mutable field of a SimulationEngine between steps —
@@ -161,6 +163,19 @@ struct EngineState {
   /// Running fan/leakage energy and peak inlet temperature (thermal stats).
   double thermal_leak_j = 0.0;
   double peak_inlet_c = 0.0;
+  // --- transient thermal layer (cooling.transient) ---
+  /// Per-rack transient inlet temperatures (RC state).  Empty when the
+  /// transient layer is off (Restore re-initialises from the base supply
+  /// when the config enables it and the state predates the feature).
+  std::vector<double> rack_temp_c;
+  /// CRAC-controlled supply setpoint; equals the base supply when the CRAC
+  /// loop is off or has not moved yet.
+  double crac_supply_c = 0.0;
+  /// Per-(rack, class) thermal-trip flags, racks × classes row-major.
+  std::vector<std::uint8_t> rack_class_tripped;
+  /// A trip/clear edge fired at the end of the last advanced span; the next
+  /// step is eventful (mirrors power_event_pending).
+  bool thermal_event_pending = false;
 };
 
 class SimulationEngine {
@@ -301,6 +316,16 @@ class SimulationEngine {
   /// Fan/leakage overhead (W) the last span added to the IT draw.
   double thermal_leak_w() const { return thermal_leak_w_; }
 
+  // --- transient thermal layer (cooling.transient) -------------------------
+  /// Per-rack transient inlet temperatures (RC state); empty when the
+  /// transient layer is off.
+  const std::vector<double>& rack_transient_c() const { return rack_temp_c_; }
+  /// The CRAC-controlled supply setpoint (== the base supply when the CRAC
+  /// loop is off).
+  double crac_supply_c() const { return crac_supply_c_; }
+  /// Nodes currently under thermal-trip throttling.
+  int tripped_node_count() const { return tripped_node_count_; }
+
  private:
   /// Restore path: adopts `state` wholesale, rebuilding only the derived
   /// schedules (outage lists, grid boundaries, channel handles) from options.
@@ -310,6 +335,11 @@ class SimulationEngine {
                    EngineState state);
 
   void Initialize();
+  /// Resolves the derived transient-thermal configuration (flags, per-class
+  /// trip temperatures, per-(rack, class) node counts) shared by the fresh
+  /// and restore constructors; validates that an enabled block has a thermal
+  /// topology and a CRAC floor below the base supply.
+  void SetupTransientThermal();
   /// Builds the sorted outage begin/end schedules from options_.outages.
   void BuildOutageSchedule();
   /// Resolves the hot-loop channel handles into recorder_ (record_history
@@ -339,8 +369,12 @@ class SimulationEngine {
   /// integration (n == 1 is the classic tick).  The caller guarantees the
   /// running set and every running job's sampled power are constant across
   /// the span, so one power/throttle computation covers all n ticks and the
-  /// replayed history is bit-identical to n single ticks.
-  void AdvanceTicks(SimDuration n);
+  /// replayed history is bit-identical to n single ticks.  Returns the
+  /// number of ticks actually advanced: when thermal trips are configured,
+  /// the span is truncated at the first tick whose transient temperatures
+  /// would flip a (rack, class) trip flag (TransientSpanBound), so trip and
+  /// clear edges land on real step boundaries in both stepping modes.
+  SimDuration AdvanceTicks(SimDuration n);
   /// How many ticks the calendar may hop before the next interesting time:
   /// submit, completion, outage edge, trace-sample boundary, or sim_end.
   SimDuration SpanTicks();
@@ -446,6 +480,41 @@ class SimulationEngine {
   double peak_inlet_c_ = 0.0;          ///< run-wide hottest inlet (stats mirror)
   std::vector<double> per_cdu_heat_scratch_;  ///< heat split for multi_cooling_
 
+  // --- transient thermal layer (cooling.transient) -------------------------
+  /// One shared tick of transient physics — CRAC supply step, then the
+  /// backward-Euler RC update of every rack toward its quasi-static target
+  /// (rack_mean_c_, shifted by the supply deviation).  Used verbatim by both
+  /// the span-bound predictor and the executing loop so their trajectories
+  /// are bitwise identical.
+  void TransientPhysicsTick(double& supply_c, std::vector<double>& rack_c) const;
+  /// First tick k in [1, n] at which executing the span would flip a
+  /// (rack, class) trip flag, or n when none flips.  Runs the exact per-tick
+  /// recurrence on scratch copies; only consulted when trips are configured.
+  SimDuration TransientSpanBound(SimDuration n);
+  /// Applies trip/clear hysteresis against the current rack_temp_c_,
+  /// updating flags, counters, and tripped_node_count_.  Returns true when
+  /// any flag flipped.
+  bool ApplyThermalFlips();
+  /// The runtime-dilation factor thermal trips impose on `job`: the spec's
+  /// trip_throttle when any assigned node sits in a tripped (rack, class),
+  /// 1.0 otherwise.
+  double JobTripFactor(const Job& job) const;
+  bool transient_on_ = false;  ///< cooling.transient.enabled && topology
+  bool crac_on_ = false;       ///< CRAC supply loop active
+  bool trip_on_ = false;       ///< any resolved trip temperature > 0
+  double supply_base_c_ = 0.0; ///< configured supply (CRAC anchor/upper bound)
+  std::vector<double> rack_mean_c_;  ///< per-rack mean quasi-static inlet (span)
+  std::vector<double> rack_temp_c_;  ///< per-rack transient inlet (RC state)
+  double crac_supply_c_ = 0.0;       ///< CRAC-controlled supply (state)
+  std::vector<std::uint8_t> rack_class_tripped_;  ///< racks × classes flags
+  std::vector<double> class_trip_c_;  ///< resolved trip temp per class (0 = never)
+  std::vector<int> rack_class_nodes_; ///< node count per (rack, class)
+  int tripped_node_count_ = 0;        ///< derived from rack_class_tripped_
+  /// A trip/clear edge fired during the last span; converted into
+  /// events_this_tick_ at the top of the next step (like power_event_pending_).
+  bool thermal_event_pending_ = false;
+  std::vector<double> pred_rack_c_;   ///< TransientSpanBound scratch
+
   // --- per-node power state ------------------------------------------------
   std::vector<std::uint8_t> node_pstate_;  ///< ladder rung per global node
   std::vector<NodePowerMode> node_mode_;   ///< active / C / S / waking
@@ -497,6 +566,9 @@ class SimulationEngine {
     Channel* thermal_leak = nullptr;  ///< fan/leakage overhead kW (thermal only)
     Channel* cdu_spread = nullptr;    ///< hottest - coldest CDU (multi-CDU only)
     std::vector<Channel*> rack_inlet;  ///< mean inlet per rack (thermal only)
+    Channel* crac_supply = nullptr;    ///< CRAC supply setpoint (transient only)
+    Channel* tripped_nodes = nullptr;  ///< throttled nodes (transient trips only)
+    std::vector<Channel*> rack_transient;  ///< RC inlet per rack (transient only)
   } hist_;
 };
 

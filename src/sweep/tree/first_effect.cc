@@ -60,6 +60,38 @@ SimTime EarliestWindowStart(const JsonValue& value) {
   return earliest;
 }
 
+/// Whether the spec puts the transient-thermal layer in force: rack inlets
+/// then carry first-order RC state from tick 0, which breaks the
+/// "span-constant pure function of sampled heat" premise the kSupplyTemp
+/// bound rests on.  Spec-level detection (the scenario's own transient block
+/// or a config_override's) is sufficient: no built-in system factory ships
+/// the layer enabled, so a named system cannot smuggle it past this check.
+bool TransientThermalActive(const ScenarioSpec& base) {
+  if (base.cooling_transient && base.cooling_transient->enabled) return true;
+  return base.config_override && base.config_override->cooling.transient.enabled;
+}
+
+/// Whether thermal-trip throttling can ever engage under `base`: the
+/// transient layer is active and a trip temperature is configured globally
+/// or on any machine class.  Trip edges dilate runtimes, so axes whose
+/// soundness argument assumes "inert before the bound" must demote.
+bool TransientTripConfigured(const ScenarioSpec& base) {
+  if (!TransientThermalActive(base)) return false;
+  if (base.cooling_transient && base.cooling_transient->trip_inlet_c > 0.0) {
+    return true;
+  }
+  if (base.config_override) {
+    if (base.config_override->cooling.transient.trip_inlet_c > 0.0) return true;
+    for (const MachineClassSpec& m : base.config_override->machines) {
+      if (m.thermal_trip_c > 0.0) return true;
+    }
+  }
+  for (const MachineClassSpec& m : base.machines) {
+    if (m.thermal_trip_c > 0.0) return true;
+  }
+  return false;
+}
+
 /// First submit across the materialised workload, or kTrajectoryNeutral for
 /// an empty one (nothing ever queues: any swap is inert).
 SimTime FirstSubmit(const std::vector<Job>& jobs) {
@@ -169,8 +201,15 @@ std::vector<AxisFirstEffect> ClassifySweepAxes(const SweepSpec& spec) {
     }
     if (axis.key == "grid.dr_windows") {
       // A grid-reactive policy anywhere reads the boundary schedule the
-      // patch changes; conservative, like the neutral-axis demotion.
-      if (!patchable || !ctx.all_ignore_grid) continue;
+      // patch changes; conservative, like the neutral-axis demotion.  With
+      // thermal-trip throttling configured the window-start bound is not
+      // honest either: a cap edge moves the heat trajectory, which can move
+      // trip/clear edges through the hysteresis band — demote to immediate
+      // (ForkWithPatch refuses the same combination).
+      if (!patchable || !ctx.all_ignore_grid ||
+          TransientTripConfigured(spec.base)) {
+        continue;
+      }
       SimTime earliest = kTrajectoryNeutral;
       bool ok = true;
       for (const JsonValue& v : axis.values) {
@@ -213,9 +252,12 @@ std::vector<AxisFirstEffect> ClassifySweepAxes(const SweepSpec& spec) {
           axis.values.begin(), axis.values.end(),
           [](const JsonValue& v) { return v.is_number(); });
       // With the cooling loop coupled the setpoint acts from the first tick;
-      // a scheduler-axis external coupling blocks ForkWithPatch.
+      // a scheduler-axis external coupling blocks ForkWithPatch.  With the
+      // transient layer active the rack RC state is seeded from (and its
+      // targets anchored at) the setpoint from tick 0, so the one-tick-lead
+      // bound below is dishonest — demote to immediate.
       if (patchable && all_numbers && !spec.base.cooling &&
-          ctx.schedulers_patchable) {
+          ctx.schedulers_patchable && !TransientThermalActive(spec.base)) {
         fe.cls = AxisClass::kSupplyTemp;  // bound resolved per root
       }
       continue;
@@ -236,6 +278,8 @@ SimTime FirstEffectTime(const ScenarioSpec& base, const std::string& key,
   }
   if (key == "grid.dr_windows") {
     if (!PolicyIgnoresGridValues(base.policy)) return 0;
+    // Trip throttling couples the cap to the heat trajectory: no claim.
+    if (TransientTripConfigured(base)) return 0;
     SimTime earliest = kTrajectoryNeutral;
     for (const JsonValue& v : values) {
       const SimTime start = EarliestWindowStart(v);
@@ -267,6 +311,8 @@ SimTime FirstEffectTime(const ScenarioSpec& base, const std::string& key,
   }
   if (key == "cooling.supply_temp_c") {
     if (base.cooling) return 0;
+    // Transient rack state reads the setpoint from tick 0: no claim.
+    if (TransientThermalActive(base)) return 0;
     EnsureBuiltinComponents();
     const bool thermal = PolicyRegistry().Has(base.policy) &&
                          PolicyRegistry().Get(base.policy).needs_thermal;

@@ -34,13 +34,19 @@
 //                  job-submit time, clamped to sim start.  Resolved per root
 //                  by the runner, which knows the resolved workload.
 //   kSupplyTemp    cooling.supply_temp_c with the transient cooling loop NOT
-//                  coupled.  The setpoint reaches the trajectory only
-//                  through thermal-placement scoring (inlet temperatures),
-//                  so with a thermal policy in play the bound is one tick
-//                  BEFORE the first scheduled allocation (the fork's first
-//                  integrated span republishes inlets under the new supply);
-//                  with no thermal policy in play the knob never steers the
-//                  schedule and branches fork at sim_end.
+//                  coupled and the transient-thermal layer
+//                  (cooling.transient) NOT active.  The setpoint then
+//                  reaches the trajectory only through thermal-placement
+//                  scoring (inlet temperatures), so with a thermal policy in
+//                  play the bound is one tick BEFORE the first scheduled
+//                  allocation (the fork's first integrated span republishes
+//                  inlets under the new supply); with no thermal policy in
+//                  play the knob never steers the schedule and branches fork
+//                  at sim_end.  With transient rack state the inlets are RC
+//                  state seeded from the setpoint at tick 0, so the axis
+//                  demotes to kImmediate (and kDrWindows demotes when
+//                  thermal-trip throttling is configured: cap edges move the
+//                  heat trajectory, hence trip edges).
 //   kImmediate     everything else (synth.* workload knobs, tick, window
 //                  knobs, unknown keys) and any axis whose values or context
 //                  fail the forkability preconditions: first effect = sim

@@ -567,6 +567,145 @@ TEST_P(CoolingJsonFuzz, ParseValidateRunOrReject) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CoolingJsonFuzz,
                          ::testing::Range<std::uint64_t>(500, 540));
 
+/// Random cooling.transient blocks — RC lag, CRAC loop, thermal trips —
+/// mixed valid and broken (negative tau, throttle outside (0, 1], a CRAC
+/// slew without a target, unknown keys, a CRAC floor above the base supply,
+/// the block enabled without a thermal topology).  Valid blocks must run
+/// with the transient invariants intact — rack temperatures bounded by the
+/// quasi-static channel above and the supply floor below (relaxation never
+/// overshoots its target), tripped_nodes within the machine, clears never
+/// outnumbering trips — and round-trip through the spec JSON bit-exactly;
+/// broken ones must throw std::invalid_argument, never crash mid-run.
+class TransientThermalJsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransientThermalJsonFuzz, ParseValidateRunOrReject) {
+  Rng rng(GetParam());
+  const int breakage = static_cast<int>(rng.UniformInt(0, 11));  // 0-5 break
+
+  const double base_supply = MakeSystemConfig("mini").cooling.supply_temp_c;
+
+  JsonObject tr;
+  tr["enabled"] = rng.UniformInt(0, 4) != 0;  // mostly enabled
+  tr["rack_tau_s"] = rng.Uniform(0.0, 2400.0);
+  const bool with_crac = rng.UniformInt(0, 1) == 0;
+  if (with_crac) {
+    tr["crac_target_max_inlet_c"] = base_supply + rng.Uniform(0.2, 3.0);
+    tr["crac_slew_c_per_s"] = rng.Uniform(0.0001, 0.01);
+    tr["crac_min_supply_c"] = base_supply - rng.Uniform(2.0, 8.0);
+  }
+  const bool with_trip = rng.UniformInt(0, 1) == 0;
+  if (with_trip) {
+    tr["trip_inlet_c"] = base_supply + rng.Uniform(0.1, 2.0);
+    tr["trip_throttle"] = rng.Uniform(0.1, 1.0);
+    tr["clear_margin_c"] = rng.Uniform(0.0, 0.5);
+  }
+
+  bool drop_topology = false;
+  switch (breakage) {
+    case 0:  // tau must be finite and >= 0
+      tr["rack_tau_s"] = -rng.Uniform(0.1, 100.0);
+      break;
+    case 1:  // throttle outside (0, 1]
+      tr["trip_inlet_c"] = base_supply + 1.0;
+      tr["trip_throttle"] = rng.UniformInt(0, 1) == 0 ? 0.0 : 1.5;
+      break;
+    case 2:  // a slew without a target: the CRAC loop has no setpoint
+      tr["crac_slew_c_per_s"] = 0.01;
+      tr["crac_target_max_inlet_c"] = 0.0;
+      break;
+    case 3:  // strict parsing: unknown keys throw
+      tr["rack_tau_minutes"] = 5.0;
+      break;
+    case 4:  // CRAC floor above the base supply: the loop could only heat
+      tr["enabled"] = true;
+      tr["crac_target_max_inlet_c"] = base_supply + 1.0;
+      tr["crac_slew_c_per_s"] = 0.01;
+      tr["crac_min_supply_c"] = base_supply + 5.0;
+      break;
+    case 5:  // enabled without a thermal topology: no racks to lag
+      tr["enabled"] = true;
+      drop_topology = true;
+      break;
+    default:
+      break;
+  }
+  const bool expect_reject = breakage <= 5;
+  const bool enabled = tr.at("enabled").AsBool();
+
+  JsonObject cool;
+  cool["enabled"] = rng.UniformInt(0, 1) == 0;
+  if (!drop_topology) {
+    JsonObject topo;
+    topo["racks"] = JsonValue(static_cast<std::int64_t>(4));
+    topo["nodes_per_rack"] = JsonValue(static_cast<std::int64_t>(4));
+    topo["airflow_w_per_k"] = rng.Uniform(150.0, 2000.0);
+    topo["fan_leak_w_per_k"] = rng.Uniform(0.0, 5.0);
+    JsonObject hr;
+    hr["kind"] = "layout";
+    hr["intra_rack"] = rng.Uniform(0.0, 0.1);
+    hr["cross_rack"] = rng.Uniform(0.0, 0.05);
+    topo["hr_matrix"] = JsonValue(std::move(hr));
+    cool["topology"] = JsonValue(std::move(topo));
+  }
+  cool["transient"] = JsonValue(std::move(tr));
+
+  JsonObject spec_json;
+  spec_json["name"] = "transient-fuzz";
+  spec_json["system"] = "mini";
+  spec_json["duration"] = JsonValue(static_cast<std::int64_t>(6 * kHour));
+  spec_json["event_calendar"] = rng.UniformInt(0, 1) == 0;
+  spec_json["policy"] = "fcfs";
+  spec_json["backfill"] = "easy";
+  spec_json["cooling"] = JsonValue(std::move(cool));
+
+  SyntheticWorkloadSpec wl;
+  wl.horizon = 3 * kHour;
+  wl.arrival_rate_per_hour = 8;
+  wl.max_nodes = 8;
+  wl.seed = GetParam();
+
+  try {
+    ScenarioSpec opts = ScenarioSpec::FromJson(JsonValue(std::move(spec_json)));
+    opts.jobs_override = GenerateSyntheticWorkload(wl);
+    ValidateScenarioSpec(opts);
+    Simulation sim(opts);
+    sim.Run();
+    EXPECT_FALSE(expect_reject) << "broken transient block was accepted";
+    const auto& eng = sim.engine();
+    EXPECT_EQ(eng.counters().submitted, opts.jobs_override.size());
+    EXPECT_EQ(eng.recorder().Has("rack0_transient_c"), enabled);
+    if (enabled) {
+      // Relaxation boundedness: every rack temperature stays between the
+      // coolest reachable supply and its own quasi-static channel peak.
+      const double floor =
+          with_crac ? opts.cooling_transient->crac_min_supply_c : base_supply;
+      for (int r = 0; r < 4; ++r) {
+        const std::string tr_ch = "rack" + std::to_string(r) + "_transient_c";
+        const std::string qs_ch = "rack" + std::to_string(r) + "_inlet_c";
+        EXPECT_GE(eng.recorder().MinOf(tr_ch), floor - 1e-9) << tr_ch;
+        EXPECT_LE(eng.recorder().MaxOf(tr_ch),
+                  eng.recorder().MaxOf(qs_ch) + 1e-9)
+            << tr_ch;
+      }
+      EXPECT_LE(eng.counters().thermal_clears, eng.counters().thermal_trips);
+      if (with_trip) {
+        EXPECT_GE(eng.recorder().MinOf("tripped_nodes"), 0.0);
+        EXPECT_LE(eng.recorder().MaxOf("tripped_nodes"), 16.0);
+      } else {
+        EXPECT_EQ(eng.counters().thermal_trips, 0u);
+      }
+    }
+    // The transient block round-trips through the spec JSON bit-exactly.
+    const ScenarioSpec back = ScenarioSpec::FromJson(opts.ToJson());
+    EXPECT_EQ(back.ToJson().Dump(2), opts.ToJson().Dump(2));
+  } catch (const std::invalid_argument& e) {
+    EXPECT_TRUE(expect_reject) << "valid transient block rejected: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransientThermalJsonFuzz,
+                         ::testing::Range<std::uint64_t>(600, 640));
+
 // --- per-CDU cooling -------------------------------------------------------------
 
 CoolingSpec FrontierSpec() { return MakeSystemConfig("frontier").cooling; }

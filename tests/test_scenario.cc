@@ -713,6 +713,7 @@ TEST(ScenarioDocTest, CoolingTablesCoverTheirKeys) {
   ScenarioSpec spec;
   spec.cooling_supply_temp_c = 24.0;
   spec.cooling_topology = TestTopology();
+  spec.cooling_transient = TransientThermalSpec{};  // ToJson emits every key
   const JsonValue spec_json = spec.ToJson();
   for (const auto& [key, value] : spec_json.At("cooling").AsObject()) {
     EXPECT_NE(doc.find("| `" + key + "` |"), std::string::npos)
@@ -734,6 +735,14 @@ TEST(ScenarioDocTest, CoolingTablesCoverTheirKeys) {
           << "hr_matrix key '" << key << "' missing from the hr_matrix table";
     }
   }
+  // The transient block emits every key unconditionally.
+  const JsonValue transient_json = spec.cooling_transient->ToJson();
+  for (const auto& [key, value] : transient_json.AsObject()) {
+    EXPECT_NE(doc.find("| `" + key + "` |"), std::string::npos)
+        << "transient key '" << key << "' missing from the transient table";
+  }
+  // The per-class trip override rides in the machines table.
+  EXPECT_NE(doc.find("| `thermal_trip_c` |"), std::string::npos);
 }
 
 TEST(ScenarioDocTest, GridAndOutageTablesCoverTheirKeys) {

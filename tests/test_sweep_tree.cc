@@ -256,6 +256,39 @@ TEST(TreeFirstEffectTest, SupplyTempBoundIsOneTickBeforeFirstSubmit) {
   EXPECT_EQ(FirstEffectTime(base, "cooling.supply_temp_c", temps), 0);
 }
 
+TEST(TreeFirstEffectTest, TransientThermalDemotesSupplyTempAndDrWindows) {
+  ScenarioSpec base = RaceSpec();
+  base.policy = "low_temp_first";
+  base.jobs_override.erase(base.jobs_override.begin());
+  base.tick = 600;
+  const std::vector<JsonValue> temps = {JsonValue(18.0), JsonValue(26.0)};
+  // Quasi-static thermal state: the pre-transient bound stands.
+  EXPECT_EQ(FirstEffectTime(base, "cooling.supply_temp_c", temps),
+            12 * kHour - 600);
+  TransientThermalSpec ts;
+  ts.enabled = true;
+  ts.rack_tau_s = 900.0;
+  base.cooling_transient = ts;
+  // Rack RC state reads the setpoint from tick 0: the axis claims nothing.
+  EXPECT_EQ(FirstEffectTime(base, "cooling.supply_temp_c", temps), 0);
+  // dr_windows keeps its window-start bound while no trip is configured —
+  // RC lag alone never feeds back into timing...
+  const std::vector<JsonValue> schedules = {
+      EmptySchedule(), OneWindowSchedule(6 * kHour, 7 * kHour, 1500.0)};
+  EXPECT_EQ(FirstEffectTime(base, "grid.dr_windows", schedules), 6 * kHour);
+  // ...and demotes the moment thermal-trip throttling is in play: a DR cap
+  // edge moves the heat trajectory, hence trip edges, hence runtimes.
+  base.cooling_transient->trip_inlet_c = 30.0;
+  EXPECT_EQ(FirstEffectTime(base, "grid.dr_windows", schedules), 0);
+  // A per-class trip override configures trips just as well.
+  base.cooling_transient->trip_inlet_c = 0.0;
+  EXPECT_EQ(FirstEffectTime(base, "grid.dr_windows", schedules), 6 * kHour);
+  MachineClassSpec cls;
+  cls.thermal_trip_c = 40.0;
+  base.machines.push_back(cls);
+  EXPECT_EQ(FirstEffectTime(base, "grid.dr_windows", schedules), 0);
+}
+
 SweepSpec FourClassSweep() {
   SweepSpec sweep;
   sweep.name = "treegrid";
@@ -289,6 +322,29 @@ TEST(TreeClassifyTest, RecognisesEveryBoundedClass) {
   EXPECT_EQ(plan[3].cls, AxisClass::kNeutral);
   EXPECT_EQ(plan[4].cls, AxisClass::kSupplyTemp);
   EXPECT_EQ(plan[5].cls, AxisClass::kImmediate);  // tick: no bound
+}
+
+TEST(TreeClassifyTest, TransientThermalDemotesSupplyTempAndTripDemotesDr) {
+  SweepSpec sweep = FourClassSweep();
+  sweep.axes.push_back(
+      SweepAxis("cooling.supply_temp_c", {JsonValue(18.0), JsonValue(26.0)}));
+  TransientThermalSpec ts;
+  ts.enabled = true;
+  ts.rack_tau_s = 600.0;
+  sweep.base.cooling_transient = ts;
+  std::vector<AxisFirstEffect> plan = ClassifySweepAxes(sweep);
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan[4].cls, AxisClass::kImmediate);  // supply axis: RC state
+  EXPECT_EQ(plan[1].cls, AxisClass::kDrWindows);  // no trip: bound stands
+  // Configuring a trip temperature (anywhere) demotes the DR axis too.
+  sweep.base.cooling_transient->trip_inlet_c = 30.0;
+  plan = ClassifySweepAxes(sweep);
+  EXPECT_EQ(plan[1].cls, AxisClass::kImmediate);
+  // The non-thermal classes keep their bounds: trips dilate runtimes through
+  // the same lazily re-keyed completion heap the cap throttle uses.
+  EXPECT_EQ(plan[0].cls, AxisClass::kPowerCap);
+  EXPECT_EQ(plan[2].cls, AxisClass::kFirstSchedule);
+  EXPECT_EQ(plan[3].cls, AxisClass::kNeutral);
 }
 
 TEST(TreeClassifyTest, RecordHistoryDemotesPatchClassesButNotNeutral) {
@@ -528,6 +584,92 @@ TEST(TreeBoundTest, SupplyTempForkOneTickBeforeFirstAllocationMatches) {
       Simulation::ForkWithPatch(snap, "cooling.supply_temp_c", JsonValue(26.0));
   fork->Run();
   ExpectSameOutcome(*straight, *fork);
+}
+
+/// Why kSupplyTemp demotes under transient thermal: the old one-tick-before-
+/// first-allocation bound is NOT sound any more — the rack RC state reads the
+/// setpoint from tick 0, so two runs under different supplies have already
+/// diverged long before the first allocation.  ForkWithPatch refuses the key
+/// outright rather than let a caller fork at the stale bound.
+TEST(TreeBoundTest, SupplyTempOldBoundDivergesUnderTransientAndPatchRefuses) {
+  ScenarioSpec base = RaceSpec();
+  base.policy = "low_temp_first";
+  base.cooling_supply_temp_c = 18.0;
+  base.cooling_topology.racks = 4;
+  base.cooling_topology.nodes_per_rack = 4;
+  base.cooling_topology.hr_matrix.kind = "layout";
+  base.cooling_topology.hr_matrix.intra_rack = 0.1;
+  base.cooling_topology.hr_matrix.cross_rack = 0.02;
+  base.cooling_topology.airflow_w_per_k = 200.0;
+  TransientThermalSpec ts;
+  ts.enabled = true;
+  ts.rack_tau_s = 1800.0;
+  base.cooling_transient = ts;
+
+  ScenarioSpec warm = base;
+  ApplyScenarioKey(warm, "cooling.supply_temp_c", JsonValue(26.0));
+
+  auto cold = SimulationBuilder(base).Build();
+  auto hot = SimulationBuilder(warm).Build();
+  const SimDuration tick = cold->engine().tick();
+  const SimTime bound =
+      AlignDown(12 * kHour - tick, cold->sim_start(), tick);
+  cold->RunUntilExact(bound);
+  hot->RunUntilExact(bound);
+  // The tightness counterexample: at the old quasi-static bound the two
+  // trajectories' rack RC states already differ, so a fork patched here
+  // could never be bit-identical to the from-scratch run.
+  EXPECT_FALSE(BitIdentical(cold->engine().rack_transient_c(),
+                            hot->engine().rack_transient_c()));
+  const SimStateSnapshot snap = cold->Snapshot();
+  try {
+    Simulation::ForkWithPatch(snap, "cooling.supply_temp_c", JsonValue(26.0));
+    FAIL() << "supply-temp patch accepted with transient thermal enabled";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("guard=transient_thermal"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TreeBoundTest, DrWindowsPatchRefusedWhenTripConfigured) {
+  ScenarioSpec base = TreeBase();
+  base.cooling_topology.racks = 4;
+  base.cooling_topology.nodes_per_rack = 4;
+  base.cooling_topology.hr_matrix.kind = "layout";
+  base.cooling_topology.hr_matrix.intra_rack = 0.04;
+  base.cooling_topology.hr_matrix.cross_rack = 0.01;
+  base.cooling_topology.airflow_w_per_k = 200.0;
+  TransientThermalSpec ts;
+  ts.enabled = true;
+  ts.rack_tau_s = 600.0;
+  ts.trip_inlet_c = 45.0;  // configured — never mind whether it ever trips
+  base.cooling_transient = ts;
+
+  auto source = SimulationBuilder(base).Build();
+  source->RunUntilExact(
+      AlignDown(4 * kHour, source->sim_start(), source->engine().tick()));
+  const SimStateSnapshot snap = source->Snapshot();
+  const JsonValue schedule = OneWindowSchedule(8 * kHour, 12 * kHour, 1300.0);
+  try {
+    Simulation::ForkWithPatch(snap, "grid.dr_windows", schedule);
+    FAIL() << "dr_windows patch accepted with thermal trips configured";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("guard=transient_thermal"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Control: the identical fork is accepted once no trip is configured —
+  // RC lag alone cannot move any timing, so the window-start bound stands.
+  base.cooling_transient->trip_inlet_c = 0.0;
+  auto source2 = SimulationBuilder(base).Build();
+  source2->RunUntilExact(
+      AlignDown(4 * kHour, source2->sim_start(), source2->engine().tick()));
+  const SimStateSnapshot snap2 = source2->Snapshot();
+  auto fork = Simulation::ForkWithPatch(snap2, "grid.dr_windows", schedule);
+  fork->Run();
+  EXPECT_EQ(fork->engine().now(), fork->sim_end());
 }
 
 // --- tree runner vs plain path ----------------------------------------------

@@ -1,0 +1,576 @@
+// Transient rack thermal mass, CRAC supply control, and thermal-trip
+// throttling — the bit-identity contract above all: with the transient layer
+// active the rack inlets are first-order RC state advancing tick by tick
+// inside each span, the CRAC supply slews per tick, and trip/clear edges are
+// real engine events, so event-calendar stepping must stay bitwise
+// indistinguishable from the tick loop under every combination of outages,
+// DR caps, CRAC slews, and mid-throttle snapshots.  The zero-thermal-mass
+// degenerate case must reproduce the quasi-static (pre-transient) results
+// bit for bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cooling/transient_thermal.h"
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "core/simulation_builder.h"
+#include "core/snapshot.h"
+#include "engine/simulation_engine.h"
+#include "sched/builtin_scheduler.h"
+
+namespace sraps {
+namespace {
+
+Job MakeJob(JobId id, SimTime submit, SimDuration runtime, int nodes,
+            double cpu = 0.5) {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.recorded_start = submit;
+  j.recorded_end = submit + runtime;
+  j.time_limit = runtime * 2;
+  j.nodes_required = nodes;
+  j.account = "acct";
+  j.user = "u";
+  j.cpu_util = TraceSeries::Constant(cpu);
+  return j;
+}
+
+/// The mini system with the 4x4 rack layout from test_thermal.cc, but with
+/// strong intra-rack recirculation so busy racks heat visibly above idle.
+SystemConfig TransientMini() {
+  SystemConfig c = MakeSystemConfig("mini");
+  c.cooling.topology.racks = 4;
+  c.cooling.topology.nodes_per_rack = 4;
+  c.cooling.topology.hr_matrix.kind = "layout";
+  c.cooling.topology.hr_matrix.intra_rack = 0.2;
+  c.cooling.topology.hr_matrix.cross_rack = 0.02;
+  c.cooling.topology.airflow_w_per_k = 200.0;
+  c.cooling.topology.fan_leak_w_per_k = 2.0;
+  return c;
+}
+
+/// RC lag only: no CRAC loop, no trips.
+TransientThermalSpec RcOnly(double tau_s) {
+  TransientThermalSpec t;
+  t.enabled = true;
+  t.rack_tau_s = tau_s;
+  return t;
+}
+
+std::vector<Job> SparseWorkload() {
+  std::vector<Job> jobs;
+  jobs.push_back(MakeJob(1, 0, 600, 4, 1.0));
+  jobs.push_back(MakeJob(2, 6 * kHour, 900, 8, 1.0));
+  jobs.push_back(MakeJob(3, 14 * kHour, 300, 2, 1.0));
+  jobs.push_back(MakeJob(4, 23 * kHour, 1200, 12, 1.0));
+  return jobs;
+}
+
+/// Back-to-back and overlapping jobs: the machine is busy most of the run,
+/// so spans are short and the per-tick transient loop runs under contention.
+std::vector<Job> DenseWorkload() {
+  std::vector<Job> jobs;
+  JobId id = 1;
+  for (SimTime t = 0; t < 4 * kHour; t += 900) {
+    jobs.push_back(MakeJob(id++, t, 1200, 4, 1.0));
+    jobs.push_back(MakeJob(id++, t + 300, 600, 8, 0.8));
+  }
+  return jobs;
+}
+
+EngineOptions Opts(SimTime start, SimTime end) {
+  EngineOptions o;
+  o.sim_start = start;
+  o.sim_end = end;
+  return o;
+}
+
+std::unique_ptr<SimulationEngine> RunEngine(const SystemConfig& config,
+                                            std::vector<Job> jobs,
+                                            EngineOptions o, bool event_calendar,
+                                            const std::string& policy = "fcfs",
+                                            const std::string& backfill = "easy") {
+  o.event_calendar = event_calendar;
+  auto e = std::make_unique<SimulationEngine>(
+      config, std::move(jobs), MakeBuiltinScheduler(policy, backfill), o);
+  e->Run();
+  return e;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// The full bitwise A/B battery, extended with the transient observables.
+void ExpectEquivalent(const SimulationEngine& tick, const SimulationEngine& ev) {
+  EXPECT_EQ(tick.counters().submitted, ev.counters().submitted);
+  EXPECT_EQ(tick.counters().started, ev.counters().started);
+  EXPECT_EQ(tick.counters().completed, ev.counters().completed);
+  EXPECT_EQ(tick.counters().scheduler_invocations,
+            ev.counters().scheduler_invocations);
+  EXPECT_EQ(tick.counters().scheduler_skips, ev.counters().scheduler_skips);
+  EXPECT_EQ(tick.counters().thermal_trips, ev.counters().thermal_trips);
+  EXPECT_EQ(tick.counters().thermal_clears, ev.counters().thermal_clears);
+  EXPECT_EQ(tick.now(), ev.now());
+  EXPECT_EQ(tick.stats().Fingerprint(), ev.stats().Fingerprint());
+  ASSERT_EQ(tick.jobs().size(), ev.jobs().size());
+  for (std::size_t i = 0; i < tick.jobs().size(); ++i) {
+    const Job& a = tick.jobs()[i];
+    const Job& b = ev.jobs()[i];
+    EXPECT_EQ(a.state, b.state) << "job " << a.id;
+    EXPECT_EQ(a.start, b.start) << "job " << a.id;
+    EXPECT_EQ(a.end, b.end) << "job " << a.id;
+    EXPECT_EQ(a.assigned_nodes, b.assigned_nodes) << "job " << a.id;
+  }
+  EXPECT_TRUE(BitIdentical(tick.job_energy_j(), ev.job_energy_j()));
+  EXPECT_TRUE(BitIdentical(tick.node_inlet_c(), ev.node_inlet_c()));
+  EXPECT_TRUE(BitIdentical(tick.rack_transient_c(), ev.rack_transient_c()));
+  EXPECT_TRUE(BitIdentical({tick.crac_supply_c()}, {ev.crac_supply_c()}));
+  EXPECT_EQ(tick.tripped_node_count(), ev.tripped_node_count());
+  ASSERT_EQ(tick.recorder().ChannelNames(), ev.recorder().ChannelNames());
+  for (const std::string& name : tick.recorder().ChannelNames()) {
+    const Channel& a = tick.recorder().Get(name);
+    const Channel& b = ev.recorder().Get(name);
+    EXPECT_EQ(a.times, b.times) << "channel " << name;
+    EXPECT_TRUE(BitIdentical(a.values, b.values)) << "channel " << name;
+  }
+}
+
+/// Idle floor and busy peak of the transient rack temperatures across every
+/// rack, from a probe run — trip thresholds derive from these so the tests
+/// self-adjust when thermal parameters are retuned.
+std::pair<double, double> TransientRange(const SimulationEngine& e) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int r = 0; r < 4; ++r) {
+    const std::string name = "rack" + std::to_string(r) + "_transient_c";
+    lo = std::min(lo, e.recorder().MinOf(name));
+    hi = std::max(hi, e.recorder().MaxOf(name));
+  }
+  return {lo, hi};
+}
+
+// --- RC lag A/B -------------------------------------------------------------
+
+TEST(ThermalTransientTest, RcLagSparseEquivalent) {
+  SystemConfig config = TransientMini();
+  config.cooling.transient = RcOnly(1800.0);
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_EQ(ev->counters().completed, 4u);
+  // RC state alone generates no events: idle spans must still batch.
+  EXPECT_GT(ev->counters().batched_ticks, 8000u);
+  EXPECT_TRUE(ev->recorder().Has("rack0_transient_c"));
+  EXPECT_FALSE(ev->recorder().Has("crac_supply_c"));
+  EXPECT_FALSE(ev->recorder().Has("tripped_nodes"));
+  // The lag is real: the transient peak stays strictly below the
+  // quasi-static peak (the mean can only approach its target from below).
+  const Channel& qs = ev->recorder().Get("rack0_inlet_c");
+  const Channel& tr = ev->recorder().Get("rack0_transient_c");
+  ASSERT_EQ(qs.values.size(), tr.values.size());
+  double qs_peak = 0.0;
+  double tr_peak = 0.0;
+  for (const double v : qs.values) qs_peak = std::max(qs_peak, v);
+  for (const double v : tr.values) tr_peak = std::max(tr_peak, v);
+  EXPECT_LT(tr_peak, qs_peak);
+}
+
+TEST(ThermalTransientTest, RcLagDenseEquivalent) {
+  SystemConfig config = TransientMini();
+  config.cooling.transient = RcOnly(600.0);
+  const EngineOptions o = Opts(0, 5 * kHour);
+  const auto tick = RunEngine(config, DenseWorkload(), o, false);
+  const auto ev = RunEngine(config, DenseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(ev->counters().completed, 20u);
+}
+
+TEST(ThermalTransientTest, OutageStraddleEquivalent) {
+  SystemConfig config = TransientMini();
+  config.cooling.transient = RcOnly(1200.0);
+  EngineOptions o = Opts(0, 24 * kHour);
+  // One outage cuts idle nodes, one drains a running job's nodes — spans
+  // split at the edges while rack temperatures keep relaxing across them.
+  o.outages = {{2 * kHour, 4 * kHour, {0, 1, 2, 3}},
+               {6 * kHour + 300, 7 * kHour, {4, 5}}};
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+}
+
+TEST(ThermalTransientTest, DrCapEdgeEquivalent) {
+  SystemConfig config = TransientMini();
+  config.cooling.transient = RcOnly(900.0);
+  EngineOptions o = Opts(0, 24 * kHour);
+  const auto probe = RunEngine(config, SparseWorkload(), o, false);
+  const double idle_w = probe->recorder().MinOf("power_kw") * 1000.0;
+  const double peak_w = probe->recorder().MaxOf("power_kw") * 1000.0;
+  ASSERT_GT(peak_w, idle_w);
+  // The cap bites during job 2 (6 h): cap-throttle dilation and RC
+  // relaxation are simultaneously active across the window edges.
+  o.grid.dr_windows = {{6 * kHour, 7 * kHour, idle_w + 0.4 * (peak_w - idle_w)}};
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_LT(tick->recorder().MinOf("throttle_factor"), 1.0);
+}
+
+// --- CRAC supply control ----------------------------------------------------
+
+TEST(ThermalTransientTest, CracSlewEquivalent) {
+  SystemConfig config = TransientMini();
+  TransientThermalSpec& ts = config.cooling.transient;
+  ts = RcOnly(600.0);
+  // Probe the transient range, then target the midpoint so the CRAC loop
+  // must pull the supply down during the busy phases.
+  {
+    const auto probe =
+        RunEngine(config, SparseWorkload(), Opts(0, 24 * kHour), false);
+    const auto [lo, hi] = TransientRange(*probe);
+    ASSERT_GT(hi, lo + 0.2);
+    ts.crac_target_max_inlet_c = lo + 0.5 * (hi - lo);
+  }
+  ts.crac_slew_c_per_s = 0.0005;  // slow slew: many ticks mid-ramp
+  ts.crac_min_supply_c = config.cooling.supply_temp_c - 6.0;
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  ASSERT_TRUE(ev->recorder().Has("crac_supply_c"));
+  // The loop actually acted: the supply dipped below base and never broke
+  // its floor or rose above base.
+  EXPECT_LT(ev->recorder().MinOf("crac_supply_c"), config.cooling.supply_temp_c);
+  EXPECT_GE(ev->recorder().MinOf("crac_supply_c"), ts.crac_min_supply_c);
+  EXPECT_LE(ev->recorder().MaxOf("crac_supply_c"), config.cooling.supply_temp_c);
+}
+
+// --- thermal-trip throttling ------------------------------------------------
+
+/// TransientMini with a trip threshold derived from two trip-free probes:
+/// halfway between rack 0's *idle steady* temperature (an empty run — the
+/// channel minimum would be the cold t=0 seed) and its busy peak.  Keying
+/// the threshold to the coolest-running rack guarantees the cpu racks trip
+/// too, not just the hot gpu racks; the clear threshold stays a full swing
+/// fraction above idle steady so the gaps between jobs really do clear.
+SystemConfig TrippingMini(double trip_throttle = 0.5) {
+  SystemConfig config = TransientMini();
+  config.cooling.transient = RcOnly(300.0);
+  const auto idle = RunEngine(config, {}, Opts(0, 6 * kHour), false);
+  const double idle_hi = idle->recorder().MaxOf("rack0_transient_c");
+  const auto busy =
+      RunEngine(config, SparseWorkload(), Opts(0, 24 * kHour), false);
+  const double busy_hi = busy->recorder().MaxOf("rack0_transient_c");
+  EXPECT_GT(busy_hi, idle_hi + 0.05);
+  config.cooling.transient.trip_inlet_c = idle_hi + 0.5 * (busy_hi - idle_hi);
+  config.cooling.transient.clear_margin_c = 0.2 * (busy_hi - idle_hi);
+  config.cooling.transient.trip_throttle = trip_throttle;
+  return config;
+}
+
+TEST(ThermalTransientTest, TripThrottleEquivalentAndDilates) {
+  const SystemConfig config = TrippingMini();
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  EXPECT_GT(ev->counters().thermal_trips, 0u);
+  ASSERT_TRUE(ev->recorder().Has("tripped_nodes"));
+  EXPECT_GT(ev->recorder().MaxOf("tripped_nodes"), 0.0);
+  // Dilation is real: the same workload without trips finishes job 2 (the
+  // 8-node hot job) strictly earlier.
+  SystemConfig no_trip = config;
+  no_trip.cooling.transient.trip_inlet_c = 0.0;
+  const auto baseline = RunEngine(no_trip, SparseWorkload(), o, true);
+  EXPECT_EQ(baseline->counters().thermal_trips, 0u);
+  EXPECT_GT(ev->jobs()[1].end, baseline->jobs()[1].end);
+}
+
+TEST(ThermalTransientTest, TripClearHysteresisEquivalent) {
+  const SystemConfig config = TrippingMini();
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  // The idle gaps between the sparse jobs relax the racks back through the
+  // hysteresis band: every trip eventually clears, and at run end (hour 23's
+  // job throttled past sim_end is the one allowed exception) no more nodes
+  // are tripped than at the hottest point.
+  EXPECT_GT(ev->counters().thermal_clears, 0u);
+  EXPECT_LE(ev->counters().thermal_clears, ev->counters().thermal_trips);
+  const Channel& tn = ev->recorder().Get("tripped_nodes");
+  ASSERT_FALSE(tn.values.empty());
+  // tripped_nodes returned to zero between the hot phases.
+  bool saw_zero_after_trip = false;
+  bool tripped_seen = false;
+  for (const double v : tn.values) {
+    if (v > 0.0) tripped_seen = true;
+    if (tripped_seen && v == 0.0) saw_zero_after_trip = true;
+  }
+  EXPECT_TRUE(saw_zero_after_trip);
+}
+
+TEST(ThermalTransientTest, PerClassTripOverrideEquivalent) {
+  // Racks 0-1 host the cpu class, racks 2-3 the gpu class.  Raising the gpu
+  // class's trip far above any reachable temperature must confine trips to
+  // the cpu racks — and stay bit-identical across stepping modes.
+  SystemConfig config = TrippingMini();
+  config.machines[1].thermal_trip_c = 1000.0;  // gpu: never trips
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+  const auto both = RunEngine(TrippingMini(), SparseWorkload(), o, true);
+  // With the gpu class exempt, strictly fewer (rack, class) trip edges fire
+  // than with the global threshold applying to both classes.
+  EXPECT_LT(ev->counters().thermal_trips, both->counters().thermal_trips);
+  EXPECT_GT(ev->counters().thermal_trips, 0u);
+}
+
+TEST(ThermalTransientTest, CracAndTripTogetherEquivalent) {
+  // CRAC control and trips interact: the supply pull-down slows the rack
+  // rise, moving (or removing) trip edges — still bit-identical.
+  SystemConfig config = TrippingMini();
+  TransientThermalSpec& ts = config.cooling.transient;
+  ts.crac_target_max_inlet_c = ts.trip_inlet_c - 0.5;
+  ts.crac_slew_c_per_s = 0.001;
+  ts.crac_min_supply_c = config.cooling.supply_temp_c - 6.0;
+  const EngineOptions o = Opts(0, 24 * kHour);
+  const auto tick = RunEngine(config, SparseWorkload(), o, false);
+  const auto ev = RunEngine(config, SparseWorkload(), o, true);
+  ExpectEquivalent(*tick, *ev);
+}
+
+// --- the zero-thermal-mass degenerate case ----------------------------------
+
+TEST(ThermalTransientTest, ZeroMassReproducesQuasiStaticBitForBit) {
+  // tau == 0, no CRAC, no trips: the transient layer reduces to a per-tick
+  // assignment of the quasi-static rack means.  Everything the quasi-static
+  // engine produced must be reproduced bit for bit, and the transient
+  // channels must equal the rack inlet channels exactly.
+  SystemConfig transient = TransientMini();
+  transient.cooling.transient = RcOnly(0.0);
+  const SystemConfig quasi = TransientMini();
+  const EngineOptions o = Opts(0, 24 * kHour);
+  for (const bool calendar : {false, true}) {
+    const auto a = RunEngine(quasi, SparseWorkload(), o, calendar, "min_hr");
+    const auto b = RunEngine(transient, SparseWorkload(), o, calendar, "min_hr");
+    EXPECT_EQ(a->stats().Fingerprint(), b->stats().Fingerprint());
+    EXPECT_EQ(a->now(), b->now());
+    EXPECT_EQ(a->counters().scheduler_skips, b->counters().scheduler_skips);
+    EXPECT_EQ(a->counters().batched_ticks, b->counters().batched_ticks);
+    EXPECT_EQ(b->counters().thermal_trips, 0u);
+    ASSERT_EQ(a->jobs().size(), b->jobs().size());
+    for (std::size_t i = 0; i < a->jobs().size(); ++i) {
+      EXPECT_EQ(a->jobs()[i].start, b->jobs()[i].start);
+      EXPECT_EQ(a->jobs()[i].end, b->jobs()[i].end);
+      EXPECT_EQ(a->jobs()[i].assigned_nodes, b->jobs()[i].assigned_nodes);
+    }
+    EXPECT_TRUE(BitIdentical(a->job_energy_j(), b->job_energy_j()));
+    EXPECT_TRUE(BitIdentical(a->node_inlet_c(), b->node_inlet_c()));
+    // Every pre-transient channel is reproduced exactly ...
+    for (const std::string& name : a->recorder().ChannelNames()) {
+      const Channel& x = a->recorder().Get(name);
+      const Channel& y = b->recorder().Get(name);
+      EXPECT_EQ(x.times, y.times) << "channel " << name;
+      EXPECT_TRUE(BitIdentical(x.values, y.values)) << "channel " << name;
+    }
+    // ... and the transient channels collapse onto the quasi-static means.
+    for (int r = 0; r < 4; ++r) {
+      const Channel& qs =
+          b->recorder().Get("rack" + std::to_string(r) + "_inlet_c");
+      const Channel& tr =
+          b->recorder().Get("rack" + std::to_string(r) + "_transient_c");
+      EXPECT_EQ(qs.times, tr.times);
+      EXPECT_TRUE(BitIdentical(qs.values, tr.values)) << "rack " << r;
+    }
+  }
+}
+
+// --- snapshot / fork --------------------------------------------------------
+
+ScenarioSpec TransientSpec(SystemConfig config, bool event_calendar) {
+  ScenarioSpec s;
+  s.name = "transient-ab";
+  s.config_override = std::move(config);
+  s.jobs_override = SparseWorkload();
+  s.policy = "fcfs";
+  s.backfill = "easy";
+  s.duration = 24 * kHour;
+  s.event_calendar = event_calendar;
+  return s;
+}
+
+void ExpectSimEquivalent(const Simulation& x, const Simulation& y) {
+  ExpectEquivalent(x.engine(), y.engine());
+  EXPECT_EQ(x.engine().stats().ToJson().Dump(2), y.engine().stats().ToJson().Dump(2));
+}
+
+std::unique_ptr<Simulation> Straight(const ScenarioSpec& spec) {
+  auto sim = SimulationBuilder(spec).Build();
+  sim->Run();
+  return sim;
+}
+
+std::unique_ptr<Simulation> ForkedAt(const ScenarioSpec& spec, SimTime t) {
+  auto source = SimulationBuilder(spec).Build();
+  source->RunUntilExact(t);  // land exactly on t's tick, even mid-span
+  const SimStateSnapshot snap = source->Snapshot();
+  source.reset();  // the snapshot must be fully self-contained
+  auto fork = Simulation::ForkFrom(snap);
+  fork->Run();
+  return fork;
+}
+
+/// The midpoint time of the first run of >= `min_samples` consecutive
+/// channel samples with value strictly above zero, or -1 when none exists.
+SimTime MidOfFirstPositiveRun(const Channel& ch, std::size_t min_samples) {
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < ch.values.size(); ++i) {
+    run = ch.values[i] > 0.0 ? run + 1 : 0;
+    if (run >= min_samples) return ch.times[i - run / 2];
+  }
+  return -1;
+}
+
+TEST(ThermalTransientTest, ForkMidThrottleMatchesStraightRun) {
+  for (const bool calendar : {false, true}) {
+    const ScenarioSpec spec = TransientSpec(TrippingMini(), calendar);
+    const auto straight = Straight(spec);
+    // Fork in the middle of a sustained tripped window: the snapshot carries
+    // hot rack state, set trip flags, and a dilated completion heap.
+    const SimTime fork_at = MidOfFirstPositiveRun(
+        straight->engine().recorder().Get("tripped_nodes"), 12);
+    ASSERT_GE(fork_at, 0) << "probe never stayed tripped";
+    {
+      auto probe = SimulationBuilder(spec).Build();
+      probe->RunUntilExact(fork_at);
+      ASSERT_GT(probe->engine().tripped_node_count(), 0)
+          << "fork point not mid-throttle";
+    }
+    ExpectSimEquivalent(*straight, *ForkedAt(spec, fork_at));
+  }
+}
+
+TEST(ThermalTransientTest, ForkMidCracSlewMatchesStraightRun) {
+  SystemConfig config = TransientMini();
+  TransientThermalSpec& ts = config.cooling.transient;
+  ts = RcOnly(600.0);
+  {
+    const auto probe =
+        RunEngine(config, SparseWorkload(), Opts(0, 24 * kHour), false);
+    const auto [lo, hi] = TransientRange(*probe);
+    ASSERT_GT(hi, lo + 0.2);
+    ts.crac_target_max_inlet_c = lo + 0.5 * (hi - lo);
+  }
+  ts.crac_slew_c_per_s = 0.0005;
+  ts.crac_min_supply_c = MakeSystemConfig("mini").cooling.supply_temp_c - 6.0;
+  for (const bool calendar : {false, true}) {
+    const ScenarioSpec spec = TransientSpec(config, calendar);
+    const auto straight = Straight(spec);
+    const Channel& supply = straight->engine().recorder().Get("crac_supply_c");
+    const double base = MakeSystemConfig("mini").cooling.supply_temp_c;
+    // Find a tick strictly mid-ramp: below base, above the floor.
+    SimTime fork_at = -1;
+    for (std::size_t i = 0; i < supply.values.size(); ++i) {
+      if (supply.values[i] < base && supply.values[i] > ts.crac_min_supply_c) {
+        fork_at = supply.times[i] + 60;
+        break;
+      }
+    }
+    ASSERT_GE(fork_at, 0) << "supply never mid-slew";
+    ExpectSimEquivalent(*straight, *ForkedAt(spec, fork_at));
+  }
+}
+
+TEST(ThermalTransientTest, SnapshotAdoptsTransientStateVerbatim) {
+  const ScenarioSpec spec = TransientSpec(TrippingMini(), true);
+  auto source = SimulationBuilder(spec).Build();
+  source->RunUntilExact(5 * kHour);
+  const std::uint64_t early = source->Snapshot().Fingerprint();
+  source->RunUntilExact(7 * kHour);
+  const SimStateSnapshot snap = source->Snapshot();
+  EXPECT_NE(early, snap.Fingerprint());
+  // The fork adopts the source's transient state bit for bit.
+  const auto fork = Simulation::ForkFrom(snap);
+  ASSERT_EQ(source->engine().rack_transient_c().size(), 4u);
+  EXPECT_TRUE(BitIdentical(fork->engine().rack_transient_c(),
+                           source->engine().rack_transient_c()));
+  EXPECT_EQ(fork->engine().crac_supply_c(), source->engine().crac_supply_c());
+  EXPECT_EQ(fork->engine().tripped_node_count(),
+            source->engine().tripped_node_count());
+}
+
+// --- validation -------------------------------------------------------------
+
+TEST(ThermalTransientTest, ValidationRejectsMalformedSpecs) {
+  // Value-range rejections fire even when the block is disabled (typos in a
+  // scenario file fail at parse time, not when the knob is later enabled).
+  TransientThermalSpec bad;
+  bad.rack_tau_s = -1.0;
+  EXPECT_THROW(ValidateTransientThermal(bad, "t"), std::invalid_argument);
+  bad = {};
+  bad.trip_throttle = 0.0;
+  EXPECT_THROW(ValidateTransientThermal(bad, "t"), std::invalid_argument);
+  bad = {};
+  bad.trip_throttle = 1.5;
+  EXPECT_THROW(ValidateTransientThermal(bad, "t"), std::invalid_argument);
+  bad = {};
+  bad.crac_slew_c_per_s = 0.1;  // slew without a target
+  EXPECT_THROW(ValidateTransientThermal(bad, "t"), std::invalid_argument);
+
+  // Enabled without a thermal topology: rejected at engine construction.
+  SystemConfig no_topo = MakeSystemConfig("mini");
+  no_topo.cooling.transient = RcOnly(600.0);
+  EXPECT_THROW(RunEngine(no_topo, {}, Opts(0, kHour), false),
+               std::invalid_argument);
+
+  // CRAC floor above the base supply: the loop could then only heat.
+  SystemConfig bad_floor = TransientMini();
+  bad_floor.cooling.transient = RcOnly(600.0);
+  bad_floor.cooling.transient.crac_target_max_inlet_c = 30.0;
+  bad_floor.cooling.transient.crac_slew_c_per_s = 0.01;
+  bad_floor.cooling.transient.crac_min_supply_c =
+      bad_floor.cooling.supply_temp_c + 5.0;
+  EXPECT_THROW(RunEngine(bad_floor, {}, Opts(0, kHour), false),
+               std::invalid_argument);
+
+  // Per-class trip temperatures must be finite and non-negative.
+  SystemConfig bad_class = TransientMini();
+  bad_class.machines[0].thermal_trip_c = -3.0;
+  EXPECT_THROW(ValidateMachineClass(bad_class.machines[0], "t"),
+               std::invalid_argument);
+}
+
+TEST(ThermalTransientTest, SpecRoundTripsThroughScenarioJson) {
+  ScenarioSpec spec;
+  spec.name = "rt";
+  TransientThermalSpec ts;
+  ts.enabled = true;
+  ts.rack_tau_s = 1234.5;
+  ts.crac_target_max_inlet_c = 27.25;
+  ts.crac_slew_c_per_s = 0.25;
+  ts.crac_min_supply_c = 12.5;
+  ts.trip_inlet_c = 31.0;
+  ts.trip_throttle = 0.625;
+  ts.clear_margin_c = 1.5;
+  spec.cooling_transient = ts;
+  const ScenarioSpec back = ScenarioSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(back.cooling_transient.has_value());
+  EXPECT_EQ(spec.ToJson().Dump(2), back.ToJson().Dump(2));
+  EXPECT_EQ(back.cooling_transient->rack_tau_s, 1234.5);
+  EXPECT_EQ(back.cooling_transient->trip_throttle, 0.625);
+}
+
+}  // namespace
+}  // namespace sraps
